@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScriptsAcrossStores(t *testing.T) {
+	for _, store := range []string{"causal", "statesync", "lww", "kbuffer", "gsp"} {
+		for _, script := range []string{"twowriter", "race", "chain"} {
+			var sb strings.Builder
+			if err := run(&sb, store, script, 2, 500000); err != nil {
+				t.Fatalf("%s/%s: %v", store, script, err)
+			}
+			if !strings.Contains(sb.String(), "states") {
+				t.Fatalf("%s/%s: unexpected output:\n%s", store, script, sb.String())
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "nope", "twowriter", 2, 1000); err == nil {
+		t.Fatal("expected unknown store error")
+	}
+	if err := run(&sb, "causal", "nope", 2, 1000); err == nil {
+		t.Fatal("expected unknown script error")
+	}
+}

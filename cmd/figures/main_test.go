@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllExperiments smoke-tests every experiment section end to end.
+func TestRunAllExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 0, "", "", true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3", "Theorem 6", "Theorem 12",
+		"§5.3", "quiescent convergence", "Charron-Bost", "op-driven messages",
+		"Propagation ablation", "State size", "Session guarantees",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleSelections(t *testing.T) {
+	for _, tc := range []struct {
+		fig, thm int
+		sec, ext string
+		mustShow string
+	}{
+		{fig: 1, mustShow: "Figure 1"},
+		{fig: 2, mustShow: "Figure 2"},
+		{fig: 3, mustShow: "Figure 3"},
+		{thm: 6, mustShow: "Theorem 6"},
+		{sec: "5.3", mustShow: "§5.3"},
+		{ext: "gsp", mustShow: "op-driven"},
+	} {
+		var sb strings.Builder
+		if err := run(&sb, tc.fig, tc.thm, tc.sec, tc.ext, false, false); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if !strings.Contains(sb.String(), tc.mustShow) {
+			t.Errorf("%+v: output missing %q", tc, tc.mustShow)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command msgbound runs the Theorem 12 message-size lower-bound
+// construction (the paper's Figure 4) against the causal store and reports
+// measured message sizes against the Ω(min{n−2, s−1}·lg k) bound.
+//
+// Usage:
+//
+//	msgbound -n 5 -s 4 -k 16            # one construction + decode
+//	msgbound -sweep k -n 6 -s 6         # |m_g| vs k
+//	msgbound -sweep n -s 64 -k 64       # |m_g| vs n
+//	msgbound -sweep s -n 64 -k 64       # |m_g| vs s
+//	msgbound -encoding sparse            # sparse dependency clocks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/store/causal"
+)
+
+func main() {
+	n := flag.Int("n", 5, "number of replicas (≥ 3)")
+	s := flag.Int("s", 4, "number of MVR objects (≥ 2)")
+	k := flag.Int("k", 16, "per-writer write count; g maps into [1..k]")
+	seed := flag.Int64("seed", 1, "seed for the random g")
+	sweep := flag.String("sweep", "", "sweep dimension: k, n, or s")
+	encoding := flag.String("encoding", "dense", "dependency encoding: dense or sparse")
+	flag.Parse()
+
+	if err := run(os.Stdout, *n, *s, *k, *seed, *sweep, *encoding); err != nil {
+		fmt.Fprintln(os.Stderr, "msgbound:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, n, s, k int, seed int64, sweep, encoding string) error {
+	var factory func() store.Store
+	switch encoding {
+	case "dense":
+		factory = func() store.Store { return causal.New(spec.MVRTypes()) }
+	case "sparse":
+		factory = func() store.Store {
+			return causal.NewWithOptions(spec.MVRTypes(), causal.Options{SparseDeps: true})
+		}
+	default:
+		return fmt.Errorf("unknown encoding %q", encoding)
+	}
+
+	switch sweep {
+	case "":
+		res, err := core.RunMessageLowerBound(factory(), core.LowerBoundConfig{N: n, S: s, K: k, Seed: seed})
+		if err != nil {
+			return err
+		}
+		t := bench.NewTable("Theorem 12 construction (Figure 4)",
+			"n", "s", "k", "n'", "g", "|m_g| bits", "bound bits", "max β msg bits", "messages", "decoded", "ok")
+		t.AddRow(res.N, res.S, res.K, res.NPrime, fmt.Sprintf("%v", res.G), res.MgBits,
+			res.BoundBits, res.BetaMaxBits, res.TotalMessages, fmt.Sprintf("%v", res.Decoded), res.DecodeOK)
+		t.Render(w)
+	case "k":
+		points, err := core.SweepK(factory, n, s, []int{2, 8, 32, 128, 512, 2048, 8192, 32768}, seed)
+		if err != nil {
+			return err
+		}
+		renderSweep(w, fmt.Sprintf("|m_g| vs k (n=%d, s=%d, %s)", n, s, encoding), "k", points,
+			func(p core.SweepPoint) int { return p.K })
+	case "n":
+		points, err := core.SweepN(factory, []int{3, 4, 6, 10, 18, 34, 66}, s, k, seed)
+		if err != nil {
+			return err
+		}
+		renderSweep(w, fmt.Sprintf("|m_g| vs n (s=%d, k=%d, %s)", s, k, encoding), "n", points,
+			func(p core.SweepPoint) int { return p.N })
+	case "s":
+		points, err := core.SweepS(factory, n, []int{2, 3, 5, 9, 17, 33, 65}, k, seed)
+		if err != nil {
+			return err
+		}
+		renderSweep(w, fmt.Sprintf("|m_g| vs s (n=%d, k=%d, %s)", n, k, encoding), "s", points,
+			func(p core.SweepPoint) int { return p.S })
+	default:
+		return fmt.Errorf("unknown sweep dimension %q", sweep)
+	}
+	return nil
+}
+
+func renderSweep(w io.Writer, title, dim string, points []core.SweepPoint, key func(core.SweepPoint) int) {
+	t := bench.NewTable(title, dim, "n'", "|m_g| bits", "bound bits", "bits/writer", "decode ok")
+	for _, p := range points {
+		t.AddRow(key(p), p.NPrime, p.MgBits, p.BoundBits, p.BitsPerCoordinate, p.DecodeOK)
+	}
+	t.Render(w)
+}

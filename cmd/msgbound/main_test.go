@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingle(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 5, 4, 8, 1, "", "dense"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "|m_g| bits") {
+		t.Fatalf("unexpected output:\n%s", sb.String())
+	}
+}
+
+func TestRunSweeps(t *testing.T) {
+	for _, sweep := range []string{"k", "n", "s"} {
+		var sb strings.Builder
+		if err := run(&sb, 6, 6, 16, 1, sweep, "sparse"); err != nil {
+			t.Fatalf("sweep %s: %v", sweep, err)
+		}
+		if !strings.Contains(sb.String(), "decode ok") {
+			t.Fatalf("sweep %s: unexpected output", sweep)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 5, 4, 8, 1, "zzz", "dense"); err == nil {
+		t.Fatal("expected unknown sweep error")
+	}
+	if err := run(&sb, 5, 4, 8, 1, "", "zzz"); err == nil {
+		t.Fatal("expected unknown encoding error")
+	}
+}

@@ -1,0 +1,143 @@
+// Command occheck audits a JSON abstract execution against the paper's
+// checker stack: Definition 4 validity, Definition 8 correctness, causal
+// consistency (Definition 12), observable causal consistency (Definition
+// 18), and the finite-window form of eventual consistency (Definition 13).
+//
+// Usage:
+//
+//	occheck [-types obj=mvr,obj2=orset] [-default mvr] [-lag N] file.json
+//	occheck -example            # print an example input and its audit
+//
+// Input format (see internal/abstract JSON doc):
+//
+//	{"events": [
+//	  {"replica": 0, "object": "x", "op": "write", "arg": "a", "ok": true},
+//	  {"replica": 1, "object": "x", "op": "read", "values": ["a"], "vis": [0]}
+//	]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/abstract"
+	"repro/internal/bench"
+	"repro/internal/consistency"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+const exampleInput = `{"events": [
+  {"replica": 0, "object": "y1", "op": "write", "arg": "b1", "ok": true},
+  {"replica": 0, "object": "x",  "op": "write", "arg": "w0", "ok": true, "vis": [0]},
+  {"replica": 1, "object": "y0", "op": "write", "arg": "b0", "ok": true},
+  {"replica": 1, "object": "x",  "op": "write", "arg": "w1", "ok": true, "vis": [2]},
+  {"replica": 2, "object": "x",  "op": "read", "values": ["w0","w1"], "vis": [0,1,2,3]}
+]}`
+
+func main() {
+	typesFlag := flag.String("types", "", "comma-separated object=type pairs (types: mvr, register, orset, counter)")
+	defaultType := flag.String("default", "mvr", "default object type")
+	lag := flag.Int("lag", 0, "eventual-consistency lag bound (0 = skip the check)")
+	example := flag.Bool("example", false, "audit a built-in example input")
+	flag.Parse()
+
+	if err := run(os.Stdout, *typesFlag, *defaultType, *lag, *example, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "occheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, typesFlag, defaultType string, lag int, example bool, args []string) error {
+	var data []byte
+	switch {
+	case example:
+		data = []byte(exampleInput)
+		fmt.Fprintln(w, "input:")
+		fmt.Fprintln(w, exampleInput)
+		fmt.Fprintln(w)
+	case len(args) == 1 && args[0] == "-":
+		var err error
+		data, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+	case len(args) == 1:
+		var err error
+		data, err = os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("expected one input file (or '-' for stdin, or -example)")
+	}
+
+	a, err := abstract.UnmarshalExecution(data)
+	if err != nil {
+		return err
+	}
+	types, err := parseTypes(typesFlag, defaultType)
+	if err != nil {
+		return err
+	}
+
+	if lag == 0 {
+		lag = a.Len() // effectively skip: no lag can exceed |H|
+	}
+	v := consistency.Evaluate(a, types, lag)
+	sess := consistency.CheckSessionGuarantees(a)
+	t := bench.NewTable(fmt.Sprintf("audit of %d events", a.Len()),
+		"check", "verdict", "detail")
+	t.AddRow("valid (Def 4)", bench.Verdict(v.Valid), bench.Check(v.Valid))
+	t.AddRow("correct (Def 8)", bench.Verdict(v.Correct), bench.Check(v.Correct))
+	t.AddRow("causal (Def 12)", bench.Verdict(v.Causal), bench.Check(v.Causal))
+	t.AddRow("OCC (Def 18)", bench.Verdict(v.OCC), bench.Check(v.OCC))
+	t.AddRow(fmt.Sprintf("eventual window (lag ≤ %d)", lag), bench.Verdict(v.Eventual), bench.Check(v.Eventual))
+	t.AddRow("read-your-writes", bench.Verdict(sess.ReadYourWrites), bench.Check(sess.ReadYourWrites))
+	t.AddRow("monotonic reads", bench.Verdict(sess.MonotonicReads), bench.Check(sess.MonotonicReads))
+	t.AddRow("writes-follow-reads", bench.Verdict(sess.WritesFollowReads), bench.Check(sess.WritesFollowReads))
+	t.AddRow("monotonic writes", bench.Verdict(sess.MonotonicWrites), bench.Check(sess.MonotonicWrites))
+	t.Render(w)
+	return nil
+}
+
+func parseTypes(typesFlag, defaultType string) (spec.Types, error) {
+	dt, err := parseType(defaultType)
+	if err != nil {
+		return spec.Types{}, err
+	}
+	types := spec.Types{DefaultType: dt}
+	if typesFlag == "" {
+		return types, nil
+	}
+	for _, pair := range strings.Split(typesFlag, ",") {
+		parts := strings.SplitN(pair, "=", 2)
+		if len(parts) != 2 {
+			return spec.Types{}, fmt.Errorf("malformed type pair %q", pair)
+		}
+		typ, err := parseType(parts[1])
+		if err != nil {
+			return spec.Types{}, err
+		}
+		types = types.With(model.ObjectID(parts[0]), typ)
+	}
+	return types, nil
+}
+
+func parseType(s string) (spec.ObjectType, error) {
+	switch s {
+	case "mvr":
+		return spec.TypeMVR, nil
+	case "register":
+		return spec.TypeRegister, nil
+	case "orset":
+		return spec.TypeORSet, nil
+	case "counter":
+		return spec.TypeCounter, nil
+	default:
+		return 0, fmt.Errorf("unknown object type %q", s)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestRunExample(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", "mvr", 0, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"valid (Def 4)", "OCC (Def 18)", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exec.json")
+	if err := os.WriteFile(path, []byte(exampleInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, "", "mvr", 3, false, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "audit of 5 events") {
+		t.Fatalf("unexpected output:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsMissingInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", "mvr", 0, false, nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	types, err := parseTypes("s=orset,c=counter", "register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types.Of("s") != spec.TypeORSet || types.Of("c") != spec.TypeCounter || types.Of("zz") != spec.TypeRegister {
+		t.Fatal("type mapping wrong")
+	}
+	if _, err := parseTypes("bad", "mvr"); err == nil {
+		t.Fatal("expected malformed pair error")
+	}
+	if _, err := parseTypes("x=nope", "mvr"); err == nil {
+		t.Fatal("expected unknown type error")
+	}
+	if _, err := parseTypes("", "nope"); err == nil {
+		t.Fatal("expected unknown default error")
+	}
+}

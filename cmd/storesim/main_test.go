@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRunEveryStore(t *testing.T) {
+	for _, name := range []string{"causal", "causal-sparse", "causal-perupdate", "lww", "kbuffer", "gsp", "statesync"} {
+		var sb strings.Builder
+		if err := run(&sb, name, 3, 120, 3, 7, 2, sim.Faults{}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(sb.String(), "client operations") {
+			t.Fatalf("%s: unexpected output:\n%s", name, sb.String())
+		}
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "causal", 3, 100, 2, 3, 2, sim.Faults{DupProb: 0.3, Reorder: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "converged after quiescence") {
+		t.Fatal("missing convergence row")
+	}
+}
+
+func TestRunRejectsUnknownStore(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "nope", 2, 10, 1, 1, 1, sim.Faults{}); err == nil {
+		t.Fatal("expected unknown store error")
+	}
+}

@@ -1,0 +1,66 @@
+// Inference: the paper's Figure 2, end to end. With two or more objects,
+// causal consistency and eventual consistency let CLIENTS detect that a
+// data store hid concurrency: the same fixed schedule is driven against a
+// store that exposes concurrent MVR writes (the causal store) and one that
+// totally orders them (the last-writer-wins store). The hiding store's
+// client history admits NO causally consistent MVR abstract execution — the
+// deductive prover prints the contradiction.
+//
+// Run with: go run ./examples/inference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/store/causal"
+	"repro/internal/store/lww"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("The Figure 2 schedule: replicas 0 and 1 concurrently write the MVR x")
+	fmt.Println("while bracketing the writes with marker objects; replica 2 receives both")
+	fmt.Println("broadcasts and reads the markers, then x.")
+
+	for _, st := range []store.Store{causal.New(spec.MVRTypes()), lww.New(spec.MVRTypes())} {
+		cluster, history := core.Figure2Schedule(st)
+		fmt.Printf("\n=== store %q ===\n", st.Name())
+		fmt.Println("space-time diagram (W write, R read, S send, V receive):")
+		fmt.Println(cluster.Execution().Timeline())
+		fmt.Println("client history:")
+		for i, e := range history {
+			fmt.Printf("  H[%2d] %s\n", i, e)
+		}
+
+		impossible, trace, err := consistency.ProveNoCausalMVR(history, st.Types())
+		if err != nil {
+			return err
+		}
+		if impossible {
+			fmt.Println("\nverdict: NO causally consistent MVR abstract execution explains this")
+			fmt.Println("history — the clients have detected the hidden concurrency:")
+			for _, line := range trace {
+				fmt.Println("  ", line)
+			}
+			continue
+		}
+		fmt.Println("\nverdict: the history is explainable; the store's own derived abstract")
+		fmt.Println("execution is checked below:")
+		a := cluster.DerivedAbstract()
+		if err := consistency.CheckCausal(a, st.Types()); err != nil {
+			return fmt.Errorf("derived execution unexpectedly inconsistent: %w", err)
+		}
+		fmt.Println("   valid + correct + causally consistent: ok")
+	}
+	return nil
+}

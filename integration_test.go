@@ -1,0 +1,231 @@
+// Cross-module integration tests: whole pipelines from live store runs
+// through recording, derivation, and the theorem constructions. Each test
+// exercises several packages together, complementing the per-package unit
+// tests.
+package repro
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/abstract"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/store/causal"
+	"repro/internal/store/kbuffer"
+	"repro/internal/store/lww"
+)
+
+// TestPipelineRandomRunFullAudit drives random faulty workloads against the
+// causal store and runs the complete audit: well-formedness, compliance,
+// validity, correctness, causal consistency, §4 properties, convergence.
+func TestPipelineRandomRunFullAudit(t *testing.T) {
+	types := spec.MVRTypes().With("set", spec.TypeORSet).With("ctr", spec.TypeCounter)
+	objs := []model.ObjectID{"x", "y", "set", "ctr"}
+	for seed := int64(0); seed < 12; seed++ {
+		c := sim.NewCluster(causal.New(types), 4, seed)
+		c.SetFaults(sim.Faults{DupProb: 0.25, Reorder: true})
+		c.RunRandom(sim.WorkloadConfig{Objects: objs, Steps: 250})
+		c.Quiesce()
+
+		if err := c.Execution().CheckWellFormed(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := c.CheckConverged(objs); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v := c.PropertyViolations(); len(v) != 0 {
+			t.Fatalf("seed %d: property violations %v", seed, v)
+		}
+		a := c.DerivedAbstract()
+		if err := consistency.CheckCausal(a, types); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := abstract.Complies(c.Execution(), a); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPipelineDropsPreserveSafety verifies that with real message loss the
+// causal store keeps all safety properties (convergence is forfeited, and is
+// not asserted).
+func TestPipelineDropsPreserveSafety(t *testing.T) {
+	types := spec.MVRTypes()
+	for seed := int64(0); seed < 8; seed++ {
+		c := sim.NewCluster(causal.New(types), 3, seed)
+		c.SetFaults(sim.Faults{DropProb: 0.5, Reorder: true})
+		c.RunRandom(sim.WorkloadConfig{Objects: []model.ObjectID{"x", "y"}, Steps: 200})
+		if err := c.Execution().CheckWellFormed(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a := c.DerivedAbstract()
+		if err := consistency.CheckCausal(a, types); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestPipelineTheorem6OnStoreDerivedExecutions closes the loop: executions
+// DERIVED from causal store runs that happen to be OCC are fed back into the
+// Theorem 6 construction (after the revealing transformation), which must
+// reproduce them on a fresh cluster.
+func TestPipelineTheorem6OnStoreDerivedExecutions(t *testing.T) {
+	types := spec.MVRTypes()
+	verified := 0
+	for seed := int64(0); seed < 40 && verified < 5; seed++ {
+		c := sim.NewCluster(causal.New(types), 3, seed)
+		c.RunRandom(sim.WorkloadConfig{Objects: []model.ObjectID{"x", "y"}, Steps: 14, SendProb: 0.6, DeliverProb: 0.7})
+		a := c.DerivedAbstract()
+		if consistency.CheckOCC(a, types) != nil {
+			continue
+		}
+		rev := gen.MakeRevealing(a, types)
+		if err := consistency.CheckOCC(rev, types); err != nil {
+			continue // revealing reads may expose unwitnessed pairs
+		}
+		rep, err := core.ConstructCompliant(causal.New(types), rev)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Complies() {
+			t.Fatalf("seed %d: mismatches %v", seed, rep.Mismatches)
+		}
+		verified++
+	}
+	if verified == 0 {
+		t.Fatal("no OCC store-derived executions found")
+	}
+}
+
+// TestPipelineJSONRoundTripThroughCheckers exports a derived execution to
+// JSON, re-imports it, and confirms every checker verdict is preserved.
+func TestPipelineJSONRoundTripThroughCheckers(t *testing.T) {
+	types := spec.MVRTypes()
+	c := sim.NewCluster(causal.New(types), 3, 21)
+	c.RunRandom(sim.WorkloadConfig{Objects: []model.ObjectID{"x", "y"}, Steps: 80})
+	c.Quiesce()
+	a := c.DerivedAbstract()
+
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := abstract.UnmarshalExecution(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equivalent(a) {
+		t.Fatal("round trip not equivalent")
+	}
+	va := consistency.Evaluate(a, types, a.Len())
+	vb := consistency.Evaluate(back, types, back.Len())
+	if (va.Causal == nil) != (vb.Causal == nil) || (va.OCC == nil) != (vb.OCC == nil) {
+		t.Fatalf("verdicts changed across round trip: %+v vs %+v", va, vb)
+	}
+}
+
+// TestPipelineStoreZoo compares the three stores on one partition scenario:
+// the causal store exposes siblings, the LWW store hides them, the K-buffer
+// store delays them.
+func TestPipelineStoreZoo(t *testing.T) {
+	scenario := func(st interface {
+		Name() string
+	}, cluster *sim.Cluster) model.Response {
+		cluster.Do(0, "x", model.Write("a"))
+		cluster.Do(1, "x", model.Write("b"))
+		cluster.Send(0)
+		cluster.Send(1)
+		cluster.DeliverOne(2)
+		cluster.DeliverOne(2)
+		return cluster.Do(2, "x", model.Read())
+	}
+	types := spec.MVRTypes()
+
+	causalResp := scenario(causal.New(types), sim.NewCluster(causal.New(types), 3, 1))
+	if len(causalResp.Values) != 2 {
+		t.Fatalf("causal store read = %s, want both siblings", causalResp)
+	}
+	lwwResp := scenario(lww.New(types), sim.NewCluster(lww.New(types), 3, 1))
+	if len(lwwResp.Values) != 1 {
+		t.Fatalf("lww store read = %s, want one winner", lwwResp)
+	}
+	kbResp := scenario(kbuffer.New(types, 4), sim.NewCluster(kbuffer.New(types, 4), 3, 1))
+	if len(kbResp.Values) != 0 {
+		t.Fatalf("kbuffer store read = %s, want delayed emptiness", kbResp)
+	}
+}
+
+// TestPipelineLowerBoundAcrossEncodings runs Theorem 12 against every causal
+// store variant; decoding must succeed regardless of encoding or batching.
+func TestPipelineLowerBoundAcrossEncodings(t *testing.T) {
+	variants := []struct {
+		name string
+		opts causal.Options
+	}{
+		{"dense", causal.Options{}},
+		{"sparse", causal.Options{SparseDeps: true}},
+		{"perupdate", causal.Options{PerUpdateMessages: true}},
+	}
+	for _, v := range variants {
+		st := causal.NewWithOptions(spec.MVRTypes(), v.opts)
+		res, err := core.RunMessageLowerBound(st, core.LowerBoundConfig{N: 6, S: 5, K: 32, Seed: 9})
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if !res.DecodeOK {
+			t.Fatalf("%s: decoded %v, want %v", v.name, res.Decoded, res.G)
+		}
+		if res.MgBits < res.BoundBits {
+			t.Fatalf("%s: |m_g| = %d bits below the information-theoretic bound %d", v.name, res.MgBits, res.BoundBits)
+		}
+	}
+}
+
+// TestPipelineOCCStrictlyBetweenCausalAndNothing samples generated
+// executions and verifies the paper's model ordering: OCC ⊆ causal, with
+// both inclusions strict on the sample.
+func TestPipelineOCCStrictlyBetweenCausalAndNothing(t *testing.T) {
+	types := spec.MVRTypes()
+	var sample []*abstract.Execution
+	for seed := int64(0); seed < 30; seed++ {
+		sample = append(sample, gen.RandomCausal(gen.Config{Seed: seed, Events: 20}))
+	}
+	sample = append(sample, gen.WitnessedConcurrency(2, false))
+	inOCC := func(a *abstract.Execution) bool { return consistency.CheckOCC(a, types) == nil }
+	inCausal := func(a *abstract.Execution) bool { return consistency.CheckCausal(a, types) == nil }
+	subset, strict := consistency.Stronger(sample, inOCC, inCausal)
+	if !subset {
+		t.Fatal("an OCC execution was not causally consistent")
+	}
+	if !strict {
+		t.Skip("sample contained no causal-but-not-OCC execution (generator drift)")
+	}
+}
+
+// TestPipelineProposition2OnRecordedRuns verifies the paper's Proposition 2
+// on every recorded run: a read can only return values whose writes happen
+// before it.
+func TestPipelineProposition2OnRecordedRuns(t *testing.T) {
+	stores := []struct {
+		name string
+		mk   func() *sim.Cluster
+	}{
+		{"causal", func() *sim.Cluster { return sim.NewCluster(causal.New(spec.MVRTypes()), 3, 31) }},
+		{"lww", func() *sim.Cluster { return sim.NewCluster(lww.New(spec.MVRTypes()), 3, 31) }},
+		{"kbuffer", func() *sim.Cluster { return sim.NewCluster(kbuffer.New(spec.MVRTypes(), 2), 3, 31) }},
+	}
+	for _, tc := range stores {
+		c := tc.mk()
+		c.SetFaults(sim.Faults{DupProb: 0.2, Reorder: true})
+		c.RunRandom(sim.WorkloadConfig{Objects: []model.ObjectID{"x", "y"}, Steps: 150})
+		c.Quiesce()
+		if err := core.VerifyProposition2(c.Execution()); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package abstract
+
+import (
+	"testing"
+
+	"repro/internal/execution"
+	"repro/internal/model"
+)
+
+// threeEvents builds w0@r0, w1@r1, read@r0 with edges w0->read (session) and
+// w1->read.
+func threeEvents(t *testing.T) *Execution {
+	t.Helper()
+	a := New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "x", model.Write("b"), model.OKResponse()))
+	a.Append(model.DoEvent(0, "x", model.Read(), model.ReadResponse([]model.Value{"a", "b"})))
+	a.AddVis(0, 2)
+	a.AddVis(1, 2)
+	return a
+}
+
+func TestAppendRejectsNonDo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-do event")
+		}
+	}()
+	New().Append(model.SendEvent(0, 1))
+}
+
+func TestAddVisRejectsBackwardEdge(t *testing.T) {
+	a := threeEvents(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backward edge")
+		}
+	}()
+	a.AddVis(2, 1)
+}
+
+func TestVisAndPreds(t *testing.T) {
+	a := threeEvents(t)
+	if !a.Vis(0, 2) || !a.Vis(1, 2) || a.Vis(0, 1) {
+		t.Fatal("vis edges wrong")
+	}
+	if a.Vis(2, 0) || a.Vis(-1, 2) || a.Vis(0, 99) {
+		t.Fatal("out-of-range vis should be false")
+	}
+	preds := a.VisPreds(2)
+	if len(preds) != 2 || preds[0] != 0 || preds[1] != 1 {
+		t.Fatalf("preds = %v", preds)
+	}
+}
+
+func TestValidateSessionOrder(t *testing.T) {
+	a := threeEvents(t)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the session edge by rebuilding without it.
+	b := New()
+	b.Append(a.H[0])
+	b.Append(a.H[2]) // same replica, no edge
+	if err := b.Validate(); err == nil {
+		t.Fatal("expected session order violation")
+	}
+}
+
+func TestValidateSessionClosure(t *testing.T) {
+	// e0@r1 -vis-> e1@r0, then e2@r0 without e0 -vis-> e2.
+	a := New()
+	a.Append(model.DoEvent(1, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(0, "x", model.Read(), model.ReadResponse([]model.Value{"a"})))
+	a.Append(model.DoEvent(0, "x", model.Read(), model.ReadResponse(nil)))
+	a.AddVis(0, 1)
+	a.AddVis(1, 2) // session
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected session closure violation")
+	}
+	a.AddVis(0, 2)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	a := New()
+	for i := 0; i < 3; i++ {
+		a.Append(model.DoEvent(model.ReplicaID(i), "x", model.Write(model.Value(rune('a'+i))), model.OKResponse()))
+	}
+	a.AddVis(0, 1)
+	a.AddVis(1, 2)
+	if a.IsTransitive() {
+		t.Fatal("missing 0->2 should break transitivity")
+	}
+	h, i, j, bad := a.TransitiveViolation()
+	if !bad || h != 0 || i != 1 || j != 2 {
+		t.Fatalf("violation = (%d,%d,%d,%v)", h, i, j, bad)
+	}
+	closed := a.TransitiveClosure()
+	if !closed.IsTransitive() || !closed.Vis(0, 2) {
+		t.Fatal("closure did not close")
+	}
+	if a.Vis(0, 2) {
+		t.Fatal("closure mutated the original")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	a := threeEvents(t)
+	p := a.Prefix(2)
+	if p.Len() != 2 || p.Vis(0, 1) {
+		t.Fatalf("prefix wrong: len=%d", p.Len())
+	}
+	if got := a.Prefix(99).Len(); got != 3 {
+		t.Fatalf("over-long prefix has %d events", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := threeEvents(t)
+	c := a.Clone()
+	c.AddVis(0, 1)
+	if a.Vis(0, 1) {
+		t.Fatal("clone shares visibility storage")
+	}
+}
+
+func TestProjections(t *testing.T) {
+	a := threeEvents(t)
+	if got := a.ProjectReplica(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("r0 projection = %v", got)
+	}
+	if got := a.ProjectObject("x"); len(got) != 3 {
+		t.Fatalf("x projection = %v", got)
+	}
+	if got := a.Objects(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("objects = %v", got)
+	}
+	if got := a.Replicas(); len(got) != 2 {
+		t.Fatalf("replicas = %v", got)
+	}
+}
+
+func TestEquivalence(t *testing.T) {
+	a := threeEvents(t)
+	// Same per-replica histories, different interleaving: equivalent.
+	b := New()
+	b.Append(a.H[1])
+	b.Append(a.H[0])
+	b.Append(a.H[2])
+	if !a.Equivalent(b) {
+		t.Fatal("reordered interleaving should be equivalent")
+	}
+	// Different response: not equivalent.
+	c := a.Clone()
+	c.SetRval(2, model.ReadResponse([]model.Value{"a"}))
+	if a.Equivalent(c) {
+		t.Fatal("different responses should not be equivalent")
+	}
+	// Different length: not equivalent.
+	if a.Equivalent(a.Prefix(2)) {
+		t.Fatal("prefix should not be equivalent")
+	}
+}
+
+func TestContext(t *testing.T) {
+	a := New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(0, "y", model.Write("b"), model.OKResponse()))
+	a.Append(model.DoEvent(0, "x", model.Read(), model.ReadResponse([]model.Value{"a"})))
+	a.AddVis(0, 1)
+	a.AddVis(0, 2)
+	a.AddVis(1, 2)
+	ctx := a.Context(2)
+	// Context contains only the same-object visible event plus the target.
+	if len(ctx.Events) != 2 || ctx.Events[0].Object != "x" || !ctx.Target().IsRead() {
+		t.Fatalf("context events = %v", ctx.Events)
+	}
+	if len(ctx.Prior()) != 1 {
+		t.Fatalf("prior = %v", ctx.Prior())
+	}
+	if !ctx.Vis(0, 1) {
+		t.Fatal("context lost the vis edge to the target")
+	}
+	if ctx.Vis(1, 0) || ctx.Vis(-1, 0) || ctx.Vis(0, 5) {
+		t.Fatal("context vis out-of-range handling wrong")
+	}
+}
+
+func TestCompliesMatches(t *testing.T) {
+	a := threeEvents(t)
+	x := execution.New()
+	x.AppendDo(0, "x", model.Write("a"), model.OKResponse())
+	x.AppendSend(0, []byte{1})
+	x.AppendDo(1, "x", model.Write("b"), model.OKResponse())
+	x.AppendReceive(0, 0) // noise: only do events matter for compliance
+	x.AppendDo(0, "x", model.Read(), model.ReadResponse([]model.Value{"a", "b"}))
+	if err := Complies(x, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompliesDetectsResponseMismatch(t *testing.T) {
+	a := threeEvents(t)
+	x := execution.New()
+	x.AppendDo(0, "x", model.Write("a"), model.OKResponse())
+	x.AppendDo(1, "x", model.Write("b"), model.OKResponse())
+	x.AppendDo(0, "x", model.Read(), model.ReadResponse([]model.Value{"a"}))
+	if err := Complies(x, a); err == nil {
+		t.Fatal("expected response mismatch")
+	}
+}
+
+func TestCompliesDetectsMissingEvents(t *testing.T) {
+	a := threeEvents(t)
+	x := execution.New()
+	x.AppendDo(0, "x", model.Write("a"), model.OKResponse())
+	if err := Complies(x, a); err == nil {
+		t.Fatal("expected history length mismatch")
+	}
+}
+
+func TestCompliesDetectsOperationMismatch(t *testing.T) {
+	a := threeEvents(t)
+	x := execution.New()
+	x.AppendDo(0, "x", model.Write("a"), model.OKResponse())
+	x.AppendDo(1, "y", model.Write("b"), model.OKResponse()) // wrong object
+	x.AppendDo(0, "x", model.Read(), model.ReadResponse([]model.Value{"a", "b"}))
+	if err := Complies(x, a); err == nil {
+		t.Fatal("expected operation mismatch")
+	}
+}
+
+func TestFromEventsRenumbers(t *testing.T) {
+	events := []model.Event{
+		{Seq: 42, Replica: 0, Act: model.ActDo, Object: "x", Op: model.Write("a"), Rval: model.OKResponse()},
+		{Seq: 7, Replica: 1, Act: model.ActDo, Object: "x", Op: model.Read(), Rval: model.ReadResponse(nil)},
+	}
+	a := FromEvents(events)
+	if a.H[0].Seq != 0 || a.H[1].Seq != 1 {
+		t.Fatalf("events not renumbered: %v", a.H)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if s := threeEvents(t).String(); len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

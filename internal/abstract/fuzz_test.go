@@ -1,0 +1,21 @@
+package abstract
+
+import "testing"
+
+// FuzzUnmarshalExecution ensures arbitrary JSON never panics the parser, and
+// that whatever parses survives re-marshalling.
+func FuzzUnmarshalExecution(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"events":[{"replica":0,"object":"x","op":"write","arg":"a","ok":true}]}`))
+	f.Add([]byte(`{"events":[{"op":"read","vis":[0]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := UnmarshalExecution(data)
+		if err != nil {
+			return
+		}
+		if _, err := a.MarshalJSON(); err != nil {
+			t.Fatalf("parsed execution failed to marshal: %v", err)
+		}
+		_ = a.Validate()
+	})
+}

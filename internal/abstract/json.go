@@ -1,0 +1,120 @@
+package abstract
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// The JSON format for abstract executions, used by cmd/occheck and the
+// auditor example: an ordered list of events, each carrying its replica,
+// object, operation, response, and visibility predecessor indices.
+//
+//	{"events": [
+//	  {"replica": 0, "object": "x", "op": "write", "arg": "a", "ok": true},
+//	  {"replica": 1, "object": "x", "op": "read", "values": ["a"], "vis": [0]}
+//	]}
+
+type jsonEvent struct {
+	Replica int      `json:"replica"`
+	Object  string   `json:"object"`
+	Op      string   `json:"op"`
+	Arg     string   `json:"arg,omitempty"`
+	Delta   int64    `json:"delta,omitempty"`
+	OK      bool     `json:"ok,omitempty"`
+	Values  []string `json:"values,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+	Vis     []int    `json:"vis,omitempty"`
+}
+
+type jsonExecution struct {
+	Events []jsonEvent `json:"events"`
+}
+
+// MarshalJSON renders the execution in the documented format.
+func (a *Execution) MarshalJSON() ([]byte, error) {
+	out := jsonExecution{Events: make([]jsonEvent, 0, len(a.H))}
+	for j, e := range a.H {
+		je := jsonEvent{
+			Replica: int(e.Replica),
+			Object:  string(e.Object),
+			Op:      e.Op.Kind.String(),
+			Arg:     string(e.Op.Arg),
+			Delta:   e.Op.Delta,
+			OK:      e.Rval.OK,
+			Count:   e.Rval.Count,
+			Vis:     a.VisPreds(j),
+		}
+		if e.Rval.Values != nil {
+			je.Values = make([]string, len(e.Rval.Values))
+			for i, v := range e.Rval.Values {
+				je.Values[i] = string(v)
+			}
+		}
+		out.Events = append(out.Events, je)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalExecution parses the documented JSON format.
+func UnmarshalExecution(data []byte) (*Execution, error) {
+	var in jsonExecution
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("abstract: parse execution: %w", err)
+	}
+	a := New()
+	for idx, je := range in.Events {
+		kind, err := parseOpKind(je.Op)
+		if err != nil {
+			return nil, fmt.Errorf("abstract: event %d: %w", idx, err)
+		}
+		e := model.Event{
+			Replica: model.ReplicaID(je.Replica),
+			Act:     model.ActDo,
+			Object:  model.ObjectID(je.Object),
+			Op:      model.Operation{Kind: kind, Arg: model.Value(je.Arg), Delta: je.Delta},
+		}
+		switch {
+		case je.OK:
+			e.Rval = model.OKResponse()
+		case je.Values != nil:
+			values := make([]model.Value, len(je.Values))
+			for i, v := range je.Values {
+				values[i] = model.Value(v)
+			}
+			e.Rval = model.ReadResponse(values)
+		case kind == model.OpRead && je.Count != 0:
+			e.Rval = model.CountResponse(je.Count)
+		case kind == model.OpRead:
+			e.Rval = model.ReadResponse(nil)
+		default:
+			e.Rval = model.OKResponse()
+		}
+		j := a.Append(e)
+		for _, i := range je.Vis {
+			if i < 0 || i >= j {
+				return nil, fmt.Errorf("abstract: event %d: vis predecessor %d out of range", idx, i)
+			}
+			a.AddVis(i, j)
+		}
+	}
+	return a, nil
+}
+
+func parseOpKind(s string) (model.OpKind, error) {
+	switch s {
+	case "read":
+		return model.OpRead, nil
+	case "write":
+		return model.OpWrite, nil
+	case "add":
+		return model.OpAdd, nil
+	case "remove":
+		return model.OpRemove, nil
+	case "inc":
+		return model.OpInc, nil
+	default:
+		return 0, fmt.Errorf("unknown op %q", s)
+	}
+}

@@ -1,0 +1,83 @@
+package abstract
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "s", model.Add("e"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "s", model.Remove("e"), model.OKResponse()))
+	a.Append(model.DoEvent(2, "c", model.Inc(-3), model.OKResponse()))
+	a.Append(model.DoEvent(2, "c", model.Read(), model.CountResponse(-3)))
+	a.Append(model.DoEvent(0, "x", model.Read(), model.ReadResponse([]model.Value{"a"})))
+	a.AddVis(1, 2)
+	a.AddVis(3, 4)
+	a.AddVis(0, 5)
+
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalExecution(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equivalent(a) {
+		t.Fatalf("round trip lost events:\n%s\nvs\n%s", a, back)
+	}
+	for j := 0; j < a.Len(); j++ {
+		for i := 0; i < j; i++ {
+			if a.Vis(i, j) != back.Vis(i, j) {
+				t.Fatalf("vis(%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestJSONEmptyReadDistinctFromOK(t *testing.T) {
+	a := New()
+	a.Append(model.DoEvent(0, "x", model.Read(), model.ReadResponse(nil)))
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalExecution(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.H[0].Rval.OK || back.H[0].Rval.Values == nil {
+		t.Fatalf("empty read decoded as %s", back.H[0].Rval)
+	}
+}
+
+func TestJSONUnknownOpRejected(t *testing.T) {
+	_, err := UnmarshalExecution([]byte(`{"events":[{"replica":0,"object":"x","op":"frob"}]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJSONBadVisRejected(t *testing.T) {
+	_, err := UnmarshalExecution([]byte(`{"events":[{"replica":0,"object":"x","op":"read","vis":[5]}]}`))
+	if err == nil {
+		t.Fatal("expected out-of-range vis rejection")
+	}
+	_, err = UnmarshalExecution([]byte(`{"events":[
+		{"replica":0,"object":"x","op":"write","arg":"a","ok":true},
+		{"replica":0,"object":"x","op":"read","vis":[-1]}]}`))
+	if err == nil {
+		t.Fatal("expected negative vis rejection")
+	}
+}
+
+func TestJSONMalformedInputRejected(t *testing.T) {
+	if _, err := UnmarshalExecution([]byte(`{`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

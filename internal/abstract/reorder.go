@@ -1,0 +1,119 @@
+package abstract
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Reorder returns the abstract execution whose H lists the same events in
+// the order given by perm (perm[k] = index into the current H of the event
+// placed at position k), with the visibility relation carried along.
+//
+// A reordering is valid iff it preserves per-replica order and keeps every
+// visibility edge pointing forward (Definition 4 condition (3)). Valid
+// reorderings produce executions EQUIVALENT to the original (Definition 9's
+// per-replica projections are unchanged), which is the formal content of
+// "consistency models are closed under equivalence" (§3.2): checkers must
+// return the same verdicts on both.
+func (a *Execution) Reorder(perm []int) (*Execution, error) {
+	if len(perm) != a.Len() {
+		return nil, fmt.Errorf("abstract: permutation has %d entries for %d events", len(perm), a.Len())
+	}
+	pos := make([]int, a.Len()) // pos[old index] = new position
+	seen := make([]bool, a.Len())
+	for newIdx, oldIdx := range perm {
+		if oldIdx < 0 || oldIdx >= a.Len() || seen[oldIdx] {
+			return nil, fmt.Errorf("abstract: invalid permutation entry %d", oldIdx)
+		}
+		seen[oldIdx] = true
+		pos[oldIdx] = newIdx
+	}
+	// Per-replica order preserved.
+	lastAt := make(map[model.ReplicaID]int)
+	for newIdx, oldIdx := range perm {
+		r := a.H[oldIdx].Replica
+		if prev, ok := lastAt[r]; ok {
+			prevOld := perm[prev]
+			// prevOld must precede oldIdx in the ORIGINAL order too.
+			if prevOld > oldIdx {
+				return nil, fmt.Errorf("abstract: permutation reverses session order at r%d", r)
+			}
+		}
+		lastAt[r] = newIdx
+	}
+	// Vis edges stay forward.
+	for j := 0; j < a.Len(); j++ {
+		for _, i := range a.VisPreds(j) {
+			if pos[i] >= pos[j] {
+				return nil, fmt.Errorf("abstract: permutation reverses vis edge %d->%d", i, j)
+			}
+		}
+	}
+	out := New()
+	for _, oldIdx := range perm {
+		out.Append(a.H[oldIdx])
+	}
+	for j := 0; j < a.Len(); j++ {
+		for _, i := range a.VisPreds(j) {
+			out.AddVis(pos[i], pos[j])
+		}
+	}
+	return out, nil
+}
+
+// TopologicalReorders enumerates up to limit valid reorderings (linear
+// extensions of session-order ∪ vis), including the identity. Checkers'
+// closure under equivalence is tested against these.
+func (a *Execution) TopologicalReorders(limit int) [][]int {
+	n := a.Len()
+	// preds[j] = session + vis predecessors.
+	preds := make([][]int, n)
+	lastAt := make(map[model.ReplicaID]int)
+	for j := 0; j < n; j++ {
+		preds[j] = append(preds[j], a.VisPreds(j)...)
+		if prev, ok := lastAt[a.H[j].Replica]; ok {
+			preds[j] = append(preds[j], prev)
+		}
+		lastAt[a.H[j].Replica] = j
+	}
+	var out [][]int
+	used := make([]bool, n)
+	placed := make([]int, 0, n)
+	var rec func()
+	rec = func() {
+		if len(out) >= limit {
+			return
+		}
+		if len(placed) == n {
+			perm := make([]int, n)
+			copy(perm, placed)
+			out = append(out, perm)
+			return
+		}
+		for cand := 0; cand < n; cand++ {
+			if used[cand] {
+				continue
+			}
+			ready := true
+			for _, p := range preds[cand] {
+				if !used[p] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				used[cand] = true
+				placed = append(placed, cand)
+				rec()
+				placed = placed[:len(placed)-1]
+				used[cand] = false
+				if len(out) >= limit {
+					return
+				}
+			}
+		}
+	}
+	rec()
+	return out
+}

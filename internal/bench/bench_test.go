@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := NewTable("demo", "name", "count")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 22)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, underline, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The count column starts at the same offset in both data rows.
+	if strings.Index(lines[3], "1") != strings.Index(lines[4], "22") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNote(t *testing.T) {
+	tb := NewTable("demo", "c")
+	tb.Note = "remember this"
+	var sb strings.Builder
+	tb.Render(&sb)
+	if !strings.Contains(sb.String(), "note: remember this") {
+		t.Fatalf("missing note:\n%s", sb.String())
+	}
+}
+
+func TestTableFloatsRenderedWithOneDecimal(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.14159)
+	var sb strings.Builder
+	tb.Render(&sb)
+	if !strings.Contains(sb.String(), "3.1") || strings.Contains(sb.String(), "3.14") {
+		t.Fatalf("float formatting wrong:\n%s", sb.String())
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	var sb strings.Builder
+	tb.Render(&sb)
+	if strings.Contains(sb.String(), "==") {
+		t.Fatalf("unexpected title:\n%s", sb.String())
+	}
+}
+
+func TestVerdictAndCheck(t *testing.T) {
+	if Verdict(nil) != "yes" || Verdict(errors.New("x")) != "no" {
+		t.Fatal("Verdict wrong")
+	}
+	if Check(nil) != "ok" || Check(errors.New("boom")) != "boom" {
+		t.Fatal("Check wrong")
+	}
+}
+
+func TestTableRaggedRowTolerated(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow("only-one")
+	var sb strings.Builder
+	tb.Render(&sb) // must not panic
+	if !strings.Contains(sb.String(), "only-one") {
+		t.Fatal("row lost")
+	}
+}

@@ -1,0 +1,73 @@
+package charronbost
+
+import (
+	"fmt"
+
+	"repro/internal/execution"
+	"repro/internal/model"
+)
+
+// CrownExecution embeds the crown S_n into a concrete execution of the §2
+// model: writer replicas P_1..P_n perform the a_i events and broadcast;
+// observer replicas Q_1..Q_n receive every message except their own index's
+// and then perform the b_j events. The happens-before relation restricted to
+// the do events is exactly the crown: a_i -hb-> b_j iff i ≠ j.
+//
+// This is the bridge between the order-theoretic dimension result and the
+// message-passing model: any timestamping scheme that characterizes
+// happens-before on this 2n-replica execution embeds S_n, so it needs n
+// components — the phenomenon Theorem 12 generalizes to arbitrary message
+// contents.
+func CrownExecution(n int) (*execution.Execution, []int, []int) {
+	x := execution.New()
+	aSeqs := make([]int, n)
+	bSeqs := make([]int, n)
+	msgIDs := make([]int, n)
+	// Writers P_i are replicas 0..n-1; observers Q_j are replicas n..2n-1.
+	for i := 0; i < n; i++ {
+		e := x.AppendDo(model.ReplicaID(i), model.ObjectID(fmt.Sprintf("x%d", i)),
+			model.Write(model.Value(fmt.Sprintf("a%d", i))), model.OKResponse())
+		aSeqs[i] = e.Seq
+		sent := x.AppendSend(model.ReplicaID(i), []byte{byte(i)})
+		msgIDs[i] = sent.MsgID
+	}
+	for j := 0; j < n; j++ {
+		q := model.ReplicaID(n + j)
+		for i := 0; i < n; i++ {
+			if i != j {
+				x.AppendReceive(q, msgIDs[i])
+			}
+		}
+		e := x.AppendDo(q, model.ObjectID(fmt.Sprintf("x%d", j)), model.Read(), model.ReadResponse(nil))
+		bSeqs[j] = e.Seq
+	}
+	return x, aSeqs, bSeqs
+}
+
+// VerifyCrownEmbedding checks that happens-before on the generated execution
+// restricted to the a/b do events is exactly Crown(n).
+func VerifyCrownEmbedding(n int) error {
+	x, aSeqs, bSeqs := CrownExecution(n)
+	if err := x.CheckWellFormed(); err != nil {
+		return err
+	}
+	hb := execution.ComputeHB(x)
+	crown := Crown(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := crown.Less(i, n+j)
+			got := hb.Before(aSeqs[i], bSeqs[j])
+			if want != got {
+				return fmt.Errorf("charronbost: a%d -hb-> b%d is %v, crown says %v", i+1, j+1, got, want)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if i != j {
+				if hb.Before(aSeqs[i], aSeqs[j]) || hb.Before(bSeqs[i], bSeqs[j]) {
+					return fmt.Errorf("charronbost: spurious hb among a/b events (%d, %d)", i, j)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package consistency
+
+// Tests of the structural properties the paper demands of consistency
+// models (§3.2): prefix-closure (Definition 5) and closure under
+// equivalence (Definition 9 / the discussion after it). The causal and OCC
+// checkers must give the same verdict on every prefix of a member and on
+// every equivalent reordering of any execution.
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/spec"
+)
+
+func TestCausalConsistencyIsPrefixClosed(t *testing.T) {
+	types := spec.MVRTypes()
+	for seed := int64(0); seed < 10; seed++ {
+		a := gen.RandomCausal(gen.Config{Seed: seed, Events: 18})
+		if err := CheckCausal(a, types); err != nil {
+			t.Fatalf("seed %d: generator broke: %v", seed, err)
+		}
+		for n := 0; n <= a.Len(); n++ {
+			if err := CheckCausal(a.Prefix(n), types); err != nil {
+				t.Fatalf("seed %d: prefix of length %d not causal: %v", seed, n, err)
+			}
+		}
+	}
+}
+
+func TestOCCIsPrefixClosed(t *testing.T) {
+	types := spec.MVRTypes()
+	checked := 0
+	for _, rounds := range []int{1, 2, 3} {
+		a := gen.WitnessedConcurrency(rounds, true)
+		if err := CheckOCC(a, types); err != nil {
+			t.Fatalf("rounds %d: %v", rounds, err)
+		}
+		for n := 0; n <= a.Len(); n++ {
+			if err := CheckOCC(a.Prefix(n), types); err != nil {
+				t.Fatalf("rounds %d: prefix of length %d not OCC: %v", rounds, n, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no prefixes checked")
+	}
+}
+
+func TestCheckersClosedUnderEquivalence(t *testing.T) {
+	types := spec.MVRTypes()
+	for seed := int64(0); seed < 6; seed++ {
+		a := gen.RandomCausal(gen.Config{Seed: seed, Events: 14})
+		wantCausal := CheckCausal(a, types) == nil
+		wantOCC := CheckOCC(a, types) == nil
+		perms := a.TopologicalReorders(20)
+		if len(perms) < 2 {
+			continue // totally ordered execution: only the identity
+		}
+		for _, perm := range perms {
+			b, err := a.Reorder(perm)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !b.Equivalent(a) {
+				t.Fatalf("seed %d: reordering broke equivalence", seed)
+			}
+			if got := CheckCausal(b, types) == nil; got != wantCausal {
+				t.Fatalf("seed %d: causal verdict changed under equivalence: %v vs %v", seed, got, wantCausal)
+			}
+			if got := CheckOCC(b, types) == nil; got != wantOCC {
+				t.Fatalf("seed %d: OCC verdict changed under equivalence", seed)
+			}
+		}
+	}
+}
+
+func TestReorderRejectsInvalidPermutations(t *testing.T) {
+	a := gen.RandomCausal(gen.Config{Seed: 1, Events: 6})
+	if _, err := a.Reorder([]int{0, 1}); err == nil {
+		t.Fatal("expected length mismatch rejection")
+	}
+	bad := make([]int, a.Len())
+	for i := range bad {
+		bad[i] = 0 // duplicate entries
+	}
+	if _, err := a.Reorder(bad); err == nil {
+		t.Fatal("expected duplicate rejection")
+	}
+	// Reversing the whole order reverses at least one session or vis edge.
+	rev := make([]int, a.Len())
+	for i := range rev {
+		rev[i] = a.Len() - 1 - i
+	}
+	if _, err := a.Reorder(rev); err == nil {
+		t.Fatal("expected edge-reversal rejection")
+	}
+}
+
+func TestTopologicalReordersIncludeIdentity(t *testing.T) {
+	a := gen.RandomCausal(gen.Config{Seed: 3, Events: 10})
+	perms := a.TopologicalReorders(50)
+	foundIdentity := false
+	for _, perm := range perms {
+		id := true
+		for i, p := range perm {
+			if p != i {
+				id = false
+				break
+			}
+		}
+		if id {
+			foundIdentity = true
+		}
+	}
+	if !foundIdentity {
+		t.Fatal("identity permutation missing from topological reorders")
+	}
+}

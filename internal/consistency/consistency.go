@@ -1,0 +1,245 @@
+// Package consistency implements the paper's consistency models as checkers
+// over abstract executions: causal consistency (Definition 12), observable
+// causal consistency (Definition 18), eventual consistency (Definition 13)
+// on finite windows, and natural causal consistency (the CAC comparison of
+// §5.3). It also provides an exhaustive search for a complying correct
+// abstract execution of a small concrete history, used to prove
+// *non*-compliance (e.g. that the hiding store's Figure 2 history admits no
+// causally consistent MVR abstract execution).
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/abstract"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// CheckCausal verifies that A is a causally consistent abstract execution:
+// valid (Definition 4), correct (Definition 8), and with transitive
+// visibility (Definition 12).
+func CheckCausal(a *abstract.Execution, types spec.Types) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if err := spec.CheckCorrect(a, types); err != nil {
+		return err
+	}
+	if h, i, j, bad := a.TransitiveViolation(); bad {
+		return fmt.Errorf("consistency: vis not transitive: H[%d]-vis->H[%d]-vis->H[%d] but no H[%d]-vis->H[%d]", h, i, j, h, j)
+	}
+	return nil
+}
+
+// OCCViolation describes a read whose exposed concurrency lacks the
+// Definition 18 witnesses: the pair (w0, w1) in rval(r) could be "hidden" by
+// an ordering data store.
+type OCCViolation struct {
+	Read   int // index of r in H
+	W0, W1 int // indices of the unwitnessed concurrent writes
+}
+
+// Error implements error.
+func (v *OCCViolation) Error() string {
+	return fmt.Sprintf("consistency: OCC violated at read H[%d]: concurrent writes H[%d], H[%d] have no Definition 18 witnesses", v.Read, v.W0, v.W1)
+}
+
+// CheckOCC verifies that A is observably causally consistent (Definition
+// 18): causally consistent, and for every MVR read returning at least two
+// writes {w0, w1}, there exist witness writes w'0, w'1 such that
+//
+//	(1) w'_i -vis-> w_{1-i} and obj(w'_i) ≠ obj(r),
+//	(2) obj(w'_0) ≠ obj(w'_1),
+//	(3) ¬(w'_i -vis-> w_i),
+//	(4) every write ŵ to obj(w'_i) with ŵ -vis-> w_i has ŵ -vis-> w'_i.
+//
+// The witnesses pin down information flow that prevents the data store from
+// pretending w0 -vis-> w1 or w1 -vis-> w0 (Figure 3c).
+func CheckOCC(a *abstract.Execution, types spec.Types) error {
+	if err := CheckCausal(a, types); err != nil {
+		return err
+	}
+	writers, err := writeIndex(a)
+	if err != nil {
+		return err
+	}
+	for j, e := range a.H {
+		if !e.IsRead() || types.Of(e.Object) != spec.TypeMVR || len(e.Rval.Values) < 2 {
+			continue
+		}
+		ws := make([]int, 0, len(e.Rval.Values))
+		for _, v := range e.Rval.Values {
+			w, ok := writers[objValue{e.Object, v}]
+			if !ok {
+				return fmt.Errorf("consistency: read H[%d] returns value %q with no write event on %s", j, v, e.Object)
+			}
+			ws = append(ws, w)
+		}
+		for p := 0; p < len(ws); p++ {
+			for q := p + 1; q < len(ws); q++ {
+				if !hasWitnesses(a, e.Object, ws[p], ws[q]) {
+					return &OCCViolation{Read: j, W0: ws[p], W1: ws[q]}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type objValue struct {
+	obj model.ObjectID
+	val model.Value
+}
+
+// writeIndex maps (object, value) to the index of the write event producing
+// it, enforcing the paper's distinct-written-values assumption per object.
+func writeIndex(a *abstract.Execution) (map[objValue]int, error) {
+	idx := make(map[objValue]int)
+	for j, e := range a.H {
+		if e.Act == model.ActDo && e.Op.Kind == model.OpWrite {
+			key := objValue{e.Object, e.Op.Arg}
+			if prev, dup := idx[key]; dup {
+				return nil, fmt.Errorf("consistency: writes H[%d] and H[%d] both write %q to %s (distinct-values assumption violated)", prev, j, e.Op.Arg, e.Object)
+			}
+			idx[key] = j
+		}
+	}
+	return idx, nil
+}
+
+// hasWitnesses searches for w'0, w'1 satisfying Definition 18 for the pair
+// (w0, w1) returned by a read of object o.
+func hasWitnesses(a *abstract.Execution, o model.ObjectID, w0, w1 int) bool {
+	// Candidates for w'_0: writes visible to w1 (condition 1 with i=0).
+	// Candidates for w'_1: writes visible to w0.
+	cands := func(target, self int) []int {
+		var out []int
+		for i := 0; i < len(a.H); i++ {
+			e := a.H[i]
+			if !e.IsWrite() || e.Object == o {
+				continue
+			}
+			if a.Vis(i, target) && !a.Vis(i, self) { // conditions (1) and (3)
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	c0 := cands(w1, w0)
+	c1 := cands(w0, w1)
+	for _, wp0 := range c0 {
+		if !witnessCondition4(a, wp0, w0) {
+			continue
+		}
+		for _, wp1 := range c1 {
+			if a.H[wp0].Object == a.H[wp1].Object { // condition (2)
+				continue
+			}
+			if witnessCondition4(a, wp1, w1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// witnessCondition4 checks Definition 18(4) for witness wpi of w_i: every
+// write ŵ to obj(w'_i) visible to w_i must be visible to w'_i.
+func witnessCondition4(a *abstract.Execution, wpi, wi int) bool {
+	obj := a.H[wpi].Object
+	for h := 0; h < len(a.H); h++ {
+		e := a.H[h]
+		if h != wpi && e.IsWrite() && e.Object == obj && a.Vis(h, wi) && !a.Vis(h, wpi) {
+			return false
+		}
+	}
+	return true
+}
+
+// BlindSuffix returns, for event j, the number of later same-object events
+// that do not see it. Definition 13 requires this to be finite for every
+// event of an infinite execution; on finite windows the checkers bound it.
+func BlindSuffix(a *abstract.Execution, j int) int {
+	count := 0
+	for k := j + 1; k < len(a.H); k++ {
+		if a.H[k].Object == a.H[j].Object && !a.Vis(j, k) {
+			count++
+		}
+	}
+	return count
+}
+
+// CheckEventualWindow verifies the finite-window approximation of eventual
+// consistency (Definition 13): no event has more than lagBound later
+// same-object events blind to it. An infinite execution is eventually
+// consistent iff every finite prefix passes for *some* bound, so callers pick
+// lagBound from the propagation budget of the run (e.g. the maximum number
+// of operations between a write and the quiescence that follows it).
+func CheckEventualWindow(a *abstract.Execution, lagBound int) error {
+	for j := range a.H {
+		if lag := BlindSuffix(a, j); lag > lagBound {
+			return fmt.Errorf("consistency: H[%d] = %s has %d blind same-object successors (bound %d)", j, a.H[j], lag, lagBound)
+		}
+	}
+	return nil
+}
+
+// CheckConvergedSuffix verifies the quiescent form of eventual consistency:
+// every event before the suffix boundary is visible to every same-object
+// event at or after it. Executions driven to quiescence (Corollary 4) must
+// pass with the boundary at the first post-quiescence operation.
+func CheckConvergedSuffix(a *abstract.Execution, boundary int) error {
+	for j := 0; j < boundary && j < len(a.H); j++ {
+		for k := boundary; k < len(a.H); k++ {
+			if k > j && a.H[k].Object == a.H[j].Object && !a.Vis(j, k) {
+				return fmt.Errorf("consistency: post-quiescence event H[%d] blind to H[%d]", k, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Stronger reports whether consistency model membership f is strictly
+// stronger than g over the provided sample of abstract executions: every
+// execution admitted by f is admitted by g, and some execution admitted by g
+// is rejected by f. This is the paper's C' ⊊ C, made checkable on samples.
+func Stronger(sample []*abstract.Execution, f, g func(*abstract.Execution) bool) (subset, strict bool) {
+	subset = true
+	for _, a := range sample {
+		inF, inG := f(a), g(a)
+		if inF && !inG {
+			subset = false
+		}
+		if inG && !inF {
+			strict = true
+		}
+	}
+	return subset, subset && strict
+}
+
+// Verdict summarizes all checks on one abstract execution, for reporting
+// tools.
+type Verdict struct {
+	Valid    error
+	Correct  error
+	Causal   error
+	OCC      error
+	Eventual error
+}
+
+// Evaluate runs the full checker stack with the given eventual-consistency
+// lag bound.
+func Evaluate(a *abstract.Execution, types spec.Types, lagBound int) Verdict {
+	v := Verdict{}
+	v.Valid = a.Validate()
+	if v.Valid == nil {
+		v.Correct = spec.CheckCorrect(a, types)
+	} else {
+		v.Correct = fmt.Errorf("skipped: %v", v.Valid)
+	}
+	v.Causal = CheckCausal(a, types)
+	v.OCC = CheckOCC(a, types)
+	v.Eventual = CheckEventualWindow(a, lagBound)
+	return v
+}

@@ -1,0 +1,230 @@
+package consistency
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/abstract"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func mvr() spec.Types { return spec.MVRTypes() }
+
+// causalChain: w0@r0 -> w1@r1 (visible) -> read@r2 seeing both.
+func causalChain() *abstract.Execution {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "x", model.Write("b"), model.OKResponse()))
+	a.Append(model.DoEvent(2, "x", model.Read(), model.ReadResponse([]model.Value{"b"})))
+	a.AddVis(0, 1)
+	a.AddVis(0, 2)
+	a.AddVis(1, 2)
+	return a
+}
+
+func TestCheckCausalAccepts(t *testing.T) {
+	if err := CheckCausal(causalChain(), mvr()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCausalRejectsIntransitive(t *testing.T) {
+	a := causalChain()
+	b := abstract.New()
+	for _, e := range a.H {
+		b.Append(e)
+	}
+	b.AddVis(0, 1)
+	b.AddVis(1, 2) // missing 0->2
+	b.SetRval(2, model.ReadResponse([]model.Value{"b"}))
+	if err := CheckCausal(b, mvr()); err == nil {
+		t.Fatal("expected transitivity rejection")
+	}
+}
+
+func TestCheckCausalRejectsIncorrect(t *testing.T) {
+	a := causalChain()
+	a.SetRval(2, model.ReadResponse([]model.Value{"a"})) // dominated value
+	if err := CheckCausal(a, mvr()); err == nil {
+		t.Fatal("expected correctness rejection")
+	}
+}
+
+func TestCheckCausalRejectsInvalid(t *testing.T) {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(0, "x", model.Read(), model.ReadResponse(nil))) // session edge missing
+	if err := CheckCausal(a, mvr()); err == nil {
+		t.Fatal("expected validation rejection")
+	}
+}
+
+// occWitnessed builds the Figure 3c pattern: a read exposing {w0, w1} with
+// proper Definition 18 witnesses.
+func occWitnessed() *abstract.Execution {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "y1", model.Write("b1"), model.OKResponse())) // 0: w'1
+	a.Append(model.DoEvent(0, "x", model.Write("w0"), model.OKResponse()))  // 1: w0
+	a.Append(model.DoEvent(1, "y0", model.Write("b0"), model.OKResponse())) // 2: w'0
+	a.Append(model.DoEvent(1, "x", model.Write("w1"), model.OKResponse()))  // 3: w1
+	a.Append(model.DoEvent(2, "x", model.Read(), model.ReadResponse([]model.Value{"w0", "w1"})))
+	a.AddVis(0, 1)
+	a.AddVis(2, 3)
+	a.AddVis(0, 4)
+	a.AddVis(1, 4)
+	a.AddVis(2, 4)
+	a.AddVis(3, 4)
+	return a
+}
+
+func TestCheckOCCAcceptsWitnessed(t *testing.T) {
+	if err := CheckOCC(occWitnessed(), mvr()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckOCCRejectsUnwitnessed(t *testing.T) {
+	// Two bare concurrent writes exposed by a read: no witnesses exist.
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("w0"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "x", model.Write("w1"), model.OKResponse()))
+	a.Append(model.DoEvent(2, "x", model.Read(), model.ReadResponse([]model.Value{"w0", "w1"})))
+	a.AddVis(0, 2)
+	a.AddVis(1, 2)
+	var viol *OCCViolation
+	err := CheckOCC(a, mvr())
+	if err == nil || !errors.As(err, &viol) {
+		t.Fatalf("expected OCC violation, got %v", err)
+	}
+	if viol.Read != 2 {
+		t.Fatalf("violation at read %d", viol.Read)
+	}
+}
+
+func TestCheckOCCRejectsWitnessVisibleToBoth(t *testing.T) {
+	// The would-be witnesses are visible to BOTH writes, violating
+	// condition 3: no qualifying witness pair remains.
+	b := abstract.New()
+	b.Append(model.DoEvent(0, "y1", model.Write("b1"), model.OKResponse())) // 0: w'1
+	b.Append(model.DoEvent(1, "y0", model.Write("b0"), model.OKResponse())) // 1: w'0
+	b.Append(model.DoEvent(0, "x", model.Write("w0"), model.OKResponse()))  // 2: w0
+	b.Append(model.DoEvent(1, "x", model.Write("w1"), model.OKResponse()))  // 3: w1
+	b.Append(model.DoEvent(2, "x", model.Read(), model.ReadResponse([]model.Value{"w0", "w1"})))
+	b.AddVis(0, 2) // session
+	b.AddVis(1, 3) // session
+	b.AddVis(0, 3) // w'1 visible to w1 too
+	b.AddVis(1, 2) // w'0 visible to w0 too
+	for _, j := range []int{0, 1, 2, 3} {
+		b.AddVis(j, 4)
+	}
+	if err := CheckOCC(b, mvr()); err == nil {
+		t.Fatal("expected OCC rejection")
+	}
+}
+
+func TestCheckOCCRejectsCondition4(t *testing.T) {
+	// A concurrent write ŵ to the witness object is visible to w1 but not to
+	// the witness w'1, breaking condition 4 — the ŵ hiding channel of 3b.
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "y1", model.Write("b1"), model.OKResponse()))   // 0: w'1
+	a.Append(model.DoEvent(0, "x", model.Write("w0"), model.OKResponse()))    // 1: w0
+	a.Append(model.DoEvent(1, "y1", model.Write("what"), model.OKResponse())) // 2: ŵ on y1
+	a.Append(model.DoEvent(1, "y0", model.Write("b0"), model.OKResponse()))   // 3: w'0
+	a.Append(model.DoEvent(1, "x", model.Write("w1"), model.OKResponse()))    // 4: w1
+	a.Append(model.DoEvent(2, "x", model.Read(), model.ReadResponse([]model.Value{"w0", "w1"})))
+	a.AddVis(0, 1)
+	a.AddVis(2, 3)
+	a.AddVis(2, 4)
+	a.AddVis(3, 4)
+	for _, j := range []int{0, 1, 2, 3, 4} {
+		a.AddVis(j, 5)
+	}
+	if err := CheckOCC(a, mvr()); err == nil {
+		t.Fatal("expected condition 4 rejection")
+	}
+}
+
+func TestCheckOCCIgnoresSingletonReads(t *testing.T) {
+	a := causalChain()
+	if err := CheckOCC(a, mvr()); err != nil {
+		t.Fatalf("singleton reads need no witnesses: %v", err)
+	}
+}
+
+func TestCheckOCCRejectsDuplicateWriteValues(t *testing.T) {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("v"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "x", model.Write("v"), model.OKResponse()))
+	a.Append(model.DoEvent(2, "x", model.Read(), model.ReadResponse([]model.Value{"v"})))
+	a.AddVis(0, 2)
+	if err := CheckOCC(a, mvr()); err == nil {
+		t.Fatal("expected distinct-values rejection")
+	}
+}
+
+func TestBlindSuffixAndEventualWindow(t *testing.T) {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "x", model.Read(), model.ReadResponse(nil))) // blind
+	a.Append(model.DoEvent(1, "x", model.Read(), model.ReadResponse(nil))) // blind
+	a.AddVis(1, 2)
+	if got := BlindSuffix(a, 0); got != 2 {
+		t.Fatalf("blind suffix = %d, want 2", got)
+	}
+	if err := CheckEventualWindow(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEventualWindow(a, 1); err == nil {
+		t.Fatal("expected lag-bound violation")
+	}
+}
+
+func TestCheckConvergedSuffix(t *testing.T) {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "x", model.Read(), model.ReadResponse([]model.Value{"a"})))
+	a.AddVis(0, 1)
+	if err := CheckConvergedSuffix(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	b := abstract.New()
+	b.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	b.Append(model.DoEvent(1, "x", model.Read(), model.ReadResponse(nil)))
+	if err := CheckConvergedSuffix(b, 1); err == nil {
+		t.Fatal("expected blind post-quiescence read rejection")
+	}
+}
+
+func TestStronger(t *testing.T) {
+	occ := occWitnessed()
+	chain := causalChain()
+	sample := []*abstract.Execution{occ, chain}
+	inOCC := func(a *abstract.Execution) bool { return CheckOCC(a, mvr()) == nil }
+	inCausal := func(a *abstract.Execution) bool { return CheckCausal(a, mvr()) == nil }
+	subset, strict := Stronger(sample, inOCC, inCausal)
+	if !subset {
+		t.Fatal("OCC should be a subset of causal on this sample")
+	}
+	// Both sample executions are OCC, so strictness is not witnessed here.
+	_ = strict
+
+	// An unwitnessed exposure is causal but not OCC: strictness witnessed.
+	unwitnessed := abstract.New()
+	unwitnessed.Append(model.DoEvent(0, "x", model.Write("w0"), model.OKResponse()))
+	unwitnessed.Append(model.DoEvent(1, "x", model.Write("w1"), model.OKResponse()))
+	unwitnessed.Append(model.DoEvent(2, "x", model.Read(), model.ReadResponse([]model.Value{"w0", "w1"})))
+	unwitnessed.AddVis(0, 2)
+	unwitnessed.AddVis(1, 2)
+	subset, strict = Stronger(append(sample, unwitnessed), inOCC, inCausal)
+	if !subset || !strict {
+		t.Fatalf("OCC should be strictly stronger: subset=%v strict=%v", subset, strict)
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	v := Evaluate(occWitnessed(), mvr(), 5)
+	if v.Valid != nil || v.Correct != nil || v.Causal != nil || v.OCC != nil || v.Eventual != nil {
+		t.Fatalf("verdict = %+v", v)
+	}
+}

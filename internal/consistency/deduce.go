@@ -1,0 +1,255 @@
+package consistency
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// The deductive prover establishes that a client history over MVR objects
+// admits NO causally consistent correct abstract execution — the
+// machine-checked form of the Figure 2 inference: clients can use causality
+// to detect that a store hid concurrency.
+//
+// It computes the visibility edges FORCED in every complying causal abstract
+// execution and derives a contradiction:
+//
+//	session order      e_i before e_j at one replica        ⟹ i -vis-> j
+//	transitivity       i -vis-> j -vis-> k                  ⟹ i -vis-> k
+//	                   (session closure follows from these two)
+//	read evidence      read r returns value of write w      ⟹ w -vis-> r
+//	domination         write w of obj(r) forced visible to r but absent from
+//	                   rval(r) ⟹ some write w'' of obj(r) has w -vis-> w''
+//	                   and w'' -vis-> r (branch over candidates w'')
+//
+// Contradictions:
+//
+//	empty read         rval(r) = {} but a write of obj(r) is forced visible
+//	dead value         rval(r) contains v but its write cannot precede r
+//	                   (the required edge closes a forced cycle)
+//	dominated value    w ∈ rval(r) but forced edges dominate w at r
+//	no dominator       a stray write has no cycle-free candidate dominator
+//	cycle              forced edges form a cycle (visibility is a suborder
+//	                   of the H order, so cycles are impossible)
+//
+// Crucially, the deduction is ORDER-FREE: compliance only fixes per-replica
+// order, so the prover never assumes a particular interleaving H. Forced
+// edges form a general DAG; any acyclic visibility extending session order
+// can be topologically sorted into a compatible H, so a contradiction here
+// rules out every complying causal abstract execution. The prover is sound
+// for impossibility (true means none exists) and inconclusive otherwise —
+// existence is shown constructively elsewhere (sim.DerivedAbstract +
+// CheckCausal).
+
+// ErrDeduceBudget is returned when the branch budget is exhausted.
+var ErrDeduceBudget = errors.New("consistency: deduction budget exceeded")
+
+// ProveNoCausalMVR returns (true, trace) when the history provably admits no
+// causally consistent correct MVR abstract execution; the trace explains the
+// contradictions. A false result is inconclusive. All objects must be MVRs,
+// written values unique per object, and the history at most 64 events.
+func ProveNoCausalMVR(events []model.Event, types spec.Types) (bool, []string, error) {
+	if len(events) > 64 {
+		return false, nil, fmt.Errorf("consistency: deductive prover handles at most 64 events, got %d", len(events))
+	}
+	for _, e := range events {
+		if !e.IsDo() {
+			return false, nil, fmt.Errorf("consistency: non-do event %s in history", e)
+		}
+		if types.Of(e.Object) != spec.TypeMVR {
+			return false, nil, fmt.Errorf("consistency: deductive prover handles MVR objects only; %s is %s", e.Object, types.Of(e.Object))
+		}
+		if e.Op.Kind != model.OpRead && e.Op.Kind != model.OpWrite {
+			return false, nil, fmt.Errorf("consistency: MVR history contains %s", e.Op.Kind)
+		}
+	}
+	d := &deducer{events: events, budget: 500000}
+	f, contradiction := d.seed()
+	if contradiction != "" {
+		return true, []string{contradiction}, nil
+	}
+	impossible, trace := d.refute(f)
+	if d.budget <= 0 {
+		return false, nil, ErrDeduceBudget
+	}
+	return impossible, trace, nil
+}
+
+type deducer struct {
+	events []model.Event
+	budget int
+}
+
+// preds is a forced-visibility matrix over a general DAG: preds[j] has bit i
+// set iff e_i -vis-> e_j is forced (any i, not only i < j in the given
+// order).
+type preds []uint64
+
+// seed installs session-order and read-evidence edges.
+func (d *deducer) seed() (preds, string) {
+	n := len(d.events)
+	f := make(preds, n)
+	perReplica := make(map[model.ReplicaID][]int)
+	for j, e := range d.events {
+		for _, i := range perReplica[e.Replica] {
+			f[j] |= 1 << uint(i)
+		}
+		perReplica[e.Replica] = append(perReplica[e.Replica], j)
+	}
+	for j, e := range d.events {
+		if !e.IsRead() {
+			continue
+		}
+		for _, v := range e.Rval.Values {
+			w, ok := d.writeOf(e.Object, v)
+			if !ok {
+				return nil, fmt.Sprintf("read [%d]=%s returns %q but no write of %s produces it", j, e, v, e.Object)
+			}
+			f[j] |= 1 << uint(w)
+		}
+	}
+	return f, ""
+}
+
+// closeForced computes the transitive closure; it reports a cycle by
+// returning the index of an event forced to precede itself, or -1.
+func (d *deducer) closeForced(f preds) int {
+	for changed := true; changed; {
+		changed = false
+		for j := range f {
+			old := f[j]
+			m := f[j]
+			for m != 0 {
+				i := bits.TrailingZeros64(m)
+				m &= m - 1
+				f[j] |= f[i]
+			}
+			if f[j] != old {
+				changed = true
+			}
+		}
+	}
+	for j := range f {
+		if f[j]&(1<<uint(j)) != 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// refute returns true when every way of satisfying the outstanding
+// domination obligations leads to contradiction.
+func (d *deducer) refute(f preds) (bool, []string) {
+	d.budget--
+	if d.budget <= 0 {
+		return false, nil
+	}
+	if c := d.closeForced(f); c >= 0 {
+		return true, []string{fmt.Sprintf("forced visibility cycle through [%d]=%s", c, d.events[c])}
+	}
+
+	for j, e := range d.events {
+		if !e.IsRead() {
+			continue
+		}
+		for i := range d.events {
+			if i == j || f[j]&(1<<uint(i)) == 0 {
+				continue
+			}
+			w := d.events[i]
+			if !w.IsWrite() || w.Object != e.Object {
+				continue
+			}
+			if e.Rval.Contains(w.Op.Arg) {
+				if k, dom := d.dominatedBy(f, j, i); dom {
+					return true, []string{fmt.Sprintf("read [%d]=%s returns %q yet its write [%d] is forced dominated by [%d], itself forced visible", j, e, w.Op.Arg, i, k)}
+				}
+				continue
+			}
+			// Stray visible write: absent from the response, so it must be
+			// dominated by a visible same-object write.
+			if len(e.Rval.Values) == 0 {
+				return true, []string{fmt.Sprintf("read [%d]=%s returns {} yet write [%d]=%s is forced visible", j, e, i, w)}
+			}
+			if _, dom := d.dominatedBy(f, j, i); dom {
+				continue
+			}
+			cands := d.dominatorCandidates(f, j, i)
+			if len(cands) == 0 {
+				return true, []string{fmt.Sprintf("write [%d]=%s is forced visible to read [%d]=%s, absent from its response, and has no cycle-free dominator", i, w, j, e)}
+			}
+			// Branch: in any complying execution SOME candidate must
+			// dominate; impossibility requires refuting each choice.
+			var traces []string
+			for _, k := range cands {
+				branch := make(preds, len(f))
+				copy(branch, f)
+				branch[k] |= 1 << uint(i) // w -vis-> w''
+				branch[j] |= 1 << uint(k) // w'' -vis-> r
+				ok, trace := d.refute(branch)
+				if !ok {
+					return false, nil
+				}
+				detail := "contradiction"
+				if len(trace) > 0 {
+					detail = trace[0]
+				}
+				traces = append(traces, fmt.Sprintf("if write [%d] dominated by [%d]: %s", i, k, detail))
+			}
+			return true, traces
+		}
+	}
+	return false, nil // no contradiction found: inconclusive
+}
+
+// dominatedBy reports whether write i is already forced-dominated at read j,
+// returning the dominating write.
+func (d *deducer) dominatedBy(f preds, j, i int) (int, bool) {
+	for k := range d.events {
+		if k == i || k == j {
+			continue
+		}
+		wk := d.events[k]
+		if wk.IsWrite() && wk.Object == d.events[j].Object && f[k]&(1<<uint(i)) != 0 && f[j]&(1<<uint(k)) != 0 {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// dominatorCandidates lists same-object writes k that could dominate write i
+// at read j without closing a forced cycle: the new edges i->k and k->j are
+// admissible iff there is no forced path k->i and no forced path j->k.
+func (d *deducer) dominatorCandidates(f preds, j, i int) []int {
+	var out []int
+	for k := range d.events {
+		if k == i || k == j {
+			continue
+		}
+		wk := d.events[k]
+		if !wk.IsWrite() || wk.Object != d.events[j].Object {
+			continue
+		}
+		if f[i]&(1<<uint(k)) != 0 { // forced k->i: edge i->k would cycle
+			continue
+		}
+		if f[k]&(1<<uint(j)) != 0 { // forced j->k: edge k->j would cycle
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// writeOf finds the unique write of obj producing value v.
+func (d *deducer) writeOf(obj model.ObjectID, v model.Value) (int, bool) {
+	for i, e := range d.events {
+		if e.IsWrite() && e.Object == obj && e.Op.Arg == v {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,161 @@
+package consistency
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func TestDeduceInconclusiveOnSatisfiable(t *testing.T) {
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(1, "x", model.Read(), model.ReadResponse([]model.Value{"a"})),
+	}
+	impossible, _, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impossible {
+		t.Fatal("refuted a satisfiable history")
+	}
+}
+
+func TestDeduceGhostValue(t *testing.T) {
+	events := []model.Event{
+		do(0, "x", model.Read(), model.ReadResponse([]model.Value{"ghost"})),
+	}
+	impossible, trace, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impossible || len(trace) == 0 {
+		t.Fatal("ghost value should be refuted with a trace")
+	}
+}
+
+func TestDeduceReadYourWrites(t *testing.T) {
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(0, "x", model.Read(), model.ReadResponse(nil)),
+	}
+	impossible, _, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impossible {
+		t.Fatal("blind read after local write should be refuted")
+	}
+}
+
+func TestDeduceCycleFromFutureRead(t *testing.T) {
+	// The read precedes the only write of the value in its own session: the
+	// required evidence edge closes a cycle.
+	events := []model.Event{
+		do(0, "x", model.Read(), model.ReadResponse([]model.Value{"a"})),
+		do(0, "x", model.Write("a"), model.OKResponse()),
+	}
+	impossible, _, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impossible {
+		t.Fatal("reading a future write should be refuted")
+	}
+}
+
+func TestDeduceMonotonicReads(t *testing.T) {
+	// Session r1 sees b (which causally follows a) and then only a:
+	// the second read is stale and unexplainable.
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(0, "x", model.Write("b"), model.OKResponse()),
+		do(1, "x", model.Read(), model.ReadResponse([]model.Value{"b"})),
+		do(1, "x", model.Read(), model.ReadResponse([]model.Value{"a"})),
+	}
+	impossible, _, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impossible {
+		t.Fatal("non-monotonic reads should be refuted")
+	}
+}
+
+func TestDeduceAllowsStaleButConsistentRead(t *testing.T) {
+	// Seeing only the older write is fine when the newer one need not be
+	// visible.
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(0, "x", model.Write("b"), model.OKResponse()),
+		do(1, "x", model.Read(), model.ReadResponse([]model.Value{"a"})),
+	}
+	impossible, _, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impossible {
+		t.Fatal("reading only the older write is consistent")
+	}
+}
+
+func TestDeduceBranchingOverDominators(t *testing.T) {
+	// Write a forced visible but hidden; TWO candidate dominators exist (b
+	// and c); both branches must be explored. Here both survive, so the
+	// result is inconclusive.
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(0, "m", model.Write("d"), model.OKResponse()),
+		do(1, "x", model.Write("b"), model.OKResponse()),
+		do(2, "x", model.Write("c"), model.OKResponse()),
+		do(3, "m", model.Read(), model.ReadResponse([]model.Value{"d"})),
+		do(3, "x", model.Read(), model.ReadResponse([]model.Value{"b", "c"})),
+	}
+	impossible, _, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impossible {
+		t.Fatal("a is dominated by b or c; history is satisfiable")
+	}
+}
+
+func TestDeduceRejectsNonMVRTypes(t *testing.T) {
+	events := []model.Event{do(0, "s", model.Add("e"), model.OKResponse())}
+	types := spec.Types{DefaultType: spec.TypeORSet}
+	if _, _, err := ProveNoCausalMVR(events, types); err == nil {
+		t.Fatal("expected type rejection")
+	}
+}
+
+func TestDeduceRejectsNonDoEvents(t *testing.T) {
+	if _, _, err := ProveNoCausalMVR([]model.Event{model.SendEvent(0, 1)}, mvr()); err == nil {
+		t.Fatal("expected rejection")
+	}
+}
+
+func TestDeduceRejectsOversizedHistory(t *testing.T) {
+	events := make([]model.Event, 65)
+	for i := range events {
+		events[i] = do(0, "x", model.Read(), model.ReadResponse(nil))
+	}
+	if _, _, err := ProveNoCausalMVR(events, mvr()); err == nil {
+		t.Fatal("expected size rejection")
+	}
+}
+
+func TestDeduceDominatedValueContradiction(t *testing.T) {
+	// The read returns a, but its session already saw b which dominates a.
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(0, "x", model.Write("b"), model.OKResponse()),
+		do(0, "x", model.Read(), model.ReadResponse([]model.Value{"a"})),
+	}
+	impossible, _, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impossible {
+		t.Fatal("session-dominated value should be refuted")
+	}
+}

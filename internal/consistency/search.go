@@ -1,0 +1,215 @@
+package consistency
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/abstract"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// The exhaustive complying-visibility search answers: given a concrete
+// client history (the do events a store produced, with their responses),
+// does ANY correct (and optionally causally consistent) abstract execution
+// comply with it? A "no" is a machine-checked proof that the store's
+// responses cannot be explained by the specification — the argument behind
+// Figure 2: the history produced by a store that totally orders concurrent
+// MVR writes admits no causally consistent MVR abstract execution, so
+// clients can infer the hidden concurrency.
+//
+// The search fixes H to the given global order (compliance only constrains
+// per-replica projections, and any complying A is equivalent to one whose H
+// follows the concrete order of a compliant interleaving) and enumerates,
+// event by event, every visibility predecessor set satisfying Definition 4,
+// downward-closure (for causal consistency), and specification correctness.
+
+// ErrSearchBudget is returned when the exhaustive search exceeds its node
+// budget without resolving.
+var ErrSearchBudget = errors.New("consistency: search budget exceeded")
+
+// ErrTooLarge is returned when the history has more events than the bitmask
+// search supports.
+var ErrTooLarge = errors.New("consistency: history too large for exhaustive search")
+
+// SearchOptions configures the exhaustive search.
+type SearchOptions struct {
+	// RequireCausal additionally demands transitive visibility.
+	RequireCausal bool
+	// MaxNodes bounds the number of candidate visibility sets explored
+	// (default 5e6).
+	MaxNodes int
+}
+
+type searcher struct {
+	events []model.Event
+	types  spec.Types
+	opts   SearchOptions
+	vis    []uint64 // vis[j] = bitmask of predecessors of event j
+	nodes  int
+	found  *abstract.Execution
+	count  int
+	all    bool // count all solutions instead of stopping at the first
+}
+
+// FindComplying searches for a correct (and, if requested, causally
+// consistent) abstract execution complying with the given do-event history.
+// It returns (nil, nil) when provably none exists.
+func FindComplying(events []model.Event, types spec.Types, opts SearchOptions) (*abstract.Execution, error) {
+	s, err := newSearcher(events, types, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.run(0); err != nil {
+		return nil, err
+	}
+	return s.found, nil
+}
+
+// CountComplying counts the complying abstract executions (distinct
+// visibility relations) of the history.
+func CountComplying(events []model.Event, types spec.Types, opts SearchOptions) (int, error) {
+	s, err := newSearcher(events, types, opts)
+	if err != nil {
+		return 0, err
+	}
+	s.all = true
+	if err := s.run(0); err != nil {
+		return 0, err
+	}
+	return s.count, nil
+}
+
+func newSearcher(events []model.Event, types spec.Types, opts SearchOptions) (*searcher, error) {
+	if len(events) > 24 {
+		return nil, fmt.Errorf("%w: %d events (max 24)", ErrTooLarge, len(events))
+	}
+	for _, e := range events {
+		if !e.IsDo() {
+			return nil, fmt.Errorf("consistency: history contains non-do event %s", e)
+		}
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 5_000_000
+	}
+	return &searcher{events: events, types: types, opts: opts, vis: make([]uint64, len(events))}, nil
+}
+
+func (s *searcher) run(j int) error {
+	if j == len(s.events) {
+		s.count++
+		if s.found == nil {
+			s.found = s.materialize()
+		}
+		return nil
+	}
+	forced, all := s.bounds(j)
+	free := all &^ forced
+
+	// Enumerate every subset of the free predecessors, from the forced set
+	// upward, using the standard submask walk.
+	sub := free
+	for {
+		mask := forced | (free &^ sub)
+		s.nodes++
+		if s.nodes > s.opts.MaxNodes {
+			return ErrSearchBudget
+		}
+		if s.admissible(j, mask) {
+			s.vis[j] = mask
+			if err := s.run(j + 1); err != nil {
+				return err
+			}
+			if s.found != nil && !s.all {
+				return nil
+			}
+		}
+		if sub == 0 {
+			break
+		}
+		sub = (sub - 1) & free
+	}
+	return nil
+}
+
+// bounds returns the forced predecessor mask (session order plus session
+// closure, Definition 4 conditions (1) and (2)) and the mask of all prior
+// events.
+func (s *searcher) bounds(j int) (forced, all uint64) {
+	r := s.events[j].Replica
+	for i := 0; i < j; i++ {
+		all |= 1 << uint(i)
+		if s.events[i].Replica == r {
+			forced |= 1 << uint(i) // condition (1)
+			forced |= s.vis[i]     // condition (2)
+		}
+	}
+	return forced, all
+}
+
+// admissible checks downward-closure (when causal consistency is required)
+// and specification correctness of event j's recorded response under
+// predecessor set mask.
+func (s *searcher) admissible(j int, mask uint64) bool {
+	if s.opts.RequireCausal {
+		m := mask
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &= m - 1
+			if s.vis[i]&^mask != 0 {
+				return false
+			}
+		}
+	}
+	e := s.events[j]
+	sp := s.types.SpecOf(e.Object)
+	if !sp.Allows(e.Op.Kind) {
+		return false
+	}
+	want := s.evalWith(j, mask, sp)
+	return e.Rval.Equal(want)
+}
+
+// evalWith evaluates the specification of event j against the candidate
+// predecessor set, building the operation context directly from the masks.
+func (s *searcher) evalWith(j int, mask uint64, sp spec.Spec) model.Response {
+	var idx []int
+	for i := 0; i < j; i++ {
+		if mask&(1<<uint(i)) != 0 && s.events[i].Object == s.events[j].Object {
+			idx = append(idx, i)
+		}
+	}
+	ctxEvents := make([]model.Event, 0, len(idx)+1)
+	for _, i := range idx {
+		ctxEvents = append(ctxEvents, s.events[i])
+	}
+	ctxEvents = append(ctxEvents, s.events[j])
+	ctx := abstract.NewContext(ctxEvents, func(p, q int) bool {
+		if q == len(idx) {
+			return p < len(idx) // everything in the context is visible to the target
+		}
+		if p >= len(idx) || q >= len(idx) {
+			return false
+		}
+		return s.vis[idx[q]]&(1<<uint(idx[p])) != 0
+	})
+	return sp.Eval(ctx)
+}
+
+// materialize converts the current assignment into an abstract.Execution.
+func (s *searcher) materialize() *abstract.Execution {
+	a := abstract.New()
+	for _, e := range s.events {
+		a.Append(e)
+	}
+	for j := range s.events {
+		m := s.vis[j]
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &= m - 1
+			a.AddVis(i, j)
+		}
+	}
+	return a
+}

@@ -1,0 +1,212 @@
+package consistency
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func do(r model.ReplicaID, obj model.ObjectID, op model.Operation, rval model.Response) model.Event {
+	return model.DoEvent(r, obj, op, rval)
+}
+
+func TestFindComplyingTrivialHistory(t *testing.T) {
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(0, "x", model.Read(), model.ReadResponse([]model.Value{"a"})),
+	}
+	a, err := FindComplying(events, mvr(), SearchOptions{RequireCausal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil {
+		t.Fatal("expected a complying execution")
+	}
+	if err := CheckCausal(a, mvr()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindComplyingRequiresVisibleWrite(t *testing.T) {
+	// A read returning a value with no corresponding write has no
+	// explanation.
+	events := []model.Event{
+		do(0, "x", model.Read(), model.ReadResponse([]model.Value{"ghost"})),
+	}
+	a, err := FindComplying(events, mvr(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != nil {
+		t.Fatal("ghost value should be unexplainable")
+	}
+}
+
+func TestFindComplyingSessionGuarantee(t *testing.T) {
+	// Read-your-writes is forced by session order: a blind read after a
+	// local write is unexplainable.
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(0, "x", model.Read(), model.ReadResponse(nil)),
+	}
+	a, err := FindComplying(events, mvr(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != nil {
+		t.Fatal("session order makes the blind read impossible")
+	}
+}
+
+func TestFindComplyingConcurrentExposure(t *testing.T) {
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(1, "x", model.Write("b"), model.OKResponse()),
+		do(2, "x", model.Read(), model.ReadResponse([]model.Value{"a", "b"})),
+	}
+	a, err := FindComplying(events, mvr(), SearchOptions{RequireCausal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil {
+		t.Fatal("exposed concurrency should be explainable")
+	}
+	if a.Vis(0, 1) || a.Vis(1, 0) {
+		t.Fatal("explanation must keep the writes concurrent")
+	}
+}
+
+func TestFindComplyingHiddenConcurrencySingleObject(t *testing.T) {
+	// With a single object, hiding works: {b} alone is explainable by
+	// pretending a -vis-> b (the Perrin et al. §3.4 observation).
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(1, "x", model.Write("b"), model.OKResponse()),
+		do(2, "x", model.Read(), model.ReadResponse([]model.Value{"b"})),
+	}
+	a, err := FindComplying(events, mvr(), SearchOptions{RequireCausal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil {
+		t.Fatal("single-object hiding should be explainable")
+	}
+	if err := CheckCausal(a, mvr()); err != nil {
+		t.Fatal(err)
+	}
+	// Two classes of explanation exist: "a never reached the read" and "the
+	// store pretends a -vis-> b"; both are counted.
+	n, err := CountComplying(events, mvr(), SearchOptions{RequireCausal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("expected at least two explanations, got %d", n)
+	}
+}
+
+func TestCountComplyingCountsDistinctVis(t *testing.T) {
+	events := []model.Event{
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(1, "y", model.Read(), model.ReadResponse(nil)),
+	}
+	// The write may or may not be visible to the cross-object read: exactly
+	// two complying causal visibility relations.
+	n, err := CountComplying(events, mvr(), SearchOptions{RequireCausal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+}
+
+func TestSearchRejectsOversizedHistory(t *testing.T) {
+	events := make([]model.Event, 25)
+	for i := range events {
+		events[i] = do(0, "x", model.Write(model.Value(rune('a'+i))), model.OKResponse())
+	}
+	_, err := FindComplying(events, mvr(), SearchOptions{})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSearchRejectsNonDoEvents(t *testing.T) {
+	_, err := FindComplying([]model.Event{model.SendEvent(0, 1)}, mvr(), SearchOptions{})
+	if err == nil {
+		t.Fatal("expected rejection")
+	}
+}
+
+func TestSearchBudgetExhaustion(t *testing.T) {
+	events := []model.Event{
+		do(0, "a", model.Write("1"), model.OKResponse()),
+		do(1, "b", model.Write("2"), model.OKResponse()),
+		do(2, "c", model.Write("3"), model.OKResponse()),
+		do(3, "d", model.Write("4"), model.OKResponse()),
+		do(4, "e", model.Write("5"), model.OKResponse()),
+		do(5, "f", model.Write("6"), model.OKResponse()),
+	}
+	_, err := CountComplying(events, mvr(), SearchOptions{MaxNodes: 3})
+	if !errors.Is(err, ErrSearchBudget) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSearchAgreesWithDeducerOnImpossibility(t *testing.T) {
+	// A small hiding history both engines must reject: marker m forces a
+	// into the read's past.
+	events := []model.Event{
+		do(0, "u", model.Write("c"), model.OKResponse()),                 // 0: witness past of a
+		do(0, "x", model.Write("a"), model.OKResponse()),                 // 1
+		do(0, "m", model.Write("d"), model.OKResponse()),                 // 2: marker after a
+		do(1, "x", model.Write("b"), model.OKResponse()),                 // 3
+		do(1, "u", model.Read(), model.ReadResponse(nil)),                // 4: blind to u
+		do(2, "m", model.Read(), model.ReadResponse([]model.Value{"d"})), // 5
+		do(2, "x", model.Read(), model.ReadResponse([]model.Value{"b"})), // 6: hides a
+	}
+	a, err := FindComplying(events, mvr(), SearchOptions{RequireCausal: true, MaxNodes: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != nil {
+		t.Fatalf("search found a complying execution:\n%s", a)
+	}
+	impossible, _, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !impossible {
+		t.Fatal("deducer failed to refute")
+	}
+}
+
+func TestSearchAgreesWithDeducerOnPossibility(t *testing.T) {
+	events := []model.Event{
+		do(0, "u", model.Write("c"), model.OKResponse()),
+		do(0, "x", model.Write("a"), model.OKResponse()),
+		do(0, "m", model.Write("d"), model.OKResponse()),
+		do(1, "x", model.Write("b"), model.OKResponse()),
+		do(2, "m", model.Read(), model.ReadResponse([]model.Value{"d"})),
+		do(2, "x", model.Read(), model.ReadResponse([]model.Value{"a", "b"})), // exposes
+	}
+	a, err := FindComplying(events, mvr(), SearchOptions{RequireCausal: true, MaxNodes: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil {
+		t.Fatal("search should find a complying execution")
+	}
+	if err := CheckCausal(a, mvr()); err != nil {
+		t.Fatal(err)
+	}
+	impossible, _, err := ProveNoCausalMVR(events, mvr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impossible {
+		t.Fatal("deducer refuted a satisfiable history")
+	}
+}

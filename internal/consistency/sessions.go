@@ -1,0 +1,159 @@
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/abstract"
+	"repro/internal/model"
+)
+
+// Session guarantees (Terry et al.), phrased over abstract executions. They
+// are the classical decomposition of causal consistency: an abstract
+// execution is causally consistent iff it is correct with transitive
+// visibility, and transitive visibility implies all four session guarantees
+// below (the converse does not hold — the guarantees are each strictly
+// weaker). The checkers give fine-grained diagnostics when a store run
+// fails the full causal check, and witness the "strictly weaker" half on
+// samples.
+//
+// Terminology on (H, vis): a write is any mutator; "session" is the
+// per-replica order of H.
+
+// CheckReadYourWrites verifies that every operation sees all earlier
+// mutators of its own session (a consequence of Definition 4's session
+// order, but checked independently so broken relations are diagnosed
+// precisely).
+func CheckReadYourWrites(a *abstract.Execution) error {
+	return checkSessionRule(a, func(i, j int) (bool, string) {
+		if a.H[i].IsWrite() && a.H[i].Replica == a.H[j].Replica && !a.Vis(i, j) {
+			return false, "read-your-writes"
+		}
+		return true, ""
+	})
+}
+
+// CheckMonotonicReads verifies that visibility never shrinks along a
+// session: every event visible to an operation is visible to all later
+// operations of the same session (Definition 4 condition (2)).
+func CheckMonotonicReads(a *abstract.Execution) error {
+	for j := range a.H {
+		for k := j + 1; k < a.Len(); k++ {
+			if a.H[j].Replica != a.H[k].Replica {
+				continue
+			}
+			for i := 0; i < j; i++ {
+				if a.Vis(i, j) && !a.Vis(i, k) {
+					return fmt.Errorf("consistency: monotonic reads violated: H[%d] visible to H[%d] but not to later H[%d] at r%d",
+						i, j, k, a.H[j].Replica)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWritesFollowReads verifies that anything visible to a session before
+// one of its writes is visible wherever that write is visible: if e -vis-> w
+// precedes w in w's session... more precisely, for any w at session S and
+// any e visible to an earlier operation of S, every event that sees w also
+// sees e. This is the session-guarantee fragment of transitivity.
+func CheckWritesFollowReads(a *abstract.Execution) error {
+	for w := range a.H {
+		if !a.H[w].IsWrite() {
+			continue
+		}
+		// Events visible to w (which, by session order + condition (2),
+		// includes everything visible to earlier same-session operations).
+		for i := 0; i < w; i++ {
+			if !a.Vis(i, w) {
+				continue
+			}
+			for k := w + 1; k < a.Len(); k++ {
+				if a.Vis(w, k) && !a.Vis(i, k) {
+					return fmt.Errorf("consistency: writes-follow-reads violated: H[%d] visible to write H[%d], H[%d] sees the write but not H[%d]",
+						i, w, k, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckMonotonicWrites verifies that a session's writes are observed in
+// session order: if a later write of a session is visible to an event, so
+// are all of the session's earlier writes.
+func CheckMonotonicWrites(a *abstract.Execution) error {
+	for w2 := range a.H {
+		if !a.H[w2].IsWrite() {
+			continue
+		}
+		for w1 := 0; w1 < w2; w1++ {
+			if !a.H[w1].IsWrite() || a.H[w1].Replica != a.H[w2].Replica {
+				continue
+			}
+			for k := w2 + 1; k < a.Len(); k++ {
+				if a.Vis(w2, k) && !a.Vis(w1, k) {
+					return fmt.Errorf("consistency: monotonic writes violated: H[%d] sees write H[%d] but not earlier same-session write H[%d]",
+						k, w2, w1)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SessionVerdict aggregates the four session guarantees.
+type SessionVerdict struct {
+	ReadYourWrites    error
+	MonotonicReads    error
+	WritesFollowReads error
+	MonotonicWrites   error
+}
+
+// OK reports whether all four guarantees hold.
+func (v SessionVerdict) OK() bool {
+	return v.ReadYourWrites == nil && v.MonotonicReads == nil &&
+		v.WritesFollowReads == nil && v.MonotonicWrites == nil
+}
+
+// CheckSessionGuarantees evaluates all four guarantees.
+func CheckSessionGuarantees(a *abstract.Execution) SessionVerdict {
+	return SessionVerdict{
+		ReadYourWrites:    CheckReadYourWrites(a),
+		MonotonicReads:    CheckMonotonicReads(a),
+		WritesFollowReads: CheckWritesFollowReads(a),
+		MonotonicWrites:   CheckMonotonicWrites(a),
+	}
+}
+
+// checkSessionRule applies a per-pair session predicate over same-session
+// ordered pairs (i before j).
+func checkSessionRule(a *abstract.Execution, rule func(i, j int) (bool, string)) error {
+	perReplica := make(map[model.ReplicaID][]int)
+	for j, e := range a.H {
+		for _, i := range perReplica[e.Replica] {
+			if ok, name := rule(i, j); !ok {
+				return fmt.Errorf("consistency: %s violated between H[%d] and H[%d] at r%d", name, i, j, e.Replica)
+			}
+		}
+		perReplica[e.Replica] = append(perReplica[e.Replica], j)
+	}
+	return nil
+}
+
+// NaturallyOrdered checks the natural causal consistency requirement of the
+// CAC theorem (§5.3 comparison): the abstract execution's H must follow the
+// given real-time order of the do events exactly — not merely per replica.
+// realTime maps H indices to real-time positions (e.g. global do-event
+// sequence numbers of the recorded run).
+func NaturallyOrdered(a *abstract.Execution, realTime []int) error {
+	if len(realTime) != a.Len() {
+		return fmt.Errorf("consistency: real-time order has %d entries for %d events", len(realTime), a.Len())
+	}
+	for j := 1; j < a.Len(); j++ {
+		if realTime[j] < realTime[j-1] {
+			return fmt.Errorf("consistency: H[%d] and H[%d] violate real-time order (natural causal consistency)", j-1, j)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package consistency
+
+import (
+	"testing"
+
+	"repro/internal/abstract"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+func TestSessionGuaranteesHoldOnCausalExecutions(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		a := gen.RandomCausal(gen.Config{Seed: seed, Events: 25})
+		v := CheckSessionGuarantees(a)
+		if !v.OK() {
+			t.Fatalf("seed %d: %+v", seed, v)
+		}
+	}
+}
+
+func TestReadYourWritesViolation(t *testing.T) {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(0, "x", model.Read(), model.ReadResponse(nil))) // no session edge
+	if err := CheckReadYourWrites(a); err == nil {
+		t.Fatal("expected read-your-writes violation")
+	}
+}
+
+func TestMonotonicReadsViolation(t *testing.T) {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "x", model.Read(), model.ReadResponse([]model.Value{"a"})))
+	a.Append(model.DoEvent(1, "x", model.Read(), model.ReadResponse(nil)))
+	a.AddVis(0, 1) // visible to the first read
+	a.AddVis(1, 2) // session
+	// 0 not visible to 2: visibility shrank.
+	if err := CheckMonotonicReads(a); err == nil {
+		t.Fatal("expected monotonic reads violation")
+	}
+}
+
+func TestWritesFollowReadsViolation(t *testing.T) {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))                 // 0
+	a.Append(model.DoEvent(1, "y", model.Write("b"), model.OKResponse()))                 // 1: saw a
+	a.Append(model.DoEvent(2, "y", model.Read(), model.ReadResponse([]model.Value{"b"}))) // 2: sees b, not a
+	a.AddVis(0, 1)
+	a.AddVis(1, 2)
+	if err := CheckWritesFollowReads(a); err == nil {
+		t.Fatal("expected writes-follow-reads violation")
+	}
+}
+
+func TestMonotonicWritesViolation(t *testing.T) {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))                 // 0
+	a.Append(model.DoEvent(0, "y", model.Write("b"), model.OKResponse()))                 // 1: same session
+	a.Append(model.DoEvent(1, "y", model.Read(), model.ReadResponse([]model.Value{"b"}))) // sees b, not a
+	a.AddVis(0, 1)                                                                        // session
+	a.AddVis(1, 2)
+	if err := CheckMonotonicWrites(a); err == nil {
+		t.Fatal("expected monotonic writes violation")
+	}
+}
+
+func TestSessionGuaranteesWeakerThanCausal(t *testing.T) {
+	// All four guarantees hold, yet visibility is not transitive across
+	// sessions: causal consistency is strictly stronger than their
+	// conjunction. Chain: w_a@r0 -vis-> r_b@r1 ... use reads as the middle
+	// link, which no session guarantee constrains forward.
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))                 // 0
+	a.Append(model.DoEvent(1, "x", model.Read(), model.ReadResponse([]model.Value{"a"}))) // 1: sees a
+	a.Append(model.DoEvent(2, "z", model.Read(), model.ReadResponse(nil)))                // 2: sees read 1, not a
+	a.AddVis(0, 1)
+	a.AddVis(1, 2) // a read visible cross-session without its past
+	if a.IsTransitive() {
+		t.Fatal("test construction should be intransitive")
+	}
+	v := CheckSessionGuarantees(a)
+	if !v.OK() {
+		t.Fatalf("session guarantees should hold: %+v", v)
+	}
+}
+
+func TestNaturallyOrdered(t *testing.T) {
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "x", model.Write("a"), model.OKResponse()))
+	a.Append(model.DoEvent(1, "x", model.Read(), model.ReadResponse(nil)))
+	if err := NaturallyOrdered(a, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := NaturallyOrdered(a, []int{1, 0}); err == nil {
+		t.Fatal("expected real-time order violation")
+	}
+	if err := NaturallyOrdered(a, []int{0}); err == nil {
+		t.Fatal("expected length mismatch")
+	}
+}

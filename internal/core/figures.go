@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/abstract"
+	"repro/internal/consistency"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// This file realizes the paper's motivating figures as executable scenarios.
+//
+// Figure 2: with multiple objects, causal consistency and eventual
+// consistency let clients INFER concurrency of writes even when the store
+// orders them. We run one fixed schedule against a store; if the store hides
+// concurrency (returns a single winner for concurrent MVR writes), the
+// resulting client history admits NO causally consistent MVR abstract
+// execution — proved by the deductive engine — whereas the exposing causal
+// store's history on the same schedule complies with its derived abstract
+// execution.
+//
+// Figure 3: the OCC definition's motivation, as three checkable abstract
+// executions: (a) hiding a concurrent write is harmless in isolation, (b)
+// hiding can be repaired by further pretend-ordering when a concurrent
+// same-object write ŵ exists, and (c) the witness pattern of Definition 18
+// makes hiding impossible, so the read must return both writes.
+
+// Figure2Schedule drives the fixed Figure 2 schedule against st and returns
+// the cluster (for derived-abstract analysis) and the client history.
+//
+// Replicas 0 and 1 concurrently write the MVR x (a1 and a2) while
+// interleaving writes to their private MVRs u0 and u1; each then performs a
+// read of the peer's private object while still partitioned (necessarily
+// returning {}). Replica 2 receives both broadcasts and reads u0, u1, and x.
+// The second write to u0 (value d0) happens after a1, so observing d0 at
+// replica 2 drags a1 into the causal past of replica 2's x read; likewise d1
+// drags a2. A store that returns a single value for x at replica 2 is
+// forced into the contradiction of Figure 2.
+func Figure2Schedule(st store.Store) (*sim.Cluster, []model.Event) {
+	c := sim.NewCluster(st, 3, 1)
+	const (
+		u0 = model.ObjectID("u0")
+		u1 = model.ObjectID("u1")
+		x  = model.ObjectID("x")
+	)
+	c.Do(0, u0, model.Write("c0"))
+	c.Do(0, x, model.Write("a1"))
+	c.Do(0, u0, model.Write("d0"))
+	c.Do(0, u1, model.Read()) // blind: nothing received yet
+
+	c.Do(1, u1, model.Write("c1"))
+	c.Do(1, x, model.Write("a2"))
+	c.Do(1, u1, model.Write("d1"))
+	c.Do(1, u0, model.Read()) // blind
+
+	c.Send(0)
+	c.Send(1)
+	c.DeliverFrom(2, 0)
+	c.DeliverFrom(2, 1)
+
+	c.Do(2, u0, model.Read())
+	c.Do(2, u1, model.Read())
+	c.Do(2, x, model.Read())
+
+	return c, c.Execution().DoEvents()
+}
+
+// Figure2Report is the outcome of the Figure 2 experiment for one store.
+type Figure2Report struct {
+	StoreName string
+	// XRead is replica 2's response to the final read of x.
+	XRead model.Response
+	// HidingImpossible is true when the deductive prover showed the history
+	// admits no causally consistent MVR abstract execution.
+	HidingImpossible bool
+	// Trace is the prover's contradiction trace (when HidingImpossible).
+	Trace []string
+	// DerivedCausal is nil when the store's own derived abstract execution
+	// is causally consistent and correct (the exposing store's case).
+	DerivedCausal error
+}
+
+// RunFigure2 executes the Figure 2 experiment against st.
+func RunFigure2(st store.Store) (*Figure2Report, error) {
+	c, history := Figure2Schedule(st)
+	rep := &Figure2Report{StoreName: st.Name()}
+	for i := len(history) - 1; i >= 0; i-- {
+		if history[i].Object == "x" && history[i].IsRead() {
+			rep.XRead = history[i].Rval
+			break
+		}
+	}
+	impossible, trace, err := consistency.ProveNoCausalMVR(history, st.Types())
+	if err != nil {
+		return nil, fmt.Errorf("core: figure 2 prover: %w", err)
+	}
+	rep.HidingImpossible = impossible
+	rep.Trace = trace
+	rep.DerivedCausal = consistency.CheckCausal(c.DerivedAbstract(), st.Types())
+	return rep, nil
+}
+
+// Figure3Case is one of the three Figure 3 abstract executions with its
+// checker verdicts.
+type Figure3Case struct {
+	Name        string
+	Description string
+	A           *abstract.Execution
+	Causal      error
+	OCC         error
+	// HidingImpossible applies to case (c): whether returning a single
+	// value is provably inconsistent.
+	HidingImpossible bool
+}
+
+// BuildFigure3 constructs the three Figure 3 scenarios.
+func BuildFigure3() ([]Figure3Case, error) {
+	types := spec.MVRTypes()
+	var cases []Figure3Case
+
+	// (a) Two concurrent writes to x; the read returns only w1. The store
+	// pretends w0 -vis-> w1; the resulting abstract execution is correct and
+	// causal, so with no witnesses hiding succeeds.
+	a := abstract.New()
+	w0 := a.Append(model.Event{Replica: 0, Act: model.ActDo, Object: "x", Op: model.Write("w0"), Rval: model.OKResponse()})
+	w1 := a.Append(model.Event{Replica: 1, Act: model.ActDo, Object: "x", Op: model.Write("w1"), Rval: model.OKResponse()})
+	r := a.Append(model.Event{Replica: 2, Act: model.ActDo, Object: "x", Op: model.Read(), Rval: model.ReadResponse([]model.Value{"w1"})})
+	a.AddVis(w0, w1) // the pretend edge
+	a.AddVis(w0, r)
+	a.AddVis(w1, r)
+	cases = append(cases, Figure3Case{
+		Name:        "3a",
+		Description: "hiding w0 by pretending w0-vis->w1: correct and causal",
+		A:           a,
+		Causal:      consistency.CheckCausal(a, types),
+		OCC:         consistency.CheckOCC(a, types),
+	})
+
+	// (b) A witness w'1 (object y, before w0 at replica 0) now rides along:
+	// pretending w0 -vis-> w1 forces w'1 -vis-> w1 by transitivity, and so
+	// w'1 visible to replica 1's later read of y. The store stays correct by
+	// pretending w'1 -vis-> ŵ, where ŵ is replica 1's own concurrent write
+	// to y — more pretending, still causal.
+	b := abstract.New()
+	wp1 := b.Append(model.Event{Replica: 0, Act: model.ActDo, Object: "y", Op: model.Write("w'1"), Rval: model.OKResponse()})
+	w0b := b.Append(model.Event{Replica: 0, Act: model.ActDo, Object: "x", Op: model.Write("w0"), Rval: model.OKResponse()})
+	what := b.Append(model.Event{Replica: 1, Act: model.ActDo, Object: "y", Op: model.Write("ŵ"), Rval: model.OKResponse()})
+	w1b := b.Append(model.Event{Replica: 1, Act: model.ActDo, Object: "x", Op: model.Write("w1"), Rval: model.OKResponse()})
+	rp := b.Append(model.Event{Replica: 1, Act: model.ActDo, Object: "y", Op: model.Read(), Rval: model.ReadResponse([]model.Value{"ŵ"})})
+	rb := b.Append(model.Event{Replica: 2, Act: model.ActDo, Object: "x", Op: model.Read(), Rval: model.ReadResponse([]model.Value{"w1"})})
+	b.AddVis(wp1, w0b)  // session
+	b.AddVis(what, w1b) // session
+	b.AddVis(what, rp)  // session
+	b.AddVis(w1b, rp)   // session
+	b.AddVis(w0b, w1b)  // pretend w0 -vis-> w1
+	b.AddVis(wp1, w1b)  // forced by transitivity
+	b.AddVis(wp1, what) // pretend w'1 -vis-> ŵ (the repair)
+	b.AddVis(wp1, rp)
+	b.AddVis(w0b, rp)
+	b.AddVis(w0b, rb)
+	b.AddVis(w1b, rb)
+	b.AddVis(wp1, rb)
+	b.AddVis(what, rb) // transitivity through w1
+	cases = append(cases, Figure3Case{
+		Name:        "3b",
+		Description: "witness w'1 repaired by pretending w'1-vis->ŵ: still correct and causal",
+		A:           b,
+		Causal:      consistency.CheckCausal(b, types),
+		OCC:         consistency.CheckOCC(b, types),
+	})
+
+	// (c) The full Definition 18 witness pattern: y0 and y1 witness writes
+	// with no concurrent same-object writes to hide behind. Exposing both
+	// values is OCC; returning a single value is provably impossible.
+	cExec := abstract.New()
+	cwp1 := cExec.Append(model.Event{Replica: 0, Act: model.ActDo, Object: "y1", Op: model.Write("b1"), Rval: model.OKResponse()})
+	cw0 := cExec.Append(model.Event{Replica: 0, Act: model.ActDo, Object: "x", Op: model.Write("w0"), Rval: model.OKResponse()})
+	cwp0 := cExec.Append(model.Event{Replica: 1, Act: model.ActDo, Object: "y0", Op: model.Write("b0"), Rval: model.OKResponse()})
+	cw1 := cExec.Append(model.Event{Replica: 1, Act: model.ActDo, Object: "x", Op: model.Write("w1"), Rval: model.OKResponse()})
+	cr := cExec.Append(model.Event{Replica: 2, Act: model.ActDo, Object: "x", Op: model.Read(), Rval: model.ReadResponse([]model.Value{"w0", "w1"})})
+	cExec.AddVis(cwp1, cw0) // session: w'1 visible to w0
+	cExec.AddVis(cwp0, cw1) // session: w'0 visible to w1
+	cExec.AddVis(cw0, cr)
+	cExec.AddVis(cw1, cr)
+	cExec.AddVis(cwp1, cr)
+	cExec.AddVis(cwp0, cr)
+	occCase := Figure3Case{
+		Name:        "3c",
+		Description: "Definition 18 witnesses force the read to return {w0,w1}",
+		A:           cExec,
+		Causal:      consistency.CheckCausal(cExec, types),
+		OCC:         consistency.CheckOCC(cExec, types),
+	}
+
+	// The hiding variant of (c): same client history with the read's
+	// response collapsed to {w1}, plus the observations that pin the
+	// witnesses to the reader (reads of y0 and y1 returning the witness
+	// values, and the writers' blind reads of each other's witness objects).
+	hideHistory := []model.Event{
+		{Replica: 0, Act: model.ActDo, Object: "y1", Op: model.Write("b1"), Rval: model.OKResponse()},
+		{Replica: 0, Act: model.ActDo, Object: "x", Op: model.Write("w0"), Rval: model.OKResponse()},
+		{Replica: 0, Act: model.ActDo, Object: "y1", Op: model.Write("b1'"), Rval: model.OKResponse()},
+		{Replica: 0, Act: model.ActDo, Object: "y0", Op: model.Read(), Rval: model.ReadResponse(nil)},
+		{Replica: 1, Act: model.ActDo, Object: "y0", Op: model.Write("b0"), Rval: model.OKResponse()},
+		{Replica: 1, Act: model.ActDo, Object: "x", Op: model.Write("w1"), Rval: model.OKResponse()},
+		{Replica: 1, Act: model.ActDo, Object: "y0", Op: model.Write("b0'"), Rval: model.OKResponse()},
+		{Replica: 1, Act: model.ActDo, Object: "y1", Op: model.Read(), Rval: model.ReadResponse(nil)},
+		{Replica: 2, Act: model.ActDo, Object: "y1", Op: model.Read(), Rval: model.ReadResponse([]model.Value{"b1'"})},
+		{Replica: 2, Act: model.ActDo, Object: "y0", Op: model.Read(), Rval: model.ReadResponse([]model.Value{"b0'"})},
+		{Replica: 2, Act: model.ActDo, Object: "x", Op: model.Read(), Rval: model.ReadResponse([]model.Value{"w1"})},
+	}
+	impossible, _, err := consistency.ProveNoCausalMVR(hideHistory, spec.MVRTypes())
+	if err != nil {
+		return nil, fmt.Errorf("core: figure 3c prover: %w", err)
+	}
+	occCase.HidingImpossible = impossible
+	cases = append(cases, occCase)
+	return cases, nil
+}
+
+// Section53Report is the outcome of the §5.3 experiment on the K-buffer
+// store.
+type Section53Report struct {
+	StoreName string
+	// InvisibleReadViolations counts Definition 16 violations observed — the
+	// K-buffer store violates by design; the causal store must not.
+	InvisibleReadViolations int
+	// ImmediateRead is the peer's read response right after one message
+	// delivery: non-empty for invisible-reads stores, empty for K-buffer.
+	ImmediateRead model.Response
+	// ExposedAfterKReads is the response after K further reads — eventual
+	// consistency is retained.
+	ExposedAfterKReads model.Response
+}
+
+// RunSection53 demonstrates that dropping invisible reads lets a store avoid
+// causally consistent executions that every invisible-reads store admits:
+// replica 0 writes x and broadcasts; replica 1 receives the message and
+// immediately reads x.
+func RunSection53(st store.Store, k int) *Section53Report {
+	c := sim.NewCluster(st, 2, 1)
+	const x = model.ObjectID("x")
+	c.Do(0, x, model.Write("a"))
+	c.Send(0)
+	c.DeliverOne(1)
+	rep := &Section53Report{StoreName: st.Name()}
+	rep.ImmediateRead = c.Do(1, x, model.Read())
+	for i := 0; i < k; i++ {
+		rep.ExposedAfterKReads = c.Do(1, x, model.Read())
+	}
+	rep.InvisibleReadViolations = 0
+	for _, v := range c.PropertyViolations() {
+		if v.Property == "invisible reads" {
+			rep.InvisibleReadViolations++
+		}
+	}
+	return rep
+}

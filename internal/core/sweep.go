@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// SweepPoint is one measured row of the Theorem 12 message-size sweep.
+type SweepPoint struct {
+	N, S, K   int
+	NPrime    int
+	MgBits    int
+	BoundBits int
+	// BitsPerCoordinate is MgBits / NPrime, exposing the per-writer lg k
+	// growth.
+	BitsPerCoordinate float64
+	DecodeOK          bool
+}
+
+// SweepK measures |m_g| for growing k at fixed n and s, exhibiting the lg k
+// growth of Theorem 12.
+func SweepK(st func() store.Store, n, s int, ks []int, seed int64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ks))
+	for _, k := range ks {
+		res, err := RunMessageLowerBound(st(), LowerBoundConfig{N: n, S: s, K: k, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep k=%d: %w", k, err)
+		}
+		out = append(out, point(res))
+	}
+	return out, nil
+}
+
+// SweepN measures |m_g| for growing n at fixed s and k, exhibiting the
+// min{n−2, s−1} factor: growth is linear in n until n−2 crosses s−1, then
+// flat in the bound while the dense-clock implementation keeps paying O(n)
+// (the §6 gap between the Ω(min{n,s}·lg k) bound and the O(n·k)-style
+// vector-clock upper bound).
+func SweepN(st func() store.Store, ns []int, s, k int, seed int64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ns))
+	for _, n := range ns {
+		res, err := RunMessageLowerBound(st(), LowerBoundConfig{N: n, S: s, K: k, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep n=%d: %w", n, err)
+		}
+		out = append(out, point(res))
+	}
+	return out, nil
+}
+
+// SweepS measures |m_g| for growing s at fixed n and k.
+func SweepS(st func() store.Store, n int, ss []int, k int, seed int64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ss))
+	for _, s := range ss {
+		res, err := RunMessageLowerBound(st(), LowerBoundConfig{N: n, S: s, K: k, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep s=%d: %w", s, err)
+		}
+		out = append(out, point(res))
+	}
+	return out, nil
+}
+
+func point(res *LowerBoundResult) SweepPoint {
+	p := SweepPoint{
+		N: res.N, S: res.S, K: res.K, NPrime: res.NPrime,
+		MgBits: res.MgBits, BoundBits: res.BoundBits, DecodeOK: res.DecodeOK,
+	}
+	if res.NPrime > 0 {
+		p.BitsPerCoordinate = float64(res.MgBits) / float64(res.NPrime)
+	}
+	return p
+}

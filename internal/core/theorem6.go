@@ -1,0 +1,155 @@
+// Package core implements the paper's primary contribution as executable
+// algorithms: the revealing-execution transformation (§5.2.1), the recursive
+// construction of a concrete execution complying with any observably
+// causally consistent abstract execution (§5.2.2, the heart of Theorem 6),
+// its machine-checked compliance verification (§5.2.3), and the Theorem 12
+// message-size lower-bound construction with its decoder (Figure 4).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/abstract"
+	"repro/internal/execution"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// Mismatch records one compliance failure of the Theorem 6 construction: a
+// do event whose constructed response differs from the abstract execution's.
+type Mismatch struct {
+	// Index is the event's position in H.
+	Index int
+	// Event is the abstract event e, carrying the expected rval(e).
+	Event model.Event
+	// Got is rval(ê), the response the live store produced.
+	Got model.Response
+}
+
+// String renders the mismatch.
+func (m Mismatch) String() string {
+	return fmt.Sprintf("H[%d] = %s: store returned %s", m.Index, m.Event, m.Got)
+}
+
+// ConstructionReport is the outcome of running the §5.2.2 construction.
+type ConstructionReport struct {
+	// Exec is the constructed concrete execution α.
+	Exec *execution.Execution
+	// Mismatches lists events where rval(ê) ≠ rval(e). Theorem 6 asserts
+	// this is empty whenever the input is a revealing OCC abstract execution
+	// and the store is write-propagating, eventually consistent, and
+	// provides MVRs.
+	Mismatches []Mismatch
+	// MessagesSent and MessagesDelivered count the construction's step-3
+	// sends and step-1 deliveries.
+	MessagesSent      int
+	MessagesDelivered int
+}
+
+// Complies reports whether the construction reproduced every response.
+func (r *ConstructionReport) Complies() bool { return len(r.Mismatches) == 0 }
+
+// ConstructCompliant runs the recursive construction of §5.2.2: it builds,
+// event by event, a concrete execution α of store st intended to comply with
+// the abstract execution a. For each event e of H at replica R, in order:
+//
+//	(1) Message delivery: for every e' with e' -vis-> e, in H order, the
+//	    first message broadcast by R(e') after e' (if any) is delivered to R
+//	    unless already delivered.
+//	(2) Invoking op(e): ê = R.Do(obj(e), op(e)); the construction then
+//	    compares rval(ê) with rval(e).
+//	(3) Message sending: if R now has a pending message, it is broadcast
+//	    (recorded once; deliveries happen lazily in later step-1s).
+//
+// The returned report carries α and all response mismatches; the proof of
+// Theorem 6 (Lemmas 10 and 11) is precisely that no mismatch can occur when
+// a is revealing and observably causally consistent.
+func ConstructCompliant(st store.Store, a *abstract.Execution) (*ConstructionReport, error) {
+	replicas := a.Replicas()
+	if len(replicas) == 0 {
+		return &ConstructionReport{Exec: execution.New()}, nil
+	}
+	n := int(replicas[len(replicas)-1]) + 1
+
+	live := make(map[model.ReplicaID]store.Replica, n)
+	for _, r := range replicas {
+		live[r] = st.NewReplica(r, n)
+	}
+
+	report := &ConstructionReport{Exec: execution.New()}
+	msgAfter := make([]int, a.Len()) // msgAfter[j] = msgID broadcast in step 3 of event j, or -1
+	for j := range msgAfter {
+		msgAfter[j] = -1
+	}
+	delivered := make(map[[2]int]bool) // (msgID, replica) -> already delivered
+
+	for j, e := range a.H {
+		r := e.Replica
+		rep := live[r]
+
+		// Step 1: deliver the post-e' messages of e's visibility
+		// predecessors, in H order.
+		for _, i := range a.VisPreds(j) {
+			if a.H[i].Replica == r {
+				continue
+			}
+			mid := msgAfter[i]
+			if mid < 0 {
+				continue
+			}
+			key := [2]int{mid, int(r)}
+			if delivered[key] {
+				continue
+			}
+			delivered[key] = true
+			msg, ok := report.Exec.Message(mid)
+			if !ok {
+				return nil, fmt.Errorf("core: construction lost message m%d", mid)
+			}
+			report.Exec.AppendReceive(r, mid)
+			rep.Receive(msg.Payload)
+			report.MessagesDelivered++
+		}
+
+		// Step 2: invoke the operation.
+		got := rep.Do(e.Object, e.Op)
+		report.Exec.AppendDo(r, e.Object, e.Op, got)
+		if !got.Equal(e.Rval) {
+			report.Mismatches = append(report.Mismatches, Mismatch{Index: j, Event: e, Got: got})
+		}
+
+		// Step 3: broadcast the pending message, if any.
+		if payload := rep.PendingMessage(); payload != nil {
+			sent := report.Exec.AppendSend(r, payload)
+			rep.OnSend()
+			msgAfter[j] = sent.MsgID
+			report.MessagesSent++
+		}
+	}
+	return report, nil
+}
+
+// VerifyHBWithinVis checks Proposition 8's consequence on a constructed
+// execution: for do events, happens-before in α implies visibility in A (the
+// construction never smuggles information flow outside vis). The do events
+// of α must correspond one-to-one with H in order.
+func VerifyHBWithinVis(report *ConstructionReport, a *abstract.Execution) error {
+	hb := execution.ComputeHB(report.Exec)
+	var doSeqs []int
+	for _, e := range report.Exec.Events {
+		if e.IsDo() {
+			doSeqs = append(doSeqs, e.Seq)
+		}
+	}
+	if len(doSeqs) != a.Len() {
+		return fmt.Errorf("core: constructed execution has %d do events, abstract has %d", len(doSeqs), a.Len())
+	}
+	for j := range doSeqs {
+		for i := 0; i < j; i++ {
+			if hb.Before(doSeqs[i], doSeqs[j]) && !a.Vis(i, j) {
+				return fmt.Errorf("core: constructed hb edge H[%d]->H[%d] outside vis", i, j)
+			}
+		}
+	}
+	return nil
+}

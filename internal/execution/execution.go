@@ -1,0 +1,168 @@
+// Package execution implements concrete executions of the replicated data
+// store model: interleaved sequences of do, send, and receive events
+// occurring at replicas (Definition 1), the happens-before relation over them
+// (Definition 2), and the projections of Proposition 1.
+//
+// A concrete execution is what happens "under the hood" of a data store run;
+// the abstract package models what clients observe. The two are connected by
+// compliance (Definition 9).
+package execution
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Execution is a finite concrete execution: a global sequence of events plus
+// the table of message instances referenced by send/receive events.
+type Execution struct {
+	// Events holds the events in global order; Events[i].Seq == i.
+	Events []model.Event
+	// Messages maps message IDs to message instances. A message ID is
+	// assigned at its send event; receive events reference it.
+	Messages map[int]model.Message
+
+	nextMsgID int
+}
+
+// New returns an empty execution.
+func New() *Execution {
+	return &Execution{Messages: make(map[int]model.Message)}
+}
+
+// Len returns the number of events.
+func (x *Execution) Len() int { return len(x.Events) }
+
+// AppendDo records a do event and returns it.
+func (x *Execution) AppendDo(r model.ReplicaID, obj model.ObjectID, op model.Operation, rval model.Response) model.Event {
+	e := model.DoEvent(r, obj, op, rval)
+	return x.append(e)
+}
+
+// AppendSend records a send event broadcasting payload from r, mints a fresh
+// message ID, and returns the event.
+func (x *Execution) AppendSend(r model.ReplicaID, payload []byte) model.Event {
+	id := x.nextMsgID
+	x.nextMsgID++
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	x.Messages[id] = model.Message{ID: id, From: r, Payload: p}
+	return x.append(model.SendEvent(r, id))
+}
+
+// AppendReceive records a receive event of message msgID at r.
+func (x *Execution) AppendReceive(r model.ReplicaID, msgID int) model.Event {
+	return x.append(model.ReceiveEvent(r, msgID))
+}
+
+func (x *Execution) append(e model.Event) model.Event {
+	e.Seq = len(x.Events)
+	x.Events = append(x.Events, e)
+	return e
+}
+
+// Message returns the message instance for id.
+func (x *Execution) Message(id int) (model.Message, bool) {
+	m, ok := x.Messages[id]
+	return m, ok
+}
+
+// DoEvents returns the subsequence of do events, in global order.
+func (x *Execution) DoEvents() []model.Event {
+	var out []model.Event
+	for _, e := range x.Events {
+		if e.IsDo() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ProjectReplica returns α|R: the subsequence of events at replica r.
+func (x *Execution) ProjectReplica(r model.ReplicaID) []model.Event {
+	var out []model.Event
+	for _, e := range x.Events {
+		if e.Replica == r {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ProjectDoReplica returns α|R^do: the subsequence of do events at replica r
+// (the per-replica client history used by compliance, Definition 9).
+func (x *Execution) ProjectDoReplica(r model.ReplicaID) []model.Event {
+	var out []model.Event
+	for _, e := range x.Events {
+		if e.Replica == r && e.IsDo() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Replicas returns the set of replica IDs appearing in the execution, as a
+// sorted slice.
+func (x *Execution) Replicas() []model.ReplicaID {
+	seen := make(map[model.ReplicaID]bool)
+	var max model.ReplicaID = -1
+	for _, e := range x.Events {
+		seen[e.Replica] = true
+		if e.Replica > max {
+			max = e.Replica
+		}
+	}
+	var out []model.ReplicaID
+	for r := model.ReplicaID(0); r <= max; r++ {
+		if seen[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CheckWellFormed verifies condition (2) of Definition 1: every receive(m)
+// event is preceded by a send(m) event at a different replica. (Condition
+// (1), per-replica well-formedness of the state machine, is enforced by
+// construction when executions are recorded from live replicas.) Messages
+// may be dropped, reordered, or received multiple times — none of that
+// violates well-formedness.
+func (x *Execution) CheckWellFormed() error {
+	sentAt := make(map[int]int)             // msgID -> seq of send event
+	sender := make(map[int]model.ReplicaID) // msgID -> sending replica
+	for _, e := range x.Events {
+		switch e.Act {
+		case model.ActSend:
+			if _, dup := sentAt[e.MsgID]; dup {
+				return fmt.Errorf("execution: message m%d sent twice (event %d)", e.MsgID, e.Seq)
+			}
+			if _, ok := x.Messages[e.MsgID]; !ok {
+				return fmt.Errorf("execution: send of unknown message m%d (event %d)", e.MsgID, e.Seq)
+			}
+			sentAt[e.MsgID] = e.Seq
+			sender[e.MsgID] = e.Replica
+		case model.ActReceive:
+			at, ok := sentAt[e.MsgID]
+			if !ok {
+				return fmt.Errorf("execution: receive of unsent message m%d (event %d)", e.MsgID, e.Seq)
+			}
+			if at >= e.Seq {
+				return fmt.Errorf("execution: message m%d received (event %d) before sent (event %d)", e.MsgID, e.Seq, at)
+			}
+			if sender[e.MsgID] == e.Replica {
+				return fmt.Errorf("execution: replica r%d received its own message m%d (event %d)", e.Replica, e.MsgID, e.Seq)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the execution one event per line.
+func (x *Execution) String() string {
+	out := ""
+	for _, e := range x.Events {
+		out += fmt.Sprintf("%4d  %s\n", e.Seq, e)
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+package execution
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// buildChain records r0 writing and broadcasting, r1 receiving then writing.
+func buildChain(t *testing.T) *Execution {
+	t.Helper()
+	x := New()
+	x.AppendDo(0, "x", model.Write("a"), model.OKResponse())
+	x.AppendSend(0, []byte{1, 2, 3})
+	x.AppendReceive(1, 0)
+	x.AppendDo(1, "y", model.Write("b"), model.OKResponse())
+	return x
+}
+
+func TestAppendAssignsSequentialSeqs(t *testing.T) {
+	x := buildChain(t)
+	for i, e := range x.Events {
+		if e.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestMessageTableAndCopies(t *testing.T) {
+	x := New()
+	payload := []byte{9, 9}
+	e := x.AppendSend(0, payload)
+	payload[0] = 1 // mutate the caller's slice
+	m, ok := x.Message(e.MsgID)
+	if !ok {
+		t.Fatal("message missing")
+	}
+	if m.Payload[0] != 9 {
+		t.Fatal("execution aliases the caller's payload")
+	}
+	if m.From != 0 || m.Bits() != 16 {
+		t.Fatalf("message metadata: %+v", m)
+	}
+	if _, ok := x.Message(42); ok {
+		t.Fatal("unknown message found")
+	}
+}
+
+func TestProjections(t *testing.T) {
+	x := buildChain(t)
+	if got := len(x.ProjectReplica(0)); got != 2 {
+		t.Fatalf("r0 projection has %d events", got)
+	}
+	if got := len(x.ProjectDoReplica(1)); got != 1 {
+		t.Fatalf("r1 do projection has %d events", got)
+	}
+	if got := len(x.DoEvents()); got != 2 {
+		t.Fatalf("%d do events", got)
+	}
+	reps := x.Replicas()
+	if len(reps) != 2 || reps[0] != 0 || reps[1] != 1 {
+		t.Fatalf("replicas = %v", reps)
+	}
+}
+
+func TestWellFormedAccepts(t *testing.T) {
+	x := buildChain(t)
+	if err := x.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWellFormedAcceptsDuplicatesAndDrops(t *testing.T) {
+	x := New()
+	x.AppendSend(0, []byte{1})
+	x.AppendSend(0, []byte{2}) // never delivered: a drop
+	x.AppendReceive(1, 0)
+	x.AppendReceive(1, 0) // duplicate delivery
+	x.AppendReceive(2, 0)
+	if err := x.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWellFormedRejectsReceiveBeforeSend(t *testing.T) {
+	x := New()
+	x.AppendReceive(1, 0)
+	x.AppendSend(0, []byte{1})
+	if err := x.CheckWellFormed(); err == nil {
+		t.Fatal("expected rejection")
+	}
+}
+
+func TestWellFormedRejectsSelfReceive(t *testing.T) {
+	x := New()
+	x.AppendSend(0, []byte{1})
+	x.AppendReceive(0, 0)
+	if err := x.CheckWellFormed(); err == nil {
+		t.Fatal("expected rejection of self-delivery")
+	}
+}
+
+func TestWellFormedRejectsUnknownMessage(t *testing.T) {
+	x := New()
+	x.Events = append(x.Events, model.ReceiveEvent(1, 7))
+	if err := x.CheckWellFormed(); err == nil {
+		t.Fatal("expected rejection of unsent message")
+	}
+}
+
+func TestHappensBeforeThreadAndMessage(t *testing.T) {
+	x := buildChain(t)
+	hb := ComputeHB(x)
+	// Thread order at r0: do(0) -> send(1).
+	if !hb.Before(0, 1) {
+		t.Fatal("thread order missing")
+	}
+	// Message delivery: send(1) -> receive(2).
+	if !hb.Before(1, 2) {
+		t.Fatal("message edge missing")
+	}
+	// Transitivity: do(0) -> do(3).
+	if !hb.Before(0, 3) {
+		t.Fatal("transitive edge missing")
+	}
+	if hb.Before(3, 0) || hb.Before(0, 0) {
+		t.Fatal("hb must be irreflexive and acyclic")
+	}
+}
+
+func TestConcurrentEvents(t *testing.T) {
+	x := New()
+	x.AppendDo(0, "x", model.Write("a"), model.OKResponse())
+	x.AppendDo(1, "x", model.Write("b"), model.OKResponse())
+	hb := ComputeHB(x)
+	if !hb.Concurrent(0, 1) {
+		t.Fatal("isolated events must be concurrent")
+	}
+}
+
+func TestPastReturnsSortedSeqs(t *testing.T) {
+	x := buildChain(t)
+	hb := ComputeHB(x)
+	past := hb.Past(3)
+	want := []int{0, 1, 2}
+	if len(past) != len(want) {
+		t.Fatalf("past = %v", past)
+	}
+	for i := range want {
+		if past[i] != want[i] {
+			t.Fatalf("past = %v, want %v", past, want)
+		}
+	}
+}
+
+// TestPastClosureIsWellFormed checks Proposition 1(1): the causal past of an
+// event is itself a well-formed execution.
+func TestPastClosureIsWellFormed(t *testing.T) {
+	x := buildChain(t)
+	hb := ComputeHB(x)
+	beta := hb.PastClosure(3, true)
+	if err := beta.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	if beta.Len() != 4 {
+		t.Fatalf("past closure has %d events", beta.Len())
+	}
+}
+
+// TestFutureClosureIsWellFormed checks Proposition 1(2): removing the strict
+// causal future of an event leaves a well-formed execution.
+func TestFutureClosureIsWellFormed(t *testing.T) {
+	x := buildChain(t)
+	hb := ComputeHB(x)
+	gamma := hb.FutureClosure(1) // drop the send and everything after it
+	if err := gamma.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range gamma.Events {
+		if e.Act == model.ActReceive {
+			t.Fatal("receive survived removal of its send's future")
+		}
+	}
+}
+
+// TestClosuresArePrefixesPerReplica checks the "β|R and γ|R are prefixes of
+// α|R" clause of Proposition 1.
+func TestClosuresArePrefixesPerReplica(t *testing.T) {
+	x := buildChain(t)
+	hb := ComputeHB(x)
+	beta := hb.PastClosure(3, true)
+	for _, r := range x.Replicas() {
+		full := x.ProjectReplica(r)
+		part := beta.ProjectReplica(r)
+		if len(part) > len(full) {
+			t.Fatalf("r%d: closure longer than original", r)
+		}
+		for i := range part {
+			if part[i].Act != full[i].Act || part[i].MsgID != full[i].MsgID || part[i].Object != full[i].Object {
+				t.Fatalf("r%d: closure not a prefix at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestStringRendersEvents(t *testing.T) {
+	x := buildChain(t)
+	if s := x.String(); len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+// TestQuickHBIsStrictPartialOrder checks, on random recorded executions,
+// that happens-before is irreflexive and transitive, and totally orders each
+// replica's own events (Definition 2).
+func TestQuickHBIsStrictPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := New()
+		var sent []int
+		for i := 0; i < 30; i++ {
+			r := model.ReplicaID(rng.Intn(3))
+			switch {
+			case len(sent) > 0 && rng.Intn(3) == 0:
+				m := sent[rng.Intn(len(sent))]
+				if msg, _ := x.Message(m); msg.From != r {
+					x.AppendReceive(r, m)
+				}
+			case rng.Intn(2) == 0:
+				e := x.AppendSend(r, []byte{byte(i)})
+				sent = append(sent, e.MsgID)
+			default:
+				x.AppendDo(r, "x", model.Read(), model.ReadResponse(nil))
+			}
+		}
+		if err := x.CheckWellFormed(); err != nil {
+			return false
+		}
+		hb := ComputeHB(x)
+		n := x.Len()
+		for i := 0; i < n; i++ {
+			if hb.Before(i, i) {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if hb.Before(i, j) && hb.Before(j, i) {
+					return false
+				}
+				for k := 0; k < n; k++ {
+					if hb.Before(i, j) && hb.Before(j, k) && !hb.Before(i, k) {
+						return false
+					}
+				}
+				// Same-replica events are totally ordered.
+				if i < j && x.Events[i].Replica == x.Events[j].Replica && !hb.Before(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineRendersColumns(t *testing.T) {
+	x := buildChain(t)
+	tl := x.Timeline()
+	lines := splitLines(tl)
+	if len(lines) != x.Len()+1 {
+		t.Fatalf("timeline has %d lines for %d events:\n%s", len(lines), x.Len(), tl)
+	}
+	if !containsAll(lines[0], "r0", "r1") {
+		t.Fatalf("header missing replicas:\n%s", tl)
+	}
+	if !containsAll(tl, "W x=a", "S m0", "V m0", "W y=b") {
+		t.Fatalf("events missing:\n%s", tl)
+	}
+	// r1's events are indented to its column.
+	for _, line := range lines[1:] {
+		if len(line) > 0 && line[0] != ' ' {
+			// r0 column: must be an r0 event.
+			if !containsAll(line, "x") && !containsAll(line, "m0") {
+				t.Fatalf("misplaced column entry %q", line)
+			}
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if got := New().Timeline(); got != "(empty execution)\n" {
+		t.Fatalf("empty timeline = %q", got)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package execution
+
+import (
+	"repro/internal/model"
+)
+
+// bitset is a fixed-capacity set of event indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) or(other bitset) {
+	for i := range other {
+		b[i] |= other[i]
+	}
+}
+
+// HB is the happens-before relation of an execution (Definition 2),
+// materialized as, for each event, the set of events that happen before it.
+type HB struct {
+	n     int
+	past  []bitset // past[i] = { j : e_j -hb-> e_i }
+	execu *Execution
+}
+
+// ComputeHB computes happens-before for the execution by a single forward
+// pass: the causal past of an event is the union of the pasts of its direct
+// predecessors (previous event at the same replica; the send event for a
+// receive) plus the predecessors themselves. Events are processed in global
+// order, so all predecessors are already computed. O(n²/64) time and space.
+func ComputeHB(x *Execution) *HB {
+	n := len(x.Events)
+	hb := &HB{n: n, past: make([]bitset, n), execu: x}
+	lastAt := make(map[model.ReplicaID]int) // replica -> seq of its latest event
+	sendOf := make(map[int]int)             // msgID -> seq of send event
+	for i, e := range x.Events {
+		past := newBitset(n)
+		if prev, ok := lastAt[e.Replica]; ok {
+			past.or(hb.past[prev])
+			past.set(prev)
+		}
+		if e.Act == model.ActReceive {
+			if s, ok := sendOf[e.MsgID]; ok {
+				past.or(hb.past[s])
+				past.set(s)
+			}
+		}
+		if e.Act == model.ActSend {
+			sendOf[e.MsgID] = i
+		}
+		lastAt[e.Replica] = i
+		hb.past[i] = past
+		_ = e
+	}
+	return hb
+}
+
+// Before reports e_i -hb-> e_j (by global sequence numbers).
+func (h *HB) Before(i, j int) bool {
+	if i < 0 || j < 0 || i >= h.n || j >= h.n || i == j {
+		return false
+	}
+	return h.past[j].get(i)
+}
+
+// Concurrent reports that neither event happens before the other.
+func (h *HB) Concurrent(i, j int) bool {
+	return i != j && !h.Before(i, j) && !h.Before(j, i)
+}
+
+// Past returns the sequence numbers of all events that happen before event j,
+// in global order.
+func (h *HB) Past(j int) []int {
+	var out []int
+	for i := 0; i < h.n; i++ {
+		if h.past[j].get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PastClosure returns β of Proposition 1(2): the subsequence of the execution
+// consisting of all events e' with e' -hb-> e_j, plus e_j itself if
+// includeSelf is set. Proposition 1 guarantees this is itself a well-formed
+// execution.
+func (h *HB) PastClosure(j int, includeSelf bool) *Execution {
+	out := New()
+	out.nextMsgID = h.execu.nextMsgID
+	for id, m := range h.execu.Messages {
+		out.Messages[id] = m
+	}
+	for i, e := range h.execu.Events {
+		if h.past[j].get(i) || (includeSelf && i == j) {
+			e.Seq = len(out.Events)
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// FutureClosure returns γ of Proposition 1: the subsequence consisting of all
+// events NOT in the strict causal future of e_j (i.e., removing every e' with
+// e_j -hb-> e'), which Proposition 1 also guarantees is well-formed. This is
+// the α₀ used in the proofs of Lemmas 10 and 11 ("remove from α any event e'
+// such that ê -hb-> e' fails"... precisely: keep e' iff NOT (e_j -hb-> e')).
+func (h *HB) FutureClosure(j int) *Execution {
+	out := New()
+	out.nextMsgID = h.execu.nextMsgID
+	for id, m := range h.execu.Messages {
+		out.Messages[id] = m
+	}
+	for i, e := range h.execu.Events {
+		if i != j && !h.past[i].get(j) {
+			e.Seq = len(out.Events)
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package execution
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Timeline renders the execution as an ASCII space-time diagram: one column
+// per replica, one row per event in global order, with message identifiers
+// linking sends to receives. Intended for debugging and for the examples —
+// the textual cousin of the paper's figures.
+//
+//	r0                  r1                  r2
+//	W x=a
+//	S m0
+//	                    R m0
+//	                    W y=b
+func (x *Execution) Timeline() string {
+	replicas := x.Replicas()
+	if len(replicas) == 0 {
+		return "(empty execution)\n"
+	}
+	col := make(map[model.ReplicaID]int, len(replicas))
+	for i, r := range replicas {
+		col[r] = i
+	}
+	const width = 20
+	var b strings.Builder
+	for _, r := range replicas {
+		fmt.Fprintf(&b, "%-*s", width, fmt.Sprintf("r%d", r))
+	}
+	b.WriteByte('\n')
+	for _, e := range x.Events {
+		cell := describe(e)
+		if len(cell) > width-2 {
+			cell = cell[:width-2]
+		}
+		b.WriteString(strings.Repeat(" ", col[e.Replica]*width))
+		b.WriteString(cell)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// describe renders one event compactly for the timeline.
+func describe(e model.Event) string {
+	switch e.Act {
+	case model.ActDo:
+		switch e.Op.Kind {
+		case model.OpRead:
+			return fmt.Sprintf("R %s=%s", e.Object, e.Rval)
+		case model.OpWrite:
+			return fmt.Sprintf("W %s=%s", e.Object, e.Op.Arg)
+		case model.OpAdd:
+			return fmt.Sprintf("A %s+%s", e.Object, e.Op.Arg)
+		case model.OpRemove:
+			return fmt.Sprintf("D %s-%s", e.Object, e.Op.Arg)
+		case model.OpInc:
+			return fmt.Sprintf("I %s%+d", e.Object, e.Op.Delta)
+		}
+	case model.ActSend:
+		return fmt.Sprintf("S m%d", e.MsgID)
+	case model.ActReceive:
+		return fmt.Sprintf("V m%d", e.MsgID)
+	}
+	return e.String()
+}

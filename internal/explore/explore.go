@@ -1,0 +1,344 @@
+// Package explore is a bounded model checker for store implementations: it
+// enumerates EVERY schedule of a small scripted workload — all interleavings
+// of client operations (in per-replica program order) and message deliveries
+// (any order, any interleaving with operations) — and checks invariants in
+// every reachable state, rather than sampling schedules randomly as
+// internal/sim does.
+//
+// Replica state machines offer no undo, so the explorer replays the action
+// prefix from scratch for every expansion and deduplicates reachable states
+// by a canonical signature (replica digests plus pending queue contents).
+// The state graph of a script with a handful of operations has only
+// thousands of states, which makes exhaustive checking practical exactly
+// where it is most valuable: the boundary cases adversarial schedules
+// rarely hit by chance.
+//
+// Checked invariants:
+//
+//   - per-state: the §4 properties claimed by the store hold (via
+//     store.PropertyChecker), and a user-supplied predicate on replica
+//     reads, if any;
+//   - per-final-state (all operations performed, all messages delivered):
+//     convergence — every replica returns the same response for every
+//     object (Lemma 3 at quiescence).
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// Op is one scripted client operation.
+type Op struct {
+	Replica model.ReplicaID
+	Object  model.ObjectID
+	Op      model.Operation
+}
+
+// Script is a workload: operations listed per replica in program order.
+// After every mutator the replica broadcasts its pending message
+// (deterministically), so the schedule choices are exactly "which replica
+// performs its next operation" and "which replica consumes which queued
+// message next".
+type Script struct {
+	Replicas int
+	Ops      []Op
+}
+
+// Config bounds the exploration.
+type Config struct {
+	Store store.Store
+	// MaxStates aborts exploration beyond this many distinct states
+	// (default 200000).
+	MaxStates int
+	// Invariant, if set, is evaluated in every reachable state. Its reads
+	// hit the live replicas; the explorer discards the state object after
+	// expansion, so visible-read stores are safe to inspect.
+	Invariant func(v *View) error
+	// ExpectConvergence asserts that every final state is convergent
+	// (default true semantics: set SkipConvergence to disable).
+	SkipConvergence bool
+	// ConvergenceReadRounds performs extra read rounds before asserting
+	// convergence in final states (the K-buffer store exposes withheld
+	// messages only as reads elapse).
+	ConvergenceReadRounds int
+	// AllowPropertyViolations disables the §4 property assertions, for
+	// stores that violate them by design (GSP's sequencer, K-buffer reads).
+	AllowPropertyViolations bool
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	States      int
+	FinalStates int
+	Transitions int
+}
+
+// View exposes a reachable state to invariant predicates.
+type View struct {
+	replicas []store.Replica
+	objects  []model.ObjectID
+}
+
+// Read returns replica r's current response to a read of obj.
+func (v *View) Read(r model.ReplicaID, obj model.ObjectID) model.Response {
+	return v.replicas[r].Do(obj, model.Read())
+}
+
+// Replica exposes the underlying replica (do not mutate).
+func (v *View) Replica(r model.ReplicaID) store.Replica { return v.replicas[r] }
+
+// action encodes one schedule step: op index o executed, or delivery of
+// queue position q at replica r.
+type action struct {
+	kind    byte // 'o' or 'd'
+	replica model.ReplicaID
+	index   int // op index for 'o'; queue position for 'd' (always 0 .. len-1)
+}
+
+// Explore exhaustively enumerates the schedules of script against cfg.Store.
+func Explore(script Script, cfg Config) (*Result, error) {
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 200000
+	}
+	objs := scriptObjects(script)
+	res := &Result{}
+	seen := make(map[string]bool)
+
+	var dfs func(prefix []action) error
+	dfs = func(prefix []action) error {
+		st, err := replay(cfg.Store, script, prefix)
+		if err != nil {
+			return err
+		}
+		sig := st.signature()
+		if seen[sig] {
+			return nil
+		}
+		seen[sig] = true
+		res.States++
+		if res.States > cfg.MaxStates {
+			return fmt.Errorf("explore: state budget %d exceeded", cfg.MaxStates)
+		}
+		// Schedule choices are fixed BEFORE any checks run: invariant and
+		// convergence checks issue reads, which mutate visible-read stores
+		// (K-buffer); this state object is discarded after expansion, so
+		// those mutations are harmless once the action list is taken.
+		acts := st.enabled(script)
+
+		if !cfg.AllowPropertyViolations {
+			for _, ch := range st.checkers {
+				if err := ch.Err(); err != nil {
+					return fmt.Errorf("explore: after %s: %w", renderPrefix(prefix), err)
+				}
+			}
+		}
+		if cfg.Invariant != nil {
+			if err := cfg.Invariant(&View{replicas: st.replicas, objects: objs}); err != nil {
+				return fmt.Errorf("explore: invariant violated after %s: %w", renderPrefix(prefix), err)
+			}
+		}
+
+		if len(acts) == 0 {
+			res.FinalStates++
+			if !cfg.SkipConvergence {
+				for round := 0; round < cfg.ConvergenceReadRounds; round++ {
+					for r := 0; r < st.n; r++ {
+						for _, obj := range objs {
+							st.replicas[r].Do(obj, model.Read())
+						}
+					}
+				}
+				if err := st.checkConverged(objs); err != nil {
+					return fmt.Errorf("explore: final state after %s: %w", renderPrefix(prefix), err)
+				}
+			}
+			return nil
+		}
+		for _, a := range acts {
+			res.Transitions++
+			if err := dfs(append(prefix[:len(prefix):len(prefix)], a)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(nil); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// liveState is a materialized cluster state.
+type liveState struct {
+	st       store.Store
+	n        int
+	replicas []store.Replica
+	checkers []*store.PropertyChecker
+	queues   [][][]byte // per destination, in arrival order
+	nextOp   []int      // per replica: next op position in its program
+	programs [][]int    // per replica: indices into script.Ops
+}
+
+// replay executes an action prefix from scratch.
+func replay(st store.Store, script Script, prefix []action) (*liveState, error) {
+	s := &liveState{st: st, n: script.Replicas}
+	s.programs = make([][]int, script.Replicas)
+	for i, op := range script.Ops {
+		r := int(op.Replica)
+		if r < 0 || r >= script.Replicas {
+			return nil, fmt.Errorf("explore: op %d at out-of-range replica %d", i, r)
+		}
+		s.programs[r] = append(s.programs[r], i)
+	}
+	s.nextOp = make([]int, script.Replicas)
+	s.queues = make([][][]byte, script.Replicas)
+	for i := 0; i < script.Replicas; i++ {
+		r := st.NewReplica(model.ReplicaID(i), script.Replicas)
+		s.replicas = append(s.replicas, r)
+		s.checkers = append(s.checkers, store.NewPropertyChecker(r))
+	}
+	for _, a := range prefix {
+		if err := s.apply(script, a); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *liveState) apply(script Script, a action) error {
+	switch a.kind {
+	case 'o':
+		r := int(a.replica)
+		opIdx := s.programs[r][s.nextOp[r]]
+		op := script.Ops[opIdx]
+		s.nextOp[r]++
+		rep := s.replicas[r]
+		s.checkers[r].CheckDo(op.Object, op.Op, func() model.Response {
+			return rep.Do(op.Object, op.Op)
+		})
+		// Deterministic broadcast after the operation, if pending. Sends go
+		// to every other replica's queue; the GSP sequencer may also have
+		// commits pending after deliveries, which broadcast on its next
+		// turn.
+		s.broadcast(model.ReplicaID(r))
+	case 'd':
+		to := int(a.replica)
+		if a.index >= len(s.queues[to]) {
+			return fmt.Errorf("explore: delivery index %d out of range", a.index)
+		}
+		payload := s.queues[to][a.index]
+		s.queues[to] = append(s.queues[to][:a.index:a.index], s.queues[to][a.index+1:]...)
+		rep := s.replicas[to]
+		s.checkers[to].CheckReceive(payload, func() { rep.Receive(payload) })
+		// Receives may create pending messages in non-op-driven stores
+		// (GSP); relay them so exploration terminates in drained states.
+		s.broadcast(model.ReplicaID(to))
+	default:
+		return fmt.Errorf("explore: unknown action kind %q", a.kind)
+	}
+	return nil
+}
+
+func (s *liveState) broadcast(from model.ReplicaID) {
+	for {
+		payload := s.replicas[from].PendingMessage()
+		if payload == nil {
+			return
+		}
+		s.replicas[from].OnSend()
+		for to := 0; to < s.n; to++ {
+			if model.ReplicaID(to) != from {
+				p := make([]byte, len(payload))
+				copy(p, payload)
+				s.queues[to] = append(s.queues[to], p)
+			}
+		}
+	}
+}
+
+// enabled lists the schedule choices in this state: each replica's next
+// program operation, and each distinct queued message per destination.
+func (s *liveState) enabled(script Script) []action {
+	var out []action
+	for r := 0; r < s.n; r++ {
+		if s.nextOp[r] < len(s.programs[r]) {
+			out = append(out, action{kind: 'o', replica: model.ReplicaID(r)})
+		}
+		// Delivering any queue position is allowed (the network reorders);
+		// identical payloads at different positions lead to identical
+		// states, so deduplicate by content.
+		seen := make(map[string]bool, len(s.queues[r]))
+		for q := range s.queues[r] {
+			key := string(s.queues[r][q])
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, action{kind: 'd', replica: model.ReplicaID(r), index: q})
+		}
+	}
+	return out
+}
+
+// signature canonically renders the state for deduplication.
+func (s *liveState) signature() string {
+	var b strings.Builder
+	for r := 0; r < s.n; r++ {
+		fmt.Fprintf(&b, "r%d@%d\n%s\n", r, s.nextOp[r], s.replicas[r].StateDigest())
+		queued := make([]string, len(s.queues[r]))
+		for i, p := range s.queues[r] {
+			queued[i] = string(p)
+		}
+		// Queue order is not observable to the scheduler's future choices
+		// beyond content (any position may be delivered), so sort for a
+		// canonical form.
+		sort.Strings(queued)
+		for _, q := range queued {
+			fmt.Fprintf(&b, "q:%q\n", q)
+		}
+	}
+	return b.String()
+}
+
+// checkConverged verifies all replicas answer reads identically.
+func (s *liveState) checkConverged(objs []model.ObjectID) error {
+	for _, obj := range objs {
+		base := s.replicas[0].Do(obj, model.Read())
+		for r := 1; r < s.n; r++ {
+			got := s.replicas[r].Do(obj, model.Read())
+			if !got.Equal(base) {
+				return fmt.Errorf("diverged on %s: r0=%s r%d=%s", obj, base, r, got)
+			}
+		}
+	}
+	return nil
+}
+
+func scriptObjects(script Script) []model.ObjectID {
+	seen := make(map[model.ObjectID]bool)
+	var out []model.ObjectID
+	for _, op := range script.Ops {
+		if !seen[op.Object] {
+			seen[op.Object] = true
+			out = append(out, op.Object)
+		}
+	}
+	return out
+}
+
+func renderPrefix(prefix []action) string {
+	parts := make([]string, len(prefix))
+	for i, a := range prefix {
+		if a.kind == 'o' {
+			parts[i] = fmt.Sprintf("op@r%d", a.replica)
+		} else {
+			parts[i] = fmt.Sprintf("dlv@r%d[%d]", a.replica, a.index)
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,220 @@
+// Package gen produces abstract executions for the theorem experiments:
+// seeded random causally consistent executions (via an abstract-level gossip
+// simulation whose visibility sets are downward closed by construction),
+// revealing executions (§5.2.1 — each write is immediately preceded by a
+// read with identical visibility), and the crafted "witnessed concurrency"
+// family that is observably causally consistent with genuinely exposed
+// concurrency (the generalized Figure 3c pattern).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/abstract"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// Config parameterizes the random causal generator.
+type Config struct {
+	// Replicas is the number of client sessions (default 3).
+	Replicas int
+	// Objects is the object pool (default x0..x2, all MVRs).
+	Objects []model.ObjectID
+	// Events is the number of generated do events, counting the inserted
+	// revealing reads (default 20).
+	Events int
+	// WriteRatio is the fraction of generated operations that are writes
+	// (default 0.5).
+	WriteRatio float64
+	// GossipProb is the per-event probability that the acting session first
+	// merges another session's visibility set (default 0.4).
+	GossipProb float64
+	// Revealing inserts a same-object read with identical visibility
+	// immediately before every write (§5.2.1).
+	Revealing bool
+	// Seed seeds the generator.
+	Seed int64
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 3
+	}
+	if len(cfg.Objects) == 0 {
+		cfg.Objects = []model.ObjectID{"x0", "x1", "x2"}
+	}
+	if cfg.Events == 0 {
+		cfg.Events = 20
+	}
+	if cfg.WriteRatio == 0 {
+		cfg.WriteRatio = 0.5
+	}
+	if cfg.GossipProb == 0 {
+		cfg.GossipProb = 0.4
+	}
+}
+
+// builder assembles an abstract execution with per-session visibility sets
+// (downward closed, so visibility is transitive and the result causally
+// consistent by construction) and specification-determined responses (so the
+// result is correct by construction).
+type builder struct {
+	a     *abstract.Execution
+	types spec.Types
+	seen  [][]bool // seen[r][i]: session r has event i in its visibility set
+	next  int      // unique-value counter
+}
+
+func newBuilder(replicas int, types spec.Types) *builder {
+	return &builder{a: abstract.New(), types: types, seen: make([][]bool, replicas)}
+}
+
+// gossip merges session from's visibility set into session r's.
+func (b *builder) gossip(r, from model.ReplicaID) {
+	b.grow()
+	for i, s := range b.seen[from] {
+		if s {
+			b.seen[r][i] = true
+		}
+	}
+}
+
+func (b *builder) grow() {
+	n := b.a.Len()
+	for r := range b.seen {
+		for len(b.seen[r]) < n {
+			b.seen[r] = append(b.seen[r], false)
+		}
+	}
+}
+
+// emit appends an event at session r with the session's current visibility
+// set, assigns the specification response, and adds the event to the
+// session's set.
+func (b *builder) emit(r model.ReplicaID, obj model.ObjectID, op model.Operation) int {
+	b.grow()
+	j := b.a.Append(model.Event{Replica: r, Act: model.ActDo, Object: obj, Op: op})
+	for i, s := range b.seen[r] {
+		if s {
+			b.a.AddVis(i, j)
+		}
+	}
+	b.a.SetRval(j, spec.Specified(b.a, b.types, j))
+	b.grow()
+	b.seen[r][j] = true
+	return j
+}
+
+// write emits a write of a fresh unique value, optionally preceded by the
+// revealing read (same visibility: the read is emitted first from the same
+// seen set, then joins it, so every later event sees both together).
+func (b *builder) write(r model.ReplicaID, obj model.ObjectID, revealing bool) int {
+	if revealing {
+		b.emit(r, obj, model.Read())
+	}
+	b.next++
+	return b.emit(r, obj, model.Write(model.Value(fmt.Sprintf("v%d", b.next))))
+}
+
+// RandomCausal generates a random causally consistent, correct abstract
+// execution over MVR objects. With cfg.Revealing it is also revealing.
+func RandomCausal(cfg Config) *abstract.Execution {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	types := spec.MVRTypes()
+	b := newBuilder(cfg.Replicas, types)
+	for b.a.Len() < cfg.Events {
+		r := model.ReplicaID(rng.Intn(cfg.Replicas))
+		if rng.Float64() < cfg.GossipProb {
+			from := model.ReplicaID(rng.Intn(cfg.Replicas))
+			b.gossip(r, from)
+		}
+		obj := cfg.Objects[rng.Intn(len(cfg.Objects))]
+		if rng.Float64() < cfg.WriteRatio {
+			b.write(r, obj, cfg.Revealing)
+		} else {
+			b.emit(r, obj, model.Read())
+		}
+	}
+	return b.a
+}
+
+// WitnessedConcurrency generates the generalized Figure 3c pattern: in each
+// round, two sessions first write witness objects (y0 by session 1, y1 by
+// session 0), then concurrently write the shared MVR x; a third session then
+// merges both sessions' knowledge and reads x, observing both concurrent
+// writes. The witness writes supply exactly the Definition 18 evidence, so
+// the execution is observably causally consistent while genuinely exposing
+// concurrency. The result is revealing if revealing is set.
+func WitnessedConcurrency(rounds int, revealing bool) *abstract.Execution {
+	types := spec.MVRTypes()
+	b := newBuilder(3, types)
+	const (
+		x  = model.ObjectID("x")
+		y0 = model.ObjectID("y0")
+		y1 = model.ObjectID("y1")
+	)
+	for round := 0; round < rounds; round++ {
+		//
+
+		// Witness writes: w'_1 at session 0 (object y1), w'_0 at session 1
+		// (object y0). Session order will make them visible to the sessions'
+		// own x-writes but the partitioned rounds keep them invisible to the
+		// peer's x-write.
+		b.write(0, y1, revealing)
+		b.write(1, y0, revealing)
+		// Concurrent x-writes.
+		b.write(0, x, revealing)
+		b.write(1, x, revealing)
+		// The observer merges both sessions and reads {w0, w1}.
+		b.gossip(2, 0)
+		b.gossip(2, 1)
+		b.emit(2, x, model.Read())
+		// Sessions 0 and 1 then learn everything via the observer, so the
+		// next round's writes causally follow this round.
+		b.gossip(0, 2)
+		b.gossip(1, 2)
+	}
+	return b.a
+}
+
+// MakeRevealing transforms an arbitrary MVR abstract execution into the
+// revealing form of §5.2.1: before every write w it inserts a read r_w of
+// the same object whose visibility set is identical to w's (minus w itself),
+// with r_w visible to w (session order) and to exactly the events that see
+// w. Existing events, edges, and responses are preserved.
+func MakeRevealing(a *abstract.Execution, types spec.Types) *abstract.Execution {
+	out := abstract.New()
+	// mapping[i] = index of original event i in the output.
+	mapping := make([]int, a.Len())
+	// readOf[i] = index of the inserted r_w for original write i, or -1.
+	readOf := make([]int, a.Len())
+	for i := range readOf {
+		readOf[i] = -1
+	}
+	addEdges := func(j, outJ int, includeReads bool) {
+		for _, i := range a.VisPreds(j) {
+			out.AddVis(mapping[i], outJ)
+			if includeReads && readOf[i] >= 0 {
+				out.AddVis(readOf[i], outJ)
+			}
+		}
+	}
+	for j, e := range a.H {
+		if e.IsWrite() {
+			rw := out.Append(model.Event{Replica: e.Replica, Act: model.ActDo, Object: e.Object, Op: model.Read()})
+			addEdges(j, rw, true)
+			out.SetRval(rw, spec.Specified(out, types, rw))
+			readOf[j] = rw
+		}
+		outJ := out.Append(e)
+		mapping[j] = outJ
+		addEdges(j, outJ, true)
+		if readOf[j] >= 0 {
+			out.AddVis(readOf[j], outJ)
+		}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consistency"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func TestRandomCausalIsCausal(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		a := RandomCausal(Config{Seed: seed, Events: 30})
+		if err := consistency.CheckCausal(a, spec.MVRTypes()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomCausalDeterministicPerSeed(t *testing.T) {
+	a := RandomCausal(Config{Seed: 3, Events: 20})
+	b := RandomCausal(Config{Seed: 3, Events: 20})
+	if !a.Equivalent(b) {
+		t.Fatal("same seed produced different executions")
+	}
+	c := RandomCausal(Config{Seed: 4, Events: 20})
+	if a.Equivalent(c) {
+		t.Fatal("different seeds produced identical executions (suspicious)")
+	}
+}
+
+func TestRandomCausalRespectsEventCount(t *testing.T) {
+	a := RandomCausal(Config{Seed: 1, Events: 17})
+	if a.Len() < 17 {
+		t.Fatalf("len = %d, want >= 17", a.Len())
+	}
+	// Revealing insertion may overshoot by at most one (the paired write).
+	if a.Len() > 18 {
+		t.Fatalf("len = %d, want <= 18", a.Len())
+	}
+}
+
+// TestRandomCausalRevealingShape verifies the §5.2.1 shape on generated
+// executions: every write w is immediately preceded in its session by a read
+// r_w of the same object, r_w -vis-> w, and every other event's visibility
+// to/from the pair agrees.
+func TestRandomCausalRevealingShape(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := RandomCausal(Config{Seed: seed, Events: 24, Revealing: true})
+		for j, e := range a.H {
+			if !e.IsWrite() {
+				continue
+			}
+			rw := -1
+			for i := j - 1; i >= 0; i-- {
+				if a.H[i].Replica == e.Replica {
+					rw = i
+					break
+				}
+			}
+			if rw < 0 || !a.H[rw].IsRead() || a.H[rw].Object != e.Object {
+				t.Fatalf("seed %d: write at %d lacks its revealing read", seed, j)
+			}
+			if !a.Vis(rw, j) {
+				t.Fatalf("seed %d: r_w %d not visible to write %d", seed, rw, j)
+			}
+			for i := 0; i < a.Len(); i++ {
+				if i == rw || i == j {
+					continue
+				}
+				if i < rw && a.Vis(i, j) != a.Vis(i, rw) {
+					t.Fatalf("seed %d: event %d: vis to write %d and r_w %d disagree", seed, i, j, rw)
+				}
+				if i > j && a.Vis(j, i) != a.Vis(rw, i) {
+					t.Fatalf("seed %d: event %d sees exactly one of write %d / r_w %d", seed, i, j, rw)
+				}
+			}
+		}
+	}
+}
+
+func TestWitnessedConcurrencyIsOCC(t *testing.T) {
+	for _, rounds := range []int{1, 2, 3, 5} {
+		a := WitnessedConcurrency(rounds, true)
+		if err := consistency.CheckOCC(a, spec.MVRTypes()); err != nil {
+			t.Fatalf("rounds=%d: %v", rounds, err)
+		}
+	}
+}
+
+func TestWitnessedConcurrencyExposesConcurrency(t *testing.T) {
+	a := WitnessedConcurrency(1, false)
+	found := false
+	for _, e := range a.H {
+		if e.IsRead() && len(e.Rval.Values) >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no multi-valued read generated")
+	}
+}
+
+func TestMakeRevealingPreservesResponsesAndAddsReads(t *testing.T) {
+	types := spec.MVRTypes()
+	orig := WitnessedConcurrency(2, false)
+	rev := MakeRevealing(orig, types)
+
+	writes := 0
+	for _, e := range orig.H {
+		if e.IsWrite() {
+			writes++
+		}
+	}
+	if rev.Len() != orig.Len()+writes {
+		t.Fatalf("revealing len = %d, want %d", rev.Len(), orig.Len()+writes)
+	}
+	if err := consistency.CheckCausal(rev, types); err != nil {
+		t.Fatalf("revealing execution not causal: %v", err)
+	}
+	// Original events keep their responses, in per-replica order.
+	for _, r := range orig.Replicas() {
+		var origEvents, revEvents []model.Event
+		for _, j := range orig.ProjectReplica(r) {
+			origEvents = append(origEvents, orig.H[j])
+		}
+		for _, j := range rev.ProjectReplica(r) {
+			revEvents = append(revEvents, rev.H[j])
+		}
+		// Filter the inserted reads out of rev by matching the original
+		// subsequence.
+		k := 0
+		for _, e := range revEvents {
+			if k < len(origEvents) && e.Object == origEvents[k].Object &&
+				e.Op == origEvents[k].Op && e.Rval.Equal(origEvents[k].Rval) {
+				k++
+			}
+		}
+		if k != len(origEvents) {
+			t.Fatalf("r%d: original history not a subsequence of revealing history (%d/%d)", r, k, len(origEvents))
+		}
+	}
+}
+
+func TestMakeRevealingMirrorsVisibility(t *testing.T) {
+	types := spec.MVRTypes()
+	orig := RandomCausal(Config{Seed: 5, Events: 16})
+	rev := MakeRevealing(orig, types)
+	// Every write's immediately preceding same-replica event is a read of
+	// the same object with the mirrored visibility set.
+	for j, e := range rev.H {
+		if !e.IsWrite() {
+			continue
+		}
+		rw := -1
+		for i := j - 1; i >= 0; i-- {
+			if rev.H[i].Replica == e.Replica {
+				rw = i
+				break
+			}
+		}
+		if rw < 0 || !rev.H[rw].IsRead() || rev.H[rw].Object != e.Object {
+			t.Fatalf("write at %d lacks its revealing read (found %d)", j, rw)
+		}
+		// r_w -vis-> w, and vis-in sets agree outside {r_w}.
+		if !rev.Vis(rw, j) {
+			t.Fatalf("r_w not visible to its write at %d", j)
+		}
+		for i := 0; i < rev.Len(); i++ {
+			if i == rw || i == j {
+				continue
+			}
+			if i < j && rev.Vis(i, j) != rev.Vis(i, rw) && i < rw {
+				t.Fatalf("event %d: vis to write %d (%v) differs from vis to r_w %d (%v)",
+					i, j, rev.Vis(i, j), rw, rev.Vis(i, rw))
+			}
+			// Forward mirror: anything seeing w sees r_w.
+			if i > j && rev.Vis(j, i) && !rev.Vis(rw, i) {
+				t.Fatalf("event %d sees write %d but not its r_w %d", i, j, rw)
+			}
+		}
+	}
+}
+
+func TestBuilderUniqueValues(t *testing.T) {
+	a := RandomCausal(Config{Seed: 9, Events: 40, WriteRatio: 0.9})
+	seen := make(map[model.Value]bool)
+	for _, e := range a.H {
+		if e.IsWrite() {
+			if seen[e.Op.Arg] {
+				t.Fatalf("duplicate written value %q", e.Op.Arg)
+			}
+			seen[e.Op.Arg] = true
+		}
+	}
+}
+
+// TestQuickMVRReadIsMaximalAntichain re-verifies the Figure 1(b) semantics
+// on generated causally consistent executions: a read's values come from
+// visible writes that are pairwise concurrent (an antichain under
+// visibility), and every visible same-object write not returned is
+// dominated by a returned one.
+func TestQuickMVRReadIsMaximalAntichain(t *testing.T) {
+	f := func(seed int64) bool {
+		a := RandomCausal(Config{Seed: seed, Events: 22})
+		writerOf := make(map[model.Value]int)
+		for j, e := range a.H {
+			if e.IsWrite() {
+				writerOf[e.Op.Arg] = j
+			}
+		}
+		for j, e := range a.H {
+			if !e.IsRead() {
+				continue
+			}
+			returned := make([]int, 0, len(e.Rval.Values))
+			for _, v := range e.Rval.Values {
+				w, ok := writerOf[v]
+				if !ok || !a.Vis(w, j) {
+					return false // returned value not from a visible write
+				}
+				returned = append(returned, w)
+			}
+			for _, w1 := range returned {
+				for _, w2 := range returned {
+					if w1 != w2 && a.Vis(w1, w2) {
+						return false // returned values not an antichain
+					}
+				}
+			}
+			for i := 0; i < j; i++ {
+				w := a.H[i]
+				if !w.IsWrite() || w.Object != e.Object || !a.Vis(i, j) || e.Rval.Contains(w.Op.Arg) {
+					continue
+				}
+				dominated := false
+				for _, r := range returned {
+					if a.Vis(i, r) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					return false // a visible write vanished without a dominator
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,394 @@
+// Package sim drives replicas of any store.Store through interleaved
+// executions, recording the resulting concrete execution and deriving the
+// abstract execution the run complies with.
+//
+// The simulator is the paper's execution model made operational: client
+// operations complete immediately at a single replica; broadcasts enqueue a
+// message per destination; delivery is controlled by the test or workload
+// (FIFO, random, adversarial), with optional fault injection — drops,
+// duplicates, reordering, and partitions. Partitions delay rather than drop:
+// the model requires eventual delivery for eventual consistency (Definition
+// 3), so a partition blocks delivery until healed. Explicit drops genuinely
+// lose messages (our stores do not retransmit), so convergence assertions
+// only hold in drop-free runs; safety assertions hold in all runs.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/abstract"
+	"repro/internal/execution"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// Faults configures probabilistic fault injection.
+type Faults struct {
+	// DropProb is the probability a broadcast copy to one destination is
+	// lost entirely.
+	DropProb float64
+	// DupProb is the probability a broadcast copy is enqueued twice.
+	DupProb float64
+	// Reorder makes DeliverOne pick a random queued message instead of the
+	// oldest deliverable one.
+	Reorder bool
+	// Adversarial makes DeliverOne prefer the NEWEST deliverable message
+	// (LIFO), maximizing reordering pressure on causal buffering: dependent
+	// updates systematically arrive before their dependencies.
+	Adversarial bool
+}
+
+type queuedMsg struct {
+	msgID int
+	from  model.ReplicaID
+}
+
+// Cluster simulates n replicas of one store.
+type Cluster struct {
+	st       store.Store
+	n        int
+	replicas []store.Replica
+	checkers []*store.PropertyChecker
+	exec     *execution.Execution
+	queues   [][]queuedMsg // inbound queue per replica
+	rng      *rand.Rand
+	faults   Faults
+
+	// connected[i][j] reports whether messages currently flow from i to j.
+	connected [][]bool
+
+	// Visibility derivation: one row per recorded do event.
+	doEvents []int       // event Seq of each do event
+	doDots   []model.Dot // dot of each do event's mutator (zero Seq for reads)
+	sees     [][]bool    // sees[j][i]: do event j sees the dot of do event i
+}
+
+// NewCluster creates a cluster of n replicas of st with a seeded RNG.
+func NewCluster(st store.Store, n int, seed int64) *Cluster {
+	c := &Cluster{
+		st:     st,
+		n:      n,
+		exec:   execution.New(),
+		queues: make([][]queuedMsg, n),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	c.connected = make([][]bool, n)
+	for i := range c.connected {
+		c.connected[i] = make([]bool, n)
+		for j := range c.connected[i] {
+			c.connected[i][j] = i != j
+		}
+	}
+	for i := 0; i < n; i++ {
+		r := st.NewReplica(model.ReplicaID(i), n)
+		c.replicas = append(c.replicas, r)
+		c.checkers = append(c.checkers, store.NewPropertyChecker(r))
+	}
+	return c
+}
+
+// N returns the number of replicas.
+func (c *Cluster) N() int { return c.n }
+
+// Store returns the store under simulation.
+func (c *Cluster) Store() store.Store { return c.st }
+
+// Replica returns replica r (for store-specific inspection in tests).
+func (c *Cluster) Replica(r model.ReplicaID) store.Replica { return c.replicas[r] }
+
+// Execution returns the recorded concrete execution.
+func (c *Cluster) Execution() *execution.Execution { return c.exec }
+
+// SetFaults installs fault injection for subsequent sends/deliveries.
+func (c *Cluster) SetFaults(f Faults) { c.faults = f }
+
+// Do invokes op on obj at replica r, records the do event, snapshots
+// visibility, and returns the response.
+func (c *Cluster) Do(r model.ReplicaID, obj model.ObjectID, op model.Operation) model.Response {
+	rep := c.replicas[r]
+	resp := c.checkers[r].CheckDo(obj, op, func() model.Response { return rep.Do(obj, op) })
+	e := c.exec.AppendDo(r, obj, op, resp)
+
+	var dot model.Dot
+	if op.Kind.IsMutator() {
+		if dr, ok := rep.(store.DotReporter); ok {
+			if d, has := dr.LastDot(); has {
+				dot = d
+			}
+		}
+	}
+	row := make([]bool, len(c.doDots))
+	if vr, ok := rep.(store.VisReporter); ok {
+		for i, d := range c.doDots {
+			if d.Seq != 0 && vr.Sees(d) {
+				row[i] = true
+			}
+		}
+	}
+	c.doEvents = append(c.doEvents, e.Seq)
+	c.doDots = append(c.doDots, dot)
+	c.sees = append(c.sees, row)
+	return resp
+}
+
+// Send broadcasts replica r's pending message, if any, recording the send
+// event and enqueueing a copy per destination (subject to faults and
+// partitions — a partition delays enqueued copies, which stay queued until
+// delivered after healing; a drop removes the copy entirely). It returns the
+// message ID and whether a message was sent.
+func (c *Cluster) Send(r model.ReplicaID) (int, bool) {
+	payload := c.replicas[r].PendingMessage()
+	if payload == nil {
+		return 0, false
+	}
+	e := c.exec.AppendSend(r, payload)
+	c.replicas[r].OnSend()
+	for to := 0; to < c.n; to++ {
+		if model.ReplicaID(to) == r {
+			continue
+		}
+		if c.rng.Float64() < c.faults.DropProb {
+			continue
+		}
+		copies := 1
+		if c.rng.Float64() < c.faults.DupProb {
+			copies = 2
+		}
+		for k := 0; k < copies; k++ {
+			c.queues[to] = append(c.queues[to], queuedMsg{msgID: e.MsgID, from: r})
+		}
+	}
+	return e.MsgID, true
+}
+
+// SendAll broadcasts every replica's pending message, returning how many
+// messages were sent.
+func (c *Cluster) SendAll() int {
+	sent := 0
+	for r := 0; r < c.n; r++ {
+		if _, ok := c.Send(model.ReplicaID(r)); ok {
+			sent++
+		}
+	}
+	return sent
+}
+
+// deliverIndex removes queue entry i of replica to and applies it.
+func (c *Cluster) deliverIndex(to model.ReplicaID, i int) {
+	q := c.queues[to]
+	m := q[i]
+	c.queues[to] = append(q[:i], q[i+1:]...)
+	msg, ok := c.exec.Message(m.msgID)
+	if !ok {
+		panic(fmt.Sprintf("sim: queued unknown message m%d", m.msgID))
+	}
+	c.exec.AppendReceive(to, m.msgID)
+	c.checkers[to].CheckReceive(msg.Payload, func() { c.replicas[to].Receive(msg.Payload) })
+}
+
+// deliverable returns the indices of queue entries currently allowed through
+// the partition.
+func (c *Cluster) deliverable(to model.ReplicaID) []int {
+	var idx []int
+	for i, m := range c.queues[to] {
+		if c.connected[m.from][to] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// DeliverOne delivers one queued message to replica to: the oldest
+// deliverable one, or a random one when reordering is enabled. It reports
+// whether anything was delivered.
+func (c *Cluster) DeliverOne(to model.ReplicaID) bool {
+	idx := c.deliverable(to)
+	if len(idx) == 0 {
+		return false
+	}
+	pick := idx[0]
+	switch {
+	case c.faults.Adversarial:
+		pick = idx[len(idx)-1]
+	case c.faults.Reorder:
+		pick = idx[c.rng.Intn(len(idx))]
+	}
+	c.deliverIndex(to, pick)
+	return true
+}
+
+// DeliverFrom delivers the oldest queued message from a specific sender to a
+// specific destination, ignoring partitions (used by scripted scenarios).
+func (c *Cluster) DeliverFrom(to, from model.ReplicaID) bool {
+	for i, m := range c.queues[to] {
+		if m.from == from {
+			c.deliverIndex(to, i)
+			return true
+		}
+	}
+	return false
+}
+
+// DeliverMsg delivers a specific message instance to a destination if it is
+// queued there, ignoring partitions.
+func (c *Cluster) DeliverMsg(to model.ReplicaID, msgID int) bool {
+	for i, m := range c.queues[to] {
+		if m.msgID == msgID {
+			c.deliverIndex(to, i)
+			return true
+		}
+	}
+	return false
+}
+
+// QueueLen returns the number of messages queued for replica to.
+func (c *Cluster) QueueLen(to model.ReplicaID) int { return len(c.queues[to]) }
+
+// Partition splits the cluster into groups; messages flow only within a
+// group. Replicas absent from every group are isolated.
+func (c *Cluster) Partition(groups ...[]model.ReplicaID) {
+	group := make(map[model.ReplicaID]int)
+	for gi, g := range groups {
+		for _, r := range g {
+			group[r] = gi + 1
+		}
+	}
+	for i := 0; i < c.n; i++ {
+		for j := 0; j < c.n; j++ {
+			gi, gj := group[model.ReplicaID(i)], group[model.ReplicaID(j)]
+			c.connected[i][j] = i != j && gi == gj && gi != 0
+		}
+	}
+}
+
+// Heal restores full connectivity.
+func (c *Cluster) Heal() {
+	for i := 0; i < c.n; i++ {
+		for j := 0; j < c.n; j++ {
+			c.connected[i][j] = i != j
+		}
+	}
+}
+
+// Quiesce heals the network, then alternates broadcasting every pending
+// message and delivering every queued message until neither remains,
+// producing a quiescent execution (Definition 17). It terminates for any
+// op-driven store: deliveries create no new pending messages. The fault
+// configuration is suspended so quiescence is actually reachable.
+func (c *Cluster) Quiesce() {
+	savedFaults := c.faults
+	c.faults = Faults{}
+	c.Heal()
+	for {
+		sent := c.SendAll()
+		delivered := 0
+		for to := 0; to < c.n; to++ {
+			for c.DeliverOne(model.ReplicaID(to)) {
+				delivered++
+			}
+		}
+		if sent == 0 && delivered == 0 {
+			break
+		}
+	}
+	c.faults = savedFaults
+}
+
+// IsQuiescent reports whether no replica has a pending message and no
+// message is queued (Definition 17 for the recorded run).
+func (c *Cluster) IsQuiescent() bool {
+	for r := 0; r < c.n; r++ {
+		if c.replicas[r].PendingMessage() != nil || len(c.queues[r]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadAll performs a read of obj at every replica and returns the responses
+// (recorded as do events).
+func (c *Cluster) ReadAll(obj model.ObjectID) []model.Response {
+	out := make([]model.Response, c.n)
+	for r := 0; r < c.n; r++ {
+		out[r] = c.Do(model.ReplicaID(r), obj, model.Read())
+	}
+	return out
+}
+
+// CheckConverged verifies Lemma 3's conclusion on the current (quiescent)
+// state: reads of every listed object return the same response at every
+// replica. The reads are recorded like any other client operations.
+func (c *Cluster) CheckConverged(objects []model.ObjectID) error {
+	for _, obj := range objects {
+		resps := c.ReadAll(obj)
+		for r := 1; r < c.n; r++ {
+			if !resps[r].Equal(resps[0]) {
+				return fmt.Errorf("sim: %s diverged after quiescence: r0 reads %s, r%d reads %s", obj, resps[0], r, resps[r])
+			}
+		}
+	}
+	return nil
+}
+
+// PropertyViolations aggregates the §4 property violations observed at all
+// replicas.
+func (c *Cluster) PropertyViolations() []*store.PropertyViolation {
+	var out []*store.PropertyViolation
+	for _, ch := range c.checkers {
+		out = append(out, ch.Violations()...)
+	}
+	return out
+}
+
+// DerivedAbstract builds the abstract execution this run complies with,
+// using the per-do-event visibility snapshots. H is the global do order and
+// e_i -vis-> e_j iff one of:
+//
+//   - session order: same replica, i before j;
+//   - e_i is a mutator whose dot was visible at R(e_j) when e_j executed;
+//   - e_i is a read whose causal past (the set of mutators it saw) is
+//     contained in e_j's.
+//
+// The read rule matters: reads leave no trace in store state, but the
+// abstract execution must still relate them to later events or visibility
+// loses transitivity (a read session-precedes a local write that then
+// propagates) and eventual consistency would be vacuously violated by
+// never-visible reads. Containment of causal pasts is the strongest
+// visibility a complying execution can claim for a read, and for a causally
+// consistent store it keeps the derived relation transitive. Read-source
+// edges never affect specification evaluation, so correctness is untouched.
+func (c *Cluster) DerivedAbstract() *abstract.Execution {
+	a := abstract.New()
+	does := c.exec.DoEvents()
+	for _, e := range does {
+		a.Append(e)
+	}
+	// readPastContained reports whether read i's seen-mutator set is a
+	// subset of event j's.
+	readPastContained := func(i, j int) bool {
+		for m := 0; m < i; m++ {
+			if c.doDots[m].Seq != 0 && c.sees[i][m] && !c.sees[j][m] {
+				return false
+			}
+		}
+		return true
+	}
+	for j := range does {
+		for i := 0; i < j; i++ {
+			switch {
+			case does[i].Replica == does[j].Replica:
+				a.AddVis(i, j)
+			case c.doDots[i].Seq != 0: // mutator: dot visibility
+				if c.sees[j][i] {
+					a.AddVis(i, j)
+				}
+			default: // read: causal-past containment
+				if readPastContained(i, j) {
+					a.AddVis(i, j)
+				}
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// WorkloadConfig drives a randomized client/network schedule against a
+// cluster. All randomness comes from the cluster's seeded RNG, so runs are
+// reproducible.
+type WorkloadConfig struct {
+	// Objects is the object pool operated on (must be non-empty).
+	Objects []model.ObjectID
+	// Steps is the number of scheduler steps.
+	Steps int
+	// MutateRatio is the fraction of client operations that mutate
+	// (default 0.5).
+	MutateRatio float64
+	// SendProb is the per-step probability of broadcasting a random
+	// replica's pending message (default 0.3).
+	SendProb float64
+	// DeliverProb is the per-step probability of delivering one queued
+	// message to a random replica (default 0.4).
+	DeliverProb float64
+	// SetValues is the value pool for ORset adds/removes (default small
+	// pool). MVR/register writes always use globally unique values, per the
+	// paper's distinct-values assumption.
+	SetValues []model.Value
+}
+
+func (cfg *WorkloadConfig) defaults() {
+	if cfg.MutateRatio == 0 {
+		cfg.MutateRatio = 0.5
+	}
+	if cfg.SendProb == 0 {
+		cfg.SendProb = 0.3
+	}
+	if cfg.DeliverProb == 0 {
+		cfg.DeliverProb = 0.4
+	}
+	if len(cfg.SetValues) == 0 {
+		cfg.SetValues = []model.Value{"a", "b", "c", "d"}
+	}
+}
+
+// RunRandom executes a random workload: each step performs one client
+// operation at a random replica and then, independently, possibly broadcasts
+// and possibly delivers. Returns the number of client operations performed.
+func (c *Cluster) RunRandom(cfg WorkloadConfig) int {
+	cfg.defaults()
+	if len(cfg.Objects) == 0 {
+		panic("sim: workload needs at least one object")
+	}
+	types := c.st.Types()
+	ops := 0
+	nextValue := 0
+	for step := 0; step < cfg.Steps; step++ {
+		r := model.ReplicaID(c.rng.Intn(c.n))
+		obj := cfg.Objects[c.rng.Intn(len(cfg.Objects))]
+		op := model.Read()
+		if c.rng.Float64() < cfg.MutateRatio {
+			switch types.Of(obj) {
+			case spec.TypeMVR, spec.TypeRegister:
+				nextValue++
+				op = model.Write(model.Value(fmt.Sprintf("v%d.%d", r, nextValue)))
+			case spec.TypeORSet:
+				v := cfg.SetValues[c.rng.Intn(len(cfg.SetValues))]
+				if c.rng.Float64() < 0.5 {
+					op = model.Add(v)
+				} else {
+					op = model.Remove(v)
+				}
+			case spec.TypeCounter:
+				op = model.Inc(int64(c.rng.Intn(5) - 2))
+			}
+		}
+		c.Do(r, obj, op)
+		ops++
+		if c.rng.Float64() < cfg.SendProb {
+			c.Send(model.ReplicaID(c.rng.Intn(c.n)))
+		}
+		if c.rng.Float64() < cfg.DeliverProb {
+			c.DeliverOne(model.ReplicaID(c.rng.Intn(c.n)))
+		}
+	}
+	return ops
+}

@@ -1,0 +1,278 @@
+// Package spec implements the replicated object specifications of the
+// paper's Figure 1 — read/write (last-writer-wins) register, multi-valued
+// register (MVR), and observed-remove set (ORset) — plus a PN-counter
+// extension, and the correctness check of Definition 8.
+//
+// A replicated object specification determines the return value of each
+// operation from its operation context (Definition 7): the prior same-object
+// operations visible to it, with visibility restricted to them, plus the
+// total order H to break ties where a specification needs one (only the
+// register does).
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/abstract"
+	"repro/internal/model"
+)
+
+// ObjectType selects which Figure 1 specification an object follows.
+type ObjectType int
+
+// Supported replicated object types.
+const (
+	TypeMVR ObjectType = iota + 1
+	TypeRegister
+	TypeORSet
+	TypeCounter
+)
+
+// String returns the type name.
+func (t ObjectType) String() string {
+	switch t {
+	case TypeMVR:
+		return "mvr"
+	case TypeRegister:
+		return "register"
+	case TypeORSet:
+		return "orset"
+	case TypeCounter:
+		return "counter"
+	default:
+		return fmt.Sprintf("objecttype(%d)", int(t))
+	}
+}
+
+// Spec is a replicated object specification: the function f_o of §3.1,
+// mapping an operation context to the specified response of its target
+// event.
+type Spec interface {
+	// Type returns the object type this specification describes.
+	Type() ObjectType
+	// Eval returns f_o(ctxt(A, e)) — the response the specification assigns
+	// to the context's target event.
+	Eval(ctx *abstract.Context) model.Response
+	// Allows reports whether the operation kind is part of this type's
+	// interface.
+	Allows(k model.OpKind) bool
+}
+
+// ForType returns the specification for an object type.
+func ForType(t ObjectType) Spec {
+	switch t {
+	case TypeMVR:
+		return MVR{}
+	case TypeRegister:
+		return Register{}
+	case TypeORSet:
+		return ORSet{}
+	case TypeCounter:
+		return Counter{}
+	default:
+		panic(fmt.Sprintf("spec: unknown object type %d", int(t)))
+	}
+}
+
+// MVR is the multi-valued register of Figure 1(b): a read returns the set of
+// values written by the visible writes that are maximal under visibility —
+// i.e. the currently conflicting writes.
+type MVR struct{}
+
+// Type implements Spec.
+func (MVR) Type() ObjectType { return TypeMVR }
+
+// Allows implements Spec.
+func (MVR) Allows(k model.OpKind) bool { return k == model.OpRead || k == model.OpWrite }
+
+// Eval implements Figure 1(b):
+//
+//	f(H', vis', e) = ok                                   if op(e)=write(v)
+//	               = { v : ∃e1∈H' op(e1)=write(v) ∧
+//	                   ¬∃e2∈H' op(e2)=write(·) ∧ e1-vis'->e2 }  if op(e)=read
+func (MVR) Eval(ctx *abstract.Context) model.Response {
+	if ctx.Target().Op.Kind == model.OpWrite {
+		return model.OKResponse()
+	}
+	prior := ctx.Prior()
+	var values []model.Value
+	for i, e1 := range prior {
+		if e1.Op.Kind != model.OpWrite {
+			continue
+		}
+		dominated := false
+		for j, e2 := range prior {
+			if i != j && e2.Op.Kind == model.OpWrite && ctx.Vis(i, j) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			values = append(values, e1.Op.Arg)
+		}
+	}
+	return model.ReadResponse(values)
+}
+
+// Register is the read/write register of Figure 1(a): a read returns the
+// value of the last visible write in H' — the total order H resolves
+// conflicts between concurrent writes (last-writer-wins).
+type Register struct{}
+
+// Type implements Spec.
+func (Register) Type() ObjectType { return TypeRegister }
+
+// Allows implements Spec.
+func (Register) Allows(k model.OpKind) bool { return k == model.OpRead || k == model.OpWrite }
+
+// Eval implements Figure 1(a).
+func (Register) Eval(ctx *abstract.Context) model.Response {
+	if ctx.Target().Op.Kind == model.OpWrite {
+		return model.OKResponse()
+	}
+	prior := ctx.Prior()
+	for i := len(prior) - 1; i >= 0; i-- {
+		if prior[i].Op.Kind == model.OpWrite {
+			return model.ReadResponse([]model.Value{prior[i].Op.Arg})
+		}
+	}
+	return model.ReadResponse(nil)
+}
+
+// ORSet is the observed-remove set of Figure 1(c): a read returns every
+// value with a visible add that no visible remove observed — when an add and
+// a remove of the same element are concurrent, the add wins.
+type ORSet struct{}
+
+// Type implements Spec.
+func (ORSet) Type() ObjectType { return TypeORSet }
+
+// Allows implements Spec.
+func (ORSet) Allows(k model.OpKind) bool {
+	return k == model.OpRead || k == model.OpAdd || k == model.OpRemove
+}
+
+// Eval implements Figure 1(c):
+//
+//	read returns { v : ∃e1∈H' op(e1)=add(v) ∧
+//	               ¬∃e2∈H' op(e2)=remove(v) ∧ e1-vis'->e2 }
+func (ORSet) Eval(ctx *abstract.Context) model.Response {
+	if ctx.Target().Op.Kind != model.OpRead {
+		return model.OKResponse()
+	}
+	prior := ctx.Prior()
+	var values []model.Value
+	for i, e1 := range prior {
+		if e1.Op.Kind != model.OpAdd {
+			continue
+		}
+		removed := false
+		for j, e2 := range prior {
+			if e2.Op.Kind == model.OpRemove && e2.Op.Arg == e1.Op.Arg && ctx.Vis(i, j) {
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			values = append(values, e1.Op.Arg)
+		}
+	}
+	return model.ReadResponse(values)
+}
+
+// Counter is a PN-counter (an extension beyond Figure 1, in the same
+// framework): a read returns the sum of all visible increments.
+type Counter struct{}
+
+// Type implements Spec.
+func (Counter) Type() ObjectType { return TypeCounter }
+
+// Allows implements Spec.
+func (Counter) Allows(k model.OpKind) bool { return k == model.OpRead || k == model.OpInc }
+
+// Eval sums visible deltas for a read.
+func (Counter) Eval(ctx *abstract.Context) model.Response {
+	if ctx.Target().Op.Kind != model.OpRead {
+		return model.OKResponse()
+	}
+	var total int64
+	for _, e := range ctx.Prior() {
+		if e.Op.Kind == model.OpInc {
+			total += e.Op.Delta
+		}
+	}
+	return model.CountResponse(total)
+}
+
+// Types maps objects to their specifications; objects not present default to
+// DefaultType.
+type Types struct {
+	ByObject    map[model.ObjectID]ObjectType
+	DefaultType ObjectType
+}
+
+// MVRTypes returns a Types where every object is an MVR (the paper's focus).
+func MVRTypes() Types { return Types{DefaultType: TypeMVR} }
+
+// Of returns the type of object o.
+func (t Types) Of(o model.ObjectID) ObjectType {
+	if typ, ok := t.ByObject[o]; ok {
+		return typ
+	}
+	if t.DefaultType == 0 {
+		return TypeMVR
+	}
+	return t.DefaultType
+}
+
+// SpecOf returns the specification of object o.
+func (t Types) SpecOf(o model.ObjectID) Spec { return ForType(t.Of(o)) }
+
+// With returns a copy of t with object o assigned type typ.
+func (t Types) With(o model.ObjectID, typ ObjectType) Types {
+	by := make(map[model.ObjectID]ObjectType, len(t.ByObject)+1)
+	for k, v := range t.ByObject {
+		by[k] = v
+	}
+	by[o] = typ
+	return Types{ByObject: by, DefaultType: t.DefaultType}
+}
+
+// CorrectnessError reports the first event whose response deviates from its
+// specification.
+type CorrectnessError struct {
+	Index int
+	Event model.Event
+	Want  model.Response
+}
+
+// Error implements error.
+func (e *CorrectnessError) Error() string {
+	return fmt.Sprintf("spec: H[%d] = %s: got %s, specification requires %s",
+		e.Index, e.Event, e.Event.Rval, e.Want)
+}
+
+// CheckCorrect verifies Definition 8: for every object o, A|o belongs to
+// S(o); equivalently, every event's response equals f_o applied to its
+// operation context. It returns nil if A is correct, and a
+// *CorrectnessError identifying the first deviation otherwise.
+func CheckCorrect(a *abstract.Execution, types Types) error {
+	for j, e := range a.H {
+		sp := types.SpecOf(e.Object)
+		if !sp.Allows(e.Op.Kind) {
+			return fmt.Errorf("spec: H[%d] = %s: operation %s not in %s interface", j, e, e.Op.Kind, sp.Type())
+		}
+		want := sp.Eval(a.Context(j))
+		if !e.Rval.Equal(want) {
+			return &CorrectnessError{Index: j, Event: e, Want: want}
+		}
+	}
+	return nil
+}
+
+// Specified returns the response the specification assigns to event j in A,
+// from its current context. Generators use this to emit correct executions
+// by construction.
+func Specified(a *abstract.Execution, types Types, j int) model.Response {
+	return types.SpecOf(a.H[j].Object).Eval(a.Context(j))
+}

@@ -1,0 +1,308 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abstract"
+	"repro/internal/model"
+)
+
+// build constructs an abstract execution from (replica, object, op) rows
+// with explicit vis edges, assigning each event its specified response so
+// the result is correct by construction.
+type row struct {
+	r    model.ReplicaID
+	obj  model.ObjectID
+	op   model.Operation
+	vis  []int // extra vis predecessors (session edges must be listed too)
+	rval *model.Response
+}
+
+func build(t *testing.T, types Types, rows []row) *abstract.Execution {
+	t.Helper()
+	a := abstract.New()
+	for _, rw := range rows {
+		j := a.Append(model.Event{Replica: rw.r, Act: model.ActDo, Object: rw.obj, Op: rw.op})
+		for _, i := range rw.vis {
+			a.AddVis(i, j)
+		}
+		if rw.rval != nil {
+			a.SetRval(j, *rw.rval)
+		} else {
+			a.SetRval(j, Specified(a, types, j))
+		}
+	}
+	return a
+}
+
+func vals(vs ...model.Value) *model.Response {
+	r := model.ReadResponse(vs)
+	return &r
+}
+
+func TestMVREmptyRead(t *testing.T) {
+	types := MVRTypes()
+	a := build(t, types, []row{{r: 0, obj: "x", op: model.Read()}})
+	if got := a.H[0].Rval; len(got.Values) != 0 {
+		t.Fatalf("empty MVR read = %s", got)
+	}
+	if err := CheckCorrect(a, types); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVRReadSeesVisibleWrite(t *testing.T) {
+	types := MVRTypes()
+	a := build(t, types, []row{
+		{r: 0, obj: "x", op: model.Write("a")},
+		{r: 1, obj: "x", op: model.Read(), vis: []int{0}},
+	})
+	if got := a.H[1].Rval; !got.Equal(model.ReadResponse([]model.Value{"a"})) {
+		t.Fatalf("read = %s", got)
+	}
+}
+
+func TestMVRConcurrentWritesBothReturned(t *testing.T) {
+	types := MVRTypes()
+	a := build(t, types, []row{
+		{r: 0, obj: "x", op: model.Write("a")},
+		{r: 1, obj: "x", op: model.Write("b")},
+		{r: 2, obj: "x", op: model.Read(), vis: []int{0, 1}},
+	})
+	if got := a.H[2].Rval; !got.Equal(model.ReadResponse([]model.Value{"a", "b"})) {
+		t.Fatalf("read = %s", got)
+	}
+}
+
+func TestMVRDominatedWriteSuppressed(t *testing.T) {
+	types := MVRTypes()
+	a := build(t, types, []row{
+		{r: 0, obj: "x", op: model.Write("a")},
+		{r: 1, obj: "x", op: model.Write("b"), vis: []int{0}}, // b overwrites a
+		{r: 2, obj: "x", op: model.Read(), vis: []int{0, 1}},
+	})
+	if got := a.H[2].Rval; !got.Equal(model.ReadResponse([]model.Value{"b"})) {
+		t.Fatalf("read = %s", got)
+	}
+}
+
+func TestMVRInvisibleWriteIgnored(t *testing.T) {
+	types := MVRTypes()
+	a := build(t, types, []row{
+		{r: 0, obj: "x", op: model.Write("a")},
+		{r: 1, obj: "x", op: model.Read()}, // write not visible
+	})
+	if got := a.H[1].Rval; len(got.Values) != 0 {
+		t.Fatalf("read = %s", got)
+	}
+}
+
+func TestMVROtherObjectIgnored(t *testing.T) {
+	types := MVRTypes()
+	a := build(t, types, []row{
+		{r: 0, obj: "y", op: model.Write("a")},
+		{r: 1, obj: "x", op: model.Read(), vis: []int{0}},
+	})
+	if got := a.H[1].Rval; len(got.Values) != 0 {
+		t.Fatalf("cross-object leak: %s", got)
+	}
+}
+
+func TestRegisterLastWriteInHWins(t *testing.T) {
+	types := Types{DefaultType: TypeRegister}
+	a := build(t, types, []row{
+		{r: 0, obj: "reg", op: model.Write("a")},
+		{r: 1, obj: "reg", op: model.Write("b")}, // concurrent, later in H
+		{r: 2, obj: "reg", op: model.Read(), vis: []int{0, 1}},
+	})
+	if got := a.H[2].Rval; !got.Equal(model.ReadResponse([]model.Value{"b"})) {
+		t.Fatalf("register read = %s", got)
+	}
+}
+
+func TestRegisterEmptyRead(t *testing.T) {
+	types := Types{DefaultType: TypeRegister}
+	a := build(t, types, []row{{r: 0, obj: "reg", op: model.Read()}})
+	if got := a.H[0].Rval; len(got.Values) != 0 {
+		t.Fatalf("empty register read = %s", got)
+	}
+}
+
+func TestORSetAddVisible(t *testing.T) {
+	types := Types{DefaultType: TypeORSet}
+	a := build(t, types, []row{
+		{r: 0, obj: "s", op: model.Add("e")},
+		{r: 1, obj: "s", op: model.Read(), vis: []int{0}},
+	})
+	if got := a.H[1].Rval; !got.Equal(model.ReadResponse([]model.Value{"e"})) {
+		t.Fatalf("set read = %s", got)
+	}
+}
+
+func TestORSetObservedRemoveWins(t *testing.T) {
+	types := Types{DefaultType: TypeORSet}
+	a := build(t, types, []row{
+		{r: 0, obj: "s", op: model.Add("e")},
+		{r: 1, obj: "s", op: model.Remove("e"), vis: []int{0}},
+		{r: 2, obj: "s", op: model.Read(), vis: []int{0, 1}},
+	})
+	if got := a.H[2].Rval; len(got.Values) != 0 {
+		t.Fatalf("observed remove lost: %s", got)
+	}
+}
+
+func TestORSetConcurrentAddWins(t *testing.T) {
+	types := Types{DefaultType: TypeORSet}
+	a := build(t, types, []row{
+		{r: 0, obj: "s", op: model.Add("e")},
+		{r: 1, obj: "s", op: model.Remove("e")}, // concurrent with the add
+		{r: 2, obj: "s", op: model.Read(), vis: []int{0, 1}},
+	})
+	if got := a.H[2].Rval; !got.Equal(model.ReadResponse([]model.Value{"e"})) {
+		t.Fatalf("add should win over concurrent remove: %s", got)
+	}
+}
+
+func TestORSetRemoveOnlyNamedElement(t *testing.T) {
+	types := Types{DefaultType: TypeORSet}
+	a := build(t, types, []row{
+		{r: 0, obj: "s", op: model.Add("e")},
+		{r: 0, obj: "s", op: model.Add("f"), vis: []int{0}},
+		{r: 1, obj: "s", op: model.Remove("e"), vis: []int{0, 1}},
+		{r: 2, obj: "s", op: model.Read(), vis: []int{0, 1, 2}},
+	})
+	if got := a.H[3].Rval; !got.Equal(model.ReadResponse([]model.Value{"f"})) {
+		t.Fatalf("set read = %s", got)
+	}
+}
+
+func TestCounterSumsVisibleDeltas(t *testing.T) {
+	types := Types{DefaultType: TypeCounter}
+	a := build(t, types, []row{
+		{r: 0, obj: "c", op: model.Inc(5)},
+		{r: 1, obj: "c", op: model.Inc(-2)},
+		{r: 2, obj: "c", op: model.Read(), vis: []int{0, 1}},
+		{r: 2, obj: "c", op: model.Read(), vis: []int{0, 2}}, // misses the -2
+	})
+	if got := a.H[2].Rval; !got.Equal(model.CountResponse(3)) {
+		t.Fatalf("counter read = %s", got)
+	}
+}
+
+func TestCheckCorrectFlagsWrongResponse(t *testing.T) {
+	types := MVRTypes()
+	a := build(t, types, []row{
+		{r: 0, obj: "x", op: model.Write("a")},
+		{r: 1, obj: "x", op: model.Read(), vis: []int{0}, rval: vals("zzz")},
+	})
+	err := CheckCorrect(a, types)
+	if err == nil {
+		t.Fatal("expected correctness error")
+	}
+	var ce *CorrectnessError
+	if !asCorrectness(err, &ce) {
+		t.Fatalf("error type: %T", err)
+	}
+	if ce.Index != 1 || !strings.Contains(ce.Error(), "specification requires") {
+		t.Fatalf("error = %v", ce)
+	}
+}
+
+func asCorrectness(err error, target **CorrectnessError) bool {
+	ce, ok := err.(*CorrectnessError)
+	if ok {
+		*target = ce
+	}
+	return ok
+}
+
+func TestCheckCorrectFlagsWrongOperation(t *testing.T) {
+	types := Types{DefaultType: TypeRegister}
+	a := abstract.New()
+	a.Append(model.DoEvent(0, "reg", model.Add("e"), model.OKResponse()))
+	if err := CheckCorrect(a, types); err == nil {
+		t.Fatal("register must reject add")
+	}
+}
+
+func TestAllows(t *testing.T) {
+	cases := []struct {
+		sp   Spec
+		ok   []model.OpKind
+		deny []model.OpKind
+	}{
+		{MVR{}, []model.OpKind{model.OpRead, model.OpWrite}, []model.OpKind{model.OpAdd, model.OpInc}},
+		{Register{}, []model.OpKind{model.OpRead, model.OpWrite}, []model.OpKind{model.OpRemove}},
+		{ORSet{}, []model.OpKind{model.OpRead, model.OpAdd, model.OpRemove}, []model.OpKind{model.OpWrite}},
+		{Counter{}, []model.OpKind{model.OpRead, model.OpInc}, []model.OpKind{model.OpWrite}},
+	}
+	for _, tc := range cases {
+		for _, k := range tc.ok {
+			if !tc.sp.Allows(k) {
+				t.Errorf("%s should allow %s", tc.sp.Type(), k)
+			}
+		}
+		for _, k := range tc.deny {
+			if tc.sp.Allows(k) {
+				t.Errorf("%s should deny %s", tc.sp.Type(), k)
+			}
+		}
+	}
+}
+
+func TestTypesMapping(t *testing.T) {
+	types := MVRTypes().With("s", TypeORSet).With("c", TypeCounter)
+	if types.Of("anything") != TypeMVR {
+		t.Fatal("default type lost")
+	}
+	if types.Of("s") != TypeORSet || types.Of("c") != TypeCounter {
+		t.Fatal("per-object types lost")
+	}
+	if (Types{}).Of("x") != TypeMVR {
+		t.Fatal("zero Types should default to MVR")
+	}
+	if types.SpecOf("s").Type() != TypeORSet {
+		t.Fatal("SpecOf wrong")
+	}
+}
+
+func TestObjectTypeStrings(t *testing.T) {
+	for typ, want := range map[ObjectType]string{
+		TypeMVR: "mvr", TypeRegister: "register", TypeORSet: "orset", TypeCounter: "counter",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q", int(typ), got)
+		}
+	}
+	if got := ObjectType(9).String(); got != "objecttype(9)" {
+		t.Errorf("unknown type = %q", got)
+	}
+}
+
+func TestForTypePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ForType(ObjectType(99))
+}
+
+func TestMutatorsReturnOK(t *testing.T) {
+	types := MVRTypes().With("s", TypeORSet).With("c", TypeCounter)
+	a := build(t, types, []row{
+		{r: 0, obj: "x", op: model.Write("a")},
+		{r: 0, obj: "s", op: model.Add("e"), vis: []int{0}},
+		{r: 0, obj: "s", op: model.Remove("e"), vis: []int{0, 1}},
+		{r: 0, obj: "c", op: model.Inc(1), vis: []int{0, 1, 2}},
+	})
+	for j := range a.H {
+		if !a.H[j].Rval.OK {
+			t.Errorf("mutator %d response = %s", j, a.H[j].Rval)
+		}
+	}
+	if err := CheckCorrect(a, types); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,360 @@
+package causal
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func newPair(t *testing.T) (*Replica, *Replica) {
+	t.Helper()
+	st := New(spec.MVRTypes())
+	r0, ok0 := st.NewReplica(0, 2).(*Replica)
+	r1, ok1 := st.NewReplica(1, 2).(*Replica)
+	if !ok0 || !ok1 {
+		t.Fatal("causal store returned unexpected replica type")
+	}
+	return r0, r1
+}
+
+// relay broadcasts r's pending message into the peers.
+func relay(t *testing.T, from *Replica, to ...*Replica) []byte {
+	t.Helper()
+	payload := from.PendingMessage()
+	if payload == nil {
+		t.Fatal("expected a pending message")
+	}
+	from.OnSend()
+	for _, r := range to {
+		r.Receive(payload)
+	}
+	return payload
+}
+
+func TestLocalWriteImmediatelyVisible(t *testing.T) {
+	r0, _ := newPair(t)
+	if got := r0.Do("x", model.Write("a")); !got.OK {
+		t.Fatalf("write returned %s", got)
+	}
+	got := r0.Do("x", model.Read())
+	if want := model.ReadResponse([]model.Value{"a"}); !got.Equal(want) {
+		t.Fatalf("read = %s, want %s", got, want)
+	}
+}
+
+func TestReadOfUnwrittenObjectIsEmpty(t *testing.T) {
+	r0, _ := newPair(t)
+	if got := r0.Do("x", model.Read()); len(got.Values) != 0 {
+		t.Fatalf("read of fresh object = %s, want {}", got)
+	}
+}
+
+func TestRemoteWritePropagates(t *testing.T) {
+	r0, r1 := newPair(t)
+	r0.Do("x", model.Write("a"))
+	relay(t, r0, r1)
+	got := r1.Do("x", model.Read())
+	if want := model.ReadResponse([]model.Value{"a"}); !got.Equal(want) {
+		t.Fatalf("remote read = %s, want %s", got, want)
+	}
+}
+
+func TestConcurrentWritesSurfaceAsSiblings(t *testing.T) {
+	r0, r1 := newPair(t)
+	r0.Do("x", model.Write("a"))
+	r1.Do("x", model.Write("b"))
+	p0 := r0.PendingMessage()
+	r0.OnSend()
+	p1 := r1.PendingMessage()
+	r1.OnSend()
+	r0.Receive(p1)
+	r1.Receive(p0)
+	want := model.ReadResponse([]model.Value{"a", "b"})
+	if got := r0.Do("x", model.Read()); !got.Equal(want) {
+		t.Fatalf("r0 read = %s, want %s", got, want)
+	}
+	if got := r1.Do("x", model.Read()); !got.Equal(want) {
+		t.Fatalf("r1 read = %s, want %s", got, want)
+	}
+}
+
+func TestCausalOverwriteCollapsesSiblings(t *testing.T) {
+	r0, r1 := newPair(t)
+	r0.Do("x", model.Write("a"))
+	relay(t, r0, r1)
+	r1.Do("x", model.Write("b")) // causally after a
+	relay(t, r1, r0)
+	want := model.ReadResponse([]model.Value{"b"})
+	if got := r0.Do("x", model.Read()); !got.Equal(want) {
+		t.Fatalf("r0 read = %s, want %s", got, want)
+	}
+}
+
+func TestCausalBufferingHoldsOutOfOrderUpdate(t *testing.T) {
+	st := New(spec.MVRTypes())
+	r0 := st.NewReplica(0, 3).(*Replica)
+	r1 := st.NewReplica(1, 3).(*Replica)
+	r2 := st.NewReplica(2, 3).(*Replica)
+
+	r0.Do("x", model.Write("a"))
+	pa := r0.PendingMessage()
+	r0.OnSend()
+	r1.Receive(pa)
+	r1.Do("y", model.Write("b")) // depends on a
+	pb := r1.PendingMessage()
+	r1.OnSend()
+
+	// r2 receives b before a: it must buffer b, exposing neither y=b without
+	// its dependency nor a stale view afterwards.
+	r2.Receive(pb)
+	if got := r2.Do("y", model.Read()); len(got.Values) != 0 {
+		t.Fatalf("y visible before its dependency: %s", got)
+	}
+	if r2.BufferedUpdates() != 1 {
+		t.Fatalf("buffered = %d, want 1", r2.BufferedUpdates())
+	}
+	r2.Receive(pa)
+	if got, want := r2.Do("y", model.Read()), model.ReadResponse([]model.Value{"b"}); !got.Equal(want) {
+		t.Fatalf("y after both deliveries = %s, want %s", got, want)
+	}
+	if got, want := r2.Do("x", model.Read()), model.ReadResponse([]model.Value{"a"}); !got.Equal(want) {
+		t.Fatalf("x after both deliveries = %s, want %s", got, want)
+	}
+	if r2.BufferedUpdates() != 0 {
+		t.Fatalf("buffer not drained: %d", r2.BufferedUpdates())
+	}
+}
+
+func TestDuplicateDeliveryIsIdempotent(t *testing.T) {
+	r0, r1 := newPair(t)
+	r0.Do("x", model.Write("a"))
+	payload := relay(t, r0, r1)
+	before := r1.StateDigest()
+	r1.Receive(payload)
+	r1.Receive(payload)
+	if after := r1.StateDigest(); after != before {
+		t.Fatalf("duplicate delivery changed state:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}
+
+func TestReadsAreInvisible(t *testing.T) {
+	r0, r1 := newPair(t)
+	r0.Do("x", model.Write("a"))
+	relay(t, r0, r1)
+	before := r1.StateDigest()
+	r1.Do("x", model.Read())
+	r1.Do("nope", model.Read())
+	if after := r1.StateDigest(); after != before {
+		t.Fatal("read changed replica state (Definition 16 violated)")
+	}
+}
+
+func TestOpDrivenMessages(t *testing.T) {
+	r0, r1 := newPair(t)
+	if r0.PendingMessage() != nil {
+		t.Fatal("message pending in initial state (Definition 15 violated)")
+	}
+	r0.Do("x", model.Write("a"))
+	payload := r0.PendingMessage()
+	if payload == nil {
+		t.Fatal("no message pending after a write")
+	}
+	r0.OnSend()
+	if r0.PendingMessage() != nil {
+		t.Fatal("message still pending after send")
+	}
+	r1.Receive(payload)
+	if r1.PendingMessage() != nil {
+		t.Fatal("receive created a pending message (Definition 15 violated)")
+	}
+}
+
+func TestOutboxBatchesMultipleWrites(t *testing.T) {
+	r0, r1 := newPair(t)
+	r0.Do("x", model.Write("a"))
+	r0.Do("y", model.Write("b"))
+	r0.Do("z", model.Write("c"))
+	relay(t, r0, r1)
+	for _, tc := range []struct {
+		obj  model.ObjectID
+		want model.Value
+	}{{"x", "a"}, {"y", "b"}, {"z", "c"}} {
+		if got := r1.Do(tc.obj, model.Read()); !got.Equal(model.ReadResponse([]model.Value{tc.want})) {
+			t.Fatalf("read %s = %s, want {%s}", tc.obj, got, tc.want)
+		}
+	}
+}
+
+func TestPerUpdateMessagesOption(t *testing.T) {
+	st := NewWithOptions(spec.MVRTypes(), Options{PerUpdateMessages: true})
+	r0 := st.NewReplica(0, 2).(*Replica)
+	r1 := st.NewReplica(1, 2).(*Replica)
+	r0.Do("x", model.Write("a"))
+	r0.Do("y", model.Write("b"))
+	count := 0
+	for r0.PendingMessage() != nil {
+		p := r0.PendingMessage()
+		r0.OnSend()
+		r1.Receive(p)
+		count++
+		if count > 10 {
+			t.Fatal("per-update send never drained")
+		}
+	}
+	if count != 2 {
+		t.Fatalf("sent %d messages, want 2", count)
+	}
+	if got := r1.Do("y", model.Read()); !got.Equal(model.ReadResponse([]model.Value{"b"})) {
+		t.Fatalf("read y = %s", got)
+	}
+}
+
+func TestSparseDepsRoundTrip(t *testing.T) {
+	st := NewWithOptions(spec.MVRTypes(), Options{SparseDeps: true})
+	r0 := st.NewReplica(0, 8).(*Replica)
+	r1 := st.NewReplica(1, 8).(*Replica)
+	r0.Do("x", model.Write("a"))
+	p := r0.PendingMessage()
+	r0.OnSend()
+	r1.Receive(p)
+	if got := r1.Do("x", model.Read()); !got.Equal(model.ReadResponse([]model.Value{"a"})) {
+		t.Fatalf("sparse read = %s", got)
+	}
+}
+
+func TestLWWRegisterConvergesToLatest(t *testing.T) {
+	types := spec.Types{DefaultType: spec.TypeRegister}
+	st := New(types)
+	r0 := st.NewReplica(0, 2).(*Replica)
+	r1 := st.NewReplica(1, 2).(*Replica)
+	r0.Do("reg", model.Write("a"))
+	r1.Do("reg", model.Write("b"))
+	p0 := r0.PendingMessage()
+	r0.OnSend()
+	p1 := r1.PendingMessage()
+	r1.OnSend()
+	r0.Receive(p1)
+	r1.Receive(p0)
+	g0 := r0.Do("reg", model.Read())
+	g1 := r1.Do("reg", model.Read())
+	if !g0.Equal(g1) {
+		t.Fatalf("register diverged: %s vs %s", g0, g1)
+	}
+	if len(g0.Values) != 1 {
+		t.Fatalf("register read = %s, want a single value", g0)
+	}
+}
+
+func TestORSetAddWins(t *testing.T) {
+	types := spec.Types{DefaultType: spec.TypeORSet}
+	st := New(types)
+	r0 := st.NewReplica(0, 2).(*Replica)
+	r1 := st.NewReplica(1, 2).(*Replica)
+
+	r0.Do("s", model.Add("e"))
+	p := r0.PendingMessage()
+	r0.OnSend()
+	r1.Receive(p)
+
+	// Concurrently: r1 removes the observed add while r0 re-adds.
+	r1.Do("s", model.Remove("e"))
+	r0.Do("s", model.Add("e"))
+	p1 := r1.PendingMessage()
+	r1.OnSend()
+	p0 := r0.PendingMessage()
+	r0.OnSend()
+	r0.Receive(p1)
+	r1.Receive(p0)
+
+	want := model.ReadResponse([]model.Value{"e"}) // the concurrent add wins
+	if got := r0.Do("s", model.Read()); !got.Equal(want) {
+		t.Fatalf("r0 set = %s, want %s", got, want)
+	}
+	if got := r1.Do("s", model.Read()); !got.Equal(want) {
+		t.Fatalf("r1 set = %s, want %s", got, want)
+	}
+}
+
+func TestORSetRemoveObservedAdd(t *testing.T) {
+	types := spec.Types{DefaultType: spec.TypeORSet}
+	st := New(types)
+	r0 := st.NewReplica(0, 2).(*Replica)
+	r1 := st.NewReplica(1, 2).(*Replica)
+	r0.Do("s", model.Add("e"))
+	p := r0.PendingMessage()
+	r0.OnSend()
+	r1.Receive(p)
+	r1.Do("s", model.Remove("e"))
+	p1 := r1.PendingMessage()
+	r1.OnSend()
+	r0.Receive(p1)
+	if got := r0.Do("s", model.Read()); len(got.Values) != 0 {
+		t.Fatalf("observed remove did not remove: %s", got)
+	}
+}
+
+func TestCounterSumsDeltas(t *testing.T) {
+	types := spec.Types{DefaultType: spec.TypeCounter}
+	st := New(types)
+	r0 := st.NewReplica(0, 2).(*Replica)
+	r1 := st.NewReplica(1, 2).(*Replica)
+	r0.Do("c", model.Inc(5))
+	r1.Do("c", model.Inc(-2))
+	p0 := r0.PendingMessage()
+	r0.OnSend()
+	p1 := r1.PendingMessage()
+	r1.OnSend()
+	r0.Receive(p1)
+	r1.Receive(p0)
+	want := model.CountResponse(3)
+	if got := r0.Do("c", model.Read()); !got.Equal(want) {
+		t.Fatalf("r0 counter = %s, want %s", got, want)
+	}
+	if got := r1.Do("c", model.Read()); !got.Equal(want) {
+		t.Fatalf("r1 counter = %s, want %s", got, want)
+	}
+}
+
+func TestCorruptPayloadIgnored(t *testing.T) {
+	_, r1 := newPair(t)
+	before := r1.StateDigest()
+	r1.Receive([]byte{0xff, 0xff, 0xff})
+	if r1.StateDigest() != before {
+		t.Fatal("corrupt payload changed state")
+	}
+}
+
+func TestStateDigestMentionsObjects(t *testing.T) {
+	r0, _ := newPair(t)
+	r0.Do("x", model.Write("a"))
+	if d := r0.StateDigest(); !strings.Contains(d, "obj x") {
+		t.Fatalf("digest missing object state:\n%s", d)
+	}
+}
+
+func TestStoreNameReflectsOptions(t *testing.T) {
+	if got := NewWithOptions(spec.MVRTypes(), Options{SparseDeps: true}).Name(); got != "causal+sparse" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := New(spec.MVRTypes()).Name(); got != "causal" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestVisReporterTracksApplication(t *testing.T) {
+	r0, r1 := newPair(t)
+	r0.Do("x", model.Write("a"))
+	dot, ok := r0.LastDot()
+	if !ok || dot != (model.Dot{Origin: 0, Seq: 1}) {
+		t.Fatalf("LastDot = %v, %v", dot, ok)
+	}
+	if r1.Sees(dot) {
+		t.Fatal("r1 sees the write before delivery")
+	}
+	relay(t, r0, r1)
+	if !r1.Sees(dot) {
+		t.Fatal("r1 does not see the write after delivery")
+	}
+}

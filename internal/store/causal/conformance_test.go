@@ -1,0 +1,42 @@
+package causal_test
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/store/causal"
+	"repro/internal/store/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, storetest.Config{
+		Factory:          func() store.Store { return causal.New(spec.MVRTypes()) },
+		InvisibleReads:   true,
+		OpDrivenMessages: true,
+		Converges:        true,
+	})
+}
+
+func TestConformanceSparse(t *testing.T) {
+	storetest.Run(t, storetest.Config{
+		Factory: func() store.Store {
+			return causal.NewWithOptions(spec.MVRTypes(), causal.Options{SparseDeps: true})
+		},
+		InvisibleReads:   true,
+		OpDrivenMessages: true,
+		Converges:        true,
+	})
+}
+
+func TestConformancePerUpdate(t *testing.T) {
+	storetest.Run(t, storetest.Config{
+		Factory: func() store.Store {
+			return causal.NewWithOptions(spec.MVRTypes(), causal.Options{PerUpdateMessages: true})
+		},
+		InvisibleReads:   true,
+		OpDrivenMessages: true,
+		Converges:        true,
+		MaxSendsToDrain:  4,
+	})
+}

@@ -1,0 +1,22 @@
+package gsp_test
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/store/gsp"
+	"repro/internal/store/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, storetest.Config{
+		Factory:          func() store.Store { return gsp.New(spec.MVRTypes()) },
+		InvisibleReads:   true,
+		OpDrivenMessages: false, // violated by design: the sequencer commits on receive
+		Converges:        true,
+		// The sequencer assigns positions in arrival order, so delivery
+		// order is semantically significant.
+		SkipDeliveryCommutation: true,
+	})
+}

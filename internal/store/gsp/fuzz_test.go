@@ -1,0 +1,26 @@
+package gsp
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// FuzzReceive feeds arbitrary bytes to both the sequencer and a follower.
+func FuzzReceive(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x01})
+	src := New(spec.MVRTypes()).NewReplica(1, 3)
+	src.Do("x", model.Write("a"))
+	f.Add(src.PendingMessage())
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		for _, id := range []model.ReplicaID{0, 2} {
+			r := New(spec.MVRTypes()).NewReplica(id, 3)
+			r.Receive(payload)
+			_ = r.Do("x", model.Read())
+			_ = r.StateDigest()
+			_ = r.PendingMessage()
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package kbuffer_test
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/store/kbuffer"
+	"repro/internal/store/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	const k = 2
+	storetest.Run(t, storetest.Config{
+		Factory:          func() store.Store { return kbuffer.New(spec.MVRTypes(), k) },
+		InvisibleReads:   false, // violated by design (§5.3)
+		OpDrivenMessages: true,
+		Converges:        true,
+		// K reads must elapse before withheld messages expose.
+		ConvergenceReadRounds: k + 1,
+		// Held payloads are deduplicated only at exposure time.
+		SkipDuplicateIdempotence: true,
+	})
+}

@@ -1,0 +1,19 @@
+package lww_test
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/store/lww"
+	"repro/internal/store/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, storetest.Config{
+		Factory:          func() store.Store { return lww.New(spec.MVRTypes()) },
+		InvisibleReads:   true,
+		OpDrivenMessages: true,
+		Converges:        true,
+	})
+}

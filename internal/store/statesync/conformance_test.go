@@ -1,0 +1,19 @@
+package statesync_test
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/store/statesync"
+	"repro/internal/store/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, storetest.Config{
+		Factory:          func() store.Store { return statesync.New(spec.MVRTypes()) },
+		InvisibleReads:   true,
+		OpDrivenMessages: true,
+		Converges:        true,
+	})
+}

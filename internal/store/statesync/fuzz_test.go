@@ -1,0 +1,25 @@
+package statesync
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// FuzzReceive feeds arbitrary bytes to a state-based replica: joins of
+// undecodable payloads must be no-ops and never panic.
+func FuzzReceive(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00})
+	src := New(spec.MVRTypes()).NewReplica(0, 2)
+	src.Do("x", model.Write("a"))
+	src.Do("s", model.Write("b"))
+	f.Add(src.PendingMessage())
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r := New(spec.MVRTypes()).NewReplica(1, 2)
+		r.Receive(payload)
+		_ = r.Do("x", model.Read())
+		_ = r.StateDigest()
+	})
+}

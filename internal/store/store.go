@@ -1,0 +1,163 @@
+// Package store defines the replica state-machine interface of the paper's
+// §2 model — replicas handle client operations immediately (high
+// availability), broadcast messages, and receive messages — together with
+// checkable forms of the two write-propagating properties of §4:
+// op-driven messages (Definition 15) and invisible reads (Definition 16).
+//
+// Concrete data stores live in the subpackages: store/causal (the flagship
+// causally+eventually consistent store), store/lww (a store that totally
+// orders concurrent writes, hiding concurrency), and store/kbuffer (the §5.3
+// counterexample whose reads are not invisible).
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// Replica is the state machine R = (Σ, σ₀, E, Δ) of §2, exposed through its
+// three event kinds. All methods are single-threaded: the simulator drives
+// each replica from one goroutine, which models the paper's interleaving
+// semantics directly.
+type Replica interface {
+	// ID returns the replica's identity.
+	ID() model.ReplicaID
+
+	// Do applies a client operation and immediately returns its response,
+	// without communicating with other replicas (the high-availability
+	// requirement of the model).
+	Do(obj model.ObjectID, op model.Operation) model.Response
+
+	// PendingMessage returns the broadcast payload the replica wants to
+	// send, or nil if no message is pending. Per the model, the content is a
+	// deterministic function of the state, and a single send relays
+	// everything the replica has to send.
+	PendingMessage() []byte
+
+	// OnSend transitions the replica past its send event; afterwards no
+	// message is pending (the model's assumption that a send event relays
+	// everything the replica has to send).
+	OnSend()
+
+	// Receive applies a received broadcast payload. Duplicate and reordered
+	// deliveries must be tolerated (well-formed executions permit them).
+	Receive(payload []byte)
+
+	// StateDigest returns a deterministic fingerprint of the full replica
+	// state σ, used by the invisible-reads checker (Definition 16) and by
+	// convergence checks (Lemma 3).
+	StateDigest() string
+}
+
+// Store is a data store D: a named factory of replicas sharing a
+// configuration.
+type Store interface {
+	// Name identifies the store in reports.
+	Name() string
+	// NewReplica creates the replica with the given identity in a population
+	// of n replicas.
+	NewReplica(id model.ReplicaID, n int) Replica
+	// Types returns the object typing the store serves.
+	Types() spec.Types
+}
+
+// DotReporter is implemented by replicas that can identify their latest
+// local mutator with a dot, letting the simulator derive the visibility
+// relation of the run.
+type DotReporter interface {
+	// LastDot returns the dot of the most recent local mutator, and whether
+	// one exists.
+	LastDot() (model.Dot, bool)
+}
+
+// VisReporter is implemented by replicas that can report which update dots
+// are currently visible to their reads. The simulator snapshots this at each
+// do event to derive the abstract execution the run complies with.
+type VisReporter interface {
+	// Sees reports whether the update identified by d is visible to client
+	// operations at this replica in its current state.
+	Sees(d model.Dot) bool
+}
+
+// PropertyViolation describes a detected violation of a §4 property.
+type PropertyViolation struct {
+	Property string
+	Replica  model.ReplicaID
+	Detail   string
+}
+
+// Error implements error.
+func (v *PropertyViolation) Error() string {
+	return fmt.Sprintf("store: %s violated at r%d: %s", v.Property, v.Replica, v.Detail)
+}
+
+// PropertyChecker observes a replica's transitions and reports violations of
+// the write-propagating store properties:
+//
+//   - invisible reads (Definition 16): a read leaves the state unchanged;
+//   - op-driven messages (Definition 15): no message is pending initially,
+//     and receiving a message never creates a pending message where none
+//     existed.
+//
+// The simulator wires one checker around every replica it drives.
+type PropertyChecker struct {
+	replica    Replica
+	violations []*PropertyViolation
+}
+
+// NewPropertyChecker wraps a freshly created replica and immediately checks
+// Definition 15(1): no message pending in the initial state.
+func NewPropertyChecker(r Replica) *PropertyChecker {
+	c := &PropertyChecker{replica: r}
+	if r.PendingMessage() != nil {
+		c.report("op-driven messages", "message pending in initial state σ₀")
+	}
+	return c
+}
+
+func (c *PropertyChecker) report(property, detail string) {
+	c.violations = append(c.violations, &PropertyViolation{
+		Property: property,
+		Replica:  c.replica.ID(),
+		Detail:   detail,
+	})
+}
+
+// BeforeDo/AfterDo bracket a do event; for reads they compare state digests
+// (Definition 16).
+func (c *PropertyChecker) CheckDo(obj model.ObjectID, op model.Operation, do func() model.Response) model.Response {
+	var before string
+	if op.Kind == model.OpRead {
+		before = c.replica.StateDigest()
+	}
+	resp := do()
+	if op.Kind == model.OpRead {
+		if after := c.replica.StateDigest(); after != before {
+			c.report("invisible reads", fmt.Sprintf("read of %s changed replica state", obj))
+		}
+	}
+	return resp
+}
+
+// CheckReceive brackets a receive event, enforcing Definition 15(2): if no
+// message was pending before the receive, none may be pending after.
+func (c *PropertyChecker) CheckReceive(payload []byte, receive func()) {
+	pendingBefore := c.replica.PendingMessage() != nil
+	receive()
+	if !pendingBefore && c.replica.PendingMessage() != nil {
+		c.report("op-driven messages", "receive created a pending message")
+	}
+}
+
+// Violations returns all violations observed so far.
+func (c *PropertyChecker) Violations() []*PropertyViolation { return c.violations }
+
+// Err returns the first violation as an error, or nil.
+func (c *PropertyChecker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return c.violations[0]
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// fakeReplica is a scriptable replica for exercising the property checkers.
+type fakeReplica struct {
+	id            model.ReplicaID
+	digest        string
+	pending       []byte
+	mutateOnRead  bool
+	pendOnReceive bool
+	reads         int
+}
+
+func (f *fakeReplica) ID() model.ReplicaID { return f.id }
+
+func (f *fakeReplica) Do(obj model.ObjectID, op model.Operation) model.Response {
+	if op.Kind == model.OpRead {
+		f.reads++
+		if f.mutateOnRead {
+			f.digest = "read" + strconv.Itoa(f.reads)
+		}
+		return model.ReadResponse(nil)
+	}
+	f.digest += "w"
+	f.pending = []byte{1}
+	return model.OKResponse()
+}
+
+func (f *fakeReplica) PendingMessage() []byte { return f.pending }
+func (f *fakeReplica) OnSend()                { f.pending = nil }
+func (f *fakeReplica) Receive(payload []byte) {
+	if f.pendOnReceive {
+		f.pending = []byte{2}
+	}
+}
+func (f *fakeReplica) StateDigest() string { return f.digest }
+
+func TestCheckerCleanReplica(t *testing.T) {
+	f := &fakeReplica{id: 1}
+	c := NewPropertyChecker(f)
+	c.CheckDo("x", model.Write("a"), func() model.Response { return f.Do("x", model.Write("a")) })
+	c.CheckDo("x", model.Read(), func() model.Response { return f.Do("x", model.Read()) })
+	c.CheckReceive(nil, func() { f.Receive(nil) })
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Violations()) != 0 {
+		t.Fatalf("violations: %v", c.Violations())
+	}
+}
+
+func TestCheckerFlagsInitialPending(t *testing.T) {
+	f := &fakeReplica{id: 2, pending: []byte{9}}
+	c := NewPropertyChecker(f)
+	if c.Err() == nil {
+		t.Fatal("initial pending message undetected")
+	}
+}
+
+func TestCheckerFlagsVisibleRead(t *testing.T) {
+	f := &fakeReplica{id: 3, mutateOnRead: true}
+	c := NewPropertyChecker(f)
+	c.CheckDo("x", model.Read(), func() model.Response { return f.Do("x", model.Read()) })
+	err := c.Err()
+	if err == nil {
+		t.Fatal("visible read undetected")
+	}
+	var pv *PropertyViolation
+	if !asViolation(err, &pv) || pv.Property != "invisible reads" || pv.Replica != 3 {
+		t.Fatalf("violation = %v", err)
+	}
+}
+
+func asViolation(err error, target **PropertyViolation) bool {
+	pv, ok := err.(*PropertyViolation)
+	if ok {
+		*target = pv
+	}
+	return ok
+}
+
+func TestCheckerIgnoresWriteStateChanges(t *testing.T) {
+	f := &fakeReplica{id: 4}
+	c := NewPropertyChecker(f)
+	c.CheckDo("x", model.Write("a"), func() model.Response { return f.Do("x", model.Write("a")) })
+	if c.Err() != nil {
+		t.Fatal("writes may change state")
+	}
+}
+
+func TestCheckerFlagsMessageDrivenMessages(t *testing.T) {
+	f := &fakeReplica{id: 5, pendOnReceive: true}
+	c := NewPropertyChecker(f)
+	c.CheckReceive([]byte{1}, func() { f.Receive([]byte{1}) })
+	err := c.Err()
+	if err == nil {
+		t.Fatal("message-driven message undetected")
+	}
+	var pv *PropertyViolation
+	if !asViolation(err, &pv) || pv.Property != "op-driven messages" {
+		t.Fatalf("violation = %v", err)
+	}
+}
+
+func TestCheckerAllowsPendingThroughReceive(t *testing.T) {
+	// Definition 15(2) only forbids creating a pending message where none
+	// existed; keeping one pending is fine.
+	f := &fakeReplica{id: 6, pendOnReceive: true}
+	c := NewPropertyChecker(f)
+	f.Do("x", model.Write("a")) // creates pending
+	c.CheckReceive([]byte{1}, func() { f.Receive([]byte{1}) })
+	if c.Err() != nil {
+		t.Fatalf("unexpected violation: %v", c.Err())
+	}
+}
+
+func TestViolationErrorString(t *testing.T) {
+	v := &PropertyViolation{Property: "invisible reads", Replica: 7, Detail: "boom"}
+	want := "store: invisible reads violated at r7: boom"
+	if v.Error() != want {
+		t.Fatalf("error = %q", v.Error())
+	}
+}

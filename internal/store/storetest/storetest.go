@@ -1,0 +1,248 @@
+// Package storetest provides a reusable conformance suite for store.Store
+// implementations: the §2 state-machine contract (deterministic pending
+// messages, a send relays everything), tolerance of the deliveries
+// well-formed executions permit (duplication, reordering), determinism of
+// state digests, and — where the store claims them — the §4
+// write-propagating properties and quiescent convergence.
+//
+// Each store's test package calls Run with a Config describing which
+// optional properties the store claims. New stores get the full battery for
+// one line of code.
+package storetest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Config declares which properties the store under test claims.
+type Config struct {
+	// Factory builds a fresh store per subtest.
+	Factory func() store.Store
+	// InvisibleReads: the store claims Definition 16.
+	InvisibleReads bool
+	// OpDrivenMessages: the store claims Definition 15.
+	OpDrivenMessages bool
+	// Converges: quiescence implies convergence (Lemma 3) under a loss-free
+	// random schedule.
+	Converges bool
+	// ConvergenceReadRounds is how many read rounds expose withheld state
+	// before convergence is asserted (the K-buffer store needs K).
+	ConvergenceReadRounds int
+	// MaxSendsToDrain bounds how many consecutive sends empty the outbox
+	// (per-update stores need more than one).
+	MaxSendsToDrain int
+	// SkipDuplicateIdempotence skips the digest-level redelivery check for
+	// stores whose transient state tracks deliveries (K-buffer holds
+	// duplicate payloads until exposure; it stays correct, but not
+	// digest-identical).
+	SkipDuplicateIdempotence bool
+	// SkipDeliveryCommutation skips the delivery-order check for stores
+	// that order messages by design (the GSP sequencer assigns global
+	// positions in arrival order).
+	SkipDeliveryCommutation bool
+	// Mutator returns a supported mutator operation with a unique value per
+	// call (defaults to MVR writes).
+	Mutator func(i int) (model.ObjectID, model.Operation)
+}
+
+func (c *Config) defaults() {
+	if c.ConvergenceReadRounds == 0 {
+		c.ConvergenceReadRounds = 1
+	}
+	if c.MaxSendsToDrain == 0 {
+		c.MaxSendsToDrain = 1
+	}
+	if c.Mutator == nil {
+		c.Mutator = func(i int) (model.ObjectID, model.Operation) {
+			return model.ObjectID(fmt.Sprintf("obj%d", i%3)), model.Write(model.Value(fmt.Sprintf("v%d", i)))
+		}
+	}
+}
+
+// Run executes the conformance battery.
+func Run(t *testing.T, cfg Config) {
+	cfg.defaults()
+	t.Run("InitialStateHasNoPendingMessage", func(t *testing.T) {
+		r := cfg.Factory().NewReplica(0, 3)
+		if r.PendingMessage() != nil {
+			t.Fatal("Definition 15(1): message pending in σ₀")
+		}
+	})
+	t.Run("PendingMessageIsDeterministic", func(t *testing.T) {
+		r := cfg.Factory().NewReplica(0, 3)
+		obj, op := cfg.Mutator(0)
+		r.Do(obj, op)
+		p1 := r.PendingMessage()
+		p2 := r.PendingMessage()
+		if string(p1) != string(p2) {
+			t.Fatal("PendingMessage is not a deterministic function of state")
+		}
+	})
+	t.Run("SendDrainsPending", func(t *testing.T) {
+		r := cfg.Factory().NewReplica(0, 3)
+		for i := 0; i < 4; i++ {
+			obj, op := cfg.Mutator(i)
+			r.Do(obj, op)
+		}
+		sends := 0
+		for r.PendingMessage() != nil {
+			r.OnSend()
+			sends++
+			if sends > 4*cfg.MaxSendsToDrain {
+				t.Fatalf("outbox never drained after %d sends", sends)
+			}
+		}
+	})
+	t.Run("StateDigestDeterministic", func(t *testing.T) {
+		build := func() store.Replica {
+			r := cfg.Factory().NewReplica(1, 3)
+			for i := 0; i < 6; i++ {
+				obj, op := cfg.Mutator(i)
+				r.Do(obj, op)
+			}
+			return r
+		}
+		if build().StateDigest() != build().StateDigest() {
+			t.Fatal("identical histories produced different digests")
+		}
+	})
+	if !cfg.SkipDuplicateIdempotence {
+		runDuplicateIdempotence(t, cfg)
+	}
+	runRest(t, cfg)
+}
+
+func runDuplicateIdempotence(t *testing.T, cfg Config) {
+	t.Run("DuplicateDeliveryIdempotent", func(t *testing.T) {
+		st := cfg.Factory()
+		src := st.NewReplica(0, 2)
+		dst := st.NewReplica(1, 2)
+		var payloads [][]byte
+		for i := 0; i < 5; i++ {
+			obj, op := cfg.Mutator(i)
+			src.Do(obj, op)
+			if p := src.PendingMessage(); p != nil {
+				payloads = append(payloads, p)
+				src.OnSend()
+			}
+		}
+		for _, p := range payloads {
+			dst.Receive(p)
+		}
+		before := dst.StateDigest()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 10; i++ {
+			dst.Receive(payloads[rng.Intn(len(payloads))])
+		}
+		if dst.StateDigest() != before {
+			t.Fatal("redelivery changed state")
+		}
+	})
+}
+
+func runRest(t *testing.T, cfg Config) {
+	t.Run("WritesCreatePendingMessages", func(t *testing.T) {
+		// Lemma 5's conclusion: in a quiescent-looking state, a write leaves
+		// the replica with a message pending — otherwise the write could
+		// never propagate and eventual consistency would fail.
+		r := cfg.Factory().NewReplica(0, 3)
+		obj, op := cfg.Mutator(0)
+		r.Do(obj, op)
+		if r.PendingMessage() == nil {
+			t.Fatal("no message pending after a write (Lemma 5)")
+		}
+	})
+	t.Run("HighAvailability", func(t *testing.T) {
+		// Every operation returns immediately with no network interaction —
+		// structurally guaranteed by the interface, checked here for the
+		// full op surface.
+		r := cfg.Factory().NewReplica(2, 3)
+		obj, op := cfg.Mutator(0)
+		if got := r.Do(obj, op); !got.OK {
+			t.Fatalf("mutator not acknowledged: %s", got)
+		}
+		_ = r.Do(obj, model.Read())
+		_ = r.Do("never-written", model.Read())
+	})
+	if cfg.InvisibleReads {
+		t.Run("InvisibleReads", func(t *testing.T) {
+			r := cfg.Factory().NewReplica(0, 2)
+			obj, op := cfg.Mutator(0)
+			r.Do(obj, op)
+			before := r.StateDigest()
+			r.Do(obj, model.Read())
+			r.Do("other", model.Read())
+			if r.StateDigest() != before {
+				t.Fatal("Definition 16 violated")
+			}
+		})
+	}
+	if cfg.OpDrivenMessages {
+		t.Run("OpDrivenMessages", func(t *testing.T) {
+			st := cfg.Factory()
+			src := st.NewReplica(0, 2)
+			dst := st.NewReplica(1, 2)
+			obj, op := cfg.Mutator(0)
+			src.Do(obj, op)
+			p := src.PendingMessage()
+			src.OnSend()
+			dst.Receive(p)
+			if dst.PendingMessage() != nil {
+				t.Fatal("Definition 15(2) violated: receive created a pending message")
+			}
+		})
+	}
+	if cfg.Converges {
+		t.Run("QuiescentConvergence", func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				c := sim.NewCluster(cfg.Factory(), 3, seed)
+				c.SetFaults(sim.Faults{DupProb: 0.2, Reorder: true})
+				objs := []model.ObjectID{"obj0", "obj1", "obj2"}
+				c.RunRandom(sim.WorkloadConfig{Objects: objs, Steps: 150})
+				c.Quiesce()
+				for round := 1; round < cfg.ConvergenceReadRounds; round++ {
+					for r := 0; r < c.N(); r++ {
+						for _, obj := range objs {
+							c.Do(model.ReplicaID(r), obj, model.Read())
+						}
+					}
+				}
+				if err := c.CheckConverged(objs); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+	if cfg.SkipDeliveryCommutation {
+		return
+	}
+	t.Run("IndependentDeliveriesCommute", func(t *testing.T) {
+		// Two messages from different origins applied in either order leave
+		// identical state (for stores where both orders are deliverable;
+		// causal stores buffer, which must also commute).
+		st := cfg.Factory()
+		a := st.NewReplica(1, 3)
+		b := st.NewReplica(2, 3)
+		obj, op := cfg.Mutator(0)
+		a.Do(obj, op)
+		obj2, op2 := cfg.Mutator(1)
+		b.Do(obj2, op2)
+		pa := a.PendingMessage()
+		pb := b.PendingMessage()
+		d1 := st.NewReplica(0, 3)
+		d1.Receive(pa)
+		d1.Receive(pb)
+		d2 := st.NewReplica(0, 3)
+		d2.Receive(pb)
+		d2.Receive(pa)
+		if d1.StateDigest() != d2.StateDigest() {
+			t.Fatal("independent deliveries do not commute")
+		}
+	})
+}

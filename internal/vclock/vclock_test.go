@@ -1,0 +1,215 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestZeroClockProperties(t *testing.T) {
+	v := New(3)
+	if !v.IsZero() {
+		t.Fatal("fresh clock not zero")
+	}
+	if v.Sum() != 0 {
+		t.Fatal("fresh clock sum not zero")
+	}
+	if !v.LessEq(New(0)) || !New(0).LessEq(v) {
+		t.Fatal("zero clocks of different lengths should be equal")
+	}
+}
+
+func TestIncAndGet(t *testing.T) {
+	v := New(2)
+	if got := v.Inc(1); got != 1 {
+		t.Fatalf("first Inc = %d, want 1", got)
+	}
+	if got := v.Inc(1); got != 2 {
+		t.Fatalf("second Inc = %d, want 2", got)
+	}
+	if v.Get(0) != 0 || v.Get(1) != 2 {
+		t.Fatalf("clock = %s", v)
+	}
+}
+
+func TestGetOutOfRangeIsZero(t *testing.T) {
+	v := New(2)
+	if v.Get(17) != 0 || v.Get(-1) != 0 {
+		t.Fatal("out-of-range entries must read as zero")
+	}
+}
+
+func TestSetGrowsClock(t *testing.T) {
+	v := New(1)
+	v.Set(4, 7)
+	if v.Get(4) != 7 || len(v) != 5 {
+		t.Fatalf("clock = %s", v)
+	}
+}
+
+func TestCompareOrders(t *testing.T) {
+	a := VC{1, 2, 0}
+	b := VC{1, 3, 0}
+	c := VC{2, 1, 0}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("a < b expected")
+	}
+	if !a.Concurrent(c) {
+		t.Fatal("a ∥ c expected")
+	}
+	if !b.Concurrent(c) {
+		t.Fatal("b ∥ c expected")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not equal")
+	}
+}
+
+func TestEqualIgnoresTrailingZeros(t *testing.T) {
+	if !(VC{1, 0, 0}).Equal(VC{1}) {
+		t.Fatal("trailing zeros should not affect equality")
+	}
+}
+
+func TestSeesDot(t *testing.T) {
+	v := VC{0, 3}
+	if !v.Sees(model.Dot{Origin: 1, Seq: 3}) || !v.Sees(model.Dot{Origin: 1, Seq: 1}) {
+		t.Fatal("should see covered dots")
+	}
+	if v.Sees(model.Dot{Origin: 1, Seq: 4}) || v.Sees(model.Dot{Origin: 0, Seq: 1}) {
+		t.Fatal("should not see uncovered dots")
+	}
+}
+
+func TestMergeBasics(t *testing.T) {
+	a := VC{1, 5}
+	a.Merge(VC{3, 2, 4})
+	want := VC{3, 5, 4}
+	if !a.Equal(want) {
+		t.Fatalf("merge = %s, want %s", a, want)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := (VC{1, 0, 3}).String(); got != "[1 0 3]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randVC generates a random clock for the quick properties.
+func randVC(rng *rand.Rand) VC {
+	n := rng.Intn(5)
+	v := New(n)
+	for i := range v {
+		v[i] = uint64(rng.Intn(4))
+	}
+	return v
+}
+
+func TestQuickMergeCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randVC(rng), randVC(rng)
+		return a.Merged(b).Equal(b.Merged(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(rng), randVC(rng), randVC(rng)
+		return a.Merged(b).Merged(c).Equal(a.Merged(b.Merged(c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randVC(rng)
+		return a.Merged(a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeIsUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randVC(rng), randVC(rng)
+		m := a.Merged(b)
+		return a.LessEq(m) && b.LessEq(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOrderIsPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(rng), randVC(rng), randVC(rng)
+		// Reflexive, antisymmetric (via Equal), transitive.
+		if !a.LessEq(a) {
+			return false
+		}
+		if a.LessEq(b) && b.LessEq(a) && !a.Equal(b) {
+			return false
+		}
+		if a.LessEq(b) && b.LessEq(c) && !a.LessEq(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExactlyOneRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randVC(rng), randVC(rng)
+		states := 0
+		if a.Less(b) {
+			states++
+		}
+		if b.Less(a) {
+			states++
+		}
+		if a.Equal(b) {
+			states++
+		}
+		if a.Concurrent(b) {
+			states++
+		}
+		return states == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneIsIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randVC(rng)
+		if len(a) == 0 {
+			return true
+		}
+		c := a.Clone()
+		c[0]++
+		return !a.Equal(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/vclock"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	for _, x := range []uint64{0, 1, 127, 128, 1 << 20, 1<<63 - 1} {
+		w := NewWriter()
+		w.Uvarint(x)
+		r := NewReader(w.Bytes())
+		if got := r.Uvarint(); got != x || r.Err() != nil {
+			t.Fatalf("round trip %d: got %d, err %v", x, got, r.Err())
+		}
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	for _, x := range []int64{0, -1, 1, -64, 63, -1 << 40, 1 << 40} {
+		w := NewWriter()
+		w.Varint(x)
+		r := NewReader(w.Bytes())
+		if got := r.Varint(); got != x || r.Err() != nil {
+			t.Fatalf("round trip %d: got %d, err %v", x, got, r.Err())
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "x", "hello world", "with\x00nul"} {
+		w := NewWriter()
+		w.String(s)
+		r := NewReader(w.Bytes())
+		if got := r.String(); got != s || r.Err() != nil {
+			t.Fatalf("round trip %q: got %q, err %v", s, got, r.Err())
+		}
+	}
+}
+
+func TestDotRoundTrip(t *testing.T) {
+	d := model.Dot{Origin: 7, Seq: 1 << 30}
+	w := NewWriter()
+	w.Dot(d)
+	r := NewReader(w.Bytes())
+	if got := r.Dot(); got != d || r.Err() != nil {
+		t.Fatalf("round trip %v: got %v, err %v", d, got, r.Err())
+	}
+}
+
+func TestVCRoundTrip(t *testing.T) {
+	v := vclock.VC{0, 5, 1 << 33, 2}
+	w := NewWriter()
+	w.VC(v)
+	r := NewReader(w.Bytes())
+	if got := r.VC(); !got.Equal(v) || r.Err() != nil {
+		t.Fatalf("round trip %s: got %s, err %v", v, got, r.Err())
+	}
+}
+
+func TestSparseVCRoundTrip(t *testing.T) {
+	v := vclock.VC{0, 5, 0, 0, 9}
+	w := NewWriter()
+	w.SparseVC(v)
+	r := NewReader(w.Bytes())
+	if got := r.SparseVC(len(v)); !got.Equal(v) || r.Err() != nil {
+		t.Fatalf("round trip %s: got %s, err %v", v, got, r.Err())
+	}
+}
+
+func TestSparseBeatsDenseOnSparseClocks(t *testing.T) {
+	v := vclock.New(64)
+	v.Set(3, 100)
+	dense := NewWriter()
+	dense.VC(v)
+	sparse := NewWriter()
+	sparse.SparseVC(v)
+	if sparse.Len() >= dense.Len() {
+		t.Fatalf("sparse %dB not smaller than dense %dB on a 1/64 clock", sparse.Len(), dense.Len())
+	}
+}
+
+func TestTruncatedPayloadErrors(t *testing.T) {
+	w := NewWriter()
+	w.String("hello")
+	buf := w.Bytes()[:3]
+	r := NewReader(buf)
+	_ = r.String()
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestEmptyReaderErrors(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.Uvarint()
+	if r.Err() == nil {
+		t.Fatal("expected error reading from empty payload")
+	}
+	// Errors are sticky and subsequent reads return zero values.
+	if r.Uvarint() != 0 || r.String() != "" {
+		t.Fatal("post-error reads should return zero values")
+	}
+}
+
+func TestCorruptVCCountRejected(t *testing.T) {
+	w := NewWriter()
+	w.Uvarint(1 << 40) // implausible element count
+	r := NewReader(w.Bytes())
+	if got := r.VC(); got != nil || r.Err() == nil {
+		t.Fatal("expected corrupt count rejection")
+	}
+}
+
+func TestUvarintLenMatchesEncoding(t *testing.T) {
+	f := func(x uint64) bool {
+		w := NewWriter()
+		w.Uvarint(x)
+		return w.Len() == UvarintLen(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := rng.Uint64() >> uint(rng.Intn(60))
+		i := rng.Int63() - rng.Int63()
+		s := make([]byte, rng.Intn(20))
+		rng.Read(s)
+		v := vclock.New(rng.Intn(6))
+		for j := range v {
+			v[j] = uint64(rng.Intn(1000))
+		}
+		w := NewWriter()
+		w.Uvarint(u)
+		w.String(string(s))
+		w.Varint(i)
+		w.VC(v)
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == u && r.String() == string(s) && r.Varint() == i &&
+			r.VC().Equal(v) && r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparseVCRejectsOutOfRangeIndex is the FuzzReader regression: a sparse
+// clock entry with a huge index must be rejected rather than allocating a
+// clock of that length.
+func TestSparseVCRejectsOutOfRangeIndex(t *testing.T) {
+	w := NewWriter()
+	w.Uvarint(1)       // one entry
+	w.Uvarint(1 << 40) // hostile index
+	w.Uvarint(7)
+	r := NewReader(w.Bytes())
+	if got := r.SparseVC(4); got != nil || r.Err() == nil {
+		t.Fatalf("got %v, err %v; want rejection", got, r.Err())
+	}
+}
