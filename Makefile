@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test verify bench figures json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The PR gate: static checks plus the full suite under the race detector,
+# which exercises the parallel explorer, the sharded visited-set, and the
+# sweep/batch cell runners under contention.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$'
+
+figures:
+	$(GO) run ./cmd/figures -all
+
+# Machine-readable experiment artifacts, tracked in git so result drift
+# shows up in review.
+json:
+	$(GO) run ./cmd/figures -all -seed 1 -parallel 1 -json > BENCH_FIGURES.json
+	$(GO) run ./cmd/msgbound -sweep grid -seed 1 -parallel 1 -json > BENCH_MSGBOUND.json

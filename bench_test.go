@@ -13,6 +13,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/execution"
+	"repro/internal/explore"
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -124,7 +125,7 @@ func BenchmarkTheorem12Encoding(b *testing.B) {
 func BenchmarkMessageSizeSweep(b *testing.B) {
 	ks := []int{2, 16, 128, 1024}
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SweepK(causalStore, 6, 6, ks, 1); err != nil {
+		if _, err := core.SweepK(causalStore, 6, 6, ks, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -332,5 +333,53 @@ func BenchmarkCrownEmbedding(b *testing.B) {
 		if err := charronbost.VerifyCrownEmbedding(6); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelExplore measures the frontier engine on the largest
+// bundled script per worker count. On multicore hardware the 4-worker run
+// should scale near-linearly; the per-count outputs are identical by
+// construction (see internal/explore).
+func BenchmarkParallelExplore(b *testing.B) {
+	script := explore.Script{
+		Replicas: 3,
+		Ops: []explore.Op{
+			{Replica: 0, Object: "x", Op: model.Write("a")},
+			{Replica: 0, Object: "y", Op: model.Write("b")},
+			{Replica: 1, Object: "x", Op: model.Write("c")},
+			{Replica: 1, Object: "y", Op: model.Write("d")},
+			{Replica: 2, Object: "x", Op: model.Read()},
+			{Replica: 2, Object: "y", Op: model.Read()},
+		},
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := explore.Explore(script, explore.Config{
+					Store: causalStore(), MaxStates: 2_000_000, Parallel: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSweep measures the Theorem 12 (n, s, k) grid per worker
+// count — the embarrassingly parallel experiment surface.
+func BenchmarkParallelSweep(b *testing.B) {
+	ns := []int{3, 4, 6, 10}
+	ss := []int{2, 3, 5, 9}
+	ks := []int{2, 16, 128, 1024}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SweepGrid(causalStore, ns, ss, ks, 1, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

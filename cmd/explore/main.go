@@ -1,32 +1,33 @@
 // Command explore exhaustively model-checks a named scripted workload
 // against a store: every interleaving of operations and deliveries is
-// enumerated, invariants are checked in every reachable state, and every
-// fully-drained final state is checked for convergence.
+// enumerated by the parallel frontier engine, invariants are checked in
+// every reachable state, and every fully-drained final state is checked for
+// convergence. Output is byte-identical for every -parallel value.
 //
 // Usage:
 //
 //	explore -store causal -script twowriter
 //	explore -store lww -script twowriter      # finds the inversion schedule
 //	explore -store gsp -script race
+//	explore -parallel 8 -script fourwriter    # spread replays over 8 workers
+//	explore -json -store lww                  # machine-readable verdict
 //	explore -list
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 
+	"repro/internal/cli"
 	"repro/internal/explore"
 	"repro/internal/model"
 	"repro/internal/spec"
 	"repro/internal/store"
-	"repro/internal/store/causal"
-	"repro/internal/store/gsp"
-	"repro/internal/store/kbuffer"
-	"repro/internal/store/lww"
-	"repro/internal/store/statesync"
 )
 
 // scripts is the registry of named workloads.
@@ -62,10 +63,23 @@ var scripts = map[string]explore.Script{
 			{Replica: 2, Object: "z", Op: model.Write("c")},
 		},
 	},
+	// fourwriter: four replicas write two objects concurrently — a much
+	// larger frontier (~135k states) for exercising parallel exploration.
+	"fourwriter": {
+		Replicas: 4,
+		Ops: []explore.Op{
+			{Replica: 0, Object: "x", Op: model.Write("a")},
+			{Replica: 1, Object: "y", Op: model.Write("b")},
+			{Replica: 2, Object: "x", Op: model.Write("c")},
+			{Replica: 3, Object: "y", Op: model.Write("d")},
+		},
+	},
 }
 
 func main() {
-	storeName := flag.String("store", "causal", "store: causal, statesync, lww, kbuffer, gsp")
+	storeName := cli.StoreFlag(flag.CommandLine, "causal")
+	parallel := cli.ParallelFlag(flag.CommandLine)
+	jsonOut := cli.JSONFlag(flag.CommandLine)
 	scriptName := flag.String("script", "twowriter", "named script (see -list)")
 	k := flag.Int("k", 2, "K for the kbuffer store")
 	maxStates := flag.Int("maxstates", 200000, "state budget")
@@ -83,46 +97,70 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *storeName, *scriptName, *k, *maxStates); err != nil {
+	if err := run(os.Stdout, *storeName, *scriptName, *k, *maxStates, *parallel, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, storeName, scriptName string, k, maxStates int) error {
+// report is the machine-readable exploration verdict emitted with -json.
+type report struct {
+	Store       string `json:"store"`
+	Script      string `json:"script"`
+	States      int    `json:"states"`
+	FinalStates int    `json:"final_states"`
+	Transitions int    `json:"transitions"`
+	// Verdict is "ok" when every reachable state satisfied the invariants
+	// and every final state converged, else "violation".
+	Verdict   string `json:"verdict"`
+	Violation string `json:"violation,omitempty"`
+}
+
+func run(w io.Writer, storeName, scriptName string, k, maxStates, parallel int, jsonOut bool) error {
 	script, ok := scripts[scriptName]
 	if !ok {
 		return fmt.Errorf("unknown script %q (use -list)", scriptName)
 	}
-	types := spec.MVRTypes()
-	cfg := explore.Config{MaxStates: maxStates}
-	var st store.Store
-	switch storeName {
-	case "causal":
-		st = causal.New(types)
-	case "statesync":
-		st = statesync.New(types)
-	case "lww":
-		st = lww.New(types)
-	case "kbuffer":
-		st = kbuffer.New(types, k)
-		cfg.ConvergenceReadRounds = k
-		cfg.AllowPropertyViolations = true // visible reads by design
-	case "gsp":
-		st = gsp.New(types)
-		cfg.AllowPropertyViolations = true // sequencer commits on receive
-	default:
-		return fmt.Errorf("unknown store %q", storeName)
+	st, err := cli.OpenStore(storeName, spec.MVRTypes(), store.Options{K: k})
+	if err != nil {
+		return err
 	}
-	cfg.Store = st
+	cfg := explore.Config{Store: st, MaxStates: maxStates, Parallel: parallel}
+	// Store traits replace the old per-name special cases: stores declare
+	// themselves what the explorer must tolerate.
+	if pv, ok := st.(store.PropertyViolator); ok && pv.ViolatesProperties() {
+		cfg.AllowPropertyViolations = true
+	}
+	if ra, ok := st.(store.ReadAger); ok {
+		cfg.ConvergenceReadRounds = ra.ExtraReadRounds()
+	}
 
-	res, err := explore.Explore(script, cfg)
+	res, expErr := explore.Explore(script, cfg)
+	if errors.Is(expErr, explore.ErrBudgetExceeded) {
+		return expErr // a resource limit, not a finding about the store
+	}
+	if jsonOut {
+		rep := report{Store: st.Name(), Script: scriptName, Verdict: "ok"}
+		if res != nil {
+			rep.States, rep.FinalStates, rep.Transitions = res.States, res.FinalStates, res.Transitions
+		}
+		if expErr != nil {
+			rep.Verdict = "violation"
+			rep.Violation = expErr.Error()
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(data))
+		return nil
+	}
 	if res != nil {
 		fmt.Fprintf(w, "store %s, script %s: %d states, %d final states, %d transitions\n",
 			st.Name(), scriptName, res.States, res.FinalStates, res.Transitions)
 	}
-	if err != nil {
-		fmt.Fprintf(w, "VIOLATION: %v\n", err)
+	if expErr != nil {
+		fmt.Fprintf(w, "VIOLATION: %v\n", expErr)
 		return nil // the violation itself is the (successful) finding
 	}
 	fmt.Fprintln(w, "all reachable states satisfy the invariants; all final states converged")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestRunScriptsAcrossStores(t *testing.T) {
 	for _, store := range []string{"causal", "statesync", "lww", "kbuffer", "gsp"} {
 		for _, script := range []string{"twowriter", "race", "chain"} {
 			var sb strings.Builder
-			if err := run(&sb, store, script, 2, 500000); err != nil {
+			if err := run(&sb, store, script, 2, 500000, 1, false); err != nil {
 				t.Fatalf("%s/%s: %v", store, script, err)
 			}
 			if !strings.Contains(sb.String(), "states") {
@@ -21,10 +22,49 @@ func TestRunScriptsAcrossStores(t *testing.T) {
 
 func TestRunRejectsUnknownInputs(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "nope", "twowriter", 2, 1000); err == nil {
+	if err := run(&sb, "nope", "twowriter", 2, 1000, 1, false); err == nil {
 		t.Fatal("expected unknown store error")
 	}
-	if err := run(&sb, "causal", "nope", 2, 1000); err == nil {
+	if err := run(&sb, "causal", "nope", 2, 1000, 1, false); err == nil {
 		t.Fatal("expected unknown script error")
+	}
+}
+
+// TestRunParallelMatchesSequential asserts the byte-identical guarantee of
+// the parallel engine end to end, including the violation schedule the lww
+// store produces (the reported counterexample must not depend on worker
+// scheduling).
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for _, store := range []string{"causal", "lww"} {
+		var seq strings.Builder
+		if err := run(&seq, store, "twowriter", 2, 500000, 1, false); err != nil {
+			t.Fatalf("%s sequential: %v", store, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			var par strings.Builder
+			if err := run(&par, store, "twowriter", 2, 500000, workers, false); err != nil {
+				t.Fatalf("%s parallel=%d: %v", store, workers, err)
+			}
+			if par.String() != seq.String() {
+				t.Errorf("%s parallel=%d output differs:\n--- sequential ---\n%s--- parallel ---\n%s",
+					store, workers, seq.String(), par.String())
+			}
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	for _, store := range []string{"causal", "lww"} {
+		var sb strings.Builder
+		if err := run(&sb, store, "twowriter", 2, 500000, 2, true); err != nil {
+			t.Fatal(err)
+		}
+		var rep report
+		if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+			t.Fatalf("%s: output is not JSON: %v\n%s", store, err, sb.String())
+		}
+		if rep.States == 0 || rep.Store == "" || rep.Verdict != "ok" {
+			t.Fatalf("%s: incomplete report: %+v", store, rep)
+		}
 	}
 }

@@ -14,6 +14,8 @@
 //	figures -ext gsp        # extensions: charronbost, convergence, gsp,
 //	                        # propagation, statesize, sessions
 //	figures -slow           # include the slow crown S_4 refutation
+//	figures -parallel 8     # sweep/batch cells on 8 workers
+//	figures -json           # JSON Lines, one table per line
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"repro/internal/abstract"
 	"repro/internal/bench"
 	"repro/internal/charronbost"
+	"repro/internal/cli"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -32,14 +35,12 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/store"
-	"repro/internal/store/causal"
-	"repro/internal/store/gsp"
-	"repro/internal/store/kbuffer"
-	"repro/internal/store/lww"
-	"repro/internal/store/statesync"
 )
 
 func main() {
+	seed := cli.SeedFlag(flag.CommandLine, 1)
+	parallel := cli.ParallelFlag(flag.CommandLine)
+	jsonOut := cli.JSONFlag(flag.CommandLine)
 	fig := flag.Int("fig", 0, "regenerate one figure (1, 2, or 3)")
 	thm := flag.Int("thm", 0, "regenerate one theorem experiment (6 or 12)")
 	sec := flag.String("sec", "", "regenerate a section experiment (5.3)")
@@ -48,69 +49,84 @@ func main() {
 	slow := flag.Bool("slow", false, "include slow experiments (crown S_4)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *fig, *thm, *sec, *ext, *all, *slow); err != nil {
+	if err := run(os.Stdout, *fig, *thm, *sec, *ext, *all, *slow, *seed, *parallel, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, fig, thm int, sec, ext string, all, slow bool) error {
+// mvr opens a registered store over the MVR type assignment; the registry
+// replaces the per-command store switches (see internal/store/registry.go).
+func mvr(name string) store.Store {
+	return cli.MustStore(name, spec.MVRTypes(), store.Options{})
+}
+
+func run(w io.Writer, fig, thm int, sec, ext string, all, slow bool, seed int64, parallel int, jsonOut bool) error {
+	out := cli.Output(w, jsonOut)
 	none := fig == 0 && thm == 0 && sec == "" && ext == ""
 	if all || none {
 		fig, thm = -1, -1
 		sec, ext = "-", "-"
 	}
 	if fig == 1 || fig == -1 {
-		figure1(w)
+		if err := figure1(out); err != nil {
+			return err
+		}
 	}
 	if fig == 2 || fig == -1 {
-		if err := figure2(w); err != nil {
+		if err := figure2(out); err != nil {
 			return err
 		}
 	}
 	if fig == 3 || fig == -1 {
-		if err := figure3(w); err != nil {
+		if err := figure3(out); err != nil {
 			return err
 		}
 	}
 	if thm == 6 || thm == -1 {
-		if err := theorem6(w); err != nil {
+		if err := theorem6(out, seed, parallel); err != nil {
 			return err
 		}
 	}
 	if thm == 12 || thm == -1 {
-		if err := theorem12(w); err != nil {
+		if err := theorem12(out, seed, parallel); err != nil {
 			return err
 		}
 	}
 	if sec == "5.3" || sec == "-" {
-		section53(w)
+		if err := section53(out); err != nil {
+			return err
+		}
 	}
 	if ext == "convergence" || ext == "-" {
-		if err := convergence(w); err != nil {
+		if err := convergence(out, seed); err != nil {
 			return err
 		}
 	}
 	if ext == "charronbost" || ext == "-" {
-		if err := charronBost(w, slow); err != nil {
+		if err := charronBost(out, slow); err != nil {
 			return err
 		}
 	}
 	if ext == "gsp" || ext == "-" {
-		if err := openQuestion(w); err != nil {
+		if err := openQuestion(out); err != nil {
 			return err
 		}
 	}
 	if ext == "propagation" || ext == "-" {
-		if err := propagation(w); err != nil {
+		if err := propagation(out, seed); err != nil {
 			return err
 		}
 	}
 	if ext == "statesize" || ext == "-" {
-		statesize(w)
+		if err := statesize(out); err != nil {
+			return err
+		}
 	}
 	if ext == "sessions" || ext == "-" {
-		sessions(w)
+		if err := sessions(out); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -121,14 +137,11 @@ func run(w io.Writer, fig, thm int, sec, ext string, all, slow bool) error {
 // objects. A causally consistent store buffers y's update until x's
 // arrives; an eagerly-applying store exposes y without x, which breaks
 // writes-follow-reads while keeping the purely session-local guarantees.
-func sessions(w io.Writer) {
+func sessions(out bench.Output) error {
 	t := bench.NewTable("Session guarantees — decomposing causal consistency",
 		"store", "read-your-writes", "monotonic reads", "writes-follow-reads", "monotonic writes", "causal (Def 12)")
-	for _, st := range []store.Store{
-		causal.New(spec.MVRTypes()),
-		statesync.New(spec.MVRTypes()),
-		lww.New(spec.MVRTypes()),
-	} {
+	for _, name := range []string{"causal", "statesync", "lww"} {
+		st := mvr(name)
 		c := sim.NewCluster(st, 3, 2)
 		c.Do(0, "x", model.Write("a"))
 		c.Send(0)
@@ -147,19 +160,20 @@ func sessions(w io.Writer) {
 			bench.Verdict(consistency.CheckCausal(a, st.Types())))
 	}
 	t.Note = "the session guarantees are strictly weaker than causal consistency: the lww store keeps all four session-local guarantees on this schedule yet fails transitivity (writes-follow-reads) by applying y=b without its dependency"
-	t.Render(w)
+	return out.Emit(t)
 }
 
 // propagation contrasts op-based (store/causal) and state-based
 // (store/statesync) update propagation under message loss, and the message
 // sizes each pays.
-func propagation(w io.Writer) error {
+func propagation(out bench.Output, seed int64) error {
 	t := bench.NewTable("Propagation ablation — op-based vs state-based under message loss",
 		"store", "drop prob", "converged after loss-free tail?", "total msg KB", "max msg bytes")
 	objs := []model.ObjectID{"x", "y"}
-	for _, st := range []store.Store{causal.New(spec.MVRTypes()), statesync.New(spec.MVRTypes())} {
+	for _, name := range []string{"causal", "statesync"} {
 		for _, drop := range []float64{0, 0.4, 0.8} {
-			c := sim.NewCluster(st, 3, 5)
+			st := mvr(name)
+			c := sim.NewCluster(st, 3, seed+4)
 			c.SetFaults(sim.Faults{DropProb: drop})
 			c.RunRandom(sim.WorkloadConfig{Objects: objs, Steps: 150, MutateRatio: 0.8})
 			c.SetFaults(sim.Faults{})
@@ -182,18 +196,17 @@ func propagation(w io.Writer) error {
 		}
 	}
 	t.Note = "state-based propagation reconverges through arbitrary loss at the price of full-state messages; op-based deltas are small but a dropped update is gone (no retransmission in the model)"
-	t.Render(w)
-	return nil
+	return out.Emit(t)
 }
 
 // statesize measures per-replica metadata growth — the §7 space-bound
 // flavor: MVR version sets carry O(n)-entry dependency clocks, so replica
 // state grows with both the replica count and the surviving sibling count.
-func statesize(w io.Writer) {
+func statesize(out bench.Output) error {
 	t := bench.NewTable("State size — MVR metadata growth (space lower-bound flavor, §7)",
 		"replicas", "concurrent writers", "siblings held", "state bytes (digest proxy)")
 	for _, n := range []int{2, 4, 8, 16} {
-		st := causal.New(spec.MVRTypes())
+		st := mvr("causal")
 		replicas := make([]store.Replica, n)
 		for i := range replicas {
 			replicas[i] = st.NewReplica(model.ReplicaID(i), n)
@@ -209,7 +222,7 @@ func statesize(w io.Writer) {
 		t.AddRow(n, n-1, siblings, len(replicas[0].StateDigest()))
 	}
 	t.Note = "each surviving sibling stores an n-entry dependency clock: state grows with min{concurrency, writers} × n, matching the flavor of the Burckhardt et al. space bounds the full version extends"
-	t.Render(w)
+	return out.Emit(t)
 }
 
 // openQuestion probes the paper's §5.3/§7 open question: can the op-driven
@@ -218,7 +231,7 @@ func statesize(w io.Writer) {
 // agreed total order of writes at every replica — strictly stronger than
 // anything a write-propagating store achieves, and impossible for one (the
 // causal store applies concurrent writes in divergent orders).
-func openQuestion(w io.Writer) error {
+func openQuestion(out bench.Output) error {
 	t := bench.NewTable("Open question — relaxing op-driven messages (GSP vs write-propagating)",
 		"store", "op-driven?", "invisible reads?", "identical apply order?", "exposes concurrency?")
 
@@ -270,11 +283,8 @@ func openQuestion(w io.Writer) error {
 		return opDriven, invisible, sameOrder, exposes, nil
 	}
 
-	for _, st := range []store.Store{
-		causal.New(spec.MVRTypes()),
-		gsp.New(spec.MVRTypes()),
-		lww.New(spec.MVRTypes()),
-	} {
+	for _, name := range []string{"causal", "gsp", "lww"} {
+		st := mvr(name)
 		opDriven, invisible, sameOrder, exposes, err := scenario(st)
 		if err != nil {
 			return err
@@ -282,13 +292,12 @@ func openQuestion(w io.Writer) error {
 		t.AddRow(st.Name(), opDriven, invisible, sameOrder, exposes)
 	}
 	t.Note = "gsp trades Definition 15 for one agreed total order (stronger than OCC on its histories); write-propagating stores apply concurrent writes in divergent orders and at best expose the concurrency"
-	t.Render(w)
-	return nil
+	return out.Emit(t)
 }
 
 // figure1 exercises the Figure 1 specification functions on canonical
 // operation contexts.
-func figure1(w io.Writer) {
+func figure1(out bench.Output) error {
 	t := bench.NewTable("Figure 1 — replicated object specifications",
 		"object", "scenario", "read returns")
 	types := spec.MVRTypes().With("s", spec.TypeORSet).With("reg", spec.TypeRegister)
@@ -335,31 +344,27 @@ func figure1(w io.Writer) {
 			model.DoEvent(1, "s", model.Remove("e"), ok),
 			model.DoEvent(2, "s", model.Read(), model.Response{}),
 		}, [][2]int{{0, 2}, {1, 2}}))
-	t.Render(w)
+	return out.Emit(t)
 }
 
 // figure2 runs the concurrency-inference experiment against the exposing
 // and hiding stores.
-func figure2(w io.Writer) error {
+func figure2(out bench.Output) error {
 	t := bench.NewTable("Figure 2 — clients infer concurrency (E2)",
 		"store", "read of x at r2", "complying causal A exists?", "hiding provably impossible?")
-	for _, st := range []store.Store{
-		causal.New(spec.MVRTypes()),
-		lww.New(spec.MVRTypes()),
-	} {
-		rep, err := core.RunFigure2(st)
+	for _, name := range []string{"causal", "lww"} {
+		rep, err := core.RunFigure2(mvr(name))
 		if err != nil {
 			return err
 		}
 		t.AddRow(rep.StoreName, rep.XRead, bench.Verdict(rep.DerivedCausal), rep.HidingImpossible)
 	}
 	t.Note = "the lww store returns a single winner; the deductive prover shows no causally consistent MVR abstract execution can explain its history"
-	t.Render(w)
-	return nil
+	return out.Emit(t)
 }
 
 // figure3 reports the OCC motivation scenarios.
-func figure3(w io.Writer) error {
+func figure3(out bench.Output) error {
 	cases, err := core.BuildFigure3()
 	if err != nil {
 		return err
@@ -370,14 +375,14 @@ func figure3(w io.Writer) error {
 		t.AddRow(c.Name, bench.Verdict(c.Causal), bench.Verdict(c.OCC), c.HidingImpossible, c.Description)
 	}
 	t.Note = "3a/3b: singleton reads let the store hide concurrency while staying causal; 3c: Definition 18 witnesses make hiding provably impossible"
-	t.Render(w)
-	return nil
+	return out.Emit(t)
 }
 
 // theorem6 runs the §5.2.2 construction on crafted and random OCC abstract
-// executions.
-func theorem6(w io.Writer) error {
-	st := func() store.Store { return causal.New(spec.MVRTypes()) }
+// executions; the random batch fans out over parallel workers via
+// core.Theorem6Batch.
+func theorem6(out bench.Output, seed int64, parallel int) error {
+	st := func() store.Store { return mvr("causal") }
 	t := bench.NewTable("Theorem 6 — construction of α complying with A ∈ OCC (E4)",
 		"input", "|H|", "OCC?", "construction complies?", "hb ⊆ vis?")
 	for _, rounds := range []int{1, 2, 4, 8} {
@@ -390,36 +395,25 @@ func theorem6(w io.Writer) error {
 		t.AddRow(fmt.Sprintf("witnessed-concurrency r=%d", rounds), a.Len(),
 			bench.Verdict(occErr), rep.Complies(), bench.Verdict(core.VerifyHBWithinVis(rep, a)))
 	}
-	occCount, complied := 0, 0
-	for seed := int64(0); seed < 200; seed++ {
-		a := gen.RandomCausal(gen.Config{Seed: seed, Events: 24, Revealing: true})
-		if consistency.CheckOCC(a, spec.MVRTypes()) != nil {
-			continue
-		}
-		occCount++
-		rep, err := core.ConstructCompliant(st(), a)
-		if err != nil {
-			return err
-		}
-		if rep.Complies() {
-			complied++
-		}
+	cells, err := core.Theorem6Batch(st, gen.Config{Events: 24}, seed, 200, parallel)
+	if err != nil {
+		return err
 	}
-	t.AddRow("random revealing causal (200 seeds)", "≤24",
+	occCount, complied := core.Theorem6Tally(cells)
+	t.AddRow("random revealing causal (200 split seeds)", "≤24",
 		fmt.Sprintf("%d OCC", occCount), fmt.Sprintf("%d/%d", complied, occCount), "-")
 	t.Note = "Theorem 6 predicts 100% compliance on OCC inputs: no consistency model stronger than OCC is satisfiable"
-	t.Render(w)
-	return nil
+	return out.Emit(t)
 }
 
-// theorem12 regenerates the Figure 4 experiment and the message-size sweeps.
-func theorem12(w io.Writer) error {
-	dense := func() store.Store { return causal.New(spec.MVRTypes()) }
-	sparse := func() store.Store {
-		return causal.NewWithOptions(spec.MVRTypes(), causal.Options{SparseDeps: true})
-	}
+// theorem12 regenerates the Figure 4 experiment and the message-size
+// sweeps; each sweep row is an independent construction cell, so the rows
+// compute on parallel workers (core.ForEachCell) and render in input order.
+func theorem12(out bench.Output, seed int64, parallel int) error {
+	dense := func() store.Store { return mvr("causal") }
+	sparse := func() store.Store { return mvr("causal-sparse") }
 
-	one, err := core.RunMessageLowerBound(dense(), core.LowerBoundConfig{N: 5, S: 4, K: 16, Seed: 1})
+	one, err := core.RunMessageLowerBound(dense(), core.LowerBoundConfig{N: 5, S: 4, K: 16, Seed: seed})
 	if err != nil {
 		return err
 	}
@@ -427,69 +421,94 @@ func theorem12(w io.Writer) error {
 		"n", "s", "k", "n'", "g", "|m_g| bits", "bound n'·⌈lg k⌉", "decoded", "ok")
 	single.AddRow(one.N, one.S, one.K, one.NPrime, fmt.Sprintf("%v", one.G),
 		one.MgBits, one.BoundBits, fmt.Sprintf("%v", one.Decoded), one.DecodeOK)
-	single.Render(w)
+	if err := out.Emit(single); err != nil {
+		return err
+	}
 
 	ks := []int{2, 8, 32, 128, 512, 2048, 8192}
 	kt := bench.NewTable("Theorem 12 — |m_g| grows with lg k (n=6, s=6)",
 		"k", "|m_g| bits", "bound bits", "bits per writer", "decode ok")
-	points, err := core.SweepK(dense, 6, 6, ks, 3)
+	points, err := core.SweepK(dense, 6, 6, ks, seed+2, parallel)
 	if err != nil {
 		return err
 	}
 	for _, p := range points {
 		kt.AddRow(p.K, p.MgBits, p.BoundBits, p.BitsPerCoordinate, p.DecodeOK)
 	}
-	kt.Render(w)
+	if err := out.Emit(kt); err != nil {
+		return err
+	}
 
+	// The dense-vs-sparse comparison rows pair two constructions per cell.
+	type pair struct{ dense, sparse *core.LowerBoundResult }
+	comparison := func(cfgs []core.LowerBoundConfig) ([]pair, error) {
+		rows := make([]pair, len(cfgs))
+		err := core.ForEachCell(parallel, len(cfgs), func(i int) error {
+			dp, err := core.RunMessageLowerBound(dense(), cfgs[i])
+			if err != nil {
+				return err
+			}
+			sp, err := core.RunMessageLowerBound(sparse(), cfgs[i])
+			if err != nil {
+				return err
+			}
+			rows[i] = pair{dp, sp}
+			return nil
+		})
+		return rows, err
+	}
+
+	var nCfgs []core.LowerBoundConfig
+	for _, n := range []int{3, 4, 6, 10, 18, 34} {
+		nCfgs = append(nCfgs, core.LowerBoundConfig{N: n, S: 64, K: 64, Seed: seed + 4})
+	}
+	nRows, err := comparison(nCfgs)
+	if err != nil {
+		return err
+	}
 	nt := bench.NewTable("Theorem 12 — |m_g| grows with n' = min{n−2, s−1} (k=64)",
 		"n", "s", "n'", "dense |m_g|", "sparse |m_g|", "bound bits")
-	for _, n := range []int{3, 4, 6, 10, 18, 34} {
-		dp, err := core.RunMessageLowerBound(dense(), core.LowerBoundConfig{N: n, S: 64, K: 64, Seed: 5})
-		if err != nil {
-			return err
-		}
-		sp, err := core.RunMessageLowerBound(sparse(), core.LowerBoundConfig{N: n, S: 64, K: 64, Seed: 5})
-		if err != nil {
-			return err
-		}
-		nt.AddRow(n, 64, dp.NPrime, dp.MgBits, sp.MgBits, dp.BoundBits)
+	for _, r := range nRows {
+		nt.AddRow(r.dense.N, 64, r.dense.NPrime, r.dense.MgBits, r.sparse.MgBits, r.dense.BoundBits)
 	}
-	nt.Render(w)
+	if err := out.Emit(nt); err != nil {
+		return err
+	}
 
+	var sCfgs []core.LowerBoundConfig
+	for _, s := range []int{2, 3, 5, 9, 17, 33, 64} {
+		sCfgs = append(sCfgs, core.LowerBoundConfig{N: 34, S: s, K: 64, Seed: seed + 4})
+	}
+	sRows, err := comparison(sCfgs)
+	if err != nil {
+		return err
+	}
 	st := bench.NewTable("Theorem 12 — the min{n,s} crossover (n=34, k=64)",
 		"s", "n'", "dense |m_g|", "sparse |m_g|", "bound bits")
-	for _, s := range []int{2, 3, 5, 9, 17, 33, 64} {
-		dp, err := core.RunMessageLowerBound(dense(), core.LowerBoundConfig{N: 34, S: s, K: 64, Seed: 5})
-		if err != nil {
-			return err
-		}
-		sp, err := core.RunMessageLowerBound(sparse(), core.LowerBoundConfig{N: 34, S: s, K: 64, Seed: 5})
-		if err != nil {
-			return err
-		}
-		st.AddRow(s, dp.NPrime, dp.MgBits, sp.MgBits, dp.BoundBits)
+	for _, r := range sRows {
+		st.AddRow(r.dense.S, r.dense.NPrime, r.dense.MgBits, r.sparse.MgBits, r.dense.BoundBits)
 	}
 	st.Note = "dense clocks pay Θ(n·lg k) regardless of s — the §6 gap; sparse dependency encoding tracks min{n−2, s−1}·lg k"
-	st.Render(w)
-	return nil
+	return out.Emit(st)
 }
 
 // section53 contrasts the K-buffer store with the causal store.
-func section53(w io.Writer) {
+func section53(out bench.Output) error {
 	t := bench.NewTable("§5.3 — invisible reads are necessary (E6)",
 		"store", "invisible-read violations", "read after 1 delivery", "read after K more reads")
 	for _, k := range []int{1, 2, 4} {
-		rep := core.RunSection53(kbuffer.New(spec.MVRTypes(), k), k)
+		st := cli.MustStore("kbuffer", spec.MVRTypes(), store.Options{K: k})
+		rep := core.RunSection53(st, k)
 		t.AddRow(rep.StoreName, rep.InvisibleReadViolations, rep.ImmediateRead, rep.ExposedAfterKReads)
 	}
-	rep := core.RunSection53(causal.New(spec.MVRTypes()), 1)
+	rep := core.RunSection53(mvr("causal"), 1)
 	t.AddRow(rep.StoreName, rep.InvisibleReadViolations, rep.ImmediateRead, rep.ExposedAfterKReads)
 	t.Note = "the K-buffer store avoids the immediate-visibility execution every invisible-reads store admits, so it satisfies a strictly stronger consistency model — at the cost of visible reads"
-	t.Render(w)
+	return out.Emit(t)
 }
 
 // convergence demonstrates Lemma 3 / Corollary 4 across stores and faults.
-func convergence(w io.Writer) error {
+func convergence(out bench.Output, seed int64) error {
 	t := bench.NewTable("Lemma 3 / Corollary 4 — quiescent convergence (E7)",
 		"store", "faults", "ops", "converged after quiescence?", "§4 property violations")
 	objs := []model.ObjectID{"x", "y", "z"}
@@ -502,14 +521,14 @@ func convergence(w io.Writer) error {
 	}
 	mixed := spec.MVRTypes().With("y", spec.TypeORSet).With("z", spec.TypeCounter)
 	stores := []store.Store{
-		causal.New(spec.MVRTypes()),
-		causal.New(mixed),
-		causal.NewWithOptions(spec.MVRTypes(), causal.Options{PerUpdateMessages: true}),
-		lww.New(spec.MVRTypes()),
+		mvr("causal"),
+		cli.MustStore("causal", mixed, store.Options{}),
+		mvr("causal-perupdate"),
+		mvr("lww"),
 	}
 	for _, st := range stores {
 		for _, cfg := range cfgs {
-			c := sim.NewCluster(st, 4, 11)
+			c := sim.NewCluster(st, 4, seed+10)
 			c.SetFaults(cfg.faults)
 			ops := c.RunRandom(sim.WorkloadConfig{Objects: objs, Steps: 400})
 			c.Quiesce()
@@ -517,12 +536,11 @@ func convergence(w io.Writer) error {
 				len(c.PropertyViolations()))
 		}
 	}
-	t.Render(w)
-	return nil
+	return out.Emit(t)
 }
 
 // charronBost reports crown dimensions.
-func charronBost(w io.Writer, slow bool) error {
+func charronBost(out bench.Output, slow bool) error {
 	t := bench.NewTable("Charron-Bost extension — crown S_n order dimension (E8)",
 		"n", "elements", "linear extensions", "dimension", "vectors characterize?")
 	ns := []int{2, 3}
@@ -544,6 +562,5 @@ func charronBost(w io.Writer, slow bool) error {
 		t.AddRow(n, o.N, len(exts), dim, bench.Verdict(check))
 	}
 	t.Note = "dimension n means vector clocks of fewer than n components cannot characterize n-process causality; Theorem 12 generalizes this to arbitrary message formats"
-	t.Render(w)
-	return nil
+	return out.Emit(t)
 }

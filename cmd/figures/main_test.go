@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -8,7 +10,7 @@ import (
 // TestRunAllExperiments smoke-tests every experiment section end to end.
 func TestRunAllExperiments(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 0, 0, "", "", true, false); err != nil {
+	if err := run(&sb, 0, 0, "", "", true, false, 1, 2, false); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -37,11 +39,61 @@ func TestRunSingleSelections(t *testing.T) {
 		{ext: "gsp", mustShow: "op-driven"},
 	} {
 		var sb strings.Builder
-		if err := run(&sb, tc.fig, tc.thm, tc.sec, tc.ext, false, false); err != nil {
+		if err := run(&sb, tc.fig, tc.thm, tc.sec, tc.ext, false, false, 1, 1, false); err != nil {
 			t.Fatalf("%+v: %v", tc, err)
 		}
 		if !strings.Contains(sb.String(), tc.mustShow) {
 			t.Errorf("%+v: output missing %q", tc, tc.mustShow)
 		}
+	}
+}
+
+// TestRunParallelMatchesSequential pins deterministic aggregation for the
+// fan-out sections (Theorem 6 batch, Theorem 12 sweep cells): the rendered
+// tables are byte-identical for every worker count.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	for _, thm := range []int{6, 12} {
+		var seq strings.Builder
+		if err := run(&seq, 0, thm, "", "", false, false, 1, 1, false); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			var par strings.Builder
+			if err := run(&par, 0, thm, "", "", false, false, 1, workers, false); err != nil {
+				t.Fatal(err)
+			}
+			if par.String() != seq.String() {
+				t.Errorf("thm %d parallel=%d output differs from sequential", thm, workers)
+			}
+		}
+	}
+}
+
+// TestRunJSON checks the -json mode emits JSON Lines: one parseable table
+// object per line.
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 12, "", "", false, false, 1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var table struct {
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &table); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if table.Title == "" || len(table.Rows) == 0 {
+			t.Fatalf("line %d: empty table: %s", lines, sc.Text())
+		}
+	}
+	if lines != 4 {
+		t.Fatalf("theorem 12 should emit 4 JSON tables, got %d", lines)
 	}
 }

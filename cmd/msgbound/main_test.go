@@ -1,13 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
 func TestRunSingle(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 5, 4, 8, 1, "", "dense"); err != nil {
+	if err := run(&sb, 5, 4, 8, 1, 1, false, "", "dense"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "|m_g| bits") {
@@ -16,9 +17,9 @@ func TestRunSingle(t *testing.T) {
 }
 
 func TestRunSweeps(t *testing.T) {
-	for _, sweep := range []string{"k", "n", "s"} {
+	for _, sweep := range []string{"k", "n", "s", "grid"} {
 		var sb strings.Builder
-		if err := run(&sb, 6, 6, 16, 1, sweep, "sparse"); err != nil {
+		if err := run(&sb, 6, 6, 16, 1, 1, false, sweep, "sparse"); err != nil {
 			t.Fatalf("sweep %s: %v", sweep, err)
 		}
 		if !strings.Contains(sb.String(), "decode ok") {
@@ -29,10 +30,49 @@ func TestRunSweeps(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 5, 4, 8, 1, "zzz", "dense"); err == nil {
+	if err := run(&sb, 5, 4, 8, 1, 1, false, "zzz", "dense"); err == nil {
 		t.Fatal("expected unknown sweep error")
 	}
-	if err := run(&sb, 5, 4, 8, 1, "", "zzz"); err == nil {
+	if err := run(&sb, 5, 4, 8, 1, 1, false, "", "zzz"); err == nil {
 		t.Fatal("expected unknown encoding error")
+	}
+}
+
+// TestRunSweepParallelMatchesSequential pins the deterministic-aggregation
+// guarantee: a sweep's rendered table is byte-identical for every worker
+// count.
+func TestRunSweepParallelMatchesSequential(t *testing.T) {
+	for _, sweep := range []string{"k", "grid"} {
+		var seq strings.Builder
+		if err := run(&seq, 6, 6, 16, 1, 1, false, sweep, "dense"); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			var par strings.Builder
+			if err := run(&par, 6, 6, 16, 1, workers, false, sweep, "dense"); err != nil {
+				t.Fatal(err)
+			}
+			if par.String() != seq.String() {
+				t.Errorf("sweep %s parallel=%d output differs from sequential", sweep, workers)
+			}
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 6, 6, 16, 1, 2, true, "k", "dense"); err != nil {
+		t.Fatal(err)
+	}
+	var table struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &table); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if len(table.Rows) == 0 || len(table.Columns) == 0 {
+		t.Fatalf("empty JSON table: %+v", table)
 	}
 }

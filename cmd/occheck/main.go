@@ -7,6 +7,7 @@
 //
 //	occheck [-types obj=mvr,obj2=orset] [-default mvr] [-lag N] file.json
 //	occheck -example            # print an example input and its audit
+//	occheck -json file.json     # the audit table as one JSON line
 //
 // Input format (see internal/abstract JSON doc):
 //
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/abstract"
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/consistency"
 	"repro/internal/model"
 	"repro/internal/spec"
@@ -43,22 +45,25 @@ func main() {
 	defaultType := flag.String("default", "mvr", "default object type")
 	lag := flag.Int("lag", 0, "eventual-consistency lag bound (0 = skip the check)")
 	example := flag.Bool("example", false, "audit a built-in example input")
+	jsonOut := cli.JSONFlag(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(os.Stdout, *typesFlag, *defaultType, *lag, *example, flag.Args()); err != nil {
+	if err := run(os.Stdout, *typesFlag, *defaultType, *lag, *example, *jsonOut, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "occheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, typesFlag, defaultType string, lag int, example bool, args []string) error {
+func run(w io.Writer, typesFlag, defaultType string, lag int, example, jsonOut bool, args []string) error {
 	var data []byte
 	switch {
 	case example:
 		data = []byte(exampleInput)
-		fmt.Fprintln(w, "input:")
-		fmt.Fprintln(w, exampleInput)
-		fmt.Fprintln(w)
+		if !jsonOut {
+			fmt.Fprintln(w, "input:")
+			fmt.Fprintln(w, exampleInput)
+			fmt.Fprintln(w)
+		}
 	case len(args) == 1 && args[0] == "-":
 		var err error
 		data, err = io.ReadAll(os.Stdin)
@@ -100,8 +105,7 @@ func run(w io.Writer, typesFlag, defaultType string, lag int, example bool, args
 	t.AddRow("monotonic reads", bench.Verdict(sess.MonotonicReads), bench.Check(sess.MonotonicReads))
 	t.AddRow("writes-follow-reads", bench.Verdict(sess.WritesFollowReads), bench.Check(sess.WritesFollowReads))
 	t.AddRow("monotonic writes", bench.Verdict(sess.MonotonicWrites), bench.Check(sess.MonotonicWrites))
-	t.Render(w)
-	return nil
+	return cli.Output(w, jsonOut).Emit(t)
 }
 
 func parseTypes(typesFlag, defaultType string) (spec.Types, error) {

@@ -11,7 +11,7 @@ import (
 
 func TestRunExample(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", "mvr", 0, true, nil); err != nil {
+	if err := run(&sb, "", "mvr", 0, true, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -28,7 +28,7 @@ func TestRunFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := run(&sb, "", "mvr", 3, false, []string{path}); err != nil {
+	if err := run(&sb, "", "mvr", 3, false, false, []string{path}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "audit of 5 events") {
@@ -38,7 +38,7 @@ func TestRunFile(t *testing.T) {
 
 func TestRunRejectsMissingInput(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "", "mvr", 0, false, nil); err == nil {
+	if err := run(&sb, "", "mvr", 0, false, false, nil); err == nil {
 		t.Fatal("expected usage error")
 	}
 }

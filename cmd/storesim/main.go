@@ -8,66 +8,55 @@
 //	storesim -store causal -replicas 4 -steps 500 -seed 7
 //	storesim -store lww -drop 0.2 -dup 0.1 -reorder
 //	storesim -store kbuffer -k 3
+//	storesim -runs 4 -parallel 4    # four split-seed runs, one table each
+//	storesim -json                  # JSON Lines, one table per run
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/consistency"
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/store"
-	"repro/internal/store/causal"
-	"repro/internal/store/gsp"
-	"repro/internal/store/kbuffer"
-	"repro/internal/store/lww"
-	"repro/internal/store/statesync"
 )
 
 func main() {
-	storeName := flag.String("store", "causal", "store to simulate: causal, causal-sparse, causal-perupdate, lww, kbuffer, gsp, statesync")
+	storeName := cli.StoreFlag(flag.CommandLine, "causal")
+	seed := cli.SeedFlag(flag.CommandLine, 1)
+	parallel := cli.ParallelFlag(flag.CommandLine)
+	jsonOut := cli.JSONFlag(flag.CommandLine)
 	replicas := flag.Int("replicas", 3, "number of replicas")
 	steps := flag.Int("steps", 300, "workload steps")
 	objects := flag.Int("objects", 3, "number of objects")
-	seed := flag.Int64("seed", 1, "workload seed")
 	k := flag.Int("k", 2, "K for the kbuffer store")
 	drop := flag.Float64("drop", 0, "message drop probability")
 	dup := flag.Float64("dup", 0, "message duplication probability")
 	reorder := flag.Bool("reorder", false, "deliver messages out of order")
+	runs := flag.Int("runs", 1, "independent split-seed runs")
 	flag.Parse()
 
 	if err := run(os.Stdout, *storeName, *replicas, *steps, *objects, *seed, *k,
-		sim.Faults{DropProb: *drop, DupProb: *dup, Reorder: *reorder}); err != nil {
+		sim.Faults{DropProb: *drop, DupProb: *dup, Reorder: *reorder},
+		*runs, *parallel, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "storesim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, storeName string, replicas, steps, objects int, seed int64, k int, faults sim.Faults) error {
+func run(w io.Writer, storeName string, replicas, steps, objects int, seed int64, k int, faults sim.Faults, runs, parallel int, jsonOut bool) error {
 	types := spec.MVRTypes()
-	var st store.Store
-	switch storeName {
-	case "causal":
-		st = causal.New(types)
-	case "causal-sparse":
-		st = causal.NewWithOptions(types, causal.Options{SparseDeps: true})
-	case "causal-perupdate":
-		st = causal.NewWithOptions(types, causal.Options{PerUpdateMessages: true})
-	case "lww":
-		st = lww.New(types)
-	case "kbuffer":
-		st = kbuffer.New(types, k)
-	case "gsp":
-		st = gsp.New(types)
-	case "statesync":
-		st = statesync.New(types)
-	default:
-		return fmt.Errorf("unknown store %q", storeName)
+	st, err := cli.OpenStore(storeName, types, store.Options{K: k})
+	if err != nil {
+		return err
 	}
 
 	objs := make([]model.ObjectID, objects)
@@ -75,44 +64,73 @@ func run(w io.Writer, storeName string, replicas, steps, objects int, seed int64
 		objs[i] = model.ObjectID(fmt.Sprintf("x%d", i))
 	}
 
-	c := sim.NewCluster(st, replicas, seed)
-	c.SetFaults(faults)
-	ops := c.RunRandom(sim.WorkloadConfig{Objects: objs, Steps: steps})
-	preQuiescence := len(c.Execution().DoEvents())
-	c.Quiesce()
-	convergence := c.CheckConverged(objs)
-
-	// Message statistics from the recorded execution.
-	msgs, totalBits, maxBits := 0, 0, 0
-	for _, m := range c.Execution().Messages {
-		msgs++
-		totalBits += m.Bits()
-		if m.Bits() > maxBits {
-			maxBits = m.Bits()
-		}
+	if runs <= 0 {
+		runs = 1
 	}
+	// A single run uses the root seed directly (the historical behavior);
+	// multi-run audits give run i its own split stream of the root seed.
+	// Runs buffer their output and flush in index order, so the report is
+	// byte-identical for every worker count.
+	bufs := make([]bytes.Buffer, runs)
+	err = core.ForEachCell(parallel, runs, func(i int) error {
+		var c *sim.Cluster
+		if runs == 1 {
+			c = sim.NewCluster(st, replicas, seed)
+		} else {
+			c = sim.NewClusterWorker(st, replicas, seed, i)
+		}
+		c.SetFaults(faults)
+		ops := c.RunRandom(sim.WorkloadConfig{Objects: objs, Steps: steps})
+		preQuiescence := len(c.Execution().DoEvents())
+		c.Quiesce()
+		convergence := c.CheckConverged(objs)
 
-	a := c.DerivedAbstract()
-	verdict := consistency.Evaluate(a, types, preQuiescence)
+		// Message statistics from the recorded execution.
+		msgs, totalBits, maxBits := 0, 0, 0
+		for _, m := range c.Execution().Messages {
+			msgs++
+			totalBits += m.Bits()
+			if m.Bits() > maxBits {
+				maxBits = m.Bits()
+			}
+		}
 
-	t := bench.NewTable(fmt.Sprintf("storesim: %s, %d replicas, seed %d", st.Name(), replicas, seed),
-		"metric", "value")
-	t.AddRow("client operations", ops)
-	t.AddRow("do events (incl. convergence reads)", len(c.Execution().DoEvents()))
-	t.AddRow("messages broadcast", msgs)
-	t.AddRow("total message bits", totalBits)
-	t.AddRow("max message bits", maxBits)
-	t.AddRow("§4 property violations", len(c.PropertyViolations()))
-	t.AddRow("well-formed execution", bench.Check(c.Execution().CheckWellFormed()))
-	t.AddRow("converged after quiescence", bench.Check(convergence))
-	t.AddRow("derived A valid (Def 4)", bench.Check(verdict.Valid))
-	t.AddRow("derived A correct (Def 8)", bench.Check(shorten(verdict.Correct)))
-	t.AddRow("derived A causal (Def 12)", bench.Check(shorten(verdict.Causal)))
-	t.AddRow("derived A OCC (Def 18)", bench.Check(shorten(verdict.OCC)))
-	t.Render(w)
+		a := c.DerivedAbstract()
+		verdict := consistency.Evaluate(a, types, preQuiescence)
 
-	for _, v := range c.PropertyViolations() {
-		fmt.Fprintln(w, "violation:", v)
+		t := bench.NewTable(fmt.Sprintf("storesim: %s, %d replicas, seed %d", st.Name(), replicas, c.Seed()),
+			"metric", "value")
+		t.AddRow("client operations", ops)
+		t.AddRow("do events (incl. convergence reads)", len(c.Execution().DoEvents()))
+		t.AddRow("messages broadcast", msgs)
+		t.AddRow("total message bits", totalBits)
+		t.AddRow("max message bits", maxBits)
+		t.AddRow("§4 property violations", len(c.PropertyViolations()))
+		t.AddRow("well-formed execution", bench.Check(c.Execution().CheckWellFormed()))
+		t.AddRow("converged after quiescence", bench.Check(convergence))
+		t.AddRow("derived A valid (Def 4)", bench.Check(verdict.Valid))
+		t.AddRow("derived A correct (Def 8)", bench.Check(shorten(verdict.Correct)))
+		t.AddRow("derived A causal (Def 12)", bench.Check(shorten(verdict.Causal)))
+		t.AddRow("derived A OCC (Def 18)", bench.Check(shorten(verdict.OCC)))
+
+		out := cli.Output(&bufs[i], jsonOut)
+		if err := out.Emit(t); err != nil {
+			return err
+		}
+		if !jsonOut {
+			for _, v := range c.PropertyViolations() {
+				fmt.Fprintln(&bufs[i], "violation:", v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range bufs {
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

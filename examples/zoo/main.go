@@ -16,15 +16,11 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cli"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/store"
-	"repro/internal/store/causal"
-	"repro/internal/store/gsp"
-	"repro/internal/store/kbuffer"
-	"repro/internal/store/lww"
-	"repro/internal/store/statesync"
 )
 
 func main() {
@@ -34,12 +30,9 @@ func main() {
 }
 
 func run() error {
-	stores := []store.Store{
-		causal.New(spec.MVRTypes()),
-		statesync.New(spec.MVRTypes()),
-		lww.New(spec.MVRTypes()),
-		kbuffer.New(spec.MVRTypes(), 2),
-		gsp.New(spec.MVRTypes()),
+	var stores []store.Store
+	for _, name := range []string{"causal", "statesync", "lww", "kbuffer", "gsp"} {
+		stores = append(stores, cli.MustStore(name, spec.MVRTypes(), store.Options{K: 2}))
 	}
 	const x = model.ObjectID("x")
 

@@ -4,6 +4,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -76,6 +77,53 @@ func (t *Table) Render(w io.Writer) {
 		fmt.Fprintf(w, "note: %s\n", t.Note)
 	}
 	fmt.Fprintln(w)
+}
+
+// MarshalJSON renders the table as a machine-readable object:
+// {"title": ..., "note": ..., "columns": [...], "rows": [[...], ...]}.
+// Cells keep the exact strings the text renderer would print, so JSON and
+// text reports of one run carry identical data.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Note    string     `json:"note,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Note: t.Note, Columns: t.Columns, Rows: rows})
+}
+
+// RenderJSON writes the table as one compact JSON object followed by a
+// newline (JSON Lines), so multi-table experiment runs can be diffed and
+// tracked as BENCH_*.json files across PRs.
+func (t *Table) RenderJSON(w io.Writer) error {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Output routes tables to either the aligned-text or the JSON Lines
+// renderer; commands thread one Output through their experiment sections so
+// a single -json flag switches the whole report format.
+type Output struct {
+	W    io.Writer
+	JSON bool
+}
+
+// Emit renders one table in the selected format.
+func (o Output) Emit(t *Table) error {
+	if o.JSON {
+		return t.RenderJSON(o.W)
+	}
+	t.Render(o.W)
+	return nil
 }
 
 // Verdict renders a pass/fail cell from an error.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -73,5 +74,68 @@ func TestTableRaggedRowTolerated(t *testing.T) {
 	tb.Render(&sb) // must not panic
 	if !strings.Contains(sb.String(), "only-one") {
 		t.Fatal("row lost")
+	}
+}
+
+func TestTableJSONRoundTrips(t *testing.T) {
+	tab := NewTable("t12", "k", "bits")
+	tab.AddRow(2, 10)
+	tab.AddRow(8, 30.0)
+	tab.Note = "a note"
+	var sb strings.Builder
+	if err := tab.RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") || strings.Count(out, "\n") != 1 {
+		t.Fatalf("RenderJSON should emit exactly one JSON line: %q", out)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Note    string     `json:"note"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "t12" || got.Note != "a note" || len(got.Columns) != 2 {
+		t.Fatalf("bad round trip: %+v", got)
+	}
+	// JSON cells match what the text renderer prints, floats included.
+	if got.Rows[1][1] != "30.0" {
+		t.Fatalf("float cell = %q, want %q", got.Rows[1][1], "30.0")
+	}
+}
+
+func TestTableJSONEmptyRowsAndNote(t *testing.T) {
+	var sb strings.Builder
+	if err := NewTable("empty", "c").RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(sb.String())
+	if !strings.Contains(out, `"rows":[]`) {
+		t.Fatalf("nil rows should marshal as []: %s", out)
+	}
+	if strings.Contains(out, "note") {
+		t.Fatalf("empty note should be omitted: %s", out)
+	}
+}
+
+func TestOutputSelectsRenderer(t *testing.T) {
+	tab := NewTable("x", "a")
+	tab.AddRow(1)
+	var text, js strings.Builder
+	if err := (Output{W: &text}).Emit(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Output{W: &js, JSON: true}).Emit(tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "== x ==") {
+		t.Fatal("text mode should render the aligned table")
+	}
+	if !json.Valid([]byte(js.String())) {
+		t.Fatal("JSON mode should emit valid JSON")
 	}
 }

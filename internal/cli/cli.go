@@ -1,0 +1,74 @@
+// Package cli is the shared command-line surface of the cmd/ binaries: one
+// place defining the normalized flag set (-store, -seed, -parallel, -json)
+// and the registry-backed store opener, replacing the per-binary ad-hoc
+// flag names and duplicated store switch statements.
+//
+// Importing cli also populates the store registry (the blank imports
+// below), so every binary that parses a -store flag can open every store.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/spec"
+	"repro/internal/store"
+
+	// Registered stores: importing them for effect is what makes the
+	// registry the single store list of the repository.
+	_ "repro/internal/store/causal"
+	_ "repro/internal/store/gsp"
+	_ "repro/internal/store/kbuffer"
+	_ "repro/internal/store/lww"
+	_ "repro/internal/store/statesync"
+)
+
+// StoreFlag registers the normalized -store flag, listing the registered
+// store names in its usage string.
+func StoreFlag(fs *flag.FlagSet, def string) *string {
+	return fs.String("store", def, "store to run: "+strings.Join(store.Names(), ", "))
+}
+
+// SeedFlag registers the normalized -seed flag: the single root seed from
+// which all randomness (including per-worker RNG streams of parallel runs)
+// is derived.
+func SeedFlag(fs *flag.FlagSet, def int64) *int64 {
+	return fs.Int64("seed", def, "root seed; parallel workers derive split sub-seeds from it")
+}
+
+// ParallelFlag registers the normalized -parallel flag, defaulting to
+// GOMAXPROCS. Commands pass its value to the parallel exploration and
+// sweep engines; output is byte-identical for every worker count.
+func ParallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", runtime.GOMAXPROCS(0), "worker count for parallel exploration/sweeps (output is identical for any value)")
+}
+
+// JSONFlag registers the normalized -json flag selecting JSON Lines output.
+func JSONFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("json", false, "emit machine-readable JSON Lines instead of aligned tables")
+}
+
+// OpenStore instantiates a registered store by name.
+func OpenStore(name string, types spec.Types, opts store.Options) (store.Store, error) {
+	return store.Open(name, types, opts)
+}
+
+// MustStore instantiates a registered store by name and panics on an
+// unknown name — for the fixed store lists of experiment drivers, where an
+// unknown name is a programmer error.
+func MustStore(name string, types spec.Types, opts store.Options) store.Store {
+	st, err := store.Open(name, types, opts)
+	if err != nil {
+		panic(fmt.Sprintf("cli: %v", err))
+	}
+	return st
+}
+
+// Output wraps a writer and the -json choice as a bench.Output sink.
+func Output(w io.Writer, json bool) bench.Output {
+	return bench.Output{W: w, JSON: json}
+}

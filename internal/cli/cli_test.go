@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func TestFlagsRegisterNormalizedNames(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	storeName := StoreFlag(fs, "causal")
+	seed := SeedFlag(fs, 1)
+	parallel := ParallelFlag(fs)
+	jsonOut := JSONFlag(fs)
+	if err := fs.Parse([]string{"-store", "lww", "-seed", "9", "-parallel", "4", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if *storeName != "lww" || *seed != 9 || *parallel != 4 || !*jsonOut {
+		t.Fatalf("parsed values wrong: %s %d %d %v", *storeName, *seed, *parallel, *jsonOut)
+	}
+	if !strings.Contains(fs.Lookup("store").Usage, "kbuffer") {
+		t.Fatal("-store usage should list the registered stores")
+	}
+}
+
+func TestOpenStoreUsesRegistry(t *testing.T) {
+	st, err := OpenStore("kbuffer", spec.MVRTypes(), store.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name() != "kbuffer-3" && !strings.Contains(st.Name(), "kbuffer") {
+		t.Fatalf("unexpected store: %s", st.Name())
+	}
+	if _, err := OpenStore("nope", spec.MVRTypes(), store.Options{}); err == nil {
+		t.Fatal("expected unknown-store error")
+	}
+}
+
+func TestMustStorePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustStore should panic on an unknown name")
+		}
+	}()
+	MustStore("nope", spec.MVRTypes(), store.Options{})
+}
+
+func TestOutputRoutesJSON(t *testing.T) {
+	var sb strings.Builder
+	out := Output(&sb, true)
+	if !out.JSON || out.W != &sb {
+		t.Fatal("Output should carry the writer and format choice")
+	}
+}

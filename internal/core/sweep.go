@@ -18,16 +18,25 @@ type SweepPoint struct {
 	DecodeOK          bool
 }
 
+// Sweep cells are independent α_g constructions, each against its own
+// simulator instance from the st factory, so they parallelize across
+// ForEachCell workers; results land in input order and are byte-identical
+// for every parallel value.
+
 // SweepK measures |m_g| for growing k at fixed n and s, exhibiting the lg k
 // growth of Theorem 12.
-func SweepK(st func() store.Store, n, s int, ks []int, seed int64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(ks))
-	for _, k := range ks {
-		res, err := RunMessageLowerBound(st(), LowerBoundConfig{N: n, S: s, K: k, Seed: seed})
+func SweepK(st func() store.Store, n, s int, ks []int, seed int64, parallel int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, len(ks))
+	err := ForEachCell(parallel, len(ks), func(i int) error {
+		res, err := RunMessageLowerBound(st(), LowerBoundConfig{N: n, S: s, K: ks[i], Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("core: sweep k=%d: %w", k, err)
+			return fmt.Errorf("core: sweep k=%d: %w", ks[i], err)
 		}
-		out = append(out, point(res))
+		out[i] = point(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -37,27 +46,59 @@ func SweepK(st func() store.Store, n, s int, ks []int, seed int64) ([]SweepPoint
 // flat in the bound while the dense-clock implementation keeps paying O(n)
 // (the §6 gap between the Ω(min{n,s}·lg k) bound and the O(n·k)-style
 // vector-clock upper bound).
-func SweepN(st func() store.Store, ns []int, s, k int, seed int64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(ns))
-	for _, n := range ns {
-		res, err := RunMessageLowerBound(st(), LowerBoundConfig{N: n, S: s, K: k, Seed: seed})
+func SweepN(st func() store.Store, ns []int, s, k int, seed int64, parallel int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, len(ns))
+	err := ForEachCell(parallel, len(ns), func(i int) error {
+		res, err := RunMessageLowerBound(st(), LowerBoundConfig{N: ns[i], S: s, K: k, Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("core: sweep n=%d: %w", n, err)
+			return fmt.Errorf("core: sweep n=%d: %w", ns[i], err)
 		}
-		out = append(out, point(res))
+		out[i] = point(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // SweepS measures |m_g| for growing s at fixed n and k.
-func SweepS(st func() store.Store, n int, ss []int, k int, seed int64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(ss))
-	for _, s := range ss {
+func SweepS(st func() store.Store, n int, ss []int, k int, seed int64, parallel int) ([]SweepPoint, error) {
+	out := make([]SweepPoint, len(ss))
+	err := ForEachCell(parallel, len(ss), func(i int) error {
+		res, err := RunMessageLowerBound(st(), LowerBoundConfig{N: n, S: ss[i], K: k, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("core: sweep s=%d: %w", ss[i], err)
+		}
+		out[i] = point(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepGrid measures the full (n, s, k) cross product — len(ns)·len(ss)·
+// len(ks) independent constructions — in row-major (n, then s, then k)
+// order. The grid is the volume-opening sweep: parallel cells make ranges
+// practical that a single-threaded loop could not cover.
+func SweepGrid(st func() store.Store, ns, ss, ks []int, seed int64, parallel int) ([]SweepPoint, error) {
+	total := len(ns) * len(ss) * len(ks)
+	out := make([]SweepPoint, total)
+	err := ForEachCell(parallel, total, func(i int) error {
+		n := ns[i/(len(ss)*len(ks))]
+		s := ss[(i/len(ks))%len(ss)]
+		k := ks[i%len(ks)]
 		res, err := RunMessageLowerBound(st(), LowerBoundConfig{N: n, S: s, K: k, Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("core: sweep s=%d: %w", s, err)
+			return fmt.Errorf("core: sweep cell (n=%d, s=%d, k=%d): %w", n, s, k, err)
 		}
-		out = append(out, point(res))
+		out[i] = point(res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

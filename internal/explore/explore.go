@@ -13,6 +13,16 @@
 // where it is most valuable: the boundary cases adversarial schedules
 // rarely hit by chance.
 //
+// Replays are embarrassingly parallel, and the engine exploits that with a
+// level-synchronized frontier expansion: each BFS level's candidate
+// prefixes are replayed and checked by a pool of Config.Parallel workers
+// (the expensive phase), consulting a mutex-striped visited-set to skip
+// states merged in earlier levels; a single-threaded merge then
+// deduplicates, counts, and schedules children in canonical candidate
+// order. Because every Result field and every error is decided in the merge
+// phase, output is byte-identical for every worker count — parallel
+// exploration is observationally the same as sequential, only faster.
+//
 // Checked invariants:
 //
 //   - per-state: the §4 properties claimed by the store hold (via
@@ -24,13 +34,22 @@
 package explore
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/store"
 )
+
+// ErrBudgetExceeded marks an exploration cut short by Config.MaxStates —
+// a resource limit, not a property violation; callers distinguish it with
+// errors.Is.
+var ErrBudgetExceeded = errors.New("state budget exceeded")
 
 // Op is one scripted client operation.
 type Op struct {
@@ -69,6 +88,11 @@ type Config struct {
 	// AllowPropertyViolations disables the §4 property assertions, for
 	// stores that violate them by design (GSP's sequencer, K-buffer reads).
 	AllowPropertyViolations bool
+	// Parallel is the replay worker count: 1 explores sequentially, 0
+	// defaults to GOMAXPROCS. Results and errors are byte-identical for
+	// every value; the store must tolerate concurrent NewReplica calls
+	// (every in-repo store factory is immutable, so all qualify).
+	Parallel int
 }
 
 // Result summarizes an exploration.
@@ -101,76 +125,157 @@ type action struct {
 }
 
 // Explore exhaustively enumerates the schedules of script against cfg.Store.
+//
+// The reachable state set, the Result counters, and any violation error are
+// identical for every Config.Parallel value: workers only replay and
+// pre-check candidates; the single-threaded merge decides everything in
+// canonical candidate order (parent merge order, then action order).
 func Explore(script Script, cfg Config) (*Result, error) {
 	if cfg.MaxStates == 0 {
 		cfg.MaxStates = 200000
 	}
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	objs := scriptObjects(script)
 	res := &Result{}
-	seen := make(map[string]bool)
+	seen := newShardedSet(64)
 
-	var dfs func(prefix []action) error
-	dfs = func(prefix []action) error {
-		st, err := replay(cfg.Store, script, prefix)
-		if err != nil {
-			return err
-		}
-		sig := st.signature()
-		if seen[sig] {
-			return nil
-		}
-		seen[sig] = true
-		res.States++
-		if res.States > cfg.MaxStates {
-			return fmt.Errorf("explore: state budget %d exceeded", cfg.MaxStates)
-		}
-		// Schedule choices are fixed BEFORE any checks run: invariant and
-		// convergence checks issue reads, which mutate visible-read stores
-		// (K-buffer); this state object is discarded after expansion, so
-		// those mutations are harmless once the action list is taken.
-		acts := st.enabled(script)
-
-		if !cfg.AllowPropertyViolations {
-			for _, ch := range st.checkers {
-				if err := ch.Err(); err != nil {
-					return fmt.Errorf("explore: after %s: %w", renderPrefix(prefix), err)
+	frontier := []candidate{{}}
+	for len(frontier) > 0 {
+		evals := evaluateFrontier(frontier, script, cfg, objs, seen, workers)
+		var next []candidate
+		for i := range frontier {
+			ev := &evals[i]
+			if ev.replayErr != nil {
+				return res, ev.replayErr
+			}
+			if !seen.Add(ev.sig) {
+				// Duplicate: either merged in an earlier level or claimed by
+				// an earlier candidate of this level.
+				continue
+			}
+			res.States++
+			if res.States > cfg.MaxStates {
+				return res, fmt.Errorf("explore: %w (%d states)", ErrBudgetExceeded, cfg.MaxStates)
+			}
+			if ev.checkErr != nil {
+				return res, ev.checkErr
+			}
+			if len(ev.acts) == 0 {
+				res.FinalStates++
+				if ev.convErr != nil {
+					return res, ev.convErr
 				}
+				continue
+			}
+			prefix := frontier[i].prefix
+			for _, a := range ev.acts {
+				res.Transitions++
+				next = append(next, candidate{prefix: append(prefix[:len(prefix):len(prefix)], a)})
 			}
 		}
-		if cfg.Invariant != nil {
-			if err := cfg.Invariant(&View{replicas: st.replicas, objects: objs}); err != nil {
-				return fmt.Errorf("explore: invariant violated after %s: %w", renderPrefix(prefix), err)
-			}
-		}
-
-		if len(acts) == 0 {
-			res.FinalStates++
-			if !cfg.SkipConvergence {
-				for round := 0; round < cfg.ConvergenceReadRounds; round++ {
-					for r := 0; r < st.n; r++ {
-						for _, obj := range objs {
-							st.replicas[r].Do(obj, model.Read())
-						}
-					}
-				}
-				if err := st.checkConverged(objs); err != nil {
-					return fmt.Errorf("explore: final state after %s: %w", renderPrefix(prefix), err)
-				}
-			}
-			return nil
-		}
-		for _, a := range acts {
-			res.Transitions++
-			if err := dfs(append(prefix[:len(prefix):len(prefix)], a)); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := dfs(nil); err != nil {
-		return res, err
+		frontier = next
 	}
 	return res, nil
+}
+
+// candidate is one unexplored action prefix of the current frontier level.
+type candidate struct {
+	prefix []action
+}
+
+// evaluation is the worker-phase outcome for one candidate. Every error is
+// already wrapped with the candidate's rendered prefix, so the merge phase
+// can return it verbatim.
+type evaluation struct {
+	sig       string
+	acts      []action
+	replayErr error
+	checkErr  error // §4 property or invariant violation
+	convErr   error // final-state convergence failure
+}
+
+// evaluateFrontier replays and pre-checks every candidate of one frontier
+// level with a pool of workers, writing results into a slice indexed like
+// the frontier so the merge phase is order-deterministic.
+func evaluateFrontier(frontier []candidate, script Script, cfg Config, objs []model.ObjectID, seen *shardedSet, workers int) []evaluation {
+	evals := make([]evaluation, len(frontier))
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	if workers <= 1 {
+		for i := range frontier {
+			evals[i] = evaluateOne(frontier[i], script, cfg, objs, seen)
+		}
+		return evals
+	}
+	var nextIdx atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= len(frontier) {
+					return
+				}
+				evals[i] = evaluateOne(frontier[i], script, cfg, objs, seen)
+			}
+		}()
+	}
+	wg.Wait()
+	return evals
+}
+
+// evaluateOne replays one candidate prefix from scratch and runs the
+// per-state checks, unless the visited-set already holds the state (merged
+// in an earlier level), in which case the merge phase will discard the
+// candidate and the checks are skipped.
+func evaluateOne(c candidate, script Script, cfg Config, objs []model.ObjectID, seen *shardedSet) evaluation {
+	st, err := replay(cfg.Store, script, c.prefix)
+	if err != nil {
+		return evaluation{replayErr: err}
+	}
+	ev := evaluation{sig: st.signature()}
+	// Schedule choices are fixed BEFORE any checks run: invariant and
+	// convergence checks issue reads, which mutate visible-read stores
+	// (K-buffer); this state object is discarded after evaluation, so
+	// those mutations are harmless once the action list is taken.
+	ev.acts = st.enabled(script)
+	if seen.Contains(ev.sig) {
+		return ev
+	}
+
+	if !cfg.AllowPropertyViolations {
+		for _, ch := range st.checkers {
+			if err := ch.Err(); err != nil {
+				ev.checkErr = fmt.Errorf("explore: after %s: %w", renderPrefix(c.prefix), err)
+				return ev
+			}
+		}
+	}
+	if cfg.Invariant != nil {
+		if err := cfg.Invariant(&View{replicas: st.replicas, objects: objs}); err != nil {
+			ev.checkErr = fmt.Errorf("explore: invariant violated after %s: %w", renderPrefix(c.prefix), err)
+			return ev
+		}
+	}
+	if len(ev.acts) == 0 && !cfg.SkipConvergence {
+		for round := 0; round < cfg.ConvergenceReadRounds; round++ {
+			for r := 0; r < st.n; r++ {
+				for _, obj := range objs {
+					st.replicas[r].Do(obj, model.Read())
+				}
+			}
+		}
+		if err := st.checkConverged(objs); err != nil {
+			ev.convErr = fmt.Errorf("explore: final state after %s: %w", renderPrefix(c.prefix), err)
+		}
+	}
+	return ev
 }
 
 // liveState is a materialized cluster state.

@@ -1,0 +1,76 @@
+package explore
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// shardedSet is a mutex-striped string set: the visited-state set of the
+// parallel explorer. Signatures hash to one of nShards shards, each guarded
+// by its own mutex, so concurrent membership probes from worker goroutines
+// contend only when they collide on a shard rather than on one global lock.
+//
+// Determinism note: the explorer's worker phase only READS the set (to skip
+// re-checking states merged in earlier frontier levels); all writes happen
+// in the single-threaded merge phase. The set itself is nevertheless fully
+// safe for concurrent mixed Add/Contains, which the race tests exercise
+// directly.
+type shardedSet struct {
+	seed   maphash.Seed
+	shards []setShard
+}
+
+type setShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+// newShardedSet creates a set with the given shard count (rounded up to a
+// power of two, minimum 1).
+func newShardedSet(nShards int) *shardedSet {
+	n := 1
+	for n < nShards {
+		n <<= 1
+	}
+	s := &shardedSet{seed: maphash.MakeSeed(), shards: make([]setShard, n)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]struct{})
+	}
+	return s
+}
+
+func (s *shardedSet) shard(key string) *setShard {
+	return &s.shards[maphash.String(s.seed, key)&uint64(len(s.shards)-1)]
+}
+
+// Add inserts key and reports whether it was absent.
+func (s *shardedSet) Add(key string) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		return false
+	}
+	sh.m[key] = struct{}{}
+	return true
+}
+
+// Contains reports membership.
+func (s *shardedSet) Contains(key string) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.m[key]
+	return ok
+}
+
+// Len returns the total number of keys across shards.
+func (s *shardedSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,18 @@
+package gen
+
+// SplitSeed derives the stream-th sub-seed of a root seed, so a parallel
+// run can hand every worker (or every generated execution) its own
+// decorrelated RNG stream while staying reproducible from the one root
+// seed: results depend only on (root, stream), never on which OS thread or
+// goroutine evaluated the stream.
+//
+// The mixer is splitmix64 (Steele, Lea & Flood, OOPSLA'14), the standard
+// seed-expansion finalizer: consecutive streams map to well-separated
+// points of the 2^64 state space, avoiding the correlated low bits that
+// naive root+stream seeding feeds to math/rand.
+func SplitSeed(root int64, stream int) int64 {
+	z := uint64(root) + 0x9E3779B97F4A7C15*uint64(int64(stream)+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,35 @@
+package gen
+
+import "testing"
+
+func TestSplitSeedDeterministic(t *testing.T) {
+	if SplitSeed(42, 3) != SplitSeed(42, 3) {
+		t.Fatal("SplitSeed is not a pure function")
+	}
+}
+
+// TestSplitSeedStreamsDistinct checks the streams a root seed fans out into
+// are pairwise distinct and differ from streams of neighboring roots — the
+// property the parallel sweep and batch runners rely on for decorrelated
+// per-cell RNGs.
+func TestSplitSeedStreamsDistinct(t *testing.T) {
+	seen := make(map[int64][2]int64)
+	for root := int64(0); root < 8; root++ {
+		for stream := 0; stream < 256; stream++ {
+			s := SplitSeed(root, stream)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("collision: (%d,%d) and (%d,%d) both map to %d",
+					root, stream, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{root, int64(stream)}
+		}
+	}
+}
+
+func TestSplitSeedDiffersFromRoot(t *testing.T) {
+	for root := int64(0); root < 64; root++ {
+		if SplitSeed(root, 0) == root {
+			t.Fatalf("stream 0 of root %d equals the root itself", root)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/abstract"
 	"repro/internal/execution"
+	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/store"
 )
@@ -48,6 +49,7 @@ type queuedMsg struct {
 type Cluster struct {
 	st       store.Store
 	n        int
+	seed     int64
 	replicas []store.Replica
 	checkers []*store.PropertyChecker
 	exec     *execution.Execution
@@ -69,6 +71,7 @@ func NewCluster(st store.Store, n int, seed int64) *Cluster {
 	c := &Cluster{
 		st:     st,
 		n:      n,
+		seed:   seed,
 		exec:   execution.New(),
 		queues: make([][]queuedMsg, n),
 		rng:    rand.New(rand.NewSource(seed)),
@@ -88,8 +91,20 @@ func NewCluster(st store.Store, n int, seed int64) *Cluster {
 	return c
 }
 
+// NewClusterWorker creates a cluster whose RNG stream is split from a root
+// seed for the given worker index (gen.SplitSeed), so parallel simulations
+// remain reproducible from one root seed: the cluster driven as worker i is
+// identical no matter which goroutine drives it.
+func NewClusterWorker(st store.Store, n int, root int64, worker int) *Cluster {
+	return NewCluster(st, n, gen.SplitSeed(root, worker))
+}
+
 // N returns the number of replicas.
 func (c *Cluster) N() int { return c.n }
+
+// Seed returns the seed the cluster's RNG was created with (for a worker
+// cluster, the already-split stream seed).
+func (c *Cluster) Seed() int64 { return c.seed }
 
 // Store returns the store under simulation.
 func (c *Cluster) Store() store.Store { return c.st }

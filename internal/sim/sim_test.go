@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/consistency"
@@ -295,5 +296,33 @@ func TestAdversarialDeliveryPicksNewest(t *testing.T) {
 	c.DeliverOne(1)
 	if got := c.Do(1, "y", model.Read()); !got.Equal(model.ReadResponse([]model.Value{"b"})) {
 		t.Fatalf("read = %s", got)
+	}
+}
+
+// TestClusterWorkerReproducible pins the seed-splitting contract: a worker
+// cluster is a pure function of (root, worker) — same inputs give an
+// identical run, different workers give decorrelated ones, and the chosen
+// stream is recorded on the cluster.
+func TestClusterWorkerReproducible(t *testing.T) {
+	runDigest := func(c *Cluster) string {
+		c.RunRandom(WorkloadConfig{Objects: []model.ObjectID{"x", "y"}, Steps: 80})
+		c.Quiesce()
+		return fmt.Sprintf("%v", c.ReadAll("x"))
+	}
+	a := NewClusterWorker(causal.New(spec.MVRTypes()), 3, 42, 1)
+	b := NewClusterWorker(causal.New(spec.MVRTypes()), 3, 42, 1)
+	if a.Seed() != b.Seed() || runDigest(a) != runDigest(b) {
+		t.Fatal("same (root, worker) must reproduce the same run")
+	}
+	other := NewClusterWorker(causal.New(spec.MVRTypes()), 3, 42, 2)
+	if other.Seed() == a.Seed() {
+		t.Fatal("different workers must draw different seed streams")
+	}
+	root := NewCluster(causal.New(spec.MVRTypes()), 3, 42)
+	if root.Seed() != 42 {
+		t.Fatalf("Seed() = %d, want the constructor seed 42", root.Seed())
+	}
+	if a.Seed() == 42 {
+		t.Fatal("worker streams must not collide with the root seed")
 	}
 }

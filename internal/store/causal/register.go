@@ -1,0 +1,21 @@
+package causal
+
+import (
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// The causal store registers itself and its two ablation variants
+// (DESIGN.md §5: dependency encoding and outbox batching) so binaries
+// address them by name instead of duplicating constructor switches.
+func init() {
+	store.Register("causal", func(types spec.Types, _ store.Options) store.Store {
+		return New(types)
+	})
+	store.Register("causal-sparse", func(types spec.Types, _ store.Options) store.Store {
+		return NewWithOptions(types, Options{SparseDeps: true})
+	})
+	store.Register("causal-perupdate", func(types spec.Types, _ store.Options) store.Store {
+		return NewWithOptions(types, Options{PerUpdateMessages: true})
+	})
+}

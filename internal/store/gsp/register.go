@@ -1,0 +1,17 @@
+package gsp
+
+import (
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func init() {
+	store.Register("gsp", func(types spec.Types, _ store.Options) store.Store {
+		return New(types)
+	})
+}
+
+// ViolatesProperties implements store.PropertyViolator: the sequencer
+// generates commit messages in response to received proposals, violating
+// Definition 15 by design.
+func (s *Store) ViolatesProperties() bool { return true }

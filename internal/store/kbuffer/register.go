@@ -1,0 +1,24 @@
+package kbuffer
+
+import (
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func init() {
+	store.Register("kbuffer", func(types spec.Types, opts store.Options) store.Store {
+		k := opts.K
+		if k == 0 {
+			k = 2
+		}
+		return New(types, k)
+	})
+}
+
+// ViolatesProperties implements store.PropertyViolator: reads age the
+// withheld queue, so Definition 16 fails by design.
+func (s *Store) ViolatesProperties() bool { return true }
+
+// ExtraReadRounds implements store.ReadAger: a received update surfaces
+// only after K local reads, so convergence checks need K read rounds.
+func (s *Store) ExtraReadRounds() int { return s.k }

@@ -1,0 +1,12 @@
+package lww
+
+import (
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func init() {
+	store.Register("lww", func(types spec.Types, _ store.Options) store.Store {
+		return New(types)
+	})
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// Options carries the store-specific construction knobs a Factory may
+// consult. Stores ignore fields that do not apply to them, so one Options
+// value can be threaded through a generic CLI surface.
+type Options struct {
+	// K is the K-buffer read-aging depth (0 means the store default).
+	K int
+}
+
+// Factory instantiates a registered store for the given object types.
+type Factory func(types spec.Types, opts Options) Store
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register adds a named store factory to the process-wide registry. Store
+// packages call it from init, so importing a store package (directly or via
+// internal/cli) makes it addressable by name everywhere — the single source
+// of truth replacing per-binary store switch statements. Register panics on
+// an empty name or a duplicate registration: both are programmer errors.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("store: Register needs a name and a factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("store: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Open instantiates the named store, or lists the registered names in its
+// error so CLI surfaces get a helpful message for free.
+func Open(name string, types spec.Types, opts Options) (Store, error) {
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("store: unknown store %q (registered: %v)", name, Names())
+	}
+	return f(types, opts), nil
+}
+
+// Names returns the registered store names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PropertyViolator is implemented by stores that violate the §4
+// write-propagating properties BY DESIGN (the K-buffer store's visible
+// reads, the GSP sequencer's non-op-driven commits). Drivers that assert
+// the properties — the explorer, the conformance battery — consult it
+// instead of hard-coding store names.
+type PropertyViolator interface {
+	ViolatesProperties() bool
+}
+
+// ReadAger is implemented by stores whose received updates become visible
+// only as local reads elapse (the K-buffer store). Convergence checks must
+// perform ExtraReadRounds rounds of reads before asserting Lemma 3 at
+// quiescence.
+type ReadAger interface {
+	ExtraReadRounds() int
+}

@@ -1,0 +1,74 @@
+package store_test
+
+import (
+	"strings"
+	"testing"
+
+	// The cli package's blank imports register every store; importing it here
+	// keeps this test aligned with what the commands actually see.
+	_ "repro/internal/cli"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func TestRegistryHasEveryStore(t *testing.T) {
+	want := []string{"causal", "causal-perupdate", "causal-sparse", "gsp", "kbuffer", "lww", "statesync"}
+	got := store.Names()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("registered names = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		st, err := store.Open(name, spec.MVRTypes(), store.Options{K: 2})
+		if err != nil {
+			t.Fatalf("Open(%s): %v", name, err)
+		}
+		if st == nil {
+			t.Fatalf("Open(%s) returned a nil store", name)
+		}
+	}
+}
+
+func TestOpenUnknownStoreListsNames(t *testing.T) {
+	_, err := store.Open("nope", spec.MVRTypes(), store.Options{})
+	if err == nil {
+		t.Fatal("expected an error for an unknown store")
+	}
+	if !strings.Contains(err.Error(), "causal") || !strings.Contains(err.Error(), "gsp") {
+		t.Fatalf("error should list the registered stores: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	store.Register("causal", func(types spec.Types, opts store.Options) store.Store { return nil })
+}
+
+// TestStoreTraits pins the trait interfaces the explorer keys on: the
+// K-buffer store ages reads and legitimately violates §4 properties, gsp
+// violates op-driven messages, and the well-behaved stores declare neither.
+func TestStoreTraits(t *testing.T) {
+	violators := map[string]bool{"kbuffer": true, "gsp": true}
+	agers := map[string]int{"kbuffer": 3}
+	for _, name := range store.Names() {
+		st, err := store.Open(name, spec.MVRTypes(), store.Options{K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, ok := st.(store.PropertyViolator)
+		if got := ok && pv.ViolatesProperties(); got != violators[name] {
+			t.Errorf("%s: ViolatesProperties = %v, want %v", name, got, violators[name])
+		}
+		ra, ok := st.(store.ReadAger)
+		got := 0
+		if ok {
+			got = ra.ExtraReadRounds()
+		}
+		if got != agers[name] {
+			t.Errorf("%s: ExtraReadRounds = %d, want %d", name, got, agers[name])
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package statesync
+
+import (
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func init() {
+	store.Register("statesync", func(types spec.Types, _ store.Options) store.Store {
+		return New(types)
+	})
+}
