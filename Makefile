@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench figures json
+.PHONY: build test verify bench figures json ci
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,8 @@ figures:
 json:
 	$(GO) run ./cmd/figures -all -seed 1 -parallel 1 -json > BENCH_FIGURES.json
 	$(GO) run ./cmd/msgbound -sweep grid -seed 1 -parallel 1 -json > BENCH_MSGBOUND.json
+
+# What CI runs: the verify gate, then regenerate the tracked JSON artifacts
+# and fail if they drifted from what the commit claims.
+ci: verify json
+	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json

@@ -1,0 +1,272 @@
+// Command loadgen drives a running served cluster (internal/cluster) with
+// k concurrent clients issuing a seeded Put/Get mix, waits for quiescence,
+// verifies convergence, and reports throughput, latency percentiles,
+// bytes on the wire, and retransmission counts as a bench.Table. With
+// -audit it additionally downloads every node's recorded history, merges
+// it, and replays the run through the repository's checkers: well-formed
+// execution, §4 property violations, and — for the causal stores — causal
+// consistency of the derived abstract execution.
+//
+// Usage:
+//
+//	loadgen -nodes :7000,:7001,:7002 -clients 8 -ops 200
+//	loadgen -nodes :7000,:7001,:7002 -json -audit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+func main() {
+	seed := cli.SeedFlag(flag.CommandLine, 1)
+	jsonOut := cli.JSONFlag(flag.CommandLine)
+	nodes := flag.String("nodes", "127.0.0.1:7000", "cluster node addresses, comma-separated")
+	clients := flag.Int("clients", 4, "concurrent clients (assigned to nodes round-robin)")
+	ops := flag.Int("ops", 100, "operations per client")
+	mutate := flag.Float64("mutate", 0.5, "fraction of operations that are writes")
+	objects := flag.Int("objects", 3, "number of objects")
+	audit := flag.Bool("audit", false, "download histories and replay the run through the checkers")
+	quiesceTimeout := flag.Duration("quiesce-timeout", 30*time.Second, "how long to wait for cluster quiescence")
+	flag.Parse()
+
+	cfg := config{
+		nodes:          strings.Split(*nodes, ","),
+		clients:        *clients,
+		ops:            *ops,
+		mutate:         *mutate,
+		objects:        *objects,
+		seed:           *seed,
+		audit:          *audit,
+		quiesceTimeout: *quiesceTimeout,
+		jsonOut:        *jsonOut,
+	}
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	nodes          []string
+	clients        int
+	ops            int
+	mutate         float64
+	objects        int
+	seed           int64
+	audit          bool
+	quiesceTimeout time.Duration
+	jsonOut        bool
+}
+
+func run(w io.Writer, cfg config) error {
+	if len(cfg.nodes) == 0 || cfg.clients < 1 || cfg.ops < 1 || cfg.objects < 1 {
+		return fmt.Errorf("need at least one node, client, op, and object")
+	}
+	objs := make([]model.ObjectID, cfg.objects)
+	for i := range objs {
+		objs[i] = model.ObjectID(fmt.Sprintf("x%d", i))
+	}
+
+	// One control connection per node: quiescence polling, stats,
+	// convergence reads, history downloads.
+	control := make([]*cluster.Client, len(cfg.nodes))
+	for i, addr := range cfg.nodes {
+		c, err := cluster.Dial(addr, 0)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		control[i] = c
+	}
+
+	// Workload: each client gets its own connection and a split-seed RNG
+	// stream, so runs are reproducible for any client count.
+	type result struct {
+		latencies []time.Duration
+		errs      int
+	}
+	results := make([]result, cfg.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < cfg.clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(gen.SplitSeed(cfg.seed, ci)))
+			c, err := cluster.Dial(cfg.nodes[ci%len(cfg.nodes)], 0)
+			if err != nil {
+				results[ci].errs = cfg.ops
+				return
+			}
+			defer c.Close()
+			for i := 0; i < cfg.ops; i++ {
+				obj := objs[rng.Intn(len(objs))]
+				op := model.Read()
+				if rng.Float64() < cfg.mutate {
+					op = model.Write(model.Value(fmt.Sprintf("c%d.v%d", ci, i)))
+				}
+				t0 := time.Now()
+				if _, err := c.Do(obj, op); err != nil {
+					results[ci].errs++
+					continue
+				}
+				results[ci].latencies = append(results[ci].latencies, time.Since(t0))
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []time.Duration
+	errs := 0
+	for _, r := range results {
+		lats = append(lats, r.latencies...)
+		errs += r.errs
+	}
+	if len(lats) == 0 {
+		return fmt.Errorf("every operation failed (%d errors)", errs)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	// Quiescence: all nodes must report quiesced on two consecutive polls
+	// (acks follow application, so a stable all-quiesced poll means every
+	// broadcast update was delivered — Definition 17 over a real network).
+	if err := waitQuiesced(control, cfg.quiesceTimeout); err != nil {
+		return err
+	}
+
+	doers := make([]cluster.Doer, len(control))
+	for i, c := range control {
+		doers[i] = c
+	}
+	convergence := cluster.CheckConverged(doers, objs)
+
+	var agg cluster.Stats
+	storeName := ""
+	for _, c := range control {
+		s, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		storeName = s.Store
+		agg.Ops += s.Ops
+		agg.Sends += s.Sends
+		agg.BytesOut += s.BytesOut
+		agg.Retransmits += s.Retransmits
+		agg.Reconnects += s.Reconnects
+		agg.DupFrames += s.DupFrames
+		agg.Violations += s.Violations
+	}
+
+	out := cli.Output(w, cfg.jsonOut)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i].Microseconds()) / 1000.0
+	}
+	done := len(lats)
+	t := bench.NewTable(fmt.Sprintf("loadgen: %s, %d nodes, seed %d", storeName, len(cfg.nodes), cfg.seed),
+		"clients", "ops", "errors", "ops/sec", "p50 ms", "p95 ms", "p99 ms", "max ms",
+		"wire KB", "retransmits", "reconnects", "dup frames")
+	t.AddRow(cfg.clients, done, errs,
+		float64(done)/elapsed.Seconds(),
+		pct(0.50), pct(0.95), pct(0.99), pct(1.0),
+		float64(agg.BytesOut)/1024.0,
+		agg.Retransmits, agg.Reconnects, agg.DupFrames)
+	if err := out.Emit(t); err != nil {
+		return err
+	}
+
+	if !cfg.audit {
+		return convergence
+	}
+
+	// Audit: replay the recorded histories through the checker pipeline.
+	hists := make([]cluster.History, len(control))
+	for i, c := range control {
+		h, err := c.History()
+		if err != nil {
+			return err
+		}
+		hists[i] = h
+	}
+	a := bench.NewTable(fmt.Sprintf("loadgen audit: %s, %d nodes", storeName, len(cfg.nodes)),
+		"metric", "value")
+	audited, err := cluster.BuildAudit(hists)
+	if err != nil {
+		return err
+	}
+	events := 0
+	for _, h := range hists {
+		events += len(h.Events)
+	}
+	causalVerdict := error(nil)
+	if strings.HasPrefix(storeName, "causal") {
+		causalVerdict = consistency.CheckCausal(audited.Abstract, spec.MVRTypes())
+	}
+	a.AddRow("recorded events", events)
+	a.AddRow("messages broadcast", len(audited.Exec.Messages))
+	a.AddRow("well-formed execution", bench.Check(audited.Exec.CheckWellFormed()))
+	a.AddRow("converged after quiescence", bench.Check(convergence))
+	if strings.HasPrefix(storeName, "causal") {
+		a.AddRow("derived A causal (Def 12)", bench.Check(causalVerdict))
+	}
+	a.AddRow("§4 property violations", agg.Violations)
+	if err := out.Emit(a); err != nil {
+		return err
+	}
+	if err := audited.Exec.CheckWellFormed(); err != nil {
+		return err
+	}
+	if causalVerdict != nil {
+		return causalVerdict
+	}
+	if agg.Violations != 0 {
+		return fmt.Errorf("%d §4 property violations recorded", agg.Violations)
+	}
+	return convergence
+}
+
+// waitQuiesced polls every node's stats until all report quiescence twice
+// in a row.
+func waitQuiesced(control []*cluster.Client, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	clean := 0
+	for time.Now().Before(deadline) {
+		all := true
+		for _, c := range control {
+			s, err := c.Stats()
+			if err != nil {
+				return err
+			}
+			if !s.Quiesced {
+				all = false
+				break
+			}
+		}
+		if all {
+			if clean++; clean >= 2 {
+				return nil
+			}
+		} else {
+			clean = 0
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster did not quiesce within %v", timeout)
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+
+	_ "repro/internal/store/causal"
+)
+
+// bootCluster starts an in-process 3-node causal cluster for loadgen to
+// target over loopback TCP — the same code path as external served
+// processes, minus process management.
+func bootCluster(t *testing.T) []string {
+	t.Helper()
+	const n = 3
+	nodes := make([]*cluster.Node, n)
+	for i := 0; i < n; i++ {
+		st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := cluster.NewNode(cluster.Config{
+			ID: model.ReplicaID(i), N: n, Store: st, Listen: "127.0.0.1:0",
+			DialBackoffMin: 5 * time.Millisecond,
+			RetransmitMin:  25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	addrs := make([]string, n)
+	for i, nd := range nodes {
+		addrs[i] = nd.Addr()
+		peers := make(map[model.ReplicaID]string)
+		for j, other := range nodes {
+			if j != i {
+				peers[model.ReplicaID(j)] = other.Addr()
+			}
+		}
+		if err := nd.Connect(peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return addrs
+}
+
+// TestRunJSONEmitsValidBenchTables is the -json acceptance check: the
+// report must be valid JSON Lines bench tables carrying throughput,
+// latency percentile, wire-byte, and retransmit columns, and the audited
+// run must come back clean.
+func TestRunJSONEmitsValidBenchTables(t *testing.T) {
+	addrs := bootCluster(t)
+	var buf bytes.Buffer
+	cfg := config{
+		nodes:          addrs,
+		clients:        4,
+		ops:            40,
+		mutate:         0.5,
+		objects:        3,
+		seed:           7,
+		audit:          true,
+		quiesceTimeout: 30 * time.Second,
+		jsonOut:        true,
+	}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+
+	type table struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	var tables []table
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var tb table
+		if err := json.Unmarshal(sc.Bytes(), &tb); err != nil {
+			t.Fatalf("line %q is not a JSON bench table: %v", sc.Text(), err)
+		}
+		tables = append(tables, tb)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("want workload + audit tables, got %d", len(tables))
+	}
+
+	load := tables[0]
+	for _, col := range []string{"ops/sec", "p50 ms", "p95 ms", "p99 ms", "wire KB", "retransmits"} {
+		found := false
+		for _, c := range load.Columns {
+			if c == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("workload table missing column %q: %v", col, load.Columns)
+		}
+	}
+	if len(load.Rows) != 1 {
+		t.Fatalf("workload rows = %v", load.Rows)
+	}
+
+	audit := tables[1]
+	cell := func(metric string) string {
+		for _, row := range audit.Rows {
+			if len(row) == 2 && row[0] == metric {
+				return row[1]
+			}
+		}
+		t.Fatalf("audit table missing metric %q: %v", metric, audit.Rows)
+		return ""
+	}
+	if got := cell("well-formed execution"); got != "ok" {
+		t.Fatalf("well-formed = %q", got)
+	}
+	if got := cell("converged after quiescence"); got != "ok" {
+		t.Fatalf("converged = %q", got)
+	}
+	if got := cell("derived A causal (Def 12)"); got != "ok" {
+		t.Fatalf("causal = %q", got)
+	}
+	if got := cell("§4 property violations"); got != "0" {
+		t.Fatalf("violations = %q", got)
+	}
+}
+
+// TestRunTextReport smoke-tests the aligned-text renderer path.
+func TestRunTextReport(t *testing.T) {
+	addrs := bootCluster(t)
+	var buf bytes.Buffer
+	cfg := config{
+		nodes:          addrs,
+		clients:        2,
+		ops:            15,
+		mutate:         0.6,
+		objects:        2,
+		seed:           3,
+		quiesceTimeout: 30 * time.Second,
+	}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "loadgen: causal, 3 nodes") || !strings.Contains(out, "retransmits") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}

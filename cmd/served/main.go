@@ -1,0 +1,141 @@
+// Command served runs one replica of a TCP-backed store cluster
+// (internal/cluster). Peers replicate to each other over the listen
+// address; clients (cmd/loadgen, or anything speaking the cluster
+// protocol) connect to the same address. An optional admin HTTP endpoint
+// serves health, metrics, and the node's recorded history for offline
+// auditing.
+//
+// Usage (3-node cluster on one machine):
+//
+//	served -store causal -id 0 -listen :7000 -peers 1=:7001,2=:7002 &
+//	served -store causal -id 1 -listen :7001 -peers 0=:7000,2=:7002 &
+//	served -store causal -id 2 -listen :7002 -peers 0=:7000,1=:7001 &
+//
+// The cluster size is 1+len(peers) unless -n says otherwise. Shutdown is
+// graceful on SIGINT/SIGTERM.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"repro/internal/cli"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func main() {
+	storeName := cli.StoreFlag(flag.CommandLine, "causal")
+	id := flag.Int("id", 0, "this node's replica ID (0-based)")
+	listen := flag.String("listen", "127.0.0.1:7000", "replication+client listen address")
+	peersSpec := flag.String("peers", "", "peer replicas as id=addr pairs, comma-separated (e.g. 1=:7001,2=:7002)")
+	n := flag.Int("n", 0, "cluster size (default 1+len(peers))")
+	admin := flag.String("admin", "", "admin HTTP listen address serving /healthz, /metrics, /history (disabled if empty)")
+	k := flag.Int("k", 2, "K for the kbuffer store")
+	flag.Parse()
+
+	if err := run(*storeName, *id, *listen, *peersSpec, *n, *admin, *k); err != nil {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(1)
+	}
+}
+
+// parsePeers parses "1=:7001,2=host:7002" into a peer address map.
+func parsePeers(spec string) (map[model.ReplicaID]string, error) {
+	peers := make(map[model.ReplicaID]string)
+	if spec == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || addr == "" {
+			return nil, fmt.Errorf("bad peer %q (want id=addr)", part)
+		}
+		var rid int
+		if _, err := fmt.Sscanf(id, "%d", &rid); err != nil || rid < 0 {
+			return nil, fmt.Errorf("bad peer id %q", id)
+		}
+		if _, dup := peers[model.ReplicaID(rid)]; dup {
+			return nil, fmt.Errorf("duplicate peer id %d", rid)
+		}
+		peers[model.ReplicaID(rid)] = addr
+	}
+	return peers, nil
+}
+
+func run(storeName string, id int, listen, peersSpec string, n int, admin string, k int) error {
+	peers, err := parsePeers(peersSpec)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		n = 1 + len(peers)
+	}
+	st, err := cli.OpenStore(storeName, spec.MVRTypes(), store.Options{K: k})
+	if err != nil {
+		return err
+	}
+	node, err := cluster.NewNode(cluster.Config{
+		ID:     model.ReplicaID(id),
+		N:      n,
+		Store:  st,
+		Listen: listen,
+		Peers:  peers,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	peerIDs := make([]int, 0, len(peers))
+	for pid := range peers {
+		peerIDs = append(peerIDs, int(pid))
+	}
+	sort.Ints(peerIDs)
+	fmt.Printf("served: r%d (%s, cluster of %d) listening on %s, peers %v\n",
+		id, st.Name(), n, node.Addr(), peerIDs)
+
+	if admin != "" {
+		go serveAdmin(admin, node)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("served: r%d shutting down on %v\n", id, s)
+	return nil
+}
+
+// serveAdmin exposes the node over plain HTTP for operators and offline
+// audits: /healthz (200 once serving), /metrics (the Stats snapshot), and
+// /history (the recorded local history, ready for cluster.BuildAudit).
+func serveAdmin(addr string, node *cluster.Node) {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok r%d quiesced=%v\n", node.ID(), node.Quiesced())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, node.Stats())
+	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, node.History())
+	})
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "served: admin:", err)
+	}
+}

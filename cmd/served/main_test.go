@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("1=:7001,2=host:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[1] != ":7001" || peers[2] != "host:7002" {
+		t.Fatalf("peers = %v", peers)
+	}
+	if got, _ := parsePeers(""); len(got) != 0 {
+		t.Fatalf("empty spec parsed to %v", got)
+	}
+	for _, bad := range []string{"x", "a=:1", "-1=:1", "1=", "1=:1,1=:2"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// Client is a synchronous wire client for one node: operations, stats, and
+// history downloads over a single connection. Safe for concurrent use (the
+// protocol is strict request/response, so calls serialize on a mutex —
+// loadgen opens one Client per simulated client).
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	maxFrame int
+	nextReq  uint64
+}
+
+// Dial connects a client to a node.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, maxFrame: wire.DefaultMaxFrame}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip writes one frame and reads one reply of the expected type,
+// returning the reply's reader positioned after the type tag.
+func (c *Client) roundTrip(req []byte, wantType uint64, replyMax int) (*wire.Reader, error) {
+	if _, err := wire.WriteFrame(c.conn, req, c.maxFrame); err != nil {
+		return nil, fmt.Errorf("cluster: client write: %w", err)
+	}
+	b, err := wire.ReadFrame(c.conn, replyMax)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: client read: %w", err)
+	}
+	r := wire.NewReader(b)
+	if typ := r.Uvarint(); r.Err() != nil || typ != wantType {
+		return nil, fmt.Errorf("cluster: unexpected reply frame type %d (want %d)", r.Uvarint(), wantType)
+	}
+	return r, nil
+}
+
+// Do performs one operation at the node and returns its response.
+func (c *Client) Do(obj model.ObjectID, op model.Operation) (model.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextReq++
+	id := c.nextReq
+	r, err := c.roundTrip(encodeRequest(id, obj, op), tResponse, c.maxFrame)
+	if err != nil {
+		return model.Response{}, err
+	}
+	gotID, resp, err := decodeResponse(r)
+	if err != nil {
+		return model.Response{}, fmt.Errorf("cluster: bad response frame: %w", err)
+	}
+	if gotID != id {
+		return model.Response{}, fmt.Errorf("cluster: response for request %d, want %d", gotID, id)
+	}
+	return resp, nil
+}
+
+// Stats fetches the node's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, err := c.roundTrip(encodeEmpty(tStats), tStatsResp, c.maxFrame)
+	if err != nil {
+		return Stats{}, err
+	}
+	var s Stats
+	data := r.String()
+	if err := r.Err(); err != nil {
+		return Stats{}, fmt.Errorf("cluster: bad stats frame: %w", err)
+	}
+	if err := json.Unmarshal([]byte(data), &s); err != nil {
+		return Stats{}, fmt.Errorf("cluster: decode stats: %w", err)
+	}
+	return s, nil
+}
+
+// History downloads the node's recorded local history for auditing.
+func (c *Client) History() (History, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, err := c.roundTrip(encodeEmpty(tHistory), tHistoryResp, historyMaxFrame)
+	if err != nil {
+		return History{}, err
+	}
+	var h History
+	data := r.String()
+	if err := r.Err(); err != nil {
+		return History{}, fmt.Errorf("cluster: bad history frame: %w", err)
+	}
+	if err := json.Unmarshal([]byte(data), &h); err != nil {
+		return History{}, fmt.Errorf("cluster: decode history: %w", err)
+	}
+	return h, nil
+}

@@ -1,0 +1,600 @@
+// Package cluster runs the paper's replicated data stores over real TCP
+// connections. Each Node wraps one store.Replica behind a single-goroutine
+// event loop — preserving the §2 single-threaded state-machine contract —
+// and exchanges the replica's broadcast messages with its peers through a
+// length-framed protocol (internal/wire) that provides reliable eventual
+// delivery: per-peer unacked queues, cumulative acknowledgements,
+// retransmission with exponential backoff, and reconnection on failure.
+// Unlike the lossy schedules internal/sim can produce (see sim.ErrLossyRun),
+// the transport makes Definition 3 hold on a network that drops and resets
+// connections, so quiescence still owes convergence (Lemma 3).
+//
+// Every do, send, and receive event is recorded locally with a Lamport
+// timestamp. After a run, the per-node histories merge into a concrete
+// execution (MergeHistories) and a derived abstract execution (BuildAudit)
+// that replay through execution.CheckWellFormed, consistency.CheckCausal,
+// and the §4 property checkers — the same audit pipeline the simulator
+// applies in-process, now spanning processes and machines.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by operations on a node that has shut down.
+var ErrClosed = errors.New("cluster: node closed")
+
+// Config describes one node of a cluster.
+type Config struct {
+	// ID is this node's replica ID (0-based, unique in the cluster).
+	ID model.ReplicaID
+	// N is the cluster size.
+	N int
+	// Store builds the replica this node serves.
+	Store store.Store
+	// Listen is the TCP address to listen on ("127.0.0.1:0" for tests).
+	Listen string
+	// Peers maps peer replica IDs to their listen addresses. May be left
+	// nil and supplied later via Connect (e.g. when addresses are only
+	// known after every listener is up).
+	Peers map[model.ReplicaID]string
+
+	// MaxFrame bounds replication and request frames (wire.DefaultMaxFrame
+	// if zero); history transfers use the larger historyMaxFrame.
+	MaxFrame int
+	// DialTimeout bounds one TCP dial attempt.
+	DialTimeout time.Duration
+	// DialBackoffMin/Max bound the reconnect backoff.
+	DialBackoffMin, DialBackoffMax time.Duration
+	// RetransmitMin/Max bound the unacked-update retransmission backoff.
+	RetransmitMin, RetransmitMax time.Duration
+	// WriteTimeout bounds one frame write.
+	WriteTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFrame == 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	def := func(d *time.Duration, v time.Duration) {
+		if *d == 0 {
+			*d = v
+		}
+	}
+	def(&c.DialTimeout, 2*time.Second)
+	def(&c.DialBackoffMin, 50*time.Millisecond)
+	def(&c.DialBackoffMax, 2*time.Second)
+	def(&c.RetransmitMin, 200*time.Millisecond)
+	def(&c.RetransmitMax, 2*time.Second)
+	def(&c.WriteTimeout, 5*time.Second)
+	return c
+}
+
+// Stats is a point-in-time snapshot of a node's counters, served to
+// clients over the wire (cmd/loadgen aggregates them into its report).
+type Stats struct {
+	Node        model.ReplicaID `json:"node"`
+	Store       string          `json:"store"`
+	Ops         int64           `json:"ops"`
+	Sends       int64           `json:"sends"`
+	Receives    int64           `json:"receives"`
+	BytesOut    int64           `json:"bytes_out"`
+	Retransmits int64           `json:"retransmits"`
+	Reconnects  int64           `json:"reconnects"`
+	DupFrames   int64           `json:"dup_frames"`
+	GapFrames   int64           `json:"gap_frames"`
+	Violations  int             `json:"violations"`
+	Quiesced    bool            `json:"quiesced"`
+}
+
+// Node is one replica of a TCP-backed cluster.
+type Node struct {
+	cfg     Config
+	replica store.Replica
+	checker *store.PropertyChecker
+	ln      net.Listener
+
+	calls chan func()
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	// State below is owned by the event loop goroutine.
+	lamport   uint64
+	seq       uint64   // this node's broadcast sequence counter
+	delivered []uint64 // per-origin cumulative applied broadcast seq
+	frontier  []uint64 // per-origin visible store-dot prefix
+	events    []Event
+
+	peerMu sync.Mutex
+	peers  map[model.ReplicaID]*peerSender
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // accepted connections
+
+	ops       atomic.Int64
+	sends     atomic.Int64
+	receives  atomic.Int64
+	bytesOut  atomic.Int64
+	dupFrames atomic.Int64
+	gapFrames atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// NewNode opens the listener, starts the event loop, and — if cfg.Peers is
+// set — starts the replication links. It does not block on peers being up:
+// links dial in the background and retry until the peer appears.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		return nil, errors.New("cluster: Config.Store is required")
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("cluster: invalid cluster size %d", cfg.N)
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Listen, err)
+	}
+	replica := cfg.Store.NewReplica(cfg.ID, cfg.N)
+	n := &Node{
+		cfg:       cfg,
+		replica:   replica,
+		checker:   store.NewPropertyChecker(replica),
+		ln:        ln,
+		calls:     make(chan func()),
+		done:      make(chan struct{}),
+		delivered: make([]uint64, cfg.N),
+		frontier:  make([]uint64, cfg.N),
+		peers:     make(map[model.ReplicaID]*peerSender),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(2)
+	go n.loop()
+	go n.acceptLoop()
+	if cfg.Peers != nil {
+		if err := n.Connect(cfg.Peers); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Addr returns the listener's address (resolving ":0" ports).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID returns the node's replica ID.
+func (n *Node) ID() model.ReplicaID { return n.cfg.ID }
+
+// Connect starts replication links to the given peers. Each link dials in
+// the background with backoff, so Connect succeeds even while peers are
+// still coming up.
+func (n *Node) Connect(peers map[model.ReplicaID]string) error {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	for id, addr := range peers {
+		if id == n.cfg.ID {
+			return fmt.Errorf("cluster: r%d listed as its own peer", id)
+		}
+		if int(id) < 0 || int(id) >= n.cfg.N {
+			return fmt.Errorf("cluster: peer r%d outside cluster of %d", id, n.cfg.N)
+		}
+		if _, dup := n.peers[id]; dup {
+			return fmt.Errorf("cluster: duplicate link to r%d", id)
+		}
+		p := newPeerSender(n, id, addr)
+		n.peers[id] = p
+		n.wg.Add(1)
+		go p.run()
+	}
+	return nil
+}
+
+func (n *Node) allPeers() []*peerSender {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	out := make([]*peerSender, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// loop is the event loop: the only goroutine that touches the replica and
+// the recorded history, serializing concurrent clients and peer deliveries
+// into the single-threaded executions of Definition 1.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.calls:
+			fn()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// inLoop runs fn on the event loop and waits for it to finish.
+func (n *Node) inLoop(fn func()) error {
+	ran := make(chan struct{})
+	select {
+	case n.calls <- func() { fn(); close(ran) }:
+	case <-n.done:
+		return ErrClosed
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+// Do applies one client operation at this replica, records the do event
+// (with visibility snapshot), and broadcasts any messages the operation
+// made pending. Safe for concurrent use.
+func (n *Node) Do(obj model.ObjectID, op model.Operation) (model.Response, error) {
+	var resp model.Response
+	err := n.inLoop(func() { resp = n.doInLoop(obj, op) })
+	if err == nil {
+		n.ops.Add(1)
+	}
+	return resp, err
+}
+
+func (n *Node) doInLoop(obj model.ObjectID, op model.Operation) model.Response {
+	resp := n.checker.CheckDo(obj, op, func() model.Response { return n.replica.Do(obj, op) })
+	n.lamport++
+	ev := Event{Kind: model.ActDo, Lamport: n.lamport, Object: obj, Op: op, Rval: resp}
+	if op.Kind.IsMutator() {
+		if dr, ok := n.replica.(store.DotReporter); ok {
+			if d, has := dr.LastDot(); has {
+				ev.Dot = d
+			}
+		}
+	}
+	n.advanceFrontier()
+	ev.Frontier = append([]uint64(nil), n.frontier...)
+	n.events = append(n.events, ev)
+	n.broadcastPending()
+	return resp
+}
+
+// advanceFrontier pushes each origin's visible prefix forward by probing
+// the store's own visibility report. Stores without a VisReporter keep an
+// all-zero frontier, which derives the same (vacuous) visibility the
+// simulator derives for them.
+func (n *Node) advanceFrontier() {
+	vr, ok := n.replica.(store.VisReporter)
+	if !ok {
+		return
+	}
+	for o := range n.frontier {
+		for vr.Sees(model.Dot{Origin: model.ReplicaID(o), Seq: n.frontier[o] + 1}) {
+			n.frontier[o]++
+		}
+	}
+}
+
+// broadcastPending drains the replica's outbox: each pending message
+// becomes one recorded send event and one update enqueued to every peer
+// link. Runs on the event loop.
+func (n *Node) broadcastPending() {
+	for {
+		p := n.replica.PendingMessage()
+		if p == nil {
+			return
+		}
+		payload := append([]byte(nil), p...)
+		n.replica.OnSend()
+		n.seq++
+		n.lamport++
+		n.events = append(n.events, Event{
+			Kind: model.ActSend, Lamport: n.lamport,
+			Origin: n.cfg.ID, Seq: n.seq, Payload: payload,
+		})
+		n.sends.Add(1)
+		u := protoUpdate{Origin: n.cfg.ID, Seq: n.seq, Lamport: n.lamport, Payload: payload}
+		for _, ps := range n.allPeers() {
+			ps.enqueue(u)
+		}
+	}
+}
+
+// applyUpdate delivers one replication frame on the event loop and returns
+// the cumulative applied seq for the update's origin (the ack value).
+// Exactly-once, in-order application falls out of the cumulative counter:
+// duplicates re-ack, gaps wait for retransmission to fill them.
+func (n *Node) applyUpdate(u protoUpdate) uint64 {
+	next := n.delivered[u.Origin] + 1
+	switch {
+	case u.Seq < next:
+		n.dupFrames.Add(1)
+	case u.Seq > next:
+		n.gapFrames.Add(1)
+	default:
+		n.checker.CheckReceive(u.Payload, func() { n.replica.Receive(u.Payload) })
+		n.delivered[u.Origin] = u.Seq
+		if u.Lamport > n.lamport {
+			n.lamport = u.Lamport
+		}
+		n.lamport++
+		n.events = append(n.events, Event{
+			Kind: model.ActReceive, Lamport: n.lamport,
+			Origin: u.Origin, Seq: u.Seq,
+		})
+		n.receives.Add(1)
+		n.broadcastPending()
+	}
+	return n.delivered[u.Origin]
+}
+
+// Quiesced reports whether this node has nothing left to say: no pending
+// broadcast and every peer link fully acknowledged. Cluster-wide
+// quiescence (Definition 17) is all nodes reporting true — and because
+// acks are only written after the receiver applied the update, a stable
+// all-quiesced poll really does mean every sent message was delivered.
+func (n *Node) Quiesced() bool {
+	var pending bool
+	if n.inLoop(func() { pending = n.replica.PendingMessage() != nil }) != nil {
+		return false
+	}
+	if pending {
+		return false
+	}
+	for _, p := range n.allPeers() {
+		if !p.drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() Stats {
+	s := Stats{
+		Node:      n.cfg.ID,
+		Store:     n.cfg.Store.Name(),
+		Ops:       n.ops.Load(),
+		Sends:     n.sends.Load(),
+		Receives:  n.receives.Load(),
+		BytesOut:  n.bytesOut.Load(),
+		DupFrames: n.dupFrames.Load(),
+		GapFrames: n.gapFrames.Load(),
+		Quiesced:  n.Quiesced(),
+	}
+	n.inLoop(func() { s.Violations = len(n.checker.Violations()) })
+	for _, p := range n.allPeers() {
+		s.Retransmits += p.retransmits.Load()
+		s.Reconnects += p.reconnects.Load()
+	}
+	return s
+}
+
+// Violations returns the §4 property violations the node's checker
+// observed (live counterpart of sim.Cluster.PropertyViolations).
+func (n *Node) Violations() []*store.PropertyViolation {
+	var v []*store.PropertyViolation
+	n.inLoop(func() { v = append(v, n.checker.Violations()...) })
+	return v
+}
+
+// History snapshots the node's recorded local history.
+func (n *Node) History() History {
+	h := History{Node: n.cfg.ID, N: n.cfg.N, Store: n.cfg.Store.Name()}
+	n.inLoop(func() { h.Events = append([]Event(nil), n.events...) })
+	return h
+}
+
+// BreakConnections closes every live dial-side replication connection,
+// simulating network resets. Links redial and retransmit; no update is
+// lost. Returns how many connections were torn down.
+func (n *Node) BreakConnections() int {
+	broken := 0
+	for _, p := range n.allPeers() {
+		p.mu.Lock()
+		live := p.conn != nil
+		p.mu.Unlock()
+		if live {
+			p.breakConn()
+			broken++
+		}
+	}
+	return broken
+}
+
+// Close shuts the node down: stops the event loop, listener, links, and
+// open connections, then waits for every goroutine to exit.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.ln.Close()
+		for _, p := range n.allPeers() {
+			p.close()
+		}
+		n.connMu.Lock()
+		for c := range n.conns {
+			c.Close()
+		}
+		n.connMu.Unlock()
+		n.wg.Wait()
+	})
+	return nil
+}
+
+func (n *Node) track(c net.Conn) bool {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	select {
+	case <-n.done:
+		return false
+	default:
+	}
+	n.conns[c] = struct{}{}
+	return true
+}
+
+func (n *Node) untrack(c net.Conn) {
+	n.connMu.Lock()
+	delete(n.conns, c)
+	n.connMu.Unlock()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !n.track(conn) {
+			conn.Close()
+			return
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// serveConn classifies an inbound connection by its first frame: a tHello
+// marks a peer's replication stream; anything else is a client speaking
+// request/response.
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer n.untrack(conn)
+	defer conn.Close()
+	first, err := wire.ReadFrame(conn, n.cfg.MaxFrame)
+	if err != nil {
+		return
+	}
+	r := wire.NewReader(first)
+	if typ := r.Uvarint(); r.Err() == nil && typ == tHello {
+		if r.Uvarint(); r.Err() == nil {
+			n.serveReplication(conn)
+		}
+		return
+	}
+	n.serveClient(conn, first)
+}
+
+// serveReplication applies a peer's update stream, answering each frame
+// with the cumulative ack for its origin. The ack is written only after
+// the event loop applied (or deduplicated) the update — an acked update is
+// a delivered update.
+func (n *Node) serveReplication(conn net.Conn) {
+	for {
+		b, err := wire.ReadFrame(conn, n.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(b)
+		if r.Uvarint() != tUpdate {
+			return
+		}
+		u, err := decodeUpdate(r)
+		if err != nil || int(u.Origin) < 0 || int(u.Origin) >= n.cfg.N {
+			return
+		}
+		var cum uint64
+		if n.inLoop(func() { cum = n.applyUpdate(u) }) != nil {
+			return
+		}
+		if !n.writeFrame(conn, encodeAck(cum), n.cfg.MaxFrame) {
+			return
+		}
+	}
+}
+
+// serveClient answers request/response frames from one client connection.
+func (n *Node) serveClient(conn net.Conn, first []byte) {
+	frame := first
+	for {
+		r := wire.NewReader(frame)
+		typ := r.Uvarint()
+		if r.Err() != nil {
+			return
+		}
+		var reply []byte
+		maxFrame := n.cfg.MaxFrame
+		switch typ {
+		case tRequest:
+			reqID, obj, op, err := decodeRequest(r)
+			if err != nil {
+				return
+			}
+			resp, err := n.Do(obj, op)
+			if err != nil {
+				return
+			}
+			reply = encodeResponse(reqID, resp)
+		case tStats:
+			data, err := json.Marshal(n.Stats())
+			if err != nil {
+				return
+			}
+			reply = encodeJSON(tStatsResp, data)
+		case tHistory:
+			data, err := json.Marshal(n.History())
+			if err != nil {
+				return
+			}
+			reply = encodeJSON(tHistoryResp, data)
+			maxFrame = historyMaxFrame
+		default:
+			return
+		}
+		if !n.writeFrame(conn, reply, maxFrame) {
+			return
+		}
+		var err error
+		if frame, err = wire.ReadFrame(conn, n.cfg.MaxFrame); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) writeFrame(conn net.Conn, payload []byte, maxFrame int) bool {
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+	nBytes, err := wire.WriteFrame(conn, payload, maxFrame)
+	n.bytesOut.Add(int64(nBytes))
+	return err == nil
+}
+
+// WaitQuiesced polls until every node reports quiescence twice in a row
+// (one clean poll can race an update in flight between an unacked queue
+// and the receiving event loop; two consecutive clean polls cannot, since
+// acks flow only after application). Returns false on timeout.
+func WaitQuiesced(nodes []*Node, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	clean := 0
+	for time.Now().Before(deadline) {
+		all := true
+		for _, n := range nodes {
+			if !n.Quiesced() {
+				all = false
+				break
+			}
+		}
+		if all {
+			if clean++; clean >= 2 {
+				return true
+			}
+		} else {
+			clean = 0
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// peerSender owns this node's half of one replication link: the connection
+// it dials to a single peer and the queue of updates that peer has not yet
+// acknowledged. It provides the reliable half of eventual delivery
+// (Definition 3): updates stay queued until cumulatively acked, are
+// retransmitted with exponential backoff while unacked, and survive
+// connection loss through a reconnect loop — the dial-side never gives up,
+// so any network that heals eventually delivers.
+type peerSender struct {
+	node *Node
+	peer model.ReplicaID
+	addr string
+
+	mu        sync.Mutex
+	queue     []protoUpdate // unacked updates in seq order
+	lastAcked uint64        // peer's cumulative ack
+	maxSent   uint64        // highest seq ever written (retransmit accounting)
+	conn      net.Conn      // live connection, nil while dialing
+
+	kick chan struct{} // cap 1: new updates enqueued
+	ackd chan struct{} // cap 1: ack progress observed
+	done chan struct{}
+
+	dials       atomic.Int64
+	reconnects  atomic.Int64
+	retransmits atomic.Int64
+}
+
+func newPeerSender(n *Node, peer model.ReplicaID, addr string) *peerSender {
+	return &peerSender{
+		node: n,
+		peer: peer,
+		addr: addr,
+		kick: make(chan struct{}, 1),
+		ackd: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+}
+
+// enqueue appends a freshly minted update to the unacked queue and nudges
+// the writer. Called from the node's event loop.
+func (p *peerSender) enqueue(u protoUpdate) {
+	p.mu.Lock()
+	p.queue = append(p.queue, u)
+	p.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// drained reports whether every enqueued update has been acked — the
+// per-link half of the quiescence condition (Definition 17).
+func (p *peerSender) drained() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) == 0
+}
+
+// ack applies a cumulative acknowledgement, pruning the queue.
+func (p *peerSender) ack(cum uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cum > p.lastAcked {
+		p.lastAcked = cum
+	}
+	for len(p.queue) > 0 && p.queue[0].Seq <= p.lastAcked {
+		p.queue = p.queue[1:]
+	}
+}
+
+// next returns the first queued update beyond sent, plus whether writing it
+// is a retransmission (it was already written on some connection).
+func (p *peerSender) next(sent uint64) (u protoUpdate, ok, retransmit bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, q := range p.queue {
+		if q.Seq > sent {
+			retransmit = q.Seq <= p.maxSent
+			if q.Seq > p.maxSent {
+				p.maxSent = q.Seq
+			}
+			return q, true, retransmit
+		}
+	}
+	return protoUpdate{}, false, false
+}
+
+// breakConn closes the live connection (if any) without stopping the
+// sender — the reconnect loop redials. Tests use this to inject connection
+// resets.
+func (p *peerSender) breakConn() {
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+func (p *peerSender) setConn(c net.Conn) {
+	p.mu.Lock()
+	p.conn = c
+	p.mu.Unlock()
+}
+
+func (p *peerSender) close() {
+	close(p.done)
+	p.breakConn()
+}
+
+// sleep waits d plus up to 50% jitter (desynchronizing redial storms), or
+// returns false if the sender is closing.
+func (p *peerSender) sleep(d time.Duration) bool {
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// run is the sender's goroutine: dial with exponential backoff, serve the
+// connection until it dies, repeat until closed.
+func (p *peerSender) run() {
+	defer p.node.wg.Done()
+	cfg := p.node.cfg
+	backoff := cfg.DialBackoffMin
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", p.addr, cfg.DialTimeout)
+		if err != nil {
+			if !p.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > cfg.DialBackoffMax {
+				backoff = cfg.DialBackoffMax
+			}
+			continue
+		}
+		if p.dials.Add(1) > 1 {
+			p.reconnects.Add(1)
+		}
+		backoff = cfg.DialBackoffMin
+		p.serve(conn)
+	}
+}
+
+// serve drives one live connection: announce ourselves, stream unacked
+// updates in seq order, and retransmit from the peer's cumulative ack when
+// the retransmission timer fires without progress. A fresh connection
+// always rewinds to lastAcked, so nothing sent only on a dead connection is
+// lost.
+func (p *peerSender) serve(conn net.Conn) {
+	cfg := p.node.cfg
+	p.setConn(conn)
+	defer func() {
+		p.setConn(nil)
+		conn.Close()
+	}()
+
+	if !p.write(conn, encodeHello(cfg.ID)) {
+		return
+	}
+
+	// Ack reader: cumulative acks arrive on the same connection.
+	connDead := make(chan struct{})
+	go func() {
+		defer close(connDead)
+		for {
+			b, err := wire.ReadFrame(conn, cfg.MaxFrame)
+			if err != nil {
+				return
+			}
+			r := wire.NewReader(b)
+			if r.Uvarint() != tAck {
+				return
+			}
+			cum := r.Uvarint()
+			if r.Err() != nil {
+				return
+			}
+			p.ack(cum)
+			select {
+			case p.ackd <- struct{}{}:
+			default:
+			}
+		}
+	}()
+
+	p.mu.Lock()
+	sent := p.lastAcked
+	p.mu.Unlock()
+	rt := cfg.RetransmitMin
+	timer := time.NewTimer(rt)
+	defer timer.Stop()
+	for {
+		for {
+			u, ok, re := p.next(sent)
+			if !ok {
+				break
+			}
+			if re {
+				p.retransmits.Add(1)
+			}
+			if !p.write(conn, encodeUpdate(u)) {
+				<-connDead
+				return
+			}
+			sent = u.Seq
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(rt)
+		select {
+		case <-p.done:
+			conn.Close()
+			<-connDead
+			return
+		case <-connDead:
+			return
+		case <-p.kick:
+		case <-p.ackd:
+			// Progress: prune happened in ack(); reset backoff.
+			rt = cfg.RetransmitMin
+		case <-timer.C:
+			p.mu.Lock()
+			outstanding := len(p.queue) > 0 && sent > p.lastAcked
+			if outstanding {
+				sent = p.lastAcked // rewind: rewrite everything unacked
+			}
+			p.mu.Unlock()
+			if outstanding {
+				if rt *= 2; rt > cfg.RetransmitMax {
+					rt = cfg.RetransmitMax
+				}
+			}
+		}
+	}
+}
+
+// write frames one message with a write deadline, counting wire bytes.
+func (p *peerSender) write(conn net.Conn, payload []byte) bool {
+	conn.SetWriteDeadline(time.Now().Add(p.node.cfg.WriteTimeout))
+	nBytes, err := wire.WriteFrame(conn, payload, p.node.cfg.MaxFrame)
+	p.node.bytesOut.Add(int64(nBytes))
+	return err == nil
+}

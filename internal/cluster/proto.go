@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// Frame types of the cluster protocol. Every frame is a wire.WriteFrame
+// length-delimited payload whose first uvarint is the type; the rest is
+// type-specific, encoded with the repository's varint codec.
+//
+// Replication connections are directional: the broadcasting node dials its
+// peer, opens with tHello, and streams tUpdate frames in seq order; the
+// accepting side answers each applied update with a cumulative tAck on the
+// same connection. Client connections skip the hello and speak
+// request/response pairs.
+const (
+	tHello       = 1 // {from}                      replica → peer, opens a replication conn
+	tUpdate      = 2 // {origin, seq, lamport, payload}
+	tAck         = 3 // {cumSeq}                    cumulative ack of the dialer's updates
+	tRequest     = 4 // {reqID, obj, kind, arg, delta}
+	tResponse    = 5 // {reqID, ok, count, hasValues, values...}
+	tStats       = 6 // {}
+	tStatsResp   = 7 // {json}
+	tHistory     = 8 // {}
+	tHistoryResp = 9 // {json}
+)
+
+// historyMaxFrame is the frame limit for history transfers, which carry a
+// whole recorded execution and dwarf every other frame.
+const historyMaxFrame = 64 << 20
+
+type protoUpdate struct {
+	Origin  model.ReplicaID
+	Seq     uint64
+	Lamport uint64
+	Payload []byte
+}
+
+func encodeHello(from model.ReplicaID) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(tHello)
+	w.Uvarint(uint64(from))
+	return w.Bytes()
+}
+
+func encodeUpdate(u protoUpdate) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(tUpdate)
+	w.Uvarint(uint64(u.Origin))
+	w.Uvarint(u.Seq)
+	w.Uvarint(u.Lamport)
+	w.String(string(u.Payload))
+	return w.Bytes()
+}
+
+func decodeUpdate(r *wire.Reader) (protoUpdate, error) {
+	u := protoUpdate{
+		Origin:  model.ReplicaID(r.Uvarint()),
+		Seq:     r.Uvarint(),
+		Lamport: r.Uvarint(),
+		Payload: []byte(r.String()),
+	}
+	return u, r.Err()
+}
+
+func encodeAck(cum uint64) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(tAck)
+	w.Uvarint(cum)
+	return w.Bytes()
+}
+
+func encodeRequest(reqID uint64, obj model.ObjectID, op model.Operation) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(tRequest)
+	w.Uvarint(reqID)
+	w.String(string(obj))
+	w.Uvarint(uint64(op.Kind))
+	w.String(string(op.Arg))
+	w.Varint(op.Delta)
+	return w.Bytes()
+}
+
+func decodeRequest(r *wire.Reader) (reqID uint64, obj model.ObjectID, op model.Operation, err error) {
+	reqID = r.Uvarint()
+	obj = model.ObjectID(r.String())
+	op.Kind = model.OpKind(r.Uvarint())
+	op.Arg = model.Value(r.String())
+	op.Delta = r.Varint()
+	return reqID, obj, op, r.Err()
+}
+
+func encodeResponse(reqID uint64, resp model.Response) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(tResponse)
+	w.Uvarint(reqID)
+	b := uint64(0)
+	if resp.OK {
+		b = 1
+	}
+	w.Uvarint(b)
+	w.Varint(resp.Count)
+	if resp.Values == nil {
+		w.Uvarint(0)
+	} else {
+		w.Uvarint(1)
+		w.Uvarint(uint64(len(resp.Values)))
+		for _, v := range resp.Values {
+			w.String(string(v))
+		}
+	}
+	return w.Bytes()
+}
+
+func decodeResponse(r *wire.Reader) (reqID uint64, resp model.Response, err error) {
+	reqID = r.Uvarint()
+	resp.OK = r.Uvarint() == 1
+	resp.Count = r.Varint()
+	if r.Uvarint() == 1 {
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return reqID, resp, err
+		}
+		if n > uint64(r.Remaining())+1 {
+			return reqID, resp, fmt.Errorf("cluster: implausible value count %d", n)
+		}
+		resp.Values = make([]model.Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			resp.Values = append(resp.Values, model.Value(r.String()))
+		}
+	}
+	return reqID, resp, r.Err()
+}
+
+func encodeEmpty(typ uint64) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(typ)
+	return w.Bytes()
+}
+
+func encodeJSON(typ uint64, data []byte) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(typ)
+	w.String(string(data))
+	return w.Bytes()
+}

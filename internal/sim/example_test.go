@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/consistency"
@@ -28,4 +29,23 @@ func Example() {
 	// converged: true
 	// causally consistent: true
 	// §4 violations: 0
+}
+
+// Example_lossyRun shows the ErrLossyRun sentinel: once a run genuinely
+// drops messages, CheckConverged refuses to assert Lemma 3 — the stores do
+// not retransmit, so eventual delivery (Definition 3) failed — instead of
+// silently passing or blaming the store for the resulting divergence.
+func Example_lossyRun() {
+	cluster := sim.NewCluster(causal.New(spec.MVRTypes()), 3, 7)
+	cluster.SetFaults(sim.Faults{DropProb: 1.0}) // every broadcast copy is lost
+	cluster.Do(0, "x", model.Write("a"))
+	cluster.Send(0)
+	cluster.Quiesce()
+
+	err := cluster.CheckConverged([]model.ObjectID{"x"})
+	fmt.Println("copies dropped:", cluster.Drops())
+	fmt.Println("lossy-run sentinel:", errors.Is(err, sim.ErrLossyRun))
+	// Output:
+	// copies dropped: 2
+	// lossy-run sentinel: true
 }

@@ -9,11 +9,17 @@
 // duplicates, reordering, and partitions. Partitions delay rather than drop:
 // the model requires eventual delivery for eventual consistency (Definition
 // 3), so a partition blocks delivery until healed. Explicit drops genuinely
-// lose messages (our stores do not retransmit), so convergence assertions
-// only hold in drop-free runs; safety assertions hold in all runs.
+// lose messages (our stores do not retransmit), so CheckConverged refuses to
+// rule on a run that dropped anything — it returns ErrLossyRun instead of
+// silently asserting Lemma 3 where it cannot hold — unless the store
+// declares store.LossConverger (state-sync propagation subsumes losses).
+// Safety assertions hold in all runs. For convergence over a genuinely
+// lossy network, internal/cluster supplies the reliable-delivery transport
+// the stores themselves lack.
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -56,6 +62,7 @@ type Cluster struct {
 	queues   [][]queuedMsg // inbound queue per replica
 	rng      *rand.Rand
 	faults   Faults
+	drops    int // broadcast copies lost to DropProb
 
 	// connected[i][j] reports whether messages currently flow from i to j.
 	connected [][]bool
@@ -164,6 +171,7 @@ func (c *Cluster) Send(r model.ReplicaID) (int, bool) {
 			continue
 		}
 		if c.rng.Float64() < c.faults.DropProb {
+			c.drops++
 			continue
 		}
 		copies := 1
@@ -331,10 +339,30 @@ func (c *Cluster) ReadAll(obj model.ObjectID) []model.Response {
 	return out
 }
 
+// ErrLossyRun is returned by CheckConverged when the run genuinely lost
+// messages: the stores do not retransmit, so Lemma 3's premise (eventual
+// delivery, Definition 3) does not hold and convergence cannot be asserted
+// — even if the reads happen to agree.
+var ErrLossyRun = errors.New("sim: run dropped messages, convergence cannot be asserted (no retransmission)")
+
+// Drops returns the number of broadcast copies lost to fault injection.
+func (c *Cluster) Drops() int { return c.drops }
+
 // CheckConverged verifies Lemma 3's conclusion on the current (quiescent)
 // state: reads of every listed object return the same response at every
 // replica. The reads are recorded like any other client operations.
+//
+// On a run with explicit drops it returns an error wrapping ErrLossyRun
+// instead of a verdict, unless the store reconverges through loss by design
+// (store.LossConverger): eventual delivery failed, so agreement would be
+// coincidence, not Lemma 3.
 func (c *Cluster) CheckConverged(objects []model.ObjectID) error {
+	if c.drops > 0 {
+		lc, ok := c.st.(store.LossConverger)
+		if !ok || !lc.ConvergesUnderLoss() {
+			return fmt.Errorf("%w: %d copies dropped", ErrLossyRun, c.drops)
+		}
+	}
 	for _, obj := range objects {
 		resps := c.ReadAll(obj)
 		for r := 1; r < c.n; r++ {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/store/causal"
 	"repro/internal/store/kbuffer"
 	"repro/internal/store/lww"
+	"repro/internal/store/statesync"
 )
 
 func newCausalCluster(n int, seed int64) *Cluster {
@@ -87,6 +89,57 @@ func TestQuiesceWithFaultsSuspended(t *testing.T) {
 	// The dropped message is gone (no retransmission), but quiescence holds.
 	if !c.IsQuiescent() {
 		t.Fatal("not quiescent")
+	}
+}
+
+func TestCheckConvergedLossyRunSentinel(t *testing.T) {
+	c := newCausalCluster(3, 9)
+	c.SetFaults(Faults{DropProb: 1.0})
+	c.Do(0, "x", model.Write("a"))
+	c.Send(0)
+	c.Quiesce()
+	if c.Drops() != 2 {
+		t.Fatalf("Drops() = %d, want 2", c.Drops())
+	}
+	err := c.CheckConverged([]model.ObjectID{"x"})
+	if !errors.Is(err, ErrLossyRun) {
+		t.Fatalf("CheckConverged = %v, want ErrLossyRun", err)
+	}
+}
+
+func TestCheckConvergedDropFreeRunHasNoSentinel(t *testing.T) {
+	c := newCausalCluster(3, 9)
+	c.SetFaults(Faults{DupProb: 0.3, Reorder: true}) // faults, but no drops
+	c.RunRandom(WorkloadConfig{Objects: []model.ObjectID{"x"}, Steps: 100})
+	c.Quiesce()
+	if c.Drops() != 0 {
+		t.Fatalf("Drops() = %d, want 0", c.Drops())
+	}
+	if err := c.CheckConverged([]model.ObjectID{"x"}); err != nil {
+		t.Fatalf("drop-free run: %v", err)
+	}
+}
+
+func TestCheckConvergedStateSyncTolerantOfLoss(t *testing.T) {
+	// The state-sync store declares store.LossConverger: a post-loss
+	// mutation's full-state broadcast subsumes every dropped message, so
+	// CheckConverged rules on the reads instead of returning ErrLossyRun.
+	c := NewCluster(statesync.New(spec.MVRTypes()), 3, 5)
+	c.SetFaults(Faults{DropProb: 0.6})
+	objs := []model.ObjectID{"x", "y"}
+	c.RunRandom(WorkloadConfig{Objects: objs, Steps: 150, MutateRatio: 0.8})
+	if c.Drops() == 0 {
+		t.Fatal("workload dropped nothing; the scenario needs real loss")
+	}
+	c.SetFaults(Faults{})
+	// A loss-free tail: one mutation per replica re-dirties everyone, and
+	// the quiescence drain then propagates full states everywhere.
+	for r := 0; r < c.N(); r++ {
+		c.Do(model.ReplicaID(r), "x", model.Write(model.Value(fmt.Sprintf("tail%d", r))))
+	}
+	c.Quiesce()
+	if err := c.CheckConverged(objs); err != nil {
+		t.Fatalf("state-sync after lossy run: %v", err)
 	}
 }
 

@@ -19,3 +19,14 @@ func init() {
 		return NewWithOptions(types, Options{PerUpdateMessages: true})
 	})
 }
+
+// Conformance implements store.ConformanceReporter: the store claims the
+// full contract, except that per-update batching needs one send per queued
+// update to drain the outbox.
+func (s *Store) Conformance() store.Conformance {
+	var c store.Conformance
+	if s.opts.PerUpdateMessages {
+		c.MaxSendsToDrain = 4
+	}
+	return c
+}

@@ -15,3 +15,13 @@ func init() {
 // generates commit messages in response to received proposals, violating
 // Definition 15 by design.
 func (s *Store) ViolatesProperties() bool { return true }
+
+// Conformance implements store.ConformanceReporter: commit messages are not
+// op-driven, and the sequencer assigns global positions in arrival order, so
+// delivery order is semantically significant.
+func (s *Store) Conformance() store.Conformance {
+	return store.Conformance{
+		ViolatesOpDrivenMessages: true,
+		OrdersDeliveries:         true,
+	}
+}

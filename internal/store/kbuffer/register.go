@@ -22,3 +22,14 @@ func (s *Store) ViolatesProperties() bool { return true }
 // ExtraReadRounds implements store.ReadAger: a received update surfaces
 // only after K local reads, so convergence checks need K read rounds.
 func (s *Store) ExtraReadRounds() int { return s.k }
+
+// Conformance implements store.ConformanceReporter: reads age the withheld
+// queue (visible reads by design), K+1 read rounds expose everything, and
+// held payloads deduplicate only at exposure time.
+func (s *Store) Conformance() store.Conformance {
+	return store.Conformance{
+		ViolatesInvisibleReads: true,
+		ConvergenceReadRounds:  s.k + 1,
+		TransientDeliveryState: true,
+	}
+}

@@ -87,3 +87,47 @@ type PropertyViolator interface {
 type ReadAger interface {
 	ExtraReadRounds() int
 }
+
+// LossConverger is implemented by stores that reconverge through genuine
+// message loss (the state-sync store: any later broadcast carries the full
+// state, subsuming every dropped message). Convergence checkers consult it
+// before refusing to assert Lemma 3 on a lossy run — for every other store
+// a dropped update is gone, since the model has no retransmission.
+type LossConverger interface {
+	ConvergesUnderLoss() bool
+}
+
+// Conformance declares how a store deviates from the default conformance
+// contract, so registry-driven test sweeps (storetest.RunRegistered) can
+// derive the right expectations for every registered name without a
+// hand-maintained table. The zero value claims the full contract: invisible
+// reads, op-driven messages, one send drains the outbox, duplicate
+// deliveries are digest-idempotent, and independent deliveries commute.
+type Conformance struct {
+	// ViolatesInvisibleReads: reads change replica state by design
+	// (Definition 16 fails; the K-buffer store).
+	ViolatesInvisibleReads bool
+	// ViolatesOpDrivenMessages: receives create pending messages by design
+	// (Definition 15 fails; the GSP sequencer).
+	ViolatesOpDrivenMessages bool
+	// ConvergenceReadRounds is how many read rounds expose withheld state
+	// before convergence is asserted (0 means one round).
+	ConvergenceReadRounds int
+	// MaxSendsToDrain bounds consecutive sends needed to empty the outbox
+	// (0 means one; per-update batching needs one send per update).
+	MaxSendsToDrain int
+	// TransientDeliveryState: redelivery is tolerated but not
+	// digest-identical (the K-buffer holds duplicate payloads until
+	// exposure).
+	TransientDeliveryState bool
+	// OrdersDeliveries: delivery order is semantically significant, so
+	// independent deliveries need not commute (the GSP sequencer assigns
+	// positions in arrival order).
+	OrdersDeliveries bool
+}
+
+// ConformanceReporter is implemented by stores whose conformance deviates
+// from the zero-value Conformance contract.
+type ConformanceReporter interface {
+	Conformance() Conformance
+}

@@ -10,3 +10,8 @@ func init() {
 		return New(types)
 	})
 }
+
+// ConvergesUnderLoss implements store.LossConverger: every broadcast carries
+// the replica's full state, so any post-loss mutation's message subsumes all
+// previously dropped ones and convergence survives genuine message loss.
+func (s *Store) ConvergesUnderLoss() bool { return true }

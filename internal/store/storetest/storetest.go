@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/store"
 )
 
@@ -62,6 +63,51 @@ func (c *Config) defaults() {
 		c.Mutator = func(i int) (model.ObjectID, model.Operation) {
 			return model.ObjectID(fmt.Sprintf("obj%d", i%3)), model.Write(model.Value(fmt.Sprintf("v%d", i)))
 		}
+	}
+}
+
+// ConfigFor derives a conformance Config from the store's own registry
+// traits: the store.Conformance it declares (zero value — the full contract
+// — when it declares none). This is what lets RunRegistered test stores it
+// has never heard of.
+func ConfigFor(factory func() store.Store) Config {
+	var c store.Conformance
+	if cr, ok := factory().(store.ConformanceReporter); ok {
+		c = cr.Conformance()
+	}
+	return Config{
+		Factory:                  factory,
+		InvisibleReads:           !c.ViolatesInvisibleReads,
+		OpDrivenMessages:         !c.ViolatesOpDrivenMessages,
+		Converges:                true,
+		ConvergenceReadRounds:    c.ConvergenceReadRounds,
+		MaxSendsToDrain:          c.MaxSendsToDrain,
+		SkipDuplicateIdempotence: c.TransientDeliveryState,
+		SkipDeliveryCommutation:  c.OrdersDeliveries,
+	}
+}
+
+// RunRegistered runs the conformance battery on every name in the store
+// registry, deriving each store's expectations from its declared
+// store.Conformance. A store package only has to call store.Register to be
+// covered — a registration can no longer skip the suite by not having a
+// conformance test of its own.
+func RunRegistered(t *testing.T, opts store.Options) {
+	names := store.Names()
+	if len(names) == 0 {
+		t.Fatal("store registry is empty — nothing to conform")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			factory := func() store.Store {
+				st, err := store.Open(name, spec.MVRTypes(), opts)
+				if err != nil {
+					t.Fatalf("open %q: %v", name, err)
+				}
+				return st
+			}
+			Run(t, ConfigFor(factory))
+		})
 	}
 }
 

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxFrame is the frame-size ceiling used when a caller passes a
+// non-positive limit: large enough for any replication payload the stores
+// produce, small enough that a hostile length prefix cannot force an
+// unbounded allocation.
+const DefaultMaxFrame = 1 << 20
+
+// FrameSizeError reports a frame whose declared length exceeds the
+// receiver's (or sender's) limit. It is a typed error so transports can
+// distinguish a hostile or misconfigured peer from an ordinary I/O failure
+// with errors.As.
+type FrameSizeError struct {
+	Size int // declared payload length
+	Max  int // the limit it exceeded
+}
+
+// Error implements error.
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("wire: frame of %d bytes exceeds limit %d", e.Size, e.Max)
+}
+
+// WriteFrame writes payload as one length-delimited frame: a 4-byte
+// big-endian length prefix followed by the payload. It refuses payloads
+// beyond max (DefaultMaxFrame when max <= 0) with a *FrameSizeError, so a
+// sender cannot emit a frame its peer is guaranteed to reject. It returns
+// the number of bytes written to w.
+func WriteFrame(w io.Writer, payload []byte, max int) (int, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	if len(payload) > max {
+		return 0, &FrameSizeError{Size: len(payload), Max: max}
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	n, err := w.Write(hdr[:])
+	if err != nil {
+		return n, err
+	}
+	m, err := w.Write(payload)
+	return n + m, err
+}
+
+// ReadFrame reads one length-delimited frame written by WriteFrame and
+// returns its payload. A declared length beyond max (DefaultMaxFrame when
+// max <= 0) returns a *FrameSizeError BEFORE any payload allocation: the
+// guard is what makes the framing safe against a hostile length prefix. A
+// clean close before the first header byte returns io.EOF; a header or
+// payload truncated mid-frame returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > uint32(max) {
+		return nil, &FrameSizeError{Size: int(size), Max: max}
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

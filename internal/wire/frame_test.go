@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xAB}, 1000),
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if _, err := WriteFrame(&buf, p, 0); err != nil {
+			t.Fatalf("WriteFrame(%d bytes): %v", len(p), err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("round trip: got %d bytes, want %d", len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("read past last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestWriteFrameReportsBytesWritten(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteFrame(&buf, []byte("abc"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 || buf.Len() != 7 {
+		t.Fatalf("wrote %d bytes (buffer %d), want 7", n, buf.Len())
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := WriteFrame(&buf, make([]byte, 11), 10)
+	var fse *FrameSizeError
+	if !errors.As(err, &fse) {
+		t.Fatalf("err = %v, want *FrameSizeError", err)
+	}
+	if fse.Size != 11 || fse.Max != 10 {
+		t.Fatalf("FrameSizeError = %+v", fse)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("oversize frame partially written")
+	}
+}
+
+func TestReadFrameRejectsHostileLength(t *testing.T) {
+	// A 4-byte header declaring 4 GiB-1 of payload must be rejected before
+	// allocation, not trusted.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	_, err := ReadFrame(bytes.NewReader(hdr), 0)
+	var fse *FrameSizeError
+	if !errors.As(err, &fse) {
+		t.Fatalf("err = %v, want *FrameSizeError", err)
+	}
+	if fse.Max != DefaultMaxFrame {
+		t.Fatalf("limit = %d, want DefaultMaxFrame", fse.Max)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	// Header truncated mid-way.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0}), 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated header: %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Payload shorter than the header declares.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	if _, err := ReadFrame(&buf, 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadFrameCustomLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, make([]byte, 64), 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), 63); err == nil {
+		t.Fatal("frame above the reader's limit was accepted")
+	}
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes()), 64); err != nil {
+		t.Fatalf("frame at the limit rejected: %v", err)
+	}
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to ReadFrame: it must never
+// panic, never allocate beyond the limit, and every successfully read
+// payload must re-encode to a frame ReadFrame accepts again.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 3, 'a', 'b', 'c'})
+	f.Add([]byte{0, 0, 0, 5, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const limit = 1 << 12
+		payload, err := ReadFrame(bytes.NewReader(data), limit)
+		if err != nil {
+			return
+		}
+		if len(payload) > limit {
+			t.Fatalf("payload of %d bytes exceeds limit %d", len(payload), limit)
+		}
+		var buf bytes.Buffer
+		if _, err := WriteFrame(&buf, payload, limit); err != nil {
+			t.Fatalf("re-encode of accepted payload failed: %v", err)
+		}
+		back, err := ReadFrame(&buf, limit)
+		if err != nil || !bytes.Equal(back, payload) {
+			t.Fatalf("round trip changed payload: %v", err)
+		}
+	})
+}
