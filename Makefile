@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench figures json ci
+.PHONY: build test verify bench figures json fuzz chaos ci
 
 build:
 	$(GO) build ./...
@@ -27,7 +27,24 @@ json:
 	$(GO) run ./cmd/figures -all -seed 1 -parallel 1 -json > BENCH_FIGURES.json
 	$(GO) run ./cmd/msgbound -sweep grid -seed 1 -parallel 1 -json > BENCH_MSGBOUND.json
 
-# What CI runs: the verify gate, then regenerate the tracked JSON artifacts
-# and fail if they drifted from what the commit claims.
-ci: verify json
+# Brief coverage-guided runs of every fuzz target (decoders and replica
+# Receive paths), on top of the checked-in seed corpora the ordinary test
+# run already replays.
+fuzz:
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReader -fuzztime 10s
+	$(GO) test ./internal/abstract -run '^$$' -fuzz FuzzUnmarshalExecution -fuzztime 10s
+
+# The fault-injection sweep: every registered store through seeded
+# partition/crash/link-fault schedules in the simulator, then the TCP
+# cluster and loadgen chaos mode under the race detector.
+chaos:
+	$(GO) test ./internal/fault -count=1
+	$(GO) test ./internal/store/storetest -run 'TestRegisteredStoresConform/.*/Chaos' -count=1
+	$(GO) test -race ./internal/cluster ./cmd/loadgen -run 'Chaos|Supervisor|Restart' -count=1
+
+# What CI runs: the verify gate (which includes the chaos batteries), then
+# regenerate the tracked JSON artifacts and fail if they drifted from what
+# the commit claims.
+ci: verify chaos json
 	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json

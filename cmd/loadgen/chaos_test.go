@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestPercentileNearestRank pins the percentile fix: nearest-rank semantics
+// (smallest sample with ≥ p of the mass at or below it), exercised at the
+// sample counts where the old int(p*(n-1)) truncation under-read the tail.
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	seq := func(n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		lats []time.Duration
+		p    float64
+		want time.Duration
+	}{
+		// p95 of 20 samples is the 19th order statistic (ceil(.95*20)=19),
+		// i.e. the second-largest — the old code read index 18 of 0..19,
+		// which is the largest only by accident of the off-by-one.
+		{"p95 of 20", seq(20), 0.95, 19 * time.Millisecond},
+		// p99 of 100 samples must be the 99th order statistic; the old
+		// truncation gave index 98 (the p98 slot).
+		{"p99 of 100", seq(100), 0.99, 99 * time.Millisecond},
+		{"p50 odd", ms(1, 2, 3), 0.50, 2 * time.Millisecond},
+		{"p50 even", ms(1, 2, 3, 4), 0.50, 2 * time.Millisecond},
+		{"max", seq(7), 1.0, 7 * time.Millisecond},
+		{"single sample", ms(5), 0.99, 5 * time.Millisecond},
+		{"empty", nil, 0.5, 0},
+		{"p0 clamps to min", seq(10), 0, 1 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.lats, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(%d samples, %v) = %v, want %v",
+				tc.name, len(tc.lats), tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestRunChaosDeterministicFaultLog is the acceptance check for -chaos: a
+// seeded run whose schedule holds at least one partition and one
+// crash/restart must audit clean, and rerunning with the same seed must
+// emit a byte-identical JSON fault log (the first output line).
+func TestRunChaosDeterministicFaultLog(t *testing.T) {
+	cfg := chaosConfig{
+		store:          "causal",
+		nodes:          3,
+		clients:        3,
+		ops:            40,
+		mutate:         0.5,
+		objects:        3,
+		seed:           42,
+		quiesceTimeout: 30 * time.Second,
+		jsonOut:        true,
+	}
+
+	sched := chaosSchedule(cfg)
+	partitions, crashes, linkFaults := sched.Counts()
+	if partitions < 1 || crashes < 1 || linkFaults < 1 {
+		t.Fatalf("schedule too tame: %d partitions, %d crashes, %d link faults",
+			partitions, crashes, linkFaults)
+	}
+
+	faultLog := func() string {
+		var buf bytes.Buffer
+		if err := runChaos(&buf, cfg); err != nil {
+			t.Fatalf("runChaos: %v\noutput:\n%s", err, buf.String())
+		}
+		sc := bufio.NewScanner(&buf)
+		if !sc.Scan() {
+			t.Fatalf("no output")
+		}
+		return sc.Text()
+	}
+	first := faultLog()
+	second := faultLog()
+	if first != second {
+		t.Fatalf("fault log not reproducible for seed %d:\n%s\nvs\n%s", cfg.seed, first, second)
+	}
+
+	// The fault log is a bench table whose rows cover every directive.
+	var tb struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(first), &tb); err != nil {
+		t.Fatalf("fault log is not a JSON bench table: %v", err)
+	}
+	if len(tb.Rows) != len(sched.Directives) {
+		t.Fatalf("fault log rows = %d, schedule has %d directives", len(tb.Rows), len(sched.Directives))
+	}
+}
+
+// TestRunChaosFullReport checks the complete chaos report shape and the
+// clean audit verdicts on the text path.
+func TestRunChaosFullReport(t *testing.T) {
+	cfg := chaosConfig{
+		store:          "causal",
+		nodes:          3,
+		clients:        2,
+		ops:            30,
+		mutate:         0.6,
+		objects:        2,
+		seed:           7,
+		quiesceTimeout: 30 * time.Second,
+		jsonOut:        true,
+	}
+	var buf bytes.Buffer
+	if err := runChaos(&buf, cfg); err != nil {
+		t.Fatalf("runChaos: %v\noutput:\n%s", err, buf.String())
+	}
+
+	type table struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	var tables []table
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var tb table
+		if err := json.Unmarshal(sc.Bytes(), &tb); err != nil {
+			t.Fatalf("line %q is not a JSON bench table: %v", sc.Text(), err)
+		}
+		tables = append(tables, tb)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("want fault log + report + audit tables, got %d", len(tables))
+	}
+
+	report := tables[1]
+	col := func(name string) string {
+		for i, c := range report.Columns {
+			if c == name && len(report.Rows) == 1 && i < len(report.Rows[0]) {
+				return report.Rows[0][i]
+			}
+		}
+		t.Fatalf("report missing column %q: %v", name, report.Columns)
+		return ""
+	}
+	if got := col("crashes"); got != "1" {
+		t.Fatalf("crashes = %q, want 1", got)
+	}
+	if got := col("restarts"); got != "1" {
+		t.Fatalf("restarts = %q, want 1", got)
+	}
+	if got := col("partitions"); got == "0" {
+		t.Fatalf("partitions = %q, want ≥1", got)
+	}
+	if col("samples") == "0" {
+		t.Fatal("no latency samples collected")
+	}
+
+	audit := tables[2]
+	cell := func(metric string) string {
+		for _, row := range audit.Rows {
+			if len(row) == 2 && row[0] == metric {
+				return row[1]
+			}
+		}
+		t.Fatalf("audit table missing metric %q: %v", metric, audit.Rows)
+		return ""
+	}
+	if got := cell("well-formed execution"); got != "ok" {
+		t.Fatalf("well-formed = %q", got)
+	}
+	if got := cell("converged after quiescence"); got != "ok" {
+		t.Fatalf("converged = %q", got)
+	}
+	if got := cell("derived A causal (Def 12)"); got != "ok" {
+		t.Fatalf("causal = %q", got)
+	}
+	if got := cell("§4 property violations"); got != "0" {
+		t.Fatalf("violations = %q", got)
+	}
+}

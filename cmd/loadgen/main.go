@@ -7,16 +7,23 @@
 // execution, §4 property violations, and — for the causal stores — causal
 // consistency of the derived abstract execution.
 //
+// With -chaos it instead self-hosts an in-process cluster (still replicating
+// over loopback TCP) and runs a seeded fault schedule — partitions, link
+// shaping, a crash/restart — against it while the clients drive load; the
+// fault log is emitted first and is byte-identical for a given -seed.
+//
 // Usage:
 //
 //	loadgen -nodes :7000,:7001,:7002 -clients 8 -ops 200
 //	loadgen -nodes :7000,:7001,:7002 -json -audit
+//	loadgen -chaos -store causal -seed 42 -json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -43,7 +50,29 @@ func main() {
 	objects := flag.Int("objects", 3, "number of objects")
 	audit := flag.Bool("audit", false, "download histories and replay the run through the checkers")
 	quiesceTimeout := flag.Duration("quiesce-timeout", 30*time.Second, "how long to wait for cluster quiescence")
+	chaos := flag.Bool("chaos", false, "self-host an in-process cluster and run a seeded fault schedule against it (-nodes is ignored)")
+	storeName := cli.StoreFlag(flag.CommandLine, "causal")
+	chaosNodes := flag.Int("chaos-nodes", 3, "cluster size for -chaos runs")
 	flag.Parse()
+
+	if *chaos {
+		ccfg := chaosConfig{
+			store:          *storeName,
+			nodes:          *chaosNodes,
+			clients:        *clients,
+			ops:            *ops,
+			mutate:         *mutate,
+			objects:        *objects,
+			seed:           *seed,
+			quiesceTimeout: *quiesceTimeout,
+			jsonOut:        *jsonOut,
+		}
+		if err := runChaos(os.Stdout, ccfg); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := config{
 		nodes:          strings.Split(*nodes, ","),
@@ -176,14 +205,13 @@ func run(w io.Writer, cfg config) error {
 
 	out := cli.Output(w, cfg.jsonOut)
 	pct := func(p float64) float64 {
-		i := int(p * float64(len(lats)-1))
-		return float64(lats[i].Microseconds()) / 1000.0
+		return float64(percentile(lats, p).Microseconds()) / 1000.0
 	}
 	done := len(lats)
 	t := bench.NewTable(fmt.Sprintf("loadgen: %s, %d nodes, seed %d", storeName, len(cfg.nodes), cfg.seed),
-		"clients", "ops", "errors", "ops/sec", "p50 ms", "p95 ms", "p99 ms", "max ms",
+		"clients", "ops", "errors", "samples", "ops/sec", "p50 ms", "p95 ms", "p99 ms", "max ms",
 		"wire KB", "retransmits", "reconnects", "dup frames")
-	t.AddRow(cfg.clients, done, errs,
+	t.AddRow(cfg.clients, done, errs, len(lats),
 		float64(done)/elapsed.Seconds(),
 		pct(0.50), pct(0.95), pct(0.99), pct(1.0),
 		float64(agg.BytesOut)/1024.0,
@@ -240,6 +268,25 @@ func run(w io.Writer, cfg config) error {
 		return fmt.Errorf("%d §4 property violations recorded", agg.Violations)
 	}
 	return convergence
+}
+
+// percentile reads the p-th percentile from sorted latencies by nearest
+// rank: the smallest sample with at least a p fraction of the samples at or
+// below it. The previous int(p*(n-1)) truncation systematically under-read
+// the tail — p95 of 20 samples indexed 18 of 0..19 (the 90th percentile)
+// and p99 needed 100+ samples before it ever left the p98 slot.
+func percentile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(lats)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(lats) {
+		i = len(lats) - 1
+	}
+	return lats[i]
 }
 
 // waitQuiesced polls every node's stats until all report quiescence twice

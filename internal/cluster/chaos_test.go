@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// TestPeerSenderCloseTwice is the double-close regression: a sender closed
+// from both the reconnect path and node shutdown must not panic on the
+// second close.
+func TestPeerSenderCloseTwice(t *testing.T) {
+	n := &Node{cfg: Config{ID: 0, N: 2, Seed: 1}.withDefaults()}
+	p := newPeerSender(n, 1, "127.0.0.1:1")
+	p.close()
+	p.close() // must be a no-op, not a panic
+	select {
+	case <-p.done:
+	default:
+		t.Fatal("done not closed")
+	}
+}
+
+// TestPeerJitterSeeded pins the seeded-jitter fix: the same (seed, node,
+// peer) triple reproduces the exact jitter sequence, different peers of the
+// same node draw decorrelated streams, and nothing touches the global
+// math/rand source.
+func TestPeerJitterSeeded(t *testing.T) {
+	sample := func(seed int64, id, peer int) []time.Duration {
+		n := &Node{cfg: Config{ID: model.ReplicaID(id), N: 4, Seed: seed}.withDefaults()}
+		p := newPeerSender(n, model.ReplicaID(peer), "addr")
+		out := make([]time.Duration, 20)
+		for i := range out {
+			out[i] = p.jitter(100 * time.Millisecond)
+		}
+		return out
+	}
+	a := sample(7, 0, 1)
+	b := sample(7, 0, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := sample(7, 0, 2)
+	d := sample(8, 0, 1)
+	same := func(x []time.Duration) bool {
+		for i := range a {
+			if a[i] != x[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(c) {
+		t.Fatal("different peers drew an identical jitter stream")
+	}
+	if same(d) {
+		t.Fatal("different seeds drew an identical jitter stream")
+	}
+}
+
+// TestMergeOrderValidatesSendBeforeReceive feeds corrupted histories to the
+// merge: a receive whose Lamport clock sorts it before its send, and a
+// receive with no send anywhere, must both surface as typed *OrderError
+// from MergeHistories and BuildAudit alike.
+func TestMergeOrderValidatesSendBeforeReceive(t *testing.T) {
+	sender := History{Node: 0, N: 2, Events: []Event{
+		{Kind: model.ActSend, Lamport: 5, Origin: 0, Seq: 1, Payload: []byte("m")},
+	}}
+	early := History{Node: 1, N: 2, Events: []Event{
+		// Lamport 2 < the send's 5: sorts before it in the merge.
+		{Kind: model.ActReceive, Lamport: 2, Origin: 0, Seq: 1},
+	}}
+	var oe *OrderError
+	if _, err := MergeHistories([]History{sender, early}); !errors.As(err, &oe) {
+		t.Fatalf("receive-before-send: err = %v, want *OrderError", err)
+	} else if !oe.BeforeSend || oe.Node != 1 || oe.Origin != 0 || oe.Seq != 1 {
+		t.Fatalf("wrong OrderError fields: %+v", oe)
+	}
+
+	orphan := History{Node: 1, N: 2, Events: []Event{
+		{Kind: model.ActReceive, Lamport: 9, Origin: 0, Seq: 3},
+	}}
+	oe = nil
+	if _, err := BuildAudit([]History{sender, orphan}); !errors.As(err, &oe) {
+		t.Fatalf("orphan receive: err = %v, want *OrderError", err)
+	} else if oe.BeforeSend {
+		t.Fatalf("orphan receive misclassified as before-send: %+v", oe)
+	}
+}
+
+// TestNodeRestartRestoresHistory exercises the crash/restart path directly:
+// write at a node, crash it (capturing its history), restart it from that
+// history on the same address, and require the restarted node to still hold
+// its pre-crash state, resume its Lamport clock, and audit clean with its
+// peers after more traffic.
+func TestNodeRestartRestoresHistory(t *testing.T) {
+	nodes := startCluster(t, "causal", 3)
+	for i := 0; i < 5; i++ {
+		if _, err := nodes[0].Do("x", model.Write(model.Value(fmt.Sprintf("pre%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !WaitQuiesced(nodes, 30*time.Second) {
+		t.Fatal("did not quiesce before crash")
+	}
+
+	victim := nodes[2]
+	addr := victim.Addr()
+	hist := victim.History()
+	preEvents := len(hist.Events)
+	if preEvents == 0 {
+		t.Fatal("no events to restore")
+	}
+	victim.Close()
+
+	st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(2, 3, st)
+	cfg.Listen = addr
+	cfg.Restore = &hist
+	var reborn *Node
+	for attempt := 0; attempt < 50; attempt++ {
+		if reborn, err = NewNode(cfg); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	t.Cleanup(func() { reborn.Close() })
+	if err := reborn.Connect(map[model.ReplicaID]string{0: nodes[0].Addr(), 1: nodes[1].Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	nodes[2] = reborn
+
+	// Pre-crash state survived the restart.
+	resp, err := reborn.Do("x", model.Read())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Values) != 1 || resp.Values[0] != "pre4" {
+		t.Fatalf("restored read = %v, want [pre4]", resp)
+	}
+
+	// Fresh traffic everywhere, including the reborn node.
+	for i, nd := range nodes {
+		if _, err := nd.Do("y", model.Write(model.Value(fmt.Sprintf("post%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !WaitQuiesced(nodes, 30*time.Second) {
+		t.Fatal("did not quiesce after restart")
+	}
+	doers := make([]Doer, len(nodes))
+	for i, nd := range nodes {
+		doers[i] = nd
+	}
+	if err := CheckConverged(doers, []model.ObjectID{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+
+	hists := make([]History, len(nodes))
+	for i, nd := range nodes {
+		hists[i] = nd.History()
+	}
+	if len(hists[2].Events) <= preEvents {
+		t.Fatalf("restored history lost events: %d <= %d", len(hists[2].Events), preEvents)
+	}
+	audit, err := BuildAudit(hists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Exec.CheckWellFormed(); err != nil {
+		t.Fatalf("merged execution not well-formed: %v", err)
+	}
+	if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
+		t.Fatalf("derived abstract execution not causal: %v", err)
+	}
+}
+
+// TestSupervisorScheduleAuditsClean is the cluster-side tentpole check: a
+// seeded schedule with a partition, link shaping, and a crash/restart runs
+// against a live 3-node TCP cluster under concurrent load, and the run
+// still quiesces, converges, and audits clean — with the crash/restart path
+// actually exercised.
+func TestSupervisorScheduleAuditsClean(t *testing.T) {
+	st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	em := fault.NewNetem(n)
+	base := Config{
+		Store: st, Seed: 11,
+		DialTimeout:    time.Second,
+		DialBackoffMin: 5 * time.Millisecond,
+		DialBackoffMax: 100 * time.Millisecond,
+		RetransmitMin:  25 * time.Millisecond,
+		RetransmitMax:  250 * time.Millisecond,
+	}
+	sup, err := NewSupervisor(base, n, em, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	sched := fault.Generate(fault.Config{Seed: 11, N: n, Steps: 80, Partitions: 1, Crashes: 1, LinkFaults: 2})
+	objects := []model.ObjectID{"x", "y", "z"}
+
+	var wg sync.WaitGroup
+	schedErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		schedErr <- sup.RunSchedule(sched)
+	}()
+	const workers = 3
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 60; i++ {
+				obj := objects[rng.Intn(len(objects))]
+				op := model.Read()
+				if rng.Intn(2) == 0 {
+					op = model.Write(model.Value(fmt.Sprintf("w%d.%d", w, i)))
+				}
+				// Downtime errors are expected while the victim is crashed.
+				_, _ = sup.Do(w%n, obj, op)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := <-schedErr; err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if crashes, restarts := sup.Crashes(); crashes != 1 || restarts != 1 {
+		t.Fatalf("crashes/restarts = %d/%d, want 1/1", crashes, restarts)
+	}
+
+	live := sup.Nodes()
+	if len(live) != n {
+		t.Fatalf("%d nodes live after schedule, want %d", len(live), n)
+	}
+	if !WaitQuiesced(live, 30*time.Second) {
+		for _, nd := range live {
+			t.Logf("r%d stats: %+v", nd.ID(), nd.Stats())
+		}
+		t.Fatal("cluster did not quiesce after the schedule")
+	}
+	doers := make([]Doer, n)
+	for i := 0; i < n; i++ {
+		doers[i] = sup.Doer(i)
+	}
+	if err := CheckConverged(doers, objects); err != nil {
+		t.Fatal(err)
+	}
+	hists, err := sup.Histories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := BuildAudit(hists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Exec.CheckWellFormed(); err != nil {
+		t.Fatalf("merged execution not well-formed: %v", err)
+	}
+	if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
+		t.Fatalf("derived abstract execution not causal: %v", err)
+	}
+	for _, nd := range live {
+		if v := nd.Violations(); len(v) != 0 {
+			t.Fatalf("r%d property violations: %v", nd.ID(), v)
+		}
+	}
+}

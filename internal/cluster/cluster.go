@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/model"
 	"repro/internal/store"
 	"repro/internal/wire"
@@ -48,6 +49,24 @@ type Config struct {
 	// nil and supplied later via Connect (e.g. when addresses are only
 	// known after every listener is up).
 	Peers map[model.ReplicaID]string
+
+	// Seed seeds the per-peer jitter streams (redial and retransmission
+	// timing), split per (node, peer) with gen.SplitSeed: runs with the
+	// same seed reproduce retransmission timing. Zero is a valid seed.
+	Seed int64
+	// Faults, when non-nil, is the shared in-process network emulator:
+	// replication connections are wrapped on both the dial side (updates)
+	// and the accept side (acks), so the emulator's partitions, cuts, and
+	// per-link shaping windows apply to this node's links.
+	Faults *fault.Netem
+	// Restore, when non-nil, reloads a previous incarnation's recorded
+	// history before serving: the replica state is rebuilt by replaying
+	// the events, the Lamport clock and sequence counters resume where
+	// they left off, and every past broadcast is re-offered to the peers
+	// (receivers deduplicate by cumulative sequence number). This is the
+	// rejoin half of a fail-stop crash whose durable state is the local
+	// event log.
+	Restore *History
 
 	// MaxFrame bounds replication and request frames (wire.DefaultMaxFrame
 	// if zero); history transfers use the larger historyMaxFrame.
@@ -114,6 +133,10 @@ type Node struct {
 	delivered []uint64 // per-origin cumulative applied broadcast seq
 	frontier  []uint64 // per-origin visible store-dot prefix
 	events    []Event
+	// resend holds this node's own past broadcasts after a restore,
+	// re-offered to every peer on Connect so updates unacked at crash
+	// time still reach everyone. Immutable once NewNode returns.
+	resend []protoUpdate
 
 	peerMu sync.Mutex
 	peers  map[model.ReplicaID]*peerSender
@@ -159,6 +182,12 @@ func NewNode(cfg Config) (*Node, error) {
 		peers:     make(map[model.ReplicaID]*peerSender),
 		conns:     make(map[net.Conn]struct{}),
 	}
+	if cfg.Restore != nil {
+		if err := n.restore(cfg.Restore); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	n.wg.Add(2)
 	go n.loop()
 	go n.acceptLoop()
@@ -194,9 +223,82 @@ func (n *Node) Connect(peers map[model.ReplicaID]string) error {
 			return fmt.Errorf("cluster: duplicate link to r%d", id)
 		}
 		p := newPeerSender(n, id, addr)
+		for _, u := range n.resend {
+			p.enqueue(u)
+		}
 		n.peers[id] = p
 		n.wg.Add(1)
 		go p.run()
+	}
+	return nil
+}
+
+// restore replays a previous incarnation's history into the fresh replica
+// before the node serves anything: do events re-execute (the replica is the
+// deterministic state machine of §2, so replay reproduces the state), send
+// events drain the outbox and rebuild the broadcast sequence counter, and
+// receive events re-apply their recorded payloads and rebuild the
+// per-origin delivery counters. The events themselves are kept verbatim, so
+// the restarted node's History is the crash-surviving log plus whatever it
+// records next, and the Lamport clock resumes past everything restored.
+// Runs before the event-loop goroutine starts; no locking needed.
+func (n *Node) restore(h *History) error {
+	if h.Node != n.cfg.ID {
+		return fmt.Errorf("cluster: restoring r%d's history into r%d", h.Node, n.cfg.ID)
+	}
+	if h.N != n.cfg.N {
+		return fmt.Errorf("cluster: restored history is for a cluster of %d, node configured for %d", h.N, n.cfg.N)
+	}
+	for i, ev := range h.Events {
+		switch ev.Kind {
+		case model.ActDo:
+			obj, op := ev.Object, ev.Op
+			n.checker.CheckDo(obj, op, func() model.Response { return n.replica.Do(obj, op) })
+		case model.ActSend:
+			if ev.Origin != n.cfg.ID {
+				return fmt.Errorf("cluster: restored send event %d claims origin r%d", i, ev.Origin)
+			}
+			n.replica.OnSend()
+			n.seq = ev.Seq
+			n.resend = append(n.resend, protoUpdate{
+				Origin: ev.Origin, Seq: ev.Seq, Lamport: ev.Lamport,
+				Payload: append([]byte(nil), ev.Payload...),
+			})
+		case model.ActReceive:
+			if ev.Payload == nil {
+				return fmt.Errorf("cluster: restored receive event %d has no payload (history predates payload recording)", i)
+			}
+			if int(ev.Origin) < 0 || int(ev.Origin) >= n.cfg.N {
+				return fmt.Errorf("cluster: restored receive event %d has origin r%d outside cluster", i, ev.Origin)
+			}
+			payload := ev.Payload
+			n.checker.CheckReceive(payload, func() { n.replica.Receive(payload) })
+			n.delivered[ev.Origin] = ev.Seq
+		default:
+			return fmt.Errorf("cluster: restored event %d has unknown kind %v", i, ev.Kind)
+		}
+		if ev.Lamport > n.lamport {
+			n.lamport = ev.Lamport
+		}
+		n.events = append(n.events, ev)
+	}
+	// A message pending at crash time was never recorded as sent: mint its
+	// send event now (the history stays well-formed — the send follows
+	// every restored event) and add it to the resend backlog.
+	for {
+		p := n.replica.PendingMessage()
+		if p == nil {
+			break
+		}
+		payload := append([]byte(nil), p...)
+		n.replica.OnSend()
+		n.seq++
+		n.lamport++
+		n.events = append(n.events, Event{
+			Kind: model.ActSend, Lamport: n.lamport,
+			Origin: n.cfg.ID, Seq: n.seq, Payload: payload,
+		})
+		n.resend = append(n.resend, protoUpdate{Origin: n.cfg.ID, Seq: n.seq, Lamport: n.lamport, Payload: payload})
 	}
 	return nil
 }
@@ -334,6 +436,7 @@ func (n *Node) applyUpdate(u protoUpdate) uint64 {
 		n.events = append(n.events, Event{
 			Kind: model.ActReceive, Lamport: n.lamport,
 			Origin: u.Origin, Seq: u.Seq,
+			Payload: append([]byte(nil), u.Payload...),
 		})
 		n.receives.Add(1)
 		n.broadcastPending()
@@ -481,7 +584,13 @@ func (n *Node) serveConn(conn net.Conn) {
 	}
 	r := wire.NewReader(first)
 	if typ := r.Uvarint(); r.Err() == nil && typ == tHello {
-		if r.Uvarint(); r.Err() == nil {
+		if from := r.Uvarint(); r.Err() == nil {
+			// Wrap the accept side too: acks written back to this peer
+			// travel the reverse link, so an asymmetric cut of this→peer
+			// suppresses acknowledgements even while updates flow in.
+			if n.cfg.Faults != nil && from < uint64(n.cfg.N) {
+				conn = n.cfg.Faults.WrapConn(conn, int(n.cfg.ID), int(from))
+			}
 			n.serveReplication(conn)
 		}
 		return

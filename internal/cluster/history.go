@@ -9,6 +9,30 @@ import (
 	"repro/internal/model"
 )
 
+// OrderError reports per-node histories that cannot merge into a
+// well-formed execution: a receive whose (Origin, Seq) matches no send, or
+// whose Lamport time sorts it before the send it claims to follow. Both
+// mean a corrupted or truncated history — merging on anyway would fabricate
+// an execution the cluster never ran.
+type OrderError struct {
+	Node   model.ReplicaID // node whose history holds the offending receive
+	Origin model.ReplicaID // claimed message origin
+	Seq    uint64          // claimed broadcast sequence number
+	// BeforeSend distinguishes a receive that sorts before its send (clock
+	// corruption) from one with no send event anywhere (truncated log).
+	BeforeSend bool
+}
+
+// Error implements error.
+func (e *OrderError) Error() string {
+	if e.BeforeSend {
+		return fmt.Sprintf("cluster: r%d's receive of (r%d,%d) sorts before its send (corrupted Lamport clocks)",
+			e.Node, e.Origin, e.Seq)
+	}
+	return fmt.Sprintf("cluster: r%d received (r%d,%d) but no history holds its send event",
+		e.Node, e.Origin, e.Seq)
+}
+
 // Event is one locally recorded do/send/receive event of a node, stamped
 // with a Lamport time so per-node histories can be merged into one concrete
 // execution after the run. Message identity is the pair (Origin, Seq): the
@@ -35,8 +59,10 @@ type Event struct {
 	// Send and receive events.
 	Origin model.ReplicaID `json:"origin,omitempty"`
 	Seq    uint64          `json:"seq,omitempty"`
-	// Payload is recorded at send events only (message-size accounting and
-	// the execution's message table).
+	// Payload is recorded at send events (message-size accounting and the
+	// execution's message table) and at receive events (so a restarted
+	// node can rebuild its replica state from its own history alone —
+	// Config.Restore).
 	Payload []byte `json:"payload,omitempty"`
 }
 
@@ -102,12 +128,16 @@ func MergeHistories(hists []History) (*execution.Execution, error) {
 func mergeOrder(hists []History) ([]mergedEvent, error) {
 	var merged []mergedEvent
 	seen := make(map[model.ReplicaID]bool)
+	allSends := make(map[[2]uint64]bool)
 	for _, h := range hists {
 		if seen[h.Node] {
 			return nil, fmt.Errorf("cluster: two histories claim node r%d", h.Node)
 		}
 		seen[h.Node] = true
 		for i, ev := range h.Events {
+			if ev.Kind == model.ActSend {
+				allSends[[2]uint64{uint64(ev.Origin), ev.Seq}] = true
+			}
 			merged = append(merged, mergedEvent{node: h.Node, idx: i, ev: ev})
 		}
 	}
@@ -121,6 +151,27 @@ func mergeOrder(hists []History) ([]mergedEvent, error) {
 		}
 		return a.idx < b.idx
 	})
+	// Send-before-receive validation: in the merged order, every receive's
+	// (Origin, Seq) must already have a send behind it. Lamport stamping
+	// guarantees this for honest histories (receive > send); a violation
+	// means corruption, reported as a typed *OrderError rather than
+	// silently producing an execution CheckWellFormed would reject later
+	// (or worse, one it wouldn't).
+	sent := make(map[[2]uint64]bool)
+	for _, m := range merged {
+		key := [2]uint64{uint64(m.ev.Origin), m.ev.Seq}
+		switch m.ev.Kind {
+		case model.ActSend:
+			sent[key] = true
+		case model.ActReceive:
+			if !sent[key] {
+				return nil, &OrderError{
+					Node: m.node, Origin: m.ev.Origin, Seq: m.ev.Seq,
+					BeforeSend: allSends[key],
+				}
+			}
+		}
+	}
 	return merged, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/wire"
 )
@@ -32,6 +33,16 @@ type peerSender struct {
 	kick chan struct{} // cap 1: new updates enqueued
 	ackd chan struct{} // cap 1: ack progress observed
 	done chan struct{}
+	// closeOnce guards done: a sender can be closed from both node
+	// shutdown and a chaos supervisor tearing a link down; closing an
+	// already-closed channel would panic.
+	closeOnce sync.Once
+
+	// rng drives redial/retransmit jitter. It is per-peer and seeded from
+	// (Config.Seed, node, peer) so -seed reproduces retransmission timing
+	// and peers do not contend on the global math/rand lock. Only the run
+	// goroutine touches it.
+	rng *rand.Rand
 
 	dials       atomic.Int64
 	reconnects  atomic.Int64
@@ -46,6 +57,7 @@ func newPeerSender(n *Node, peer model.ReplicaID, addr string) *peerSender {
 		kick: make(chan struct{}, 1),
 		ackd: make(chan struct{}, 1),
 		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(gen.SplitSeed(gen.SplitSeed(n.cfg.Seed, int(n.cfg.ID)), int(peer)))),
 	}
 }
 
@@ -117,15 +129,19 @@ func (p *peerSender) setConn(c net.Conn) {
 }
 
 func (p *peerSender) close() {
-	close(p.done)
+	p.closeOnce.Do(func() { close(p.done) })
 	p.breakConn()
 }
 
-// sleep waits d plus up to 50% jitter (desynchronizing redial storms), or
-// returns false if the sender is closing.
+// jitter stretches d by up to 50% (desynchronizing redial storms), drawn
+// from the sender's seeded per-peer stream.
+func (p *peerSender) jitter(d time.Duration) time.Duration {
+	return d + time.Duration(p.rng.Int63n(int64(d)/2+1))
+}
+
+// sleep waits d plus jitter, or returns false if the sender is closing.
 func (p *peerSender) sleep(d time.Duration) bool {
-	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
-	t := time.NewTimer(d)
+	t := time.NewTimer(p.jitter(d))
 	defer t.Stop()
 	select {
 	case <-p.done:
@@ -147,6 +163,19 @@ func (p *peerSender) run() {
 			return
 		default:
 		}
+		// A cut link fails fast without touching the network: dialing
+		// would only succeed at TCP and then die on the first shaped
+		// write. Backoff still applies, so a healed link is retried on
+		// the ordinary schedule.
+		if cfg.Faults != nil && cfg.Faults.Cut(int(cfg.ID), int(p.peer)) {
+			if !p.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > cfg.DialBackoffMax {
+				backoff = cfg.DialBackoffMax
+			}
+			continue
+		}
 		conn, err := net.DialTimeout("tcp", p.addr, cfg.DialTimeout)
 		if err != nil {
 			if !p.sleep(backoff) {
@@ -156,6 +185,9 @@ func (p *peerSender) run() {
 				backoff = cfg.DialBackoffMax
 			}
 			continue
+		}
+		if cfg.Faults != nil {
+			conn = cfg.Faults.WrapConn(conn, int(cfg.ID), int(p.peer))
 		}
 		if p.dials.Add(1) > 1 {
 			p.reconnects.Add(1)
@@ -223,6 +255,10 @@ func (p *peerSender) serve(conn net.Conn) {
 				p.retransmits.Add(1)
 			}
 			if !p.write(conn, encodeUpdate(u)) {
+				// Close before waiting: a shaped write can fail (link cut)
+				// while the TCP stream is healthy, and the ack reader only
+				// exits once the connection is gone.
+				conn.Close()
 				<-connDead
 				return
 			}

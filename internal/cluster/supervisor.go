@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/model"
+)
+
+// ErrNodeDown is returned for operations routed to a crashed node.
+var ErrNodeDown = fmt.Errorf("cluster: node is down (crashed by the fault schedule)")
+
+// Supervisor owns one in-process cluster under a fault schedule: it boots
+// the nodes with a shared fault.Netem on every link, applies link
+// directives to the emulator, and enforces crash/restart directives by
+// stopping a node (capturing its recorded history — the durable log of the
+// fail-stop model) and rejoining it on the same address with
+// Config.Restore. Client traffic routes through Do, which fails fast with
+// ErrNodeDown during a victim's downtime.
+type Supervisor struct {
+	base  Config
+	em    *fault.Netem
+	tick  time.Duration
+	addrs []string
+
+	mu        sync.Mutex
+	nodes     []*Node   // nil while crashed
+	snapshots []History // last pre-crash history per node
+	crashes   int
+	restarts  int
+}
+
+// NewSupervisor boots an n-node full-mesh cluster of base.Store replicas on
+// loopback, every link shaped by em. The base config supplies the store,
+// seed, and timing knobs; ID/N/Listen/Peers/Faults are filled in per node.
+// tick maps schedule steps to wall time.
+func NewSupervisor(base Config, n int, em *fault.Netem, tick time.Duration) (*Supervisor, error) {
+	if base.Store == nil {
+		return nil, fmt.Errorf("cluster: supervisor needs a store")
+	}
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	s := &Supervisor{
+		base:      base,
+		em:        em,
+		tick:      tick,
+		nodes:     make([]*Node, n),
+		snapshots: make([]History, n),
+		addrs:     make([]string, n),
+	}
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.ID = model.ReplicaID(i)
+		cfg.N = n
+		cfg.Listen = "127.0.0.1:0"
+		cfg.Peers = nil
+		cfg.Faults = em
+		cfg.Restore = nil
+		nd, err := NewNode(cfg)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.nodes[i] = nd
+		s.addrs[i] = nd.Addr()
+	}
+	for i, nd := range s.nodes {
+		if err := nd.Connect(s.peersOf(i)); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Supervisor) peersOf(i int) map[model.ReplicaID]string {
+	peers := make(map[model.ReplicaID]string)
+	for j, addr := range s.addrs {
+		if j != i {
+			peers[model.ReplicaID(j)] = addr
+		}
+	}
+	return peers
+}
+
+// Do routes one client operation to node i's current incarnation.
+func (s *Supervisor) Do(i int, obj model.ObjectID, op model.Operation) (model.Response, error) {
+	s.mu.Lock()
+	nd := s.nodes[i]
+	s.mu.Unlock()
+	if nd == nil {
+		return model.Response{}, ErrNodeDown
+	}
+	return nd.Do(obj, op)
+}
+
+// Doer adapts node i to the cluster.Doer interface (routing through the
+// supervisor so restarts are transparent to convergence checks).
+func (s *Supervisor) Doer(i int) Doer { return supervisorDoer{s: s, i: i} }
+
+type supervisorDoer struct {
+	s *Supervisor
+	i int
+}
+
+func (d supervisorDoer) Do(obj model.ObjectID, op model.Operation) (model.Response, error) {
+	return d.s.Do(d.i, obj, op)
+}
+
+// Nodes snapshots the current live incarnations (crashed slots omitted).
+func (s *Supervisor) Nodes() []*Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Node, 0, len(s.nodes))
+	for _, nd := range s.nodes {
+		if nd != nil {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// Crashes reports how many crash and restart directives were enforced.
+func (s *Supervisor) Crashes() (crashes, restarts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashes, s.restarts
+}
+
+// Histories downloads every live node's recorded history (restored events
+// included). Call after the schedule completed, when every node is up.
+func (s *Supervisor) Histories() ([]History, error) {
+	s.mu.Lock()
+	nodes := append([]*Node(nil), s.nodes...)
+	s.mu.Unlock()
+	hists := make([]History, 0, len(nodes))
+	for i, nd := range nodes {
+		if nd == nil {
+			return nil, fmt.Errorf("cluster: node %d still down; histories incomplete", i)
+		}
+		hists = append(hists, nd.History())
+	}
+	return hists, nil
+}
+
+// RunSchedule enforces the schedule in real time: directive step k fires at
+// k×tick after the call. Link directives go to the emulator; crash stops
+// the victim (capturing its history) and restart rejoins it from that
+// history on its original address. The network is healed and every victim
+// restarted when RunSchedule returns, even if the schedule left windows
+// open, so callers can always proceed to quiescence and audit.
+func (s *Supervisor) RunSchedule(sched fault.Schedule) error {
+	start := time.Now()
+	var firstErr error
+	for _, d := range sched.Directives {
+		due := time.Duration(d.Step) * s.tick
+		if wait := due - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		if err := s.apply(d); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.em.Heal()
+	if err := s.restartAll(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (s *Supervisor) apply(d fault.Directive) error {
+	switch d.Kind {
+	case fault.KindCrash:
+		return s.crash(d.Node)
+	case fault.KindRestart:
+		return s.restart(d.Node)
+	default:
+		s.em.Apply(d, s.tick)
+		return nil
+	}
+}
+
+// crash fail-stops node i: its recorded history is the durable state that
+// survives; its sockets, queues, and connections die with it.
+func (s *Supervisor) crash(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.nodes) || s.nodes[i] == nil {
+		return fmt.Errorf("cluster: crash directive for invalid or already-down node %d", i)
+	}
+	nd := s.nodes[i]
+	s.snapshots[i] = nd.History()
+	s.nodes[i] = nil
+	s.crashes++
+	nd.Close()
+	return nil
+}
+
+// restart rejoins node i on its original address, reloading the history
+// captured at crash time. The listen port can linger briefly after the old
+// incarnation's sockets close, so binding retries for a moment.
+func (s *Supervisor) restart(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.nodes) || s.nodes[i] != nil {
+		return fmt.Errorf("cluster: restart directive for invalid or already-up node %d", i)
+	}
+	cfg := s.base
+	cfg.ID = model.ReplicaID(i)
+	cfg.N = len(s.nodes)
+	cfg.Listen = s.addrs[i]
+	cfg.Peers = nil
+	cfg.Faults = s.em
+	snap := s.snapshots[i]
+	cfg.Restore = &snap
+
+	var nd *Node
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		nd, err = NewNode(cfg)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", i, err)
+	}
+	if err := nd.Connect(s.peersOf(i)); err != nil {
+		nd.Close()
+		return fmt.Errorf("cluster: reconnect node %d: %w", i, err)
+	}
+	s.nodes[i] = nd
+	s.restarts++
+	return nil
+}
+
+// restartAll rejoins any node still down (defensive tail for truncated
+// schedules).
+func (s *Supervisor) restartAll() error {
+	s.mu.Lock()
+	down := []int{}
+	for i, nd := range s.nodes {
+		if nd == nil {
+			down = append(down, i)
+		}
+	}
+	s.mu.Unlock()
+	for _, i := range down {
+		if err := s.restart(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts every live node down.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	nodes := append([]*Node(nil), s.nodes...)
+	for i := range s.nodes {
+		s.nodes[i] = nil
+	}
+	s.mu.Unlock()
+	for _, nd := range nodes {
+		if nd != nil {
+			nd.Close()
+		}
+	}
+}

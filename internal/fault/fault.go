@@ -1,0 +1,233 @@
+// Package fault generates and enforces deterministic fault schedules:
+// partitions, asymmetric link cuts, per-link delay/duplicate/reorder
+// windows, and node crash/restart cycles, all derived from one root seed.
+//
+// Theorem 6's constructive recursion is exactly an adversarial delivery
+// schedule — partitions and delays are the instrument the paper uses to
+// force OCC-maximal behaviour — and Definition 3 (eventual delivery)
+// requires that visibility survive them. A Schedule makes that adversary a
+// first-class, replayable artifact: the same (seed, n, steps) always
+// produces the identical directive timeline, so "the run survived chaos"
+// becomes a checkable claim rather than an anecdote. The schedule is
+// interpreted twice by the repository:
+//
+//   - internal/sim applies directives to its logical delivery queue (one
+//     directive step per workload step);
+//   - internal/cluster applies them to real TCP links through the Netem
+//     frame interceptor, plus node stop/rejoin with history reload.
+//
+// Both interpretations model fail-stop crashes with a durable local log:
+// the replica's recorded history survives the crash, the in-flight network
+// state does not.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+)
+
+// Kind names a directive. Window-shaped faults are emitted as balanced
+// begin/end pairs (Partition/Heal, LinkCut/LinkRestore, shaping/LinkClear,
+// Crash/Restart), so a schedule read front to back is a complete timeline.
+type Kind string
+
+const (
+	// KindPartition splits the cluster into Groups; messages flow only
+	// within a group (nodes absent from every group are isolated).
+	KindPartition Kind = "partition"
+	// KindHeal restores full connectivity (ends a partition).
+	KindHeal Kind = "heal"
+	// KindLinkCut blackholes the directed link From→To.
+	KindLinkCut Kind = "link-cut"
+	// KindLinkRestore reopens the directed link From→To.
+	KindLinkRestore Kind = "link-restore"
+	// KindLinkDelay delays frames on From→To (DelaySteps ticks each).
+	KindLinkDelay Kind = "link-delay"
+	// KindLinkDup duplicates every frame on From→To.
+	KindLinkDup Kind = "link-dup"
+	// KindLinkReorder swaps adjacent frames on From→To.
+	KindLinkReorder Kind = "link-reorder"
+	// KindLinkClear ends the shaping window (delay/dup/reorder) on From→To.
+	KindLinkClear Kind = "link-clear"
+	// KindCrash fail-stops Node (its durable history survives).
+	KindCrash Kind = "crash"
+	// KindRestart rejoins Node, reloading its history and Lamport clock.
+	KindRestart Kind = "restart"
+)
+
+// Directive is one timed fault event. Step is a logical tick: the simulator
+// maps it to a workload step, the cluster maps it to Step×tick wall time.
+type Directive struct {
+	Step int  `json:"step"`
+	Kind Kind `json:"kind"`
+
+	// Groups is the partition layout (KindPartition only).
+	Groups [][]int `json:"groups,omitempty"`
+	// From and To name the directed link of link faults.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Node is the subject of crash/restart directives.
+	Node int `json:"node"`
+	// DelaySteps is the per-frame delay of KindLinkDelay, in ticks.
+	DelaySteps int `json:"delay_steps,omitempty"`
+}
+
+// detail renders the directive's parameters for the fault log.
+func (d Directive) detail() string {
+	switch d.Kind {
+	case KindPartition:
+		return fmt.Sprintf("groups=%v", d.Groups)
+	case KindHeal:
+		return "all links"
+	case KindLinkDelay:
+		return fmt.Sprintf("r%d->r%d +%d ticks", d.From, d.To, d.DelaySteps)
+	case KindLinkCut, KindLinkRestore, KindLinkDup, KindLinkReorder, KindLinkClear:
+		return fmt.Sprintf("r%d->r%d", d.From, d.To)
+	case KindCrash, KindRestart:
+		return fmt.Sprintf("r%d", d.Node)
+	}
+	return ""
+}
+
+// Schedule is a deterministic fault timeline for an n-node run of Steps
+// logical ticks. Directives are sorted by Step (ties keep generation
+// order), so enforcement is a single forward scan.
+type Schedule struct {
+	Seed       int64       `json:"seed"`
+	N          int         `json:"n"`
+	Steps      int         `json:"steps"`
+	Directives []Directive `json:"directives"`
+}
+
+// Counts tallies the schedule by fault family (partitions, crashes, link
+// windows) for reports and assertions.
+func (s Schedule) Counts() (partitions, crashes, linkFaults int) {
+	for _, d := range s.Directives {
+		switch d.Kind {
+		case KindPartition:
+			partitions++
+		case KindCrash:
+			crashes++
+		case KindLinkCut, KindLinkDelay, KindLinkDup, KindLinkReorder:
+			linkFaults++
+		}
+	}
+	return partitions, crashes, linkFaults
+}
+
+// Table renders the schedule as the run's fault log: one row per directive,
+// built purely from the schedule, so the same seed emits a byte-identical
+// log (text or JSON Lines via bench.Output).
+func (s Schedule) Table() *bench.Table {
+	t := bench.NewTable(
+		fmt.Sprintf("fault schedule: seed %d, %d nodes, %d ticks", s.Seed, s.N, s.Steps),
+		"step", "directive", "detail")
+	for _, d := range s.Directives {
+		t.AddRow(d.Step, string(d.Kind), d.detail())
+	}
+	return t
+}
+
+// Config parameterizes Generate.
+type Config struct {
+	// Seed is the root seed; the schedule stream is split from it with
+	// gen.SplitSeed, so workload streams split from the same root stay
+	// decorrelated.
+	Seed int64
+	// N is the cluster size (at least 2).
+	N int
+	// Steps is the logical timeline length.
+	Steps int
+	// Partitions, Crashes, and LinkFaults are how many windows of each
+	// family to schedule. Crashes are capped at N-1 so the cluster never
+	// loses every node at once.
+	Partitions int
+	Crashes    int
+	LinkFaults int
+}
+
+// scheduleStream is the gen.SplitSeed stream index reserved for fault
+// schedules, keeping them decorrelated from worker streams 0..k.
+const scheduleStream = -7001
+
+// Generate derives the fault schedule for cfg. It is a pure function of the
+// config: the same config always yields the identical schedule.
+func Generate(cfg Config) Schedule {
+	if cfg.N < 2 || cfg.Steps < 8 {
+		return Schedule{Seed: cfg.Seed, N: cfg.N, Steps: cfg.Steps}
+	}
+	rng := rand.New(rand.NewSource(gen.SplitSeed(cfg.Seed, scheduleStream)))
+	s := Schedule{Seed: cfg.Seed, N: cfg.N, Steps: cfg.Steps}
+	add := func(d Directive) { s.Directives = append(s.Directives, d) }
+
+	// window picks a [start, end) fault window that closes before the
+	// timeline ends, so every schedule heals itself.
+	window := func() (start, end int) {
+		start = rng.Intn(cfg.Steps * 2 / 3)
+		dur := 1 + rng.Intn(cfg.Steps/4+1)
+		end = start + dur
+		if end >= cfg.Steps {
+			end = cfg.Steps - 1
+		}
+		if end <= start {
+			end = start + 1
+		}
+		return start, end
+	}
+
+	for i := 0; i < cfg.Partitions; i++ {
+		start, end := window()
+		// Random two-sided split with both sides non-empty.
+		perm := rng.Perm(cfg.N)
+		cut := 1 + rng.Intn(cfg.N-1)
+		a, b := perm[:cut], perm[cut:]
+		ga := append([]int(nil), a...)
+		gb := append([]int(nil), b...)
+		sort.Ints(ga)
+		sort.Ints(gb)
+		add(Directive{Step: start, Kind: KindPartition, Groups: [][]int{ga, gb}})
+		add(Directive{Step: end, Kind: KindHeal})
+	}
+
+	crashes := cfg.Crashes
+	if crashes > cfg.N-1 {
+		crashes = cfg.N - 1
+	}
+	// Distinct victims per crash window so no node crashes while down.
+	victims := rng.Perm(cfg.N)
+	for i := 0; i < crashes; i++ {
+		start, end := window()
+		add(Directive{Step: start, Kind: KindCrash, Node: victims[i]})
+		add(Directive{Step: end, Kind: KindRestart, Node: victims[i]})
+	}
+
+	shapes := []Kind{KindLinkDelay, KindLinkDup, KindLinkReorder, KindLinkCut}
+	for i := 0; i < cfg.LinkFaults; i++ {
+		start, end := window()
+		from := rng.Intn(cfg.N)
+		to := rng.Intn(cfg.N - 1)
+		if to >= from {
+			to++
+		}
+		kind := shapes[rng.Intn(len(shapes))]
+		d := Directive{Step: start, Kind: kind, From: from, To: to}
+		endKind := KindLinkClear
+		if kind == KindLinkCut {
+			endKind = KindLinkRestore
+		}
+		if kind == KindLinkDelay {
+			d.DelaySteps = 1 + rng.Intn(3)
+		}
+		add(d)
+		add(Directive{Step: end, Kind: endKind, From: from, To: to})
+	}
+
+	sort.SliceStable(s.Directives, func(i, j int) bool {
+		return s.Directives[i].Step < s.Directives[j].Step
+	})
+	return s
+}

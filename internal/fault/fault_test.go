@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, N: 3, Steps: 100, Partitions: 2, Crashes: 1, LinkFaults: 3}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config produced different schedules:\n%v\n%v", a, b)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.Table().RenderJSON(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Table().RenderJSON(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("same seed rendered different fault logs")
+	}
+	c := Generate(Config{Seed: 43, N: 3, Steps: 100, Partitions: 2, Crashes: 1, LinkFaults: 3})
+	if reflect.DeepEqual(a.Directives, c.Directives) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateBalancedWindows: every window-opening directive has a closing
+// counterpart at a strictly later step, so schedules always heal themselves
+// before the timeline ends.
+func TestGenerateBalancedWindows(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := Generate(Config{Seed: seed, N: 4, Steps: 120, Partitions: 2, Crashes: 2, LinkFaults: 4})
+		parts, crashes, links := s.Counts()
+		if parts != 2 || crashes != 2 || links != 4 {
+			t.Fatalf("seed %d: counts = %d/%d/%d", seed, parts, crashes, links)
+		}
+		opens := map[Kind]int{}
+		for _, d := range s.Directives {
+			if d.Step < 0 || d.Step >= s.Steps {
+				t.Fatalf("seed %d: directive outside timeline: %+v", seed, d)
+			}
+			switch d.Kind {
+			case KindPartition:
+				opens[KindPartition]++
+				if len(d.Groups) != 2 || len(d.Groups[0]) == 0 || len(d.Groups[1]) == 0 {
+					t.Fatalf("seed %d: degenerate partition %+v", seed, d)
+				}
+			case KindHeal:
+				opens[KindPartition]--
+			case KindCrash:
+				opens[KindCrash]++
+			case KindRestart:
+				opens[KindCrash]--
+			case KindLinkCut:
+				opens[KindLinkCut]++
+			case KindLinkRestore:
+				opens[KindLinkCut]--
+			case KindLinkDelay, KindLinkDup, KindLinkReorder:
+				opens[KindLinkClear]++
+				if d.From == d.To {
+					t.Fatalf("seed %d: self link %+v", seed, d)
+				}
+			case KindLinkClear:
+				opens[KindLinkClear]--
+			}
+		}
+		for k, open := range opens {
+			if open != 0 {
+				t.Fatalf("seed %d: %d unclosed %s windows", seed, open, k)
+			}
+		}
+		// Distinct crash victims: a node never crashes while already down.
+		down := map[int]bool{}
+		for _, d := range s.Directives {
+			switch d.Kind {
+			case KindCrash:
+				if down[d.Node] {
+					t.Fatalf("seed %d: r%d crashed while down", seed, d.Node)
+				}
+				down[d.Node] = true
+			case KindRestart:
+				down[d.Node] = false
+			}
+		}
+	}
+}
+
+func TestNetemPartitionAndHeal(t *testing.T) {
+	em := NewNetem(3)
+	em.Apply(Directive{Kind: KindPartition, Groups: [][]int{{0, 2}, {1}}}, time.Millisecond)
+	if em.Cut(0, 2) || em.Cut(2, 0) {
+		t.Fatal("same-group link cut")
+	}
+	if !em.Cut(0, 1) || !em.Cut(1, 0) || !em.Cut(1, 2) {
+		t.Fatal("cross-group link not cut")
+	}
+	em.Apply(Directive{Kind: KindHeal}, time.Millisecond)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if em.Cut(i, j) {
+				t.Fatalf("link %d->%d still cut after heal", i, j)
+			}
+		}
+	}
+	// A node absent from every group is isolated.
+	em.Apply(Directive{Kind: KindPartition, Groups: [][]int{{0, 1}}}, time.Millisecond)
+	if !em.Cut(2, 0) || !em.Cut(0, 2) {
+		t.Fatal("ungrouped node not isolated")
+	}
+}
+
+// pipeFrames reads frames off a conn until it closes, delivering payloads.
+func pipeFrames(t *testing.T, conn net.Conn) <-chan []byte {
+	t.Helper()
+	out := make(chan []byte, 16)
+	go func() {
+		defer close(out)
+		for {
+			b, err := wire.ReadFrame(conn, 0)
+			if err != nil {
+				return
+			}
+			out <- b
+		}
+	}()
+	return out
+}
+
+func TestShapedConnDupAndReorder(t *testing.T) {
+	em := NewNetem(2)
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	w := em.WrapConn(a, 0, 1)
+	got := pipeFrames(t, b)
+
+	write := func(p string) {
+		if _, err := wire.WriteFrame(w, []byte(p), 0); err != nil {
+			t.Fatalf("write %q: %v", p, err)
+		}
+	}
+	expect := func(p string) {
+		select {
+		case f, ok := <-got:
+			if !ok || string(f) != p {
+				t.Fatalf("got %q (ok=%v), want %q", f, ok, p)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timeout waiting for %q", p)
+		}
+	}
+
+	write("hello") // first frame always passes unshaped
+	expect("hello")
+
+	em.Apply(Directive{Kind: KindLinkDup, From: 0, To: 1}, time.Millisecond)
+	write("u1")
+	expect("u1")
+	expect("u1")
+	em.Apply(Directive{Kind: KindLinkClear, From: 0, To: 1}, time.Millisecond)
+
+	em.Apply(Directive{Kind: KindLinkReorder, From: 0, To: 1}, time.Millisecond)
+	write("u2") // held
+	write("u3") // overtakes, then u2 flushes
+	expect("u3")
+	expect("u2")
+	em.Apply(Directive{Kind: KindLinkClear, From: 0, To: 1}, time.Millisecond)
+
+	write("u4")
+	expect("u4")
+}
+
+func TestShapedConnCutFailsWrites(t *testing.T) {
+	em := NewNetem(2)
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	w := em.WrapConn(a, 0, 1)
+	got := pipeFrames(t, b)
+
+	if _, err := wire.WriteFrame(w, []byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+
+	em.Apply(Directive{Kind: KindLinkCut, From: 0, To: 1}, time.Millisecond)
+	if _, err := wire.WriteFrame(w, []byte("lost"), 0); !errors.Is(err, ErrLinkCut) {
+		t.Fatalf("write on cut link: err = %v, want ErrLinkCut", err)
+	}
+	em.Apply(Directive{Kind: KindLinkRestore, From: 0, To: 1}, time.Millisecond)
+	if _, err := wire.WriteFrame(w, []byte("back"), 0); err != nil {
+		t.Fatalf("write after restore: %v", err)
+	}
+	select {
+	case f := <-got:
+		if string(f) != "back" {
+			t.Fatalf("got %q after restore", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout after restore")
+	}
+}

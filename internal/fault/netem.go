@@ -1,0 +1,227 @@
+package fault
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrLinkCut is the write error surfaced on a cut link. The cluster's
+// senders treat it like any dead connection: they tear the link down and
+// redial with backoff, so a healed cut recovers through the ordinary
+// reconnect/retransmit path.
+var ErrLinkCut = errors.New("fault: link cut")
+
+type linkState struct {
+	cut     bool
+	delay   time.Duration
+	dup     bool
+	reorder bool
+}
+
+// Netem is the shared in-process network emulator of one cluster run: a
+// matrix of directed link states that conn interceptors consult on every
+// frame. Directives mutate it; the data path only reads it. Crash and
+// restart directives are not Netem's business — process lifecycle belongs
+// to the supervisor applying the schedule.
+type Netem struct {
+	mu    sync.Mutex
+	n     int
+	links [][]linkState
+}
+
+// NewNetem creates an emulator for an n-node cluster with all links clean.
+func NewNetem(n int) *Netem {
+	links := make([][]linkState, n)
+	for i := range links {
+		links[i] = make([]linkState, n)
+	}
+	return &Netem{n: n, links: links}
+}
+
+// Apply enforces one directive, mapping DelaySteps to wall time with tick.
+// Crash/restart directives are ignored (the supervisor owns them).
+func (e *Netem) Apply(d Directive, tick time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inRange := func(i int) bool { return i >= 0 && i < e.n }
+	switch d.Kind {
+	case KindPartition:
+		group := make(map[int]int)
+		for gi, g := range d.Groups {
+			for _, r := range g {
+				group[r] = gi + 1
+			}
+		}
+		for i := 0; i < e.n; i++ {
+			for j := 0; j < e.n; j++ {
+				gi, gj := group[i], group[j]
+				e.links[i][j].cut = i != j && (gi != gj || gi == 0)
+			}
+		}
+	case KindHeal:
+		for i := range e.links {
+			for j := range e.links[i] {
+				e.links[i][j].cut = false
+			}
+		}
+	case KindLinkCut:
+		if inRange(d.From) && inRange(d.To) {
+			e.links[d.From][d.To].cut = true
+		}
+	case KindLinkRestore:
+		if inRange(d.From) && inRange(d.To) {
+			e.links[d.From][d.To].cut = false
+		}
+	case KindLinkDelay:
+		if inRange(d.From) && inRange(d.To) {
+			e.links[d.From][d.To].delay = time.Duration(d.DelaySteps) * tick
+		}
+	case KindLinkDup:
+		if inRange(d.From) && inRange(d.To) {
+			e.links[d.From][d.To].dup = true
+		}
+	case KindLinkReorder:
+		if inRange(d.From) && inRange(d.To) {
+			e.links[d.From][d.To].reorder = true
+		}
+	case KindLinkClear:
+		if inRange(d.From) && inRange(d.To) {
+			e.links[d.From][d.To].delay = 0
+			e.links[d.From][d.To].dup = false
+			e.links[d.From][d.To].reorder = false
+		}
+	}
+}
+
+// Cut reports whether the directed link from→to is currently blackholed
+// (dial gates consult this to avoid churning against a cut link).
+func (e *Netem) Cut(from, to int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if from < 0 || from >= e.n || to < 0 || to >= e.n {
+		return false
+	}
+	return e.links[from][to].cut
+}
+
+// Heal clears every link fault (used by drivers to guarantee the
+// post-schedule network is clean before asserting convergence).
+func (e *Netem) Heal() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.links {
+		for j := range e.links[i] {
+			e.links[i][j] = linkState{}
+		}
+	}
+}
+
+func (e *Netem) state(from, to int) linkState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if from < 0 || from >= e.n || to < 0 || to >= e.n {
+		return linkState{}
+	}
+	return e.links[from][to]
+}
+
+// WrapConn interposes the emulator on the write half of conn, shaping the
+// frames the local endpoint sends in the direction from→to. All cluster
+// traffic is wire.WriteFrame length-delimited, so the wrapper reassembles
+// frames from the byte stream (4-byte big-endian length prefix) and applies
+// the link's current faults per frame: a cut fails the write (the sender's
+// reconnect/retransmit machinery recovers after the link is restored), a
+// delay sleeps before shipping, dup ships the frame twice, reorder holds a
+// frame back and ships it after its successor. The first frame of a
+// connection (the replication hello) always passes unshaped so a connection
+// can at least identify itself. Reads pass through untouched — the reverse
+// direction is shaped by the peer's own wrapper.
+func (e *Netem) WrapConn(conn net.Conn, from, to int) net.Conn {
+	return &shapedConn{Conn: conn, em: e, from: from, to: to}
+}
+
+type shapedConn struct {
+	net.Conn
+	em       *Netem
+	from, to int
+
+	mu    sync.Mutex
+	buf   []byte // bytes of an incomplete frame
+	held  []byte // frame held back by an open reorder window
+	wrote bool   // the connection's first frame has shipped
+}
+
+// Write buffers b until whole frames are available, then ships each frame
+// through the link's fault state. It reports b fully written even when a
+// frame is held or still buffering: a later failure is indistinguishable
+// from a connection loss, which the cluster's reliability layer already
+// absorbs (unacked updates are retransmitted on a fresh connection).
+func (c *shapedConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = append(c.buf, b...)
+	for {
+		frame, ok := c.splitFrame()
+		if !ok {
+			return len(b), nil
+		}
+		if err := c.shipFrame(frame); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// splitFrame pops one complete length-delimited frame off the buffer.
+func (c *shapedConn) splitFrame() ([]byte, bool) {
+	if len(c.buf) < 4 {
+		return nil, false
+	}
+	size := int(binary.BigEndian.Uint32(c.buf[:4]))
+	if len(c.buf) < 4+size {
+		return nil, false
+	}
+	frame := append([]byte(nil), c.buf[:4+size]...)
+	c.buf = c.buf[4+size:]
+	return frame, true
+}
+
+func (c *shapedConn) shipFrame(frame []byte) error {
+	st := c.em.state(c.from, c.to)
+	first := !c.wrote
+	c.wrote = true
+	if st.cut {
+		c.held = nil
+		return ErrLinkCut
+	}
+	if !first {
+		if st.delay > 0 {
+			time.Sleep(st.delay)
+		}
+		if st.reorder && c.held == nil {
+			// Hold this frame; the next one overtakes it. If the
+			// connection dies first, the hold is dropped with it and
+			// retransmission re-sends the frame on the next connection.
+			c.held = frame
+			return nil
+		}
+	}
+	if _, err := c.Conn.Write(frame); err != nil {
+		return err
+	}
+	if st.dup && !first {
+		if _, err := c.Conn.Write(frame); err != nil {
+			return err
+		}
+	}
+	if c.held != nil {
+		held := c.held
+		c.held = nil
+		if _, err := c.Conn.Write(held); err != nil {
+			return err
+		}
+	}
+	return nil
+}

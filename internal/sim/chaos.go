@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"repro/internal/fault"
+	"repro/internal/model"
+)
+
+// chaosState overlays a fault schedule's effects on the simulated network,
+// separate from the user-facing Partition/Heal matrix and the probabilistic
+// Faults so the three compose: a directive-cut link blocks delivery exactly
+// like a partition (delay, never loss — Definition 3 is preserved), dup
+// duplicates broadcast copies on a link, reorder randomizes delivery picks
+// on a link, and a crashed replica takes no steps while its state and
+// queued messages survive (fail-stop with durable state — equivalent in the
+// paper's asynchronous model to a replica that is merely very slow).
+type chaosState struct {
+	crashed []bool
+	cut     [][]bool // partition + link-cut directives
+	stall   [][]bool // delay windows: delivery held until the window closes
+	dup     [][]bool
+	reorder [][]bool
+}
+
+func boolMatrix(n int) [][]bool {
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	return m
+}
+
+// chaosOverlay lazily allocates the overlay, so clusters that never see a
+// directive pay nothing on the delivery path.
+func (c *Cluster) chaosOverlay() *chaosState {
+	if c.chaos == nil {
+		c.chaos = &chaosState{
+			crashed: make([]bool, c.n),
+			cut:     boolMatrix(c.n),
+			stall:   boolMatrix(c.n),
+			dup:     boolMatrix(c.n),
+			reorder: boolMatrix(c.n),
+		}
+	}
+	return c.chaos
+}
+
+// ClearChaos lifts every directive effect: all links restored and shaped
+// clean, all crashed replicas resumed. Quiesce calls this, mirroring how it
+// suspends probabilistic faults — quiescence must be reachable.
+func (c *Cluster) ClearChaos() {
+	if c.chaos == nil {
+		return
+	}
+	for i := 0; i < c.n; i++ {
+		c.chaos.crashed[i] = false
+		for j := 0; j < c.n; j++ {
+			c.chaos.cut[i][j] = false
+			c.chaos.stall[i][j] = false
+			c.chaos.dup[i][j] = false
+			c.chaos.reorder[i][j] = false
+		}
+	}
+}
+
+// Crashed reports whether replica r is currently crashed by a directive.
+func (c *Cluster) Crashed(r model.ReplicaID) bool {
+	return c.chaos != nil && c.chaos.crashed[r]
+}
+
+// ApplyDirective enforces one fault-schedule directive on the simulated
+// network, with the same semantics fault.Netem gives the TCP cluster:
+// partitions overwrite the pairwise cut set (ungrouped replicas isolated),
+// heal lifts cuts but not link shaping, link-clear lifts shaping but not
+// cuts, and crash/restart toggle a replica's participation.
+func (c *Cluster) ApplyDirective(d fault.Directive) {
+	cs := c.chaosOverlay()
+	switch d.Kind {
+	case fault.KindPartition:
+		group := make(map[int]int)
+		for gi, g := range d.Groups {
+			for _, r := range g {
+				group[r] = gi + 1
+			}
+		}
+		for i := 0; i < c.n; i++ {
+			for j := 0; j < c.n; j++ {
+				if i != j {
+					gi, gj := group[i], group[j]
+					cs.cut[i][j] = gi != gj || gi == 0
+				}
+			}
+		}
+	case fault.KindHeal:
+		for i := 0; i < c.n; i++ {
+			for j := 0; j < c.n; j++ {
+				cs.cut[i][j] = false
+			}
+		}
+	case fault.KindLinkCut:
+		cs.cut[d.From][d.To] = true
+	case fault.KindLinkRestore:
+		cs.cut[d.From][d.To] = false
+	case fault.KindLinkDelay:
+		cs.stall[d.From][d.To] = true
+	case fault.KindLinkDup:
+		cs.dup[d.From][d.To] = true
+	case fault.KindLinkReorder:
+		cs.reorder[d.From][d.To] = true
+	case fault.KindLinkClear:
+		cs.stall[d.From][d.To] = false
+		cs.dup[d.From][d.To] = false
+		cs.reorder[d.From][d.To] = false
+	case fault.KindCrash:
+		cs.crashed[d.Node] = true
+	case fault.KindRestart:
+		cs.crashed[d.Node] = false
+	}
+}
+
+// RunScheduled drives the random workload while enforcing a fault schedule:
+// before workload step k executes, every directive due at step k is
+// applied. The step count is the larger of cfg.Steps and sched.Steps, so
+// the whole schedule always plays out. Crashed replicas take no client
+// steps and send nothing, but every RNG draw still happens, so the
+// operation sequence is a pure function of the cluster seed and the
+// schedule. Directives never drop messages, so a scheduled run stays
+// non-lossy (CheckConverged rules on it) unless probabilistic Faults are
+// also installed. Returns the number of client operations performed.
+func (c *Cluster) RunScheduled(sched fault.Schedule, cfg WorkloadConfig) int {
+	cfg.defaults()
+	if len(cfg.Objects) == 0 {
+		panic("sim: workload needs at least one object")
+	}
+	steps := cfg.Steps
+	if steps < sched.Steps {
+		steps = sched.Steps
+	}
+	types := c.st.Types()
+	ops := 0
+	nextValue := 0
+	di := 0
+	for step := 0; step < steps; step++ {
+		for di < len(sched.Directives) && sched.Directives[di].Step <= step {
+			c.ApplyDirective(sched.Directives[di])
+			di++
+		}
+		r := model.ReplicaID(c.rng.Intn(c.n))
+		obj := cfg.Objects[c.rng.Intn(len(cfg.Objects))]
+		op := c.randOp(&cfg, types, r, obj, &nextValue)
+		if !c.Crashed(r) {
+			c.Do(r, obj, op)
+			ops++
+		}
+		if c.rng.Float64() < cfg.SendProb {
+			c.Send(model.ReplicaID(c.rng.Intn(c.n)))
+		}
+		if c.rng.Float64() < cfg.DeliverProb {
+			c.DeliverOne(model.ReplicaID(c.rng.Intn(c.n)))
+		}
+	}
+	for di < len(sched.Directives) {
+		c.ApplyDirective(sched.Directives[di])
+		di++
+	}
+	return ops
+}

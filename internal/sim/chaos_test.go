@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/model"
+)
+
+func testSchedule(seed int64) fault.Schedule {
+	return fault.Generate(fault.Config{
+		Seed: seed, N: 3, Steps: 120,
+		Partitions: 2, Crashes: 1, LinkFaults: 3,
+	})
+}
+
+// TestRunScheduledDeterministic: same seed, same schedule → identical
+// executions, down to the digest of every replica.
+func TestRunScheduledDeterministic(t *testing.T) {
+	run := func() (*Cluster, int) {
+		c := newCausalCluster(3, 21)
+		ops := c.RunScheduled(testSchedule(21), WorkloadConfig{
+			Objects: []model.ObjectID{"x", "y"}, Steps: 120,
+		})
+		c.Quiesce()
+		return c, ops
+	}
+	c1, ops1 := run()
+	c2, ops2 := run()
+	if ops1 != ops2 {
+		t.Fatalf("op counts differ: %d vs %d", ops1, ops2)
+	}
+	if len(c1.Execution().Events) != len(c2.Execution().Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(c1.Execution().Events), len(c2.Execution().Events))
+	}
+	for r := 0; r < 3; r++ {
+		d1 := c1.Replica(model.ReplicaID(r)).StateDigest()
+		d2 := c2.Replica(model.ReplicaID(r)).StateDigest()
+		if d1 != d2 {
+			t.Fatalf("replica %d digests differ across identical scheduled runs", r)
+		}
+	}
+}
+
+// TestApplyDirectiveCrashAndCut pins the overlay semantics: a crashed
+// replica sends nothing and receives nothing, a cut link holds messages
+// without losing them, and restore/restart/ClearChaos lift the effects.
+func TestApplyDirectiveCrashAndCut(t *testing.T) {
+	c := newCausalCluster(3, 1)
+	c.Do(0, "x", model.Write("v1"))
+
+	c.ApplyDirective(fault.Directive{Kind: fault.KindCrash, Node: 0})
+	if !c.Crashed(0) {
+		t.Fatal("crash directive did not mark the replica")
+	}
+	if _, sent := c.Send(0); sent {
+		t.Fatal("crashed replica broadcast a message")
+	}
+	c.ApplyDirective(fault.Directive{Kind: fault.KindRestart, Node: 0})
+	if _, sent := c.Send(0); !sent {
+		t.Fatal("restarted replica did not broadcast")
+	}
+
+	// Cut r0->r1: the copy stays queued, undeliverable, and no drop is
+	// recorded (Definition 3 delivery is delayed, never revoked).
+	c.ApplyDirective(fault.Directive{Kind: fault.KindLinkCut, From: 0, To: 1})
+	if c.DeliverOne(1) {
+		t.Fatal("delivered across a cut link")
+	}
+	if c.QueueLen(1) != 1 {
+		t.Fatalf("queue len = %d, want the copy held", c.QueueLen(1))
+	}
+	if c.Drops() != 0 {
+		t.Fatalf("cut recorded %d drops", c.Drops())
+	}
+	c.ApplyDirective(fault.Directive{Kind: fault.KindLinkRestore, From: 0, To: 1})
+	if !c.DeliverOne(1) {
+		t.Fatal("restored link did not deliver")
+	}
+
+	// Delivery to a crashed replica is held, and Quiesce clears the crash.
+	c.ApplyDirective(fault.Directive{Kind: fault.KindCrash, Node: 2})
+	if c.DeliverOne(2) {
+		t.Fatal("delivered to a crashed replica")
+	}
+	c.Quiesce()
+	if c.Crashed(2) {
+		t.Fatal("Quiesce left the replica crashed")
+	}
+	if c.QueueLen(2) != 0 {
+		t.Fatalf("r2 queue not drained after Quiesce: %d", c.QueueLen(2))
+	}
+	if err := c.CheckConverged([]model.ObjectID{"x"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionDirectiveMatchesNetemSemantics: a partition directive
+// overwrites the pairwise cut set (ungrouped replicas isolated), and a heal
+// directive lifts cuts while leaving link shaping alone.
+func TestPartitionDirectiveMatchesNetemSemantics(t *testing.T) {
+	c := newCausalCluster(3, 2)
+	c.Do(0, "x", model.Write("v1"))
+	c.Send(0)
+	c.Do(1, "y", model.Write("v2"))
+	c.Send(1)
+
+	// Partition {0} | {1}: r2 is ungrouped, so it is isolated too.
+	c.ApplyDirective(fault.Directive{Kind: fault.KindPartition, Groups: [][]int{{0}, {1}}})
+	for to := model.ReplicaID(1); to <= 2; to++ {
+		if c.DeliverOne(to) {
+			t.Fatalf("delivered to r%d across the partition", to)
+		}
+	}
+	c.ApplyDirective(fault.Directive{Kind: fault.KindHeal})
+	delivered := 0
+	for to := model.ReplicaID(0); to < 3; to++ {
+		for c.DeliverOne(to) {
+			delivered++
+		}
+	}
+	if delivered != 4 {
+		t.Fatalf("delivered %d copies after heal, want 4", delivered)
+	}
+}

@@ -67,6 +67,11 @@ type Cluster struct {
 	// connected[i][j] reports whether messages currently flow from i to j.
 	connected [][]bool
 
+	// chaos overlays fault-schedule directives (ApplyDirective) on top of
+	// the partition matrix and probabilistic faults; nil until the first
+	// directive.
+	chaos *chaosState
+
 	// Visibility derivation: one row per recorded do event.
 	doEvents []int       // event Seq of each do event
 	doDots   []model.Dot // dot of each do event's mutator (zero Seq for reads)
@@ -160,6 +165,9 @@ func (c *Cluster) Do(r model.ReplicaID, obj model.ObjectID, op model.Operation) 
 // delivered after healing; a drop removes the copy entirely). It returns the
 // message ID and whether a message was sent.
 func (c *Cluster) Send(r model.ReplicaID) (int, bool) {
+	if c.Crashed(r) {
+		return 0, false
+	}
 	payload := c.replicas[r].PendingMessage()
 	if payload == nil {
 		return 0, false
@@ -176,6 +184,9 @@ func (c *Cluster) Send(r model.ReplicaID) (int, bool) {
 		}
 		copies := 1
 		if c.rng.Float64() < c.faults.DupProb {
+			copies = 2
+		}
+		if c.chaos != nil && c.chaos.dup[r][to] {
 			copies = 2
 		}
 		for k := 0; k < copies; k++ {
@@ -211,13 +222,21 @@ func (c *Cluster) deliverIndex(to model.ReplicaID, i int) {
 }
 
 // deliverable returns the indices of queue entries currently allowed through
-// the partition.
+// the partition and the chaos overlay (directive cuts, delay windows, and a
+// crashed destination all hold messages back without losing them).
 func (c *Cluster) deliverable(to model.ReplicaID) []int {
+	if c.Crashed(to) {
+		return nil
+	}
 	var idx []int
 	for i, m := range c.queues[to] {
-		if c.connected[m.from][to] {
-			idx = append(idx, i)
+		if !c.connected[m.from][to] {
+			continue
 		}
+		if c.chaos != nil && (c.chaos.cut[m.from][to] || c.chaos.stall[m.from][to]) {
+			continue
+		}
+		idx = append(idx, i)
 	}
 	return idx
 }
@@ -236,9 +255,25 @@ func (c *Cluster) DeliverOne(to model.ReplicaID) bool {
 		pick = idx[len(idx)-1]
 	case c.faults.Reorder:
 		pick = idx[c.rng.Intn(len(idx))]
+	case c.chaosReorders(to, idx):
+		pick = idx[c.rng.Intn(len(idx))]
 	}
 	c.deliverIndex(to, pick)
 	return true
+}
+
+// chaosReorders reports whether any deliverable entry sits on a link with
+// an open reorder window, in which case the pick is randomized.
+func (c *Cluster) chaosReorders(to model.ReplicaID, idx []int) bool {
+	if c.chaos == nil {
+		return false
+	}
+	for _, i := range idx {
+		if c.chaos.reorder[c.queues[to][i].from][to] {
+			return true
+		}
+	}
+	return false
 }
 
 // DeliverFrom delivers the oldest queued message from a specific sender to a
@@ -303,6 +338,7 @@ func (c *Cluster) Quiesce() {
 	savedFaults := c.faults
 	c.faults = Faults{}
 	c.Heal()
+	c.ClearChaos()
 	for {
 		sent := c.SendAll()
 		delivered := 0

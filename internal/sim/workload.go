@@ -45,6 +45,30 @@ func (cfg *WorkloadConfig) defaults() {
 	}
 }
 
+// randOp draws one client operation for replica r on obj from the cluster
+// RNG. Shared by RunRandom and RunScheduled; the draw sequence is part of
+// the reproducibility contract, so it must not change.
+func (c *Cluster) randOp(cfg *WorkloadConfig, types spec.Types, r model.ReplicaID, obj model.ObjectID, nextValue *int) model.Operation {
+	op := model.Read()
+	if c.rng.Float64() < cfg.MutateRatio {
+		switch types.Of(obj) {
+		case spec.TypeMVR, spec.TypeRegister:
+			*nextValue++
+			op = model.Write(model.Value(fmt.Sprintf("v%d.%d", r, *nextValue)))
+		case spec.TypeORSet:
+			v := cfg.SetValues[c.rng.Intn(len(cfg.SetValues))]
+			if c.rng.Float64() < 0.5 {
+				op = model.Add(v)
+			} else {
+				op = model.Remove(v)
+			}
+		case spec.TypeCounter:
+			op = model.Inc(int64(c.rng.Intn(5) - 2))
+		}
+	}
+	return op
+}
+
 // RunRandom executes a random workload: each step performs one client
 // operation at a random replica and then, independently, possibly broadcasts
 // and possibly delivers. Returns the number of client operations performed.
@@ -59,23 +83,7 @@ func (c *Cluster) RunRandom(cfg WorkloadConfig) int {
 	for step := 0; step < cfg.Steps; step++ {
 		r := model.ReplicaID(c.rng.Intn(c.n))
 		obj := cfg.Objects[c.rng.Intn(len(cfg.Objects))]
-		op := model.Read()
-		if c.rng.Float64() < cfg.MutateRatio {
-			switch types.Of(obj) {
-			case spec.TypeMVR, spec.TypeRegister:
-				nextValue++
-				op = model.Write(model.Value(fmt.Sprintf("v%d.%d", r, nextValue)))
-			case spec.TypeORSet:
-				v := cfg.SetValues[c.rng.Intn(len(cfg.SetValues))]
-				if c.rng.Float64() < 0.5 {
-					op = model.Add(v)
-				} else {
-					op = model.Remove(v)
-				}
-			case spec.TypeCounter:
-				op = model.Inc(int64(c.rng.Intn(5) - 2))
-			}
-		}
+		op := c.randOp(&cfg, types, r, obj, &nextValue)
 		c.Do(r, obj, op)
 		ops++
 		if c.rng.Float64() < cfg.SendProb {

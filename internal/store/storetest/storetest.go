@@ -264,6 +264,7 @@ func runRest(t *testing.T, cfg Config) {
 				}
 			}
 		})
+		runChaos(t, cfg)
 	}
 	if cfg.SkipDeliveryCommutation {
 		return
