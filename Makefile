@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench figures json fuzz chaos ci
+.PHONY: build test verify bench figures json fuzz chaos chaos-search ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,8 @@ figures:
 json:
 	$(GO) run ./cmd/figures -all -seed 1 -parallel 1 -json > BENCH_FIGURES.json
 	$(GO) run ./cmd/msgbound -sweep grid -seed 1 -parallel 1 -json > BENCH_MSGBOUND.json
+	$(GO) run ./cmd/chaoshunt -store causal -seed 1 -budget 48 -objective all -parallel 1 -json > BENCH_CHAOS.json
+	$(GO) run ./cmd/chaoshunt -store gsp -seed 1 -budget 48 -objective all -parallel 1 -json >> BENCH_CHAOS.json
 
 # Brief coverage-guided runs of every fuzz target (decoders and replica
 # Receive paths), on top of the checked-in seed corpora the ordinary test
@@ -43,8 +45,16 @@ chaos:
 	$(GO) test ./internal/store/storetest -run 'TestRegisteredStoresConform/.*/Chaos' -count=1
 	$(GO) test -race ./internal/cluster ./cmd/loadgen -run 'Chaos|Supervisor|Restart' -count=1
 
+# The adversarial chaos search: a small-budget hunt per objective against
+# the default store, with each best schedule re-validated on the real TCP
+# cluster. The tracked pipeline rows come from `make json` instead (no
+# -validate there: validation counts are wall-clock and nondeterministic).
+chaos-search:
+	$(GO) test ./internal/chaossearch ./cmd/chaoshunt -count=1
+	$(GO) run ./cmd/chaoshunt -store causal -seed 1 -budget 24 -objective all -validate
+
 # What CI runs: the verify gate (which includes the chaos batteries), then
 # regenerate the tracked JSON artifacts and fail if they drifted from what
 # the commit claims.
-ci: verify chaos json
-	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json
+ci: verify chaos chaos-search json
+	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunDeterministicAcrossParallel: chaoshunt's report is a pure function
+// of its flags — byte-identical for every -parallel value, in both output
+// formats. This is the contract that lets BENCH_CHAOS.json be tracked and
+// drift-gated in CI.
+func TestRunDeterministicAcrossParallel(t *testing.T) {
+	for _, jsonOut := range []bool{false, true} {
+		var want []byte
+		for _, parallel := range []int{1, 3, 8} {
+			var buf bytes.Buffer
+			if err := run(&buf, "causal", 1, 12, 100, 2, parallel, "all", jsonOut, false); err != nil {
+				t.Fatalf("json=%v parallel=%d: %v", jsonOut, parallel, err)
+			}
+			if want == nil {
+				want = buf.Bytes()
+				continue
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("json=%v: parallel=%d output differs from parallel=1:\n%s\nvs\n%s",
+					jsonOut, parallel, buf.Bytes(), want)
+			}
+		}
+	}
+}
+
+// TestRunAllObjectives: -objective all emits one row per objective in
+// canonical order; a single named objective emits exactly one.
+func TestRunAllObjectives(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "gsp", 1, 8, 100, 2, 1, "all", false, false); err != nil {
+		t.Fatal(err)
+	}
+	var rowOrder []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			rowOrder = append(rowOrder, fields[0])
+		}
+	}
+	got := strings.Join(rowOrder, " ")
+	want := "convergence retransmits redelivery violations"
+	if !strings.Contains(got, want) {
+		t.Fatalf("objective rows not in canonical order: %q lacks %q", got, want)
+	}
+	if err := run(&buf, "causal", 1, 4, 100, 2, 1, "latency", false, false); err == nil {
+		t.Fatal("run accepted an unknown objective")
+	}
+}

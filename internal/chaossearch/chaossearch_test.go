@@ -1,0 +1,151 @@
+package chaossearch
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/store/causal"
+	"repro/internal/store/gsp"
+	"repro/internal/store/kbuffer"
+)
+
+func testConfig(budget int) Config {
+	return Config{
+		Store:  causal.New(spec.MVRTypes()),
+		Seed:   1,
+		Steps:  100,
+		Budget: budget,
+	}
+}
+
+// TestSearchDeterministicAcrossParallel: the ranked result is a pure
+// function of the config — byte-identical for every worker count.
+func TestSearchDeterministicAcrossParallel(t *testing.T) {
+	var want []byte
+	for _, parallel := range []int{1, 2, 4} {
+		cfg := testConfig(24)
+		cfg.Parallel = parallel
+		res, err := Search(cfg)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("parallel=%d result differs from parallel=1:\n%s\nvs\n%s", parallel, got, want)
+		}
+	}
+}
+
+// TestSearchBeatsUniformMedian: the acceptance criterion — for each
+// objective the searched best strictly exceeds the median of an equal
+// budget of uniform samples. An elitist beam with uniform refill can tie
+// the uniform MAX at worst, but its best should clear the median easily;
+// anything else means the expansion step is not climbing.
+func TestSearchBeatsUniformMedian(t *testing.T) {
+	for _, obj := range Objectives() {
+		cfg := testConfig(32)
+		cfg.Objective = obj
+		if obj == ObjViolations {
+			// Violations need a store that can actually violate §4
+			// properties under chaos.
+			cfg.Store = gsp.New(spec.MVRTypes())
+		}
+		res, err := Search(cfg)
+		if err != nil {
+			t.Fatalf("%s: search: %v", obj, err)
+		}
+		base, err := Baseline(cfg)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", obj, err)
+		}
+		median, max := MedianScore(base)
+		if res.Best.Score <= median {
+			t.Errorf("%s: best searched score %d does not beat uniform median %d (uniform max %d)",
+				obj, res.Best.Score, median, max)
+		}
+	}
+}
+
+// TestSearchSpendsBudget: exactly Budget evaluations, no more, no fewer —
+// the uniform refill guarantees a full frontier even when beam children
+// collide with already-visited seeds.
+func TestSearchSpendsBudget(t *testing.T) {
+	for _, budget := range []int{1, 7, 32, 50} {
+		res, err := Search(testConfig(budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evals != budget || len(res.Samples) != budget {
+			t.Fatalf("budget %d: Evals=%d len(Samples)=%d", budget, res.Evals, len(res.Samples))
+		}
+		if res.Best.Seed != res.Samples[0].Seed || res.Best.Score != res.Samples[0].Score {
+			t.Fatalf("budget %d: Best is not the top-ranked sample", budget)
+		}
+	}
+}
+
+// TestSearchedSchedulesBalanced is the window-balance property test: every
+// schedule the search visits — beam children included, not just the
+// uniform stream Generate's own tests cover — satisfies CheckBalanced, so
+// the adversary can never learn to violate eventual delivery.
+func TestSearchedSchedulesBalanced(t *testing.T) {
+	cfg := testConfig(48)
+	cfg.Store = kbuffer.New(spec.MVRTypes(), 2)
+	res, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, s := range res.Samples {
+		if seen[s.Seed] {
+			t.Errorf("seed %d evaluated twice — visited-set dedup broken", s.Seed)
+		}
+		seen[s.Seed] = true
+		if err := cfg.Schedule(s.Seed).CheckBalanced(); err != nil {
+			t.Errorf("seed %d: %v", s.Seed, err)
+		}
+	}
+}
+
+// TestBaselineDecorrelated: the control stream shares no seeds with the
+// search, otherwise beating the median would be circular.
+func TestBaselineDecorrelated(t *testing.T) {
+	cfg := testConfig(16)
+	res, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Baseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searched := make(map[int64]bool)
+	for _, s := range res.Samples {
+		searched[s.Seed] = true
+	}
+	for _, b := range base {
+		if searched[b.Seed] {
+			t.Fatalf("baseline seed %d also appears in the search", b.Seed)
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for _, o := range Objectives() {
+		got, err := ParseObjective(string(o))
+		if err != nil || got != o {
+			t.Fatalf("ParseObjective(%q) = %v, %v", o, got, err)
+		}
+	}
+	if _, err := ParseObjective("latency"); err == nil {
+		t.Fatal("ParseObjective accepted an unknown objective")
+	}
+}

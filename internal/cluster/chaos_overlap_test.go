@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// TestSupervisorOverlappingCrashWindows drives the case the single-crash
+// schedule test never reaches: two victims down at once, their windows
+// overlapping, leaving a single live node. The survivor must keep taking
+// writes, both victims must rejoin from their captured histories, and the
+// run must quiesce, converge, and audit clean — minority liveness plus
+// fail-stop recovery under compound failure.
+func TestSupervisorOverlappingCrashWindows(t *testing.T) {
+	st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	em := fault.NewNetem(n)
+	base := Config{
+		Store: st, Seed: 23,
+		DialTimeout:    time.Second,
+		DialBackoffMin: 5 * time.Millisecond,
+		DialBackoffMax: 100 * time.Millisecond,
+		RetransmitMin:  25 * time.Millisecond,
+		RetransmitMax:  250 * time.Millisecond,
+	}
+	sup, err := NewSupervisor(base, n, em, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	// Hand-built overlap: node 0 down over [4,20), node 1 over [8,26) —
+	// both down together during [8,20).
+	sched := fault.Schedule{
+		Seed: 23, N: n, Steps: 40,
+		Directives: []fault.Directive{
+			{Step: 4, Kind: fault.KindCrash, Node: 0},
+			{Step: 8, Kind: fault.KindCrash, Node: 1},
+			{Step: 20, Kind: fault.KindRestart, Node: 0},
+			{Step: 26, Kind: fault.KindRestart, Node: 1},
+		},
+	}
+	if err := sched.CheckBalanced(); err != nil {
+		t.Fatalf("schedule not balanced: %v", err)
+	}
+	objects := []model.ObjectID{"x", "y"}
+
+	var wg sync.WaitGroup
+	schedErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		schedErr <- sup.RunSchedule(sched)
+	}()
+	// One worker per node: the survivor's writes must all succeed, the
+	// victims' workers tolerate downtime errors.
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				v := model.Value(fmt.Sprintf("w%d.%d", w, i))
+				_, err := sup.Do(w, objects[i%len(objects)], model.Write(v))
+				if w == 2 && err != nil {
+					t.Errorf("survivor write %d: %v", i, err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := <-schedErr; err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if crashes, restarts := sup.Crashes(); crashes != 2 || restarts != 2 {
+		t.Fatalf("crashes/restarts = %d/%d, want 2/2", crashes, restarts)
+	}
+
+	live := sup.Nodes()
+	if len(live) != n {
+		t.Fatalf("%d nodes live after schedule, want %d", len(live), n)
+	}
+	if !WaitQuiesced(live, 30*time.Second) {
+		t.Fatal("cluster did not quiesce after overlapping crashes")
+	}
+	doers := make([]Doer, n)
+	for i := 0; i < n; i++ {
+		doers[i] = sup.Doer(i)
+	}
+	if err := CheckConverged(doers, objects); err != nil {
+		t.Fatal(err)
+	}
+	hists, err := sup.Histories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := BuildAudit(hists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Exec.CheckWellFormed(); err != nil {
+		t.Fatalf("merged execution not well-formed: %v", err)
+	}
+	if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
+		t.Fatalf("derived abstract execution not causal: %v", err)
+	}
+}
+
+// TestSupervisorSimultaneousCrashLosesNoAckedUpdate is the regression for
+// the crash-snapshot ordering bug: the supervisor used to capture a
+// victim's history while its event loop was still running, so updates
+// applied (and acknowledged) between the snapshot and the actual stop were
+// pruned from the sender's queue as acked yet missing from the restarted
+// node's log — an unfillable sequence gap that wedged the cluster short of
+// quiescence forever. Both victims crash at the same step under flood-rate
+// writes to keep updates in flight inside that window; the run must still
+// quiesce and converge.
+func TestSupervisorSimultaneousCrashLosesNoAckedUpdate(t *testing.T) {
+	st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	em := fault.NewNetem(n)
+	base := Config{
+		Store: st, Seed: 29,
+		DialTimeout:    time.Second,
+		DialBackoffMin: 5 * time.Millisecond,
+		DialBackoffMax: 100 * time.Millisecond,
+		RetransmitMin:  25 * time.Millisecond,
+		RetransmitMax:  250 * time.Millisecond,
+	}
+	sup, err := NewSupervisor(base, n, em, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	sched := fault.Schedule{
+		Seed: 29, N: n, Steps: 30,
+		Directives: []fault.Directive{
+			{Step: 2, Kind: fault.KindCrash, Node: 0},
+			{Step: 2, Kind: fault.KindCrash, Node: 1},
+			{Step: 16, Kind: fault.KindRestart, Node: 0},
+			{Step: 16, Kind: fault.KindRestart, Node: 1},
+		},
+	}
+	if err := sched.CheckBalanced(); err != nil {
+		t.Fatalf("schedule not balanced: %v", err)
+	}
+	objects := []model.ObjectID{"x", "y"}
+
+	done := make(chan struct{})
+	schedErr := make(chan error, 1)
+	go func() { defer close(done); schedErr <- sup.RunSchedule(sched) }()
+	// Flood writes with no pacing: the bug needs an update applied at a
+	// victim in the instant it crashes, so keep the pipelines full.
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4000; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := model.Value(fmt.Sprintf("w%d.%d", w, i))
+				_, _ = sup.Do(w, objects[i%len(objects)], model.Write(v))
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-done
+	if err := <-schedErr; err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	live := sup.Nodes()
+	if len(live) != n {
+		t.Fatalf("%d nodes live after schedule, want %d", len(live), n)
+	}
+	if !WaitQuiesced(live, 30*time.Second) {
+		for _, nd := range live {
+			t.Logf("r%d stats: %+v", nd.ID(), nd.Stats())
+		}
+		t.Fatal("cluster wedged: an update acked inside the crash window was lost")
+	}
+	doers := make([]Doer, n)
+	for i := 0; i < n; i++ {
+		doers[i] = sup.Doer(i)
+	}
+	if err := CheckConverged(doers, objects); err != nil {
+		t.Fatal(err)
+	}
+	hists, err := sup.Histories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildAudit(hists); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateOverlappingCrashWindowsOccur pins that multi-victim configs
+// really do produce overlapping downtime (the schedule family the
+// supervisor test covers is reachable from Generate, not just hand-built),
+// and that every such schedule still checks balanced.
+func TestGenerateOverlappingCrashWindowsOccur(t *testing.T) {
+	overlapped := false
+	for seed := int64(1); seed <= 50; seed++ {
+		sched := fault.Generate(fault.Config{Seed: seed, N: 3, Steps: 80, Crashes: 2})
+		if err := sched.CheckBalanced(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		down := map[int]bool{}
+		for _, d := range sched.Directives {
+			switch d.Kind {
+			case fault.KindCrash:
+				down[d.Node] = true
+				if len(down) > 1 {
+					overlapped = true
+				}
+			case fault.KindRestart:
+				delete(down, d.Node)
+			}
+		}
+	}
+	if !overlapped {
+		t.Fatal("no seed in 1..50 produced overlapping crash windows")
+	}
+}

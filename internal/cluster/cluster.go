@@ -67,6 +67,11 @@ type Config struct {
 	// rejoin half of a fail-stop crash whose durable state is the local
 	// event log.
 	Restore *History
+	// Observer, when non-nil, receives transport-level chaos metrics
+	// (retransmits, reconnects, dup/gap frames) from this node; the
+	// supervisor additionally reports applied directives to it. All
+	// Observer methods are nil-safe, so the field is threaded unguarded.
+	Observer *fault.Observer
 
 	// MaxFrame bounds replication and request frames (wire.DefaultMaxFrame
 	// if zero); history transfers use the larger historyMaxFrame.
@@ -101,12 +106,17 @@ func (c Config) withDefaults() Config {
 
 // Stats is a point-in-time snapshot of a node's counters, served to
 // clients over the wire (cmd/loadgen aggregates them into its report).
+// The snapshot is coherent: every field is captured in one event-loop
+// turn, so Events always equals Ops+Sends+Receives for a node that did
+// not restore a prior history, and Quiesced agrees with the counters it
+// is reported next to.
 type Stats struct {
 	Node        model.ReplicaID `json:"node"`
 	Store       string          `json:"store"`
 	Ops         int64           `json:"ops"`
 	Sends       int64           `json:"sends"`
 	Receives    int64           `json:"receives"`
+	Events      int64           `json:"events"`
 	BytesOut    int64           `json:"bytes_out"`
 	Retransmits int64           `json:"retransmits"`
 	Reconnects  int64           `json:"reconnects"`
@@ -328,16 +338,18 @@ func (n *Node) loop() {
 	}
 }
 
-// inLoop runs fn on the event loop and waits for it to finish.
+// inLoop runs fn on the event loop and waits for it to finish. calls is
+// unbuffered, so a successful send means the loop goroutine received fn
+// and is committed to running it — after that the only correct move is to
+// wait for completion. (The previous version also selected on done while
+// waiting, so a node closing mid-call could return ErrClosed while the
+// loop was still executing fn, and the caller would read the result
+// concurrently with the loop writing it.)
 func (n *Node) inLoop(fn func()) error {
 	ran := make(chan struct{})
 	select {
 	case n.calls <- func() { fn(); close(ran) }:
-	case <-n.done:
-		return ErrClosed
-	}
-	select {
-	case <-ran:
+		<-ran
 		return nil
 	case <-n.done:
 		return ErrClosed
@@ -350,13 +362,14 @@ func (n *Node) inLoop(fn func()) error {
 func (n *Node) Do(obj model.ObjectID, op model.Operation) (model.Response, error) {
 	var resp model.Response
 	err := n.inLoop(func() { resp = n.doInLoop(obj, op) })
-	if err == nil {
-		n.ops.Add(1)
-	}
 	return resp, err
 }
 
 func (n *Node) doInLoop(obj model.ObjectID, op model.Operation) model.Response {
+	// The counter moves with the event append, inside the loop: a Stats
+	// snapshot must never see the op counted but its event missing (or
+	// vice versa).
+	n.ops.Add(1)
 	resp := n.checker.CheckDo(obj, op, func() model.Response { return n.replica.Do(obj, op) })
 	n.lamport++
 	ev := Event{Kind: model.ActDo, Lamport: n.lamport, Object: obj, Op: op, Rval: resp}
@@ -424,8 +437,10 @@ func (n *Node) applyUpdate(u protoUpdate) uint64 {
 	switch {
 	case u.Seq < next:
 		n.dupFrames.Add(1)
+		n.cfg.Observer.AddDupFrames(1)
 	case u.Seq > next:
 		n.gapFrames.Add(1)
+		n.cfg.Observer.AddGapFrames(1)
 	default:
 		n.checker.CheckReceive(u.Payload, func() { n.replica.Receive(u.Payload) })
 		n.delivered[u.Origin] = u.Seq
@@ -465,23 +480,45 @@ func (n *Node) Quiesced() bool {
 	return true
 }
 
-// Stats snapshots the node's counters.
+// Stats snapshots the node's counters coherently: one event-loop turn
+// captures the loop-owned counters, the recorded-event count, the checker
+// verdicts, the per-peer transport counters, and the quiescence verdict at
+// a single instant. (The earlier implementation mixed an inLoop checker
+// read with lock-free counter reads taken before and after it, so a
+// snapshot could report a quiesced node whose counters predated its last
+// delivery.) The quiescence condition is evaluated inline — calling
+// Quiesced() here would re-enter the event loop and deadlock.
 func (n *Node) Stats() Stats {
-	s := Stats{
-		Node:      n.cfg.ID,
-		Store:     n.cfg.Store.Name(),
-		Ops:       n.ops.Load(),
-		Sends:     n.sends.Load(),
-		Receives:  n.receives.Load(),
-		BytesOut:  n.bytesOut.Load(),
-		DupFrames: n.dupFrames.Load(),
-		GapFrames: n.gapFrames.Load(),
-		Quiesced:  n.Quiesced(),
+	s := Stats{Node: n.cfg.ID, Store: n.cfg.Store.Name()}
+	counters := func() {
+		s.Ops = n.ops.Load()
+		s.Sends = n.sends.Load()
+		s.Receives = n.receives.Load()
+		s.BytesOut = n.bytesOut.Load()
+		s.DupFrames = n.dupFrames.Load()
+		s.GapFrames = n.gapFrames.Load()
+		for _, p := range n.allPeers() {
+			s.Retransmits += p.retransmits.Load()
+			s.Reconnects += p.reconnects.Load()
+		}
 	}
-	n.inLoop(func() { s.Violations = len(n.checker.Violations()) })
-	for _, p := range n.allPeers() {
-		s.Retransmits += p.retransmits.Load()
-		s.Reconnects += p.reconnects.Load()
+	err := n.inLoop(func() {
+		counters()
+		s.Events = int64(len(n.events))
+		s.Violations = len(n.checker.Violations())
+		quiesced := n.replica.PendingMessage() == nil
+		for _, p := range n.allPeers() {
+			if !p.drained() {
+				quiesced = false
+			}
+		}
+		s.Quiesced = quiesced
+	})
+	if err != nil {
+		// Node closed: the loop is gone, so a coherent snapshot is moot —
+		// report the counters' final values (loop-owned state stays zero;
+		// reading it here would race with the exiting loop).
+		counters()
 	}
 	return s
 }
@@ -499,6 +536,25 @@ func (n *Node) History() History {
 	h := History{Node: n.cfg.ID, N: n.cfg.N, Store: n.cfg.Store.Name()}
 	n.inLoop(func() { h.Events = append([]Event(nil), n.events...) })
 	return h
+}
+
+// FinalHistory returns the recorded history of a node that has been
+// Closed: the event loop has exited, the log is frozen, and it can be read
+// without a loop turn. This is the durable state a fail-stop crash leaves
+// behind — capturing it only after Close means no update can be applied
+// (and acknowledged to its sender) after the snapshot, so an acked update
+// is always in the log that survives. Calling it on a live node would race
+// the loop; it panics instead.
+func (n *Node) FinalHistory() History {
+	select {
+	case <-n.done:
+	default:
+		panic("cluster: FinalHistory called before Close")
+	}
+	return History{
+		Node: n.cfg.ID, N: n.cfg.N, Store: n.cfg.Store.Name(),
+		Events: append([]Event(nil), n.events...),
+	}
 }
 
 // BreakConnections closes every live dial-side replication connection,

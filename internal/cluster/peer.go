@@ -191,6 +191,7 @@ func (p *peerSender) run() {
 		}
 		if p.dials.Add(1) > 1 {
 			p.reconnects.Add(1)
+			cfg.Observer.AddReconnects(1)
 		}
 		backoff = cfg.DialBackoffMin
 		p.serve(conn)
@@ -253,6 +254,7 @@ func (p *peerSender) serve(conn net.Conn) {
 			}
 			if re {
 				p.retransmits.Add(1)
+				cfg.Observer.AddRetransmits(1)
 			}
 			if !p.write(conn, encodeUpdate(u)) {
 				// Close before waiting: a shaped write can fail (link cut)

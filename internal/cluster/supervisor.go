@@ -168,10 +168,12 @@ func (s *Supervisor) RunSchedule(sched fault.Schedule) error {
 	if err := s.restartAll(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	s.base.Observer.Finish(sched.Steps)
 	return firstErr
 }
 
 func (s *Supervisor) apply(d fault.Directive) error {
+	s.base.Observer.Directive(d)
 	switch d.Kind {
 	case fault.KindCrash:
 		return s.crash(d.Node)
@@ -192,10 +194,17 @@ func (s *Supervisor) crash(i int) error {
 		return fmt.Errorf("cluster: crash directive for invalid or already-down node %d", i)
 	}
 	nd := s.nodes[i]
-	s.snapshots[i] = nd.History()
 	s.nodes[i] = nil
 	s.crashes++
+	// Stop the node BEFORE capturing its history. The previous order
+	// (snapshot, then close) left a window in which the still-running event
+	// loop kept applying and acknowledging peer updates that the snapshot
+	// had already missed: the sender pruned them as acked, the restarted
+	// node had never seen them, and the resulting sequence gap could never
+	// be filled — with two victims down at once the cluster wedged
+	// permanently short of quiescence.
 	nd.Close()
+	s.snapshots[i] = nd.FinalHistory()
 	return nil
 }
 

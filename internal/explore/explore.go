@@ -140,7 +140,7 @@ func Explore(script Script, cfg Config) (*Result, error) {
 	}
 	objs := scriptObjects(script)
 	res := &Result{}
-	seen := newShardedSet(64)
+	seen := NewVisitedSet(64)
 
 	frontier := []candidate{{}}
 	for len(frontier) > 0 {
@@ -200,7 +200,7 @@ type evaluation struct {
 // evaluateFrontier replays and pre-checks every candidate of one frontier
 // level with a pool of workers, writing results into a slice indexed like
 // the frontier so the merge phase is order-deterministic.
-func evaluateFrontier(frontier []candidate, script Script, cfg Config, objs []model.ObjectID, seen *shardedSet, workers int) []evaluation {
+func evaluateFrontier(frontier []candidate, script Script, cfg Config, objs []model.ObjectID, seen *VisitedSet, workers int) []evaluation {
 	evals := make([]evaluation, len(frontier))
 	if workers > len(frontier) {
 		workers = len(frontier)
@@ -234,7 +234,7 @@ func evaluateFrontier(frontier []candidate, script Script, cfg Config, objs []mo
 // per-state checks, unless the visited-set already holds the state (merged
 // in an earlier level), in which case the merge phase will discard the
 // candidate and the checks are skipped.
-func evaluateOne(c candidate, script Script, cfg Config, objs []model.ObjectID, seen *shardedSet) evaluation {
+func evaluateOne(c candidate, script Script, cfg Config, objs []model.ObjectID, seen *VisitedSet) evaluation {
 	st, err := replay(cfg.Store, script, c.prefix)
 	if err != nil {
 		return evaluation{replayErr: err}

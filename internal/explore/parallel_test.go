@@ -83,7 +83,7 @@ func TestExploreParallelBudgetDeterministic(t *testing.T) {
 // with overlapping keys; run under -race this is the contention test for
 // the striped locking.
 func TestShardedSetConcurrent(t *testing.T) {
-	set := newShardedSet(8)
+	set := NewVisitedSet(8)
 	const goroutines = 16
 	const keys = 500
 	wins := make([][]bool, goroutines)
@@ -123,7 +123,7 @@ func TestShardedSetConcurrent(t *testing.T) {
 
 func TestShardedSetShardCountRounding(t *testing.T) {
 	for _, n := range []int{0, 1, 3, 8, 100} {
-		set := newShardedSet(n)
+		set := NewVisitedSet(n)
 		if !set.Add("x") || set.Add("x") {
 			t.Fatalf("shards=%d: Add semantics broken", n)
 		}

@@ -5,17 +5,19 @@ import (
 	"sync"
 )
 
-// shardedSet is a mutex-striped string set: the visited-state set of the
-// parallel explorer. Signatures hash to one of nShards shards, each guarded
-// by its own mutex, so concurrent membership probes from worker goroutines
-// contend only when they collide on a shard rather than on one global lock.
+// VisitedSet is a mutex-striped string set: the visited-state set of the
+// parallel explorer, exported for other level-synchronized frontier
+// searches (internal/chaossearch dedups schedule seeds through it).
+// Signatures hash to one of nShards shards, each guarded by its own mutex,
+// so concurrent membership probes from worker goroutines contend only when
+// they collide on a shard rather than on one global lock.
 //
 // Determinism note: the explorer's worker phase only READS the set (to skip
 // re-checking states merged in earlier frontier levels); all writes happen
 // in the single-threaded merge phase. The set itself is nevertheless fully
 // safe for concurrent mixed Add/Contains, which the race tests exercise
 // directly.
-type shardedSet struct {
+type VisitedSet struct {
 	seed   maphash.Seed
 	shards []setShard
 }
@@ -25,26 +27,26 @@ type setShard struct {
 	m  map[string]struct{}
 }
 
-// newShardedSet creates a set with the given shard count (rounded up to a
+// NewVisitedSet creates a set with the given shard count (rounded up to a
 // power of two, minimum 1).
-func newShardedSet(nShards int) *shardedSet {
+func NewVisitedSet(nShards int) *VisitedSet {
 	n := 1
 	for n < nShards {
 		n <<= 1
 	}
-	s := &shardedSet{seed: maphash.MakeSeed(), shards: make([]setShard, n)}
+	s := &VisitedSet{seed: maphash.MakeSeed(), shards: make([]setShard, n)}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]struct{})
 	}
 	return s
 }
 
-func (s *shardedSet) shard(key string) *setShard {
+func (s *VisitedSet) shard(key string) *setShard {
 	return &s.shards[maphash.String(s.seed, key)&uint64(len(s.shards)-1)]
 }
 
 // Add inserts key and reports whether it was absent.
-func (s *shardedSet) Add(key string) bool {
+func (s *VisitedSet) Add(key string) bool {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -56,7 +58,7 @@ func (s *shardedSet) Add(key string) bool {
 }
 
 // Contains reports membership.
-func (s *shardedSet) Contains(key string) bool {
+func (s *VisitedSet) Contains(key string) bool {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -65,7 +67,7 @@ func (s *shardedSet) Contains(key string) bool {
 }
 
 // Len returns the total number of keys across shards.
-func (s *shardedSet) Len() int {
+func (s *VisitedSet) Len() int {
 	n := 0
 	for i := range s.shards {
 		s.shards[i].mu.Lock()

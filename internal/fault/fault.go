@@ -51,7 +51,10 @@ const (
 	KindLinkDup Kind = "link-dup"
 	// KindLinkReorder swaps adjacent frames on From→To.
 	KindLinkReorder Kind = "link-reorder"
-	// KindLinkClear ends the shaping window (delay/dup/reorder) on From→To.
+	// KindLinkRate caps the bandwidth of From→To at RateKBps.
+	KindLinkRate Kind = "link-rate"
+	// KindLinkClear ends the shaping window (delay/dup/reorder/rate) on
+	// From→To.
 	KindLinkClear Kind = "link-clear"
 	// KindCrash fail-stops Node (its durable history survives).
 	KindCrash Kind = "crash"
@@ -74,6 +77,14 @@ type Directive struct {
 	Node int `json:"node"`
 	// DelaySteps is the per-frame delay of KindLinkDelay, in ticks.
 	DelaySteps int `json:"delay_steps,omitempty"`
+	// JitterSteps widens KindLinkDelay into a distribution: each frame
+	// draws an extra delay uniformly from [0, JitterSteps] ticks, so the
+	// two directions of a link can carry different delay distributions.
+	JitterSteps int `json:"jitter_steps,omitempty"`
+	// RateKBps is the bandwidth cap of KindLinkRate, in KiB per second of
+	// wall time (the emulator's serialization model; the simulator treats
+	// rate windows as a no-op since its delivery is not byte-timed).
+	RateKBps int `json:"rate_kbps,omitempty"`
 }
 
 // detail renders the directive's parameters for the fault log.
@@ -84,7 +95,12 @@ func (d Directive) detail() string {
 	case KindHeal:
 		return "all links"
 	case KindLinkDelay:
+		if d.JitterSteps > 0 {
+			return fmt.Sprintf("r%d->r%d +%d±%d ticks", d.From, d.To, d.DelaySteps, d.JitterSteps)
+		}
 		return fmt.Sprintf("r%d->r%d +%d ticks", d.From, d.To, d.DelaySteps)
+	case KindLinkRate:
+		return fmt.Sprintf("r%d->r%d %dKBps", d.From, d.To, d.RateKBps)
 	case KindLinkCut, KindLinkRestore, KindLinkDup, KindLinkReorder, KindLinkClear:
 		return fmt.Sprintf("r%d->r%d", d.From, d.To)
 	case KindCrash, KindRestart:
@@ -112,7 +128,7 @@ func (s Schedule) Counts() (partitions, crashes, linkFaults int) {
 			partitions++
 		case KindCrash:
 			crashes++
-		case KindLinkCut, KindLinkDelay, KindLinkDup, KindLinkReorder:
+		case KindLinkCut, KindLinkDelay, KindLinkDup, KindLinkReorder, KindLinkRate:
 			linkFaults++
 		}
 	}
@@ -130,6 +146,100 @@ func (s Schedule) Table() *bench.Table {
 		t.AddRow(d.Step, string(d.Kind), d.detail())
 	}
 	return t
+}
+
+// CheckBalanced verifies the window-balance invariants Generate guarantees
+// by construction, on any schedule: every directive lies inside the
+// timeline, every window-opening directive is matched by a closing one
+// (partitions by heals, cuts by restores, shaping by clears, crashes by
+// restarts — the pairing the fault-log reader relies on), no node crashes
+// while already down, no link fault targets a self-link, and delay/rate
+// windows carry positive parameters. The chaos search asserts this over
+// every schedule it evaluates, so an adversarially chosen seed can never
+// smuggle in a run that fails to heal itself (eventual delivery,
+// Definition 3, must survive the search).
+func (s Schedule) CheckBalanced() error {
+	openParts := 0
+	down := map[int]bool{}
+	openCuts := map[[2]int]int{}
+	openShapes := map[[2]int]int{}
+	for i, d := range s.Directives {
+		if d.Step < 0 || (s.Steps > 0 && d.Step >= s.Steps) {
+			return fmt.Errorf("fault: directive %d outside timeline [0,%d): %+v", i, s.Steps, d)
+		}
+		link := [2]int{d.From, d.To}
+		switch d.Kind {
+		case KindPartition:
+			for _, g := range d.Groups {
+				if len(g) == 0 {
+					return fmt.Errorf("fault: directive %d: empty partition group", i)
+				}
+			}
+			openParts++
+		case KindHeal:
+			if openParts == 0 {
+				return fmt.Errorf("fault: directive %d: heal without an open partition", i)
+			}
+			openParts--
+		case KindCrash:
+			if down[d.Node] {
+				return fmt.Errorf("fault: directive %d: r%d crashed while down", i, d.Node)
+			}
+			down[d.Node] = true
+		case KindRestart:
+			if !down[d.Node] {
+				return fmt.Errorf("fault: directive %d: restart of r%d while up", i, d.Node)
+			}
+			down[d.Node] = false
+		case KindLinkCut:
+			if d.From == d.To {
+				return fmt.Errorf("fault: directive %d: self link %+v", i, d)
+			}
+			openCuts[link]++
+		case KindLinkRestore:
+			if openCuts[link] == 0 {
+				return fmt.Errorf("fault: directive %d: restore of uncut link %+v", i, d)
+			}
+			if openCuts[link]--; openCuts[link] == 0 {
+				delete(openCuts, link)
+			}
+		case KindLinkDelay, KindLinkDup, KindLinkReorder, KindLinkRate:
+			if d.From == d.To {
+				return fmt.Errorf("fault: directive %d: self link %+v", i, d)
+			}
+			if d.Kind == KindLinkDelay && d.DelaySteps < 1 {
+				return fmt.Errorf("fault: directive %d: delay window without delay", i)
+			}
+			if d.Kind == KindLinkRate && d.RateKBps < 1 {
+				return fmt.Errorf("fault: directive %d: rate window without a rate", i)
+			}
+			openShapes[link]++
+		case KindLinkClear:
+			if openShapes[link] == 0 {
+				return fmt.Errorf("fault: directive %d: clear of unshaped link %+v", i, d)
+			}
+			if openShapes[link]--; openShapes[link] == 0 {
+				delete(openShapes, link)
+			}
+		default:
+			return fmt.Errorf("fault: directive %d: unknown kind %q", i, d.Kind)
+		}
+	}
+	if openParts > 0 {
+		return fmt.Errorf("fault: %d partition windows never healed", openParts)
+	}
+	for r, d := range down {
+		if d {
+			return fmt.Errorf("fault: r%d never restarted", r)
+		}
+	}
+	if len(openCuts) > 0 {
+		return fmt.Errorf("fault: %d cut windows never restored", len(openCuts))
+	}
+	if len(openShapes) > 0 {
+		return fmt.Errorf("fault: %d shaping windows never cleared", len(openShapes))
+	}
+	return nil
 }
 
 // Config parameterizes Generate.
@@ -205,7 +315,7 @@ func Generate(cfg Config) Schedule {
 		add(Directive{Step: end, Kind: KindRestart, Node: victims[i]})
 	}
 
-	shapes := []Kind{KindLinkDelay, KindLinkDup, KindLinkReorder, KindLinkCut}
+	shapes := []Kind{KindLinkDelay, KindLinkDup, KindLinkReorder, KindLinkCut, KindLinkRate}
 	for i := 0; i < cfg.LinkFaults; i++ {
 		start, end := window()
 		from := rng.Intn(cfg.N)
@@ -216,11 +326,16 @@ func Generate(cfg Config) Schedule {
 		kind := shapes[rng.Intn(len(shapes))]
 		d := Directive{Step: start, Kind: kind, From: from, To: to}
 		endKind := KindLinkClear
-		if kind == KindLinkCut {
+		switch kind {
+		case KindLinkCut:
 			endKind = KindLinkRestore
-		}
-		if kind == KindLinkDelay {
+		case KindLinkDelay:
+			// Each direction draws its own base delay and jitter width, so
+			// the two halves of a link carry asymmetric distributions.
 			d.DelaySteps = 1 + rng.Intn(3)
+			d.JitterSteps = rng.Intn(3)
+		case KindLinkRate:
+			d.RateKBps = 8 << rng.Intn(4) // 8..64 KiB/s
 		}
 		add(d)
 		add(Directive{Step: end, Kind: endKind, From: from, To: to})

@@ -65,7 +65,7 @@ func TestGenerateBalancedWindows(t *testing.T) {
 				opens[KindLinkCut]++
 			case KindLinkRestore:
 				opens[KindLinkCut]--
-			case KindLinkDelay, KindLinkDup, KindLinkReorder:
+			case KindLinkDelay, KindLinkDup, KindLinkReorder, KindLinkRate:
 				opens[KindLinkClear]++
 				if d.From == d.To {
 					t.Fatalf("seed %d: self link %+v", seed, d)
@@ -92,6 +92,39 @@ func TestGenerateBalancedWindows(t *testing.T) {
 				down[d.Node] = false
 			}
 		}
+		// CheckBalanced is the reusable form of the assertions above.
+		if err := s.CheckBalanced(); err != nil {
+			t.Fatalf("seed %d: CheckBalanced: %v", seed, err)
+		}
+	}
+}
+
+// TestCheckBalancedRejects: CheckBalanced is not vacuous — it flags
+// hand-built schedules that violate each invariant.
+func TestCheckBalancedRejects(t *testing.T) {
+	bad := []Schedule{
+		{Steps: 10, Directives: []Directive{{Step: 12, Kind: KindHeal}}},
+		{Steps: 10, Directives: []Directive{{Step: 1, Kind: KindPartition, Groups: [][]int{{0}, {1}}}}},
+		{Steps: 10, Directives: []Directive{{Step: 1, Kind: KindCrash, Node: 0}, {Step: 2, Kind: KindCrash, Node: 0}}},
+		{Steps: 10, Directives: []Directive{{Step: 1, Kind: KindRestart, Node: 0}}},
+		{Steps: 10, Directives: []Directive{{Step: 1, Kind: KindLinkCut, From: 0, To: 1}}},
+		{Steps: 10, Directives: []Directive{{Step: 1, Kind: KindLinkClear, From: 0, To: 1}}},
+		{Steps: 10, Directives: []Directive{
+			{Step: 1, Kind: KindLinkDelay, From: 0, To: 0, DelaySteps: 1},
+			{Step: 2, Kind: KindLinkClear, From: 0, To: 0},
+		}},
+		{Steps: 10, Directives: []Directive{
+			{Step: 1, Kind: KindLinkRate, From: 0, To: 1},
+			{Step: 2, Kind: KindLinkClear, From: 0, To: 1},
+		}},
+	}
+	for i, s := range bad {
+		if err := s.CheckBalanced(); err == nil {
+			t.Fatalf("case %d: CheckBalanced accepted an unbalanced schedule: %+v", i, s)
+		}
+	}
+	if err := (Schedule{}).CheckBalanced(); err != nil {
+		t.Fatalf("empty schedule rejected: %v", err)
 	}
 }
 

@@ -3,9 +3,12 @@ package fault
 import (
 	"encoding/binary"
 	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/gen"
 )
 
 // ErrLinkCut is the write error surfaced on a cut link. The cluster's
@@ -17,6 +20,8 @@ var ErrLinkCut = errors.New("fault: link cut")
 type linkState struct {
 	cut     bool
 	delay   time.Duration
+	jitter  time.Duration // uniform extra delay in [0, jitter] per frame
+	rate    int           // bandwidth cap in bytes/sec (0 = unlimited)
 	dup     bool
 	reorder bool
 }
@@ -41,8 +46,9 @@ func NewNetem(n int) *Netem {
 	return &Netem{n: n, links: links}
 }
 
-// Apply enforces one directive, mapping DelaySteps to wall time with tick.
-// Crash/restart directives are ignored (the supervisor owns them).
+// Apply enforces one directive, mapping DelaySteps/JitterSteps to wall time
+// with tick and RateKBps to bytes per second. Crash/restart directives are
+// ignored (the supervisor owns them).
 func (e *Netem) Apply(d Directive, tick time.Duration) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -78,6 +84,11 @@ func (e *Netem) Apply(d Directive, tick time.Duration) {
 	case KindLinkDelay:
 		if inRange(d.From) && inRange(d.To) {
 			e.links[d.From][d.To].delay = time.Duration(d.DelaySteps) * tick
+			e.links[d.From][d.To].jitter = time.Duration(d.JitterSteps) * tick
+		}
+	case KindLinkRate:
+		if inRange(d.From) && inRange(d.To) && d.RateKBps > 0 {
+			e.links[d.From][d.To].rate = d.RateKBps * 1024
 		}
 	case KindLinkDup:
 		if inRange(d.From) && inRange(d.To) {
@@ -90,6 +101,8 @@ func (e *Netem) Apply(d Directive, tick time.Duration) {
 	case KindLinkClear:
 		if inRange(d.From) && inRange(d.To) {
 			e.links[d.From][d.To].delay = 0
+			e.links[d.From][d.To].jitter = 0
+			e.links[d.From][d.To].rate = 0
 			e.links[d.From][d.To].dup = false
 			e.links[d.From][d.To].reorder = false
 		}
@@ -128,19 +141,35 @@ func (e *Netem) state(from, to int) linkState {
 	return e.links[from][to]
 }
 
+// jitterStream decorrelates per-link jitter draws from every other seeded
+// stream in the repository.
+const jitterStream = -7003
+
 // WrapConn interposes the emulator on the write half of conn, shaping the
 // frames the local endpoint sends in the direction from→to. All cluster
 // traffic is wire.WriteFrame length-delimited, so the wrapper reassembles
 // frames from the byte stream (4-byte big-endian length prefix) and applies
-// the link's current faults per frame: a cut fails the write (the sender's
-// reconnect/retransmit machinery recovers after the link is restored), a
-// delay sleeps before shipping, dup ships the frame twice, reorder holds a
-// frame back and ships it after its successor. The first frame of a
+// the link's current faults per frame: a cut fails the write synchronously
+// (the sender's reconnect/retransmit machinery recovers after the link is
+// restored), delay/jitter/rate stamp the frame with a delivery deadline and
+// a background writer ships it when the deadline arrives — the caller's
+// write path never sleeps — dup enqueues the frame twice, reorder holds a
+// frame back and enqueues it after its successor. The first frame of a
 // connection (the replication hello) always passes unshaped so a connection
 // can at least identify itself. Reads pass through untouched — the reverse
-// direction is shaped by the peer's own wrapper.
+// direction is shaped by the peer's own wrapper, which is how the two
+// directions of one link carry asymmetric delay distributions.
 func (e *Netem) WrapConn(conn net.Conn, from, to int) net.Conn {
-	return &shapedConn{Conn: conn, em: e, from: from, to: to}
+	return &shapedConn{
+		Conn: conn, em: e, from: from, to: to,
+		rng: rand.New(rand.NewSource(gen.SplitSeed(int64(from)<<16|int64(to), jitterStream))),
+	}
+}
+
+// timedFrame is one queued frame stamped with its delivery deadline.
+type timedFrame struct {
+	data []byte
+	due  time.Time
 }
 
 type shapedConn struct {
@@ -148,27 +177,37 @@ type shapedConn struct {
 	em       *Netem
 	from, to int
 
-	mu    sync.Mutex
-	buf   []byte // bytes of an incomplete frame
-	held  []byte // frame held back by an open reorder window
-	wrote bool   // the connection's first frame has shipped
+	mu      sync.Mutex
+	buf     []byte       // bytes of an incomplete frame
+	held    []byte       // frame held back by an open reorder window
+	wrote   bool         // the connection's first frame has shipped
+	q       []timedFrame // deadline-stamped frames awaiting delivery
+	lastDue time.Time    // FIFO floor: a frame never overtakes its predecessor
+	running bool         // background writer is draining q
+	werr    error        // sticky error: the underlying conn failed
+	timeout time.Duration
+	rng     *rand.Rand // jitter draws; guarded by mu
 }
 
-// Write buffers b until whole frames are available, then ships each frame
-// through the link's fault state. It reports b fully written even when a
-// frame is held or still buffering: a later failure is indistinguishable
-// from a connection loss, which the cluster's reliability layer already
-// absorbs (unacked updates are retransmitted on a fresh connection).
+// Write buffers b until whole frames are available, then stamps each frame
+// with a delivery deadline and hands it to the background writer. Only a
+// cut link fails synchronously; everything else reports b fully written
+// immediately — a later delivery failure is indistinguishable from a
+// connection loss, which the cluster's reliability layer already absorbs
+// (unacked updates are retransmitted on a fresh connection).
 func (c *shapedConn) Write(b []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.werr != nil {
+		return 0, c.werr
+	}
 	c.buf = append(c.buf, b...)
 	for {
 		frame, ok := c.splitFrame()
 		if !ok {
 			return len(b), nil
 		}
-		if err := c.shipFrame(frame); err != nil {
+		if err := c.enqueueFrame(frame); err != nil {
 			return 0, err
 		}
 	}
@@ -188,7 +227,10 @@ func (c *shapedConn) splitFrame() ([]byte, bool) {
 	return frame, true
 }
 
-func (c *shapedConn) shipFrame(frame []byte) error {
+// enqueueFrame applies the link's current fault state to one frame: cut
+// fails, reorder holds, dup doubles, delay/jitter/rate pick the deadline.
+// Called with c.mu held.
+func (c *shapedConn) enqueueFrame(frame []byte) error {
 	st := c.em.state(c.from, c.to)
 	first := !c.wrote
 	c.wrote = true
@@ -196,32 +238,104 @@ func (c *shapedConn) shipFrame(frame []byte) error {
 		c.held = nil
 		return ErrLinkCut
 	}
-	if !first {
-		if st.delay > 0 {
-			time.Sleep(st.delay)
-		}
-		if st.reorder && c.held == nil {
-			// Hold this frame; the next one overtakes it. If the
-			// connection dies first, the hold is dropped with it and
-			// retransmission re-sends the frame on the next connection.
-			c.held = frame
-			return nil
-		}
+	if !first && st.reorder && c.held == nil {
+		// Hold this frame; the next one overtakes it. If the connection
+		// dies first, the hold is dropped with it and retransmission
+		// re-sends the frame on the next connection.
+		c.held = frame
+		return nil
 	}
-	if _, err := c.Conn.Write(frame); err != nil {
-		return err
-	}
+	c.push(frame, st, first)
 	if st.dup && !first {
-		if _, err := c.Conn.Write(frame); err != nil {
-			return err
-		}
+		c.push(frame, st, first)
 	}
 	if c.held != nil {
 		held := c.held
 		c.held = nil
-		if _, err := c.Conn.Write(held); err != nil {
-			return err
+		c.push(held, st, first)
+	}
+	return nil
+}
+
+// push stamps one frame with its delivery deadline and starts the writer
+// if it is idle. The deadline is now + delay + jitter draw, floored at the
+// previous frame's deadline (FIFO), plus the frame's serialization time
+// under an open bandwidth cap — successive frames queue behind each other
+// at rate bytes/sec, which is the cap's whole effect. Called with c.mu
+// held.
+func (c *shapedConn) push(frame []byte, st linkState, first bool) {
+	due := time.Now()
+	if !first {
+		if st.delay > 0 {
+			due = due.Add(st.delay)
 		}
+		if st.jitter > 0 {
+			due = due.Add(time.Duration(c.rng.Int63n(int64(st.jitter) + 1)))
+		}
+	}
+	if due.Before(c.lastDue) {
+		due = c.lastDue
+	}
+	if !first && st.rate > 0 {
+		due = due.Add(time.Duration(int64(len(frame)) * int64(time.Second) / int64(st.rate)))
+	}
+	c.lastDue = due
+	c.q = append(c.q, timedFrame{data: frame, due: due})
+	if !c.running {
+		c.running = true
+		go c.drain()
+	}
+}
+
+// drain is the background writer: it sleeps until the head frame's
+// deadline, writes it, and exits once the queue empties (a later push
+// restarts it) or the underlying conn fails. On failure it records the
+// sticky error and closes the underlying conn, so the endpoint's reader
+// observes the death and the ordinary teardown/reconnect path runs.
+func (c *shapedConn) drain() {
+	for {
+		c.mu.Lock()
+		if c.werr != nil || len(c.q) == 0 {
+			c.running = false
+			c.mu.Unlock()
+			return
+		}
+		head := c.q[0]
+		if wait := time.Until(head.due); wait > 0 {
+			c.mu.Unlock()
+			time.Sleep(wait)
+			continue
+		}
+		c.q = c.q[1:]
+		timeout := c.timeout
+		c.mu.Unlock()
+
+		if timeout > 0 {
+			c.Conn.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		if _, err := c.Conn.Write(head.data); err != nil {
+			c.mu.Lock()
+			c.werr = err
+			c.q = nil
+			c.running = false
+			c.mu.Unlock()
+			c.Conn.Close()
+			return
+		}
+	}
+}
+
+// SetWriteDeadline records the caller's intended write timeout instead of
+// arming the underlying conn: queued frames are written later than the
+// caller's Write call, so the background writer re-derives a fresh
+// deadline of the same duration at actual write time.
+func (c *shapedConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.IsZero() {
+		c.timeout = 0
+	} else {
+		c.timeout = time.Until(t)
 	}
 	return nil
 }

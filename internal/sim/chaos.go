@@ -67,6 +67,13 @@ func (c *Cluster) Crashed(r model.ReplicaID) bool {
 	return c.chaos != nil && c.chaos.crashed[r]
 }
 
+// SetObserver installs a chaos-metrics collector: applied directives,
+// blocked deliveries, duplicated copies, and quiesce work report to it.
+// The counters it receives are functions of the deterministic execution
+// only, so the metrics of a (store, seed, schedule) triple are exactly
+// reproducible. A nil observer detaches.
+func (c *Cluster) SetObserver(o *fault.Observer) { c.obs = o }
+
 // ApplyDirective enforces one fault-schedule directive on the simulated
 // network, with the same semantics fault.Netem gives the TCP cluster:
 // partitions overwrite the pairwise cut set (ungrouped replicas isolated),
@@ -74,6 +81,7 @@ func (c *Cluster) Crashed(r model.ReplicaID) bool {
 // cuts, and crash/restart toggle a replica's participation.
 func (c *Cluster) ApplyDirective(d fault.Directive) {
 	cs := c.chaosOverlay()
+	c.obs.Directive(d)
 	switch d.Kind {
 	case fault.KindPartition:
 		group := make(map[int]int)
@@ -106,6 +114,10 @@ func (c *Cluster) ApplyDirective(d fault.Directive) {
 		cs.dup[d.From][d.To] = true
 	case fault.KindLinkReorder:
 		cs.reorder[d.From][d.To] = true
+	case fault.KindLinkRate:
+		// Bandwidth caps are a wall-clock construct; the simulator's
+		// delivery is not byte-timed, so a rate window shapes nothing here
+		// (the TCP engine enforces it in Netem).
 	case fault.KindLinkClear:
 		cs.stall[d.From][d.To] = false
 		cs.dup[d.From][d.To] = false
@@ -162,5 +174,6 @@ func (c *Cluster) RunScheduled(sched fault.Schedule, cfg WorkloadConfig) int {
 		c.ApplyDirective(sched.Directives[di])
 		di++
 	}
+	c.obs.Finish(steps)
 	return ops
 }

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/abstract"
 	"repro/internal/execution"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/store"
@@ -71,6 +72,12 @@ type Cluster struct {
 	// the partition matrix and probabilistic faults; nil until the first
 	// directive.
 	chaos *chaosState
+
+	// obs, when non-nil, collects chaos metrics for this run (SetObserver).
+	// Every count it receives is derived from the deterministic execution,
+	// never from wall time, so observed metrics are a pure function of
+	// (store, seed, schedule).
+	obs *fault.Observer
 
 	// Visibility derivation: one row per recorded do event.
 	doEvents []int       // event Seq of each do event
@@ -188,6 +195,7 @@ func (c *Cluster) Send(r model.ReplicaID) (int, bool) {
 		}
 		if c.chaos != nil && c.chaos.dup[r][to] {
 			copies = 2
+			c.obs.AddDupCopies(1)
 		}
 		for k := 0; k < copies; k++ {
 			c.queues[to] = append(c.queues[to], queuedMsg{msgID: e.MsgID, from: r})
@@ -226,18 +234,22 @@ func (c *Cluster) deliverIndex(to model.ReplicaID, i int) {
 // crashed destination all hold messages back without losing them).
 func (c *Cluster) deliverable(to model.ReplicaID) []int {
 	if c.Crashed(to) {
+		c.obs.AddBlocked(int64(len(c.queues[to])))
 		return nil
 	}
 	var idx []int
+	var blocked int64
 	for i, m := range c.queues[to] {
 		if !c.connected[m.from][to] {
 			continue
 		}
 		if c.chaos != nil && (c.chaos.cut[m.from][to] || c.chaos.stall[m.from][to]) {
+			blocked++
 			continue
 		}
 		idx = append(idx, i)
 	}
+	c.obs.AddBlocked(blocked)
 	return idx
 }
 
@@ -339,18 +351,22 @@ func (c *Cluster) Quiesce() {
 	c.faults = Faults{}
 	c.Heal()
 	c.ClearChaos()
+	var rounds, delivered int64
 	for {
 		sent := c.SendAll()
-		delivered := 0
+		roundDelivered := 0
 		for to := 0; to < c.n; to++ {
 			for c.DeliverOne(model.ReplicaID(to)) {
-				delivered++
+				roundDelivered++
 			}
 		}
-		if sent == 0 && delivered == 0 {
+		if sent == 0 && roundDelivered == 0 {
 			break
 		}
+		rounds++
+		delivered += int64(roundDelivered)
 	}
+	c.obs.ObserveQuiesce(rounds, delivered)
 	c.faults = savedFaults
 }
 
