@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench figures json fuzz chaos chaos-search ci
+.PHONY: build test verify bench figures json fuzz chaos chaos-search durability ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,16 @@ fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReader -fuzztime 10s
 	$(GO) test ./internal/abstract -run '^$$' -fuzz FuzzUnmarshalExecution -fuzztime 10s
+	$(GO) test ./internal/durable -run '^$$' -fuzz FuzzRecoverTail -fuzztime 10s
+
+# The durability battery: the on-disk journal's torn-tail/compaction
+# regression suite, the disk-backed supervisor and chaos runs, and the
+# kill -9 harness (a real served child process SIGKILL'd mid-load and
+# restarted on the same -data-dir).
+durability:
+	$(GO) test ./internal/durable -count=1
+	$(GO) test -race ./cmd/served -run 'Kill9|ParsePeers|WriteJSON|AdminServer' -count=1
+	$(GO) test -race ./cmd/loadgen -run 'TestRunChaosDiskBacked' -count=1
 
 # The fault-injection sweep: every registered store through seeded
 # partition/crash/link-fault schedules in the simulator, then the TCP
@@ -56,5 +66,5 @@ chaos-search:
 # What CI runs: the verify gate (which includes the chaos batteries), then
 # regenerate the tracked JSON artifacts and fail if they drifted from what
 # the commit claims.
-ci: verify chaos chaos-search json
+ci: verify chaos chaos-search durability json
 	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/consistency"
+	"repro/internal/durable"
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/model"
@@ -34,6 +35,7 @@ type chaosConfig struct {
 	seed           int64
 	quiesceTimeout time.Duration
 	jsonOut        bool
+	dataDir        string
 }
 
 // chaosTick maps fault-schedule steps to wall time. Small enough that the
@@ -83,6 +85,12 @@ func runChaos(w io.Writer, cfg chaosConfig) error {
 		DialBackoffMax: 100 * time.Millisecond,
 		RetransmitMin:  25 * time.Millisecond,
 		RetransmitMax:  250 * time.Millisecond,
+	}
+	if cfg.dataDir != "" {
+		// Disk-backed chaos: every node journals through internal/durable and
+		// every crash/restart directive recovers from the data directory —
+		// the kill -9 code path under the fault schedule.
+		base.Storage = &durable.Storage{Dir: cfg.dataDir}
 	}
 	sup, err := cluster.NewSupervisor(base, cfg.nodes, em, chaosTick)
 	if err != nil {

@@ -4,6 +4,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -106,6 +109,40 @@ func TestRunChaosDeterministicFaultLog(t *testing.T) {
 	}
 	if len(tb.Rows) != len(sched.Directives) {
 		t.Fatalf("fault log rows = %d, schedule has %d directives", len(tb.Rows), len(sched.Directives))
+	}
+}
+
+// TestRunChaosDiskBacked runs the same chaos pipeline with
+// -chaos-data-dir: histories journal to disk and the schedule's
+// crash/restart recovers through durable.Open. The run must still audit
+// clean, and every node must leave a journal behind.
+func TestRunChaosDiskBacked(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := chaosConfig{
+		store:          "causal",
+		nodes:          3,
+		clients:        2,
+		ops:            30,
+		mutate:         0.5,
+		objects:        2,
+		seed:           42,
+		quiesceTimeout: 30 * time.Second,
+		jsonOut:        true,
+		dataDir:        dataDir,
+	}
+	var buf bytes.Buffer
+	if err := runChaos(&buf, cfg); err != nil {
+		t.Fatalf("runChaos: %v\noutput:\n%s", err, buf.String())
+	}
+	for i := 0; i < cfg.nodes; i++ {
+		wal := filepath.Join(dataDir, fmt.Sprintf("node%d", i), "wal.log")
+		info, err := os.Stat(wal)
+		if err != nil {
+			t.Fatalf("node %d left no journal: %v", i, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("node %d journal is empty", i)
+		}
 	}
 }
 

@@ -53,6 +53,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "self-host an in-process cluster and run a seeded fault schedule against it (-nodes is ignored)")
 	storeName := cli.StoreFlag(flag.CommandLine, "causal")
 	chaosNodes := flag.Int("chaos-nodes", 3, "cluster size for -chaos runs")
+	chaosDataDir := flag.String("chaos-data-dir", "", "journal -chaos node histories to this directory; crash/restart directives then recover from disk (in-memory if empty)")
 	flag.Parse()
 
 	if *chaos {
@@ -66,6 +67,7 @@ func main() {
 			seed:           *seed,
 			quiesceTimeout: *quiesceTimeout,
 			jsonOut:        *jsonOut,
+			dataDir:        *chaosDataDir,
 		}
 		if err := runChaos(os.Stdout, ccfg); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)

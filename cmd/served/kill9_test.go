@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// TestMain doubles as the served entrypoint for the kill -9 harness: when
+// re-exec'd with SERVED_RUN_MAIN=1 the test binary IS served, flags and
+// all, so the harness below can SIGKILL a real process mid-run.
+func TestMain(m *testing.M) {
+	if os.Getenv("SERVED_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// freePort reserves a loopback port by binding and immediately releasing
+// it; the momentary race is acceptable in a test harness.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// syncBuffer collects the child's output; exec's copier goroutine writes
+// while the test reads, so both sides lock.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// servedProc is one child served process under harness control.
+type servedProc struct {
+	cmd *exec.Cmd
+	out *syncBuffer
+}
+
+func spawnServed(t *testing.T, addr, peers, dataDir string) *servedProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0],
+		"-store", "causal", "-id", "0", "-listen", addr,
+		"-peers", peers, "-n", "3", "-data-dir", dataDir)
+	cmd.Env = append(os.Environ(), "SERVED_RUN_MAIN=1")
+	out := &syncBuffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &servedProc{cmd: cmd, out: out}
+}
+
+// dialReady polls the child's replication port until it accepts clients.
+func dialReady(t *testing.T, addr string) *cluster.Client {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := cluster.Dial(addr, time.Second)
+		if err == nil {
+			if _, err := c.Stats(); err == nil {
+				return c
+			}
+			c.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child on %s never became ready: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestKill9Recovery is the tentpole's end-to-end proof: node 0 runs as a
+// real served child process journaling to -data-dir, takes client writes
+// while replicating with two in-process peers, and is SIGKILL'd mid-load.
+// A fresh child on the same data directory must restore the journal, rejoin
+// the cluster, reach quiescence, converge with the peers, and audit clean —
+// which (per the ack-after-fsync ordering) also proves no event another
+// node holds a receipt for was lost to the kill.
+func TestKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	addr0 := freePort(t)
+	dataDir := t.TempDir()
+
+	// In-process peers r1 and r2.
+	mkNode := func(id int) *cluster.Node {
+		st, err := cli.OpenStore("causal", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := cluster.NewNode(cluster.Config{
+			ID: model.ReplicaID(id), N: 3, Store: st, Listen: "127.0.0.1:0",
+			DialTimeout:    time.Second,
+			DialBackoffMin: 5 * time.Millisecond,
+			DialBackoffMax: 100 * time.Millisecond,
+			RetransmitMin:  25 * time.Millisecond,
+			RetransmitMax:  250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nd.Close() })
+		return nd
+	}
+	r1, r2 := mkNode(1), mkNode(2)
+	if err := r1.Connect(map[model.ReplicaID]string{0: addr0, 2: r2.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Connect(map[model.ReplicaID]string{0: addr0, 1: r1.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	peerSpec := fmt.Sprintf("1=%s,2=%s", r1.Addr(), r2.Addr())
+
+	// First incarnation: load it, then kill -9 mid-stream.
+	child := spawnServed(t, addr0, peerSpec, dataDir)
+	c := dialReady(t, addr0)
+	acked := 0
+	for i := 0; i < 30; i++ {
+		if _, err := c.Do("x", model.Write(model.Value(fmt.Sprintf("pre%d", i)))); err != nil {
+			t.Fatalf("write %d: %v\nchild output:\n%s", i, err, child.out)
+		}
+		acked++
+		if _, err := r1.Do("y", model.Write(model.Value(fmt.Sprintf("peer%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	// No quiescence wait: the kill lands while replication is in flight.
+	if err := child.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child.cmd.Wait()
+
+	// Second incarnation on the same data directory.
+	child = spawnServed(t, addr0, peerSpec, dataDir)
+	defer func() {
+		child.cmd.Process.Signal(syscall.SIGTERM)
+		child.cmd.Wait()
+	}()
+	c = dialReady(t, addr0)
+	defer c.Close()
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 {
+		t.Fatalf("restarted child reports no events; journal not restored\nchild output:\n%s", child.out)
+	}
+	if !strings.Contains(child.out.String(), "restored") {
+		t.Fatalf("restart did not report a restore:\n%s", child.out)
+	}
+
+	// Fresh traffic everywhere, then cluster-wide quiescence: two
+	// consecutive clean polls across the child (via Stats) and both peers.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Do("x", model.Write(model.Value(fmt.Sprintf("post%d", i)))); err != nil {
+			t.Fatalf("post-restart write %d: %v\nchild output:\n%s", i, err, child.out)
+		}
+	}
+	quiesced := func() bool {
+		if !r1.Quiesced() || !r2.Quiesced() {
+			return false
+		}
+		s, err := c.Stats()
+		return err == nil && s.Quiesced
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	clean := 0
+	for clean < 2 {
+		if time.Now().After(deadline) {
+			s, _ := c.Stats()
+			t.Fatalf("cluster did not quiesce after restart; child stats %+v, r1 %+v, r2 %+v\nchild output:\n%s",
+				s, r1.Stats(), r2.Stats(), child.out)
+		}
+		if quiesced() {
+			clean++
+		} else {
+			clean = 0
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Converge and audit across the process boundary.
+	doers := []cluster.Doer{c, r1, r2}
+	if err := cluster.CheckConverged(doers, []model.ObjectID{"x", "y"}); err != nil {
+		t.Fatalf("%v\nchild output:\n%s", err, child.out)
+	}
+	h0, err := c.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h0.Events) < acked {
+		t.Fatalf("recovered history has %d events, fewer than the %d acked client writes", len(h0.Events), acked)
+	}
+	audit, err := cluster.BuildAudit([]cluster.History{h0, r1.History(), r2.History()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Exec.CheckWellFormed(); err != nil {
+		t.Fatalf("merged execution not well-formed: %v", err)
+	}
+	if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
+		t.Fatalf("derived abstract execution not causal: %v", err)
+	}
+	for _, nd := range []*cluster.Node{r1, r2} {
+		if v := nd.Violations(); len(v) != 0 {
+			t.Fatalf("r%d property violations: %v", nd.ID(), v)
+		}
+	}
+}

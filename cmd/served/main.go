@@ -11,46 +11,74 @@
 //	served -store causal -id 1 -listen :7001 -peers 0=:7000,2=:7002 &
 //	served -store causal -id 2 -listen :7002 -peers 0=:7000,1=:7001 &
 //
+// With -data-dir the node journals every recorded event to an fsync'd
+// on-disk log (internal/durable) before acknowledging it, and restores
+// its history from that directory on boot — so the process can be
+// kill -9'd and restarted in place without losing acknowledged state.
+//
 // The cluster size is 1+len(peers) unless -n says otherwise. Shutdown is
 // graceful on SIGINT/SIGTERM.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/cluster"
+	"repro/internal/durable"
 	"repro/internal/model"
 	"repro/internal/spec"
 	"repro/internal/store"
 )
 
 func main() {
+	var cfg serveConfig
 	storeName := cli.StoreFlag(flag.CommandLine, "causal")
-	id := flag.Int("id", 0, "this node's replica ID (0-based)")
-	listen := flag.String("listen", "127.0.0.1:7000", "replication+client listen address")
-	peersSpec := flag.String("peers", "", "peer replicas as id=addr pairs, comma-separated (e.g. 1=:7001,2=:7002)")
-	n := flag.Int("n", 0, "cluster size (default 1+len(peers))")
-	admin := flag.String("admin", "", "admin HTTP listen address serving /healthz, /metrics, /history (disabled if empty)")
-	k := flag.Int("k", 2, "K for the kbuffer store")
+	flag.IntVar(&cfg.id, "id", 0, "this node's replica ID (0-based)")
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:7000", "replication+client listen address")
+	flag.StringVar(&cfg.peersSpec, "peers", "", "peer replicas as id=addr pairs, comma-separated (e.g. 1=:7001,2=:7002)")
+	flag.IntVar(&cfg.n, "n", 0, "cluster size (default 1+len(peers))")
+	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP listen address serving /healthz, /metrics, /history (disabled if empty)")
+	flag.IntVar(&cfg.k, "k", 2, "K for the kbuffer store")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for the durable event journal (journaling disabled if empty)")
 	flag.Parse()
+	cfg.store = *storeName
 
-	if err := run(*storeName, *id, *listen, *peersSpec, *n, *admin, *k); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "served:", err)
 		os.Exit(1)
 	}
 }
 
-// parsePeers parses "1=:7001,2=host:7002" into a peer address map.
-func parsePeers(spec string) (map[model.ReplicaID]string, error) {
+// serveConfig carries the parsed command line into run.
+type serveConfig struct {
+	store     string
+	id        int
+	listen    string
+	peersSpec string
+	n         int
+	admin     string
+	k         int
+	dataDir   string
+}
+
+// parsePeers parses "1=:7001,2=host:7002" into a peer address map. self is
+// this node's own replica ID: a peer entry claiming it is a configuration
+// error caught here, not a dial loop discovered at runtime.
+func parsePeers(spec string, self int) (map[model.ReplicaID]string, error) {
 	peers := make(map[model.ReplicaID]string)
 	if spec == "" {
 		return peers, nil
@@ -60,9 +88,12 @@ func parsePeers(spec string) (map[model.ReplicaID]string, error) {
 		if !ok || addr == "" {
 			return nil, fmt.Errorf("bad peer %q (want id=addr)", part)
 		}
-		var rid int
-		if _, err := fmt.Sscanf(id, "%d", &rid); err != nil || rid < 0 {
+		rid, err := strconv.Atoi(id)
+		if err != nil || rid < 0 {
 			return nil, fmt.Errorf("bad peer id %q", id)
+		}
+		if rid == self {
+			return nil, fmt.Errorf("peer %q names this node's own id %d", part, self)
 		}
 		if _, dup := peers[model.ReplicaID(rid)]; dup {
 			return nil, fmt.Errorf("duplicate peer id %d", rid)
@@ -72,25 +103,46 @@ func parsePeers(spec string) (map[model.ReplicaID]string, error) {
 	return peers, nil
 }
 
-func run(storeName string, id int, listen, peersSpec string, n int, admin string, k int) error {
-	peers, err := parsePeers(peersSpec)
+func run(cfg serveConfig) error {
+	peers, err := parsePeers(cfg.peersSpec, cfg.id)
 	if err != nil {
 		return err
 	}
+	n := cfg.n
 	if n == 0 {
 		n = 1 + len(peers)
 	}
-	st, err := cli.OpenStore(storeName, spec.MVRTypes(), store.Options{K: k})
+	st, err := cli.OpenStore(cfg.store, spec.MVRTypes(), store.Options{K: cfg.k})
 	if err != nil {
 		return err
 	}
-	node, err := cluster.NewNode(cluster.Config{
-		ID:     model.ReplicaID(id),
+
+	ncfg := cluster.Config{
+		ID:     model.ReplicaID(cfg.id),
 		N:      n,
 		Store:  st,
-		Listen: listen,
+		Listen: cfg.listen,
 		Peers:  peers,
-	})
+	}
+	if cfg.dataDir != "" {
+		jl, hist, err := durable.Open(cfg.dataDir,
+			durable.Meta{Node: model.ReplicaID(cfg.id), N: n, Store: st.Name()},
+			durable.Options{})
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		// LIFO: the node (deferred below) closes first, stopping the event
+		// loop, then the journal it was appending to.
+		defer jl.Close()
+		ncfg.Journal = jl.Append
+		ncfg.Restore = hist
+		restored := 0
+		if hist != nil {
+			restored = len(hist.Events)
+		}
+		fmt.Printf("served: r%d journaling to %s (restored %d events)\n", cfg.id, cfg.dataDir, restored)
+	}
+	node, err := cluster.NewNode(ncfg)
 	if err != nil {
 		return err
 	}
@@ -102,30 +154,49 @@ func run(storeName string, id int, listen, peersSpec string, n int, admin string
 	}
 	sort.Ints(peerIDs)
 	fmt.Printf("served: r%d (%s, cluster of %d) listening on %s, peers %v\n",
-		id, st.Name(), n, node.Addr(), peerIDs)
+		cfg.id, st.Name(), n, node.Addr(), peerIDs)
 
-	if admin != "" {
-		go serveAdmin(admin, node)
+	var adminSrv *http.Server
+	if cfg.admin != "" {
+		adminSrv, err = startAdmin(cfg.admin, node)
+		if err != nil {
+			return fmt.Errorf("admin: %w", err)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	fmt.Printf("served: r%d shutting down on %v\n", id, s)
+	fmt.Printf("served: r%d shutting down on %v\n", cfg.id, s)
+	if adminSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := adminSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "served: admin shutdown:", err)
+		}
+	}
 	return nil
 }
 
-// serveAdmin exposes the node over plain HTTP for operators and offline
-// audits: /healthz (200 once serving), /metrics (the Stats snapshot), and
-// /history (the recorded local history, ready for cluster.BuildAudit).
-func serveAdmin(addr string, node *cluster.Node) {
-	mux := http.NewServeMux()
-	writeJSON := func(w http.ResponseWriter, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(v); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+// writeJSON marshals v to a buffer before touching the ResponseWriter, so a
+// marshal failure becomes a clean 500 instead of an error trailer glued to
+// a 200 and half a body.
+func writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+// startAdmin exposes the node over plain HTTP for operators and offline
+// audits: /healthz (200 once serving), /metrics (the Stats snapshot), and
+// /history (the recorded local history, ready for cluster.BuildAudit). The
+// returned server is already serving; the caller owns its Shutdown.
+func startAdmin(addr string, node *cluster.Node) (*http.Server, error) {
+	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok r%d quiesced=%v\n", node.ID(), node.Quiesced())
 	})
@@ -135,7 +206,15 @@ func serveAdmin(addr string, node *cluster.Node) {
 	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, node.History())
 	})
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "served: admin:", err)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
 	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "served: admin:", err)
+		}
+	}()
+	return srv, nil
 }

@@ -1,21 +1,129 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
 
 func TestParsePeers(t *testing.T) {
-	peers, err := parsePeers("1=:7001,2=host:7002")
+	peers, err := parsePeers("1=:7001,2=host:7002", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(peers) != 2 || peers[1] != ":7001" || peers[2] != "host:7002" {
 		t.Fatalf("peers = %v", peers)
 	}
-	if got, _ := parsePeers(""); len(got) != 0 {
+	if got, _ := parsePeers("", 0); len(got) != 0 {
 		t.Fatalf("empty spec parsed to %v", got)
 	}
 	for _, bad := range []string{"x", "a=:1", "-1=:1", "1=", "1=:1,1=:2"} {
-		if _, err := parsePeers(bad); err == nil {
+		if _, err := parsePeers(bad, 0); err == nil {
 			t.Fatalf("%q accepted", bad)
 		}
+	}
+}
+
+// TestParsePeersRejectsTrailingGarbage: the old fmt.Sscanf parser stopped
+// at the first non-digit, so "1x=:7001" silently configured peer 1 — a
+// typo'd cluster came up wired to the wrong replica.
+func TestParsePeersRejectsTrailingGarbage(t *testing.T) {
+	for _, bad := range []string{"1x=:7001", "0 1=:7001", "+1 =:7001", "1.5=:7001", "0x1=:7001"} {
+		if peers, err := parsePeers(bad, 9); err == nil {
+			t.Fatalf("%q accepted as %v", bad, peers)
+		}
+	}
+}
+
+// TestParsePeersRejectsSelf: a peer entry naming the node's own -id would
+// have the node dialing itself forever; it must fail at parse time.
+func TestParsePeersRejectsSelf(t *testing.T) {
+	if peers, err := parsePeers("1=:7001,2=:7002", 2); err == nil {
+		t.Fatalf("self-peer accepted as %v", peers)
+	}
+	// The same spec is fine for a node with a different id.
+	if _, err := parsePeers("1=:7001,2=:7002", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type unmarshalable struct{}
+
+func (unmarshalable) MarshalJSON() ([]byte, error) { return nil, errors.New("boom") }
+
+// TestWriteJSONMarshalFailure: the old handler encoded straight into the
+// ResponseWriter, so a marshal failure arrived as an error message glued
+// onto a 200 and a partial JSON body. Buffer-first must give a clean 500.
+func TestWriteJSONMarshalFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, unmarshalable{})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct == "application/json" {
+		t.Fatal("failure response still claims application/json")
+	}
+
+	rec = httptest.NewRecorder()
+	writeJSON(rec, map[string]int{"ok": 1})
+	if rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("success path: status %d, content-type %q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+}
+
+// TestAdminServerGracefulShutdown boots a single node with an admin
+// endpoint, checks the endpoints serve, then shuts the server down the way
+// run does on SIGINT — the listener must actually close.
+func TestAdminServerGracefulShutdown(t *testing.T) {
+	st, err := cli.OpenStore("causal", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := cluster.NewNode(cluster.Config{
+		ID: 0, N: 1, Store: st, Listen: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := node.Do(model.ObjectID("x"), model.Write(model.Value("v"))); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := startAdmin("127.0.0.1:0", node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr
+	for _, path := range []string{"/healthz", "/metrics", "/history"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Fatalf("%s: status %d, %d body bytes", path, resp.StatusCode, len(body))
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("admin listener still accepting after Shutdown")
 	}
 }

@@ -67,6 +67,25 @@ type Config struct {
 	// rejoin half of a fail-stop crash whose durable state is the local
 	// event log.
 	Restore *History
+	// Journal, when non-nil, is invoked on the event loop with each
+	// do/send/receive event as it is appended to the local history, and
+	// must make the event durable before returning (internal/durable
+	// fsyncs a CRC-framed record). Because the call happens in the same
+	// event-loop turn that records the event — before the update's
+	// acknowledgement or the client's response leaves the node — an event
+	// any peer holds an ack for is always in the journal. A Journal error
+	// fail-stops the node: it suppresses the pending ack, refuses further
+	// operations, and closes, because a replica that cannot persist must
+	// not promise delivery. Events replayed via Restore are NOT
+	// re-journaled (they came from the journal).
+	Journal func(Event) error
+	// Storage, when non-nil, supplies Journal and Restore for each
+	// incarnation from durable per-node storage (mutually exclusive with
+	// setting either directly): NewNode opens it before serving and closes
+	// it after the event loop exits. The Supervisor threads it through
+	// crash/restart directives, so chaos schedules exercise the on-disk
+	// recovery path instead of handing histories through memory.
+	Storage NodeStorage
 	// Observer, when non-nil, receives transport-level chaos metrics
 	// (retransmits, reconnects, dup/gap frames) from this node; the
 	// supervisor additionally reports applied directives to it. All
@@ -84,6 +103,16 @@ type Config struct {
 	RetransmitMin, RetransmitMax time.Duration
 	// WriteTimeout bounds one frame write.
 	WriteTimeout time.Duration
+}
+
+// NodeStorage provides per-incarnation durable storage for a node's
+// recorded history (implemented by durable.Storage). Open is called once
+// per incarnation, before the node serves anything: journal persists each
+// newly recorded event, restore is the recovered history of the previous
+// incarnation (nil on first boot), and closeLog is invoked after the event
+// loop has exited.
+type NodeStorage interface {
+	Open(id model.ReplicaID, n int, storeName string) (journal func(Event) error, restore *History, closeLog func() error, err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -137,12 +166,20 @@ type Node struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
+	// closeJournal, when non-nil, closes the NodeStorage log; it runs in
+	// Close after the event loop has exited (no Appends can follow it).
+	closeJournal func() error
+
 	// State below is owned by the event loop goroutine.
 	lamport   uint64
 	seq       uint64   // this node's broadcast sequence counter
 	delivered []uint64 // per-origin cumulative applied broadcast seq
 	frontier  []uint64 // per-origin visible store-dot prefix
 	events    []Event
+	// jerr latches the first journal failure. Once set, the node is
+	// fail-stopping: no further acks are written, operations error, and an
+	// async Close is already underway.
+	jerr error
 	// resend holds this node's own past broadcasts after a restore,
 	// re-offered to every peer on Connect so updates unacked at crash
 	// time still reach everyone. Immutable once NewNode returns.
@@ -175,8 +212,24 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("cluster: invalid cluster size %d", cfg.N)
 	}
+	var closeJournal func() error
+	if cfg.Storage != nil {
+		if cfg.Journal != nil || cfg.Restore != nil {
+			return nil, errors.New("cluster: Config.Storage is mutually exclusive with Journal/Restore")
+		}
+		journal, restored, closeLog, err := cfg.Storage.Open(cfg.ID, cfg.N, cfg.Store.Name())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: open storage for r%d: %w", cfg.ID, err)
+		}
+		cfg.Journal = journal
+		cfg.Restore = restored
+		closeJournal = closeLog
+	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
+		if closeJournal != nil {
+			closeJournal()
+		}
 		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Listen, err)
 	}
 	replica := cfg.Store.NewReplica(cfg.ID, cfg.N)
@@ -192,9 +245,13 @@ func NewNode(cfg Config) (*Node, error) {
 		peers:     make(map[model.ReplicaID]*peerSender),
 		conns:     make(map[net.Conn]struct{}),
 	}
+	n.closeJournal = closeJournal
 	if cfg.Restore != nil {
 		if err := n.restore(cfg.Restore); err != nil {
 			ln.Close()
+			if closeJournal != nil {
+				closeJournal()
+			}
 			return nil, err
 		}
 	}
@@ -290,11 +347,14 @@ func (n *Node) restore(h *History) error {
 		if ev.Lamport > n.lamport {
 			n.lamport = ev.Lamport
 		}
+		// Replayed events are appended verbatim, NOT via record: they came
+		// from the journal, and re-journaling them would duplicate the log.
 		n.events = append(n.events, ev)
 	}
 	// A message pending at crash time was never recorded as sent: mint its
 	// send event now (the history stays well-formed — the send follows
-	// every restored event) and add it to the resend backlog.
+	// every restored event) and add it to the resend backlog. Minted events
+	// are new, so they go through record and reach the journal.
 	for {
 		p := n.replica.PendingMessage()
 		if p == nil {
@@ -304,10 +364,13 @@ func (n *Node) restore(h *History) error {
 		n.replica.OnSend()
 		n.seq++
 		n.lamport++
-		n.events = append(n.events, Event{
+		n.record(Event{
 			Kind: model.ActSend, Lamport: n.lamport,
 			Origin: n.cfg.ID, Seq: n.seq, Payload: payload,
 		})
+		if n.jerr != nil {
+			return n.jerr
+		}
 		n.resend = append(n.resend, protoUpdate{Origin: n.cfg.ID, Seq: n.seq, Lamport: n.lamport, Payload: payload})
 	}
 	return nil
@@ -356,12 +419,39 @@ func (n *Node) inLoop(fn func()) error {
 	}
 }
 
+// record appends one event to the local history and, when a journal is
+// configured, persists it in the same event-loop turn — before the
+// update's ack or the client's response can leave the node, so an
+// acknowledged event is always durable. A journal failure fail-stops the
+// node (a replica that cannot persist must not promise delivery): the
+// error latches into jerr, which suppresses the pending ack and errors
+// subsequent operations, and an async Close tears the node down. Runs on
+// the event loop (or in restore, before the loop starts).
+func (n *Node) record(ev Event) {
+	n.events = append(n.events, ev)
+	if n.cfg.Journal != nil && n.jerr == nil {
+		if err := n.cfg.Journal(ev); err != nil {
+			n.jerr = fmt.Errorf("cluster: journal r%d event %d: %w", n.cfg.ID, len(n.events)-1, err)
+			go n.Close()
+		}
+	}
+}
+
 // Do applies one client operation at this replica, records the do event
 // (with visibility snapshot), and broadcasts any messages the operation
 // made pending. Safe for concurrent use.
 func (n *Node) Do(obj model.ObjectID, op model.Operation) (model.Response, error) {
 	var resp model.Response
-	err := n.inLoop(func() { resp = n.doInLoop(obj, op) })
+	var jerr error
+	err := n.inLoop(func() {
+		resp = n.doInLoop(obj, op)
+		jerr = n.jerr
+	})
+	if err == nil {
+		// A fail-stopping node must not confirm an operation whose event
+		// may never have reached the journal.
+		err = jerr
+	}
 	return resp, err
 }
 
@@ -382,7 +472,7 @@ func (n *Node) doInLoop(obj model.ObjectID, op model.Operation) model.Response {
 	}
 	n.advanceFrontier()
 	ev.Frontier = append([]uint64(nil), n.frontier...)
-	n.events = append(n.events, ev)
+	n.record(ev)
 	n.broadcastPending()
 	return resp
 }
@@ -416,7 +506,7 @@ func (n *Node) broadcastPending() {
 		n.replica.OnSend()
 		n.seq++
 		n.lamport++
-		n.events = append(n.events, Event{
+		n.record(Event{
 			Kind: model.ActSend, Lamport: n.lamport,
 			Origin: n.cfg.ID, Seq: n.seq, Payload: payload,
 		})
@@ -429,10 +519,13 @@ func (n *Node) broadcastPending() {
 }
 
 // applyUpdate delivers one replication frame on the event loop and returns
-// the cumulative applied seq for the update's origin (the ack value).
+// the cumulative applied seq for the update's origin (the ack value) plus
+// whether the ack may be written: false means the journal failed, so the
+// receive event backing this ack may not be durable and acknowledging it
+// would let the sender prune an update the next incarnation never saw.
 // Exactly-once, in-order application falls out of the cumulative counter:
 // duplicates re-ack, gaps wait for retransmission to fill them.
-func (n *Node) applyUpdate(u protoUpdate) uint64 {
+func (n *Node) applyUpdate(u protoUpdate) (uint64, bool) {
 	next := n.delivered[u.Origin] + 1
 	switch {
 	case u.Seq < next:
@@ -448,7 +541,7 @@ func (n *Node) applyUpdate(u protoUpdate) uint64 {
 			n.lamport = u.Lamport
 		}
 		n.lamport++
-		n.events = append(n.events, Event{
+		n.record(Event{
 			Kind: model.ActReceive, Lamport: n.lamport,
 			Origin: u.Origin, Seq: u.Seq,
 			Payload: append([]byte(nil), u.Payload...),
@@ -456,7 +549,7 @@ func (n *Node) applyUpdate(u protoUpdate) uint64 {
 		n.receives.Add(1)
 		n.broadcastPending()
 	}
-	return n.delivered[u.Origin]
+	return n.delivered[u.Origin], n.jerr == nil
 }
 
 // Quiesced reports whether this node has nothing left to say: no pending
@@ -589,6 +682,11 @@ func (n *Node) Close() error {
 		}
 		n.connMu.Unlock()
 		n.wg.Wait()
+		// The event loop has exited: no Append can follow, so the journal
+		// can close (flushing its final state) without racing the loop.
+		if n.closeJournal != nil {
+			n.closeJournal()
+		}
 	})
 	return nil
 }
@@ -673,7 +771,14 @@ func (n *Node) serveReplication(conn net.Conn) {
 			return
 		}
 		var cum uint64
-		if n.inLoop(func() { cum = n.applyUpdate(u) }) != nil {
+		var ackable bool
+		if n.inLoop(func() { cum, ackable = n.applyUpdate(u) }) != nil {
+			return
+		}
+		if !ackable {
+			// Journal failure: the node is fail-stopping and this update's
+			// durability is unknown — drop the connection without acking so
+			// the sender keeps it queued for the next incarnation.
 			return
 		}
 		if !n.writeFrame(conn, encodeAck(cum), n.cfg.MaxFrame) {

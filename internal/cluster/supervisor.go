@@ -17,8 +17,12 @@ var ErrNodeDown = fmt.Errorf("cluster: node is down (crashed by the fault schedu
 // directives to the emulator, and enforces crash/restart directives by
 // stopping a node (capturing its recorded history — the durable log of the
 // fail-stop model) and rejoining it on the same address with
-// Config.Restore. Client traffic routes through Do, which fails fast with
-// ErrNodeDown during a victim's downtime.
+// Config.Restore. When base.Storage is set, the histories instead live on
+// disk: crash closes the incarnation (flushing its journal) and restart
+// recovers from the data directory through the same durable.Open path a
+// kill -9'd served process takes — nothing is handed through memory.
+// Client traffic routes through Do, which fails fast with ErrNodeDown
+// during a victim's downtime.
 type Supervisor struct {
 	base  Config
 	em    *fault.Netem
@@ -204,7 +208,11 @@ func (s *Supervisor) crash(i int) error {
 	// be filled — with two victims down at once the cluster wedged
 	// permanently short of quiescence.
 	nd.Close()
-	s.snapshots[i] = nd.FinalHistory()
+	if s.base.Storage == nil {
+		s.snapshots[i] = nd.FinalHistory()
+	}
+	// Disk-backed mode: Close flushed and closed the journal; restart
+	// recovers from the data directory, exactly like a killed process.
 	return nil
 }
 
@@ -223,8 +231,10 @@ func (s *Supervisor) restart(i int) error {
 	cfg.Listen = s.addrs[i]
 	cfg.Peers = nil
 	cfg.Faults = s.em
-	snap := s.snapshots[i]
-	cfg.Restore = &snap
+	if cfg.Storage == nil {
+		snap := s.snapshots[i]
+		cfg.Restore = &snap
+	}
 
 	var nd *Node
 	var err error

@@ -1,0 +1,473 @@
+// Package durable persists one cluster node's recorded event history to
+// disk, turning the in-memory log that Config.Restore already knows how to
+// replay into a crash-surviving artifact: a served process can be kill -9'd
+// and restarted from its data directory alone.
+//
+// The design is a write-ahead log with periodic snapshot/compaction:
+//
+//   - wal.log is append-only. Each record frames one cluster.Event behind a
+//     4-byte length and a CRC-32C of the payload, and Append fsyncs before
+//     returning. The node invokes Append on its event loop as each
+//     do/send/receive is recorded and BEFORE the update's acknowledgement
+//     (or the client's response) leaves the process, so any event a peer
+//     holds an ack for is durable — the PR 4 crash-window invariant, now
+//     across process death.
+//   - snap.log is a whole-prefix snapshot: once the tail grows past
+//     SnapshotEvery records, the full event sequence so far is rewritten
+//     into a temp file, fsynced, renamed over snap.log, and the wal is
+//     truncated. The rename is atomic, so recovery never sees a torn
+//     snapshot; a crash between rename and truncation only leaves the wal
+//     overlapping the snapshot, which the per-record event index detects
+//     and skips.
+//   - Recovery (Open) loads the snapshot, then scans the wal tail. A torn
+//     or corrupted tail frame — short header, short payload, CRC mismatch,
+//     undecodable event — truncates the file at the last good record and
+//     recovery stops there: the log is a prefix of what the node recorded,
+//     never a fabrication. An index *gap* inside otherwise-valid records is
+//     different: it cannot result from a torn append, so it is reported as
+//     corruption instead of silently skipped.
+//
+// The recovered history is exactly what cluster.Config.Restore replays, so
+// the restart path is the same code the in-process supervisor exercises.
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+const (
+	walName  = "wal.log"
+	snapName = "snap.log"
+	metaName = "meta.json"
+
+	// maxRecord bounds one framed record: larger than any replication
+	// payload the stores produce, small enough that a corrupted length
+	// prefix cannot force an unbounded allocation during recovery.
+	maxRecord = 16 << 20
+)
+
+// castagnoli is the CRC-32C table (the polynomial used by modern storage
+// systems; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrMetaMismatch reports a data directory that belongs to a different
+// node, cluster size, or store than the one opening it — restoring it
+// would replay another replica's history into this one.
+var ErrMetaMismatch = errors.New("durable: data directory belongs to a different node configuration")
+
+// CorruptionError reports damage recovery must not repair by guessing: a
+// torn snapshot (which the atomic rename should make impossible) or an
+// event-index gap between otherwise valid records (which a torn tail
+// cannot produce).
+type CorruptionError struct {
+	File   string
+	Offset int64
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("durable: %s corrupt at offset %d: %s", e.File, e.Offset, e.Reason)
+}
+
+// Meta identifies whose history a data directory holds. It is written on
+// first open and verified on every reopen.
+type Meta struct {
+	Node  model.ReplicaID `json:"node"`
+	N     int             `json:"n"`
+	Store string          `json:"store"`
+}
+
+// Options tune the log.
+type Options struct {
+	// SnapshotEvery is how many wal records accumulate before the log
+	// compacts the whole event sequence into a fresh snapshot and
+	// truncates the wal. Zero means the default (1024); negative disables
+	// compaction.
+	SnapshotEvery int
+	// NoSync skips the per-append fsync (tests that only exercise framing
+	// and recovery logic, not crash safety, run much faster without it).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 1024
+	}
+	return o
+}
+
+// Log is one node's open durable history. Append is called from the node's
+// event loop (one goroutine), but Close can arrive from a different
+// shutdown goroutine, so the mutex serializes them.
+type Log struct {
+	dir  string
+	meta Meta
+	opts Options
+
+	mu       sync.Mutex
+	wal      *os.File
+	events   []cluster.Event // full recovered+appended sequence
+	walCount int             // records currently in the wal tail
+	closed   bool
+}
+
+// Open opens (or initializes) the data directory and recovers the event
+// history it holds. The returned history is nil when the directory holds no
+// events yet (a fresh boot); otherwise it is exactly what
+// cluster.Config.Restore replays. The caller must Close the log after the
+// node has shut down.
+func Open(dir string, meta Meta, opts Options) (*Log, *cluster.History, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	if err := checkMeta(dir, meta); err != nil {
+		return nil, nil, err
+	}
+
+	// Leftover temp files are snapshots whose rename never happened; the
+	// previous snapshot (or none) is still authoritative.
+	removeGlob(filepath.Join(dir, "*.tmp"))
+
+	events, err := readSnapshot(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, nil, err
+	}
+	snapCount := len(events)
+	events, err = recoverWal(filepath.Join(dir, walName), events)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	l := &Log{dir: dir, meta: meta, opts: opts, wal: wal, events: events}
+	// The surviving tail record count drives compaction: everything beyond
+	// the snapshot prefix (a post-crash overlap only makes the next
+	// compaction run sooner — harmless).
+	l.walCount = len(events) - snapCount
+
+	var hist *cluster.History
+	if len(events) > 0 {
+		hist = &cluster.History{
+			Node: meta.Node, N: meta.N, Store: meta.Store,
+			Events: append([]cluster.Event(nil), events...),
+		}
+	}
+	return l, hist, nil
+}
+
+// Len returns the number of events currently in the log.
+func (l *Log) Len() int { return len(l.events) }
+
+// Append persists one event: frame, write, fsync. It must complete before
+// the event's effects are acknowledged to any peer or client — the node's
+// event loop guarantees that by journaling at record time. An error means
+// the event may not be durable; the node fail-stops on it.
+func (l *Log) Append(ev cluster.Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("durable: append to closed log")
+	}
+	rec, err := encodeRecord(uint64(len(l.events)), ev)
+	if err != nil {
+		return err
+	}
+	if _, err := l.wal.Write(rec); err != nil {
+		return fmt.Errorf("durable: wal append: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.wal.Sync(); err != nil {
+			return fmt.Errorf("durable: wal sync: %w", err)
+		}
+	}
+	l.events = append(l.events, ev)
+	l.walCount++
+	if l.opts.SnapshotEvery > 0 && l.walCount >= l.opts.SnapshotEvery {
+		if err := l.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact rewrites the full event sequence into a fresh snapshot and
+// truncates the wal. Ordering is what makes a crash at any point safe:
+// the snapshot becomes durable (tmp + fsync + rename + dir fsync) before
+// the wal shrinks, so the union of snapshot and wal always covers every
+// appended event; overlap is resolved by record index at recovery.
+func (l *Log) compact() error {
+	tmp := filepath.Join(l.dir, snapName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	for i, ev := range l.events {
+		rec, err := encodeRecord(uint64(i), ev)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("durable: snapshot write: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName)); err != nil {
+		return fmt.Errorf("durable: snapshot rename: %w", err)
+	}
+	syncDir(l.dir)
+	if err := l.wal.Truncate(0); err != nil {
+		return fmt.Errorf("durable: wal truncate: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.wal.Sync(); err != nil {
+			return fmt.Errorf("durable: wal sync: %w", err)
+		}
+	}
+	l.walCount = 0
+	return nil
+}
+
+// Close syncs and closes the wal. Call after the node has shut down (no
+// Appends can arrive once the event loop has exited).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.wal.Sync(); err != nil {
+		l.wal.Close()
+		return fmt.Errorf("durable: close sync: %w", err)
+	}
+	return l.wal.Close()
+}
+
+// checkMeta verifies (or initializes) the directory's identity file.
+func checkMeta(dir string, meta Meta) error {
+	path := filepath.Join(dir, metaName)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var have Meta
+		if err := json.Unmarshal(data, &have); err != nil {
+			return &CorruptionError{File: metaName, Reason: err.Error()}
+		}
+		if have != meta {
+			return fmt.Errorf("%w: directory holds r%d/%d/%s, node is r%d/%d/%s",
+				ErrMetaMismatch, have.Node, have.N, have.Store, meta.Node, meta.N, meta.Store)
+		}
+		return nil
+	case os.IsNotExist(err):
+		data, err := json.Marshal(meta)
+		if err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+		syncDir(dir)
+		return nil
+	default:
+		return fmt.Errorf("durable: %w", err)
+	}
+}
+
+// encodeRecord frames one event: length | crc32c | payload, where the
+// payload is (uvarint index, length-prefixed event JSON). JSON matches how
+// histories already travel (the admin endpoint and the history frame), so
+// the on-disk log is debuggable with standard tools.
+func encodeRecord(index uint64, ev cluster.Event) ([]byte, error) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return nil, fmt.Errorf("durable: encode event: %w", err)
+	}
+	w := wire.NewWriter()
+	w.Uvarint(index)
+	w.String(string(data))
+	payload := w.Bytes()
+	if len(payload) > maxRecord {
+		return nil, fmt.Errorf("durable: record of %d bytes exceeds limit %d", len(payload), maxRecord)
+	}
+	rec := make([]byte, 8+len(payload))
+	be32(rec[0:4], uint32(len(payload)))
+	be32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	copy(rec[8:], payload)
+	return rec, nil
+}
+
+func be32(b []byte, x uint32) {
+	b[0], b[1], b[2], b[3] = byte(x>>24), byte(x>>16), byte(x>>8), byte(x)
+}
+
+func rd32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// readRecord reads one framed record from r. It returns io.EOF at a clean
+// record boundary and errTorn for every way a tail can be damaged.
+var errTorn = errors.New("durable: torn record")
+
+func readRecord(r io.Reader) (index uint64, ev cluster.Event, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, ev, io.EOF
+		}
+		return 0, ev, errTorn // short header
+	}
+	size := rd32(hdr[0:4])
+	if size > maxRecord {
+		return 0, ev, errTorn // implausible length (corrupted prefix)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, ev, errTorn // short payload
+	}
+	if crc32.Checksum(payload, castagnoli) != rd32(hdr[4:8]) {
+		return 0, ev, errTorn // bit rot or a torn overwrite
+	}
+	rd := wire.NewReader(payload)
+	index = rd.Uvarint()
+	data := rd.String()
+	if rd.Err() != nil || rd.Remaining() != 0 {
+		return 0, ev, errTorn
+	}
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		return 0, ev, errTorn
+	}
+	return index, ev, nil
+}
+
+// readSnapshot loads snap.log, whose records must be the contiguous event
+// prefix 0..k-1. Snapshots are written atomically, so any damage here is
+// real corruption, not a torn tail — it fails loudly rather than truncating
+// away events the wal can no longer supply.
+func readSnapshot(path string) ([]cluster.Event, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	defer f.Close()
+	var events []cluster.Event
+	var off int64
+	for {
+		index, ev, err := readRecord(f)
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, &CorruptionError{File: snapName, Offset: off, Reason: "unreadable record in atomically-written snapshot"}
+		}
+		if index != uint64(len(events)) {
+			return nil, &CorruptionError{File: snapName, Offset: off, Reason: fmt.Sprintf("record index %d, want %d", index, len(events))}
+		}
+		events = append(events, ev)
+		off = currentOffset(f, off)
+	}
+}
+
+// recoverWal scans the wal tail after the snapshot prefix. Records whose
+// index precedes len(events) are overlap from a crash between snapshot
+// rename and wal truncation: skipped after verifying they are not from the
+// future. The first torn record truncates the file at the last good
+// boundary and ends recovery — a torn tail yields a prefix, never an
+// invention. A clean record whose index jumps past the expected next event
+// is corruption (an append can tear, it cannot skip), reported as such.
+func recoverWal(path string, events []cluster.Event) ([]cluster.Event, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		return events, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	defer f.Close()
+	var good int64 // offset of the last fully-valid record boundary
+	for {
+		index, ev, err := readRecord(f)
+		if err == io.EOF {
+			return events, nil
+		}
+		if errors.Is(err, errTorn) {
+			if err := f.Truncate(good); err != nil {
+				return nil, fmt.Errorf("durable: truncate torn tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				return nil, fmt.Errorf("durable: sync truncated wal: %w", err)
+			}
+			return events, nil
+		}
+		switch {
+		case index < uint64(len(events)):
+			// Overlap with the snapshot; the snapshot copy is authoritative.
+		case index == uint64(len(events)):
+			events = append(events, ev)
+		default:
+			return nil, &CorruptionError{File: walName, Offset: good,
+				Reason: fmt.Sprintf("record index %d skips past %d (gap cannot come from a torn append)", index, len(events))}
+		}
+		good = currentOffset(f, good)
+	}
+}
+
+// currentOffset returns f's read offset, falling back to prev on error (a
+// seek on a regular file we just read from cannot realistically fail).
+func currentOffset(f *os.File, prev int64) int64 {
+	off, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return prev
+	}
+	return off
+}
+
+// syncDir fsyncs a directory so renames and creations within it are
+// durable. Errors are ignored: some filesystems refuse directory fsync, and
+// the worst case is the pre-rename state — which recovery handles.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// removeGlob deletes files matching the pattern, ignoring errors.
+func removeGlob(pattern string) {
+	matches, _ := filepath.Glob(pattern)
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}

@@ -1,0 +1,484 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+
+	_ "repro/internal/store/causal"
+)
+
+// sampleEvents synthesizes a plausible mixed history: do, send, and receive
+// events with the field shapes real nodes record.
+func sampleEvents(n int) []cluster.Event {
+	evs := make([]cluster.Event, 0, n)
+	lamport := uint64(0)
+	seq := uint64(0)
+	for i := 0; i < n; i++ {
+		lamport++
+		switch i % 3 {
+		case 0:
+			evs = append(evs, cluster.Event{
+				Kind: model.ActDo, Lamport: lamport,
+				Object: "x", Op: model.Write(model.Value(fmt.Sprintf("v%d", i))),
+				Rval:     model.OKResponse(),
+				Dot:      model.Dot{Origin: 0, Seq: seq + 1},
+				Frontier: []uint64{seq, 0, 0},
+			})
+		case 1:
+			seq++
+			evs = append(evs, cluster.Event{
+				Kind: model.ActSend, Lamport: lamport,
+				Origin: 0, Seq: seq, Payload: []byte(fmt.Sprintf("payload-%d", i)),
+			})
+		default:
+			evs = append(evs, cluster.Event{
+				Kind: model.ActReceive, Lamport: lamport,
+				Origin: 1, Seq: uint64(i/3 + 1), Payload: []byte(fmt.Sprintf("remote-%d", i)),
+			})
+		}
+	}
+	return evs
+}
+
+// eventsEqual compares event sequences through their JSON form (the codec
+// the log itself uses), so nil-vs-empty slice normalization cannot produce
+// false mismatches.
+func eventsEqual(t *testing.T, got, want []cluster.Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, _ := json.Marshal(got[i])
+		w, _ := json.Marshal(want[i])
+		if string(g) != string(w) {
+			t.Fatalf("event %d differs:\n got %s\nwant %s", i, g, w)
+		}
+	}
+}
+
+func testMeta() Meta { return Meta{Node: 0, N: 3, Store: "causal"} }
+
+func writeLog(t *testing.T, dir string, events []cluster.Event, opts Options) {
+	t.Helper()
+	l, hist, err := Open(dir, testMeta(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist != nil {
+		t.Fatalf("fresh dir recovered %d events", len(hist.Events))
+	}
+	for _, ev := range events {
+		if err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents(20)
+	writeLog(t, dir, events, Options{})
+
+	l, hist, err := Open(dir, testMeta(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if hist == nil {
+		t.Fatal("no history recovered")
+	}
+	if hist.Node != 0 || hist.N != 3 || hist.Store != "causal" {
+		t.Fatalf("history meta = %+v", hist)
+	}
+	eventsEqual(t, hist.Events, events)
+
+	// The log keeps appending where recovery left off.
+	extra := sampleEvents(23)[20:]
+	for _, ev := range extra {
+		if err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, hist2, err := Open(dir, testMeta(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventsEqual(t, hist2.Events, append(append([]cluster.Event(nil), events...), extra...))
+}
+
+func TestMetaMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, sampleEvents(3), Options{NoSync: true})
+	for _, wrong := range []Meta{
+		{Node: 1, N: 3, Store: "causal"},
+		{Node: 0, N: 4, Store: "causal"},
+		{Node: 0, N: 3, Store: "lww"},
+	} {
+		if _, _, err := Open(dir, wrong, Options{}); !errors.Is(err, ErrMetaMismatch) {
+			t.Fatalf("meta %+v: err = %v, want ErrMetaMismatch", wrong, err)
+		}
+	}
+}
+
+// TestTornTailTruncatesToPrefix is the torn-write regression sweep: cutting
+// the wal at EVERY byte offset inside its last few records must recover a
+// clean prefix of the original history — never a fabricated or reordered
+// event — and must leave the file re-openable and appendable.
+func TestTornTailTruncatesToPrefix(t *testing.T) {
+	master := t.TempDir()
+	events := sampleEvents(12)
+	writeLog(t, master, events, Options{NoSync: true})
+	walBytes, err := os.ReadFile(filepath.Join(master, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record boundaries, so cut offsets can be classified.
+	boundaries := []int{0}
+	for off := 0; off < len(walBytes); {
+		size := int(rd32(walBytes[off : off+4]))
+		off += 8 + size
+		boundaries = append(boundaries, off)
+	}
+	if boundaries[len(boundaries)-1] != len(walBytes) {
+		t.Fatalf("frame walk ended at %d, file is %d", boundaries[len(boundaries)-1], len(walBytes))
+	}
+	prefixAt := func(cut int) int {
+		n := 0
+		for i := 1; i < len(boundaries); i++ {
+			if boundaries[i] <= cut {
+				n = i
+			}
+		}
+		return n
+	}
+
+	start := boundaries[len(boundaries)-4] // sweep the last three records
+	for cut := start; cut < len(walBytes); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walName), walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, hist, err := Open(dir, testMeta(), Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		want := events[:prefixAt(cut)]
+		var got []cluster.Event
+		if hist != nil {
+			got = hist.Events
+		}
+		eventsEqual(t, got, want)
+
+		// Appending after recovery must continue the sequence...
+		if err := l.Append(events[len(want)]); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// ...and a second recovery sees it (truncation was physical).
+		l2, hist2, err := Open(dir, testMeta(), Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut at %d: reopen: %v", cut, err)
+		}
+		eventsEqual(t, hist2.Events, events[:len(want)+1])
+		l2.Close()
+	}
+}
+
+// TestCorruptTailBitFlip flips single bytes in the last record (header,
+// CRC, payload) and requires recovery to drop the damaged suffix, keeping
+// the intact prefix.
+func TestCorruptTailBitFlip(t *testing.T) {
+	master := t.TempDir()
+	events := sampleEvents(8)
+	writeLog(t, master, events, Options{NoSync: true})
+	walBytes, err := os.ReadFile(filepath.Join(master, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := []int{0}
+	for off := 0; off < len(walBytes); {
+		size := int(rd32(walBytes[off : off+4]))
+		off += 8 + size
+		boundaries = append(boundaries, off)
+	}
+	lastStart := boundaries[len(boundaries)-2]
+	for _, flip := range []int{lastStart, lastStart + 4, lastStart + 8, len(walBytes) - 1} {
+		dir := t.TempDir()
+		corrupt := append([]byte(nil), walBytes...)
+		corrupt[flip] ^= 0xff
+		if err := os.WriteFile(filepath.Join(dir, walName), corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, hist, err := Open(dir, testMeta(), Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("flip at %d: %v", flip, err)
+		}
+		eventsEqual(t, hist.Events, events[:len(events)-1])
+	}
+}
+
+// TestIndexGapIsCorruption: a wal whose valid records skip an index cannot
+// result from a torn append, so recovery must refuse instead of silently
+// bridging the gap.
+func TestIndexGapIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents(3)
+	var walBytes []byte
+	for i, ev := range events {
+		idx := uint64(i)
+		if i == 2 {
+			idx = 5 // gap: 0, 1, 5
+		}
+		rec, err := encodeRecord(idx, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walBytes = append(walBytes, rec...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptionError
+	if _, _, err := Open(dir, testMeta(), Options{}); !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptionError", err)
+	}
+}
+
+// TestSnapshotCompaction drives the log past SnapshotEvery and checks that
+// the wal shrank, the snapshot took over, and recovery still returns the
+// complete history.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents(30)
+	writeLog(t, dir, events, Options{SnapshotEvery: 8, NoSync: true})
+
+	snapInfo, err := os.Stat(filepath.Join(dir, snapName))
+	if err != nil {
+		t.Fatalf("no snapshot after 30 appends at SnapshotEvery=8: %v", err)
+	}
+	if snapInfo.Size() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	walInfo, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walInfo.Size() >= snapInfo.Size() {
+		t.Fatalf("wal (%d bytes) not compacted below snapshot (%d bytes)", walInfo.Size(), snapInfo.Size())
+	}
+	_, hist, err := Open(dir, testMeta(), Options{SnapshotEvery: 8, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventsEqual(t, hist.Events, events)
+}
+
+// TestSnapshotWalOverlapRecovers simulates a crash between the snapshot
+// rename and the wal truncation: the wal still holds records the snapshot
+// already covers. Recovery must skip the overlap by index, not duplicate.
+func TestSnapshotWalOverlapRecovers(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents(10)
+	writeLog(t, dir, events, Options{SnapshotEvery: -1, NoSync: true}) // wal holds 0..9, no snapshot
+
+	// Hand-write a snapshot covering the prefix 0..5, leaving the wal
+	// overlapping it — byte-for-byte the post-crash state.
+	var snap []byte
+	for i, ev := range events[:6] {
+		rec, err := encodeRecord(uint64(i), ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap = append(snap, rec...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, hist, err := Open(dir, testMeta(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventsEqual(t, hist.Events, events)
+}
+
+// TestTornSnapshotIsCorruption: snapshots are written atomically, so a torn
+// snapshot means real corruption — recovery must fail loudly rather than
+// truncate away events the wal can no longer supply.
+func TestTornSnapshotIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents(6)
+	var snap []byte
+	for i, ev := range events {
+		rec, err := encodeRecord(uint64(i), ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap = append(snap, rec...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName), snap[:len(snap)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptionError
+	if _, _, err := Open(dir, testMeta(), Options{}); !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptionError", err)
+	}
+}
+
+// TestLeftoverTmpSnapshotIgnored: a crash mid-snapshot leaves snap.log.tmp;
+// recovery must ignore and remove it, trusting wal + previous snapshot.
+func TestLeftoverTmpSnapshotIgnored(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents(5)
+	writeLog(t, dir, events, Options{NoSync: true})
+	tmp := filepath.Join(dir, snapName+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, hist, err := Open(dir, testMeta(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventsEqual(t, hist.Events, events)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("leftover tmp snapshot not removed")
+	}
+}
+
+// TestDiskBackedSupervisorAuditsClean is the tentpole's supervisor half: a
+// chaos schedule with crash/restart directives runs against a cluster whose
+// histories live on disk (cluster.Config.Storage), so every crash closes a
+// journal and every restart recovers through durable.Open — the same code
+// path a kill -9'd served process takes. The run must quiesce, converge,
+// and audit clean, and the recovered incarnations' journals must hold the
+// full merged history.
+func TestDiskBackedSupervisorAuditsClean(t *testing.T) {
+	st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	dataDir := t.TempDir()
+	em := fault.NewNetem(n)
+	base := cluster.Config{
+		Store: st, Seed: 17,
+		Storage:        &Storage{Dir: dataDir, Opts: Options{SnapshotEvery: 64}},
+		DialTimeout:    time.Second,
+		DialBackoffMin: 5 * time.Millisecond,
+		DialBackoffMax: 100 * time.Millisecond,
+		RetransmitMin:  25 * time.Millisecond,
+		RetransmitMax:  250 * time.Millisecond,
+	}
+	sup, err := cluster.NewSupervisor(base, n, em, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	sched := fault.Generate(fault.Config{Seed: 17, N: n, Steps: 80, Partitions: 1, Crashes: 2, LinkFaults: 2})
+	objects := []model.ObjectID{"x", "y", "z"}
+
+	var wg sync.WaitGroup
+	schedErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		schedErr <- sup.RunSchedule(sched)
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 60; i++ {
+				obj := objects[rng.Intn(len(objects))]
+				op := model.Read()
+				if rng.Intn(2) == 0 {
+					op = model.Write(model.Value(fmt.Sprintf("w%d.%d", w, i)))
+				}
+				_, _ = sup.Do(w%n, obj, op) // downtime errors expected
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := <-schedErr; err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	crashes, restarts := sup.Crashes()
+	if crashes == 0 || crashes != restarts {
+		t.Fatalf("crashes/restarts = %d/%d; schedule did not exercise disk recovery", crashes, restarts)
+	}
+
+	live := sup.Nodes()
+	if len(live) != n {
+		t.Fatalf("%d nodes live, want %d", len(live), n)
+	}
+	if !cluster.WaitQuiesced(live, 30*time.Second) {
+		t.Fatal("disk-backed cluster did not quiesce after the schedule")
+	}
+	doers := make([]cluster.Doer, n)
+	for i := 0; i < n; i++ {
+		doers[i] = sup.Doer(i)
+	}
+	if err := cluster.CheckConverged(doers, objects); err != nil {
+		t.Fatal(err)
+	}
+	hists, err := sup.Histories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := cluster.BuildAudit(hists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Exec.CheckWellFormed(); err != nil {
+		t.Fatalf("merged execution not well-formed: %v", err)
+	}
+	if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
+		t.Fatalf("derived abstract execution not causal: %v", err)
+	}
+	for _, nd := range live {
+		if v := nd.Violations(); len(v) != 0 {
+			t.Fatalf("r%d property violations: %v", nd.ID(), v)
+		}
+	}
+
+	// Every node's on-disk log must hold exactly its in-memory history —
+	// the journal IS the history, not a lossy shadow of it.
+	sup.Close()
+	for i := 0; i < n; i++ {
+		_, hist, err := Open(filepath.Join(dataDir, fmt.Sprintf("node%d", i)),
+			Meta{Node: model.ReplicaID(i), N: n, Store: "causal"}, Options{})
+		if err != nil {
+			t.Fatalf("reopen node%d: %v", i, err)
+		}
+		if hist == nil {
+			t.Fatalf("node%d journal is empty", i)
+		}
+		eventsEqual(t, hist.Events, hists[i].Events)
+	}
+}

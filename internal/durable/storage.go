@@ -1,0 +1,33 @@
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+// Storage roots one durable log per node under Dir (node<i>/ subdirectories)
+// and plugs into cluster.Config.Storage, so a Supervisor's crash/restart
+// directives exercise the same journal-and-recover code path a kill -9'd
+// served process takes: crash closes the incarnation's log with the node,
+// restart recovers the history from disk instead of from memory.
+type Storage struct {
+	Dir  string
+	Opts Options
+}
+
+var _ cluster.NodeStorage = (*Storage)(nil)
+
+// Open implements cluster.NodeStorage: it opens node id's log under Dir,
+// returning its append callback, any recovered history, and the close hook
+// the node runs after its event loop has exited.
+func (s *Storage) Open(id model.ReplicaID, n int, storeName string) (func(cluster.Event) error, *cluster.History, func() error, error) {
+	dir := filepath.Join(s.Dir, fmt.Sprintf("node%d", id))
+	l, hist, err := Open(dir, Meta{Node: id, N: n, Store: storeName}, s.Opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return l.Append, hist, l.Close, nil
+}
