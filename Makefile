@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench figures json fuzz chaos chaos-search durability ci
+.PHONY: build test verify bench figures json wirebench fuzz chaos chaos-search durability ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,13 @@ json:
 	$(GO) run ./cmd/msgbound -sweep grid -seed 1 -parallel 1 -json > BENCH_MSGBOUND.json
 	$(GO) run ./cmd/chaoshunt -store causal -seed 1 -budget 48 -objective all -parallel 1 -json > BENCH_CHAOS.json
 	$(GO) run ./cmd/chaoshunt -store gsp -seed 1 -budget 48 -objective all -parallel 1 -json >> BENCH_CHAOS.json
+	$(GO) run ./cmd/loadgen -wirebench -store causal -seed 1 -ops 200 -json > BENCH_WIRE.json
+
+# Human-readable wire-codec comparison: the deterministic encode-path table
+# (what BENCH_WIRE.json tracks) plus a live loopback TCP run of both codecs
+# with wall-clock throughput and latency.
+wirebench:
+	$(GO) run ./cmd/loadgen -wirebench -store causal -seed 1 -ops 200
 
 # Brief coverage-guided runs of every fuzz target (decoders and replica
 # Receive paths), on top of the checked-in seed corpora the ordinary test
@@ -37,6 +44,8 @@ fuzz:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzReader -fuzztime 10s
 	$(GO) test ./internal/abstract -run '^$$' -fuzz FuzzUnmarshalExecution -fuzztime 10s
 	$(GO) test ./internal/durable -run '^$$' -fuzz FuzzRecoverTail -fuzztime 10s
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzDecodeBatch -fuzztime 10s
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzDecodeEventBinary -fuzztime 10s
 
 # The durability battery: the on-disk journal's torn-tail/compaction
 # regression suite, the disk-backed supervisor and chaos runs, and the
@@ -67,4 +76,4 @@ chaos-search:
 # regenerate the tracked JSON artifacts and fail if they drifted from what
 # the commit claims.
 ci: verify chaos chaos-search durability json
-	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json
+	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json BENCH_WIRE.json

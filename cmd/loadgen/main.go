@@ -54,7 +54,29 @@ func main() {
 	storeName := cli.StoreFlag(flag.CommandLine, "causal")
 	chaosNodes := flag.Int("chaos-nodes", 3, "cluster size for -chaos runs")
 	chaosDataDir := flag.String("chaos-data-dir", "", "journal -chaos node histories to this directory; crash/restart directives then recover from disk (in-memory if empty)")
+	wirebench := flag.Bool("wirebench", false, "measure wire-codec costs: deterministic encode-path table (bytes/op, frames, allocs/op) for the JSON fallback vs the binary+batch codec; human mode adds a live TCP comparison")
+	wireBatch := flag.Int("wire-batch", 64, "tBatch coalescing cap for the -wirebench binary rows")
+	wireCodec := flag.String("wire-codec", "", "codec for structured replies in the live-cluster mode (json, binary; default binary)")
 	flag.Parse()
+
+	if *wirebench {
+		wcfg := wirebenchConfig{
+			store:          *storeName,
+			ops:            *ops,
+			batch:          *wireBatch,
+			seed:           *seed,
+			clients:        *clients,
+			objects:        *objects,
+			mutate:         *mutate,
+			quiesceTimeout: *quiesceTimeout,
+			jsonOut:        *jsonOut,
+		}
+		if err := runWirebench(os.Stdout, wcfg); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaos {
 		ccfg := chaosConfig{
@@ -86,6 +108,7 @@ func main() {
 		audit:          *audit,
 		quiesceTimeout: *quiesceTimeout,
 		jsonOut:        *jsonOut,
+		wireCodec:      *wireCodec,
 	}
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -103,6 +126,7 @@ type config struct {
 	audit          bool
 	quiesceTimeout time.Duration
 	jsonOut        bool
+	wireCodec      string
 }
 
 func run(w io.Writer, cfg config) error {
@@ -123,6 +147,11 @@ func run(w io.Writer, cfg config) error {
 			return err
 		}
 		defer c.Close()
+		if cfg.wireCodec != "" {
+			if err := c.SetCodec(cfg.wireCodec); err != nil {
+				return err
+			}
+		}
 		control[i] = c
 	}
 

@@ -54,6 +54,7 @@ func main() {
 	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP listen address serving /healthz, /metrics, /history (disabled if empty)")
 	flag.IntVar(&cfg.k, "k", 2, "K for the kbuffer store")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for the durable event journal (journaling disabled if empty)")
+	flag.StringVar(&cfg.wireCodec, "wire-codec", "", "preferred wire codec for replication links and the journal (json, binary; default: the store's own preference)")
 	flag.Parse()
 	cfg.store = *storeName
 
@@ -73,6 +74,7 @@ type serveConfig struct {
 	admin     string
 	k         int
 	dataDir   string
+	wireCodec string
 }
 
 // parsePeers parses "1=:7001,2=host:7002" into a peer address map. self is
@@ -123,11 +125,12 @@ func run(cfg serveConfig) error {
 		Store:  st,
 		Listen: cfg.listen,
 		Peers:  peers,
+		Codec:  cfg.wireCodec,
 	}
 	if cfg.dataDir != "" {
 		jl, hist, err := durable.Open(cfg.dataDir,
 			durable.Meta{Node: model.ReplicaID(cfg.id), N: n, Store: st.Name()},
-			durable.Options{})
+			durable.Options{Codec: cfg.wireCodec})
 		if err != nil {
 			return fmt.Errorf("open journal: %w", err)
 		}

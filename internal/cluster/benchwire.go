@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// This file is the deterministic measurement surface behind cmd/loadgen
+// -wirebench. The interesting numbers of the codec work — wire bytes per
+// operation, frames per operation, allocations per operation — are pure
+// functions of the encoded workload, so they are measured here on the
+// encode paths alone, with no sockets or timers involved: the tracked
+// BENCH_WIRE.json must be byte-identical across runs of the same flags and
+// seed, which live TCP dynamics (retransmission timing, batching windows)
+// can never promise. Throughput and latency stay wall-clock measurements in
+// loadgen's live modes.
+
+// BenchUpdates is a fixed sequence of synthetic updates for wire-path
+// benchmarking: the same payloads pushed through both encode paths a
+// replication link can take.
+type BenchUpdates []protoUpdate
+
+// NewBenchUpdates wraps broadcast payloads as origin-0 updates with
+// consecutive sequence numbers, the shape a node's own broadcasts have on
+// its links.
+func NewBenchUpdates(payloads [][]byte) BenchUpdates {
+	us := make(BenchUpdates, len(payloads))
+	for i, p := range payloads {
+		us[i] = protoUpdate{
+			Origin: model.ReplicaID(0), Seq: uint64(i + 1),
+			Lamport: uint64(i + 1), Payload: p,
+		}
+	}
+	return us
+}
+
+// EncodeV1 runs the pre-negotiation fallback path: one tUpdate frame per
+// update, a fresh writer and payload slice per frame — byte-for-byte what a
+// JSON-codec connection writes, allocation-for-allocation what the code
+// before writer pooling did. Returns total wire bytes (headers included)
+// and frames.
+func (us BenchUpdates) EncodeV1() (bytes, frames int64) {
+	for _, u := range us {
+		b := encodeUpdate(u)
+		bytes += int64(len(b) + 4) // + frame header
+		frames++
+	}
+	return bytes, frames
+}
+
+// EncodeBatched runs the negotiated binary path: tBatch frames of up to
+// batch updates built in one pooled writer with the frame header patched in
+// place — byte-for-byte what a binary connection writes after its hello
+// ack, including the single-update tUpdate degenerate case.
+func (us BenchUpdates) EncodeBatched(batch int) (bytes, frames int64) {
+	if batch < 1 {
+		batch = 1
+	}
+	enc := wire.GetWriter()
+	defer wire.PutWriter(enc)
+	for off := 0; off < len(us); {
+		end := off + batch
+		if end > len(us) {
+			end = len(us)
+		}
+		enc.Reset()
+		enc.BeginFrame()
+		if end-off == 1 {
+			appendUpdate(enc, us[off])
+		} else {
+			appendBatch(enc, us[off].Origin, us[off:end])
+		}
+		frame, err := enc.EndFrame(historyMaxFrame)
+		if err != nil {
+			return bytes, frames // unreachable for sane payloads
+		}
+		bytes += int64(len(frame))
+		frames++
+		off = end
+	}
+	return bytes, frames
+}

@@ -15,11 +15,17 @@ import (
 // history downloads over a single connection. Safe for concurrent use (the
 // protocol is strict request/response, so calls serialize on a mutex —
 // loadgen opens one Client per simulated client).
+//
+// Structured requests (Stats, History) carry the client's codec preference;
+// the node answers binary when both sides prefer it and JSON otherwise, and
+// the client accepts either reply form regardless of what it asked for — so
+// one client binary works against nodes of both protocol versions.
 type Client struct {
 	mu       sync.Mutex
 	conn     net.Conn
 	maxFrame int
 	nextReq  uint64
+	codec    wire.CodecID
 }
 
 // Dial connects a client to a node.
@@ -31,7 +37,21 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, maxFrame: wire.DefaultMaxFrame}, nil
+	return &Client{conn: conn, maxFrame: wire.DefaultMaxFrame, codec: wire.CodecBinary}, nil
+}
+
+// SetCodec sets the codec the client asks structured replies in. The
+// default is binary; "json" pins the v1 fallback (useful against old nodes
+// in tests, and for humans reading packet captures).
+func (c *Client) SetCodec(name string) error {
+	codec, ok := wire.CodecByName(name)
+	if !ok {
+		return fmt.Errorf("cluster: unknown wire codec %q (have %v)", name, wire.CodecNames())
+	}
+	c.mu.Lock()
+	c.codec = codec.ID()
+	c.mu.Unlock()
+	return nil
 }
 
 // Close closes the connection.
@@ -41,21 +61,27 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// roundTrip writes one frame and reads one reply of the expected type,
-// returning the reply's reader positioned after the type tag.
-func (c *Client) roundTrip(req []byte, wantType uint64, replyMax int) (*wire.Reader, error) {
+// roundTrip writes one frame and reads one reply whose type is in want,
+// returning the reply's reader positioned after the type tag plus the type
+// it got.
+func (c *Client) roundTrip(req []byte, replyMax int, want ...uint64) (*wire.Reader, uint64, error) {
 	if _, err := wire.WriteFrame(c.conn, req, c.maxFrame); err != nil {
-		return nil, fmt.Errorf("cluster: client write: %w", err)
+		return nil, 0, fmt.Errorf("cluster: client write: %w", err)
 	}
 	b, err := wire.ReadFrame(c.conn, replyMax)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: client read: %w", err)
+		return nil, 0, fmt.Errorf("cluster: client read: %w", err)
 	}
 	r := wire.NewReader(b)
-	if typ := r.Uvarint(); r.Err() != nil || typ != wantType {
-		return nil, fmt.Errorf("cluster: unexpected reply frame type %d (want %d)", r.Uvarint(), wantType)
+	typ := r.Uvarint()
+	if r.Err() == nil {
+		for _, w := range want {
+			if typ == w {
+				return r, typ, nil
+			}
+		}
 	}
-	return r, nil
+	return nil, 0, fmt.Errorf("cluster: unexpected reply frame type %d (want %v)", typ, want)
 }
 
 // Do performs one operation at the node and returns its response.
@@ -64,7 +90,7 @@ func (c *Client) Do(obj model.ObjectID, op model.Operation) (model.Response, err
 	defer c.mu.Unlock()
 	c.nextReq++
 	id := c.nextReq
-	r, err := c.roundTrip(encodeRequest(id, obj, op), tResponse, c.maxFrame)
+	r, _, err := c.roundTrip(encodeRequest(id, obj, op), c.maxFrame, tResponse)
 	if err != nil {
 		return model.Response{}, err
 	}
@@ -82,9 +108,16 @@ func (c *Client) Do(obj model.ObjectID, op model.Operation) (model.Response, err
 func (c *Client) Stats() (Stats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, err := c.roundTrip(encodeEmpty(tStats), tStatsResp, c.maxFrame)
+	r, typ, err := c.roundTrip(encodeStructuredReq(tStats, c.codec), c.maxFrame, tStatsResp, tStatsRespB)
 	if err != nil {
 		return Stats{}, err
+	}
+	if typ == tStatsRespB {
+		s, err := decodeStats(r)
+		if err != nil {
+			return Stats{}, fmt.Errorf("cluster: bad stats frame: %w", err)
+		}
+		return s, nil
 	}
 	var s Stats
 	data := r.String()
@@ -101,9 +134,16 @@ func (c *Client) Stats() (Stats, error) {
 func (c *Client) History() (History, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, err := c.roundTrip(encodeEmpty(tHistory), tHistoryResp, historyMaxFrame)
+	r, typ, err := c.roundTrip(encodeStructuredReq(tHistory, c.codec), historyMaxFrame, tHistoryResp, tHistoryRespB)
 	if err != nil {
 		return History{}, err
+	}
+	if typ == tHistoryRespB {
+		h, err := decodeHistory(r)
+		if err != nil {
+			return History{}, fmt.Errorf("cluster: bad history frame: %w", err)
+		}
+		return h, nil
 	}
 	var h History
 	data := r.String()

@@ -92,6 +92,18 @@ type Config struct {
 	// Observer methods are nil-safe, so the field is threaded unguarded.
 	Observer *fault.Observer
 
+	// Codec names this node's preferred wire codec ("json", "binary").
+	// Empty means the store's own preference: stores implementing
+	// store.PayloadCodec get the compact binary codec, the rest the JSON
+	// fallback. The preference is an upper bound, not a demand — each
+	// replication connection negotiates down to what both ends speak via
+	// the hello exchange, so a cluster mixing codecs still interoperates.
+	Codec string
+	// BatchMax caps how many queued updates coalesce into one tBatch frame
+	// on a binary-codec connection (default 64; negative disables batching
+	// so every update travels as its own frame even on binary links).
+	BatchMax int
+
 	// MaxFrame bounds replication and request frames (wire.DefaultMaxFrame
 	// if zero); history transfers use the larger historyMaxFrame.
 	MaxFrame int
@@ -119,6 +131,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxFrame == 0 {
 		c.MaxFrame = wire.DefaultMaxFrame
 	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 64
+	}
 	def := func(d *time.Duration, v time.Duration) {
 		if *d == 0 {
 			*d = v
@@ -142,11 +157,13 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	Node        model.ReplicaID `json:"node"`
 	Store       string          `json:"store"`
+	Codec       string          `json:"codec,omitempty"`
 	Ops         int64           `json:"ops"`
 	Sends       int64           `json:"sends"`
 	Receives    int64           `json:"receives"`
 	Events      int64           `json:"events"`
 	BytesOut    int64           `json:"bytes_out"`
+	FramesOut   int64           `json:"frames_out,omitempty"`
 	Retransmits int64           `json:"retransmits"`
 	Reconnects  int64           `json:"reconnects"`
 	DupFrames   int64           `json:"dup_frames"`
@@ -161,6 +178,10 @@ type Node struct {
 	replica store.Replica
 	checker *store.PropertyChecker
 	ln      net.Listener
+	// codec is this node's resolved codec preference (cfg.Codec, else the
+	// store's own declaration via store.PayloadCodec). Connections negotiate
+	// down from it, never up.
+	codec wire.Codec
 
 	calls chan func()
 	done  chan struct{}
@@ -195,6 +216,7 @@ type Node struct {
 	sends     atomic.Int64
 	receives  atomic.Int64
 	bytesOut  atomic.Int64
+	framesOut atomic.Int64
 	dupFrames atomic.Int64
 	gapFrames atomic.Int64
 
@@ -211,6 +233,19 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("cluster: invalid cluster size %d", cfg.N)
+	}
+	codecName := cfg.Codec
+	if codecName == "" {
+		codecName = store.PreferredWireCodec(cfg.Store)
+	}
+	codec, ok := wire.CodecByName(codecName)
+	if !ok {
+		if cfg.Codec != "" {
+			// An explicit misspelling is a config error; only a store's own
+			// unknown declaration degrades silently to the fallback.
+			return nil, fmt.Errorf("cluster: unknown wire codec %q (have %v)", cfg.Codec, wire.CodecNames())
+		}
+		codec = wire.JSON
 	}
 	var closeJournal func() error
 	if cfg.Storage != nil {
@@ -238,6 +273,7 @@ func NewNode(cfg Config) (*Node, error) {
 		replica:   replica,
 		checker:   store.NewPropertyChecker(replica),
 		ln:        ln,
+		codec:     codec,
 		calls:     make(chan func()),
 		done:      make(chan struct{}),
 		delivered: make([]uint64, cfg.N),
@@ -582,12 +618,13 @@ func (n *Node) Quiesced() bool {
 // delivery.) The quiescence condition is evaluated inline — calling
 // Quiesced() here would re-enter the event loop and deadlock.
 func (n *Node) Stats() Stats {
-	s := Stats{Node: n.cfg.ID, Store: n.cfg.Store.Name()}
+	s := Stats{Node: n.cfg.ID, Store: n.cfg.Store.Name(), Codec: n.codec.Name()}
 	counters := func() {
 		s.Ops = n.ops.Load()
 		s.Sends = n.sends.Load()
 		s.Receives = n.receives.Load()
 		s.BytesOut = n.bytesOut.Load()
+		s.FramesOut = n.framesOut.Load()
 		s.DupFrames = n.dupFrames.Load()
 		s.GapFrames = n.gapFrames.Load()
 		for _, p := range n.allPeers() {
@@ -738,12 +775,25 @@ func (n *Node) serveConn(conn net.Conn) {
 	}
 	r := wire.NewReader(first)
 	if typ := r.Uvarint(); r.Err() == nil && typ == tHello {
-		if from := r.Uvarint(); r.Err() == nil {
+		if h, err := decodeHello(r); err == nil {
 			// Wrap the accept side too: acks written back to this peer
 			// travel the reverse link, so an asymmetric cut of this→peer
 			// suppresses acknowledgements even while updates flow in.
-			if n.cfg.Faults != nil && from < uint64(n.cfg.N) {
-				conn = n.cfg.Faults.WrapConn(conn, int(n.cfg.ID), int(from))
+			if n.cfg.Faults != nil && int(h.From) < n.cfg.N {
+				conn = n.cfg.Faults.WrapConn(conn, int(n.cfg.ID), int(h.From))
+			}
+			if h.Version >= 2 {
+				// Seal the negotiation before any update arrives: the dialer
+				// streams v1 frames until this ack lands, so an ack lost to a
+				// connection reset only ever costs compactness, not data.
+				chosen := negotiateCodec(n.codec.ID(), h.Codec)
+				w := wire.GetWriter()
+				appendHelloAck(w, chosen)
+				ok := n.writeFrame(conn, w.Bytes(), n.cfg.MaxFrame)
+				wire.PutWriter(w)
+				if !ok {
+					return
+				}
 			}
 			n.serveReplication(conn)
 		}
@@ -755,7 +805,9 @@ func (n *Node) serveConn(conn net.Conn) {
 // serveReplication applies a peer's update stream, answering each frame
 // with the cumulative ack for its origin. The ack is written only after
 // the event loop applied (or deduplicated) the update — an acked update is
-// a delivered update.
+// a delivered update. A tBatch frame applies all its updates in one
+// event-loop turn and answers with one cumulative ack — the ack
+// coalescing half of the batching win.
 func (n *Node) serveReplication(conn net.Conn) {
 	for {
 		b, err := wire.ReadFrame(conn, n.cfg.MaxFrame)
@@ -763,32 +815,65 @@ func (n *Node) serveReplication(conn net.Conn) {
 			return
 		}
 		r := wire.NewReader(b)
-		if r.Uvarint() != tUpdate {
+		var us []protoUpdate
+		switch r.Uvarint() {
+		case tUpdate:
+			u, err := decodeUpdate(r)
+			if err != nil {
+				return
+			}
+			us = []protoUpdate{u}
+		case tBatch:
+			if us, err = decodeBatch(r); err != nil || len(us) == 0 {
+				return
+			}
+		default:
 			return
 		}
-		u, err := decodeUpdate(r)
-		if err != nil || int(u.Origin) < 0 || int(u.Origin) >= n.cfg.N {
+		if int(us[0].Origin) < 0 || int(us[0].Origin) >= n.cfg.N {
 			return
 		}
 		var cum uint64
 		var ackable bool
-		if n.inLoop(func() { cum, ackable = n.applyUpdate(u) }) != nil {
+		if n.inLoop(func() {
+			for _, u := range us {
+				cum, ackable = n.applyUpdate(u)
+				if !ackable {
+					return
+				}
+			}
+		}) != nil {
 			return
 		}
 		if !ackable {
-			// Journal failure: the node is fail-stopping and this update's
+			// Journal failure: the node is fail-stopping and these updates'
 			// durability is unknown — drop the connection without acking so
-			// the sender keeps it queued for the next incarnation.
+			// the sender keeps them queued for the next incarnation.
 			return
 		}
-		if !n.writeFrame(conn, encodeAck(cum), n.cfg.MaxFrame) {
+		w := wire.GetWriter()
+		appendAck(w, cum)
+		ok := n.writeFrame(conn, w.Bytes(), n.cfg.MaxFrame)
+		wire.PutWriter(w)
+		if !ok {
 			return
 		}
 	}
 }
 
 // serveClient answers request/response frames from one client connection.
+// tStats/tHistory requests may trail a codec ID after the bare v1 request;
+// a binary-codec request earns a binary reply (tStatsRespB/tHistoryRespB),
+// anything else — including the bare v1 form — gets the JSON fallback.
 func (n *Node) serveClient(conn net.Conn, first []byte) {
+	// reqCodec reads the optional trailing codec field of a structured
+	// request and resolves it against this node's own preference.
+	reqCodec := func(r *wire.Reader) wire.CodecID {
+		if r.Remaining() == 0 {
+			return wire.CodecJSON
+		}
+		return negotiateCodec(n.codec.ID(), wire.CodecID(r.Uvarint()))
+	}
 	frame := first
 	for {
 		r := wire.NewReader(frame)
@@ -798,34 +883,57 @@ func (n *Node) serveClient(conn net.Conn, first []byte) {
 		}
 		var reply []byte
 		maxFrame := n.cfg.MaxFrame
+		w := wire.GetWriter()
 		switch typ {
 		case tRequest:
 			reqID, obj, op, err := decodeRequest(r)
 			if err != nil {
+				wire.PutWriter(w)
 				return
 			}
 			resp, err := n.Do(obj, op)
 			if err != nil {
+				wire.PutWriter(w)
 				return
 			}
 			reply = encodeResponse(reqID, resp)
 		case tStats:
-			data, err := json.Marshal(n.Stats())
-			if err != nil {
-				return
+			if reqCodec(r) == wire.CodecBinary {
+				w.Uvarint(tStatsRespB)
+				appendStats(w, n.Stats())
+				reply = w.Bytes()
+			} else {
+				data, err := json.Marshal(n.Stats())
+				if err != nil {
+					wire.PutWriter(w)
+					return
+				}
+				reply = encodeJSON(tStatsResp, data)
 			}
-			reply = encodeJSON(tStatsResp, data)
 		case tHistory:
-			data, err := json.Marshal(n.History())
-			if err != nil {
-				return
-			}
-			reply = encodeJSON(tHistoryResp, data)
 			maxFrame = historyMaxFrame
+			if reqCodec(r) == wire.CodecBinary {
+				w.Uvarint(tHistoryRespB)
+				if appendHistory(w, n.History()) != nil {
+					wire.PutWriter(w)
+					return
+				}
+				reply = w.Bytes()
+			} else {
+				data, err := json.Marshal(n.History())
+				if err != nil {
+					wire.PutWriter(w)
+					return
+				}
+				reply = encodeJSON(tHistoryResp, data)
+			}
 		default:
+			wire.PutWriter(w)
 			return
 		}
-		if !n.writeFrame(conn, reply, maxFrame) {
+		ok := n.writeFrame(conn, reply, maxFrame)
+		wire.PutWriter(w)
+		if !ok {
 			return
 		}
 		var err error
@@ -839,6 +947,7 @@ func (n *Node) writeFrame(conn net.Conn, payload []byte, maxFrame int) bool {
 	conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
 	nBytes, err := wire.WriteFrame(conn, payload, maxFrame)
 	n.bytesOut.Add(int64(nBytes))
+	n.framesOut.Add(1)
 	return err == nil
 }
 

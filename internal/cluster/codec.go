@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// This file is the binary (wire.Binary) encoding of the cluster's
+// structured records: events, histories, and stats snapshots. The JSON
+// encoding of the same records — the wire.JSON fallback — is whatever
+// encoding/json produces for the struct tags in history.go; the binary
+// form exists because JSON pays for field names on every record and
+// base64-expands every payload by a third, overhead that swamps the
+// metadata bytes Theorem 12 actually bounds.
+//
+// Layout (all integers varint/uvarint, strings and byte fields
+// length-prefixed):
+//
+//	event   = kind lamport body
+//	body    = do | transfer                 (by kind)
+//	do      = object opKind opArg opDelta rvalFlags rvalCount
+//	          [nValues value*] dotOrigin dotSeq [nFrontier frontier*]
+//	transfer= origin seq [payload]          (send and receive)
+//
+// rvalFlags packs presence bits (OK, Values non-nil); the frontier and
+// payload fields carry their own presence bits so nil round-trips as nil.
+// The encoding is versioned from outside: connections negotiate it via the
+// hello exchange and journal records tag it per record, so this layout
+// itself carries no version byte.
+
+const (
+	rvalOK        = 1 << 0
+	rvalHasValues = 1 << 1
+)
+
+// AppendEventBinary appends ev's binary encoding to w. It is exported for
+// internal/durable, which stamps journal records with the same codec the
+// transport negotiates.
+func AppendEventBinary(w *wire.Writer, ev Event) error {
+	w.Uvarint(uint64(ev.Kind))
+	w.Uvarint(ev.Lamport)
+	switch ev.Kind {
+	case model.ActDo:
+		w.String(string(ev.Object))
+		w.Uvarint(uint64(ev.Op.Kind))
+		w.String(string(ev.Op.Arg))
+		w.Varint(ev.Op.Delta)
+		flags := uint64(0)
+		if ev.Rval.OK {
+			flags |= rvalOK
+		}
+		if ev.Rval.Values != nil {
+			flags |= rvalHasValues
+		}
+		w.Uvarint(flags)
+		w.Varint(ev.Rval.Count)
+		if ev.Rval.Values != nil {
+			w.Uvarint(uint64(len(ev.Rval.Values)))
+			for _, v := range ev.Rval.Values {
+				w.String(string(v))
+			}
+		}
+		w.Dot(ev.Dot)
+		if ev.Frontier == nil {
+			w.Uvarint(0)
+		} else {
+			w.Uvarint(1)
+			w.Uvarint(uint64(len(ev.Frontier)))
+			for _, s := range ev.Frontier {
+				w.Uvarint(s)
+			}
+		}
+	case model.ActSend, model.ActReceive:
+		w.Uvarint(uint64(ev.Origin))
+		w.Uvarint(ev.Seq)
+		if ev.Payload == nil {
+			w.Uvarint(0)
+		} else {
+			w.Uvarint(1)
+			w.Uvarint(uint64(len(ev.Payload)))
+			w.Raw(ev.Payload)
+		}
+	default:
+		return fmt.Errorf("cluster: cannot encode event kind %v", ev.Kind)
+	}
+	return nil
+}
+
+// DecodeEventBinary decodes one event encoded by AppendEventBinary. Byte
+// fields are copied out of the reader's buffer: decoded events outlive the
+// frame or record they arrived in.
+func DecodeEventBinary(r *wire.Reader) (Event, error) {
+	var ev Event
+	ev.Kind = model.Action(r.Uvarint())
+	ev.Lamport = r.Uvarint()
+	switch ev.Kind {
+	case model.ActDo:
+		ev.Object = model.ObjectID(r.String())
+		ev.Op.Kind = model.OpKind(r.Uvarint())
+		ev.Op.Arg = model.Value(r.String())
+		ev.Op.Delta = r.Varint()
+		flags := r.Uvarint()
+		ev.Rval.OK = flags&rvalOK != 0
+		ev.Rval.Count = r.Varint()
+		if flags&rvalHasValues != 0 {
+			n := r.Uvarint()
+			if n > uint64(r.Remaining()) {
+				return ev, fmt.Errorf("cluster: implausible rval value count %d", n)
+			}
+			ev.Rval.Values = make([]model.Value, 0, n)
+			for i := uint64(0); i < n && r.Err() == nil; i++ {
+				ev.Rval.Values = append(ev.Rval.Values, model.Value(r.String()))
+			}
+		}
+		ev.Dot = r.Dot()
+		if r.Uvarint() == 1 {
+			n := r.Uvarint()
+			if n > uint64(r.Remaining()) {
+				return ev, fmt.Errorf("cluster: implausible frontier length %d", n)
+			}
+			ev.Frontier = make([]uint64, n)
+			for i := range ev.Frontier {
+				ev.Frontier[i] = r.Uvarint()
+			}
+		}
+	case model.ActSend, model.ActReceive:
+		ev.Origin = model.ReplicaID(r.Uvarint())
+		ev.Seq = r.Uvarint()
+		if r.Uvarint() == 1 {
+			ev.Payload = append([]byte(nil), r.Bytes()...)
+		}
+	default:
+		if err := r.Err(); err != nil {
+			return ev, err
+		}
+		return ev, fmt.Errorf("cluster: unknown event kind %v", ev.Kind)
+	}
+	return ev, r.Err()
+}
+
+// appendHistory appends a history's binary encoding: identity, then the
+// event count, then each event.
+func appendHistory(w *wire.Writer, h History) error {
+	w.Uvarint(uint64(h.Node))
+	w.Uvarint(uint64(h.N))
+	w.String(h.Store)
+	w.Uvarint(uint64(len(h.Events)))
+	for _, ev := range h.Events {
+		if err := AppendEventBinary(w, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeHistory decodes one history encoded by appendHistory.
+func decodeHistory(r *wire.Reader) (History, error) {
+	var h History
+	h.Node = model.ReplicaID(r.Uvarint())
+	h.N = int(r.Uvarint())
+	h.Store = r.String()
+	n := r.Uvarint()
+	if n > uint64(r.Remaining()) {
+		return h, fmt.Errorf("cluster: implausible event count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		ev, err := DecodeEventBinary(r)
+		if err != nil {
+			return h, err
+		}
+		h.Events = append(h.Events, ev)
+	}
+	return h, r.Err()
+}
+
+// appendStats appends a stats snapshot's binary encoding, field by field in
+// declaration order. The layout changes when Stats changes; that is safe
+// because stats frames are negotiated per request and never persisted.
+func appendStats(w *wire.Writer, s Stats) {
+	w.Uvarint(uint64(s.Node))
+	w.String(s.Store)
+	w.String(s.Codec)
+	w.Varint(s.Ops)
+	w.Varint(s.Sends)
+	w.Varint(s.Receives)
+	w.Varint(s.Events)
+	w.Varint(s.BytesOut)
+	w.Varint(s.FramesOut)
+	w.Varint(s.Retransmits)
+	w.Varint(s.Reconnects)
+	w.Varint(s.DupFrames)
+	w.Varint(s.GapFrames)
+	w.Varint(int64(s.Violations))
+	q := uint64(0)
+	if s.Quiesced {
+		q = 1
+	}
+	w.Uvarint(q)
+}
+
+// decodeStats decodes one stats snapshot encoded by appendStats.
+func decodeStats(r *wire.Reader) (Stats, error) {
+	var s Stats
+	s.Node = model.ReplicaID(r.Uvarint())
+	s.Store = r.String()
+	s.Codec = r.String()
+	s.Ops = r.Varint()
+	s.Sends = r.Varint()
+	s.Receives = r.Varint()
+	s.Events = r.Varint()
+	s.BytesOut = r.Varint()
+	s.FramesOut = r.Varint()
+	s.Retransmits = r.Varint()
+	s.Reconnects = r.Varint()
+	s.DupFrames = r.Varint()
+	s.GapFrames = r.Varint()
+	s.Violations = int(r.Varint())
+	s.Quiesced = r.Uvarint() == 1
+	return s, r.Err()
+}

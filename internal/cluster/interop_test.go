@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+// TestMixedCodecClusterConverges is the negotiation acceptance test: a
+// 3-node causal cluster where node 1 is pinned to the JSON codec (standing
+// in for an old binary running the v1 wire format preference) while the
+// others prefer binary. Every link must settle on a codec both ends speak,
+// the cluster must converge, and the merged histories must audit clean —
+// mixed-codec deployments are exactly the rolling-upgrade state the
+// negotiation exists for.
+func TestMixedCodecClusterConverges(t *testing.T) {
+	const n = 3
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig(model.ReplicaID(i), n, st)
+		if i == 1 {
+			cfg.Codec = "json"
+		}
+		nd, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	for i, nd := range nodes {
+		peers := make(map[model.ReplicaID]string)
+		for j, other := range nodes {
+			if j != i {
+				peers[model.ReplicaID(j)] = other.Addr()
+			}
+		}
+		if err := nd.Connect(peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, want := range []string{"binary", "json", "binary"} {
+		if got := nodes[i].Stats().Codec; got != want {
+			t.Fatalf("node %d codec = %q, want %q", i, got, want)
+		}
+	}
+
+	objects := []model.ObjectID{"x", "y"}
+	for i := 0; i < 60; i++ {
+		nd := nodes[i%n]
+		v := model.Value(fmt.Sprintf("n%d.%d", i%n, i))
+		if _, err := nd.Do(objects[i%len(objects)], model.Write(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !WaitQuiesced(nodes, 30*time.Second) {
+		for _, nd := range nodes {
+			t.Logf("r%d stats: %+v", nd.ID(), nd.Stats())
+		}
+		t.Fatal("mixed-codec cluster did not quiesce")
+	}
+
+	doers := make([]Doer, n)
+	for i, nd := range nodes {
+		doers[i] = nd
+	}
+	if err := CheckConverged(doers, objects); err != nil {
+		t.Fatal(err)
+	}
+	hists := make([]History, n)
+	for i, nd := range nodes {
+		hists[i] = nd.History()
+		if v := nd.Violations(); len(v) != 0 {
+			t.Fatalf("r%d property violations: %v", nd.ID(), v)
+		}
+	}
+	audit, err := BuildAudit(hists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Exec.CheckWellFormed(); err != nil {
+		t.Fatal(err)
+	}
+	if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchingCoalescesFrames checks that the negotiated binary path
+// actually batches and that the JSON fallback never does. The backlog is
+// built deterministically: the 0→1 link is cut, 200 writes pile up in the
+// sender queue, then the link heals and the reconnect drains the queue —
+// the sender waits for the hello ack before a deep-backlog drain, so the
+// whole queue ships in the sealed codec, not in a racy v1 prefix.
+func TestBatchingCoalescesFrames(t *testing.T) {
+	const writes = 200
+	run := func(t *testing.T, peerCodec string) (sends, frames int64) {
+		t.Helper()
+		nets := fault.NewNetem(2)
+		nodes := make([]*Node, 2)
+		for i := 0; i < 2; i++ {
+			st, err := store.Open("lww", spec.MVRTypes(), store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := fastConfig(model.ReplicaID(i), 2, st)
+			cfg.Faults = nets
+			if i == 1 {
+				cfg.Codec = peerCodec
+			}
+			nd, err := NewNode(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = nd
+		}
+		t.Cleanup(func() {
+			for _, nd := range nodes {
+				nd.Close()
+			}
+		})
+		if err := nodes[0].Connect(map[model.ReplicaID]string{1: nodes[1].Addr()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := nodes[1].Connect(map[model.ReplicaID]string{0: nodes[0].Addr()}); err != nil {
+			t.Fatal(err)
+		}
+
+		// One seeded write proves the link up, then cut the update
+		// direction and pile up the backlog while the sender can't ship.
+		if _, err := nodes[0].Do("x", model.Write("seed")); err != nil {
+			t.Fatal(err)
+		}
+		if !WaitQuiesced(nodes, 30*time.Second) {
+			t.Fatal("cluster did not quiesce after seed write")
+		}
+		before := nodes[0].Stats().FramesOut
+		nets.Apply(fault.Directive{Kind: fault.KindLinkCut, From: 0, To: 1}, time.Millisecond)
+		for i := 0; i < writes; i++ {
+			v := model.Value(fmt.Sprintf("v%d", i))
+			if _, err := nodes[0].Do("x", model.Write(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nets.Apply(fault.Directive{Kind: fault.KindLinkRestore, From: 0, To: 1}, time.Millisecond)
+		if !WaitQuiesced(nodes, 30*time.Second) {
+			t.Fatal("cluster did not quiesce after drain")
+		}
+		return nodes[0].Stats().Sends, nodes[0].Stats().FramesOut - before
+	}
+
+	sends, frames := run(t, "") // both ends prefer binary
+	if sends <= writes {
+		t.Fatalf("sends = %d, want > %d", sends, writes)
+	}
+	// 200 queued updates fit in 4 full batches; the reconnect hello and
+	// retransmit-timer slack add a few frames. A quarter of the update
+	// count still proves coalescing.
+	if frames >= writes/4 {
+		t.Fatalf("binary link: %d frames for %d backlogged sends — batching is not coalescing", frames, writes)
+	}
+
+	_, frames = run(t, "json")
+	// On the JSON fallback every update is its own frame: the drain takes
+	// at least one frame per backlogged update.
+	if frames < writes {
+		t.Fatalf("json link: %d frames for %d backlogged sends — fallback must not send fewer frames than updates", frames, writes)
+	}
+}

@@ -93,21 +93,34 @@ func (p *peerSender) ack(cum uint64) {
 	}
 }
 
-// next returns the first queued update beyond sent, plus whether writing it
-// is a retransmission (it was already written on some connection).
-func (p *peerSender) next(sent uint64) (u protoUpdate, ok, retransmit bool) {
+// nextBatch returns up to max queued updates beyond sent — the next frame's
+// worth of work — plus how many of them are retransmissions (already written
+// on some connection). sizeCap bounds the summed payload bytes so the batch
+// fits the frame limit; the first update is always taken, so an oversized
+// single payload still travels (and fails the frame limit at write time,
+// exactly as it did unbatched).
+func (p *peerSender) nextBatch(sent uint64, max, sizeCap int) (us []protoUpdate, retransmits int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	size := 0
 	for _, q := range p.queue {
-		if q.Seq > sent {
-			retransmit = q.Seq <= p.maxSent
-			if q.Seq > p.maxSent {
-				p.maxSent = q.Seq
-			}
-			return q, true, retransmit
+		if q.Seq <= sent {
+			continue
 		}
+		// Per-update budget: payload plus generous varint headroom.
+		cost := len(q.Payload) + 32
+		if len(us) > 0 && (len(us) >= max || size+cost > sizeCap) {
+			break
+		}
+		if q.Seq <= p.maxSent {
+			retransmits++
+		} else {
+			p.maxSent = q.Seq
+		}
+		size += cost
+		us = append(us, q)
 	}
-	return protoUpdate{}, false, false
+	return us, retransmits
 }
 
 // breakConn closes the live connection (if any) without stopping the
@@ -203,6 +216,12 @@ func (p *peerSender) run() {
 // the retransmission timer fires without progress. A fresh connection
 // always rewinds to lastAcked, so nothing sent only on a dead connection is
 // lost.
+//
+// The hello carries our codec preference; until the peer's tHelloAck
+// arrives (on the same stream the acks use) the connection stays in the v1
+// fallback — one tUpdate per frame — so a v1 peer, which never acks the
+// hello, simply never upgrades and nothing blocks. Once the binary codec is
+// sealed, queued updates coalesce into tBatch frames of up to BatchMax.
 func (p *peerSender) serve(conn net.Conn) {
 	cfg := p.node.cfg
 	p.setConn(conn)
@@ -211,52 +230,118 @@ func (p *peerSender) serve(conn net.Conn) {
 		conn.Close()
 	}()
 
-	if !p.write(conn, encodeHello(cfg.ID)) {
+	// One pooled writer builds every frame this connection sends: header and
+	// payload land contiguously (BeginFrame/EndFrame), so each frame is one
+	// conn.Write and zero per-frame allocations.
+	enc := wire.GetWriter()
+	defer wire.PutWriter(enc)
+
+	enc.Reset()
+	enc.BeginFrame()
+	appendHello(enc, cfg.ID, p.node.codec.ID())
+	if !p.writeEnc(conn, enc) {
 		return
 	}
 
-	// Ack reader: cumulative acks arrive on the same connection.
+	// negotiated holds the connection's sealed codec ID. The ack-reader
+	// goroutine upgrades it when tHelloAck arrives; the send loop reads it
+	// before building each frame, so the upgrade applies from the next
+	// frame onward without any blocking round-trip.
+	var negotiated atomic.Uint64 // zero value = wire.CodecJSON, the floor
+	helloAcked := make(chan struct{})
+
+	// Ack reader: cumulative acks (and the hello ack) arrive on the same
+	// connection.
 	connDead := make(chan struct{})
 	go func() {
 		defer close(connDead)
+		acked := false
 		for {
 			b, err := wire.ReadFrame(conn, cfg.MaxFrame)
 			if err != nil {
 				return
 			}
 			r := wire.NewReader(b)
-			if r.Uvarint() != tAck {
-				return
-			}
-			cum := r.Uvarint()
-			if r.Err() != nil {
-				return
-			}
-			p.ack(cum)
-			select {
-			case p.ackd <- struct{}{}:
+			switch r.Uvarint() {
+			case tAck:
+				cum := r.Uvarint()
+				if r.Err() != nil {
+					return
+				}
+				p.ack(cum)
+				select {
+				case p.ackd <- struct{}{}:
+				default:
+				}
+			case tHelloAck:
+				codec, err := decodeHelloAck(r)
+				if err != nil {
+					return
+				}
+				// Re-negotiate against our own preference: a confused peer
+				// must not talk us into a codec we never offered.
+				negotiated.Store(uint64(negotiateCodec(p.node.codec.ID(), codec)))
+				if !acked {
+					acked = true
+					close(helloAcked)
+				}
 			default:
+				return
 			}
 		}
 	}()
 
 	p.mu.Lock()
 	sent := p.lastAcked
+	backlog := len(p.queue)
 	p.mu.Unlock()
+
+	// A reconnect with a deep backlog is exactly the case batching pays off
+	// most, but the v1-until-acked rule would stream the whole queue as
+	// singleton frames if the drain outruns the hello ack. So when batching
+	// is even possible — we offered binary and there is more than one update
+	// to ship — wait briefly for the ack before the first drain. The wait is
+	// bounded: a v1 peer (which never acks) costs one RetransmitMin stall
+	// per connection and then streams in the fallback as before, and a lost
+	// ack still only ever costs compactness, never data.
+	if cfg.BatchMax > 0 && p.node.codec.ID() != wire.CodecJSON && backlog > 1 {
+		t := time.NewTimer(cfg.RetransmitMin)
+		select {
+		case <-helloAcked:
+		case <-connDead:
+		case <-p.done:
+		case <-t.C:
+		}
+		t.Stop()
+	}
 	rt := cfg.RetransmitMin
 	timer := time.NewTimer(rt)
 	defer timer.Stop()
 	for {
 		for {
-			u, ok, re := p.next(sent)
-			if !ok {
+			batching := wire.CodecID(negotiated.Load()) == wire.CodecBinary && cfg.BatchMax > 0
+			max := 1
+			if batching {
+				max = cfg.BatchMax
+			}
+			// Headroom for the batch header and per-update varints; payload
+			// budgeting is in nextBatch.
+			us, re := p.nextBatch(sent, max, cfg.MaxFrame-64)
+			if len(us) == 0 {
 				break
 			}
-			if re {
-				p.retransmits.Add(1)
-				cfg.Observer.AddRetransmits(1)
+			if re > 0 {
+				p.retransmits.Add(re)
+				cfg.Observer.AddRetransmits(re)
 			}
-			if !p.write(conn, encodeUpdate(u)) {
+			enc.Reset()
+			enc.BeginFrame()
+			if len(us) == 1 {
+				appendUpdate(enc, us[0])
+			} else {
+				appendBatch(enc, us[0].Origin, us)
+			}
+			if !p.writeEnc(conn, enc) {
 				// Close before waiting: a shaped write can fail (link cut)
 				// while the TCP stream is healthy, and the ack reader only
 				// exits once the connection is gone.
@@ -264,7 +349,7 @@ func (p *peerSender) serve(conn net.Conn) {
 				<-connDead
 				return
 			}
-			sent = u.Seq
+			sent = us[len(us)-1].Seq
 		}
 		if !timer.Stop() {
 			select {
@@ -300,10 +385,16 @@ func (p *peerSender) serve(conn net.Conn) {
 	}
 }
 
-// write frames one message with a write deadline, counting wire bytes.
-func (p *peerSender) write(conn net.Conn, payload []byte) bool {
+// writeEnc seals the frame open in enc and writes it — header and payload in
+// one call — with a write deadline, counting wire bytes and frames.
+func (p *peerSender) writeEnc(conn net.Conn, enc *wire.Writer) bool {
+	frame, err := enc.EndFrame(p.node.cfg.MaxFrame)
+	if err != nil {
+		return false
+	}
 	conn.SetWriteDeadline(time.Now().Add(p.node.cfg.WriteTimeout))
-	nBytes, err := wire.WriteFrame(conn, payload, p.node.cfg.MaxFrame)
+	nBytes, err := conn.Write(frame)
 	p.node.bytesOut.Add(int64(nBytes))
+	p.node.framesOut.Add(1)
 	return err == nil
 }

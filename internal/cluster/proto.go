@@ -12,21 +12,43 @@ import (
 // type-specific, encoded with the repository's varint codec.
 //
 // Replication connections are directional: the broadcasting node dials its
-// peer, opens with tHello, and streams tUpdate frames in seq order; the
-// accepting side answers each applied update with a cumulative tAck on the
-// same connection. Client connections skip the hello and speak
-// request/response pairs.
+// peer, opens with tHello, and streams tUpdate (or, once both ends have
+// negotiated the binary codec, tBatch) frames in seq order; the accepting
+// side answers each applied frame with a cumulative tAck on the same
+// connection — one ack per frame, so a batch of k updates coalesces k acks
+// into one. Client connections skip the hello and speak request/response
+// pairs.
+//
+// Codec negotiation rides the hello exchange. A v2 hello appends a protocol
+// version and the dialer's preferred codec ID after the v1 {from} field; a
+// v1 receiver reads {from} and ignores the rest, so the extension is
+// invisible to it. A v2 receiver answers immediately with tHelloAck carrying
+// the chosen codec — the lower of the two preferences, wire.JSON being the
+// floor every version speaks. Until the dialer sees the tHelloAck it streams
+// in the v1 format, so a v1 peer (which never acks the hello) simply keeps
+// the connection in the fallback forever, and no side ever blocks waiting
+// for a negotiation round-trip.
 const (
-	tHello       = 1 // {from}                      replica → peer, opens a replication conn
-	tUpdate      = 2 // {origin, seq, lamport, payload}
-	tAck         = 3 // {cumSeq}                    cumulative ack of the dialer's updates
-	tRequest     = 4 // {reqID, obj, kind, arg, delta}
-	tResponse    = 5 // {reqID, ok, count, hasValues, values...}
-	tStats       = 6 // {}
-	tStatsResp   = 7 // {json}
-	tHistory     = 8 // {}
-	tHistoryResp = 9 // {json}
+	tHello        = 1  // {from [, version, codec]}     replica → peer, opens a replication conn
+	tUpdate       = 2  // {origin, seq, lamport, payload}
+	tAck          = 3  // {cumSeq}                      cumulative ack of the dialer's updates
+	tRequest      = 4  // {reqID, obj, kind, arg, delta}
+	tResponse     = 5  // {reqID, ok, count, hasValues, values...}
+	tStats        = 6  // {[codec]}
+	tStatsResp    = 7  // {json}
+	tHistory      = 8  // {[codec]}
+	tHistoryResp  = 9  // {json}
+	tHelloAck     = 10 // {version, codec}              acceptor → dialer, seals negotiation
+	tBatch        = 11 // {origin, count, (seq, lamport, payload)...}
+	tStatsRespB   = 12 // {binary stats}
+	tHistoryRespB = 13 // {binary history}
 )
+
+// helloVersion is the protocol version a v2 hello announces. Version 1 is
+// the bare {from} hello with JSON structured transfers and one update per
+// frame; version 2 adds codec negotiation, batch frames, and binary
+// structured transfers.
+const helloVersion = 2
 
 // historyMaxFrame is the frame limit for history transfers, which carry a
 // whole recorded execution and dwarf every other frame.
@@ -39,6 +61,70 @@ type protoUpdate struct {
 	Payload []byte
 }
 
+// hello carries a decoded tHello: the v1 fields plus the negotiation
+// extension (zero-valued when the dialer spoke v1).
+type hello struct {
+	From    model.ReplicaID
+	Version uint64
+	Codec   wire.CodecID
+}
+
+// appendHello encodes a v2 hello into w. The extension fields trail the v1
+// layout, which is what keeps old receivers compatible: they stop reading
+// after From.
+func appendHello(w *wire.Writer, from model.ReplicaID, codec wire.CodecID) {
+	w.Uvarint(tHello)
+	w.Uvarint(uint64(from))
+	w.Uvarint(helloVersion)
+	w.Uvarint(uint64(codec))
+}
+
+// decodeHello decodes a hello whose type tag has already been read. A bare
+// v1 hello (nothing after From) yields Version 1 and the JSON codec.
+func decodeHello(r *wire.Reader) (hello, error) {
+	h := hello{Version: 1, Codec: wire.CodecJSON}
+	h.From = model.ReplicaID(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return h, err
+	}
+	if r.Remaining() == 0 {
+		return h, nil
+	}
+	h.Version = r.Uvarint()
+	h.Codec = wire.CodecID(r.Uvarint())
+	return h, r.Err()
+}
+
+// appendHelloAck encodes the acceptor's negotiation answer.
+func appendHelloAck(w *wire.Writer, codec wire.CodecID) {
+	w.Uvarint(tHelloAck)
+	w.Uvarint(helloVersion)
+	w.Uvarint(uint64(codec))
+}
+
+// decodeHelloAck decodes a tHelloAck whose type tag has already been read.
+func decodeHelloAck(r *wire.Reader) (wire.CodecID, error) {
+	r.Uvarint() // version: informational, the codec field is what binds
+	codec := wire.CodecID(r.Uvarint())
+	return codec, r.Err()
+}
+
+// negotiateCodec picks the connection codec from the two ends' preferences:
+// the lower ID wins, so a JSON-only end (ID 0) pins the connection to the
+// fallback and two binary-capable ends get the compact codec. Unknown IDs
+// (a newer peer) degrade to JSON rather than erroring: the fallback is the
+// whole point of the negotiation.
+func negotiateCodec(a, b wire.CodecID) wire.CodecID {
+	chosen := a
+	if b < chosen {
+		chosen = b
+	}
+	if _, ok := wire.CodecByID(chosen); !ok {
+		return wire.CodecJSON
+	}
+	return chosen
+}
+
 func encodeHello(from model.ReplicaID) []byte {
 	w := wire.NewWriter()
 	w.Uvarint(tHello)
@@ -46,30 +132,94 @@ func encodeHello(from model.ReplicaID) []byte {
 	return w.Bytes()
 }
 
-func encodeUpdate(u protoUpdate) []byte {
-	w := wire.NewWriter()
+// appendUpdate encodes one v1 update frame into w. The payload rides behind
+// a uvarint length via Raw — the old String(string(payload)) route copied
+// the payload into a string and then into the buffer, twice per update on
+// the hot send path.
+func appendUpdate(w *wire.Writer, u protoUpdate) {
 	w.Uvarint(tUpdate)
 	w.Uvarint(uint64(u.Origin))
 	w.Uvarint(u.Seq)
 	w.Uvarint(u.Lamport)
-	w.String(string(u.Payload))
+	w.Uvarint(uint64(len(u.Payload)))
+	w.Raw(u.Payload)
+}
+
+func encodeUpdate(u protoUpdate) []byte {
+	w := wire.NewWriter()
+	appendUpdate(w, u)
 	return w.Bytes()
 }
 
+// decodeUpdate decodes a tUpdate body. The payload is returned as a
+// subslice of the frame buffer (zero-copy): the event loop copies it if it
+// records it, and replicas copy whatever they retain while decoding.
 func decodeUpdate(r *wire.Reader) (protoUpdate, error) {
 	u := protoUpdate{
 		Origin:  model.ReplicaID(r.Uvarint()),
 		Seq:     r.Uvarint(),
 		Lamport: r.Uvarint(),
-		Payload: []byte(r.String()),
+		Payload: r.Bytes(),
 	}
 	return u, r.Err()
 }
 
-func encodeAck(cum uint64) []byte {
-	w := wire.NewWriter()
+// appendBatch encodes a tBatch frame: one origin (a replication link only
+// ever carries the dialer's own broadcasts), then each update's seq,
+// lamport, and payload. Compared with the same updates as tUpdate frames it
+// saves the per-update frame header, type tag, and origin — the framing
+// overhead Theorem 12's bytes/op accounting should not be charging to
+// metadata.
+func appendBatch(w *wire.Writer, origin model.ReplicaID, us []protoUpdate) {
+	w.Uvarint(tBatch)
+	w.Uvarint(uint64(origin))
+	w.Uvarint(uint64(len(us)))
+	for _, u := range us {
+		w.Uvarint(u.Seq)
+		w.Uvarint(u.Lamport)
+		w.Uvarint(uint64(len(u.Payload)))
+		w.Raw(u.Payload)
+	}
+}
+
+// decodeBatch decodes a tBatch body. Payloads alias the frame buffer, like
+// decodeUpdate's.
+func decodeBatch(r *wire.Reader) ([]protoUpdate, error) {
+	origin := model.ReplicaID(r.Uvarint())
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Each update costs at least three bytes (seq, lamport, length), but the
+	// guard that matters is one value per remaining byte: beyond that the
+	// count is corrupt and would allocate unboundedly.
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("cluster: implausible batch count %d", n)
+	}
+	us := make([]protoUpdate, 0, n)
+	for i := uint64(0); i < n; i++ {
+		u := protoUpdate{
+			Origin:  origin,
+			Seq:     r.Uvarint(),
+			Lamport: r.Uvarint(),
+			Payload: r.Bytes(),
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		us = append(us, u)
+	}
+	return us, nil
+}
+
+func appendAck(w *wire.Writer, cum uint64) {
 	w.Uvarint(tAck)
 	w.Uvarint(cum)
+}
+
+func encodeAck(cum uint64) []byte {
+	w := wire.NewWriter()
+	appendAck(w, cum)
 	return w.Bytes()
 }
 
@@ -124,7 +274,10 @@ func decodeResponse(r *wire.Reader) (reqID uint64, resp model.Response, err erro
 		if err := r.Err(); err != nil {
 			return reqID, resp, err
 		}
-		if n > uint64(r.Remaining())+1 {
+		// Every value costs at least its one-byte length prefix, so a valid
+		// count never exceeds the bytes left. (The previous guard allowed
+		// Remaining+1 — one more value than the buffer can possibly hold.)
+		if n > uint64(r.Remaining()) {
 			return reqID, resp, fmt.Errorf("cluster: implausible value count %d", n)
 		}
 		resp.Values = make([]model.Value, 0, n)
@@ -135,15 +288,32 @@ func decodeResponse(r *wire.Reader) (reqID uint64, resp model.Response, err erro
 	return reqID, resp, r.Err()
 }
 
+// encodeStructuredReq encodes a tStats/tHistory request. The codec field
+// trails the bare v1 request, so an old node ignores it and answers JSON; a
+// new node answers in the requested codec.
+func encodeStructuredReq(typ uint64, codec wire.CodecID) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(typ)
+	w.Uvarint(uint64(codec))
+	return w.Bytes()
+}
+
 func encodeEmpty(typ uint64) []byte {
 	w := wire.NewWriter()
 	w.Uvarint(typ)
 	return w.Bytes()
 }
 
+// appendJSON encodes a structured-transfer frame holding a JSON body,
+// appending the body bytes once via Raw.
+func appendJSON(w *wire.Writer, typ uint64, data []byte) {
+	w.Uvarint(typ)
+	w.Uvarint(uint64(len(data)))
+	w.Raw(data)
+}
+
 func encodeJSON(typ uint64, data []byte) []byte {
 	w := wire.NewWriter()
-	w.Uvarint(typ)
-	w.String(string(data))
+	appendJSON(w, typ, data)
 	return w.Bytes()
 }

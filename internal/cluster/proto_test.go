@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+func TestHelloV2RoundTrip(t *testing.T) {
+	w := wire.NewWriter()
+	appendHello(w, 5, wire.CodecBinary)
+	r := wire.NewReader(w.Bytes())
+	if typ := r.Uvarint(); typ != tHello {
+		t.Fatalf("type = %d, want tHello", typ)
+	}
+	h, err := decodeHello(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.From != 5 || h.Version != helloVersion || h.Codec != wire.CodecBinary {
+		t.Fatalf("hello = %+v", h)
+	}
+}
+
+// TestHelloV1Compat pins the compatibility contract in both directions: a
+// bare v1 hello decodes as version 1 with the JSON codec, and a v2 hello's
+// From field sits exactly where a v1 receiver reads it.
+func TestHelloV1Compat(t *testing.T) {
+	h, err := decodeHello(wire.NewReader(encodeHello(3)[1:])) // strip type tag
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.From != 3 || h.Version != 1 || h.Codec != wire.CodecJSON {
+		t.Fatalf("v1 hello = %+v, want {3 1 json}", h)
+	}
+
+	w := wire.NewWriter()
+	appendHello(w, 3, wire.CodecBinary)
+	r := wire.NewReader(w.Bytes())
+	r.Uvarint() // type, as the v1 receiver reads it
+	if from := r.Uvarint(); from != 3 || r.Err() != nil {
+		t.Fatalf("v1 read of v2 hello: from = %d, err %v", from, r.Err())
+	}
+	// Whatever trails is the extension the v1 receiver ignores.
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	w := wire.NewWriter()
+	appendHelloAck(w, wire.CodecBinary)
+	r := wire.NewReader(w.Bytes())
+	if typ := r.Uvarint(); typ != tHelloAck {
+		t.Fatalf("type = %d, want tHelloAck", typ)
+	}
+	codec, err := decodeHelloAck(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec != wire.CodecBinary {
+		t.Fatalf("codec = %d, want binary", codec)
+	}
+}
+
+func TestNegotiateCodec(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, want wire.CodecID
+	}{
+		{wire.CodecBinary, wire.CodecBinary, wire.CodecBinary},
+		{wire.CodecBinary, wire.CodecJSON, wire.CodecJSON},
+		{wire.CodecJSON, wire.CodecBinary, wire.CodecJSON},
+		{wire.CodecJSON, wire.CodecJSON, wire.CodecJSON},
+		{wire.CodecBinary, wire.CodecID(99), wire.CodecBinary}, // newer peer: min wins
+		{wire.CodecID(99), wire.CodecID(98), wire.CodecJSON},   // both unknown: fallback
+	} {
+		if got := negotiateCodec(tc.a, tc.b); got != tc.want {
+			t.Fatalf("negotiateCodec(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	us := []protoUpdate{
+		{Origin: 2, Seq: 1, Lamport: 10, Payload: []byte("alpha")},
+		{Origin: 2, Seq: 2, Lamport: 11, Payload: nil},
+		{Origin: 2, Seq: 3, Lamport: 12, Payload: []byte{0, 1, 2, 255}},
+	}
+	w := wire.NewWriter()
+	appendBatch(w, 2, us)
+	r := wire.NewReader(w.Bytes())
+	if typ := r.Uvarint(); typ != tBatch {
+		t.Fatalf("type = %d, want tBatch", typ)
+	}
+	got, err := decodeBatch(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(us) {
+		t.Fatalf("decoded %d updates, want %d", len(got), len(us))
+	}
+	for i := range us {
+		if got[i].Origin != us[i].Origin || got[i].Seq != us[i].Seq ||
+			got[i].Lamport != us[i].Lamport || !bytes.Equal(got[i].Payload, us[i].Payload) {
+			t.Fatalf("update %d = %+v, want %+v", i, got[i], us[i])
+		}
+	}
+}
+
+func TestBatchImplausibleCountRejected(t *testing.T) {
+	w := wire.NewWriter()
+	w.Uvarint(3)       // origin
+	w.Uvarint(1 << 40) // absurd count
+	r := wire.NewReader(w.Bytes())
+	if us, err := decodeBatch(r); err == nil {
+		t.Fatalf("decoded %d updates from implausible count", len(us))
+	}
+}
+
+// TestResponseValueCountBoundary is the regression for the decodeResponse
+// guard: a declared value count of exactly Remaining+1 slipped past the old
+// check and allocated for a count the buffer cannot hold.
+func TestResponseValueCountBoundary(t *testing.T) {
+	w := wire.NewWriter()
+	w.Uvarint(1)        // reqID
+	w.Uvarint(1)        // ok
+	w.Varint(0)         // count
+	w.Uvarint(1)        // hasValues
+	w.Uvarint(3)        // declared values...
+	w.Raw([]byte{0, 0}) // ...but only 2 bytes remain: 3 == Remaining+1
+	r := wire.NewReader(w.Bytes())
+	if _, _, err := decodeResponse(r); err == nil {
+		t.Fatal("value count Remaining+1 accepted")
+	}
+
+	// The boundary itself must still work: n one-byte (empty) values.
+	ok := encodeResponse(7, model.Response{OK: true, Values: []model.Value{"", ""}})
+	r = wire.NewReader(ok)
+	r.Uvarint() // type
+	id, resp, err := decodeResponse(r)
+	if err != nil || id != 7 || len(resp.Values) != 2 {
+		t.Fatalf("valid boundary response: id %d resp %+v err %v", id, resp, err)
+	}
+}
+
+func sampleEventsBinary() []Event {
+	return []Event{
+		{
+			Kind: model.ActDo, Lamport: 4, Object: "x1",
+			Op:       model.Operation{Kind: model.OpWrite, Arg: "v", Delta: -3},
+			Rval:     model.Response{OK: true, Values: []model.Value{"a", ""}, Count: 2},
+			Dot:      model.Dot{Origin: 1, Seq: 9},
+			Frontier: []uint64{3, 0, 7},
+		},
+		{
+			Kind: model.ActDo, Lamport: 5, Object: "x2",
+			Op:   model.Operation{Kind: model.OpRead},
+			Rval: model.Response{OK: true}, // nil Values must stay nil
+		},
+		{Kind: model.ActSend, Lamport: 6, Origin: 1, Seq: 10, Payload: []byte{1, 2, 3}},
+		{Kind: model.ActSend, Lamport: 7, Origin: 1, Seq: 11}, // nil payload
+		{Kind: model.ActReceive, Lamport: 8, Origin: 0, Seq: 4, Payload: []byte("remote")},
+	}
+}
+
+// TestEventBinaryRoundTrip checks the binary event codec against the JSON
+// one: every event must round-trip to the same JSON form, which is how the
+// audit pipeline will see it after a history transfer or journal recovery.
+func TestEventBinaryRoundTrip(t *testing.T) {
+	for i, ev := range sampleEventsBinary() {
+		w := wire.NewWriter()
+		if err := AppendEventBinary(w, ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		r := wire.NewReader(w.Bytes())
+		got, err := DecodeEventBinary(r)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("event %d: %d bytes left over", i, r.Remaining())
+		}
+		gj, _ := json.Marshal(got)
+		wj, _ := json.Marshal(ev)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("event %d:\n got %s\nwant %s", i, gj, wj)
+		}
+	}
+}
+
+func TestHistoryBinaryRoundTrip(t *testing.T) {
+	h := History{Node: 2, N: 3, Store: "causal", Events: sampleEventsBinary()}
+	w := wire.NewWriter()
+	if err := appendHistory(w, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeHistory(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(h)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("history:\n got %s\nwant %s", gj, wj)
+	}
+}
+
+func TestStatsBinaryRoundTrip(t *testing.T) {
+	s := Stats{
+		Node: 1, Store: "lww", Codec: "binary",
+		Ops: 100, Sends: 40, Receives: 38, Events: 178,
+		BytesOut: 4096, FramesOut: 52, Retransmits: 2, Reconnects: 1,
+		DupFrames: 3, GapFrames: 4, Violations: 0, Quiesced: true,
+	}
+	w := wire.NewWriter()
+	appendStats(w, s)
+	got, err := decodeStats(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("stats = %+v, want %+v", got, s)
+	}
+}
+
+// TestGoldenWireVectors pins the wire format byte-for-byte against files in
+// testdata/golden: a refactor that changes any encoding must consciously
+// regenerate them (UPDATE_GOLDEN=1 go test ./internal/cluster/), because a
+// silent change breaks mixed-version clusters and old journals.
+func TestGoldenWireVectors(t *testing.T) {
+	enc := func(f func(w *wire.Writer)) []byte {
+		w := wire.NewWriter()
+		f(w)
+		return w.Bytes()
+	}
+	vectors := []struct {
+		name string
+		data []byte
+	}{
+		{"hello_v2", enc(func(w *wire.Writer) { appendHello(w, 2, wire.CodecBinary) })},
+		{"hello_ack", enc(func(w *wire.Writer) { appendHelloAck(w, wire.CodecJSON) })},
+		{"update", enc(func(w *wire.Writer) {
+			appendUpdate(w, protoUpdate{Origin: 1, Seq: 7, Lamport: 300, Payload: []byte{0xca, 0xfe}})
+		})},
+		{"batch", enc(func(w *wire.Writer) {
+			appendBatch(w, 1, []protoUpdate{
+				{Origin: 1, Seq: 7, Lamport: 300, Payload: []byte{0xca, 0xfe}},
+				{Origin: 1, Seq: 8, Lamport: 301, Payload: []byte{0xba, 0xbe, 0x00}},
+			})
+		})},
+		{"ack", encodeAck(130)},
+		{"stats_req_binary", encodeStructuredReq(tStats, wire.CodecBinary)},
+		{"event_do", enc(func(w *wire.Writer) {
+			if err := AppendEventBinary(w, sampleEventsBinary()[0]); err != nil {
+				t.Fatal(err)
+			}
+		})},
+		{"event_send", enc(func(w *wire.Writer) {
+			if err := AppendEventBinary(w, sampleEventsBinary()[2]); err != nil {
+				t.Fatal(err)
+			}
+		})},
+	}
+	dir := filepath.Join("testdata", "golden")
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	if update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range vectors {
+		path := filepath.Join(dir, v.name+".hex")
+		got := hex.EncodeToString(v.data) + "\n"
+		if update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run UPDATE_GOLDEN=1 go test to generate)", v.name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: encoding changed:\n got %s want %s", v.name, got, want)
+		}
+	}
+}
+
+// FuzzDecodeBatch throws arbitrary bytes at the batch decoder: it must
+// never panic or over-allocate, and everything it accepts must re-encode to
+// an equivalent batch (decode∘encode fixed point).
+func FuzzDecodeBatch(f *testing.F) {
+	seed := func(f2 func(w *wire.Writer)) []byte {
+		w := wire.NewWriter()
+		f2(w)
+		return w.Bytes()
+	}
+	f.Add(seed(func(w *wire.Writer) {
+		appendBatch(w, 0, []protoUpdate{{Origin: 0, Seq: 1, Lamport: 1, Payload: []byte("p")}})
+	})[1:]) // bodies only: the caller strips the type tag
+	f.Add(seed(func(w *wire.Writer) {
+		appendBatch(w, 2, []protoUpdate{
+			{Origin: 2, Seq: 1, Lamport: 5, Payload: nil},
+			{Origin: 2, Seq: 2, Lamport: 6, Payload: bytes.Repeat([]byte{7}, 100)},
+		})
+	})[1:])
+	f.Add(seed(func(w *wire.Writer) {
+		w.Uvarint(1)
+		w.Uvarint(1 << 40) // implausible count
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		us, err := decodeBatch(wire.NewReader(b))
+		if err != nil {
+			return
+		}
+		if len(us) == 0 {
+			return
+		}
+		w := wire.NewWriter()
+		appendBatch(w, us[0].Origin, us)
+		r := wire.NewReader(w.Bytes())
+		if typ := r.Uvarint(); typ != tBatch {
+			t.Fatalf("re-encode type = %d", typ)
+		}
+		again, err := decodeBatch(r)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if len(again) != len(us) {
+			t.Fatalf("re-decode %d updates, want %d", len(again), len(us))
+		}
+		for i := range us {
+			if again[i].Seq != us[i].Seq || again[i].Lamport != us[i].Lamport ||
+				!bytes.Equal(again[i].Payload, us[i].Payload) {
+				t.Fatalf("update %d drifted: %+v vs %+v", i, again[i], us[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeEventBinary guards the event decoder the journal and history
+// transfers rely on.
+func FuzzDecodeEventBinary(f *testing.F) {
+	for _, ev := range sampleEventsBinary() {
+		w := wire.NewWriter()
+		if err := AppendEventBinary(w, ev); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(w.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ev, err := DecodeEventBinary(wire.NewReader(b))
+		if err != nil {
+			return
+		}
+		w := wire.NewWriter()
+		if err := AppendEventBinary(w, ev); err != nil {
+			t.Fatalf("decoded event does not re-encode: %v", err)
+		}
+		again, err := DecodeEventBinary(wire.NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded event does not decode: %v", err)
+		}
+		gj, _ := json.Marshal(again)
+		wj, _ := json.Marshal(ev)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("event drifted:\n%s\n%s", gj, wj)
+		}
+	})
+}
+
+var _ = fmt.Sprintf // keep fmt available for debugging edits

@@ -99,11 +99,22 @@ type Options struct {
 	// NoSync skips the per-append fsync (tests that only exercise framing
 	// and recovery logic, not crash safety, run much faster without it).
 	NoSync bool
+	// Codec names the event encoding for newly written records: "binary"
+	// (the default — the same compact codec the transport negotiates) or
+	// "json" (the legacy format, debuggable with standard tools). Recovery
+	// reads both regardless, per record: the record body carries its own
+	// format tag, so a directory written by an old build — or one that
+	// changed codecs mid-life — replays unchanged, and compaction rewrites
+	// the whole prefix in the current codec as a side effect.
+	Codec string
 }
 
 func (o Options) withDefaults() Options {
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = 1024
+	}
+	if o.Codec == "" {
+		o.Codec = "binary"
 	}
 	return o
 }
@@ -112,9 +123,10 @@ func (o Options) withDefaults() Options {
 // event loop (one goroutine), but Close can arrive from a different
 // shutdown goroutine, so the mutex serializes them.
 type Log struct {
-	dir  string
-	meta Meta
-	opts Options
+	dir    string
+	meta   Meta
+	opts   Options
+	binary bool // write new records in the binary event codec
 
 	mu       sync.Mutex
 	wal      *os.File
@@ -130,6 +142,14 @@ type Log struct {
 // node has shut down.
 func Open(dir string, meta Meta, opts Options) (*Log, *cluster.History, error) {
 	opts = opts.withDefaults()
+	var binary bool
+	switch opts.Codec {
+	case "binary":
+		binary = true
+	case "json":
+	default:
+		return nil, nil, fmt.Errorf("durable: unknown journal codec %q (have json, binary)", opts.Codec)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("durable: %w", err)
 	}
@@ -155,7 +175,7 @@ func Open(dir string, meta Meta, opts Options) (*Log, *cluster.History, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("durable: %w", err)
 	}
-	l := &Log{dir: dir, meta: meta, opts: opts, wal: wal, events: events}
+	l := &Log{dir: dir, meta: meta, opts: opts, binary: binary, wal: wal, events: events}
 	// The surviving tail record count drives compaction: everything beyond
 	// the snapshot prefix (a post-crash overlap only makes the next
 	// compaction run sooner — harmless).
@@ -184,7 +204,9 @@ func (l *Log) Append(ev cluster.Event) error {
 	if l.closed {
 		return fmt.Errorf("durable: append to closed log")
 	}
-	rec, err := encodeRecord(uint64(len(l.events)), ev)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	rec, err := encodeRecord(w, uint64(len(l.events)), ev, l.binary)
 	if err != nil {
 		return err
 	}
@@ -217,8 +239,10 @@ func (l *Log) compact() error {
 	if err != nil {
 		return fmt.Errorf("durable: snapshot: %w", err)
 	}
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
 	for i, ev := range l.events {
-		rec, err := encodeRecord(uint64(i), ev)
+		rec, err := encodeRecord(w, uint64(i), ev, l.binary)
 		if err != nil {
 			f.Close()
 			return err
@@ -301,26 +325,51 @@ func checkMeta(dir string, meta Meta) error {
 	}
 }
 
+// journalBinaryTag is the first body byte of a record holding a
+// binary-encoded event. The legacy format put event JSON in the body, and
+// JSON objects always open with '{' (0x7b) — so one leading byte versions
+// the journal per record, with no separate header old builds would choke
+// on. Recovery dispatches on it: 0x01 → cluster.DecodeEventBinary, '{' (or
+// anything else) → json.Unmarshal, which rejects non-JSON damage anyway.
+const journalBinaryTag = 0x01
+
 // encodeRecord frames one event: length | crc32c | payload, where the
-// payload is (uvarint index, length-prefixed event JSON). JSON matches how
-// histories already travel (the admin endpoint and the history frame), so
-// the on-disk log is debuggable with standard tools.
-func encodeRecord(index uint64, ev cluster.Event) ([]byte, error) {
-	data, err := json.Marshal(ev)
-	if err != nil {
-		return nil, fmt.Errorf("durable: encode event: %w", err)
-	}
-	w := wire.NewWriter()
+// payload is (uvarint index, length-prefixed body) and the body is either
+// tagged binary (the transport's event codec, compact) or raw event JSON
+// (the legacy format, debuggable with standard tools). The returned slice
+// aliases a pooled writer; the caller must finish with it before the next
+// encodeRecord call on any goroutine, which Append/compact satisfy by
+// writing it out immediately.
+func encodeRecord(w *wire.Writer, index uint64, ev cluster.Event, binary bool) ([]byte, error) {
+	w.Reset()
+	// Reserve the 8-byte header; the payload is framed in place behind it.
+	w.Raw([]byte{0, 0, 0, 0, 0, 0, 0, 0})
 	w.Uvarint(index)
-	w.String(string(data))
-	payload := w.Bytes()
+	if binary {
+		body := wire.GetWriter()
+		body.Raw([]byte{journalBinaryTag})
+		if err := cluster.AppendEventBinary(body, ev); err != nil {
+			wire.PutWriter(body)
+			return nil, fmt.Errorf("durable: encode event: %w", err)
+		}
+		w.Uvarint(uint64(len(body.Bytes())))
+		w.Raw(body.Bytes())
+		wire.PutWriter(body)
+	} else {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return nil, fmt.Errorf("durable: encode event: %w", err)
+		}
+		w.Uvarint(uint64(len(data)))
+		w.Raw(data)
+	}
+	rec := w.Bytes()
+	payload := rec[8:]
 	if len(payload) > maxRecord {
 		return nil, fmt.Errorf("durable: record of %d bytes exceeds limit %d", len(payload), maxRecord)
 	}
-	rec := make([]byte, 8+len(payload))
 	be32(rec[0:4], uint32(len(payload)))
 	be32(rec[4:8], crc32.Checksum(payload, castagnoli))
-	copy(rec[8:], payload)
 	return rec, nil
 }
 
@@ -357,11 +406,17 @@ func readRecord(r io.Reader) (index uint64, ev cluster.Event, err error) {
 	}
 	rd := wire.NewReader(payload)
 	index = rd.Uvarint()
-	data := rd.String()
+	data := rd.Bytes()
 	if rd.Err() != nil || rd.Remaining() != 0 {
 		return 0, ev, errTorn
 	}
-	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+	if len(data) > 0 && data[0] == journalBinaryTag {
+		er := wire.NewReader(data[1:])
+		ev, err = cluster.DecodeEventBinary(er)
+		if err != nil || er.Remaining() != 0 {
+			return 0, cluster.Event{}, errTorn
+		}
+	} else if err := json.Unmarshal(data, &ev); err != nil {
 		return 0, ev, errTorn
 	}
 	return index, ev, nil

@@ -17,9 +17,20 @@ import (
 	"repro/internal/model"
 	"repro/internal/spec"
 	"repro/internal/store"
+	"repro/internal/wire"
 
 	_ "repro/internal/store/causal"
 )
+
+// encodeTestRecord builds one framed record in the chosen codec, copied out
+// of the pooled writer so tests can accumulate records freely.
+func encodeTestRecord(index uint64, ev cluster.Event, binary bool) ([]byte, error) {
+	rec, err := encodeRecord(wire.NewWriter(), index, ev, binary)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), rec...), nil
+}
 
 // sampleEvents synthesizes a plausible mixed history: do, send, and receive
 // events with the field shapes real nodes record.
@@ -253,7 +264,7 @@ func TestIndexGapIsCorruption(t *testing.T) {
 		if i == 2 {
 			idx = 5 // gap: 0, 1, 5
 		}
-		rec, err := encodeRecord(idx, ev)
+		rec, err := encodeTestRecord(idx, ev, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -309,7 +320,7 @@ func TestSnapshotWalOverlapRecovers(t *testing.T) {
 	// overlapping it — byte-for-byte the post-crash state.
 	var snap []byte
 	for i, ev := range events[:6] {
-		rec, err := encodeRecord(uint64(i), ev)
+		rec, err := encodeTestRecord(uint64(i), ev, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -333,7 +344,7 @@ func TestTornSnapshotIsCorruption(t *testing.T) {
 	events := sampleEvents(6)
 	var snap []byte
 	for i, ev := range events {
-		rec, err := encodeRecord(uint64(i), ev)
+		rec, err := encodeTestRecord(uint64(i), ev, true)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -17,7 +17,7 @@ func fuzzPrefix(tb testing.TB) ([]byte, []cluster.Event) {
 	events := sampleEvents(3)
 	var buf []byte
 	for i, ev := range events {
-		rec, err := encodeRecord(uint64(i), ev)
+		rec, err := encodeTestRecord(uint64(i), ev, true)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -31,15 +31,15 @@ func fuzzPrefix(tb testing.TB) ([]byte, []cluster.Event) {
 // an index gap, an overlapping (already-seen) index, and plain garbage.
 func fuzzSeedTails(tb testing.TB) [][]byte {
 	events := sampleEvents(5)
-	rec3, err := encodeRecord(3, events[3])
+	rec3, err := encodeTestRecord(3, events[3], true)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	gap, err := encodeRecord(9, events[4])
+	gap, err := encodeTestRecord(9, events[4], true)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	overlap, err := encodeRecord(0, events[4])
+	overlap, err := encodeTestRecord(0, events[4], true)
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -1,0 +1,151 @@
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+// recordFormats scans a wal and reports each record's on-disk codec, keyed
+// off the per-record version byte ('{' opens a JSON body, journalBinaryTag
+// a binary one).
+func recordFormats(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var formats []string
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(f, hdr[:]); err == io.EOF {
+			return formats
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, rd32(hdr[0:4]))
+		if _, err := io.ReadFull(f, payload); err != nil {
+			t.Fatal(err)
+		}
+		r := wire.NewReader(payload)
+		r.Uvarint() // index
+		data := r.Bytes()
+		if r.Err() != nil || len(data) == 0 {
+			t.Fatalf("unparseable record %d", len(formats))
+		}
+		switch data[0] {
+		case journalBinaryTag:
+			formats = append(formats, "binary")
+		case '{':
+			formats = append(formats, "json")
+		default:
+			t.Fatalf("record %d: unknown format byte %#x", len(formats), data[0])
+		}
+	}
+}
+
+// TestJSONEraJournalMigration is the upgrade path: a journal written
+// entirely in the legacy JSON record format (what every binary before the
+// codec option produced) must recover under the current default options,
+// keep appending — now in binary — and recover the mixed-format wal in
+// full. No flag, no rewrite step.
+func TestJSONEraJournalMigration(t *testing.T) {
+	dir := t.TempDir()
+	old := sampleEvents(12)
+	writeLog(t, dir, old, Options{NoSync: true, Codec: "json"})
+
+	wal := filepath.Join(dir, "wal.log")
+	for i, f := range recordFormats(t, wal) {
+		if f != "json" {
+			t.Fatalf("JSON-era record %d written as %s", i, f)
+		}
+	}
+
+	// Reopen with the defaults a new binary uses: binary codec.
+	l, hist, err := Open(dir, testMeta(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist == nil {
+		t.Fatal("no history recovered from JSON-era journal")
+	}
+	eventsEqual(t, hist.Events, old)
+
+	extra := sampleEvents(20)[12:]
+	for _, ev := range extra {
+		if err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The wal now holds both eras, each record self-describing.
+	formats := recordFormats(t, wal)
+	if len(formats) != 20 {
+		t.Fatalf("wal holds %d records, want 20", len(formats))
+	}
+	for i, f := range formats {
+		want := "json"
+		if i >= 12 {
+			want = "binary"
+		}
+		if f != want {
+			t.Fatalf("record %d format = %s, want %s", i, f, want)
+		}
+	}
+
+	all := append(append([]cluster.Event(nil), old...), extra...)
+	_, hist2, err := Open(dir, testMeta(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist2 == nil {
+		t.Fatal("no history recovered from mixed-era journal")
+	}
+	eventsEqual(t, hist2.Events, all)
+}
+
+// TestMixedEraTornTail cuts a mixed-format wal inside its binary tail: the
+// recovered prefix must be exactly the records before the cut, JSON era
+// intact.
+func TestMixedEraTornTail(t *testing.T) {
+	dir := t.TempDir()
+	old := sampleEvents(6)
+	writeLog(t, dir, old, Options{NoSync: true, Codec: "json"})
+	l, _, err := Open(dir, testMeta(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := sampleEvents(10)[6:]
+	for _, ev := range extra {
+		if err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wal := filepath.Join(dir, "wal.log")
+	full, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut a few bytes into the last record.
+	if err := os.WriteFile(wal, full[:len(full)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, hist, err := Open(dir, testMeta(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]cluster.Event(nil), old...), extra[:len(extra)-1]...)
+	eventsEqual(t, hist.Events, want)
+}

@@ -63,6 +63,34 @@ type Store interface {
 	Types() spec.Types
 }
 
+// PayloadCodec is implemented by Stores whose replicas' broadcast payloads
+// are a stable, self-delimiting binary encoding (rather than opaque blobs
+// that only round-trip through JSON envelopes). Declaring it lets the
+// cluster transport negotiate wire.Binary framing for connections carrying
+// this store's updates — batched varint update frames, binary journal
+// records, raw payload bytes in history transfers — instead of the JSON
+// fallback every node speaks. Stores without the trait keep the JSON
+// fallback, so a cluster mixing both still interoperates: codec choice is
+// per-connection, negotiated down to what both ends understand.
+type PayloadCodec interface {
+	// WireCodec names the preferred frame codec for this store's payloads
+	// ("binary" for the built-in compact codec). The name must be
+	// registered with wire.RegisterCodec; unknown names fall back to JSON.
+	WireCodec() string
+}
+
+// PreferredWireCodec returns the wire codec name a store declares through
+// PayloadCodec, or "json" — the universal fallback — for stores that
+// don't.
+func PreferredWireCodec(s Store) string {
+	if pc, ok := s.(PayloadCodec); ok {
+		if name := pc.WireCodec(); name != "" {
+			return name
+		}
+	}
+	return "json"
+}
+
 // DotReporter is implemented by replicas that can identify their latest
 // local mutator with a dot, letting the simulator derive the visibility
 // relation of the run.

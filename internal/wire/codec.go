@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CodecID is the compact wire identifier of a payload encoding. It travels
+// as a uvarint in the cluster's hello negotiation and as a format tag in
+// durable journal records, so IDs are assigned once and never reused or
+// renumbered.
+type CodecID uint64
+
+// The registered codec identifiers.
+const (
+	// CodecJSON is the v1 format every node understands: structured bodies
+	// (stats, histories, journal events) travel as encoding/json blobs and
+	// updates as one frame each. It is the fallback a connection speaks
+	// until both ends negotiate something better, which is what keeps
+	// mixed-codec clusters interoperable.
+	CodecJSON CodecID = 0
+	// CodecBinary is the compact varint encoding built from this package's
+	// Writer/Reader: binary event records, batched update frames, raw (not
+	// base64) payload bytes.
+	CodecBinary CodecID = 1
+)
+
+// Codec names one negotiable payload encoding. It is deliberately an
+// identity trait, not a marshaling vtable: the value types being encoded
+// (events, stats, histories) belong to the transport and storage layers,
+// which hold the typed encode/decode logic and use the Codec only to agree
+// on which logic a connection or file speaks. stores declare their
+// preference through store.PayloadCodec, and the cluster maps that name to
+// a registered Codec here.
+type Codec interface {
+	// ID is the stable wire identifier.
+	ID() CodecID
+	// Name is the human/registry name ("json", "binary"), accepted by CLI
+	// flags and store preferences.
+	Name() string
+}
+
+type codec struct {
+	id   CodecID
+	name string
+}
+
+func (c codec) ID() CodecID  { return c.id }
+func (c codec) Name() string { return c.name }
+
+// JSON and Binary are the two built-in codecs.
+var (
+	JSON   Codec = codec{id: CodecJSON, name: "json"}
+	Binary Codec = codec{id: CodecBinary, name: "binary"}
+)
+
+var (
+	codecMu     sync.RWMutex
+	codecByID   = map[CodecID]Codec{}
+	codecByName = map[string]Codec{}
+)
+
+func init() {
+	RegisterCodec(JSON)
+	RegisterCodec(Binary)
+}
+
+// RegisterCodec adds a codec to the process-wide registry. Duplicate IDs or
+// names are programmer errors and panic, like store.Register.
+func RegisterCodec(c Codec) {
+	if c == nil || c.Name() == "" {
+		panic("wire: RegisterCodec needs a named codec")
+	}
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecByID[c.ID()]; dup {
+		panic(fmt.Sprintf("wire: duplicate codec id %d", c.ID()))
+	}
+	if _, dup := codecByName[c.Name()]; dup {
+		panic(fmt.Sprintf("wire: duplicate codec name %q", c.Name()))
+	}
+	codecByID[c.ID()] = c
+	codecByName[c.Name()] = c
+}
+
+// CodecByID resolves a negotiated identifier. Unknown IDs come from newer
+// peers; callers fall back to JSON, the format every version speaks.
+func CodecByID(id CodecID) (Codec, bool) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecByID[id]
+	return c, ok
+}
+
+// CodecByName resolves a codec name from a flag or a store preference.
+func CodecByName(name string) (Codec, bool) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecByName[name]
+	return c, ok
+}
+
+// CodecNames returns the registered codec names, sorted, for CLI error
+// messages.
+func CodecNames() []string {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	names := make([]string, 0, len(codecByName))
+	for name := range codecByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // DefaultMaxFrame is the frame-size ceiling used when a caller passes a
@@ -46,6 +47,70 @@ func WriteFrame(w io.Writer, payload []byte, max int) (int, error) {
 	}
 	m, err := w.Write(payload)
 	return n + m, err
+}
+
+// BeginFrame reserves a frame header at the Writer's current position: the
+// payload encoded after it, sealed with EndFrame, becomes one wire frame in
+// the Writer's own buffer. Together they let a sender build header+payload
+// contiguously and hand the result to a single Write call — one syscall and
+// zero intermediate allocations per frame, where WriteFrame costs two
+// writes and a payload slice. Frames do not nest; BeginFrame panics if one
+// is already open (a programming error, not a wire condition).
+func (w *Writer) BeginFrame() {
+	if w.frameOff >= 0 {
+		panic("wire: BeginFrame inside an open frame")
+	}
+	w.frameOff = len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0)
+}
+
+// EndFrame seals the frame opened by BeginFrame: it patches the reserved
+// header with the payload length and returns the complete frame (header
+// plus payload) as a subslice of the Writer's buffer, valid until the next
+// Reset. It enforces the same size limit as WriteFrame (DefaultMaxFrame
+// when max <= 0) with a *FrameSizeError, leaving the frame open so the
+// caller can observe the oversized state.
+func (w *Writer) EndFrame(max int) ([]byte, error) {
+	if w.frameOff < 0 {
+		panic("wire: EndFrame without BeginFrame")
+	}
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	size := len(w.buf) - w.frameOff - 4
+	if size > max {
+		return nil, &FrameSizeError{Size: size, Max: max}
+	}
+	binary.BigEndian.PutUint32(w.buf[w.frameOff:], uint32(size))
+	frame := w.buf[w.frameOff:]
+	w.frameOff = -1
+	return frame, nil
+}
+
+// pooledWriterMax bounds the buffer capacity a Writer may take back into
+// the pool: a one-off giant frame (a history transfer) must not pin its
+// buffer for the rest of the process.
+const pooledWriterMax = 1 << 20
+
+var writerPool = sync.Pool{New: func() any { return NewWriter() }}
+
+// GetWriter returns a reset Writer from the process-wide pool. Pair with
+// PutWriter on paths that encode frequently enough for per-frame Writer
+// allocation to show up (the cluster's send and journal paths).
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns a Writer to the pool. The caller must no longer hold
+// any slice obtained from it (Bytes, EndFrame): the next GetWriter will
+// overwrite the shared buffer.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > pooledWriterMax {
+		return
+	}
+	writerPool.Put(w)
 }
 
 // ReadFrame reads one length-delimited frame written by WriteFrame and

@@ -23,16 +23,40 @@ var ErrTruncated = errors.New("wire: truncated payload")
 // Writer accumulates an encoded payload.
 type Writer struct {
 	buf []byte
+	// frameOff is the buffer offset of the open frame header reserved by
+	// BeginFrame, or -1 when no frame is open. The zero value (0) is never a
+	// valid open-frame offset conflict because BeginFrame always sets it
+	// explicitly; NewWriter and Reset set -1.
+	frameOff int
 }
 
 // NewWriter returns an empty payload writer.
-func NewWriter() *Writer { return &Writer{} }
+func NewWriter() *Writer { return &Writer{frameOff: -1} }
 
 // Bytes returns the encoded payload.
 func (w *Writer) Bytes() []byte { return w.buf }
 
 // Len returns the current payload length in bytes.
 func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the payload to empty while keeping the allocated buffer,
+// so a pooled or per-connection Writer encodes repeatedly without
+// reallocating (the hot send path's per-event allocation came from minting
+// a fresh Writer per frame).
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.frameOff = -1
+}
+
+// Raw appends b verbatim, with no length prefix: the zero-copy write path
+// for payloads that are already encoded bytes. The old route was
+// String(string(b)), which copied b into a string and then copied the
+// string into the buffer; Raw appends the bytes once. Callers that need
+// self-delimiting framing write a Uvarint length first (the layout Bytes
+// decodes).
+func (w *Writer) Raw(b []byte) {
+	w.buf = append(w.buf, b...)
+}
 
 // Uvarint appends an unsigned varint.
 func (w *Writer) Uvarint(x uint64) {
@@ -151,13 +175,35 @@ func (r *Reader) String() string {
 	return s
 }
 
+// Bytes decodes a length-prefixed byte field (the same layout String reads)
+// and returns it as a subslice of the underlying buffer — zero-copy, unlike
+// String, which materializes a fresh string. The returned slice aliases the
+// Reader's buffer: callers that retain it past the buffer's lifetime must
+// copy it themselves (the cluster's receive path does, when it records the
+// payload into its durable history).
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Remaining()) < n {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
 // VC decodes a dense vector clock.
 func (r *Reader) VC() vclock.VC {
 	n := r.Uvarint()
-	if r.err != nil || n > uint64(r.Remaining())+1 {
-		// Each entry takes at least one byte; a count beyond Remaining+1 is
-		// corrupt and would otherwise allocate unboundedly.
-		if n > uint64(r.Remaining())+1 {
+	if r.err != nil || n > uint64(r.Remaining()) {
+		// Each entry takes at least one byte, so a valid count never exceeds
+		// the bytes left; anything beyond is corrupt and would otherwise
+		// allocate unboundedly. (An earlier guard allowed Remaining+1, one
+		// more entry than the buffer can possibly hold.)
+		if n > uint64(r.Remaining()) {
 			r.fail()
 		}
 		return nil
