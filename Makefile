@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench figures json wirebench fuzz chaos chaos-search durability ci
+.PHONY: build test verify bench figures json wirebench fuzz chaos chaos-search durability membership ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ json:
 	$(GO) run ./cmd/chaoshunt -store causal -seed 1 -budget 48 -objective all -parallel 1 -json > BENCH_CHAOS.json
 	$(GO) run ./cmd/chaoshunt -store gsp -seed 1 -budget 48 -objective all -parallel 1 -json >> BENCH_CHAOS.json
 	$(GO) run ./cmd/loadgen -wirebench -store causal -seed 1 -ops 200 -json > BENCH_WIRE.json
+	$(GO) run ./cmd/loadgen -syncbench -store causal -seed 1 -ops 200 -json > BENCH_SYNC.json
 
 # Human-readable wire-codec comparison: the deterministic encode-path table
 # (what BENCH_WIRE.json tracks) plus a live loopback TCP run of both codecs
@@ -46,6 +47,7 @@ fuzz:
 	$(GO) test ./internal/durable -run '^$$' -fuzz FuzzRecoverTail -fuzztime 10s
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzDecodeBatch -fuzztime 10s
 	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzDecodeEventBinary -fuzztime 10s
+	$(GO) test ./internal/cluster -run '^$$' -fuzz FuzzDecodeDigest -fuzztime 10s
 
 # The durability battery: the on-disk journal's torn-tail/compaction
 # regression suite, the disk-backed supervisor and chaos runs, and the
@@ -64,6 +66,20 @@ chaos:
 	$(GO) test ./internal/store/storetest -run 'TestRegisteredStoresConform/.*/Chaos' -count=1
 	$(GO) test -race ./internal/cluster ./cmd/loadgen -run 'Chaos|Supervisor|Restart' -count=1
 
+# The dynamic-membership battery: the Merkle forest and view unit suites,
+# the join/leave/rejoin protocol tests (anti-entropy catch-up, divergence
+# refusal, codec negotiation during join), churned fault schedules through
+# the supervisor, the durable tree checkpoint round trip, and the kill -9
+# mid-sync harness (a served child joining via -join, SIGKILL'd mid-pull,
+# restarted on the same -data-dir).
+membership:
+	$(GO) test -race ./internal/membership -count=1
+	$(GO) test -race ./internal/cluster -run 'Join|Rejoin|Leave|Churn|SyncCost|Member' -count=1
+	$(GO) test -race ./internal/fault -run 'Churn' -count=1
+	$(GO) test -race ./internal/durable -run 'Tree' -count=1
+	$(GO) test -race ./cmd/served -run 'Kill9MidSyncJoin|ParseTopology' -count=1
+	$(GO) test -race ./cmd/loadgen -run 'Syncbench' -count=1
+
 # The adversarial chaos search: a small-budget hunt per objective against
 # the default store, with each best schedule re-validated on the real TCP
 # cluster. The tracked pipeline rows come from `make json` instead (no
@@ -75,5 +91,5 @@ chaos-search:
 # What CI runs: the verify gate (which includes the chaos batteries), then
 # regenerate the tracked JSON artifacts and fail if they drifted from what
 # the commit claims.
-ci: verify chaos chaos-search durability json
-	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json BENCH_WIRE.json
+ci: verify chaos chaos-search durability membership json
+	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json BENCH_WIRE.json BENCH_SYNC.json

@@ -36,6 +36,7 @@ type chaosConfig struct {
 	quiesceTimeout time.Duration
 	jsonOut        bool
 	dataDir        string
+	churn          int
 }
 
 // chaosTick maps fault-schedule steps to wall time. Small enough that the
@@ -49,6 +50,7 @@ func chaosSchedule(cfg chaosConfig) fault.Schedule {
 	return fault.Generate(fault.Config{
 		Seed: cfg.seed, N: cfg.nodes, Steps: 80,
 		Partitions: 1, Crashes: 1, LinkFaults: 2,
+		Churns: cfg.churn,
 	})
 }
 
@@ -182,6 +184,7 @@ func runChaos(w io.Writer, cfg chaosConfig) error {
 		agg.Violations += s.Violations
 	}
 	crashes, restarts := sup.Crashes()
+	leaves, joins := sup.Churn()
 	partitions, _, linkFaults := sched.Counts()
 
 	pct := func(p float64) float64 {
@@ -189,11 +192,11 @@ func runChaos(w io.Writer, cfg chaosConfig) error {
 	}
 	t := bench.NewTable(fmt.Sprintf("loadgen chaos: %s, %d nodes, seed %d", cfg.store, cfg.nodes, cfg.seed),
 		"clients", "ops", "errors", "samples", "ops/sec", "p50 ms", "p99 ms",
-		"partitions", "crashes", "restarts", "link faults", "retransmits", "reconnects")
+		"partitions", "crashes", "restarts", "leaves", "joins", "link faults", "retransmits", "reconnects")
 	t.AddRow(cfg.clients, cfg.clients*cfg.ops, errs, len(lats),
 		float64(len(lats))/elapsed.Seconds(),
 		pct(0.50), pct(0.99),
-		partitions, crashes, restarts, linkFaults,
+		partitions, crashes, restarts, leaves, joins, linkFaults,
 		agg.Retransmits, agg.Reconnects)
 	if err := out.Emit(t); err != nil {
 		return err

@@ -57,7 +57,25 @@ func main() {
 	wirebench := flag.Bool("wirebench", false, "measure wire-codec costs: deterministic encode-path table (bytes/op, frames, allocs/op) for the JSON fallback vs the binary+batch codec; human mode adds a live TCP comparison")
 	wireBatch := flag.Int("wire-batch", 64, "tBatch coalescing cap for the -wirebench binary rows")
 	wireCodec := flag.String("wire-codec", "", "codec for structured replies in the live-cluster mode (json, binary; default binary)")
+	syncbench := flag.Bool("syncbench", false, "measure Merkle anti-entropy catch-up costs: deterministic digest/range-pull table per joiner prefix")
+	churn := flag.Int("churn", 0, "leave→join windows in the -chaos schedule (victims disjoint from the crash victims)")
 	flag.Parse()
+
+	if *syncbench {
+		scfg := syncbenchConfig{
+			store:   *storeName,
+			ops:     *ops,
+			batch:   *wireBatch,
+			seed:    *seed,
+			objects: *objects,
+			jsonOut: *jsonOut,
+		}
+		if err := runSyncbench(os.Stdout, scfg); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *wirebench {
 		wcfg := wirebenchConfig{
@@ -90,6 +108,7 @@ func main() {
 			quiesceTimeout: *quiesceTimeout,
 			jsonOut:        *jsonOut,
 			dataDir:        *chaosDataDir,
+			churn:          *churn,
 		}
 		if err := runChaos(os.Stdout, ccfg); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)

@@ -6,6 +6,8 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -69,11 +71,9 @@ type servedProc struct {
 	out *syncBuffer
 }
 
-func spawnServed(t *testing.T, addr, peers, dataDir string) *servedProc {
+func spawnServedArgs(t *testing.T, args ...string) *servedProc {
 	t.Helper()
-	cmd := exec.Command(os.Args[0],
-		"-store", "causal", "-id", "0", "-listen", addr,
-		"-peers", peers, "-n", "3", "-data-dir", dataDir)
+	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), "SERVED_RUN_MAIN=1")
 	out := &syncBuffer{}
 	cmd.Stdout = out
@@ -82,6 +82,13 @@ func spawnServed(t *testing.T, addr, peers, dataDir string) *servedProc {
 		t.Fatal(err)
 	}
 	return &servedProc{cmd: cmd, out: out}
+}
+
+func spawnServed(t *testing.T, addr, peers, dataDir string) *servedProc {
+	t.Helper()
+	return spawnServedArgs(t,
+		"-store", "causal", "-id", "0", "-listen", addr,
+		"-peers", peers, "-n", "3", "-data-dir", dataDir)
 }
 
 // dialReady polls the child's replication port until it accepts clients.
@@ -242,5 +249,200 @@ func TestKill9Recovery(t *testing.T) {
 		if v := nd.Violations(); len(v) != 0 {
 			t.Fatalf("r%d property violations: %v", nd.ID(), v)
 		}
+	}
+}
+
+// TestKill9MidSyncJoin is the membership subsystem's end-to-end crash
+// proof: a served child joins a live donor through -join with an empty
+// data directory, the donor paces its anti-entropy chunks (SyncChunkDelay)
+// so the pull is held open, and the joiner is SIGKILL'd mid-pull. A fresh
+// child on the same data directory must restore the partial journal
+// (journal-before-ack made every acked chunk durable), re-join, pull only
+// the still-missing suffix — verified by the donor's served-update
+// accounting, which would double if the restart re-pulled the whole log —
+// converge with the donor, and audit clean.
+//
+// The synced history belongs to a node that wrote it and then left: a
+// live origin's backlog also flows over the replication link the donor
+// opens back to the joiner (racing the paced pull), but a departed
+// origin's updates can only arrive via anti-entropy, which pins the whole
+// catch-up inside the kill window.
+func TestKill9MidSyncJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	const writes = 30
+
+	mkNode := func(id int, mut func(*cluster.Config)) *cluster.Node {
+		st, err := cli.OpenStore("causal", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cluster.Config{
+			ID: model.ReplicaID(id), N: 3, Store: st, Listen: "127.0.0.1:0",
+			DialTimeout:    time.Second,
+			DialBackoffMin: 5 * time.Millisecond,
+			DialBackoffMax: 100 * time.Millisecond,
+			RetransmitMin:  25 * time.Millisecond,
+			RetransmitMax:  250 * time.Millisecond,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		nd, err := cluster.NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nd
+	}
+	// Donor r0: JSON-pinned so range chunks carry one update each, with a
+	// chunk delay that stretches the 30-update pull across ~1.5s — a wide
+	// window for the kill.
+	donor := mkNode(0, func(c *cluster.Config) {
+		c.Codec = "json"
+		c.SyncChunkDelay = 50 * time.Millisecond
+	})
+	defer donor.Close()
+
+	// Origin r2 writes the history to be synced, replicates it to the
+	// donor, and departs.
+	r2 := mkNode(2, nil)
+	if err := r2.Connect(map[model.ReplicaID]string{0: donor.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := donor.Connect(map[model.ReplicaID]string{2: r2.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < writes; i++ {
+		if _, err := r2.Do("x", model.Write(model.Value(fmt.Sprintf("v%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !cluster.WaitQuiesced([]*cluster.Node{donor, r2}, 15*time.Second) {
+		t.Fatal("donor never absorbed the origin's writes")
+	}
+	h2 := r2.History()
+	if err := r2.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	r2.Close()
+
+	addr1 := freePort(t)
+	dataDir := t.TempDir()
+	joinArgs := []string{
+		"-store", "causal", "-id", "1", "-listen", addr1, "-n", "3",
+		"-join", "0=" + donor.Addr(), "-data-dir", dataDir,
+	}
+
+	// First incarnation: wait until the donor has served a few chunks into
+	// the pull, then kill -9. The stop-and-wait ack protocol bounds the gap
+	// between served and journaled at one chunk.
+	child := spawnServedArgs(t, joinArgs...)
+	deadline := time.Now().Add(10 * time.Second)
+	for donor.Stats().SyncServed < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("donor never started serving the pull\nchild output:\n%s", child.out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := child.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child.cmd.Wait()
+	served1 := donor.Stats().SyncServed
+	if served1 >= writes {
+		t.Fatalf("kill landed after the full pull (%d of %d served); widen -sync-delay", served1, writes)
+	}
+
+	// Second incarnation on the same data directory: it must restore a
+	// non-empty, partial journal before re-joining.
+	child = spawnServedArgs(t, joinArgs...)
+	defer func() {
+		child.cmd.Process.Signal(syscall.SIGTERM)
+		child.cmd.Wait()
+	}()
+	restoredRe := regexp.MustCompile(`restored (\d+) events`)
+	var restored int
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if m := restoredRe.FindStringSubmatch(child.out.String()); m != nil {
+			restored, _ = strconv.Atoi(m[1])
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted joiner never reported a restore:\n%s", child.out)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if restored == 0 || restored >= writes {
+		t.Fatalf("restored %d events, want a partial journal in (0,%d)", restored, writes)
+	}
+
+	// The re-join completes: the joiner holds every donor update, the
+	// donor's lifetime served count stays below two full logs (a restart
+	// that re-pulled everything would reach served1+30; journal-before-ack
+	// bounds it by served1+1 plus the missing suffix), and the pair
+	// converges and audits clean across the process boundary.
+	c := dialReady(t, addr1)
+	defer c.Close()
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		s, err := c.Stats()
+		if err == nil && s.Events >= writes {
+			break
+		}
+		if time.Now().After(deadline) {
+			s, _ := c.Stats()
+			t.Fatalf("joiner never caught up: stats %+v\nchild output:\n%s", s, child.out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	total := donor.Stats().SyncServed
+	if total-served1 >= writes {
+		t.Fatalf("restarted joiner re-pulled the full log: donor served %d then %d more, want < %d", served1, total-served1, writes)
+	}
+
+	quiesced := func() bool {
+		s, err := c.Stats()
+		return err == nil && s.Quiesced && donor.Quiesced()
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	clean := 0
+	for clean < 2 {
+		if time.Now().After(deadline) {
+			s, _ := c.Stats()
+			t.Fatalf("pair did not quiesce: joiner %+v, donor %+v\nchild output:\n%s", s, donor.Stats(), child.out)
+		}
+		if quiesced() {
+			clean++
+		} else {
+			clean = 0
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err := cluster.CheckConverged([]cluster.Doer{donor, c}, []model.ObjectID{"x"}); err != nil {
+		t.Fatalf("%v\nchild output:\n%s", err, child.out)
+	}
+	for _, m := range donor.Membership() {
+		if m.ID == 1 && m.Left {
+			t.Fatalf("donor's view still marks the joiner as left: %+v", m)
+		}
+		if m.ID == 2 && !m.Left {
+			t.Fatalf("donor's view forgot the origin's departure: %+v", m)
+		}
+	}
+	h1, err := c.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := cluster.BuildAudit([]cluster.History{donor.History(), h1, h2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Exec.CheckWellFormed(); err != nil {
+		t.Fatalf("merged execution not well-formed: %v", err)
+	}
+	if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
+		t.Fatalf("derived abstract execution not causal: %v", err)
 	}
 }

@@ -7,14 +7,29 @@
 //
 // Usage (3-node cluster on one machine):
 //
-//	served -store causal -id 0 -listen :7000 -peers 1=:7001,2=:7002 &
-//	served -store causal -id 1 -listen :7001 -peers 0=:7000,2=:7002 &
-//	served -store causal -id 2 -listen :7002 -peers 0=:7000,1=:7001 &
+//	served -store causal -id 0 -listen 127.0.0.1:7000 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002 &
+//	served -store causal -id 1 -listen 127.0.0.1:7001 -peers 0=127.0.0.1:7000,2=127.0.0.1:7002 &
+//	served -store causal -id 2 -listen 127.0.0.1:7002 -peers 0=127.0.0.1:7000,1=127.0.0.1:7001 &
+//
+// Peer addresses must carry an explicit host: they are re-advertised to
+// other members during joins, where a bare ":7001" would point each
+// receiver at itself.
 //
 // With -data-dir the node journals every recorded event to an fsync'd
 // on-disk log (internal/durable) before acknowledging it, and restores
 // its history from that directory on boot — so the process can be
 // kill -9'd and restarted in place without losing acknowledged state.
+//
+// A node can also join a running cluster dynamically instead of being
+// named in every peer list at boot:
+//
+//	served -store causal -id 3 -n 4 -listen 127.0.0.1:7003 -join 0=127.0.0.1:7000
+//
+// The joiner announces itself to the seed, adopts the cluster's
+// membership view, catches up on missing history via Merkle anti-entropy
+// over the durable log (pulling only the ranges it lacks), and then
+// enters normal replication. -join requires -n, since the seeds are not
+// the whole population.
 //
 // The cluster size is 1+len(peers) unless -n says otherwise. Shutdown is
 // graceful on SIGINT/SIGTERM.
@@ -49,12 +64,14 @@ func main() {
 	storeName := cli.StoreFlag(flag.CommandLine, "causal")
 	flag.IntVar(&cfg.id, "id", 0, "this node's replica ID (0-based)")
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:7000", "replication+client listen address")
-	flag.StringVar(&cfg.peersSpec, "peers", "", "peer replicas as id=addr pairs, comma-separated (e.g. 1=:7001,2=:7002)")
-	flag.IntVar(&cfg.n, "n", 0, "cluster size (default 1+len(peers))")
-	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP listen address serving /healthz, /metrics, /history (disabled if empty)")
+	flag.StringVar(&cfg.peersSpec, "peers", "", "peer replicas as id=addr pairs, comma-separated (e.g. 1=127.0.0.1:7001,2=127.0.0.1:7002)")
+	flag.IntVar(&cfg.n, "n", 0, "cluster size (default 1+len(peers); required with -join)")
+	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP listen address serving /healthz, /metrics, /membership, /history (disabled if empty)")
 	flag.IntVar(&cfg.k, "k", 2, "K for the kbuffer store")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for the durable event journal (journaling disabled if empty)")
 	flag.StringVar(&cfg.wireCodec, "wire-codec", "", "preferred wire codec for replication links and the journal (json, binary; default: the store's own preference)")
+	flag.StringVar(&cfg.joinSpec, "join", "", "join a running cluster through these seed nodes (id=addr pairs like -peers; requires -n)")
+	flag.DurationVar(&cfg.syncDelay, "sync-delay", 0, "pause between anti-entropy chunks served to a joiner (test knob, 0 disables)")
 	flag.Parse()
 	cfg.store = *storeName
 
@@ -75,11 +92,30 @@ type serveConfig struct {
 	k         int
 	dataDir   string
 	wireCodec string
+	joinSpec  string
+	syncDelay time.Duration
 }
 
-// parsePeers parses "1=:7001,2=host:7002" into a peer address map. self is
-// this node's own replica ID: a peer entry claiming it is a configuration
-// error caught here, not a dial loop discovered at runtime.
+// checkPeerAddr rejects peer addresses a membership exchange could not
+// re-advertise: no port, or an empty host like ":7001", which every
+// receiver would resolve to itself.
+func checkPeerAddr(addr string) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("bad address %q: %v", addr, err)
+	}
+	if host == "" {
+		return fmt.Errorf("address %q has no host (a bare port is ambiguous once re-advertised to other members)", addr)
+	}
+	if port == "" {
+		return fmt.Errorf("address %q has no port", addr)
+	}
+	return nil
+}
+
+// parsePeers parses "1=127.0.0.1:7001,2=host:7002" into a peer address map.
+// self is this node's own replica ID: a peer entry claiming it is a
+// configuration error caught here, not a dial loop discovered at runtime.
 func parsePeers(spec string, self int) (map[model.ReplicaID]string, error) {
 	peers := make(map[model.ReplicaID]string)
 	if spec == "" {
@@ -97,6 +133,9 @@ func parsePeers(spec string, self int) (map[model.ReplicaID]string, error) {
 		if rid == self {
 			return nil, fmt.Errorf("peer %q names this node's own id %d", part, self)
 		}
+		if err := checkPeerAddr(addr); err != nil {
+			return nil, err
+		}
 		if _, dup := peers[model.ReplicaID(rid)]; dup {
 			return nil, fmt.Errorf("duplicate peer id %d", rid)
 		}
@@ -105,8 +144,38 @@ func parsePeers(spec string, self int) (map[model.ReplicaID]string, error) {
 	return peers, nil
 }
 
+// parseTopology validates the -peers and -join flags together: both use the
+// same id=addr syntax, and an id may appear in at most one of them — a node
+// that is both a static peer and a join seed would be dialed twice under
+// two different link-setup protocols.
+func parseTopology(cfg serveConfig) (peers, join map[model.ReplicaID]string, err error) {
+	peers, err = parsePeers(cfg.peersSpec, cfg.id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.joinSpec == "" {
+		return peers, nil, nil
+	}
+	join, err = parsePeers(cfg.joinSpec, cfg.id)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-join: %w", err)
+	}
+	if len(join) == 0 {
+		return nil, nil, fmt.Errorf("-join: no seed nodes")
+	}
+	if cfg.n == 0 {
+		return nil, nil, fmt.Errorf("-join requires -n: the seed list is not the whole cluster")
+	}
+	for rid := range join {
+		if _, dup := peers[rid]; dup {
+			return nil, nil, fmt.Errorf("node %d appears in both -peers and -join", rid)
+		}
+	}
+	return peers, join, nil
+}
+
 func run(cfg serveConfig) error {
-	peers, err := parsePeers(cfg.peersSpec, cfg.id)
+	peers, join, err := parseTopology(cfg)
 	if err != nil {
 		return err
 	}
@@ -120,12 +189,14 @@ func run(cfg serveConfig) error {
 	}
 
 	ncfg := cluster.Config{
-		ID:     model.ReplicaID(cfg.id),
-		N:      n,
-		Store:  st,
-		Listen: cfg.listen,
-		Peers:  peers,
-		Codec:  cfg.wireCodec,
+		ID:             model.ReplicaID(cfg.id),
+		N:              n,
+		Store:          st,
+		Listen:         cfg.listen,
+		Peers:          peers,
+		Join:           join,
+		Codec:          cfg.wireCodec,
+		SyncChunkDelay: cfg.syncDelay,
 	}
 	if cfg.dataDir != "" {
 		jl, hist, err := durable.Open(cfg.dataDir,
@@ -139,6 +210,10 @@ func run(cfg serveConfig) error {
 		defer jl.Close()
 		ncfg.Journal = jl.Append
 		ncfg.Restore = hist
+		// The journal maintains the Merkle forest over what it has fsync'd;
+		// handing it to the node keeps anti-entropy digests in lockstep with
+		// the durable log rather than with unjournaled in-memory state.
+		ncfg.Tree = jl.Tree()
 		restored := 0
 		if hist != nil {
 			restored = len(hist.Events)
@@ -195,8 +270,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // startAdmin exposes the node over plain HTTP for operators and offline
-// audits: /healthz (200 once serving), /metrics (the Stats snapshot), and
-// /history (the recorded local history, ready for cluster.BuildAudit). The
+// audits: /healthz (200 once serving), /metrics (the Stats snapshot),
+// /membership (the node's view of who is in the cluster), and /history
+// (the recorded local history, ready for cluster.BuildAudit). The
 // returned server is already serving; the caller owns its Shutdown.
 func startAdmin(addr string, node *cluster.Node) (*http.Server, error) {
 	mux := http.NewServeMux()
@@ -205,6 +281,9 @@ func startAdmin(addr string, node *cluster.Node) (*http.Server, error) {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, node.Stats())
+	})
+	mux.HandleFunc("/membership", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, node.Membership())
 	})
 	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, node.History())

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,28 +19,40 @@ import (
 )
 
 func TestParsePeers(t *testing.T) {
-	peers, err := parsePeers("1=:7001,2=host:7002", 0)
+	peers, err := parsePeers("1=127.0.0.1:7001,2=host:7002", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(peers) != 2 || peers[1] != ":7001" || peers[2] != "host:7002" {
+	if len(peers) != 2 || peers[1] != "127.0.0.1:7001" || peers[2] != "host:7002" {
 		t.Fatalf("peers = %v", peers)
 	}
 	if got, _ := parsePeers("", 0); len(got) != 0 {
 		t.Fatalf("empty spec parsed to %v", got)
 	}
-	for _, bad := range []string{"x", "a=:1", "-1=:1", "1=", "1=:1,1=:2"} {
+	for _, bad := range []string{"x", "a=h:1", "-1=h:1", "1=", "1=h:1,1=h:2"} {
 		if _, err := parsePeers(bad, 0); err == nil {
 			t.Fatalf("%q accepted", bad)
 		}
 	}
 }
 
+// TestParsePeersRejectsBadAddrs: a peer address with no host (":7001")
+// re-advertised during a join points every receiver at itself, and one
+// with no port cannot be dialed at all — both must fail at parse time,
+// not as a runtime dial loop.
+func TestParsePeersRejectsBadAddrs(t *testing.T) {
+	for _, bad := range []string{"1=:7001", "1=host", "1=host:", "1=host:1:2", "1=127.0.0.1:7001,2=:7002"} {
+		if peers, err := parsePeers(bad, 0); err == nil {
+			t.Fatalf("%q accepted as %v", bad, peers)
+		}
+	}
+}
+
 // TestParsePeersRejectsTrailingGarbage: the old fmt.Sscanf parser stopped
-// at the first non-digit, so "1x=:7001" silently configured peer 1 — a
+// at the first non-digit, so "1x=h:7001" silently configured peer 1 — a
 // typo'd cluster came up wired to the wrong replica.
 func TestParsePeersRejectsTrailingGarbage(t *testing.T) {
-	for _, bad := range []string{"1x=:7001", "0 1=:7001", "+1 =:7001", "1.5=:7001", "0x1=:7001"} {
+	for _, bad := range []string{"1x=h:7001", "0 1=h:7001", "+1 =h:7001", "1.5=h:7001", "0x1=h:7001"} {
 		if peers, err := parsePeers(bad, 9); err == nil {
 			t.Fatalf("%q accepted as %v", bad, peers)
 		}
@@ -49,12 +62,58 @@ func TestParsePeersRejectsTrailingGarbage(t *testing.T) {
 // TestParsePeersRejectsSelf: a peer entry naming the node's own -id would
 // have the node dialing itself forever; it must fail at parse time.
 func TestParsePeersRejectsSelf(t *testing.T) {
-	if peers, err := parsePeers("1=:7001,2=:7002", 2); err == nil {
+	if peers, err := parsePeers("1=h:7001,2=h:7002", 2); err == nil {
 		t.Fatalf("self-peer accepted as %v", peers)
 	}
 	// The same spec is fine for a node with a different id.
-	if _, err := parsePeers("1=:7001,2=:7002", 0); err != nil {
+	if _, err := parsePeers("1=h:7001,2=h:7002", 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParseTopology drives the combined -peers/-join validation: the join
+// spec shares the peer syntax, requires an explicit -n, and an id may not
+// appear in both maps.
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     serveConfig
+		wantErr string
+	}{
+		{"peers only", serveConfig{id: 0, peersSpec: "1=h:7001,2=h:7002"}, ""},
+		{"join only", serveConfig{id: 3, n: 4, joinSpec: "0=h:7000,1=h:7001"}, ""},
+		{"peers and disjoint join", serveConfig{id: 3, n: 4, peersSpec: "1=h:7001", joinSpec: "0=h:7000"}, ""},
+		{"join without n", serveConfig{id: 3, joinSpec: "0=h:7000"}, "requires -n"},
+		{"duplicate id across flags", serveConfig{id: 3, n: 4, peersSpec: "0=h:7000", joinSpec: "0=h:7000"}, "both -peers and -join"},
+		{"join names self", serveConfig{id: 3, n: 4, joinSpec: "3=h:7003"}, "own id"},
+		{"join empty host", serveConfig{id: 3, n: 4, joinSpec: "0=:7000"}, "no host"},
+		{"join bad syntax", serveConfig{id: 3, n: 4, joinSpec: "zero"}, "want id=addr"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			peers, join, err := parseTopology(tc.cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.cfg.joinSpec != "" && len(join) == 0 {
+					t.Fatalf("join spec %q parsed to empty map", tc.cfg.joinSpec)
+				}
+				if tc.cfg.joinSpec == "" && join != nil {
+					t.Fatalf("no join spec but join = %v", join)
+				}
+				if tc.cfg.peersSpec != "" && len(peers) == 0 {
+					t.Fatalf("peer spec %q parsed to empty map", tc.cfg.peersSpec)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted as peers=%v join=%v, want error containing %q", peers, join, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 
@@ -106,7 +165,7 @@ func TestAdminServerGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := srv.Addr
-	for _, path := range []string{"/healthz", "/metrics", "/history"} {
+	for _, path := range []string{"/healthz", "/metrics", "/membership", "/history"} {
 		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)

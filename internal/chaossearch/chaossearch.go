@@ -65,11 +65,16 @@ const (
 	// ObjViolations maximizes checker-violation proximity: found §4
 	// violations dominate, stress proxies break ties among clean runs.
 	ObjViolations Objective = "violations"
+	// ObjChurn maximizes membership-churn cost: the anti-entropy catch-up
+	// work joins force (weighted heaviest), the churn directives applied,
+	// and the residual quiesce work — the schedules where leaving and
+	// rejoining at the worst moments hurts the most.
+	ObjChurn Objective = "churn"
 )
 
 // Objectives lists every registered objective, in canonical order.
 func Objectives() []Objective {
-	return []Objective{ObjConvergence, ObjRetransmits, ObjRedelivery, ObjViolations}
+	return []Objective{ObjConvergence, ObjRetransmits, ObjRedelivery, ObjViolations, ObjChurn}
 }
 
 // ParseObjective resolves an -objective flag value.
@@ -95,6 +100,8 @@ func Score(obj Objective, m fault.Metrics) int64 {
 		return m.DupCopies + m.DupFrames + m.GapFrames
 	case ObjViolations:
 		return m.Violations*1_000_000 + m.Blocked + m.QuiesceDeliveries
+	case ObjChurn:
+		return m.SyncUpdates*4 + m.Leaves + m.Joins + m.QuiesceDeliveries
 	}
 	return 0
 }
@@ -106,15 +113,17 @@ type Config struct {
 	// Seed is the root seed; every candidate schedule seed, uniform
 	// baseline seed, and workload stream is split from it.
 	Seed int64
-	// Nodes, Steps, Partitions, Crashes, and LinkFaults shape every
-	// candidate schedule (fault.Config); zero fields take the canonical
-	// chaos-battery values (3 nodes, 150 steps, 2 partitions, 2 crashes,
-	// 3 link faults).
+	// Nodes, Steps, Partitions, Crashes, LinkFaults, and Churns shape
+	// every candidate schedule (fault.Config); zero fields take the
+	// canonical chaos-battery values (3 nodes, 150 steps, 2 partitions, 2
+	// crashes, 3 link faults, 2 leave→join windows). Note crash and churn
+	// victims are disjoint, so Crashes+Churns is capped at Nodes.
 	Nodes      int
 	Steps      int
 	Partitions int
 	Crashes    int
 	LinkFaults int
+	Churns     int
 	// Objective selects the score (default ObjConvergence).
 	Objective Objective
 	// Budget is the total number of schedule evaluations (default 64).
@@ -140,6 +149,7 @@ func (cfg Config) withDefaults() Config {
 	def(&cfg.Partitions, 2)
 	def(&cfg.Crashes, 2)
 	def(&cfg.LinkFaults, 3)
+	def(&cfg.Churns, 2)
 	def(&cfg.Budget, 64)
 	def(&cfg.BeamWidth, 4)
 	def(&cfg.BranchFactor, 8)
@@ -189,6 +199,7 @@ func (cfg Config) Schedule(seed int64) fault.Schedule {
 	return fault.Generate(fault.Config{
 		Seed: seed, N: cfg.Nodes, Steps: cfg.Steps,
 		Partitions: cfg.Partitions, Crashes: cfg.Crashes, LinkFaults: cfg.LinkFaults,
+		Churns: cfg.Churns,
 	})
 }
 

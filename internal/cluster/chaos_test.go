@@ -192,11 +192,12 @@ func TestNodeRestartRestoresHistory(t *testing.T) {
 	}
 }
 
-// TestRestoreResendLateConnectingPeer pins the restore→resend contract: a
-// node restarted from its history must re-offer the restored send backlog
-// to peers that connect only AFTER the restart — and a second restart must
-// be able to re-offer the same backlog again, with the receiver's
-// cumulative-seq dedup absorbing the duplicates and the audit staying
+// TestRestoreResendLateConnectingPeer pins the late-connect contract: a
+// node restarted from its history must offer the FULL live backlog — not
+// just the restored prefix — to peers that connect only AFTER the restart.
+// A second restart re-offers the same (now entirely stale) backlog, and
+// the peer's delivered watermark on the hello ack prunes it before the
+// first drain, so nothing stale is retransmitted and the audit stays
 // clean.
 func TestRestoreResendLateConnectingPeer(t *testing.T) {
 	st0, err := store.Open("causal", spec.MVRTypes(), store.Options{})
@@ -270,8 +271,10 @@ func TestRestoreResendLateConnectingPeer(t *testing.T) {
 		t.Fatalf("r1 read x=%v after late connect, want [v4]", resp.Values)
 	}
 
-	// Second crash/restart: the re-offered backlog is now entirely stale,
-	// and r1's cumulative-seq dedup must absorb it without re-recording.
+	// Second crash/restart: the re-offered backlog is now entirely stale.
+	// r1's hello ack carries delivered=5, which pre-acks the whole offer:
+	// the connection quiesces without shipping (or r1 deduplicating) a
+	// single stale frame.
 	r0.Close()
 	r0 = restart(r0.FinalHistory())
 	t.Cleanup(func() { r0.Close() })
@@ -281,8 +284,8 @@ func TestRestoreResendLateConnectingPeer(t *testing.T) {
 	if !WaitQuiesced([]*Node{r0, r1}, 30*time.Second) {
 		t.Fatal("did not quiesce after second restart")
 	}
-	if dups := r1.Stats().DupFrames; dups == 0 {
-		t.Fatal("re-offered backlog produced no dup frames; resend path not exercised")
+	if dups := r1.Stats().DupFrames; dups != 0 {
+		t.Fatalf("stale backlog shipped %d dup frames; the hello-ack delivered watermark should have pruned the offer", dups)
 	}
 	if err := CheckConverged([]Doer{r0, r1}, []model.ObjectID{"x", "y"}); err != nil {
 		t.Fatal(err)

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/store"
 	"repro/internal/wire"
@@ -92,6 +93,37 @@ type Config struct {
 	// Observer methods are nil-safe, so the field is threaded unguarded.
 	Observer *fault.Observer
 
+	// Join, when non-nil, lists seed nodes (id → address) to join the
+	// cluster through instead of (or in addition to) static Peers: NewNode
+	// dials a seed, announces itself with a tJoin frame, adopts the seed's
+	// membership view, catches up on missing history via Merkle
+	// anti-entropy (pulling only the ranges its durable log lacks), and
+	// only then enters normal replication. NewNode blocks until one seed
+	// admits the node or a permanent refusal (divergent or lost history)
+	// aborts it.
+	Join map[model.ReplicaID]string
+	// Epoch is this incarnation's membership epoch. Leave/rejoin cycles
+	// need strictly increasing epochs; a joiner discovering a record of
+	// itself at an equal or higher epoch bumps past it automatically, so
+	// callers can normally leave this zero.
+	Epoch uint64
+	// GossipInterval paces the membership gossip loop (default 200ms).
+	// Gossip only runs once the node is membership-dynamic: it joined via
+	// Join, was asked to Leave, or heard a tJoin/tGossip frame. A static
+	// cluster never gossips.
+	GossipInterval time.Duration
+	// SyncChunkDelay, when positive, makes this node pause between
+	// anti-entropy range chunks it serves to a joiner — a test knob that
+	// holds a sync open long enough to kill -9 the joiner mid-pull.
+	SyncChunkDelay time.Duration
+	// Tree, when non-nil, is the Merkle forest the durable layer maintains
+	// over this node's journaled events (durable.Log hashes each update in
+	// the same turn that fsyncs it, and checkpoints the forest alongside
+	// snapshots). When nil, the node builds and maintains its own in-memory
+	// forest. Either way the forest backs digest exchange and range serving
+	// for joining peers. Storage supplies it together with Journal/Restore.
+	Tree *membership.Forest
+
 	// Codec names this node's preferred wire codec ("json", "binary").
 	// Empty means the store's own preference: stores implementing
 	// store.PayloadCodec get the compact binary codec, the rest the JSON
@@ -124,7 +156,7 @@ type Config struct {
 // incarnation (nil on first boot), and closeLog is invoked after the event
 // loop has exited.
 type NodeStorage interface {
-	Open(id model.ReplicaID, n int, storeName string) (journal func(Event) error, restore *History, closeLog func() error, err error)
+	Open(id model.ReplicaID, n int, storeName string) (journal func(Event) error, restore *History, tree *membership.Forest, closeLog func() error, err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +177,7 @@ func (c Config) withDefaults() Config {
 	def(&c.RetransmitMin, 200*time.Millisecond)
 	def(&c.RetransmitMax, 2*time.Second)
 	def(&c.WriteTimeout, 5*time.Second)
+	def(&c.GossipInterval, 200*time.Millisecond)
 	return c
 }
 
@@ -170,6 +203,15 @@ type Stats struct {
 	GapFrames   int64           `json:"gap_frames"`
 	Violations  int             `json:"violations"`
 	Quiesced    bool            `json:"quiesced"`
+	// Members is how many nodes this node's membership view currently
+	// considers alive (including itself).
+	Members int `json:"members,omitempty"`
+	// SyncPulled counts updates this node applied from anti-entropy range
+	// pulls while joining; SyncServed counts updates it shipped to joiners.
+	// The pair is the byte-range evidence that a join moved only the
+	// missing ranges, not the whole log.
+	SyncPulled int64 `json:"sync_pulled,omitempty"`
+	SyncServed int64 `json:"sync_served,omitempty"`
 }
 
 // Node is one replica of a TCP-backed cluster.
@@ -201,10 +243,31 @@ type Node struct {
 	// fail-stopping: no further acks are written, operations error, and an
 	// async Close is already underway.
 	jerr error
-	// resend holds this node's own past broadcasts after a restore,
-	// re-offered to every peer on Connect so updates unacked at crash
-	// time still reach everyone. Immutable once NewNode returns.
-	resend []protoUpdate
+	// updates indexes every broadcast update this node holds, per origin in
+	// seq order (updates[o][i].Seq == i+1): its own live backlog — what
+	// Connect offers a new link, so a late-connecting peer sees post-boot
+	// writes too — plus everything received, which is what anti-entropy
+	// range serving reads. Payloads are shared with the recorded events
+	// and immutable once appended. Loop-owned.
+	updates [][]protoUpdate
+	// tree is the Merkle forest over updates, backing digest exchange with
+	// joiners. treeOwned means this node appends each update's hash itself
+	// (in the same loop turn that records it); otherwise cfg.Tree was
+	// supplied and the durable layer hashes on journal append — same turn,
+	// different owner, never both. Loop-owned after NewNode.
+	tree      *membership.Forest
+	treeOwned bool
+
+	// view is this node's convergent membership picture. Internally locked;
+	// epoch is this incarnation's announcement epoch.
+	view  *membership.View
+	epoch atomic.Uint64
+	// dynamic flips once membership is in play (Join config, Leave, or a
+	// tJoin/tGossip heard) and starts the gossip loop; static clusters
+	// never pay for it.
+	dynamic    atomic.Bool
+	syncPulled atomic.Int64
+	syncServed atomic.Int64
 
 	peerMu sync.Mutex
 	peers  map[model.ReplicaID]*peerSender
@@ -234,6 +297,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("cluster: invalid cluster size %d", cfg.N)
 	}
+	if int(cfg.ID) < 0 || int(cfg.ID) >= cfg.N {
+		return nil, fmt.Errorf("cluster: node ID r%d outside cluster of %d", cfg.ID, cfg.N)
+	}
 	codecName := cfg.Codec
 	if codecName == "" {
 		codecName = store.PreferredWireCodec(cfg.Store)
@@ -252,12 +318,13 @@ func NewNode(cfg Config) (*Node, error) {
 		if cfg.Journal != nil || cfg.Restore != nil {
 			return nil, errors.New("cluster: Config.Storage is mutually exclusive with Journal/Restore")
 		}
-		journal, restored, closeLog, err := cfg.Storage.Open(cfg.ID, cfg.N, cfg.Store.Name())
+		journal, restored, tree, closeLog, err := cfg.Storage.Open(cfg.ID, cfg.N, cfg.Store.Name())
 		if err != nil {
 			return nil, fmt.Errorf("cluster: open storage for r%d: %w", cfg.ID, err)
 		}
 		cfg.Journal = journal
 		cfg.Restore = restored
+		cfg.Tree = tree
 		closeJournal = closeLog
 	}
 	ln, err := net.Listen("tcp", cfg.Listen)
@@ -278,10 +345,23 @@ func NewNode(cfg Config) (*Node, error) {
 		done:      make(chan struct{}),
 		delivered: make([]uint64, cfg.N),
 		frontier:  make([]uint64, cfg.N),
+		updates:   make([][]protoUpdate, cfg.N),
 		peers:     make(map[model.ReplicaID]*peerSender),
 		conns:     make(map[net.Conn]struct{}),
+		view:      membership.NewView(),
 	}
 	n.closeJournal = closeJournal
+	n.epoch.Store(cfg.Epoch)
+	if n.tree = cfg.Tree; n.tree == nil {
+		n.tree = membership.NewForest(cfg.N)
+		n.treeOwned = true
+	}
+	// Seed the view: self plus every statically named peer, at epoch 0 —
+	// later gossip (with real epochs) supersedes these placeholders.
+	n.view.Merge(membership.Member{ID: int(cfg.ID), Addr: n.Addr(), Epoch: cfg.Epoch})
+	for id, addr := range cfg.Peers {
+		n.view.Merge(membership.Member{ID: int(id), Addr: addr})
+	}
 	if cfg.Restore != nil {
 		if err := n.restore(cfg.Restore); err != nil {
 			ln.Close()
@@ -294,7 +374,15 @@ func NewNode(cfg Config) (*Node, error) {
 	n.wg.Add(2)
 	go n.loop()
 	go n.acceptLoop()
-	if cfg.Peers != nil {
+	if cfg.Join != nil {
+		// Join owns link setup: it syncs, announces, and connects to every
+		// alive member (statically named peers were merged into the view
+		// above), so the static Connect below would only race it.
+		if err := n.join(); err != nil {
+			n.Close()
+			return nil, err
+		}
+	} else if cfg.Peers != nil {
 		if err := n.Connect(cfg.Peers); err != nil {
 			n.Close()
 			return nil, err
@@ -311,22 +399,50 @@ func (n *Node) ID() model.ReplicaID { return n.cfg.ID }
 
 // Connect starts replication links to the given peers. Each link dials in
 // the background with backoff, so Connect succeeds even while peers are
-// still coming up.
+// still coming up. A new link is offered this node's full live backlog —
+// every broadcast it has ever recorded, not just what a restore left
+// unacked — so a peer connected after boot still receives the post-boot
+// writes. The offer is enqueued in one event-loop turn (no broadcast can
+// interleave), and costs little on reconnects: the peer's v3 hello ack
+// carries its delivered watermark, pruning the queue before the first
+// send. Receivers deduplicate by cumulative seq regardless.
 func (n *Node) Connect(peers map[model.ReplicaID]string) error {
+	return n.connect(peers, false)
+}
+
+func (n *Node) connect(peers map[model.ReplicaID]string, skipLinked bool) error {
+	var err error
+	if e := n.inLoop(func() { err = n.connectInLoop(peers, skipLinked) }); e != nil {
+		return e
+	}
+	return err
+}
+
+// connectInLoop validates and starts the links on the event loop, so the
+// full-backlog offer and the peer-map insertion happen atomically with
+// respect to broadcastPending. (It must not be called while holding
+// peerMu: the loop itself takes it via allPeers.)
+func (n *Node) connectInLoop(peers map[model.ReplicaID]string, skipLinked bool) error {
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
-	for id, addr := range peers {
+	for id := range peers {
 		if id == n.cfg.ID {
 			return fmt.Errorf("cluster: r%d listed as its own peer", id)
 		}
 		if int(id) < 0 || int(id) >= n.cfg.N {
 			return fmt.Errorf("cluster: peer r%d outside cluster of %d", id, n.cfg.N)
 		}
-		if _, dup := n.peers[id]; dup {
+		if _, dup := n.peers[id]; dup && !skipLinked {
 			return fmt.Errorf("cluster: duplicate link to r%d", id)
 		}
+	}
+	for id, addr := range peers {
+		if _, dup := n.peers[id]; dup {
+			continue
+		}
+		n.view.Merge(membership.Member{ID: int(id), Addr: addr})
 		p := newPeerSender(n, id, addr)
-		for _, u := range n.resend {
+		for _, u := range n.updates[n.cfg.ID] {
 			p.enqueue(u)
 		}
 		n.peers[id] = p
@@ -363,10 +479,9 @@ func (n *Node) restore(h *History) error {
 			}
 			n.replica.OnSend()
 			n.seq = ev.Seq
-			n.resend = append(n.resend, protoUpdate{
-				Origin: ev.Origin, Seq: ev.Seq, Lamport: ev.Lamport,
-				Payload: append([]byte(nil), ev.Payload...),
-			})
+			if err := n.noteUpdate(ev.Origin, ev.Seq, ev.Lamport, append([]byte(nil), ev.Payload...)); err != nil {
+				return err
+			}
 		case model.ActReceive:
 			if ev.Payload == nil {
 				return fmt.Errorf("cluster: restored receive event %d has no payload (history predates payload recording)", i)
@@ -377,6 +492,9 @@ func (n *Node) restore(h *History) error {
 			payload := ev.Payload
 			n.checker.CheckReceive(payload, func() { n.replica.Receive(payload) })
 			n.delivered[ev.Origin] = ev.Seq
+			if err := n.noteUpdate(ev.Origin, ev.Seq, ev.Lamport, payload); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("cluster: restored event %d has unknown kind %v", i, ev.Kind)
 		}
@@ -389,7 +507,7 @@ func (n *Node) restore(h *History) error {
 	}
 	// A message pending at crash time was never recorded as sent: mint its
 	// send event now (the history stays well-formed — the send follows
-	// every restored event) and add it to the resend backlog. Minted events
+	// every restored event) and add it to the live backlog. Minted events
 	// are new, so they go through record and reach the journal.
 	for {
 		p := n.replica.PendingMessage()
@@ -407,9 +525,37 @@ func (n *Node) restore(h *History) error {
 		if n.jerr != nil {
 			return n.jerr
 		}
-		n.resend = append(n.resend, protoUpdate{Origin: n.cfg.ID, Seq: n.seq, Lamport: n.lamport, Payload: payload})
+		if err := n.noteUpdate(n.cfg.ID, n.seq, n.lamport, payload); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// noteUpdate indexes one broadcast update into the per-origin backlog and,
+// when this node owns its Merkle forest, hashes it in — always in the same
+// turn the update's event is recorded, so backlog, forest, and journal
+// never disagree. (With a durable-supplied forest the durable layer hashes
+// on journal append instead; appending here too would double-hash.) Runs
+// on the event loop, or in restore before the loop starts.
+func (n *Node) noteUpdate(origin model.ReplicaID, seq, lamport uint64, payload []byte) error {
+	n.updates[origin] = append(n.updates[origin], protoUpdate{Origin: origin, Seq: seq, Lamport: lamport, Payload: payload})
+	if n.treeOwned {
+		if err := n.tree.Append(int(origin), seq, payload); err != nil {
+			return fmt.Errorf("cluster: r%d merkle append: %w", n.cfg.ID, err)
+		}
+	}
+	return nil
+}
+
+// noteUpdateInLoop is noteUpdate for event-loop callers, latching a
+// failure into jerr (a misaligned forest would corrupt anti-entropy, so
+// the node fail-stops like it does on a journal failure).
+func (n *Node) noteUpdateInLoop(origin model.ReplicaID, seq, lamport uint64, payload []byte) {
+	if err := n.noteUpdate(origin, seq, lamport, payload); err != nil && n.jerr == nil {
+		n.jerr = err
+		go n.Close()
+	}
 }
 
 func (n *Node) allPeers() []*peerSender {
@@ -547,6 +693,7 @@ func (n *Node) broadcastPending() {
 			Origin: n.cfg.ID, Seq: n.seq, Payload: payload,
 		})
 		n.sends.Add(1)
+		n.noteUpdateInLoop(n.cfg.ID, n.seq, n.lamport, payload)
 		u := protoUpdate{Origin: n.cfg.ID, Seq: n.seq, Lamport: n.lamport, Payload: payload}
 		for _, ps := range n.allPeers() {
 			ps.enqueue(u)
@@ -577,12 +724,14 @@ func (n *Node) applyUpdate(u protoUpdate) (uint64, bool) {
 			n.lamport = u.Lamport
 		}
 		n.lamport++
+		payload := append([]byte(nil), u.Payload...)
 		n.record(Event{
 			Kind: model.ActReceive, Lamport: n.lamport,
 			Origin: u.Origin, Seq: u.Seq,
-			Payload: append([]byte(nil), u.Payload...),
+			Payload: payload,
 		})
 		n.receives.Add(1)
+		n.noteUpdateInLoop(u.Origin, u.Seq, u.Lamport, payload)
 		n.broadcastPending()
 	}
 	return n.delivered[u.Origin], n.jerr == nil
@@ -603,6 +752,24 @@ func (n *Node) Quiesced() bool {
 	}
 	for _, p := range n.allPeers() {
 		if !p.drained() {
+			return false
+		}
+	}
+	return n.viewLinked()
+}
+
+// viewLinked reports whether every member this node's view considers alive
+// has a replication link. Without it a node could report quiescence while
+// still holding updates a known-but-not-yet-linked joiner lacks — the
+// drained() condition is vacuous for a link that does not exist yet.
+func (n *Node) viewLinked() bool {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	for _, m := range n.view.Alive() {
+		if m.ID == int(n.cfg.ID) || m.ID < 0 || m.ID >= n.cfg.N {
+			continue
+		}
+		if _, ok := n.peers[model.ReplicaID(m.ID)]; !ok {
 			return false
 		}
 	}
@@ -627,6 +794,9 @@ func (n *Node) Stats() Stats {
 		s.FramesOut = n.framesOut.Load()
 		s.DupFrames = n.dupFrames.Load()
 		s.GapFrames = n.gapFrames.Load()
+		s.SyncPulled = n.syncPulled.Load()
+		s.SyncServed = n.syncServed.Load()
+		s.Members = len(n.view.Alive())
 		for _, p := range n.allPeers() {
 			s.Retransmits += p.retransmits.Load()
 			s.Reconnects += p.reconnects.Load()
@@ -642,7 +812,7 @@ func (n *Node) Stats() Stats {
 				quiesced = false
 			}
 		}
-		s.Quiesced = quiesced
+		s.Quiesced = quiesced && n.viewLinked()
 	})
 	if err != nil {
 		// Node closed: the loop is gone, so a coherent snapshot is moot —
@@ -774,7 +944,10 @@ func (n *Node) serveConn(conn net.Conn) {
 		return
 	}
 	r := wire.NewReader(first)
-	if typ := r.Uvarint(); r.Err() == nil && typ == tHello {
+	switch typ := r.Uvarint(); {
+	case r.Err() != nil:
+		return
+	case typ == tHello:
 		if h, err := decodeHello(r); err == nil {
 			// Wrap the accept side too: acks written back to this peer
 			// travel the reverse link, so an asymmetric cut of this→peer
@@ -786,9 +959,17 @@ func (n *Node) serveConn(conn net.Conn) {
 				// Seal the negotiation before any update arrives: the dialer
 				// streams v1 frames until this ack lands, so an ack lost to a
 				// connection reset only ever costs compactness, not data.
+				// The delivered watermark lets a v3 dialer prune its
+				// full-backlog offer down to what we actually lack.
+				var delivered uint64
+				if int(h.From) >= 0 && int(h.From) < n.cfg.N {
+					if n.inLoop(func() { delivered = n.delivered[h.From] }) != nil {
+						return
+					}
+				}
 				chosen := negotiateCodec(n.codec.ID(), h.Codec)
 				w := wire.GetWriter()
-				appendHelloAck(w, chosen)
+				appendHelloAck(w, chosen, delivered)
 				ok := n.writeFrame(conn, w.Bytes(), n.cfg.MaxFrame)
 				wire.PutWriter(w)
 				if !ok {
@@ -796,6 +977,16 @@ func (n *Node) serveConn(conn net.Conn) {
 				}
 			}
 			n.serveReplication(conn)
+		}
+		return
+	case typ == tJoin:
+		if j, err := decodeJoin(r); err == nil {
+			n.serveJoin(conn, j)
+		}
+		return
+	case typ == tGossip:
+		if from, ms, err := decodeGossip(r, n.cfg.N); err == nil {
+			n.serveGossip(conn, from, ms)
 		}
 		return
 	}

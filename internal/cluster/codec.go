@@ -198,6 +198,11 @@ func appendStats(w *wire.Writer, s Stats) {
 		q = 1
 	}
 	w.Uvarint(q)
+	// Membership fields trail the original layout so an older reader (which
+	// stops at Quiesced) still decodes everything it knows about.
+	w.Varint(int64(s.Members))
+	w.Varint(s.SyncPulled)
+	w.Varint(s.SyncServed)
 }
 
 // decodeStats decodes one stats snapshot encoded by appendStats.
@@ -218,5 +223,10 @@ func decodeStats(r *wire.Reader) (Stats, error) {
 	s.GapFrames = r.Varint()
 	s.Violations = int(r.Varint())
 	s.Quiesced = r.Uvarint() == 1
+	if r.Remaining() > 0 {
+		s.Members = int(r.Varint())
+		s.SyncPulled = r.Varint()
+		s.SyncServed = r.Varint()
+	}
 	return s, r.Err()
 }

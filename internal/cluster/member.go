@@ -1,0 +1,658 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/membership"
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// This file is the node half of the dynamic-membership subsystem: joining
+// through a seed (tJoin + Merkle anti-entropy catch-up), leaving, seeded
+// gossip rounds that converge the membership view, and reconciling the
+// replication links against that view. The pure state — the view's epoch
+// rules and the Merkle forest — lives in internal/membership; this file
+// only moves it over connections.
+//
+// A node is "static" until membership comes into play (Config.Join, a
+// Leave call, or a tJoin/tGossip frame heard); static clusters pay nothing
+// for any of this.
+
+// errJoinRefused marks permanent join failures — divergent or missing
+// history that retrying a different seed cannot fix. Everything else
+// (connection errors, timeouts) is transient and retried.
+var errJoinRefused = errors.New("cluster: join refused")
+
+// Membership snapshots this node's membership view, sorted by replica ID.
+func (n *Node) Membership() []membership.Member {
+	return n.view.Members()
+}
+
+// Leave marks this node as departed at its current epoch and tells every
+// alive member directly (gossip spreads it to anyone unreachable right
+// now). The node keeps serving until Closed. Peers drop their replication
+// links to a left member — including unacked queues, which is safe
+// because a rejoin catches up via anti-entropy instead of retransmission.
+func (n *Node) Leave() error {
+	n.view.Merge(membership.Member{ID: int(n.cfg.ID), Addr: n.Addr(), Epoch: n.epoch.Load(), Left: true})
+	n.markDynamic()
+	for _, m := range n.view.Alive() {
+		if m.ID == int(n.cfg.ID) || m.Addr == "" {
+			continue
+		}
+		n.exchangeGossip(m.ID, m.Addr)
+	}
+	return nil
+}
+
+// markDynamic flips the node into dynamic-membership mode and starts the
+// gossip loop (once). Called from goroutines the node already tracks.
+func (n *Node) markDynamic() {
+	if n.dynamic.Swap(true) {
+		return
+	}
+	select {
+	case <-n.done:
+		return
+	default:
+	}
+	n.wg.Add(1)
+	go n.gossipLoop()
+}
+
+// gossipLoop runs seeded gossip rounds: every interval (with deterministic
+// per-node jitter), exchange views with one random alive member. The rng
+// is split from (Seed, ID) like the per-peer jitter streams, so -seed
+// reproduces gossip target order.
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	rng := rand.New(rand.NewSource(gen.SplitSeed(gen.SplitSeed(n.cfg.Seed, int(n.cfg.ID)), -1)))
+	for {
+		d := n.cfg.GossipInterval
+		d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+		t := time.NewTimer(d)
+		select {
+		case <-n.done:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		n.gossipOnce(rng)
+	}
+}
+
+func (n *Node) gossipOnce(rng *rand.Rand) {
+	var cands []membership.Member
+	for _, m := range n.view.Alive() {
+		if m.ID != int(n.cfg.ID) && m.Addr != "" {
+			cands = append(cands, m)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	m := cands[rng.Intn(len(cands))]
+	n.exchangeGossip(m.ID, m.Addr)
+	n.ensureLinks()
+}
+
+// exchangeGossip runs one transient gossip round trip with a member:
+// push our view, pull theirs, merge. Best-effort.
+func (n *Node) exchangeGossip(id int, addr string) bool {
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return false
+	}
+	if n.cfg.Faults != nil && id >= 0 && id < n.cfg.N {
+		conn = n.cfg.Faults.WrapConn(conn, int(n.cfg.ID), id)
+	}
+	defer conn.Close()
+	if !n.sendFrame(conn, func(w *wire.Writer) { appendGossip(w, n.cfg.ID, n.view.Members()) }) {
+		return false
+	}
+	typ, r, err := readTyped(conn, n.cfg.MaxFrame, n.cfg.WriteTimeout)
+	if err != nil || typ != tGossipAck {
+		return false
+	}
+	ms, err := decodeMembers(r, n.cfg.N)
+	if err != nil {
+		return false
+	}
+	n.view.MergeAll(ms)
+	return true
+}
+
+// serveGossip answers one inbound gossip exchange (transient connection):
+// merge the sender's view, reply with ours, reconcile links.
+func (n *Node) serveGossip(conn net.Conn, from model.ReplicaID, ms []membership.Member) {
+	_ = from // the sender's record rides in ms like everyone else's
+	n.view.MergeAll(ms)
+	n.markDynamic()
+	n.sendFrame(conn, func(w *wire.Writer) { appendGossipAck(w, n.view.Members()) })
+	n.ensureLinks()
+}
+
+// ensureLinks reconciles the replication links against the membership
+// view: connect to alive members we have no link to (offering the full
+// backlog, pruned by their hello-ack watermark), drop links to members
+// that left. Only a dynamic node reconciles — static clusters manage
+// links explicitly via Connect.
+func (n *Node) ensureLinks() {
+	if !n.dynamic.Load() {
+		return
+	}
+	missing := make(map[model.ReplicaID]string)
+	var drop []model.ReplicaID
+	n.peerMu.Lock()
+	for _, m := range n.view.Members() {
+		if m.ID == int(n.cfg.ID) || m.ID < 0 || m.ID >= n.cfg.N {
+			continue
+		}
+		id := model.ReplicaID(m.ID)
+		_, linked := n.peers[id]
+		switch {
+		case m.Left && linked:
+			drop = append(drop, id)
+		case !m.Left && !linked && m.Addr != "":
+			missing[id] = m.Addr
+		}
+	}
+	n.peerMu.Unlock()
+	for _, id := range drop {
+		n.disconnectPeer(id)
+	}
+	if len(missing) > 0 {
+		n.connect(missing, true)
+	}
+}
+
+// disconnectPeer tears down the replication link to a departed member,
+// discarding its unacked queue (a rejoin recovers via anti-entropy).
+func (n *Node) disconnectPeer(id model.ReplicaID) {
+	n.peerMu.Lock()
+	p := n.peers[id]
+	delete(n.peers, id)
+	n.peerMu.Unlock()
+	if p != nil {
+		p.close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Joiner side
+
+// join admits this node into a live cluster through the Config.Join seeds:
+// announce via tJoin, adopt the seed's view, catch up on missing history
+// via Merkle anti-entropy, then announce the new incarnation and link up.
+// Blocks (retrying seeds with backoff) until one admits us, the node is
+// closed, or a seed permanently refuses.
+func (n *Node) join() error {
+	type seed struct {
+		id   model.ReplicaID
+		addr string
+	}
+	var seeds []seed
+	for id, addr := range n.cfg.Join {
+		if id == n.cfg.ID || addr == "" {
+			continue
+		}
+		if int(id) < 0 || int(id) >= n.cfg.N {
+			return fmt.Errorf("cluster: join seed r%d outside cluster of %d", id, n.cfg.N)
+		}
+		seeds = append(seeds, seed{id, addr})
+	}
+	if len(seeds) == 0 {
+		return errors.New("cluster: Config.Join lists no usable seed")
+	}
+	// Deterministic seed order (map iteration is not).
+	for i := 1; i < len(seeds); i++ {
+		for j := i; j > 0 && seeds[j].id < seeds[j-1].id; j-- {
+			seeds[j], seeds[j-1] = seeds[j-1], seeds[j]
+		}
+	}
+	backoff := n.cfg.DialBackoffMin
+	for {
+		for _, s := range seeds {
+			err := n.joinVia(s.id, s.addr)
+			if err == nil {
+				n.finishJoin()
+				return nil
+			}
+			if errors.Is(err, errJoinRefused) {
+				return err
+			}
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-n.done:
+			t.Stop()
+			return ErrClosed
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > n.cfg.DialBackoffMax {
+			backoff = n.cfg.DialBackoffMax
+		}
+	}
+}
+
+// finishJoin registers the (possibly epoch-bumped) incarnation in our own
+// view, announces it to every alive member — so they stop reporting
+// quiescence until their links reach us — and connects to all of them.
+func (n *Node) finishJoin() {
+	n.view.Merge(membership.Member{ID: int(n.cfg.ID), Addr: n.Addr(), Epoch: n.epoch.Load()})
+	n.markDynamic()
+	for _, m := range n.view.Alive() {
+		if m.ID == int(n.cfg.ID) || m.Addr == "" {
+			continue
+		}
+		n.exchangeGossip(m.ID, m.Addr)
+	}
+	n.ensureLinks()
+}
+
+// joinVia runs the whole join conversation against one seed. Transient
+// failures return plain errors (the caller retries); divergent or missing
+// history returns errJoinRefused.
+func (n *Node) joinVia(seedID model.ReplicaID, addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if n.cfg.Faults != nil {
+		conn = n.cfg.Faults.WrapConn(conn, int(n.cfg.ID), int(seedID))
+	}
+	defer conn.Close()
+	// Reads tolerate the donor's chunk pacing knob on top of the normal
+	// write budget.
+	readDeadline := n.cfg.WriteTimeout + 2*n.cfg.SyncChunkDelay
+
+	if !n.sendFrame(conn, func(w *wire.Writer) {
+		appendJoin(w, joinReq{From: n.cfg.ID, Epoch: n.epoch.Load(), Addr: n.Addr(), Codec: n.codec.ID()})
+	}) {
+		return errors.New("cluster: join announce write failed")
+	}
+	typ, r, err := readTyped(conn, n.cfg.MaxFrame, readDeadline)
+	if err != nil {
+		return err
+	}
+	if typ != tJoinAck {
+		return fmt.Errorf("cluster: join answered with frame type %d", typ)
+	}
+	_, ms, err := decodeJoinAck(r, n.cfg.N)
+	if err != nil {
+		return err
+	}
+	n.view.MergeAll(ms)
+	// Auto-epoch: a record of us that is left, or alive at a higher epoch,
+	// would supersede our announcement — bump past it so the rejoin wins.
+	if m, ok := n.view.Get(int(n.cfg.ID)); ok && (m.Left || m.Epoch > n.epoch.Load()) {
+		n.epoch.Store(m.Epoch + 1)
+	}
+
+	// Digest exchange: per origin, what we hold vs what the donor holds.
+	local := make([]originDigest, 0, n.cfg.N)
+	if n.inLoop(func() {
+		for o := 0; o < n.cfg.N; o++ {
+			local = append(local, originDigest{Origin: model.ReplicaID(o), Count: n.tree.Count(o), Root: n.tree.Root(o)})
+		}
+	}) != nil {
+		return ErrClosed
+	}
+	if !n.sendFrame(conn, func(w *wire.Writer) { appendDigest(w, tDigest, local) }) {
+		return errors.New("cluster: digest write failed")
+	}
+	typ, r, err = readTyped(conn, n.cfg.MaxFrame, readDeadline)
+	if err != nil {
+		return err
+	}
+	if typ != tDigestResp {
+		return fmt.Errorf("cluster: digest answered with frame type %d", typ)
+	}
+	remote, err := decodeDigest(r, true)
+	if err != nil {
+		return err
+	}
+	rmap := make(map[model.ReplicaID]originDigest, len(remote))
+	for _, d := range remote {
+		rmap[d.Origin] = d
+	}
+	for _, ld := range local {
+		rd, ok := rmap[ld.Origin]
+		if !ok || rd.Count < ld.Count {
+			continue // donor is behind us here; its own links catch it up
+		}
+		if rd.Count == ld.Count {
+			if ld.Count > 0 && rd.Root != ld.Root {
+				return n.refuseDivergent(conn, ld.Origin, ld.Count, readDeadline)
+			}
+			continue
+		}
+		if ld.Origin == n.cfg.ID {
+			// The cluster holds broadcasts of ours that our log does not:
+			// this data dir cannot be the one that minted them, and
+			// re-minting seqs would fork the history.
+			return fmt.Errorf("%w: the cluster holds %d of r%d's broadcasts but the local log has %d — rejoining as r%d needs its original log",
+				errJoinRefused, rd.Count, n.cfg.ID, ld.Count, n.cfg.ID)
+		}
+		if ld.Count > 0 && rd.PrefixRoot != ld.Root {
+			return n.refuseDivergent(conn, ld.Origin, ld.Count, readDeadline)
+		}
+		if err := n.pullRange(conn, ld.Origin, rd, readDeadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pullRange catches one origin up to the donor's digest: request the
+// missing range, apply each chunk in one event-loop turn (journaling in
+// that turn), and ack only after — so a kill -9 mid-sync loses nothing an
+// ack promised, and the restarted join pulls only what is still missing.
+func (n *Node) pullRange(conn net.Conn, origin model.ReplicaID, rd originDigest, readDeadline time.Duration) error {
+	for {
+		var have uint64
+		if n.inLoop(func() { have = n.delivered[origin] }) != nil {
+			return ErrClosed
+		}
+		if have >= rd.Count {
+			break
+		}
+		if !n.sendFrame(conn, func(w *wire.Writer) { appendRangeReq(w, origin, have, rd.Count-have) }) {
+			return errors.New("cluster: range request write failed")
+		}
+		for have < rd.Count {
+			typ, r, err := readTyped(conn, n.cfg.MaxFrame, readDeadline)
+			if err != nil {
+				return err
+			}
+			if typ != tRangeResp {
+				return fmt.Errorf("cluster: range pull answered with frame type %d", typ)
+			}
+			us, err := decodeRangeResp(r)
+			if err != nil {
+				return err
+			}
+			if len(us) == 0 || us[0].Origin != origin {
+				return errors.New("cluster: empty or mislabeled range chunk")
+			}
+			var cum uint64
+			var applied int64
+			var jerr error
+			ackable := true
+			if n.inLoop(func() {
+				for _, u := range us {
+					before := n.delivered[u.Origin]
+					cum, ackable = n.applyUpdate(u)
+					if !ackable {
+						jerr = n.jerr
+						return
+					}
+					if n.delivered[u.Origin] > before {
+						applied++
+					}
+				}
+			}) != nil {
+				return ErrClosed
+			}
+			if !ackable {
+				return fmt.Errorf("cluster: journal failed during sync: %v", jerr)
+			}
+			n.syncPulled.Add(applied)
+			n.cfg.Observer.AddSyncUpdates(applied)
+			if !n.sendFrame(conn, func(w *wire.Writer) { appendAck(w, cum) }) {
+				return errors.New("cluster: sync ack write failed")
+			}
+			if cum > have {
+				have = cum
+			}
+		}
+	}
+	// End-to-end integrity: the prefix we now hold over the donor's count
+	// must reproduce the donor's root, or something shipped wrong.
+	var root membership.Hash
+	if n.inLoop(func() { root = n.tree.PrefixRoot(int(origin), rd.Count) }) != nil {
+		return ErrClosed
+	}
+	if root != rd.Root {
+		return fmt.Errorf("%w: origin r%d's pulled range fails digest verification", errJoinRefused, origin)
+	}
+	return nil
+}
+
+// refuseDivergent walks the donor's Merkle tree to localize where our
+// history for origin stops matching, then refuses the join permanently: a
+// divergent prefix means a corrupt log or one from a different cluster,
+// and no range pull can reconcile it.
+func (n *Node) refuseDivergent(conn net.Conn, origin model.ReplicaID, k uint64, readDeadline time.Duration) error {
+	lo, hi, err := n.walkDivergence(conn, origin, k, readDeadline)
+	if err != nil {
+		return fmt.Errorf("%w: origin r%d history diverges within its first %d updates (walk failed: %v)", errJoinRefused, origin, k, err)
+	}
+	return fmt.Errorf("%w: origin r%d history diverges in updates [%d,%d) — local log is corrupt or from another cluster", errJoinRefused, origin, lo, hi)
+}
+
+// walkDivergence descends the Merkle tree over the first k updates of
+// origin, at each level following the first child whose hash disagrees
+// with the donor's, and returns the update range of the divergent leaf.
+func (n *Node) walkDivergence(conn net.Conn, origin model.ReplicaID, k uint64, readDeadline time.Duration) (lo, hi uint64, err error) {
+	level, index := membership.TopLevel(k), uint64(0)
+	for level > 0 {
+		found := false
+		for c := uint64(0); c < 2 && !found; c++ {
+			child := 2*index + c
+			var lh membership.Hash
+			var lok bool
+			if n.inLoop(func() { lh, lok = n.tree.NodeHash(int(origin), k, level-1, child) }) != nil {
+				return 0, 0, ErrClosed
+			}
+			if !n.sendFrame(conn, func(w *wire.Writer) { appendTreeReq(w, origin, k, level-1, child) }) {
+				return 0, 0, errors.New("tree request write failed")
+			}
+			typ, r, rerr := readTyped(conn, n.cfg.MaxFrame, readDeadline)
+			if rerr != nil {
+				return 0, 0, rerr
+			}
+			if typ != tTreeResp {
+				return 0, 0, fmt.Errorf("tree walk answered with frame type %d", typ)
+			}
+			rh, rok, rerr := decodeTreeResp(r)
+			if rerr != nil {
+				return 0, 0, rerr
+			}
+			if lok != rok || (lok && lh != rh) {
+				level, index = level-1, child
+				found = true
+			}
+		}
+		if !found {
+			return 0, 0, errors.New("parent hash differs but no child does")
+		}
+	}
+	return index * membership.LeafSpan, (index + 1) * membership.LeafSpan, nil
+}
+
+// ---------------------------------------------------------------------------
+// Donor side
+
+// serveJoin is the donor half of a join conversation (the joiner drives):
+// admit the joiner into the view, link back so live updates flow during
+// the sync, then answer digest, tree-walk, and range requests until the
+// joiner hangs up.
+func (n *Node) serveJoin(conn net.Conn, j joinReq) {
+	if int(j.From) < 0 || int(j.From) >= n.cfg.N || j.From == n.cfg.ID {
+		return
+	}
+	if n.cfg.Faults != nil {
+		conn = n.cfg.Faults.WrapConn(conn, int(n.cfg.ID), int(j.From))
+	}
+	if j.Addr != "" {
+		n.view.Merge(membership.Member{ID: int(j.From), Addr: j.Addr, Epoch: j.Epoch})
+	}
+	n.markDynamic()
+	n.ensureLinks()
+	chosen := negotiateCodec(n.codec.ID(), j.Codec)
+	if !n.sendFrame(conn, func(w *wire.Writer) { appendJoinAck(w, chosen, n.view.Members()) }) {
+		return
+	}
+	for {
+		b, err := wire.ReadFrame(conn, n.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(b)
+		switch r.Uvarint() {
+		case tDigest:
+			ds, err := decodeDigest(r, false)
+			if err != nil {
+				return
+			}
+			resp := n.digestResp(ds)
+			if !n.sendFrame(conn, func(w *wire.Writer) { appendDigest(w, tDigestResp, resp) }) {
+				return
+			}
+		case tTreeReq:
+			origin, prefix, level, index, err := decodeTreeReq(r)
+			if err != nil || int(origin) < 0 || int(origin) >= n.cfg.N {
+				return
+			}
+			var h membership.Hash
+			var ok bool
+			if n.inLoop(func() { h, ok = n.tree.NodeHash(int(origin), prefix, level, index) }) != nil {
+				return
+			}
+			if !n.sendFrame(conn, func(w *wire.Writer) { appendTreeResp(w, h, ok) }) {
+				return
+			}
+		case tRangeReq:
+			origin, from, count, err := decodeRangeReq(r)
+			if err != nil || int(origin) < 0 || int(origin) >= n.cfg.N || count == 0 {
+				return
+			}
+			if !n.serveRange(conn, origin, from, count, chosen) {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// digestResp answers a joiner's digest with, per origin it asked about,
+// our count and root plus the root over the joiner's own count — the
+// prefix proof that lets it pull only [joinerCount, ourCount).
+func (n *Node) digestResp(ds []originDigest) []originDigest {
+	resp := make([]originDigest, 0, len(ds))
+	n.inLoop(func() {
+		for _, d := range ds {
+			o := int(d.Origin)
+			if o < 0 || o >= n.cfg.N {
+				continue
+			}
+			e := originDigest{Origin: d.Origin, Count: n.tree.Count(o), Root: n.tree.Root(o)}
+			if d.Count <= e.Count {
+				e.PrefixRoot = n.tree.PrefixRoot(o, d.Count)
+			}
+			resp = append(resp, e)
+		}
+	})
+	return resp
+}
+
+// serveRange streams one origin's updates [from, from+count) to a joiner
+// in codec-sized chunks, waiting for the joiner's journal-backed ack
+// between chunks (stop-and-wait: sync throughput is not the bottleneck,
+// recoverability is). The negotiated codec governs chunking exactly like
+// live batching: binary gets BatchMax-update chunks, the JSON floor one
+// update per frame.
+func (n *Node) serveRange(conn net.Conn, origin model.ReplicaID, from, count uint64, chosen wire.CodecID) bool {
+	end := from + count
+	chunkMax := 1
+	if chosen == wire.CodecBinary && n.cfg.BatchMax > 0 {
+		chunkMax = n.cfg.BatchMax
+	}
+	idx := from
+	for idx < end {
+		var us []protoUpdate
+		if n.inLoop(func() {
+			all := n.updates[origin]
+			if end > uint64(len(all)) {
+				end = uint64(len(all))
+			}
+			size := 0
+			for i := idx; i < end; i++ {
+				u := all[i]
+				cost := len(u.Payload) + 32
+				if len(us) > 0 && (len(us) >= chunkMax || size+cost > n.cfg.MaxFrame-64) {
+					break
+				}
+				size += cost
+				us = append(us, u)
+			}
+		}) != nil {
+			return false
+		}
+		if len(us) == 0 {
+			return idx >= end
+		}
+		if !n.sendFrame(conn, func(w *wire.Writer) { appendRangeResp(w, origin, us) }) {
+			return false
+		}
+		n.syncServed.Add(int64(len(us)))
+		typ, r, err := readTyped(conn, n.cfg.MaxFrame, 0)
+		if err != nil || typ != tAck {
+			return false
+		}
+		cum := r.Uvarint()
+		if r.Err() != nil {
+			return false
+		}
+		if next := us[len(us)-1].Seq; cum < next {
+			cum = next
+		}
+		idx = cum
+		if d := n.cfg.SyncChunkDelay; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-n.done:
+				t.Stop()
+				return false
+			case <-t.C:
+			}
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Small conn helpers
+
+// sendFrame builds one frame with a pooled writer and writes it with the
+// node's frame accounting.
+func (n *Node) sendFrame(conn net.Conn, build func(*wire.Writer)) bool {
+	w := wire.GetWriter()
+	build(w)
+	ok := n.writeFrame(conn, w.Bytes(), n.cfg.MaxFrame)
+	wire.PutWriter(w)
+	return ok
+}
+
+// readTyped reads one frame (with an optional read deadline) and peels its
+// type tag.
+func readTyped(conn net.Conn, maxFrame int, deadline time.Duration) (uint64, *wire.Reader, error) {
+	if deadline > 0 {
+		conn.SetReadDeadline(time.Now().Add(deadline))
+	}
+	b, err := wire.ReadFrame(conn, maxFrame)
+	if err != nil {
+		return 0, nil, err
+	}
+	r := wire.NewReader(b)
+	typ := r.Uvarint()
+	return typ, r, r.Err()
+}

@@ -1,0 +1,427 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func openCausal(t *testing.T) store.Store {
+	t.Helper()
+	st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// bootNode starts one node of an n-population causal cluster without
+// linking it to anyone.
+func bootNode(t *testing.T, id model.ReplicaID, n int, mut func(*Config)) *Node {
+	t.Helper()
+	cfg := fastConfig(id, n, openCausal(t))
+	if mut != nil {
+		mut(&cfg)
+	}
+	nd, err := NewNode(cfg)
+	if err != nil {
+		t.Fatalf("node %d: %v", id, err)
+	}
+	t.Cleanup(func() { nd.Close() })
+	return nd
+}
+
+// writeN performs k distinct writes on nd, spread over objects, and
+// returns the object list.
+func writeN(t *testing.T, nd *Node, k int, tag string) []model.ObjectID {
+	t.Helper()
+	objects := []model.ObjectID{"x", "y", "z"}
+	for i := 0; i < k; i++ {
+		obj := objects[i%len(objects)]
+		if _, err := nd.Do(obj, model.Write(model.Value(fmt.Sprintf("%s.%d", tag, i)))); err != nil {
+			t.Fatalf("write %d on r%d: %v", i, nd.ID(), err)
+		}
+	}
+	return objects
+}
+
+func auditClean(t *testing.T, hists []History) {
+	t.Helper()
+	audit, err := BuildAudit(hists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Exec.CheckWellFormed(); err != nil {
+		t.Fatalf("merged execution not well-formed: %v", err)
+	}
+	if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
+		t.Fatalf("derived abstract execution not causal: %v", err)
+	}
+}
+
+// TestJoinPullsDepartedOriginFully is the tentpole's end-to-end check with
+// a deterministic byte-range assertion. All writes originate at r1, which
+// then leaves; the joiner r2 has an empty log and only r0's address. Live
+// replication links only re-offer a node's own updates, so r1's history
+// can reach r2 exclusively through Merkle anti-entropy against r0's log —
+// SyncPulled must equal the departed origin's update count exactly, and
+// r0 must have served exactly that many (no full-log transfer, no
+// retransmission slop in the stop-and-wait pull).
+func TestJoinPullsDepartedOriginFully(t *testing.T) {
+	const k = 60
+	r0 := bootNode(t, 0, 3, nil)
+	r1 := bootNode(t, 1, 3, nil)
+	if err := r0.Connect(map[model.ReplicaID]string{1: r1.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Connect(map[model.ReplicaID]string{0: r0.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	objects := writeN(t, r1, k, "r1")
+	if !WaitQuiesced([]*Node{r0, r1}, 30*time.Second) {
+		t.Fatal("pair did not quiesce before the leave")
+	}
+	if err := r1.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	h1 := r1.FinalHistory()
+
+	r2 := bootNode(t, 2, 3, func(cfg *Config) {
+		cfg.Join = map[model.ReplicaID]string{0: r0.Addr()}
+	})
+	if got := r2.Stats().SyncPulled; got != k {
+		t.Fatalf("joiner pulled %d updates via anti-entropy, want exactly %d", got, k)
+	}
+	if got := r0.Stats().SyncServed; got != k {
+		t.Fatalf("donor served %d updates, want exactly %d", got, k)
+	}
+	if !WaitQuiesced([]*Node{r0, r2}, 30*time.Second) {
+		t.Fatalf("cluster did not quiesce after the join; r0=%+v r2=%+v", r0.Stats(), r2.Stats())
+	}
+	if err := CheckConverged([]Doer{r0, r2}, objects); err != nil {
+		t.Fatal(err)
+	}
+	// The views must agree: r1 departed, r2 admitted.
+	for _, nd := range []*Node{r0, r2} {
+		var left, alive int
+		for _, m := range nd.Membership() {
+			if m.Left {
+				left++
+			} else {
+				alive++
+			}
+		}
+		if left != 1 || alive != 2 {
+			t.Fatalf("r%d view: %d left / %d alive, want 1/2: %+v", nd.ID(), left, alive, nd.Membership())
+		}
+	}
+	auditClean(t, []History{r0.History(), h1, r2.History()})
+}
+
+// TestRejoinPullsOnlyMissingDelta pins the incremental half of
+// anti-entropy: a node that departs with a prefix of the log and rejoins
+// later pulls exactly the delta written while it was away — the digest
+// exchange proves the prefix matches and the range pull starts past it.
+func TestRejoinPullsOnlyMissingDelta(t *testing.T) {
+	const k1, k2 = 30, 45
+	r0 := bootNode(t, 0, 3, nil)
+	r1 := bootNode(t, 1, 3, nil)
+	if err := r0.Connect(map[model.ReplicaID]string{1: r1.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Connect(map[model.ReplicaID]string{0: r0.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	writeN(t, r1, k1, "a")
+	if !WaitQuiesced([]*Node{r0, r1}, 30*time.Second) {
+		t.Fatal("pair did not quiesce before the first join")
+	}
+
+	r2 := bootNode(t, 2, 3, func(cfg *Config) {
+		cfg.Join = map[model.ReplicaID]string{0: r0.Addr()}
+	})
+	if got := r2.Stats().SyncPulled; got != k1 {
+		t.Fatalf("first join pulled %d, want %d", got, k1)
+	}
+	if !WaitQuiesced([]*Node{r0, r1, r2}, 30*time.Second) {
+		t.Fatal("trio did not quiesce after the first join")
+	}
+	if err := r2.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	r2.Close()
+	snap := r2.FinalHistory()
+
+	objects := writeN(t, r1, k2, "b")
+	if !WaitQuiesced([]*Node{r0, r1}, 30*time.Second) {
+		t.Fatal("pair did not quiesce after the delta writes")
+	}
+	if err := r1.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	h1 := r1.FinalHistory()
+
+	r2b := bootNode(t, 2, 3, func(cfg *Config) {
+		cfg.Restore = &snap
+		cfg.Join = map[model.ReplicaID]string{0: r0.Addr()}
+	})
+	if got := r2b.Stats().SyncPulled; got != k2 {
+		t.Fatalf("rejoin pulled %d updates, want exactly the missing delta %d", got, k2)
+	}
+	if !WaitQuiesced([]*Node{r0, r2b}, 30*time.Second) {
+		t.Fatalf("cluster did not quiesce after the rejoin; r0=%+v r2=%+v", r0.Stats(), r2b.Stats())
+	}
+	if err := CheckConverged([]Doer{r0, r2b}, objects); err != nil {
+		t.Fatal(err)
+	}
+	// The rejoin must supersede the Left record: epoch strictly above it.
+	for _, m := range r0.Membership() {
+		if m.ID == 2 {
+			if m.Left {
+				t.Fatalf("r0 still sees r2 as left: %+v", m)
+			}
+			if m.Epoch == 0 {
+				t.Fatalf("rejoin did not bump the epoch past the departure: %+v", m)
+			}
+		}
+	}
+	auditClean(t, []History{r0.History(), h1, r2b.History()})
+}
+
+// TestJoinJSONPinnedFromBinaryCluster covers codec negotiation during
+// join: a JSON-pinned joiner syncing from a binary-batching cluster must
+// negotiate down per-connection, catch up, and audit clean.
+func TestJoinJSONPinnedFromBinaryCluster(t *testing.T) {
+	const k = 40
+	binary := func(cfg *Config) { cfg.Codec = "binary"; cfg.BatchMax = 8 }
+	r0 := bootNode(t, 0, 3, binary)
+	r1 := bootNode(t, 1, 3, binary)
+	if err := r0.Connect(map[model.ReplicaID]string{1: r1.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Connect(map[model.ReplicaID]string{0: r0.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	objects := writeN(t, r1, k, "bin")
+	if !WaitQuiesced([]*Node{r0, r1}, 30*time.Second) {
+		t.Fatal("pair did not quiesce before the leave")
+	}
+	if err := r1.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	h1 := r1.FinalHistory()
+
+	r2 := bootNode(t, 2, 3, func(cfg *Config) {
+		cfg.Codec = "json"
+		cfg.Join = map[model.ReplicaID]string{0: r0.Addr()}
+	})
+	if got := r2.Stats().SyncPulled; got != k {
+		t.Fatalf("JSON joiner pulled %d updates, want %d", got, k)
+	}
+	if !WaitQuiesced([]*Node{r0, r2}, 30*time.Second) {
+		t.Fatal("mixed-codec cluster did not quiesce after the join")
+	}
+	if err := CheckConverged([]Doer{r0, r2}, objects); err != nil {
+		t.Fatal(err)
+	}
+	auditClean(t, []History{r0.History(), h1, r2.History()})
+}
+
+// TestJoinRefusedOnDivergentHistory: a joiner whose log disagrees with the
+// donor about another origin's prefix must be refused permanently, with
+// the divergent leaf range named — silently merging two incompatible
+// histories would poison the audit.
+func TestJoinRefusedOnDivergentHistory(t *testing.T) {
+	const k = 12
+	donorA := bootNode(t, 0, 2, nil)
+	writeN(t, donorA, k, "worldA")
+	r1 := bootNode(t, 1, 2, func(cfg *Config) {
+		cfg.Join = map[model.ReplicaID]string{0: donorA.Addr()}
+	})
+	if !WaitQuiesced([]*Node{donorA, r1}, 30*time.Second) {
+		t.Fatal("world A did not quiesce")
+	}
+	r1.Close()
+	snap := r1.FinalHistory()
+	donorA.Close()
+
+	donorB := bootNode(t, 0, 2, nil)
+	writeN(t, donorB, k, "worldB")
+	st := openCausal(t)
+	cfg := fastConfig(1, 2, st)
+	cfg.Restore = &snap
+	cfg.Join = map[model.ReplicaID]string{0: donorB.Addr()}
+	nd, err := NewNode(cfg)
+	if err == nil {
+		nd.Close()
+		t.Fatal("join with a divergent origin-0 history was admitted")
+	}
+	if !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("want a divergence refusal naming the leaf range, got: %v", err)
+	}
+}
+
+// TestJoinRefusedWithoutOriginalLog: a node that crashed (without leaving)
+// and lost its data dir cannot rejoin under the same ID with an empty log
+// while the cluster still holds updates it originated — that incarnation's
+// history is irreplaceable, and admitting the impostor would fork the
+// origin's sequence space.
+func TestJoinRefusedWithoutOriginalLog(t *testing.T) {
+	r0 := bootNode(t, 0, 2, nil)
+	r1 := bootNode(t, 1, 2, nil)
+	if err := r0.Connect(map[model.ReplicaID]string{1: r1.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Connect(map[model.ReplicaID]string{0: r0.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	writeN(t, r1, 10, "orig")
+	if !WaitQuiesced([]*Node{r0, r1}, 30*time.Second) {
+		t.Fatal("pair did not quiesce")
+	}
+	r1.Close() // crash, not leave: the cluster still expects this log to exist
+
+	cfg := fastConfig(1, 2, openCausal(t))
+	cfg.Join = map[model.ReplicaID]string{0: r0.Addr()}
+	nd, err := NewNode(cfg)
+	if err == nil {
+		nd.Close()
+		t.Fatal("amnesiac rejoin under a live origin was admitted")
+	}
+	if !strings.Contains(err.Error(), "original log") {
+		t.Fatalf("want the original-log refusal, got: %v", err)
+	}
+}
+
+// TestConnectOffersLiveBacklogToLateJoiner pins the late-connect contract
+// for a first-boot node (no Restore): updates recorded before the first
+// Connect are part of the live backlog and must be offered to the late
+// peer — offering only restored events would strand them forever.
+func TestConnectOffersLiveBacklogToLateJoiner(t *testing.T) {
+	r0 := bootNode(t, 0, 2, nil)
+	objects := writeN(t, r0, 25, "early")
+
+	r1 := bootNode(t, 1, 2, nil)
+	if err := r0.Connect(map[model.ReplicaID]string{1: r1.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Connect(map[model.ReplicaID]string{0: r0.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if !WaitQuiesced([]*Node{r0, r1}, 30*time.Second) {
+		t.Fatalf("late-connected pair did not quiesce; r0=%+v r1=%+v", r0.Stats(), r1.Stats())
+	}
+	if err := CheckConverged([]Doer{r0, r1}, objects); err != nil {
+		t.Fatal(err)
+	}
+	auditClean(t, []History{r0.History(), r1.History()})
+}
+
+// TestSupervisorChurnScheduleAuditsClean runs a generated schedule that
+// mixes a crash window with a leave→join window on a live TCP cluster
+// under load: the departed node must rejoin through the membership path
+// (tJoin + anti-entropy), and the run must quiesce, converge, and audit
+// clean.
+func TestSupervisorChurnScheduleAuditsClean(t *testing.T) {
+	st := openCausal(t)
+	const n = 3
+	em := fault.NewNetem(n)
+	obs := fault.NewObserver(n)
+	base := Config{
+		Store: st, Seed: 23,
+		DialTimeout:    time.Second,
+		DialBackoffMin: 5 * time.Millisecond,
+		DialBackoffMax: 100 * time.Millisecond,
+		RetransmitMin:  25 * time.Millisecond,
+		RetransmitMax:  250 * time.Millisecond,
+		GossipInterval: 50 * time.Millisecond,
+		Observer:       obs,
+	}
+	sup, err := NewSupervisor(base, n, em, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	sched := fault.Generate(fault.Config{Seed: 23, N: n, Steps: 80, Partitions: 1, Crashes: 1, LinkFaults: 1, Churns: 1})
+	if err := sched.CheckBalanced(); err != nil {
+		t.Fatalf("generated schedule unbalanced: %v", err)
+	}
+	objects := []model.ObjectID{"x", "y", "z"}
+
+	var wg sync.WaitGroup
+	schedErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		schedErr <- sup.RunSchedule(sched)
+	}()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 60; i++ {
+				obj := objects[rng.Intn(len(objects))]
+				op := model.Read()
+				if rng.Intn(2) == 0 {
+					op = model.Write(model.Value(fmt.Sprintf("w%d.%d", w, i)))
+				}
+				// Downtime errors are expected while a victim is away.
+				_, _ = sup.Do(w%n, obj, op)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := <-schedErr; err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if leaves, joins := sup.Churn(); leaves != 1 || joins != 1 {
+		t.Fatalf("leaves/joins = %d/%d, want 1/1", leaves, joins)
+	}
+	m := obs.Metrics()
+	if m.Leaves != 1 || m.Joins != 1 {
+		t.Fatalf("observer leaves/joins = %d/%d, want 1/1", m.Leaves, m.Joins)
+	}
+
+	live := sup.Nodes()
+	if len(live) != n {
+		t.Fatalf("%d nodes live after schedule, want %d", len(live), n)
+	}
+	if !WaitQuiesced(live, 30*time.Second) {
+		for _, nd := range live {
+			t.Logf("r%d stats: %+v", nd.ID(), nd.Stats())
+		}
+		t.Fatal("cluster did not quiesce after the churn schedule")
+	}
+	doers := make([]Doer, n)
+	for i := 0; i < n; i++ {
+		doers[i] = sup.Doer(i)
+	}
+	if err := CheckConverged(doers, objects); err != nil {
+		t.Fatal(err)
+	}
+	hists, err := sup.Histories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditClean(t, hists)
+	for _, nd := range live {
+		if v := nd.Violations(); len(v) != 0 {
+			t.Fatalf("r%d property violations: %v", nd.ID(), v)
+		}
+	}
+}

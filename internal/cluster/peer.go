@@ -274,13 +274,23 @@ func (p *peerSender) serve(conn net.Conn) {
 				default:
 				}
 			case tHelloAck:
-				codec, err := decodeHelloAck(r)
+				codec, delivered, err := decodeHelloAck(r)
 				if err != nil {
 					return
 				}
 				// Re-negotiate against our own preference: a confused peer
 				// must not talk us into a codec we never offered.
 				negotiated.Store(uint64(negotiateCodec(p.node.codec.ID(), codec)))
+				// The peer's delivered watermark is a pre-ack: it prunes
+				// the full-backlog offer down to what the peer is missing
+				// before the first drain ships anything.
+				if delivered > 0 {
+					p.ack(delivered)
+					select {
+					case p.ackd <- struct{}{}:
+					default:
+					}
+				}
 				if !acked {
 					acked = true
 					close(helloAcked)

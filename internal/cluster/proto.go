@@ -44,11 +44,14 @@ const (
 	tHistoryRespB = 13 // {binary history}
 )
 
-// helloVersion is the protocol version a v2 hello announces. Version 1 is
+// helloVersion is the protocol version a hello announces. Version 1 is
 // the bare {from} hello with JSON structured transfers and one update per
 // frame; version 2 adds codec negotiation, batch frames, and binary
-// structured transfers.
-const helloVersion = 2
+// structured transfers; version 3 adds the delivered watermark on
+// tHelloAck (so a dialer offering its full backlog prunes what the
+// acceptor already holds before the first send) and the membership frames
+// in proto_member.go.
+const helloVersion = 3
 
 // historyMaxFrame is the frame limit for history transfers, which carry a
 // whole recorded execution and dwarf every other frame.
@@ -95,18 +98,33 @@ func decodeHello(r *wire.Reader) (hello, error) {
 	return h, r.Err()
 }
 
-// appendHelloAck encodes the acceptor's negotiation answer.
-func appendHelloAck(w *wire.Writer, codec wire.CodecID) {
+// appendHelloAck encodes the acceptor's negotiation answer. delivered is
+// the acceptor's cumulative delivered count for the dialer's origin: a v3
+// dialer treats it as a pre-ack and prunes its offer queue, which is what
+// makes Connect's full-backlog offer cost one varint instead of a
+// re-shipped history on reconnect. A v2 dialer stops reading after the
+// codec and retransmits the backlog as before — correct, just chattier.
+func appendHelloAck(w *wire.Writer, codec wire.CodecID, delivered uint64) {
 	w.Uvarint(tHelloAck)
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(codec))
+	w.Uvarint(delivered)
 }
 
 // decodeHelloAck decodes a tHelloAck whose type tag has already been read.
-func decodeHelloAck(r *wire.Reader) (wire.CodecID, error) {
+// A v2 ack has no delivered watermark; it decodes as 0, which pre-acks
+// nothing.
+func decodeHelloAck(r *wire.Reader) (wire.CodecID, uint64, error) {
 	r.Uvarint() // version: informational, the codec field is what binds
 	codec := wire.CodecID(r.Uvarint())
-	return codec, r.Err()
+	if err := r.Err(); err != nil {
+		return codec, 0, err
+	}
+	if r.Remaining() == 0 {
+		return codec, 0, nil
+	}
+	delivered := r.Uvarint()
+	return codec, delivered, r.Err()
 }
 
 // negotiateCodec picks the connection codec from the two ends' preferences:

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/membership"
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// Membership and anti-entropy frame types, continuing the numbering in
+// proto.go. A join conversation is one connection, joiner-driven:
+//
+//	joiner → tJoin      {from, epoch, addr, version, codec}
+//	donor  → tJoinAck   {version, codec, view}
+//	joiner → tDigest    {per-origin count+root}
+//	donor  → tDigestResp{per-origin count+root+prefixRoot(joiner count)}
+//	joiner → tTreeReq   {origin, prefix, level, index}     (only on mismatch)
+//	donor  → tTreeResp  {ok, hash}
+//	joiner → tRangeReq  {origin, from, count}
+//	donor  → tRangeResp {origin, (seq, lamport, payload)...}  (chunked)
+//	joiner → tAck       {cum}          after journaling each chunk
+//
+// The codec negotiated on the tJoin/tJoinAck pair (same min-wins rule as
+// the hello exchange) governs range chunking: a binary connection ships
+// tBatch-sized multi-update chunks, the JSON floor ships one update per
+// frame — so a v1-style joiner still syncs, just less compactly. Gossip
+// frames (tGossip/tGossipAck) are a single request/response exchange on a
+// transient connection.
+const (
+	tJoin      = 14 // {from, epoch, addr, version, codec}
+	tJoinAck   = 15 // {version, codec, members...}
+	tGossip    = 16 // {from, members...}
+	tGossipAck = 17 // {members...}
+	tDigest    = 18 // {count, (origin, count, root)...}
+	tDigestResp = 19 // {count, (origin, count, root, prefixRoot)...}
+	tTreeReq   = 20 // {origin, prefix, level, index}
+	tTreeResp  = 21 // {ok, hash}
+	tRangeReq  = 22 // {origin, from, count}
+	tRangeResp = 23 // {origin, count, (seq, lamport, payload)...}
+)
+
+// joinReq carries a decoded tJoin.
+type joinReq struct {
+	From    model.ReplicaID
+	Epoch   uint64
+	Addr    string
+	Version uint64
+	Codec   wire.CodecID
+}
+
+func appendJoin(w *wire.Writer, j joinReq) {
+	w.Uvarint(tJoin)
+	w.Uvarint(uint64(j.From))
+	w.Uvarint(j.Epoch)
+	w.String(j.Addr)
+	w.Uvarint(helloVersion)
+	w.Uvarint(uint64(j.Codec))
+}
+
+func decodeJoin(r *wire.Reader) (joinReq, error) {
+	j := joinReq{
+		From:  model.ReplicaID(r.Uvarint()),
+		Epoch: r.Uvarint(),
+		Addr:  r.String(),
+	}
+	j.Version = r.Uvarint()
+	j.Codec = wire.CodecID(r.Uvarint())
+	return j, r.Err()
+}
+
+// appendMembers encodes a view snapshot: {count, (id, epoch, left, addr)...}.
+func appendMembers(w *wire.Writer, ms []membership.Member) {
+	w.Uvarint(uint64(len(ms)))
+	for _, m := range ms {
+		w.Uvarint(uint64(m.ID))
+		w.Uvarint(m.Epoch)
+		l := uint64(0)
+		if m.Left {
+			l = 1
+		}
+		w.Uvarint(l)
+		w.String(m.Addr)
+	}
+}
+
+// decodeMembers decodes a view snapshot, rejecting member IDs outside the
+// n-replica population (a hostile or corrupt frame must not grow the
+// cluster) and implausible counts.
+func decodeMembers(r *wire.Reader, n int) ([]membership.Member, error) {
+	count := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Each member costs at least four bytes (id, epoch, left, addr length).
+	if count > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("cluster: implausible member count %d", count)
+	}
+	ms := make([]membership.Member, 0, count)
+	for i := uint64(0); i < count; i++ {
+		m := membership.Member{ID: int(r.Uvarint())}
+		m.Epoch = r.Uvarint()
+		m.Left = r.Uvarint() == 1
+		m.Addr = r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if m.ID < 0 || m.ID >= n {
+			return nil, fmt.Errorf("cluster: member r%d outside cluster of %d", m.ID, n)
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+func appendJoinAck(w *wire.Writer, codec wire.CodecID, ms []membership.Member) {
+	w.Uvarint(tJoinAck)
+	w.Uvarint(helloVersion)
+	w.Uvarint(uint64(codec))
+	appendMembers(w, ms)
+}
+
+func decodeJoinAck(r *wire.Reader, n int) (wire.CodecID, []membership.Member, error) {
+	r.Uvarint() // version: informational
+	codec := wire.CodecID(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	ms, err := decodeMembers(r, n)
+	return codec, ms, err
+}
+
+func appendGossip(w *wire.Writer, from model.ReplicaID, ms []membership.Member) {
+	w.Uvarint(tGossip)
+	w.Uvarint(uint64(from))
+	appendMembers(w, ms)
+}
+
+func decodeGossip(r *wire.Reader, n int) (model.ReplicaID, []membership.Member, error) {
+	from := model.ReplicaID(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	ms, err := decodeMembers(r, n)
+	return from, ms, err
+}
+
+func appendGossipAck(w *wire.Writer, ms []membership.Member) {
+	w.Uvarint(tGossipAck)
+	appendMembers(w, ms)
+}
+
+// originDigest summarizes one origin's history: how many updates and the
+// Merkle root over all of them. In a tDigestResp the donor adds the root
+// over the requester's own count (PrefixRoot), which is what proves the
+// shared prefix matches before any range is pulled.
+type originDigest struct {
+	Origin     model.ReplicaID
+	Count      uint64
+	Root       membership.Hash
+	PrefixRoot membership.Hash // tDigestResp only
+}
+
+// appendDigest encodes a tDigest or tDigestResp frame (withPrefix selects
+// the response layout, which carries the extra prefix root per origin).
+func appendDigest(w *wire.Writer, typ uint64, ds []originDigest) {
+	w.Uvarint(typ)
+	w.Uvarint(uint64(len(ds)))
+	for _, d := range ds {
+		w.Uvarint(uint64(d.Origin))
+		w.Uvarint(d.Count)
+		w.Raw(d.Root[:])
+		if typ == tDigestResp {
+			w.Raw(d.PrefixRoot[:])
+		}
+	}
+}
+
+// readHash reads a fixed 32-byte hash.
+func readHash(r *wire.Reader) (membership.Hash, bool) {
+	var h membership.Hash
+	b := r.Fixed(len(h))
+	if b == nil {
+		return h, false
+	}
+	copy(h[:], b)
+	return h, true
+}
+
+// decodeDigest decodes a tDigest or tDigestResp body (withPrefix must
+// match the encoder's frame type).
+func decodeDigest(r *wire.Reader, withPrefix bool) ([]originDigest, error) {
+	count := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	entry := 34 // origin + count varints + one 32-byte hash, minimum
+	if withPrefix {
+		entry += 32
+	}
+	if count > uint64(r.Remaining()/entry)+1 {
+		return nil, fmt.Errorf("cluster: implausible digest count %d", count)
+	}
+	ds := make([]originDigest, 0, count)
+	for i := uint64(0); i < count; i++ {
+		d := originDigest{Origin: model.ReplicaID(r.Uvarint()), Count: r.Uvarint()}
+		var ok bool
+		if d.Root, ok = readHash(r); !ok {
+			return nil, wire.ErrTruncated
+		}
+		if withPrefix {
+			if d.PrefixRoot, ok = readHash(r); !ok {
+				return nil, wire.ErrTruncated
+			}
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		ds = append(ds, d)
+	}
+	return ds, nil
+}
+
+func appendTreeReq(w *wire.Writer, origin model.ReplicaID, prefix uint64, level int, index uint64) {
+	w.Uvarint(tTreeReq)
+	w.Uvarint(uint64(origin))
+	w.Uvarint(prefix)
+	w.Uvarint(uint64(level))
+	w.Uvarint(index)
+}
+
+func decodeTreeReq(r *wire.Reader) (origin model.ReplicaID, prefix uint64, level int, index uint64, err error) {
+	origin = model.ReplicaID(r.Uvarint())
+	prefix = r.Uvarint()
+	level = int(r.Uvarint())
+	index = r.Uvarint()
+	return origin, prefix, level, index, r.Err()
+}
+
+func appendTreeResp(w *wire.Writer, h membership.Hash, ok bool) {
+	w.Uvarint(tTreeResp)
+	b := uint64(0)
+	if ok {
+		b = 1
+	}
+	w.Uvarint(b)
+	w.Raw(h[:])
+}
+
+func decodeTreeResp(r *wire.Reader) (membership.Hash, bool, error) {
+	ok := r.Uvarint() == 1
+	h, have := readHash(r)
+	if !have {
+		return h, false, wire.ErrTruncated
+	}
+	return h, ok, r.Err()
+}
+
+func appendRangeReq(w *wire.Writer, origin model.ReplicaID, from, count uint64) {
+	w.Uvarint(tRangeReq)
+	w.Uvarint(uint64(origin))
+	w.Uvarint(from)
+	w.Uvarint(count)
+}
+
+func decodeRangeReq(r *wire.Reader) (origin model.ReplicaID, from, count uint64, err error) {
+	origin = model.ReplicaID(r.Uvarint())
+	from = r.Uvarint()
+	count = r.Uvarint()
+	return origin, from, count, r.Err()
+}
+
+// appendRangeResp encodes one anti-entropy chunk: the same per-update
+// layout as tBatch behind a distinct type, so sync traffic is countable
+// separately from live replication in packet captures and stats.
+func appendRangeResp(w *wire.Writer, origin model.ReplicaID, us []protoUpdate) {
+	w.Uvarint(tRangeResp)
+	w.Uvarint(uint64(origin))
+	w.Uvarint(uint64(len(us)))
+	for _, u := range us {
+		w.Uvarint(u.Seq)
+		w.Uvarint(u.Lamport)
+		w.Uvarint(uint64(len(u.Payload)))
+		w.Raw(u.Payload)
+	}
+}
+
+// decodeRangeResp decodes a tRangeResp body. Payloads alias the frame
+// buffer, like decodeBatch's.
+func decodeRangeResp(r *wire.Reader) ([]protoUpdate, error) {
+	origin := model.ReplicaID(r.Uvarint())
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("cluster: implausible range count %d", n)
+	}
+	us := make([]protoUpdate, 0, n)
+	for i := uint64(0); i < n; i++ {
+		u := protoUpdate{
+			Origin:  origin,
+			Seq:     r.Uvarint(),
+			Lamport: r.Uvarint(),
+			Payload: r.Bytes(),
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		us = append(us, u)
+	}
+	return us, nil
+}

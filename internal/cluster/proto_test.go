@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/wire"
 )
@@ -53,17 +54,28 @@ func TestHelloV1Compat(t *testing.T) {
 
 func TestHelloAckRoundTrip(t *testing.T) {
 	w := wire.NewWriter()
-	appendHelloAck(w, wire.CodecBinary)
+	appendHelloAck(w, wire.CodecBinary, 42)
 	r := wire.NewReader(w.Bytes())
 	if typ := r.Uvarint(); typ != tHelloAck {
 		t.Fatalf("type = %d, want tHelloAck", typ)
 	}
-	codec, err := decodeHelloAck(r)
+	codec, delivered, err := decodeHelloAck(r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if codec != wire.CodecBinary {
-		t.Fatalf("codec = %d, want binary", codec)
+	if codec != wire.CodecBinary || delivered != 42 {
+		t.Fatalf("ack = (%d, %d), want (binary, 42)", codec, delivered)
+	}
+
+	// A v2 ack (no trailing watermark) still decodes, with delivered 0:
+	// the dialer then offers its full backlog and cumulative dedup absorbs
+	// the re-offers, exactly the pre-v3 behavior.
+	w = wire.NewWriter()
+	w.Uvarint(helloVersion)
+	w.Uvarint(uint64(wire.CodecJSON))
+	codec, delivered, err = decodeHelloAck(wire.NewReader(w.Bytes()))
+	if err != nil || codec != wire.CodecJSON || delivered != 0 {
+		t.Fatalf("v2 ack = (%d, %d, %v), want (json, 0, nil)", codec, delivered, err)
 	}
 }
 
@@ -242,7 +254,7 @@ func TestGoldenWireVectors(t *testing.T) {
 		data []byte
 	}{
 		{"hello_v2", enc(func(w *wire.Writer) { appendHello(w, 2, wire.CodecBinary) })},
-		{"hello_ack", enc(func(w *wire.Writer) { appendHelloAck(w, wire.CodecJSON) })},
+		{"hello_ack", enc(func(w *wire.Writer) { appendHelloAck(w, wire.CodecJSON, 17) })},
 		{"update", enc(func(w *wire.Writer) {
 			appendUpdate(w, protoUpdate{Origin: 1, Seq: 7, Lamport: 300, Payload: []byte{0xca, 0xfe}})
 		})},
@@ -263,6 +275,21 @@ func TestGoldenWireVectors(t *testing.T) {
 			if err := AppendEventBinary(w, sampleEventsBinary()[2]); err != nil {
 				t.Fatal(err)
 			}
+		})},
+		{"join", enc(func(w *wire.Writer) {
+			appendJoin(w, joinReq{From: 2, Epoch: 3, Addr: "127.0.0.1:7002", Codec: wire.CodecBinary})
+		})},
+		{"digest", enc(func(w *wire.Writer) {
+			appendDigest(w, tDigest, []originDigest{
+				{Origin: 0, Count: 33, Root: membership.HashUpdate(0, 1, []byte("x"))},
+				{Origin: 1, Count: 0},
+			})
+		})},
+		{"range_resp", enc(func(w *wire.Writer) {
+			appendRangeResp(w, 1, []protoUpdate{
+				{Origin: 1, Seq: 7, Lamport: 300, Payload: []byte{0xca, 0xfe}},
+				{Origin: 1, Seq: 8, Lamport: 301, Payload: []byte{0xba, 0xbe, 0x00}},
+			})
 		})},
 	}
 	dir := filepath.Join("testdata", "golden")

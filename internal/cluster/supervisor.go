@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -21,8 +22,12 @@ var ErrNodeDown = fmt.Errorf("cluster: node is down (crashed by the fault schedu
 // disk: crash closes the incarnation (flushing its journal) and restart
 // recovers from the data directory through the same durable.Open path a
 // kill -9'd served process takes — nothing is handed through memory.
-// Client traffic routes through Do, which fails fast with ErrNodeDown
-// during a victim's downtime.
+// Leave/join directives exercise the membership path instead: leave
+// retires the node gracefully (gossiped departure releases the peers'
+// retransmission obligations), join boots a fresh incarnation that
+// rejoins through tJoin and Merkle anti-entropy catch-up. Client traffic
+// routes through Do, which fails fast with ErrNodeDown during a victim's
+// downtime.
 type Supervisor struct {
 	base  Config
 	em    *fault.Netem
@@ -30,10 +35,20 @@ type Supervisor struct {
 	addrs []string
 
 	mu        sync.Mutex
-	nodes     []*Node   // nil while crashed
+	nodes     []*Node   // nil while crashed or departed
 	snapshots []History // last pre-crash history per node
+	left      []bool    // departed by a leave directive; a rejoin goroutine owns the slot
 	crashes   int
 	restarts  int
+	leaves    int
+	joins     int
+
+	// joinWG tracks in-flight rejoin goroutines. Rejoining blocks until a
+	// live seed admits the node, and a churn window may overlap other
+	// nodes' crash windows, so joins run off the schedule loop and are
+	// awaited only after every crashed node is back up.
+	joinWG  sync.WaitGroup
+	joinErr error
 }
 
 // NewSupervisor boots an n-node full-mesh cluster of base.Store replicas on
@@ -53,6 +68,7 @@ func NewSupervisor(base Config, n int, em *fault.Netem, tick time.Duration) (*Su
 		tick:      tick,
 		nodes:     make([]*Node, n),
 		snapshots: make([]History, n),
+		left:      make([]bool, n),
 		addrs:     make([]string, n),
 	}
 	for i := 0; i < n; i++ {
@@ -134,6 +150,14 @@ func (s *Supervisor) Crashes() (crashes, restarts int) {
 	return s.crashes, s.restarts
 }
 
+// Churn reports how many leave and (completed) join directives were
+// enforced.
+func (s *Supervisor) Churn() (leaves, joins int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaves, s.joins
+}
+
 // Histories downloads every live node's recorded history (restored events
 // included). Call after the schedule completed, when every node is up.
 func (s *Supervisor) Histories() ([]History, error) {
@@ -169,9 +193,17 @@ func (s *Supervisor) RunSchedule(sched fault.Schedule) error {
 		}
 	}
 	s.em.Heal()
+	// Crashed nodes first: an in-flight rejoin may be waiting for one of
+	// them to come back as a seed, so the wait must come after.
 	if err := s.restartAll(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	s.joinWG.Wait()
+	s.mu.Lock()
+	if s.joinErr != nil && firstErr == nil {
+		firstErr = s.joinErr
+	}
+	s.mu.Unlock()
 	s.base.Observer.Finish(sched.Steps)
 	return firstErr
 }
@@ -183,6 +215,21 @@ func (s *Supervisor) apply(d fault.Directive) error {
 		return s.crash(d.Node)
 	case fault.KindRestart:
 		return s.restart(d.Node)
+	case fault.KindLeave:
+		return s.leave(d.Node)
+	case fault.KindJoin:
+		s.joinWG.Add(1)
+		go func() {
+			defer s.joinWG.Done()
+			if err := s.rejoin(d.Node); err != nil {
+				s.mu.Lock()
+				if s.joinErr == nil {
+					s.joinErr = err
+				}
+				s.mu.Unlock()
+			}
+		}()
+		return nil
 	default:
 		s.em.Apply(d, s.tick)
 		return nil
@@ -257,13 +304,84 @@ func (s *Supervisor) restart(i int) error {
 	return nil
 }
 
-// restartAll rejoins any node still down (defensive tail for truncated
-// schedules).
+// leave retires node i gracefully: it announces its departure (releasing
+// peers' retransmission obligations for it), then stops. Its history is
+// captured the same way a crash captures it — the rejoin directive brings
+// it back through the membership path, where anti-entropy catch-up fills
+// whatever the snapshot missed.
+func (s *Supervisor) leave(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.nodes) || s.nodes[i] == nil {
+		return fmt.Errorf("cluster: leave directive for invalid or already-down node %d", i)
+	}
+	nd := s.nodes[i]
+	s.nodes[i] = nil
+	s.left[i] = true
+	s.leaves++
+	if err := nd.Leave(); err != nil {
+		nd.Close()
+		return fmt.Errorf("cluster: leave node %d: %w", i, err)
+	}
+	nd.Close()
+	if s.base.Storage == nil {
+		s.snapshots[i] = nd.FinalHistory()
+	}
+	return nil
+}
+
+// rejoin brings a departed node back through the membership path: a fresh
+// incarnation on the original address, seeded with every other node's
+// address, that announces itself with tJoin and catches up via Merkle
+// anti-entropy before replicating. NewNode blocks until a seed admits it,
+// so rejoin runs on a goroutine spawned by apply.
+func (s *Supervisor) rejoin(i int) error {
+	s.mu.Lock()
+	if i < 0 || i >= len(s.nodes) || s.nodes[i] != nil || !s.left[i] {
+		s.mu.Unlock()
+		return fmt.Errorf("cluster: join directive for invalid or non-departed node %d", i)
+	}
+	cfg := s.base
+	cfg.ID = model.ReplicaID(i)
+	cfg.N = len(s.nodes)
+	cfg.Listen = s.addrs[i]
+	cfg.Peers = nil
+	cfg.Join = s.peersOf(i)
+	cfg.Faults = s.em
+	if cfg.Storage == nil {
+		snap := s.snapshots[i]
+		cfg.Restore = &snap
+	}
+	s.mu.Unlock()
+
+	var nd *Node
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		nd, err = NewNode(cfg)
+		if err == nil || errors.Is(err, errJoinRefused) {
+			break // a refusal is permanent; only the port bind is worth retrying
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: rejoin node %d: %w", i, err)
+	}
+	s.mu.Lock()
+	s.nodes[i] = nd
+	s.left[i] = false
+	s.joins++
+	s.mu.Unlock()
+	return nil
+}
+
+// restartAll rejoins any crashed node still down (defensive tail for
+// truncated schedules). Departed slots are skipped: their rejoin
+// goroutines own them, and RunSchedule waits those out separately.
 func (s *Supervisor) restartAll() error {
 	s.mu.Lock()
 	down := []int{}
 	for i, nd := range s.nodes {
-		if nd == nil {
+		if nd == nil && !s.left[i] {
 			down = append(down, i)
 		}
 	}

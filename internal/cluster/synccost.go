@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"repro/internal/membership"
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// This file is the deterministic measurement surface behind cmd/loadgen
+// -syncbench, companion to benchwire.go: the cost of a Merkle anti-entropy
+// catch-up is a pure function of the donor's log and the joiner's prefix,
+// so it is computed on the encode paths alone — the same appenders and the
+// same chunking rule serveRange and pullRange use — with no sockets or
+// timers. The tracked BENCH_SYNC.json must be byte-identical across runs
+// of the same flags and seed.
+
+// SyncCostRow quantifies one catch-up scenario: a joiner holding the first
+// Prefix of the donor's Updates origin-0 log.
+type SyncCostRow struct {
+	// Updates is the donor's log size, Prefix what the joiner already has.
+	Updates int
+	Prefix  int
+	// DigestBytes is the membership handshake cost: the joiner's tDigest
+	// frame plus the donor's tDigestResp (counts, roots, and the prefix
+	// root that proves the joiner's log is a clean prefix).
+	DigestBytes int64
+	// Pulled/Chunks/PulledBytes are the range-transfer cost: missing
+	// updates shipped, stop-and-wait chunks used, and total wire bytes
+	// (tRangeReq + tRangeResp frames + the joiner's journal-backed acks).
+	Pulled      int64
+	Chunks      int64
+	PulledBytes int64
+	// FullBytes is the same transfer without anti-entropy: the whole log
+	// shipped through the identical chunking. The tracked ratio
+	// PulledBytes/FullBytes is the paper-relevant saving — catch-up work
+	// proportional to what was missed, not to history length.
+	FullBytes int64
+}
+
+const syncFrameHeader = 4 // length prefix writeFrame puts on every frame
+
+// frameLen measures one frame built by an appender, header included.
+func frameLen(build func(*wire.Writer)) int64 {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	build(w)
+	return int64(len(w.Bytes())) + syncFrameHeader
+}
+
+// rangeCost models serveRange's chunking exactly: chunks of up to chunkMax
+// updates, each capped at MaxFrame-64 bytes of payload cost (payload+32
+// per update), one tRangeReq ahead and one tAck behind every tRangeResp.
+func rangeCost(us []protoUpdate, from int, chunkMax, maxFrame int) (pulled, chunks, bytes int64) {
+	if from >= len(us) {
+		return 0, 0, 0
+	}
+	bytes += frameLen(func(w *wire.Writer) {
+		appendRangeReq(w, 0, uint64(from), uint64(len(us)-from))
+	})
+	idx := from
+	for idx < len(us) {
+		size := 0
+		chunk := []protoUpdate(nil)
+		for i := idx; i < len(us); i++ {
+			cost := len(us[i].Payload) + 32
+			if len(chunk) > 0 && (len(chunk) >= chunkMax || size+cost > maxFrame-64) {
+				break
+			}
+			size += cost
+			chunk = append(chunk, us[i])
+		}
+		bytes += frameLen(func(w *wire.Writer) { appendRangeResp(w, 0, chunk) })
+		bytes += frameLen(func(w *wire.Writer) { appendAck(w, chunk[len(chunk)-1].Seq) })
+		pulled += int64(len(chunk))
+		chunks++
+		idx += len(chunk)
+	}
+	return pulled, chunks, bytes
+}
+
+// SyncCost computes the catch-up cost table entry for a joiner holding the
+// first prefix updates of a donor log made of the given payloads (origin
+// 0, consecutive sequence numbers — the BenchUpdates shape). chunkMax and
+// maxFrame correspond to the negotiated BatchMax and MaxFrame; chunkMax 1
+// is the JSON-floor stop-and-wait.
+func SyncCost(payloads [][]byte, prefix, chunkMax, maxFrame int) SyncCostRow {
+	if chunkMax < 1 {
+		chunkMax = 1
+	}
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrame
+	}
+	if prefix > len(payloads) {
+		prefix = len(payloads)
+	}
+	us := []protoUpdate(NewBenchUpdates(payloads))
+
+	donor := membership.NewForest(1)
+	joiner := membership.NewForest(1)
+	for i, u := range us {
+		donor.Append(0, u.Seq, u.Payload)
+		if i < prefix {
+			joiner.Append(0, u.Seq, u.Payload)
+		}
+	}
+	row := SyncCostRow{Updates: len(us), Prefix: prefix}
+	jd := []originDigest{{Origin: model.ReplicaID(0), Count: joiner.Count(0), Root: joiner.Root(0)}}
+	dd := []originDigest{{
+		Origin: model.ReplicaID(0), Count: donor.Count(0), Root: donor.Root(0),
+		PrefixRoot: donor.PrefixRoot(0, joiner.Count(0)),
+	}}
+	row.DigestBytes = frameLen(func(w *wire.Writer) { appendDigest(w, tDigest, jd) }) +
+		frameLen(func(w *wire.Writer) { appendDigest(w, tDigestResp, dd) })
+	row.Pulled, row.Chunks, row.PulledBytes = rangeCost(us, prefix, chunkMax, maxFrame)
+	_, _, row.FullBytes = rangeCost(us, 0, chunkMax, maxFrame)
+	return row
+}

@@ -42,6 +42,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/wire"
 )
@@ -133,7 +134,17 @@ type Log struct {
 	events   []cluster.Event // full recovered+appended sequence
 	walCount int             // records currently in the wal tail
 	closed   bool
+
+	// tree is the Merkle forest over the journaled broadcast history,
+	// updated in the same Append that journals each send/receive. It is
+	// handed to the cluster node (cluster.Config.Tree) and read from the
+	// node's event loop — the same goroutine that calls Append — so the
+	// forest needs no locking of its own.
+	tree *membership.Forest
 }
+
+// Tree returns the log's Merkle forest over its broadcast history.
+func (l *Log) Tree() *membership.Forest { return l.tree }
 
 // Open opens (or initializes) the data directory and recovers the event
 // history it holds. The returned history is nil when the directory holds no
@@ -175,7 +186,12 @@ func Open(dir string, meta Meta, opts Options) (*Log, *cluster.History, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("durable: %w", err)
 	}
-	l := &Log{dir: dir, meta: meta, opts: opts, binary: binary, wal: wal, events: events}
+	tree, err := buildTree(dir, meta.N, events)
+	if err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, meta: meta, opts: opts, binary: binary, wal: wal, events: events, tree: tree}
 	// The surviving tail record count drives compaction: everything beyond
 	// the snapshot prefix (a post-crash overlap only makes the next
 	// compaction run sooner — harmless).
@@ -220,6 +236,12 @@ func (l *Log) Append(ev cluster.Event) error {
 	}
 	l.events = append(l.events, ev)
 	l.walCount++
+	if err := hashEvent(l.tree, ev); err != nil {
+		// The event is durable but the tree cannot describe it: a seq gap
+		// the node should never produce. Fail-stop rather than serve
+		// digests that would "prove" divergence to every joiner.
+		return err
+	}
 	if l.opts.SnapshotEvery > 0 && l.walCount >= l.opts.SnapshotEvery {
 		if err := l.compact(); err != nil {
 			return err
@@ -272,7 +294,9 @@ func (l *Log) compact() error {
 		}
 	}
 	l.walCount = 0
-	return nil
+	// Checkpoint the Merkle forest beside the snapshot so the next Open
+	// skips rehashing the compacted prefix.
+	return writeTreeCkpt(l.dir, l.tree)
 }
 
 // Close syncs and closes the wal. Call after the node has shut down (no

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/cluster"
+	"repro/internal/membership"
 	"repro/internal/model"
 )
 
@@ -21,13 +22,14 @@ type Storage struct {
 var _ cluster.NodeStorage = (*Storage)(nil)
 
 // Open implements cluster.NodeStorage: it opens node id's log under Dir,
-// returning its append callback, any recovered history, and the close hook
-// the node runs after its event loop has exited.
-func (s *Storage) Open(id model.ReplicaID, n int, storeName string) (func(cluster.Event) error, *cluster.History, func() error, error) {
+// returning its append callback, any recovered history, the Merkle forest
+// the log maintains over the journaled broadcasts, and the close hook the
+// node runs after its event loop has exited.
+func (s *Storage) Open(id model.ReplicaID, n int, storeName string) (func(cluster.Event) error, *cluster.History, *membership.Forest, func() error, error) {
 	dir := filepath.Join(s.Dir, fmt.Sprintf("node%d", id))
 	l, hist, err := Open(dir, Meta{Node: id, N: n, Store: storeName}, s.Opts)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return l.Append, hist, l.Close, nil
+	return l.Append, hist, l.Tree(), l.Close, nil
 }

@@ -1,0 +1,156 @@
+package durable
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cluster"
+	"repro/internal/membership"
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// The log maintains an incremental Merkle forest over the journaled
+// broadcast history (internal/membership), hashing each ActSend/ActReceive
+// in the same Append that makes it durable — so the tree a joiner's
+// anti-entropy digests against always describes exactly the on-disk log.
+//
+// The forest's whole state is the per-origin update-hash arrays, so it
+// checkpoints alongside snapshots: compact writes tree.ckpt (one CRC'd
+// frame: per origin, count then raw 32-byte hashes) atomically, and Open
+// reloads it to skip rehashing the snapshot prefix, rehashing only the wal
+// tail. The checkpoint is advisory — missing, corrupt, ahead of the
+// recovered events, or failing the spot check, it is discarded and the
+// forest rebuilds from the recovered payloads, which recovery holds in
+// memory anyway.
+
+const treeName = "tree.ckpt"
+
+// hashEvent folds one journaled event into the forest; non-broadcast
+// events (ActDo) hash nothing. Gap errors mean the journal itself skipped
+// a broadcast seq, which recovery's index checks should make impossible.
+func hashEvent(tree *membership.Forest, ev cluster.Event) error {
+	if ev.Kind != model.ActSend && ev.Kind != model.ActReceive {
+		return nil
+	}
+	return tree.Append(int(ev.Origin), ev.Seq, ev.Payload)
+}
+
+// buildTree reconstructs the forest for a recovered event sequence, seeded
+// where possible by the checkpoint's hash arrays.
+func buildTree(dir string, n int, events []cluster.Event) (*membership.Forest, error) {
+	// Per-origin payloads in seq order, straight from the recovered events.
+	payloads := make([][][]byte, n)
+	for _, ev := range events {
+		if ev.Kind != model.ActSend && ev.Kind != model.ActReceive {
+			continue
+		}
+		o := int(ev.Origin)
+		if o < 0 || o >= n {
+			return nil, &CorruptionError{File: walName, Reason: fmt.Sprintf("broadcast event from origin %d in a %d-replica log", o, n)}
+		}
+		if ev.Seq != uint64(len(payloads[o]))+1 {
+			return nil, &CorruptionError{File: walName, Reason: fmt.Sprintf("origin %d broadcast seq %d, want %d", o, ev.Seq, len(payloads[o])+1)}
+		}
+		payloads[o] = append(payloads[o], ev.Payload)
+	}
+
+	ckpt := readTreeCkpt(filepath.Join(dir, treeName), n)
+	tree := membership.NewForest(n)
+	for o := 0; o < n; o++ {
+		var prefix []membership.Hash
+		if ckpt != nil && uint64(len(ckpt[o])) <= uint64(len(payloads[o])) {
+			prefix = ckpt[o]
+			// Spot check: the checkpoint's last hash must match the event it
+			// claims to cover, or the checkpoint is from another history.
+			if k := len(prefix); k > 0 &&
+				prefix[k-1] != membership.HashUpdate(o, uint64(k), payloads[o][k-1]) {
+				prefix = nil
+			}
+		}
+		for _, h := range prefix {
+			if err := tree.AppendHash(o, h); err != nil {
+				return nil, err
+			}
+		}
+		for i := len(prefix); i < len(payloads[o]); i++ {
+			if err := tree.Append(o, uint64(i)+1, payloads[o][i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tree, nil
+}
+
+// writeTreeCkpt persists the forest atomically: tmp + fsync + rename, the
+// same discipline as snapshots, with one CRC over the whole payload.
+func writeTreeCkpt(dir string, tree *membership.Forest) error {
+	w := wire.NewWriter()
+	w.Raw([]byte{0, 0, 0, 0}) // CRC slot
+	w.Uvarint(uint64(tree.Origins()))
+	for o := 0; o < tree.Origins(); o++ {
+		count := tree.Count(o)
+		w.Uvarint(count)
+		for i := uint64(0); i < count; i++ {
+			h := tree.UpdateHash(o, i)
+			w.Raw(h[:])
+		}
+	}
+	buf := w.Bytes()
+	be32(buf[0:4], crc32.Checksum(buf[4:], castagnoli))
+
+	tmp := filepath.Join(dir, treeName+".tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("durable: tree checkpoint: %w", err)
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, treeName)); err != nil {
+		return fmt.Errorf("durable: tree checkpoint rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// readTreeCkpt loads a checkpoint's hash arrays, or nil if the file is
+// missing, damaged, or describes a different origin population — all of
+// which just mean "rebuild from the events".
+func readTreeCkpt(path string, n int) [][]membership.Hash {
+	buf, err := os.ReadFile(path)
+	if err != nil || len(buf) < 4 {
+		return nil
+	}
+	if crc32.Checksum(buf[4:], castagnoli) != rd32(buf[0:4]) {
+		return nil
+	}
+	r := wire.NewReader(buf[4:])
+	if r.Uvarint() != uint64(n) {
+		return nil
+	}
+	hashes := make([][]membership.Hash, n)
+	for o := 0; o < n; o++ {
+		count := r.Uvarint()
+		if r.Err() != nil || count > uint64(r.Remaining()/32)+1 {
+			return nil
+		}
+		hashes[o] = make([]membership.Hash, 0, count)
+		for i := uint64(0); i < count; i++ {
+			b := r.Fixed(32)
+			if b == nil {
+				return nil
+			}
+			var h membership.Hash
+			copy(h[:], b)
+			hashes[o] = append(hashes[o], h)
+		}
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		return nil
+	}
+	return hashes
+}

@@ -60,6 +60,15 @@ const (
 	KindCrash Kind = "crash"
 	// KindRestart rejoins Node, reloading its history and Lamport clock.
 	KindRestart Kind = "restart"
+	// KindLeave removes Node from the membership view: it announces its
+	// departure, peers drop their replication links to it (including
+	// unacked queues — a leave, unlike a crash, releases retransmission
+	// obligations), and its later KindJoin must catch up via anti-entropy.
+	KindLeave Kind = "leave"
+	// KindJoin readmits a departed Node through the join protocol: a new
+	// epoch, a Merkle digest exchange, and range pulls for whatever its
+	// history is missing. Balanced schedules pair every leave with a join.
+	KindJoin Kind = "join"
 )
 
 // Directive is one timed fault event. Step is a logical tick: the simulator
@@ -103,7 +112,7 @@ func (d Directive) detail() string {
 		return fmt.Sprintf("r%d->r%d %dKBps", d.From, d.To, d.RateKBps)
 	case KindLinkCut, KindLinkRestore, KindLinkDup, KindLinkReorder, KindLinkClear:
 		return fmt.Sprintf("r%d->r%d", d.From, d.To)
-	case KindCrash, KindRestart:
+	case KindCrash, KindRestart, KindLeave, KindJoin:
 		return fmt.Sprintf("r%d", d.Node)
 	}
 	return ""
@@ -161,6 +170,7 @@ func (s Schedule) Table() *bench.Table {
 func (s Schedule) CheckBalanced() error {
 	openParts := 0
 	down := map[int]bool{}
+	left := map[int]bool{}
 	openCuts := map[[2]int]int{}
 	openShapes := map[[2]int]int{}
 	for i, d := range s.Directives {
@@ -185,12 +195,28 @@ func (s Schedule) CheckBalanced() error {
 			if down[d.Node] {
 				return fmt.Errorf("fault: directive %d: r%d crashed while down", i, d.Node)
 			}
+			if left[d.Node] {
+				return fmt.Errorf("fault: directive %d: r%d crashed while departed", i, d.Node)
+			}
 			down[d.Node] = true
 		case KindRestart:
 			if !down[d.Node] {
 				return fmt.Errorf("fault: directive %d: restart of r%d while up", i, d.Node)
 			}
 			down[d.Node] = false
+		case KindLeave:
+			if left[d.Node] {
+				return fmt.Errorf("fault: directive %d: r%d left while departed", i, d.Node)
+			}
+			if down[d.Node] {
+				return fmt.Errorf("fault: directive %d: r%d left while down", i, d.Node)
+			}
+			left[d.Node] = true
+		case KindJoin:
+			if !left[d.Node] {
+				return fmt.Errorf("fault: directive %d: join of r%d while present", i, d.Node)
+			}
+			left[d.Node] = false
 		case KindLinkCut:
 			if d.From == d.To {
 				return fmt.Errorf("fault: directive %d: self link %+v", i, d)
@@ -233,6 +259,11 @@ func (s Schedule) CheckBalanced() error {
 			return fmt.Errorf("fault: r%d never restarted", r)
 		}
 	}
+	for r, l := range left {
+		if l {
+			return fmt.Errorf("fault: r%d never rejoined", r)
+		}
+	}
 	if len(openCuts) > 0 {
 		return fmt.Errorf("fault: %d cut windows never restored", len(openCuts))
 	}
@@ -258,6 +289,14 @@ type Config struct {
 	Partitions int
 	Crashes    int
 	LinkFaults int
+	// Churns is how many leave→join windows to schedule. Churn victims are
+	// drawn disjoint from crash victims (crashes+churns capped at N),
+	// because a leave releases peers' retransmission obligations while a
+	// crash does not — overlapping the two on one node would make the
+	// schedule ambiguous about which recovery path is under test. Churn
+	// windows may overlap crash windows of other nodes; rejoining is
+	// retried until a seed is reachable, so the pairing still closes.
+	Churns int
 }
 
 // scheduleStream is the gen.SplitSeed stream index reserved for fault
@@ -339,6 +378,20 @@ func Generate(cfg Config) Schedule {
 		}
 		add(d)
 		add(Directive{Step: end, Kind: endKind, From: from, To: to})
+	}
+
+	// Churn windows draw their victims from the tail of the same
+	// permutation the crash loop consumed the head of — disjoint by
+	// construction, and with zero extra RNG draws when Churns is zero, so
+	// every pre-churn schedule stays byte-identical.
+	churns := cfg.Churns
+	if max := cfg.N - crashes; churns > max {
+		churns = max
+	}
+	for i := 0; i < churns; i++ {
+		start, end := window()
+		add(Directive{Step: start, Kind: KindLeave, Node: victims[crashes+i]})
+		add(Directive{Step: end, Kind: KindJoin, Node: victims[crashes+i]})
 	}
 
 	sort.SliceStable(s.Directives, func(i, j int) bool {

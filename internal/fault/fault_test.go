@@ -243,3 +243,105 @@ func TestShapedConnCutFailsWrites(t *testing.T) {
 		t.Fatal("timeout after restore")
 	}
 }
+
+// TestGenerateChurnWindows: churn windows are balanced leave→join pairs on
+// victims disjoint from the crash victims, the cap keeps crashes+churns
+// within N, and a zero-churn config generates byte-identical schedules to
+// the pre-churn generator (no extra RNG draws).
+func TestGenerateChurnWindows(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := Generate(Config{Seed: seed, N: 4, Steps: 120, Partitions: 1, Crashes: 1, LinkFaults: 2, Churns: 2})
+		if err := s.CheckBalanced(); err != nil {
+			t.Fatalf("seed %d: CheckBalanced: %v", seed, err)
+		}
+		crashVictims := map[int]bool{}
+		churnVictims := map[int]bool{}
+		leaves, joins := 0, 0
+		for _, d := range s.Directives {
+			switch d.Kind {
+			case KindCrash:
+				crashVictims[d.Node] = true
+			case KindLeave:
+				leaves++
+				if churnVictims[d.Node] {
+					t.Fatalf("seed %d: r%d left twice", seed, d.Node)
+				}
+				churnVictims[d.Node] = true
+			case KindJoin:
+				joins++
+			}
+		}
+		if leaves != 2 || joins != 2 {
+			t.Fatalf("seed %d: %d leaves / %d joins, want 2/2", seed, leaves, joins)
+		}
+		for v := range churnVictims {
+			if crashVictims[v] {
+				t.Fatalf("seed %d: r%d is both crash and churn victim", seed, v)
+			}
+		}
+	}
+
+	// The cap: 3 nodes with 2 crash victims leave room for exactly one
+	// churn victim, however many windows were requested.
+	s := Generate(Config{Seed: 7, N: 3, Steps: 120, Crashes: 2, Churns: 5})
+	leaves := 0
+	for _, d := range s.Directives {
+		if d.Kind == KindLeave {
+			leaves++
+		}
+	}
+	if leaves != 1 {
+		t.Fatalf("cap: %d leaves with 2 crashes on 3 nodes, want 1", leaves)
+	}
+
+	// Churns: 0 must not perturb the schedule stream existing benchmarks
+	// are pinned to.
+	with := Generate(Config{Seed: 9, N: 3, Steps: 100, Partitions: 2, Crashes: 1, LinkFaults: 3})
+	without := Generate(Config{Seed: 9, N: 3, Steps: 100, Partitions: 2, Crashes: 1, LinkFaults: 3, Churns: 0})
+	if !reflect.DeepEqual(with, without) {
+		t.Fatal("Churns:0 changed the generated schedule")
+	}
+}
+
+// TestCheckBalancedRejectsChurn: the churn invariants are enforced, not
+// just generated.
+func TestCheckBalancedRejectsChurn(t *testing.T) {
+	bad := []Schedule{
+		// Leave without a join: the node never comes back.
+		{Steps: 10, Directives: []Directive{{Step: 1, Kind: KindLeave, Node: 0}}},
+		// Join of a node that never left.
+		{Steps: 10, Directives: []Directive{{Step: 1, Kind: KindJoin, Node: 0}}},
+		// Crash while departed: ambiguous recovery path.
+		{Steps: 10, Directives: []Directive{
+			{Step: 1, Kind: KindLeave, Node: 0},
+			{Step: 2, Kind: KindCrash, Node: 0},
+			{Step: 3, Kind: KindRestart, Node: 0},
+			{Step: 4, Kind: KindJoin, Node: 0},
+		}},
+		// Leave while crashed.
+		{Steps: 10, Directives: []Directive{
+			{Step: 1, Kind: KindCrash, Node: 0},
+			{Step: 2, Kind: KindLeave, Node: 0},
+			{Step: 3, Kind: KindRestart, Node: 0},
+			{Step: 4, Kind: KindJoin, Node: 0},
+		}},
+		// Double leave.
+		{Steps: 10, Directives: []Directive{
+			{Step: 1, Kind: KindLeave, Node: 0},
+			{Step: 2, Kind: KindLeave, Node: 0},
+			{Step: 3, Kind: KindJoin, Node: 0},
+		}},
+	}
+	for i, s := range bad {
+		if err := s.CheckBalanced(); err == nil {
+			t.Fatalf("case %d: CheckBalanced accepted an unbalanced churn schedule: %+v", i, s)
+		}
+	}
+	good := Schedule{Steps: 10, Directives: []Directive{
+		{Step: 1, Kind: KindLeave, Node: 0},
+		{Step: 5, Kind: KindJoin, Node: 0},
+	}}
+	if err := good.CheckBalanced(); err != nil {
+		t.Fatalf("balanced churn schedule rejected: %v", err)
+	}
+}

@@ -39,6 +39,13 @@ type Metrics struct {
 	QuiesceDeliveries int64 `json:"quiesce_deliveries"`
 	// Violations counts §4 property violations observed by the checkers.
 	Violations int64 `json:"violations"`
+	// Leaves and Joins count membership churn directives applied, and
+	// SyncUpdates counts updates moved by anti-entropy catch-up after
+	// joins — the churn cost the schedule imposed, comparable across the
+	// simulator and the TCP cluster.
+	Leaves      int64 `json:"leaves,omitempty"`
+	Joins       int64 `json:"joins,omitempty"`
+	SyncUpdates int64 `json:"sync_updates,omitempty"`
 }
 
 // TotalDowntime sums the per-node downtime.
@@ -110,6 +117,10 @@ func (o *Observer) Directive(d Directive) {
 			o.m.Downtime[d.Node] += int64(d.Step - o.crashedAt[d.Node])
 			o.crashedAt[d.Node] = -1
 		}
+	case KindLeave:
+		o.m.Leaves++
+	case KindJoin:
+		o.m.Joins++
 	case KindPartition:
 		if o.partOpen == 0 {
 			o.partAt = d.Step
@@ -202,6 +213,11 @@ func (o *Observer) AddDupFrames(n int64) { o.add(func(m *Metrics) { m.DupFrames 
 
 // AddGapFrames counts out-of-order frames a receiver had to wait out.
 func (o *Observer) AddGapFrames(n int64) { o.add(func(m *Metrics) { m.GapFrames += n }) }
+
+// AddSyncUpdates counts updates shipped by anti-entropy catch-up after a
+// join (the simulator counts requeued backlog, the TCP cluster counts
+// range-pulled updates).
+func (o *Observer) AddSyncUpdates(n int64) { o.add(func(m *Metrics) { m.SyncUpdates += n }) }
 
 // ObserveQuiesce records the convergence-latency measure: how many rounds
 // and deliveries draining the run took.

@@ -1,0 +1,191 @@
+package membership
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// LeafSpan is how many consecutive updates one Merkle leaf covers. Leaves
+// this wide keep the tree shallow (a million-update history is a 15-level
+// walk) while bounding how much a walk over-fetches: a divergent prefix is
+// localized to within LeafSpan updates.
+const LeafSpan = 32
+
+// Hash is one SHA-256 digest.
+type Hash [32]byte
+
+// Forest holds one node's incremental Merkle summary of every origin's
+// broadcast history: per origin, the per-update hashes in seq order, from
+// which any leaf, interior node, or prefix root is derived on demand.
+//
+// Append is O(1); roots and node hashes are recomputed per query (O(k) for
+// a k-update origin), which keeps the structure trivially checkpointable —
+// the update-hash arrays ARE the whole state — at history sizes this
+// repository measures. The zero value is unusable; use NewForest.
+//
+// The Forest is not internally locked: the cluster's event loop owns the
+// writes (Append runs in the same loop turn that journals the hashed
+// event) and readers go through the same loop.
+type Forest struct {
+	hashes [][]Hash
+}
+
+// NewForest returns an empty forest for an n-origin cluster.
+func NewForest(n int) *Forest {
+	return &Forest{hashes: make([][]Hash, n)}
+}
+
+// Origins returns the origin population the forest was created for.
+func (f *Forest) Origins() int { return len(f.hashes) }
+
+// Count returns how many of origin's updates the forest has hashed.
+func (f *Forest) Count(origin int) uint64 {
+	if origin < 0 || origin >= len(f.hashes) {
+		return 0
+	}
+	return uint64(len(f.hashes[origin]))
+}
+
+// HashUpdate digests one broadcast update's identity and content: origin,
+// seq, and payload — exactly the fields every replica holds identically.
+// Lamport stamps are deliberately excluded: a receiver records an update
+// under its own local clock, so including them would make identical
+// histories hash differently across nodes. The fields are
+// length-delimited by construction (fixed-width encodings), so distinct
+// updates cannot collide by concatenation tricks.
+func HashUpdate(origin int, seq uint64, payload []byte) Hash {
+	h := sha256.New()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(origin))
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], seq)
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], uint64(len(payload)))
+	h.Write(b[:])
+	h.Write(payload)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Append hashes origin's next update into the forest. seq must be exactly
+// count+1 (broadcast sequences are gap-free cumulative counters); anything
+// else is a caller bug worth failing loudly over, since a silently
+// misaligned tree would "detect" divergence that is not there.
+func (f *Forest) Append(origin int, seq uint64, payload []byte) error {
+	if origin < 0 || origin >= len(f.hashes) {
+		return fmt.Errorf("membership: hash append for origin %d outside forest of %d", origin, len(f.hashes))
+	}
+	if want := uint64(len(f.hashes[origin])) + 1; seq != want {
+		return fmt.Errorf("membership: origin %d hash append at seq %d, want %d", origin, seq, want)
+	}
+	f.hashes[origin] = append(f.hashes[origin], HashUpdate(origin, seq, payload))
+	return nil
+}
+
+// AppendHash appends a precomputed update hash (the checkpoint-restore
+// path: internal/durable persists the raw hash arrays and reloads them
+// without re-reading payloads).
+func (f *Forest) AppendHash(origin int, h Hash) error {
+	if origin < 0 || origin >= len(f.hashes) {
+		return fmt.Errorf("membership: hash append for origin %d outside forest of %d", origin, len(f.hashes))
+	}
+	f.hashes[origin] = append(f.hashes[origin], h)
+	return nil
+}
+
+// UpdateHash returns the hash of origin's i-th update (0-based).
+func (f *Forest) UpdateHash(origin int, i uint64) Hash {
+	return f.hashes[origin][i]
+}
+
+// TopLevel returns the level of the root node of a tree over k updates:
+// level 0 is the leaves, each covering LeafSpan updates.
+func TopLevel(k uint64) int {
+	leaves := (k + LeafSpan - 1) / LeafSpan
+	level := 0
+	for leaves > 1 {
+		leaves = (leaves + 1) / 2
+		level++
+	}
+	return level
+}
+
+// Domain-separation prefixes: leaf and interior hashes can never collide
+// with each other or with raw update hashes.
+var (
+	leafTag     = []byte{0x00}
+	interiorTag = []byte{0x01}
+)
+
+// NodeHash returns the hash of node (level, index) in the Merkle tree over
+// the first prefix updates of origin, and whether that node exists (covers
+// at least one update). Node (level, index) covers the update range
+// [index·LeafSpan·2^level, (index+1)·LeafSpan·2^level) clipped to prefix.
+// An interior node with a single child takes that child's hash unchanged
+// (the "lifted" convention), so the root over k updates is insensitive to
+// how the incomplete right spine is padded.
+func (f *Forest) NodeHash(origin int, prefix uint64, level int, index uint64) (Hash, bool) {
+	if origin < 0 || origin >= len(f.hashes) {
+		return Hash{}, false
+	}
+	if prefix > uint64(len(f.hashes[origin])) {
+		return Hash{}, false
+	}
+	span := uint64(LeafSpan) << uint(level)
+	start := index * span
+	if start >= prefix || level < 0 {
+		return Hash{}, false
+	}
+	if level == 0 {
+		end := start + LeafSpan
+		if end > prefix {
+			end = prefix
+		}
+		h := sha256.New()
+		h.Write(leafTag)
+		for i := start; i < end; i++ {
+			hh := f.hashes[origin][i]
+			h.Write(hh[:])
+		}
+		var out Hash
+		h.Sum(out[:0])
+		return out, true
+	}
+	left, okL := f.NodeHash(origin, prefix, level-1, 2*index)
+	right, okR := f.NodeHash(origin, prefix, level-1, 2*index+1)
+	if !okL {
+		return Hash{}, false
+	}
+	if !okR {
+		return left, true
+	}
+	h := sha256.New()
+	h.Write(interiorTag)
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out, true
+}
+
+// PrefixRoot returns the Merkle root over the first k updates of origin
+// (the zero Hash for k == 0). Two nodes whose roots over the same k agree
+// hold, with cryptographic certainty, the same k-update prefix — which is
+// what lets anti-entropy ship only the range beyond k.
+func (f *Forest) PrefixRoot(origin int, k uint64) Hash {
+	if k == 0 {
+		return Hash{}
+	}
+	h, ok := f.NodeHash(origin, k, TopLevel(k), 0)
+	if !ok {
+		return Hash{}
+	}
+	return h
+}
+
+// Root returns the Merkle root over origin's full hashed history.
+func (f *Forest) Root(origin int) Hash {
+	return f.PrefixRoot(origin, f.Count(origin))
+}

@@ -15,6 +15,11 @@ import (
 // paper's asynchronous model to a replica that is merely very slow).
 type chaosState struct {
 	crashed []bool
+	// left marks replicas departed by a leave directive. In the simulator
+	// a departed replica behaves like a crashed one — no client steps, no
+	// deliveries — but its rejoin is a KindJoin, whose catch-up cost (the
+	// backlog queued while away) is what the churn metrics measure.
+	left    []bool
 	cut     [][]bool // partition + link-cut directives
 	stall   [][]bool // delay windows: delivery held until the window closes
 	dup     [][]bool
@@ -35,6 +40,7 @@ func (c *Cluster) chaosOverlay() *chaosState {
 	if c.chaos == nil {
 		c.chaos = &chaosState{
 			crashed: make([]bool, c.n),
+			left:    make([]bool, c.n),
 			cut:     boolMatrix(c.n),
 			stall:   boolMatrix(c.n),
 			dup:     boolMatrix(c.n),
@@ -53,6 +59,7 @@ func (c *Cluster) ClearChaos() {
 	}
 	for i := 0; i < c.n; i++ {
 		c.chaos.crashed[i] = false
+		c.chaos.left[i] = false
 		for j := 0; j < c.n; j++ {
 			c.chaos.cut[i][j] = false
 			c.chaos.stall[i][j] = false
@@ -62,9 +69,10 @@ func (c *Cluster) ClearChaos() {
 	}
 }
 
-// Crashed reports whether replica r is currently crashed by a directive.
+// Crashed reports whether replica r is currently out of the run — crashed
+// or departed by a directive. Both suppress client steps and deliveries.
 func (c *Cluster) Crashed(r model.ReplicaID) bool {
-	return c.chaos != nil && c.chaos.crashed[r]
+	return c.chaos != nil && (c.chaos.crashed[r] || c.chaos.left[r])
 }
 
 // SetObserver installs a chaos-metrics collector: applied directives,
@@ -126,6 +134,13 @@ func (c *Cluster) ApplyDirective(d fault.Directive) {
 		cs.crashed[d.Node] = true
 	case fault.KindRestart:
 		cs.crashed[d.Node] = false
+	case fault.KindLeave:
+		cs.left[d.Node] = true
+	case fault.KindJoin:
+		cs.left[d.Node] = false
+		// The backlog queued while away is exactly what anti-entropy would
+		// ship on the TCP engine; count it as the join's sync cost.
+		c.obs.AddSyncUpdates(int64(len(c.queues[d.Node])))
 	}
 }
 

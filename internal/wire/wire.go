@@ -195,6 +195,22 @@ func (r *Reader) Bytes() []byte {
 	return b
 }
 
+// Fixed returns the next n bytes verbatim (no length prefix) — the read
+// path for fields whose width is fixed by the protocol, like 32-byte
+// Merkle hashes. The slice aliases the Reader's buffer, like Bytes.
+func (r *Reader) Fixed(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
 // VC decodes a dense vector clock.
 func (r *Reader) VC() vclock.VC {
 	n := r.Uvarint()
