@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench figures json wirebench fuzz chaos chaos-search durability membership ci
+.PHONY: build test verify bench figures json wirebench fuzz chaos chaos-search durability membership livecheck ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,7 @@ json:
 	$(GO) run ./cmd/chaoshunt -store gsp -seed 1 -budget 48 -objective all -parallel 1 -json >> BENCH_CHAOS.json
 	$(GO) run ./cmd/loadgen -wirebench -store causal -seed 1 -ops 200 -json > BENCH_WIRE.json
 	$(GO) run ./cmd/loadgen -syncbench -store causal -seed 1 -ops 200 -json > BENCH_SYNC.json
+	$(GO) run ./cmd/loadgen -livebench -seed 1 -ops 800 -json > BENCH_LIVECHECK.json
 
 # Human-readable wire-codec comparison: the deterministic encode-path table
 # (what BENCH_WIRE.json tracks) plus a live loopback TCP run of both codecs
@@ -80,6 +81,18 @@ membership:
 	$(GO) test -race ./cmd/served -run 'Kill9MidSyncJoin|ParseTopology' -count=1
 	$(GO) test -race ./cmd/loadgen -run 'Syncbench' -count=1
 
+# The online-checker battery: the streaming checker's unit and equivalence
+# suites (every registered store against the post-run audit on seeded chaos
+# schedules), the TCP violation-during-run acceptance test, the tapped
+# chaos pipeline, and the served /livecheck endpoint — all under the race
+# detector, since the checker is fed concurrently by every node's event
+# loop.
+livecheck:
+	$(GO) test -race ./internal/livecheck -count=1
+	$(GO) test -race ./internal/cluster -run 'LiveChecker|MergeHistoriesRejectsDuplicateSend|BuildAuditFrontierless' -count=1
+	$(GO) test -race ./cmd/loadgen -run 'LiveAudit|Livebench|LatCell' -count=1
+	$(GO) test -race ./cmd/served -run 'AdminServer' -count=1
+
 # The adversarial chaos search: a small-budget hunt per objective against
 # the default store, with each best schedule re-validated on the real TCP
 # cluster. The tracked pipeline rows come from `make json` instead (no
@@ -91,5 +104,5 @@ chaos-search:
 # What CI runs: the verify gate (which includes the chaos batteries), then
 # regenerate the tracked JSON artifacts and fail if they drifted from what
 # the commit claims.
-ci: verify chaos chaos-search durability membership json
-	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json BENCH_WIRE.json BENCH_SYNC.json
+ci: verify chaos chaos-search durability membership livecheck json
+	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json BENCH_WIRE.json BENCH_SYNC.json BENCH_LIVECHECK.json

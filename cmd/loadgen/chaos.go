@@ -16,6 +16,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/fault"
 	"repro/internal/gen"
+	"repro/internal/livecheck"
 	"repro/internal/model"
 	"repro/internal/spec"
 	"repro/internal/store"
@@ -37,6 +38,10 @@ type chaosConfig struct {
 	jsonOut        bool
 	dataDir        string
 	churn          int
+	// liveAudit streams every node's events through the online checker
+	// (internal/livecheck) while the run is still serving load, then proves
+	// the live verdict against the post-run merged-history audit.
+	liveAudit bool
 }
 
 // chaosTick maps fault-schedule steps to wall time. Small enough that the
@@ -94,6 +99,15 @@ func runChaos(w io.Writer, cfg chaosConfig) error {
 		// the kill -9 code path under the fault schedule.
 		base.Storage = &durable.Storage{Dir: cfg.dataDir}
 	}
+	var ck *livecheck.Checker
+	if cfg.liveAudit {
+		// One cluster-wide checker fed by every node's event-loop tap
+		// (Observe is mutex-guarded; cross-stream skew is the checker's
+		// normal operating mode). The supervisor copies base per
+		// incarnation, so restarted nodes keep streaming into it.
+		ck = livecheck.New(cfg.nodes, livecheck.Options{Types: spec.MVRTypes()})
+		base.Tap = ck.Observe
+	}
 	sup, err := cluster.NewSupervisor(base, cfg.nodes, em, chaosTick)
 	if err != nil {
 		return err
@@ -143,15 +157,19 @@ func runChaos(w io.Writer, cfg chaosConfig) error {
 	if err := <-schedErr; err != nil {
 		return fmt.Errorf("fault schedule: %w", err)
 	}
+	// Snapshot the live verdict before quiescence: a violation the checker
+	// flagged here was caught while the cluster was still serving load, not
+	// reconstructed after the fact.
+	var preQuiesce livecheck.Verdict
+	if ck != nil {
+		preQuiesce = ck.Verdict()
+	}
 
 	var lats []time.Duration
 	errs := 0
 	for _, r := range results {
 		lats = append(lats, r.latencies...)
 		errs += r.errs
-	}
-	if len(lats) == 0 {
-		return fmt.Errorf("every operation failed (%d errors)", errs)
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 
@@ -187,9 +205,7 @@ func runChaos(w io.Writer, cfg chaosConfig) error {
 	leaves, joins := sup.Churn()
 	partitions, _, linkFaults := sched.Counts()
 
-	pct := func(p float64) float64 {
-		return float64(percentile(lats, p).Microseconds()) / 1000.0
-	}
+	pct := func(p float64) interface{} { return latCell(lats, p) }
 	t := bench.NewTable(fmt.Sprintf("loadgen chaos: %s, %d nodes, seed %d", cfg.store, cfg.nodes, cfg.seed),
 		"clients", "ops", "errors", "samples", "ops/sec", "p50 ms", "p99 ms",
 		"partitions", "crashes", "restarts", "leaves", "joins", "link faults", "retransmits", "reconnects")
@@ -229,12 +245,32 @@ func runChaos(w io.Writer, cfg chaosConfig) error {
 		a.AddRow("derived A causal (Def 12)", bench.Check(causalVerdict))
 	}
 	a.AddRow("§4 property violations", agg.Violations)
+	var equivErr error
+	if ck != nil {
+		// The live verdict must agree with the offline pipeline: both sides
+		// evaluate the same recorded frontiers, one incrementally during the
+		// run, one from the merged histories afterwards.
+		live := ck.Verdict()
+		reference := consistency.CheckCausal(audited.Abstract, spec.MVRTypes())
+		if (live.Violations > 0) != (reference != nil) {
+			equivErr = fmt.Errorf("live checker says %d violations, post-run audit says %v",
+				live.Violations, reference)
+		}
+		a.AddRow("live events checked", live.Events)
+		a.AddRow("live violations (before quiesce)", preQuiesce.Violations)
+		a.AddRow("live violations (final)", live.Violations)
+		a.AddRow("live peak tracked state", live.PeakTracked)
+		a.AddRow("live verdict matches post-run audit", bench.Check(equivErr))
+	}
 	if err := out.Emit(a); err != nil {
 		return err
 	}
 
 	if err := audited.Exec.CheckWellFormed(); err != nil {
 		return err
+	}
+	if equivErr != nil {
+		return equivErr
 	}
 	if causalVerdict != nil {
 		return causalVerdict

@@ -7,8 +7,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cli"
 )
 
 // TestPercentileNearestRank pins the percentile fix: nearest-rank semantics
@@ -54,6 +58,40 @@ func TestPercentileNearestRank(t *testing.T) {
 			t.Errorf("%s: percentile(%d samples, %v) = %v, want %v",
 				tc.name, len(tc.lats), tc.p, got, tc.want)
 		}
+	}
+}
+
+// TestLatCellZeroSamples pins the all-errors rendering fix: a run where
+// every operation failed must still render its stats row — "-" latency
+// cells, zero-valued counters — instead of aborting before the table (and
+// before the quiescence/audit pipeline) with "every operation failed".
+func TestLatCellZeroSamples(t *testing.T) {
+	if got := latCell(nil, 0.99); got != "-" {
+		t.Fatalf("latCell(nil) = %v, want \"-\"", got)
+	}
+	if got := latCell([]time.Duration{}, 0.50); got != "-" {
+		t.Fatalf("latCell(empty) = %v, want \"-\"", got)
+	}
+	if got := latCell([]time.Duration{4 * time.Millisecond}, 0.50); got != 4.0 {
+		t.Fatalf("latCell(4ms sample) = %v, want 4.0", got)
+	}
+	// The cell must survive table rendering in both output modes.
+	var buf bytes.Buffer
+	tb := bench.NewTable("zero-sample row", "samples", "ops/sec", "p99 ms")
+	tb.AddRow(0, 0.0, latCell(nil, 0.99))
+	if err := cli.Output(&buf, false).Emit(tb); err != nil {
+		t.Fatalf("text render: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("-")) {
+		t.Fatalf("text output lacks the \"-\" cell:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := cli.Output(&buf, true).Emit(tb); err != nil {
+		t.Fatalf("json render: %v", err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("json output invalid: %v\n%s", err, buf.String())
 	}
 }
 
@@ -227,5 +265,64 @@ func TestRunChaosFullReport(t *testing.T) {
 	}
 	if got := cell("§4 property violations"); got != "0" {
 		t.Fatalf("violations = %q", got)
+	}
+}
+
+// TestRunChaosLiveAudit runs the chaos pipeline with the streaming checker
+// tapped into every node: the run must stay clean on the causal store, the
+// checker must actually see the run's events, and the live-vs-post-run
+// equivalence row must come out ok.
+func TestRunChaosLiveAudit(t *testing.T) {
+	cfg := chaosConfig{
+		store:          "causal",
+		nodes:          3,
+		clients:        2,
+		ops:            30,
+		mutate:         0.6,
+		objects:        2,
+		seed:           9,
+		quiesceTimeout: 30 * time.Second,
+		jsonOut:        true,
+		liveAudit:      true,
+	}
+	var buf bytes.Buffer
+	if err := runChaos(&buf, cfg); err != nil {
+		t.Fatalf("runChaos: %v\noutput:\n%s", err, buf.String())
+	}
+	type table struct {
+		Title string     `json:"title"`
+		Rows  [][]string `json:"rows"`
+	}
+	var audit table
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var tb table
+		if err := json.Unmarshal(sc.Bytes(), &tb); err != nil {
+			t.Fatalf("line %q is not a JSON bench table: %v", sc.Text(), err)
+		}
+		if strings.Contains(tb.Title, "audit") {
+			audit = tb
+		}
+	}
+	cell := func(metric string) string {
+		for _, row := range audit.Rows {
+			if len(row) == 2 && row[0] == metric {
+				return row[1]
+			}
+		}
+		t.Fatalf("audit table missing metric %q: %v", metric, audit.Rows)
+		return ""
+	}
+	if got := cell("live events checked"); got == "0" {
+		t.Fatal("live checker saw no events")
+	}
+	if got := cell("live violations (final)"); got != "0" {
+		t.Fatalf("live violations = %q on the causal store", got)
+	}
+	if got := cell("live verdict matches post-run audit"); got != "ok" {
+		t.Fatalf("equivalence row = %q", got)
+	}
+	if got := cell("live peak tracked state"); got == "0" {
+		t.Fatal("peak tracked state never rose above zero")
 	}
 }

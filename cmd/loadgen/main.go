@@ -59,7 +59,28 @@ func main() {
 	wireCodec := flag.String("wire-codec", "", "codec for structured replies in the live-cluster mode (json, binary; default binary)")
 	syncbench := flag.Bool("syncbench", false, "measure Merkle anti-entropy catch-up costs: deterministic digest/range-pull table per joiner prefix")
 	churn := flag.Int("churn", 0, "leave→join windows in the -chaos schedule (victims disjoint from the crash victims)")
+	liveAudit := flag.Bool("live-audit", false, "with -chaos: stream every node's events through the online checker during the run and prove its verdict against the post-run audit")
+	livebench := flag.Bool("livebench", false, "measure the online checker: deterministic per-store table of events checked, violations, and peak tracked state vs history length; human mode adds a wall-clock replay throughput table")
 	flag.Parse()
+
+	if *livebench {
+		lcfg := livebenchConfig{
+			seed:    *seed,
+			steps:   *ops,
+			objects: *objects,
+			jsonOut: *jsonOut,
+		}
+		if err := runLivebench(os.Stdout, lcfg); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *liveAudit && !*chaos {
+		fmt.Fprintln(os.Stderr, "loadgen: -live-audit requires -chaos (the TCP client mode audits offline via -audit)")
+		os.Exit(1)
+	}
 
 	if *syncbench {
 		scfg := syncbenchConfig{
@@ -109,6 +130,7 @@ func main() {
 			jsonOut:        *jsonOut,
 			dataDir:        *chaosDataDir,
 			churn:          *churn,
+			liveAudit:      *liveAudit,
 		}
 		if err := runChaos(os.Stdout, ccfg); err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -218,9 +240,6 @@ func run(w io.Writer, cfg config) error {
 		lats = append(lats, r.latencies...)
 		errs += r.errs
 	}
-	if len(lats) == 0 {
-		return fmt.Errorf("every operation failed (%d errors)", errs)
-	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 
 	// Quiescence: all nodes must report quiesced on two consecutive polls
@@ -254,9 +273,7 @@ func run(w io.Writer, cfg config) error {
 	}
 
 	out := cli.Output(w, cfg.jsonOut)
-	pct := func(p float64) float64 {
-		return float64(percentile(lats, p).Microseconds()) / 1000.0
-	}
+	pct := func(p float64) interface{} { return latCell(lats, p) }
 	done := len(lats)
 	t := bench.NewTable(fmt.Sprintf("loadgen: %s, %d nodes, seed %d", storeName, len(cfg.nodes), cfg.seed),
 		"clients", "ops", "errors", "samples", "ops/sec", "p50 ms", "p95 ms", "p99 ms", "max ms",
@@ -318,6 +335,17 @@ func run(w io.Writer, cfg config) error {
 		return fmt.Errorf("%d §4 property violations recorded", agg.Violations)
 	}
 	return convergence
+}
+
+// latCell renders one latency-percentile table cell: "-" when no operation
+// succeeded (an all-error run still owes its stats row — aborting before
+// rendering used to hide the error count and skip the quiescence and audit
+// pipeline entirely), otherwise the percentile in milliseconds.
+func latCell(lats []time.Duration, p float64) interface{} {
+	if len(lats) == 0 {
+		return "-"
+	}
+	return float64(percentile(lats, p).Microseconds()) / 1000.0
 }
 
 // percentile reads the p-th percentile from sorted latencies by nearest

@@ -54,6 +54,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/durable"
+	"repro/internal/livecheck"
 	"repro/internal/model"
 	"repro/internal/spec"
 	"repro/internal/store"
@@ -188,6 +189,15 @@ func run(cfg serveConfig) error {
 		return err
 	}
 
+	// Node-local streaming checker: observes only this node's own event
+	// stream (peers' mints arrive as watermarks), so it enforces the session
+	// guarantees — frontier monotonicity, read-your-writes, own-dot
+	// integrity — live, without any cross-node coordination. Full causal/rval
+	// verdicts still come from the offline /history + BuildAudit pipeline.
+	ck := livecheck.New(n, livecheck.Options{
+		Observed: []model.ReplicaID{model.ReplicaID(cfg.id)},
+		Types:    spec.MVRTypes(),
+	})
 	ncfg := cluster.Config{
 		ID:             model.ReplicaID(cfg.id),
 		N:              n,
@@ -197,6 +207,7 @@ func run(cfg serveConfig) error {
 		Join:           join,
 		Codec:          cfg.wireCodec,
 		SyncChunkDelay: cfg.syncDelay,
+		Tap:            ck.Observe,
 	}
 	if cfg.dataDir != "" {
 		jl, hist, err := durable.Open(cfg.dataDir,
@@ -236,7 +247,7 @@ func run(cfg serveConfig) error {
 
 	var adminSrv *http.Server
 	if cfg.admin != "" {
-		adminSrv, err = startAdmin(cfg.admin, node)
+		adminSrv, err = startAdmin(cfg.admin, node, ck)
 		if err != nil {
 			return fmt.Errorf("admin: %w", err)
 		}
@@ -260,21 +271,31 @@ func run(cfg serveConfig) error {
 // marshal failure becomes a clean 500 instead of an error trailer glued to
 // a 200 and half a body.
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus is writeJSON with an explicit status code, for endpoints
+// whose status carries the verdict (/livecheck: 503 once dirty).
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	w.Write(buf.Bytes())
 }
 
 // startAdmin exposes the node over plain HTTP for operators and offline
 // audits: /healthz (200 once serving), /metrics (the Stats snapshot),
-// /membership (the node's view of who is in the cluster), and /history
-// (the recorded local history, ready for cluster.BuildAudit). The
-// returned server is already serving; the caller owns its Shutdown.
-func startAdmin(addr string, node *cluster.Node) (*http.Server, error) {
+// /membership (the node's view of who is in the cluster), /history
+// (the recorded local history, ready for cluster.BuildAudit), and
+// /livecheck (the streaming checker's live verdict — 200 while clean,
+// 503 once a session-guarantee violation has been flagged, so a probe
+// can alert without parsing the body). The returned server is already
+// serving; the caller owns its Shutdown.
+func startAdmin(addr string, node *cluster.Node, ck *livecheck.Checker) (*http.Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok r%d quiesced=%v\n", node.ID(), node.Quiesced())
@@ -287,6 +308,14 @@ func startAdmin(addr string, node *cluster.Node) (*http.Server, error) {
 	})
 	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, node.History())
+	})
+	mux.HandleFunc("/livecheck", func(w http.ResponseWriter, r *http.Request) {
+		v := ck.Verdict()
+		code := http.StatusOK
+		if !v.Clean {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSONStatus(w, code, v)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

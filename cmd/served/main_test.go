@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/cluster"
+	"repro/internal/livecheck"
 	"repro/internal/model"
 	"repro/internal/spec"
 	"repro/internal/store"
@@ -149,8 +151,13 @@ func TestAdminServerGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ck := livecheck.New(1, livecheck.Options{
+		Observed: []model.ReplicaID{0},
+		Types:    spec.MVRTypes(),
+	})
 	node, err := cluster.NewNode(cluster.Config{
 		ID: 0, N: 1, Store: st, Listen: "127.0.0.1:0",
+		Tap: ck.Observe,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -160,12 +167,12 @@ func TestAdminServerGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv, err := startAdmin("127.0.0.1:0", node)
+	srv, err := startAdmin("127.0.0.1:0", node, ck)
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := srv.Addr
-	for _, path := range []string{"/healthz", "/metrics", "/membership", "/history"} {
+	for _, path := range []string{"/healthz", "/metrics", "/membership", "/history", "/livecheck"} {
 		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
@@ -175,6 +182,34 @@ func TestAdminServerGracefulShutdown(t *testing.T) {
 		if resp.StatusCode != http.StatusOK || len(body) == 0 {
 			t.Fatalf("%s: status %d, %d body bytes", path, resp.StatusCode, len(body))
 		}
+	}
+
+	// The live verdict reflects the tapped write, and its clean/dirty state
+	// drives the HTTP status: a flagged violation turns the endpoint 503 so
+	// a dumb probe can alert without parsing JSON.
+	resp, err := http.Get(fmt.Sprintf("http://%s/livecheck", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v livecheck.Verdict
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !v.Clean || v.Dos < 1 {
+		t.Fatalf("live verdict = %+v, want clean with ≥1 do", v)
+	}
+	ck.Observe(livecheck.Event{ // fabricated regression: frontier falls
+		Node: 0, Kind: model.ActDo, Object: "x", Op: model.Read(),
+		Rval: model.ReadResponse(nil), Frontier: []uint64{0},
+	})
+	resp, err = http.Get(fmt.Sprintf("http://%s/livecheck", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dirty /livecheck status = %d, want 503", resp.StatusCode)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

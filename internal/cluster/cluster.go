@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/livecheck"
 	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/store"
@@ -92,6 +93,17 @@ type Config struct {
 	// supervisor additionally reports applied directives to it. All
 	// Observer methods are nil-safe, so the field is threaded unguarded.
 	Observer *fault.Observer
+	// Tap, when non-nil, receives every event this node records — do,
+	// send, receive — in the same event-loop turn that records it,
+	// immediately after the journal (if any) accepted it, so the streamed
+	// prefix never runs ahead of the durable log and a restart can never
+	// regress the stream. Events replayed via Restore are not re-tapped
+	// (their first recording was); sends re-minted during restore are new
+	// events and are. The callback runs on the node's event loop: it must
+	// return quickly and must not call back into the node. Intended for
+	// internal/livecheck; the Supervisor copies it into every restart
+	// incarnation like the rest of the base config.
+	Tap func(livecheck.Event)
 
 	// Join, when non-nil, lists seed nodes (id → address) to join the
 	// cluster through instead of (or in addition to) static Peers: NewNode
@@ -218,8 +230,12 @@ type Stats struct {
 type Node struct {
 	cfg     Config
 	replica store.Replica
-	checker *store.PropertyChecker
-	ln      net.Listener
+	// reportsVis caches whether the replica implements store.VisReporter:
+	// only then do recorded do events carry a frontier (an absent report is
+	// recorded as absent, not as an all-zero claim).
+	reportsVis bool
+	checker    *store.PropertyChecker
+	ln         net.Listener
 	// codec is this node's resolved codec preference (cfg.Codec, else the
 	// store's own declaration via store.PayloadCodec). Connections negotiate
 	// down from it, never up.
@@ -335,20 +351,22 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Listen, err)
 	}
 	replica := cfg.Store.NewReplica(cfg.ID, cfg.N)
+	_, reportsVis := replica.(store.VisReporter)
 	n := &Node{
-		cfg:       cfg,
-		replica:   replica,
-		checker:   store.NewPropertyChecker(replica),
-		ln:        ln,
-		codec:     codec,
-		calls:     make(chan func()),
-		done:      make(chan struct{}),
-		delivered: make([]uint64, cfg.N),
-		frontier:  make([]uint64, cfg.N),
-		updates:   make([][]protoUpdate, cfg.N),
-		peers:     make(map[model.ReplicaID]*peerSender),
-		conns:     make(map[net.Conn]struct{}),
-		view:      membership.NewView(),
+		cfg:        cfg,
+		replica:    replica,
+		reportsVis: reportsVis,
+		checker:    store.NewPropertyChecker(replica),
+		ln:         ln,
+		codec:      codec,
+		calls:      make(chan func()),
+		done:       make(chan struct{}),
+		delivered:  make([]uint64, cfg.N),
+		frontier:   make([]uint64, cfg.N),
+		updates:    make([][]protoUpdate, cfg.N),
+		peers:      make(map[model.ReplicaID]*peerSender),
+		conns:      make(map[net.Conn]struct{}),
+		view:       membership.NewView(),
 	}
 	n.closeJournal = closeJournal
 	n.epoch.Store(cfg.Epoch)
@@ -617,6 +635,25 @@ func (n *Node) record(ev Event) {
 			go n.Close()
 		}
 	}
+	// Tap after the journal verdict: a fail-stopping node streams nothing
+	// it cannot also promise to remember, so the streamed prefix is always
+	// a prefix of the durable log.
+	if n.cfg.Tap != nil && n.jerr == nil {
+		n.cfg.Tap(liveEvent(n.cfg.ID, ev))
+	}
+}
+
+// liveEvent converts a recorded event for the streaming checker: the
+// payload is stripped (the checker never inspects store state) and the
+// recording node stamped on. The Frontier slice is shared with the history
+// entry, which never mutates it.
+func liveEvent(node model.ReplicaID, ev Event) livecheck.Event {
+	return livecheck.Event{
+		Node: node, Kind: ev.Kind, Lamport: ev.Lamport,
+		Object: ev.Object, Op: ev.Op, Rval: ev.Rval,
+		Dot: ev.Dot, Frontier: ev.Frontier,
+		Origin: ev.Origin, Seq: ev.Seq,
+	}
 }
 
 // Do applies one client operation at this replica, records the do event
@@ -653,7 +690,12 @@ func (n *Node) doInLoop(obj model.ObjectID, op model.Operation) model.Response {
 		}
 	}
 	n.advanceFrontier()
-	ev.Frontier = append([]uint64(nil), n.frontier...)
+	if n.reportsVis {
+		ev.Frontier = append([]uint64(nil), n.frontier...)
+	}
+	// Stores without visibility reporting record no frontier at all: an
+	// all-zero frontier would claim "this read saw nothing", and BuildAudit
+	// would derive read-containment edges from a claim the store never made.
 	n.record(ev)
 	n.broadcastPending()
 	return resp

@@ -10,27 +10,37 @@ import (
 )
 
 // OrderError reports per-node histories that cannot merge into a
-// well-formed execution: a receive whose (Origin, Seq) matches no send, or
-// whose Lamport time sorts it before the send it claims to follow. Both
-// mean a corrupted or truncated history — merging on anyway would fabricate
-// an execution the cluster never ran.
+// well-formed execution: a receive whose (Origin, Seq) matches no send,
+// one whose Lamport time sorts it before the send it claims to follow, or
+// two send events claiming the same (Origin, Seq). All mean a corrupted or
+// truncated history — merging on anyway would fabricate an execution the
+// cluster never ran.
 type OrderError struct {
-	Node   model.ReplicaID // node whose history holds the offending receive
+	Node   model.ReplicaID // node whose history holds the offending event
 	Origin model.ReplicaID // claimed message origin
 	Seq    uint64          // claimed broadcast sequence number
 	// BeforeSend distinguishes a receive that sorts before its send (clock
 	// corruption) from one with no send event anywhere (truncated log).
 	BeforeSend bool
+	// DuplicateSend marks a second send event claiming an already-seen
+	// (Origin, Seq): message identity is that pair, so two sends minting it
+	// would silently attribute every receive to whichever send merged last.
+	DuplicateSend bool
 }
 
 // Error implements error.
 func (e *OrderError) Error() string {
-	if e.BeforeSend {
+	switch {
+	case e.DuplicateSend:
+		return fmt.Sprintf("cluster: r%d's history holds a second send event for (r%d,%d) — duplicate broadcast identity",
+			e.Node, e.Origin, e.Seq)
+	case e.BeforeSend:
 		return fmt.Sprintf("cluster: r%d's receive of (r%d,%d) sorts before its send (corrupted Lamport clocks)",
 			e.Node, e.Origin, e.Seq)
+	default:
+		return fmt.Sprintf("cluster: r%d received (r%d,%d) but no history holds its send event",
+			e.Node, e.Origin, e.Seq)
 	}
-	return fmt.Sprintf("cluster: r%d received (r%d,%d) but no history holds its send event",
-		e.Node, e.Origin, e.Seq)
 }
 
 // Event is one locally recorded do/send/receive event of a node, stamped
@@ -136,7 +146,18 @@ func mergeOrder(hists []History) ([]mergedEvent, error) {
 		seen[h.Node] = true
 		for i, ev := range h.Events {
 			if ev.Kind == model.ActSend {
-				allSends[[2]uint64{uint64(ev.Origin), ev.Seq}] = true
+				key := [2]uint64{uint64(ev.Origin), ev.Seq}
+				if allSends[key] {
+					// A second send of the same identity (e.g. a restart
+					// re-recording a re-offered broadcast) would let
+					// MergeHistories attribute every receive to whichever
+					// send merged last; reject instead of merging a lie.
+					return nil, &OrderError{
+						Node: h.Node, Origin: ev.Origin, Seq: ev.Seq,
+						DuplicateSend: true,
+					}
+				}
+				allSends[key] = true
 			}
 			merged = append(merged, mergedEvent{node: h.Node, idx: i, ev: ev})
 		}
@@ -225,7 +246,13 @@ func BuildAudit(hists []History) (*Audit, error) {
 					a.AddVis(i, j)
 				}
 			default: // read: frontier containment
-				if contained(frontiers[i], frontiers[j]) {
+				// Only when both events actually reported a frontier: a
+				// store without visibility reporting records none (nil),
+				// and deriving "saw nothing ⊆ anything" edges from that
+				// absence would fabricate visibility the store never
+				// claimed — enough to mask a real violation behind a
+				// well-connected read.
+				if len(frontiers[i]) > 0 && len(frontiers[j]) > 0 && contained(frontiers[i], frontiers[j]) {
 					a.AddVis(i, j)
 				}
 			}

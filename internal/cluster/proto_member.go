@@ -28,16 +28,16 @@ import (
 // frames (tGossip/tGossipAck) are a single request/response exchange on a
 // transient connection.
 const (
-	tJoin      = 14 // {from, epoch, addr, version, codec}
-	tJoinAck   = 15 // {version, codec, members...}
-	tGossip    = 16 // {from, members...}
-	tGossipAck = 17 // {members...}
-	tDigest    = 18 // {count, (origin, count, root)...}
+	tJoin       = 14 // {from, epoch, addr, version, codec}
+	tJoinAck    = 15 // {version, codec, members...}
+	tGossip     = 16 // {from, members...}
+	tGossipAck  = 17 // {members...}
+	tDigest     = 18 // {count, (origin, count, root)...}
 	tDigestResp = 19 // {count, (origin, count, root, prefixRoot)...}
-	tTreeReq   = 20 // {origin, prefix, level, index}
-	tTreeResp  = 21 // {ok, hash}
-	tRangeReq  = 22 // {origin, from, count}
-	tRangeResp = 23 // {origin, count, (seq, lamport, payload)...}
+	tTreeReq    = 20 // {origin, prefix, level, index}
+	tTreeResp   = 21 // {ok, hash}
+	tRangeReq   = 22 // {origin, from, count}
+	tRangeResp  = 23 // {origin, count, (seq, lamport, payload)...}
 )
 
 // joinReq carries a decoded tJoin.

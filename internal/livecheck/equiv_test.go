@@ -1,0 +1,129 @@
+package livecheck_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/consistency"
+	"repro/internal/fault"
+	"repro/internal/livecheck"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/store"
+
+	_ "repro/internal/store/causal"
+	_ "repro/internal/store/gsp"
+	_ "repro/internal/store/kbuffer"
+	_ "repro/internal/store/lww"
+	_ "repro/internal/store/statesync"
+)
+
+// histories rebuilds per-node cluster histories from a Recorder's streams,
+// feeding the same frontier data the live checker saw into the offline
+// BuildAudit pipeline — the two sides of the equivalence claim consume
+// identical inputs.
+func histories(rec *livecheck.Recorder, n int, storeName string) []cluster.History {
+	per := rec.PerNode()
+	hists := make([]cluster.History, n)
+	for i := 0; i < n; i++ {
+		h := cluster.History{Node: model.ReplicaID(i), N: n, Store: storeName}
+		for _, ev := range per[model.ReplicaID(i)] {
+			h.Events = append(h.Events, cluster.Event{
+				Kind: ev.Kind, Lamport: ev.Lamport,
+				Object: ev.Object, Op: ev.Op, Rval: ev.Rval,
+				Dot: ev.Dot, Frontier: ev.Frontier,
+				Origin: ev.Origin, Seq: ev.Seq,
+			})
+		}
+		hists[i] = h
+	}
+	return hists
+}
+
+// TestStreamingMatchesPostRunAudit is the tentpole's equivalence property:
+// for every registered store, on seeded chaos schedules, the streaming
+// checker's clean/violating verdict agrees with the offline pipeline
+// (BuildAudit + CheckCausal over the very histories the tap recorded). The
+// causal stores must come out clean on both sides; the weaker stores may
+// violate — the property is agreement, not cleanliness.
+func TestStreamingMatchesPostRunAudit(t *testing.T) {
+	objs := []model.ObjectID{"x0", "x1", "x2"}
+	const nodes = 3
+	for _, name := range store.Names() {
+		for seed := int64(0); seed < 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				st, err := store.Open(name, spec.MVRTypes(), store.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ck := livecheck.New(nodes, livecheck.Options{Types: spec.MVRTypes()})
+				rec := livecheck.NewRecorder()
+				c := sim.NewCluster(st, nodes, seed)
+				c.SetTap(livecheck.Tee(ck.Observe, rec.Observe))
+				sched := fault.Generate(fault.Config{
+					Seed: seed, N: nodes, Steps: 300,
+					Partitions: 1, Crashes: 1, LinkFaults: 2,
+				})
+				c.RunScheduled(sched, sim.WorkloadConfig{
+					Objects: objs, Steps: 300,
+					MutateRatio: 0.4, SendProb: 0.9, DeliverProb: 0.95,
+				})
+				c.Quiesce()
+
+				v := ck.Verdict()
+				audited, err := cluster.BuildAudit(histories(rec, nodes, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := audited.Exec.CheckWellFormed(); err != nil {
+					t.Fatalf("recorded streams merged into a malformed execution: %v", err)
+				}
+				reference := consistency.CheckCausal(audited.Abstract, spec.MVRTypes())
+				if (v.Violations > 0) != (reference != nil) {
+					t.Fatalf("streaming verdict disagrees with post-run audit:\nlive: %+v\nfirst: %v\npost-run: %v",
+						v, v.First, reference)
+				}
+			})
+		}
+	}
+}
+
+// TestBoundedStateSublinear pins the o(history) claim: with a stationary
+// undelivered window (no faults, delivery keeping pace with minting), the
+// checker's peak tracked state must not scale with the run length — 4x the
+// steps may not even double the peak, and the peak must sit far below the
+// event count.
+func TestBoundedStateSublinear(t *testing.T) {
+	objs := []model.ObjectID{"x0", "x1", "x2"}
+	const nodes = 3
+	run := func(steps int) livecheck.Verdict {
+		st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck := livecheck.New(nodes, livecheck.Options{Types: spec.MVRTypes()})
+		c := sim.NewCluster(st, nodes, 7)
+		c.SetTap(ck.Observe)
+		c.RunScheduled(fault.Schedule{}, sim.WorkloadConfig{
+			Objects: objs, Steps: steps,
+			MutateRatio: 0.4, SendProb: 0.9, DeliverProb: 0.95,
+		})
+		c.Quiesce()
+		return ck.Verdict()
+	}
+	small := run(4000)
+	large := run(16000)
+	if small.Violations != 0 || large.Violations != 0 {
+		t.Fatalf("causal store flagged on a fault-free run: %+v / %+v", small, large)
+	}
+	if large.PeakTracked >= 2*small.PeakTracked {
+		t.Fatalf("peak tracked state scales with history: %d at 4k steps, %d at 16k",
+			small.PeakTracked, large.PeakTracked)
+	}
+	if int64(large.PeakTracked)*10 >= large.Events {
+		t.Fatalf("peak tracked state (%d) is not small against history length (%d events)",
+			large.PeakTracked, large.Events)
+	}
+}

@@ -1,0 +1,289 @@
+package livecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/livecheck"
+	"repro/internal/model"
+)
+
+// doEv builds a tapped do event. A nil frontier models a store without
+// visibility reporting.
+func doEv(node int, obj model.ObjectID, op model.Operation, rval model.Response, dot model.Dot, frontier []uint64) livecheck.Event {
+	return livecheck.Event{
+		Node: model.ReplicaID(node), Kind: model.ActDo,
+		Object: obj, Op: op, Rval: rval, Dot: dot, Frontier: frontier,
+	}
+}
+
+func writeEv(node int, obj model.ObjectID, v model.Value, dot model.Dot, frontier []uint64) livecheck.Event {
+	return doEv(node, obj, model.Write(v), model.OKResponse(), dot, frontier)
+}
+
+func readEv(node int, obj model.ObjectID, rval model.Response, frontier []uint64) livecheck.Event {
+	return doEv(node, obj, model.Read(), rval, model.Dot{}, frontier)
+}
+
+func sendEv(node int, seq uint64) livecheck.Event {
+	return livecheck.Event{Node: model.ReplicaID(node), Kind: model.ActSend, Origin: model.ReplicaID(node), Seq: seq}
+}
+
+func recvEv(node, from int, seq uint64) livecheck.Event {
+	return livecheck.Event{Node: model.ReplicaID(node), Kind: model.ActReceive, Origin: model.ReplicaID(from), Seq: seq}
+}
+
+func feed(c *livecheck.Checker, evs ...livecheck.Event) {
+	for _, ev := range evs {
+		c.Observe(ev)
+	}
+}
+
+func wantKinds(t *testing.T, v livecheck.Verdict, kinds ...livecheck.ViolationKind) {
+	t.Helper()
+	if v.Violations != len(kinds) {
+		t.Fatalf("got %d violations (%v), want %d", v.Violations, v.First, len(kinds))
+	}
+	for i, k := range kinds {
+		if v.First[i].Kind != k {
+			t.Fatalf("violation %d is %s, want %s (%v)", i, v.First[i].Kind, k, v.First)
+		}
+	}
+}
+
+func TestCleanExchange(t *testing.T) {
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c,
+		writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0}),
+		sendEv(0, 1),
+		recvEv(1, 0, 1),
+		readEv(1, "x", model.ReadResponse([]model.Value{"a"}), []uint64{1, 0}),
+	)
+	v := c.Verdict()
+	wantKinds(t, v)
+	if !v.Clean || v.Dos != 2 || v.Sends != 1 || v.Receives != 1 {
+		t.Fatalf("bad counters: %+v", v)
+	}
+	if v.UndeliveredDots != 0 {
+		t.Fatalf("undelivered = %d after full delivery", v.UndeliveredDots)
+	}
+	if v.RvalSkipped != 0 {
+		t.Fatalf("rval check abstained on a fully observed run: %+v", v)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err() = %v on a clean run", err)
+	}
+}
+
+func TestFrontierRegression(t *testing.T) {
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c,
+		writeEv(1, "x", "a", model.Dot{Origin: 1, Seq: 1}, []uint64{0, 1}),
+		readEv(0, "x", model.ReadResponse([]model.Value{"a"}), []uint64{0, 1}),
+		readEv(0, "x", model.ReadResponse(nil), []uint64{0, 0}), // saw less than before
+	)
+	wantKinds(t, c.Verdict(), livecheck.FrontierRegression)
+}
+
+func TestReadYourWrites(t *testing.T) {
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c, writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{0, 0}))
+	wantKinds(t, c.Verdict(), livecheck.ReadYourWrites)
+}
+
+func TestCausalDependency(t *testing.T) {
+	c := livecheck.New(3, livecheck.Options{})
+	feed(c,
+		writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0, 0}),
+		readEv(1, "x", model.ReadResponse([]model.Value{"a"}), []uint64{1, 0, 0}),
+		writeEv(1, "x", "b", model.Dot{Origin: 1, Seq: 1}, []uint64{1, 1, 0}),
+		// r2 sees b but not the a that b causally depends on.
+		readEv(2, "x", model.ReadResponse([]model.Value{"b"}), []uint64{0, 1, 0}),
+	)
+	v := c.Verdict()
+	if v.Violations == 0 || v.First[0].Kind != livecheck.CausalDependency {
+		t.Fatalf("want a causal-dependency violation, got %+v", v)
+	}
+	f := v.First[0]
+	if f.Dot != (model.Dot{Origin: 1, Seq: 1}) || f.Dep != (model.Dot{Origin: 0, Seq: 1}) {
+		t.Fatalf("violation blames %s missing %s, want (r1,1) missing (r0,1)", f.Dot, f.Dep)
+	}
+}
+
+func TestCausalDependencyPendingMint(t *testing.T) {
+	// Cross-stream skew: the covering read is observed before the minting
+	// write's own stream delivers the mint record. The violation must still
+	// surface — at resolution time, against the frontier the read reported.
+	c := livecheck.New(3, livecheck.Options{})
+	feed(c,
+		writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0, 0}),
+		readEv(2, "x", model.ReadResponse([]model.Value{"b"}), []uint64{0, 1, 0}),
+	)
+	if v := c.Verdict(); v.Violations != 0 || v.PendingDots != 1 {
+		t.Fatalf("premature verdict before the mint record arrived: %+v", v)
+	}
+	feed(c, writeEv(1, "x", "b", model.Dot{Origin: 1, Seq: 1}, []uint64{1, 1, 0}))
+	v := c.Verdict()
+	if v.Violations != 1 || v.First[0].Kind != livecheck.CausalDependency {
+		t.Fatalf("want the deferred causal-dependency violation, got %+v", v)
+	}
+	if v.First[0].Event != 2 {
+		t.Fatalf("violation anchored at event %d, want the covering read (2)", v.First[0].Event)
+	}
+	if v.PendingDots != 0 {
+		t.Fatalf("pending observation not resolved: %+v", v)
+	}
+}
+
+func TestRvalMismatch(t *testing.T) {
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c,
+		writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0}),
+		writeEv(1, "x", "b", model.Dot{Origin: 1, Seq: 1}, []uint64{0, 1}),
+		// Both writes visible and concurrent: an MVR read owes {a,b}.
+		readEv(0, "x", model.ReadResponse([]model.Value{"a"}), []uint64{1, 1}),
+	)
+	wantKinds(t, c.Verdict(), livecheck.RvalMismatch)
+
+	c = livecheck.New(2, livecheck.Options{})
+	feed(c,
+		writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0}),
+		writeEv(1, "x", "b", model.Dot{Origin: 1, Seq: 1}, []uint64{0, 1}),
+		readEv(0, "x", model.ReadResponse([]model.Value{"a", "b"}), []uint64{1, 1}),
+	)
+	wantKinds(t, c.Verdict())
+}
+
+func TestRvalDominationOrderIndependent(t *testing.T) {
+	// b overwrites a (a is in b's causal past). Whatever order coverage
+	// lands in, the maximal set must converge to {b}.
+	evs := []livecheck.Event{
+		writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0}),
+		readEv(1, "x", model.ReadResponse([]model.Value{"a"}), []uint64{1, 0}),
+		writeEv(1, "x", "b", model.Dot{Origin: 1, Seq: 1}, []uint64{1, 1}),
+	}
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c, evs...)
+	feed(c, readEv(0, "x", model.ReadResponse([]model.Value{"b"}), []uint64{1, 1}))
+	wantKinds(t, c.Verdict())
+}
+
+func TestPreStreamAttach(t *testing.T) {
+	// A checker attached mid-life (restored store): the first observed mint
+	// continues an on-disk dot sequence. Dots below it are unchecked — no
+	// spurious violations — and the rval check abstains rather than guesses.
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c,
+		writeEv(0, "x", "e", model.Dot{Origin: 0, Seq: 5}, []uint64{5, 0}),
+		readEv(0, "x", model.ReadResponse([]model.Value{"e"}), []uint64{5, 0}),
+	)
+	v := c.Verdict()
+	wantKinds(t, v)
+	if v.RvalSkipped == 0 {
+		t.Fatalf("rval check should abstain after a pre-attach gap: %+v", v)
+	}
+}
+
+func TestDuplicateDot(t *testing.T) {
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c,
+		writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0}),
+		writeEv(0, "x", "b", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0}),
+	)
+	v := c.Verdict()
+	if v.Violations == 0 || v.First[0].Kind != livecheck.DuplicateDot {
+		t.Fatalf("want duplicate-dot, got %+v", v)
+	}
+}
+
+func TestForeignDot(t *testing.T) {
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c, writeEv(0, "x", "a", model.Dot{Origin: 1, Seq: 1}, []uint64{0, 0}))
+	wantKinds(t, c.Verdict(), livecheck.ForeignDot)
+}
+
+func TestRetirement(t *testing.T) {
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c, writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0}))
+	before := c.Verdict()
+	feed(c, readEv(1, "x", model.ReadResponse([]model.Value{"a"}), []uint64{1, 0}))
+	v := c.Verdict()
+	wantKinds(t, v)
+	// Every node covers (r0,1) now: its mint record is retired, leaving
+	// only the two per-node maximal entries for x.
+	if v.TrackedDots != 2 {
+		t.Fatalf("tracked = %d after full coverage (was %d), want 2 maximal entries",
+			v.TrackedDots, before.TrackedDots)
+	}
+	if v.PendingDots != 0 {
+		t.Fatalf("pending = %d, want 0", v.PendingDots)
+	}
+}
+
+func TestPartialView(t *testing.T) {
+	// A served node checking only its own stream: dots of unobserved
+	// origins are watermarks, not trackable state, and never block
+	// retirement; rval checking abstains.
+	c := livecheck.New(3, livecheck.Options{Observed: []model.ReplicaID{1}})
+	feed(c,
+		writeEv(1, "x", "b", model.Dot{Origin: 1, Seq: 1}, []uint64{0, 1, 0}),
+		readEv(1, "x", model.ReadResponse([]model.Value{"b", "c"}), []uint64{3, 1, 0}),
+	)
+	v := c.Verdict()
+	wantKinds(t, v)
+	if v.PendingDots != 0 {
+		t.Fatalf("unobserved origins must not park pending state: %+v", v)
+	}
+	if v.RvalSkipped == 0 {
+		t.Fatalf("partial view must abstain from rval verdicts: %+v", v)
+	}
+	// The mint record for (r1,1) is retired the moment the only observed
+	// node covers it; the surviving tracked state is r1's single maximal
+	// entry for x.
+	if v.TrackedDots != 1 {
+		t.Fatalf("tracked = %d, want 1 (mint retired, one maximal entry)", v.TrackedDots)
+	}
+	// Session guarantees still enforced on the observed stream.
+	feed(c, readEv(1, "x", model.ReadResponse(nil), []uint64{0, 0, 0}))
+	v = c.Verdict()
+	if v.Violations == 0 || v.First[0].Kind != livecheck.FrontierRegression {
+		t.Fatalf("regression on own stream must still flag: %+v", v)
+	}
+}
+
+func TestNilFrontierStore(t *testing.T) {
+	// A store without visibility reporting: events are counted, nothing is
+	// frontier-checked, and the rval check abstains.
+	c := livecheck.New(2, livecheck.Options{})
+	feed(c,
+		writeEv(0, "x", "a", model.Dot{}, nil),
+		readEv(1, "x", model.ReadResponse(nil), nil),
+	)
+	v := c.Verdict()
+	wantKinds(t, v)
+	if v.Dos != 2 {
+		t.Fatalf("dos = %d, want 2", v.Dos)
+	}
+}
+
+func TestTee(t *testing.T) {
+	c := livecheck.New(2, livecheck.Options{})
+	rec := livecheck.NewRecorder()
+	tap := livecheck.Tee(c.Observe, rec.Observe)
+	tap(writeEv(0, "x", "a", model.Dot{Origin: 0, Seq: 1}, []uint64{1, 0}))
+	if got := c.Verdict().Dos; got != 1 {
+		t.Fatalf("checker saw %d dos, want 1", got)
+	}
+	if got := len(rec.PerNode()[0]); got != 1 {
+		t.Fatalf("recorder kept %d events for r0, want 1", got)
+	}
+}
+
+func TestUndeliveredWindow(t *testing.T) {
+	c := livecheck.New(3, livecheck.Options{})
+	feed(c, sendEv(0, 1), sendEv(0, 2), recvEv(1, 0, 1))
+	v := c.Verdict()
+	// r1 misses seq 2 (1 dot), r2 misses both (2 dots).
+	if v.UndeliveredDots != 3 {
+		t.Fatalf("undelivered = %d, want 3", v.UndeliveredDots)
+	}
+}

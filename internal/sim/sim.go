@@ -79,6 +79,10 @@ type Cluster struct {
 	// (store, seed, schedule).
 	obs *fault.Observer
 
+	// tap, when non-nil, streams every recorded event to a livecheck
+	// observer (SetTap), mirroring the TCP engine's Config.Tap.
+	tap *tapState
+
 	// Visibility derivation: one row per recorded do event.
 	doEvents []int       // event Seq of each do event
 	doDots   []model.Dot // dot of each do event's mutator (zero Seq for reads)
@@ -163,6 +167,9 @@ func (c *Cluster) Do(r model.ReplicaID, obj model.ObjectID, op model.Operation) 
 	c.doEvents = append(c.doEvents, e.Seq)
 	c.doDots = append(c.doDots, dot)
 	c.sees = append(c.sees, row)
+	if c.tap != nil {
+		c.tapDo(r, obj, op, resp, dot)
+	}
 	return resp
 }
 
@@ -181,6 +188,9 @@ func (c *Cluster) Send(r model.ReplicaID) (int, bool) {
 	}
 	e := c.exec.AppendSend(r, payload)
 	c.replicas[r].OnSend()
+	if c.tap != nil {
+		c.tapSend(r, e.MsgID)
+	}
 	for to := 0; to < c.n; to++ {
 		if model.ReplicaID(to) == r {
 			continue
@@ -227,6 +237,9 @@ func (c *Cluster) deliverIndex(to model.ReplicaID, i int) {
 	}
 	c.exec.AppendReceive(to, m.msgID)
 	c.checkers[to].CheckReceive(msg.Payload, func() { c.replicas[to].Receive(msg.Payload) })
+	if c.tap != nil {
+		c.tapReceive(to, m.from, m.msgID)
+	}
 }
 
 // deliverable returns the indices of queue entries currently allowed through
