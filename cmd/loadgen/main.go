@@ -15,6 +15,7 @@
 // Usage:
 //
 //	loadgen -nodes :7000,:7001,:7002 -clients 8 -ops 200
+//	loadgen -nodes :7000,:7001,:7002 -clients 32 -conns 4
 //	loadgen -nodes :7000,:7001,:7002 -json -audit
 //	loadgen -chaos -store causal -seed 42 -json
 package main
@@ -57,6 +58,8 @@ func main() {
 	wirebench := flag.Bool("wirebench", false, "measure wire-codec costs: deterministic encode-path table (bytes/op, frames, allocs/op) for the JSON fallback vs the binary+batch codec; human mode adds a live TCP comparison")
 	wireBatch := flag.Int("wire-batch", 64, "tBatch coalescing cap for the -wirebench binary rows")
 	wireCodec := flag.String("wire-codec", "", "codec for structured replies in the live-cluster mode (json, binary; default binary)")
+	conns := flag.Int("conns", 0, "pooled connections per node for the workload clients (0 = one dedicated connection per client)")
+	opTimeout := flag.Duration("op-timeout", 10*time.Second, "per-operation deadline for client round trips (0 = unbounded)")
 	syncbench := flag.Bool("syncbench", false, "measure Merkle anti-entropy catch-up costs: deterministic digest/range-pull table per joiner prefix")
 	churn := flag.Int("churn", 0, "leave→join windows in the -chaos schedule (victims disjoint from the crash victims)")
 	liveAudit := flag.Bool("live-audit", false, "with -chaos: stream every node's events through the online checker during the run and prove its verdict against the post-run audit")
@@ -150,6 +153,8 @@ func main() {
 		quiesceTimeout: *quiesceTimeout,
 		jsonOut:        *jsonOut,
 		wireCodec:      *wireCodec,
+		conns:          *conns,
+		opTimeout:      *opTimeout,
 	}
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -168,6 +173,8 @@ type config struct {
 	quiesceTimeout time.Duration
 	jsonOut        bool
 	wireCodec      string
+	conns          int
+	opTimeout      time.Duration
 }
 
 func run(w io.Writer, cfg config) error {
@@ -180,7 +187,8 @@ func run(w io.Writer, cfg config) error {
 	}
 
 	// One control connection per node: quiescence polling, stats,
-	// convergence reads, history downloads.
+	// convergence reads, history downloads. The op timeout keeps a wedged
+	// node from hanging the control plane forever.
 	control := make([]*cluster.Client, len(cfg.nodes))
 	for i, addr := range cfg.nodes {
 		c, err := cluster.Dial(addr, 0)
@@ -193,11 +201,30 @@ func run(w io.Writer, cfg config) error {
 				return err
 			}
 		}
+		c.SetOpTimeout(cfg.opTimeout)
 		control[i] = c
 	}
 
-	// Workload: each client gets its own connection and a split-seed RNG
-	// stream, so runs are reproducible for any client count.
+	// Workload connections: with -conns, clients on the same node share a
+	// fixed pool of that many connections (bounded sockets, parallel
+	// streams); otherwise each client dials its own, the legacy shape.
+	var pools []*cluster.Pool
+	if cfg.conns > 0 {
+		pools = make([]*cluster.Pool, len(cfg.nodes))
+		for i, addr := range cfg.nodes {
+			p, err := cluster.NewPool(addr, cluster.PoolOptions{
+				Size: cfg.conns, OpTimeout: cfg.opTimeout, Codec: cfg.wireCodec,
+			})
+			if err != nil {
+				return err
+			}
+			defer p.Close()
+			pools[i] = p
+		}
+	}
+
+	// Workload: each client gets a split-seed RNG stream, so runs are
+	// reproducible for any client count.
 	type result struct {
 		latencies []time.Duration
 		errs      int
@@ -210,12 +237,19 @@ func run(w io.Writer, cfg config) error {
 		go func(ci int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(gen.SplitSeed(cfg.seed, ci)))
-			c, err := cluster.Dial(cfg.nodes[ci%len(cfg.nodes)], 0)
-			if err != nil {
-				results[ci].errs = cfg.ops
-				return
+			var d cluster.Doer
+			if pools != nil {
+				d = pools[ci%len(pools)]
+			} else {
+				c, err := cluster.Dial(cfg.nodes[ci%len(cfg.nodes)], 0)
+				if err != nil {
+					results[ci].errs = cfg.ops
+					return
+				}
+				defer c.Close()
+				c.SetOpTimeout(cfg.opTimeout)
+				d = c
 			}
-			defer c.Close()
 			for i := 0; i < cfg.ops; i++ {
 				obj := objs[rng.Intn(len(objs))]
 				op := model.Read()
@@ -223,7 +257,7 @@ func run(w io.Writer, cfg config) error {
 					op = model.Write(model.Value(fmt.Sprintf("c%d.v%d", ci, i)))
 				}
 				t0 := time.Now()
-				if _, err := c.Do(obj, op); err != nil {
+				if _, err := d.Do(obj, op); err != nil {
 					results[ci].errs++
 					continue
 				}

@@ -153,6 +153,26 @@ func runWirebench(w io.Writer, cfg wirebenchConfig) error {
 	bBytes, bFrames := us.EncodeBatched(cfg.batch)
 	bAllocs := testing.AllocsPerRun(10, func() { us.EncodeBatched(cfg.batch) }) / nOps
 
+	// Bulk transfers: anti-entropy range chunks and the binary history
+	// download frame, raw versus wrapped in the negotiated v4 compression
+	// envelope. Same chunking either way — the envelope is the only delta.
+	rBytes, rFrames := us.EncodeRange(cfg.batch, 0, false)
+	rAllocs := testing.AllocsPerRun(10, func() { us.EncodeRange(cfg.batch, 0, false) }) / nOps
+	rcBytes, rcFrames := us.EncodeRange(cfg.batch, 0, true)
+	us.EncodeRange(cfg.batch, 0, true) // warm the flate pools before counting
+	rcAllocs := testing.AllocsPerRun(10, func() { us.EncodeRange(cfg.batch, 0, true) }) / nOps
+	hBytes, err := cluster.EncodeHistoryFrame(events, false)
+	if err != nil {
+		return err
+	}
+	hcBytes, err := cluster.EncodeHistoryFrame(events, true)
+	if err != nil {
+		return err
+	}
+	nEv := float64(len(events))
+	hAllocs := testing.AllocsPerRun(10, func() { cluster.EncodeHistoryFrame(events, false) }) / nEv
+	hcAllocs := testing.AllocsPerRun(10, func() { cluster.EncodeHistoryFrame(events, true) }) / nEv
+
 	// Journal: the same recorded events in both on-disk codecs.
 	jJSONBytes, jJSONAllocs, err := journalBench(events, "json")
 	if err != nil {
@@ -169,6 +189,10 @@ func runWirebench(w io.Writer, cfg wirebenchConfig) error {
 		"path", "codec", "batch", "ops", "frames", "bytes/op", "allocs/op")
 	t.AddRow("updates", "json", 1, len(payloads), v1Frames, round(float64(v1Bytes)/nOps), round(v1Allocs))
 	t.AddRow("updates", "binary", cfg.batch, len(payloads), bFrames, round(float64(bBytes)/nOps), round(bAllocs))
+	t.AddRow("range", "binary", cfg.batch, len(payloads), rFrames, round(float64(rBytes)/nOps), round(rAllocs))
+	t.AddRow("range", "binary+flate", cfg.batch, len(payloads), rcFrames, round(float64(rcBytes)/nOps), round(rcAllocs))
+	t.AddRow("history", "binary", 1, len(events), int64(1), round(float64(hBytes)/nEv), round(hAllocs))
+	t.AddRow("history", "binary+flate", 1, len(events), int64(1), round(float64(hcBytes)/nEv), round(hcAllocs))
 	t.AddRow("journal", "json", 1, len(events), int64(len(events)), round(float64(jJSONBytes)/float64(len(events))), round(jJSONAllocs))
 	t.AddRow("journal", "binary", 1, len(events), int64(len(events)), round(float64(jBinBytes)/float64(len(events))), round(jBinAllocs))
 	if err := out.Emit(t); err != nil {

@@ -267,10 +267,25 @@ func TestKill9Recovery(t *testing.T) {
 // opens back to the joiner (racing the paced pull), but a departed
 // origin's updates can only arrive via anti-entropy, which pins the whole
 // catch-up inside the kill window.
+//
+// The harness runs once per pull credit window: stop-and-wait (window 1,
+// the pre-v4 protocol) and the windowed default. Journal-before-ack holds
+// identically in both — the joiner applies and journals every chunk before
+// its ack leaves, the credit window only lets more unacked chunks be in
+// flight — so a kill -9 mid-pull must still resume from the partial
+// journal without re-pulling anything already journaled.
 func TestKill9MidSyncJoin(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns and kills child processes")
 	}
+	for _, window := range []int{1, 8} {
+		t.Run(fmt.Sprintf("window=%d", window), func(t *testing.T) {
+			testKill9MidSyncJoin(t, window)
+		})
+	}
+}
+
+func testKill9MidSyncJoin(t *testing.T, window int) {
 	const writes = 30
 
 	mkNode := func(id int, mut func(*cluster.Config)) *cluster.Node {
@@ -332,14 +347,18 @@ func TestKill9MidSyncJoin(t *testing.T) {
 	joinArgs := []string{
 		"-store", "causal", "-id", "1", "-listen", addr1, "-n", "3",
 		"-join", "0=" + donor.Addr(), "-data-dir", dataDir,
+		"-sync-window", strconv.Itoa(window),
 	}
 
 	// First incarnation: wait until the donor has served a few chunks into
-	// the pull, then kill -9. The stop-and-wait ack protocol bounds the gap
-	// between served and journaled at one chunk.
+	// the pull, then kill -9. The ack protocol bounds the gap between
+	// served and journaled at the credit window (one chunk in stop-and-wait
+	// mode), so the kill threshold shifts by window-1 to guarantee the
+	// joiner journaled something before dying.
+	killAt := int64(5 + window - 1)
 	child := spawnServedArgs(t, joinArgs...)
 	deadline := time.Now().Add(10 * time.Second)
-	for donor.Stats().SyncServed < 5 {
+	for donor.Stats().SyncServed < killAt {
 		if time.Now().After(deadline) {
 			t.Fatalf("donor never started serving the pull\nchild output:\n%s", child.out)
 		}
@@ -349,6 +368,11 @@ func TestKill9MidSyncJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	child.cmd.Wait()
+	// Let the donor's doomed in-flight sends hit the dead socket before
+	// snapshotting: with a credit window it can burst up to window chunks
+	// past the last ack before the write fails, and those must land in
+	// served1, not leak into the second pull's accounting.
+	time.Sleep(250 * time.Millisecond)
 	served1 := donor.Stats().SyncServed
 	if served1 >= writes {
 		t.Fatalf("kill landed after the full pull (%d of %d served); widen -sync-delay", served1, writes)
@@ -398,8 +422,18 @@ func TestKill9MidSyncJoin(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	total := donor.Stats().SyncServed
-	if total-served1 >= writes {
-		t.Fatalf("restarted joiner re-pulled the full log: donor served %d then %d more, want < %d", served1, total-served1, writes)
+	pulled2 := total - served1
+	if pulled2 >= writes {
+		t.Fatalf("restarted joiner re-pulled the full log: donor served %d then %d more, want < %d", served1, pulled2, writes)
+	}
+	// Tight accounting: the second pull serves exactly the suffix the
+	// journal lacks (chunks are one update each under the JSON-pinned
+	// donor). Anything below writes-restored means journaled updates were
+	// lost; anything above it plus the window means the restart re-pulled
+	// chunks the first incarnation already journaled and acked.
+	if min := int64(writes - restored); pulled2 < min || pulled2 > min+int64(window) {
+		t.Fatalf("second pull served %d chunks, want in [%d, %d] (restored %d of %d, window %d)",
+			pulled2, min, min+int64(window), restored, writes, window)
 	}
 
 	quiesced := func() bool {

@@ -73,6 +73,8 @@ func main() {
 	flag.StringVar(&cfg.wireCodec, "wire-codec", "", "preferred wire codec for replication links and the journal (json, binary; default: the store's own preference)")
 	flag.StringVar(&cfg.joinSpec, "join", "", "join a running cluster through these seed nodes (id=addr pairs like -peers; requires -n)")
 	flag.DurationVar(&cfg.syncDelay, "sync-delay", 0, "pause between anti-entropy chunks served to a joiner (test knob, 0 disables)")
+	flag.IntVar(&cfg.syncWindow, "sync-window", 0, "anti-entropy pull credit window in chunks (1 = stop-and-wait; default 8)")
+	flag.StringVar(&cfg.compress, "compress", "", "large-frame compression offered in negotiation (flate, none; default flate)")
 	flag.Parse()
 	cfg.store = *storeName
 
@@ -84,17 +86,19 @@ func main() {
 
 // serveConfig carries the parsed command line into run.
 type serveConfig struct {
-	store     string
-	id        int
-	listen    string
-	peersSpec string
-	n         int
-	admin     string
-	k         int
-	dataDir   string
-	wireCodec string
-	joinSpec  string
-	syncDelay time.Duration
+	store      string
+	id         int
+	listen     string
+	peersSpec  string
+	n          int
+	admin      string
+	k          int
+	dataDir    string
+	wireCodec  string
+	joinSpec   string
+	syncDelay  time.Duration
+	syncWindow int
+	compress   string
 }
 
 // checkPeerAddr rejects peer addresses a membership exchange could not
@@ -207,6 +211,8 @@ func run(cfg serveConfig) error {
 		Join:           join,
 		Codec:          cfg.wireCodec,
 		SyncChunkDelay: cfg.syncDelay,
+		SyncWindow:     cfg.syncWindow,
+		Compress:       cfg.compress,
 		Tap:            ck.Observe,
 	}
 	if cfg.dataDir != "" {

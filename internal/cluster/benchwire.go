@@ -80,3 +80,69 @@ func (us BenchUpdates) EncodeBatched(batch int) (bytes, frames int64) {
 	}
 	return bytes, frames
 }
+
+// EncodeRange runs the anti-entropy donor path: tRangeResp chunks of up to
+// chunkMax updates under serveRange's exact chunking rule, optionally
+// behind the tCompressed envelope a v4 connection negotiates (compress
+// follows maybeCompressPayload's gates, so sub-floor or incompressible
+// chunks ship raw there too). Returns total wire bytes (headers included)
+// and frames.
+func (us BenchUpdates) EncodeRange(chunkMax, maxFrame int, compress bool) (bytes, frames int64) {
+	if chunkMax < 1 {
+		chunkMax = 1
+	}
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrame
+	}
+	comp := wire.CompNone
+	if compress {
+		comp = wire.CompFlate
+	}
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	for idx := 0; idx < len(us); {
+		size := 0
+		end := idx
+		for i := idx; i < len(us); i++ {
+			cost := len(us[i].Payload) + 32
+			if end > idx && (end-idx >= chunkMax || size+cost > maxFrame-64) {
+				break
+			}
+			size += cost
+			end++
+		}
+		w.Reset()
+		appendRangeResp(w, 0, us[idx:end])
+		if env := maybeCompressPayload(w.Bytes(), comp); env != nil {
+			bytes += int64(env.Len() + 4)
+			wire.PutWriter(env)
+		} else {
+			bytes += int64(w.Len() + 4)
+		}
+		frames++
+		idx = end
+	}
+	return bytes, frames
+}
+
+// EncodeHistoryFrame measures one binary history reply (tHistoryRespB)
+// holding the given events, optionally behind the compression envelope —
+// the client-download path's bulk frame. Returns the frame's wire length,
+// header included.
+func EncodeHistoryFrame(events []Event, compress bool) (int64, error) {
+	comp := wire.CompNone
+	if compress {
+		comp = wire.CompFlate
+	}
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.Uvarint(tHistoryRespB)
+	if err := appendHistory(w, History{Node: 0, N: 1, Store: "bench", Events: events}); err != nil {
+		return 0, err
+	}
+	if env := maybeCompressPayload(w.Bytes(), comp); env != nil {
+		defer wire.PutWriter(env)
+		return int64(env.Len() + 4), nil
+	}
+	return int64(w.Len() + 4), nil
+}

@@ -21,11 +21,12 @@ import (
 // the client accepts either reply form regardless of what it asked for — so
 // one client binary works against nodes of both protocol versions.
 type Client struct {
-	mu       sync.Mutex
-	conn     net.Conn
-	maxFrame int
-	nextReq  uint64
-	codec    wire.CodecID
+	mu        sync.Mutex
+	conn      net.Conn
+	maxFrame  int
+	nextReq   uint64
+	codec     wire.CodecID
+	opTimeout time.Duration
 }
 
 // Dial connects a client to a node.
@@ -54,6 +55,18 @@ func (c *Client) SetCodec(name string) error {
 	return nil
 }
 
+// SetOpTimeout bounds each subsequent operation's full round trip (write
+// plus reply read) with a connection deadline. Zero — the default —
+// disables the bound for compatibility: convergence tests legitimately
+// block in Do while a partition heals. Interactive and load-generation
+// callers should set one so a wedged node (accepting but never replying)
+// cannot hang them forever.
+func (c *Client) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.opTimeout = d
+	c.mu.Unlock()
+}
+
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -65,10 +78,14 @@ func (c *Client) Close() error {
 // returning the reply's reader positioned after the type tag plus the type
 // it got.
 func (c *Client) roundTrip(req []byte, replyMax int, want ...uint64) (*wire.Reader, uint64, error) {
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if _, err := wire.WriteFrame(c.conn, req, c.maxFrame); err != nil {
 		return nil, 0, fmt.Errorf("cluster: client write: %w", err)
 	}
-	b, err := wire.ReadFrame(c.conn, replyMax)
+	b, err := recvFrame(c.conn, replyMax)
 	if err != nil {
 		return nil, 0, fmt.Errorf("cluster: client read: %w", err)
 	}
@@ -108,7 +125,7 @@ func (c *Client) Do(obj model.ObjectID, op model.Operation) (model.Response, err
 func (c *Client) Stats() (Stats, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, typ, err := c.roundTrip(encodeStructuredReq(tStats, c.codec), c.maxFrame, tStatsResp, tStatsRespB)
+	r, typ, err := c.roundTrip(encodeStructuredReq(tStats, c.codec, wire.CompFlate), c.maxFrame, tStatsResp, tStatsRespB)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -134,7 +151,7 @@ func (c *Client) Stats() (Stats, error) {
 func (c *Client) History() (History, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, typ, err := c.roundTrip(encodeStructuredReq(tHistory, c.codec), historyMaxFrame, tHistoryResp, tHistoryRespB)
+	r, typ, err := c.roundTrip(encodeStructuredReq(tHistory, c.codec, wire.CompFlate), historyMaxFrame, tHistoryResp, tHistoryRespB)
 	if err != nil {
 		return History{}, err
 	}

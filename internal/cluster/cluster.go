@@ -128,6 +128,13 @@ type Config struct {
 	// anti-entropy range chunks it serves to a joiner — a test knob that
 	// holds a sync open long enough to kill -9 the joiner mid-pull.
 	SyncChunkDelay time.Duration
+	// SyncWindow is the credit window this node requests when pulling
+	// anti-entropy ranges as a joiner: how many unacked chunks the donor
+	// may keep in flight toward it (default 8; 1 is the old stop-and-wait,
+	// one round-trip per chunk). Every chunk is still applied and
+	// journaled before its ack leaves, whatever the window — the window
+	// pipelines the transfer, not the durability.
+	SyncWindow int
 	// Tree, when non-nil, is the Merkle forest the durable layer maintains
 	// over this node's journaled events (durable.Log hashes each update in
 	// the same turn that fsyncs it, and checkpoints the forest alongside
@@ -147,6 +154,13 @@ type Config struct {
 	// on a binary-codec connection (default 64; negative disables batching
 	// so every update travels as its own frame even on binary links).
 	BatchMax int
+	// Compress names this node's preferred per-frame compression for
+	// large transfers ("flate", "none"; empty means flate). Like Codec it
+	// is an offer, not a demand: each connection negotiates min-wins on
+	// the hello/join exchange, so a peer that never offers (or a pre-v4
+	// peer that cannot) pins the connection to none. Only bulk frames over
+	// a size floor are ever compressed — see compress.go.
+	Compress string
 
 	// MaxFrame bounds replication and request frames (wire.DefaultMaxFrame
 	// if zero); history transfers use the larger historyMaxFrame.
@@ -190,6 +204,12 @@ func (c Config) withDefaults() Config {
 	def(&c.RetransmitMax, 2*time.Second)
 	def(&c.WriteTimeout, 5*time.Second)
 	def(&c.GossipInterval, 200*time.Millisecond)
+	if c.SyncWindow == 0 {
+		c.SyncWindow = 8
+	}
+	if c.SyncWindow < 1 {
+		c.SyncWindow = 1
+	}
 	return c
 }
 
@@ -224,6 +244,11 @@ type Stats struct {
 	// missing ranges, not the whole log.
 	SyncPulled int64 `json:"sync_pulled,omitempty"`
 	SyncServed int64 `json:"sync_served,omitempty"`
+	// FailedLinks counts replication links that fail-stopped on a terminal
+	// sender error (an update the frame limit can never carry). A non-zero
+	// value means some peer will not converge through this node's direct
+	// link; the node itself keeps serving.
+	FailedLinks int64 `json:"failed_links,omitempty"`
 }
 
 // Node is one replica of a TCP-backed cluster.
@@ -240,6 +265,9 @@ type Node struct {
 	// store's own declaration via store.PayloadCodec). Connections negotiate
 	// down from it, never up.
 	codec wire.Codec
+	// comp is this node's resolved compression preference (from
+	// cfg.Compress), negotiated down per connection the same way.
+	comp uint64
 
 	calls chan func()
 	done  chan struct{}
@@ -329,6 +357,14 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 		codec = wire.JSON
 	}
+	comp := wire.CompFlate
+	switch cfg.Compress {
+	case "", "flate":
+	case "none":
+		comp = wire.CompNone
+	default:
+		return nil, fmt.Errorf("cluster: unknown compression %q (have none, flate)", cfg.Compress)
+	}
 	var closeJournal func() error
 	if cfg.Storage != nil {
 		if cfg.Journal != nil || cfg.Restore != nil {
@@ -359,6 +395,7 @@ func NewNode(cfg Config) (*Node, error) {
 		checker:    store.NewPropertyChecker(replica),
 		ln:         ln,
 		codec:      codec,
+		comp:       comp,
 		calls:      make(chan func()),
 		done:       make(chan struct{}),
 		delivered:  make([]uint64, cfg.N),
@@ -842,6 +879,9 @@ func (n *Node) Stats() Stats {
 		for _, p := range n.allPeers() {
 			s.Retransmits += p.retransmits.Load()
 			s.Reconnects += p.reconnects.Load()
+			if p.failed.Load() {
+				s.FailedLinks++
+			}
 		}
 	}
 	err := n.inLoop(func() {
@@ -981,7 +1021,7 @@ func (n *Node) serveConn(conn net.Conn) {
 	defer n.wg.Done()
 	defer n.untrack(conn)
 	defer conn.Close()
-	first, err := wire.ReadFrame(conn, n.cfg.MaxFrame)
+	first, err := recvFrame(conn, n.cfg.MaxFrame)
 	if err != nil {
 		return
 	}
@@ -1010,8 +1050,9 @@ func (n *Node) serveConn(conn net.Conn) {
 					}
 				}
 				chosen := negotiateCodec(n.codec.ID(), h.Codec)
+				chosenComp := negotiateComp(n.comp, h.Comp)
 				w := wire.GetWriter()
-				appendHelloAck(w, chosen, delivered)
+				appendHelloAck(w, chosen, delivered, chosenComp)
 				ok := n.writeFrame(conn, w.Bytes(), n.cfg.MaxFrame)
 				wire.PutWriter(w)
 				if !ok {
@@ -1043,7 +1084,7 @@ func (n *Node) serveConn(conn net.Conn) {
 // coalescing half of the batching win.
 func (n *Node) serveReplication(conn net.Conn) {
 	for {
-		b, err := wire.ReadFrame(conn, n.cfg.MaxFrame)
+		b, err := recvFrame(conn, n.cfg.MaxFrame)
 		if err != nil {
 			return
 		}
@@ -1097,15 +1138,22 @@ func (n *Node) serveReplication(conn net.Conn) {
 // serveClient answers request/response frames from one client connection.
 // tStats/tHistory requests may trail a codec ID after the bare v1 request;
 // a binary-codec request earns a binary reply (tStatsRespB/tHistoryRespB),
-// anything else — including the bare v1 form — gets the JSON fallback.
+// anything else — including the bare v1 form — gets the JSON fallback. A
+// compression offer may trail the codec (v4): a binary history reply that
+// clears the floor then travels as a tCompressed envelope.
 func (n *Node) serveClient(conn net.Conn, first []byte) {
-	// reqCodec reads the optional trailing codec field of a structured
-	// request and resolves it against this node's own preference.
-	reqCodec := func(r *wire.Reader) wire.CodecID {
+	// reqMeta reads the optional trailing codec and compression fields of
+	// a structured request and resolves both against this node's own
+	// preferences.
+	reqMeta := func(r *wire.Reader) (wire.CodecID, uint64) {
 		if r.Remaining() == 0 {
-			return wire.CodecJSON
+			return wire.CodecJSON, wire.CompNone
 		}
-		return negotiateCodec(n.codec.ID(), wire.CodecID(r.Uvarint()))
+		codec := negotiateCodec(n.codec.ID(), wire.CodecID(r.Uvarint()))
+		if r.Remaining() == 0 {
+			return codec, wire.CompNone
+		}
+		return codec, negotiateComp(n.comp, r.Uvarint())
 	}
 	frame := first
 	for {
@@ -1116,6 +1164,7 @@ func (n *Node) serveClient(conn net.Conn, first []byte) {
 		}
 		var reply []byte
 		maxFrame := n.cfg.MaxFrame
+		replyComp := wire.CompNone
 		w := wire.GetWriter()
 		switch typ {
 		case tRequest:
@@ -1131,7 +1180,7 @@ func (n *Node) serveClient(conn net.Conn, first []byte) {
 			}
 			reply = encodeResponse(reqID, resp)
 		case tStats:
-			if reqCodec(r) == wire.CodecBinary {
+			if codec, _ := reqMeta(r); codec == wire.CodecBinary {
 				w.Uvarint(tStatsRespB)
 				appendStats(w, n.Stats())
 				reply = w.Bytes()
@@ -1145,13 +1194,14 @@ func (n *Node) serveClient(conn net.Conn, first []byte) {
 			}
 		case tHistory:
 			maxFrame = historyMaxFrame
-			if reqCodec(r) == wire.CodecBinary {
+			if codec, comp := reqMeta(r); codec == wire.CodecBinary {
 				w.Uvarint(tHistoryRespB)
 				if appendHistory(w, n.History()) != nil {
 					wire.PutWriter(w)
 					return
 				}
 				reply = w.Bytes()
+				replyComp = comp
 			} else {
 				data, err := json.Marshal(n.History())
 				if err != nil {
@@ -1164,13 +1214,13 @@ func (n *Node) serveClient(conn net.Conn, first []byte) {
 			wire.PutWriter(w)
 			return
 		}
-		ok := n.writeFrame(conn, reply, maxFrame)
+		ok := n.writeFrameComp(conn, reply, maxFrame, replyComp)
 		wire.PutWriter(w)
 		if !ok {
 			return
 		}
 		var err error
-		if frame, err = wire.ReadFrame(conn, n.cfg.MaxFrame); err != nil {
+		if frame, err = recvFrame(conn, n.cfg.MaxFrame); err != nil {
 			return
 		}
 	}

@@ -203,6 +203,7 @@ func appendStats(w *wire.Writer, s Stats) {
 	w.Varint(int64(s.Members))
 	w.Varint(s.SyncPulled)
 	w.Varint(s.SyncServed)
+	w.Varint(s.FailedLinks)
 }
 
 // decodeStats decodes one stats snapshot encoded by appendStats.
@@ -227,6 +228,9 @@ func decodeStats(r *wire.Reader) (Stats, error) {
 		s.Members = int(r.Varint())
 		s.SyncPulled = r.Varint()
 		s.SyncServed = r.Varint()
+	}
+	if r.Remaining() > 0 {
+		s.FailedLinks = r.Varint()
 	}
 	return s, r.Err()
 }

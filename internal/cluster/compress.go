@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/wire"
+)
+
+// Per-frame compression for large transfers (DESIGN.md §5.13). A frame
+// whose payload clears the size floor on a connection that negotiated
+// wire.CompFlate travels wrapped in a tCompressed envelope:
+//
+//	tCompressed algo rawLen deflate-bytes
+//
+// The envelope is self-describing, so only the WRITE side is gated on the
+// negotiated algorithm — every read path unwraps unconditionally via
+// recvFrame/decompressFrame. That keeps the upgrade staged exactly like
+// codec negotiation: a sender never compresses until the peer's hello
+// ack (or join ack) proves the other end is v4+, and a pre-v4 reader
+// never receives an envelope because it never advertised one.
+
+// tCompressed is the compression envelope frame type. It continues the
+// numbering after proto_member.go's tRangeResp (23) and can wrap any other
+// frame type; only tBatch, tRangeResp, and tHistoryRespB are wrapped in
+// practice (the floor-clearing bulk-transfer frames).
+const tCompressed = 24
+
+// compressFloor is the smallest frame payload worth compressing. Below it
+// the DEFLATE block overhead and the envelope header eat the savings, and
+// the latency-sensitive small frames (acks, hellos, single updates) skip
+// the compressor entirely.
+const compressFloor = 512
+
+// negotiateComp picks the connection's compression algorithm from the two
+// ends' preferences: minimum wins, mirroring negotiateCodec, so either
+// side can force CompNone and an unknown (newer) ID degrades to none.
+func negotiateComp(a, b uint64) uint64 {
+	chosen := a
+	if b < chosen {
+		chosen = b
+	}
+	if chosen != wire.CompFlate {
+		return wire.CompNone
+	}
+	return chosen
+}
+
+// maybeCompressPayload wraps a frame payload in a tCompressed envelope
+// when the negotiated algorithm, the size floor, and an actual size win
+// all agree; it returns a pooled writer holding the envelope — the caller
+// must PutWriter it after sending — or nil to send the payload raw. An
+// incompressible payload (the envelope would be no smaller) ships raw, so
+// compression never costs wire bytes.
+func maybeCompressPayload(payload []byte, comp uint64) *wire.Writer {
+	if comp != wire.CompFlate || len(payload) < compressFloor {
+		return nil
+	}
+	w := wire.GetWriter()
+	w.Uvarint(tCompressed)
+	w.Uvarint(comp)
+	w.Uvarint(uint64(len(payload)))
+	wire.DeflateTo(w, payload)
+	if w.Len() >= len(payload) {
+		wire.PutWriter(w)
+		return nil
+	}
+	return w
+}
+
+// decompressFrame unwraps a tCompressed envelope; any other frame passes
+// through untouched. The declared inflated size obeys the same frame
+// limit as the connection's raw frames, so compression cannot smuggle an
+// oversized frame past ReadFrame's guard.
+func decompressFrame(b []byte, maxFrame int) ([]byte, error) {
+	r := wire.NewReader(b)
+	if typ := r.Uvarint(); r.Err() != nil || typ != tCompressed {
+		return b, nil
+	}
+	algo := r.Uvarint()
+	rawLen := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if algo != wire.CompFlate {
+		return nil, fmt.Errorf("cluster: unknown compression algorithm %d in envelope", algo)
+	}
+	if maxFrame <= 0 {
+		maxFrame = wire.DefaultMaxFrame
+	}
+	if rawLen > uint64(maxFrame) {
+		return nil, &wire.FrameSizeError{Size: int(rawLen), Max: maxFrame}
+	}
+	return wire.Inflate(r.Fixed(r.Remaining()), int(rawLen))
+}
+
+// recvFrame reads one length-prefixed frame and transparently unwraps the
+// compression envelope. This is the read-path replacement for
+// wire.ReadFrame everywhere a connection might carry compressed frames.
+func recvFrame(conn net.Conn, maxFrame int) ([]byte, error) {
+	b, err := wire.ReadFrame(conn, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	return decompressFrame(b, maxFrame)
+}
+
+// writeFrameComp is Node.writeFrame behind the compression gate: payloads
+// over the floor on a flate-negotiated connection travel as tCompressed
+// envelopes, everything else goes raw.
+func (n *Node) writeFrameComp(conn net.Conn, payload []byte, maxFrame int, comp uint64) bool {
+	if env := maybeCompressPayload(payload, comp); env != nil {
+		ok := n.writeFrame(conn, env.Bytes(), maxFrame)
+		wire.PutWriter(env)
+		return ok
+	}
+	return n.writeFrame(conn, payload, maxFrame)
+}
+
+// sendFrameComp is Node.sendFrame behind the same gate.
+func (n *Node) sendFrameComp(conn net.Conn, comp uint64, build func(*wire.Writer)) bool {
+	w := wire.GetWriter()
+	build(w)
+	ok := n.writeFrameComp(conn, w.Bytes(), n.cfg.MaxFrame, comp)
+	wire.PutWriter(w)
+	return ok
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestMaybeCompressPayloadGates pins the three write-side gates: negotiated
+// algorithm, size floor, and an actual size win. Only a floor-clearing
+// compressible payload on a flate connection gets the envelope.
+func TestMaybeCompressPayloadGates(t *testing.T) {
+	big := bytes.Repeat([]byte("abcdefgh"), 256) // 2 KiB, highly compressible
+	if env := maybeCompressPayload(big, wire.CompNone); env != nil {
+		wire.PutWriter(env)
+		t.Fatal("compressed on a CompNone connection")
+	}
+	if env := maybeCompressPayload(big[:compressFloor-1], wire.CompFlate); env != nil {
+		wire.PutWriter(env)
+		t.Fatal("compressed a sub-floor payload")
+	}
+	env := maybeCompressPayload(big, wire.CompFlate)
+	if env == nil {
+		t.Fatal("did not compress a floor-clearing compressible payload")
+	}
+	if env.Len() >= len(big) {
+		t.Fatalf("envelope %d bytes did not beat raw %d", env.Len(), len(big))
+	}
+	got, err := decompressFrame(append([]byte(nil), env.Bytes()...), 0)
+	wire.PutWriter(env)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("envelope did not round-trip: err %v", err)
+	}
+}
+
+// TestDecompressFramePassthrough: a non-envelope frame must come back
+// unchanged — every read path calls decompressFrame unconditionally.
+func TestDecompressFramePassthrough(t *testing.T) {
+	w := wire.NewWriter()
+	appendAck(w, 42)
+	got, err := decompressFrame(w.Bytes(), 0)
+	if err != nil || !bytes.Equal(got, w.Bytes()) {
+		t.Fatalf("passthrough mangled frame: %x err %v", got, err)
+	}
+	if got, err := decompressFrame(nil, 0); err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: %x err %v", got, err)
+	}
+}
+
+// TestDecompressFrameHostileEnvelopes: truncated headers, unknown
+// algorithms, oversize declarations, and corrupt deflate bodies must all
+// error without panicking or over-allocating.
+func TestDecompressFrameHostileEnvelopes(t *testing.T) {
+	env := func(build func(w *wire.Writer)) []byte {
+		w := wire.NewWriter()
+		w.Uvarint(tCompressed)
+		build(w)
+		return w.Bytes()
+	}
+	if _, err := decompressFrame(env(func(w *wire.Writer) { w.Uvarint(wire.CompFlate) }), 0); err == nil {
+		t.Fatal("truncated envelope header accepted")
+	}
+	if _, err := decompressFrame(env(func(w *wire.Writer) {
+		w.Uvarint(99)
+		w.Uvarint(10)
+	}), 0); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	var fse *wire.FrameSizeError
+	_, err := decompressFrame(env(func(w *wire.Writer) {
+		w.Uvarint(wire.CompFlate)
+		w.Uvarint(1 << 40) // declared inflated size far past any frame limit
+	}), 1<<20)
+	if !errors.As(err, &fse) {
+		t.Fatalf("oversize declaration error = %v, want FrameSizeError", err)
+	}
+	if _, err := decompressFrame(env(func(w *wire.Writer) {
+		w.Uvarint(wire.CompFlate)
+		w.Uvarint(16)
+		w.Raw([]byte{0xff, 0xff, 0xff}) // not a deflate stream
+	}), 0); err == nil {
+		t.Fatal("corrupt deflate body accepted")
+	}
+}
+
+// FuzzDecompressFrame throws arbitrary bytes at the envelope unwrapper: it
+// must never panic, never allocate past the frame limit, and anything it
+// passes through or inflates must be stable under a second call.
+func FuzzDecompressFrame(f *testing.F) {
+	big := bytes.Repeat([]byte("abcdefgh"), 256)
+	if env := maybeCompressPayload(big, wire.CompFlate); env != nil {
+		f.Add(append([]byte(nil), env.Bytes()...))
+		wire.PutWriter(env)
+	}
+	w := wire.NewWriter()
+	appendAck(w, 7)
+	f.Add(append([]byte(nil), w.Bytes()...))
+	f.Add([]byte{})
+	f.Add([]byte{tCompressed})
+	f.Add([]byte{tCompressed, 1, 4, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		const maxFrame = 1 << 16
+		got, err := decompressFrame(b, maxFrame)
+		if err != nil {
+			return
+		}
+		if len(got) > maxFrame {
+			t.Fatalf("inflated %d bytes past the %d frame limit", len(got), maxFrame)
+		}
+		// A decompressed frame is a plain frame: a second unwrap of a
+		// non-envelope result must be the identity. (An inflated body that
+		// itself starts with tCompressed is legal input; skip those.)
+		r := wire.NewReader(got)
+		if typ := r.Uvarint(); r.Err() == nil && typ == tCompressed {
+			return
+		}
+		again, err := decompressFrame(got, maxFrame)
+		if err != nil || !bytes.Equal(again, got) {
+			t.Fatalf("unwrap not stable: err %v", err)
+		}
+	})
+}

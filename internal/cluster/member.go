@@ -273,7 +273,7 @@ func (n *Node) joinVia(seedID model.ReplicaID, addr string) error {
 	readDeadline := n.cfg.WriteTimeout + 2*n.cfg.SyncChunkDelay
 
 	if !n.sendFrame(conn, func(w *wire.Writer) {
-		appendJoin(w, joinReq{From: n.cfg.ID, Epoch: n.epoch.Load(), Addr: n.Addr(), Codec: n.codec.ID()})
+		appendJoin(w, joinReq{From: n.cfg.ID, Epoch: n.epoch.Load(), Addr: n.Addr(), Codec: n.codec.ID(), Comp: n.comp})
 	}) {
 		return errors.New("cluster: join announce write failed")
 	}
@@ -284,7 +284,9 @@ func (n *Node) joinVia(seedID model.ReplicaID, addr string) error {
 	if typ != tJoinAck {
 		return fmt.Errorf("cluster: join answered with frame type %d", typ)
 	}
-	_, ms, err := decodeJoinAck(r, n.cfg.N)
+	// The joiner only reads bulk frames (the envelope is self-describing),
+	// so the negotiated compression needs no state on this side.
+	_, ms, _, err := decodeJoinAck(r, n.cfg.N)
 	if err != nil {
 		return err
 	}
@@ -354,6 +356,10 @@ func (n *Node) joinVia(seedID model.ReplicaID, addr string) error {
 // missing range, apply each chunk in one event-loop turn (journaling in
 // that turn), and ack only after — so a kill -9 mid-sync loses nothing an
 // ack promised, and the restarted join pulls only what is still missing.
+// The request carries cfg.SyncWindow as its credit window: the donor may
+// stream that many chunks ahead of our cumulative acks, pipelining the
+// transfer across the ack round-trip, while this side's apply-and-journal-
+// before-ack turn is byte-for-byte the stop-and-wait one.
 func (n *Node) pullRange(conn net.Conn, origin model.ReplicaID, rd originDigest, readDeadline time.Duration) error {
 	for {
 		var have uint64
@@ -363,7 +369,9 @@ func (n *Node) pullRange(conn net.Conn, origin model.ReplicaID, rd originDigest,
 		if have >= rd.Count {
 			break
 		}
-		if !n.sendFrame(conn, func(w *wire.Writer) { appendRangeReq(w, origin, have, rd.Count-have) }) {
+		if !n.sendFrame(conn, func(w *wire.Writer) {
+			appendRangeReq(w, origin, have, rd.Count-have, uint64(n.cfg.SyncWindow))
+		}) {
 			return errors.New("cluster: range request write failed")
 		}
 		for have < rd.Count {
@@ -497,11 +505,12 @@ func (n *Node) serveJoin(conn net.Conn, j joinReq) {
 	n.markDynamic()
 	n.ensureLinks()
 	chosen := negotiateCodec(n.codec.ID(), j.Codec)
-	if !n.sendFrame(conn, func(w *wire.Writer) { appendJoinAck(w, chosen, n.view.Members()) }) {
+	chosenComp := negotiateComp(n.comp, j.Comp)
+	if !n.sendFrame(conn, func(w *wire.Writer) { appendJoinAck(w, chosen, n.view.Members(), chosenComp) }) {
 		return
 	}
 	for {
-		b, err := wire.ReadFrame(conn, n.cfg.MaxFrame)
+		b, err := recvFrame(conn, n.cfg.MaxFrame)
 		if err != nil {
 			return
 		}
@@ -530,11 +539,11 @@ func (n *Node) serveJoin(conn net.Conn, j joinReq) {
 				return
 			}
 		case tRangeReq:
-			origin, from, count, err := decodeRangeReq(r)
+			origin, from, count, window, err := decodeRangeReq(r)
 			if err != nil || int(origin) < 0 || int(origin) >= n.cfg.N || count == 0 {
 				return
 			}
-			if !n.serveRange(conn, origin, from, count, chosen) {
+			if !n.serveRange(conn, origin, from, count, window, chosen, chosenComp) {
 				return
 			}
 		default:
@@ -564,46 +573,89 @@ func (n *Node) digestResp(ds []originDigest) []originDigest {
 	return resp
 }
 
+// serveRangeMaxWindow caps the credit window a joiner may request: a
+// hostile request must not make the donor flood an arbitrarily deep
+// pipeline of unacked chunks.
+const serveRangeMaxWindow = 1024
+
 // serveRange streams one origin's updates [from, from+count) to a joiner
-// in codec-sized chunks, waiting for the joiner's journal-backed ack
-// between chunks (stop-and-wait: sync throughput is not the bottleneck,
-// recoverability is). The negotiated codec governs chunking exactly like
-// live batching: binary gets BatchMax-update chunks, the JSON floor one
-// update per frame.
-func (n *Node) serveRange(conn net.Conn, origin model.ReplicaID, from, count uint64, chosen wire.CodecID) bool {
+// in codec-sized chunks under a credit-based sliding window: up to window
+// chunks may be in flight beyond the joiner's cumulative journal-backed
+// acks, so a transfer of c chunks costs about 1+⌈c/W⌉ round-trips instead
+// of stop-and-wait's 1+c. window comes from the joiner's tRangeReq (a
+// pre-v4 request decodes as 1, which IS stop-and-wait — one chunk out, one
+// ack back). Recoverability is untouched: the joiner still applies and
+// journals every chunk before acking it, so a kill -9 mid-sync loses at
+// most the unacked in-flight chunks, which the restarted join re-pulls.
+//
+// The joiner acks every chunk it consumes, in order, so the donor reads
+// exactly one ack per chunk sent — inflight is a FIFO of chunk-end seqs
+// and each ack retires its head. That bookkeeping (rather than trusting
+// the cumulative value alone) also keeps the conversation aligned: no
+// acks are left unread in the socket for serveJoin's dispatch loop to
+// trip over. The negotiated codec governs chunking exactly like live
+// batching: binary gets BatchMax-update chunks, the JSON floor one update
+// per frame.
+func (n *Node) serveRange(conn net.Conn, origin model.ReplicaID, from, count uint64, window uint64, chosen wire.CodecID, comp uint64) bool {
+	if window < 1 {
+		window = 1
+	}
+	if window > serveRangeMaxWindow {
+		window = serveRangeMaxWindow
+	}
 	end := from + count
 	chunkMax := 1
 	if chosen == wire.CodecBinary && n.cfg.BatchMax > 0 {
 		chunkMax = n.cfg.BatchMax
 	}
-	idx := from
-	for idx < end {
-		var us []protoUpdate
-		if n.inLoop(func() {
-			all := n.updates[origin]
-			if end > uint64(len(all)) {
-				end = uint64(len(all))
-			}
-			size := 0
-			for i := idx; i < end; i++ {
-				u := all[i]
-				cost := len(u.Payload) + 32
-				if len(us) > 0 && (len(us) >= chunkMax || size+cost > n.cfg.MaxFrame-64) {
-					break
+	idx := from   // seq boundary of the next chunk to build
+	acked := from // watermark the joiner has journaled (or consumed past)
+	var inflight []uint64
+	for {
+		// Fill the window: send chunks while credit remains.
+		for idx < end && uint64(len(inflight)) < window {
+			var us []protoUpdate
+			if n.inLoop(func() {
+				all := n.updates[origin]
+				if end > uint64(len(all)) {
+					end = uint64(len(all)) // donor holds less than promised
 				}
-				size += cost
-				us = append(us, u)
+				size := 0
+				for i := idx; i < end; i++ {
+					u := all[i]
+					cost := len(u.Payload) + 32
+					if len(us) > 0 && (len(us) >= chunkMax || size+cost > n.cfg.MaxFrame-64) {
+						break
+					}
+					size += cost
+					us = append(us, u)
+				}
+			}) != nil {
+				return false
 			}
-		}) != nil {
-			return false
+			if len(us) == 0 {
+				break // ran dry; end was clamped above
+			}
+			if !n.sendFrameComp(conn, comp, func(w *wire.Writer) { appendRangeResp(w, origin, us) }) {
+				return false
+			}
+			n.syncServed.Add(int64(len(us)))
+			idx = us[len(us)-1].Seq
+			inflight = append(inflight, idx)
+			if d := n.cfg.SyncChunkDelay; d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-n.done:
+					t.Stop()
+					return false
+				case <-t.C:
+				}
+			}
 		}
-		if len(us) == 0 {
-			return idx >= end
+		if len(inflight) == 0 {
+			return acked >= end
 		}
-		if !n.sendFrame(conn, func(w *wire.Writer) { appendRangeResp(w, origin, us) }) {
-			return false
-		}
-		n.syncServed.Add(int64(len(us)))
+		// Retire the oldest in-flight chunk against its ack.
 		typ, r, err := readTyped(conn, n.cfg.MaxFrame, 0)
 		if err != nil || typ != tAck {
 			return false
@@ -612,21 +664,18 @@ func (n *Node) serveRange(conn net.Conn, origin model.ReplicaID, from, count uin
 		if r.Err() != nil {
 			return false
 		}
-		if next := us[len(us)-1].Seq; cum < next {
-			cum = next
+		head := inflight[0]
+		inflight = inflight[1:]
+		// A joiner that already held some of the chunk acks its (lower)
+		// cumulative delivery; the chunk was still consumed, so credit at
+		// least the chunk boundary — the stop-and-wait anti-stall rule.
+		if cum < head {
+			cum = head
 		}
-		idx = cum
-		if d := n.cfg.SyncChunkDelay; d > 0 {
-			t := time.NewTimer(d)
-			select {
-			case <-n.done:
-				t.Stop()
-				return false
-			case <-t.C:
-			}
+		if cum > acked {
+			acked = cum
 		}
 	}
-	return true
 }
 
 // ---------------------------------------------------------------------------
@@ -648,7 +697,7 @@ func readTyped(conn net.Conn, maxFrame int, deadline time.Duration) (uint64, *wi
 	if deadline > 0 {
 		conn.SetReadDeadline(time.Now().Add(deadline))
 	}
-	b, err := wire.ReadFrame(conn, maxFrame)
+	b, err := recvFrame(conn, maxFrame)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
@@ -29,6 +31,14 @@ type peerSender struct {
 	lastAcked uint64        // peer's cumulative ack
 	maxSent   uint64        // highest seq ever written (retransmit accounting)
 	conn      net.Conn      // live connection, nil while dialing
+	failErr   error         // terminal error, set once before failed flips
+
+	// failed latches a terminal sender condition: the queue head can never
+	// travel (an update over the frame limit fails EndFrame identically on
+	// every future connection). The run loop fail-stops instead of
+	// reconnecting around an undeliverable queue forever; Node.Stats counts
+	// failed links so the condition is observable.
+	failed atomic.Bool
 
 	kick chan struct{} // cap 1: new updates enqueued
 	ackd chan struct{} // cap 1: ack progress observed
@@ -81,16 +91,29 @@ func (p *peerSender) drained() bool {
 	return len(p.queue) == 0
 }
 
-// ack applies a cumulative acknowledgement, pruning the queue.
+// ack applies a cumulative acknowledgement, pruning the queue. Pruning
+// compacts in place (copy-down) rather than re-slicing: queue[1:] keeps
+// the same backing array, whose dead head entries would pin every acked
+// payload in memory for as long as the link lives. The vacated tail slots
+// are zeroed so the payloads become collectable immediately.
 func (p *peerSender) ack(cum uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if cum > p.lastAcked {
 		p.lastAcked = cum
 	}
-	for len(p.queue) > 0 && p.queue[0].Seq <= p.lastAcked {
-		p.queue = p.queue[1:]
+	n := 0
+	for n < len(p.queue) && p.queue[n].Seq <= p.lastAcked {
+		n++
 	}
+	if n == 0 {
+		return
+	}
+	m := copy(p.queue, p.queue[n:])
+	for i := m; i < len(p.queue); i++ {
+		p.queue[i] = protoUpdate{}
+	}
+	p.queue = p.queue[:m]
 }
 
 // nextBatch returns up to max queued updates beyond sent — the next frame's
@@ -144,6 +167,23 @@ func (p *peerSender) setConn(c net.Conn) {
 func (p *peerSender) close() {
 	p.closeOnce.Do(func() { close(p.done) })
 	p.breakConn()
+}
+
+// fail latches err as the sender's terminal condition.
+func (p *peerSender) fail(err error) {
+	p.mu.Lock()
+	if p.failErr == nil {
+		p.failErr = err
+	}
+	p.mu.Unlock()
+	p.failed.Store(true)
+}
+
+// failure returns the latched terminal error, or nil.
+func (p *peerSender) failure() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failErr
 }
 
 // jitter stretches d by up to 50% (desynchronizing redial storms), drawn
@@ -208,6 +248,11 @@ func (p *peerSender) run() {
 		}
 		backoff = cfg.DialBackoffMin
 		p.serve(conn)
+		if p.failed.Load() {
+			// Terminal sender error: reconnecting cannot help, the same
+			// frame fails the same way on every connection.
+			return
+		}
 	}
 }
 
@@ -238,16 +283,18 @@ func (p *peerSender) serve(conn net.Conn) {
 
 	enc.Reset()
 	enc.BeginFrame()
-	appendHello(enc, cfg.ID, p.node.codec.ID())
-	if !p.writeEnc(conn, enc) {
+	appendHello(enc, cfg.ID, p.node.codec.ID(), p.node.comp)
+	if p.writeEnc(conn, enc, wire.CompNone) != nil {
 		return
 	}
 
-	// negotiated holds the connection's sealed codec ID. The ack-reader
-	// goroutine upgrades it when tHelloAck arrives; the send loop reads it
-	// before building each frame, so the upgrade applies from the next
-	// frame onward without any blocking round-trip.
+	// negotiated holds the connection's sealed codec ID, negComp the sealed
+	// compression algorithm. The ack-reader goroutine upgrades both when
+	// tHelloAck arrives; the send loop reads them before building each
+	// frame, so the upgrade applies from the next frame onward without any
+	// blocking round-trip.
 	var negotiated atomic.Uint64 // zero value = wire.CodecJSON, the floor
+	var negComp atomic.Uint64    // zero value = wire.CompNone, the floor
 	helloAcked := make(chan struct{})
 
 	// Ack reader: cumulative acks (and the hello ack) arrive on the same
@@ -257,7 +304,7 @@ func (p *peerSender) serve(conn net.Conn) {
 		defer close(connDead)
 		acked := false
 		for {
-			b, err := wire.ReadFrame(conn, cfg.MaxFrame)
+			b, err := recvFrame(conn, cfg.MaxFrame)
 			if err != nil {
 				return
 			}
@@ -274,13 +321,15 @@ func (p *peerSender) serve(conn net.Conn) {
 				default:
 				}
 			case tHelloAck:
-				codec, delivered, err := decodeHelloAck(r)
+				codec, delivered, comp, err := decodeHelloAck(r)
 				if err != nil {
 					return
 				}
 				// Re-negotiate against our own preference: a confused peer
-				// must not talk us into a codec we never offered.
+				// must not talk us into a codec (or compressor) we never
+				// offered.
 				negotiated.Store(uint64(negotiateCodec(p.node.codec.ID(), codec)))
+				negComp.Store(negotiateComp(p.node.comp, comp))
 				// The peer's delivered watermark is a pre-ack: it prunes
 				// the full-backlog offer down to what the peer is missing
 				// before the first drain ships anything.
@@ -346,12 +395,27 @@ func (p *peerSender) serve(conn net.Conn) {
 			}
 			enc.Reset()
 			enc.BeginFrame()
+			frameComp := wire.CompNone
 			if len(us) == 1 {
 				appendUpdate(enc, us[0])
 			} else {
+				// Only multi-update tBatch frames clear the compression
+				// floor in practice; single updates stay raw so the
+				// latency-sensitive path never touches the compressor.
 				appendBatch(enc, us[0].Origin, us)
+				frameComp = negComp.Load()
 			}
-			if !p.writeEnc(conn, enc) {
+			if err := p.writeEnc(conn, enc, frameComp); err != nil {
+				var fse *wire.FrameSizeError
+				if errors.As(err, &fse) && len(us) == 1 {
+					// nextBatch always takes the first update alone when it
+					// cannot share a frame, so an EndFrame oversize on a
+					// singleton means this exact update can never travel:
+					// retrying or reconnecting would hot-loop forever on
+					// the same frame. Latch and fail-stop the link.
+					p.fail(fmt.Errorf("cluster: r%d→r%d update seq %d undeliverable: %w",
+						cfg.ID, p.peer, us[0].Seq, err))
+				}
 				// Close before waiting: a shaped write can fail (link cut)
 				// while the TCP stream is healthy, and the ack reader only
 				// exits once the connection is gone.
@@ -376,6 +440,10 @@ func (p *peerSender) serve(conn net.Conn) {
 		case <-connDead:
 			return
 		case <-p.kick:
+			// Fresh traffic: reset the retransmission backoff. An idle
+			// link that backed off to RetransmitMax must not make a brand
+			// new update wait RetransmitMax for its first loss check.
+			rt = cfg.RetransmitMin
 		case <-p.ackd:
 			// Progress: prune happened in ack(); reset backoff.
 			rt = cfg.RetransmitMin
@@ -395,16 +463,30 @@ func (p *peerSender) serve(conn net.Conn) {
 	}
 }
 
-// writeEnc seals the frame open in enc and writes it — header and payload in
-// one call — with a write deadline, counting wire bytes and frames.
-func (p *peerSender) writeEnc(conn net.Conn, enc *wire.Writer) bool {
+// writeEnc seals the frame open in enc and writes it with a write
+// deadline, counting wire bytes and frames. comp gates the large-frame
+// compression envelope (wire.CompNone bypasses it and keeps the raw
+// path's single contiguous conn.Write). The error is returned rather than
+// collapsed to a bool because a *wire.FrameSizeError from EndFrame is a
+// terminal condition — the frame can never fit — which the caller must
+// distinguish from ordinary connection death.
+func (p *peerSender) writeEnc(conn net.Conn, enc *wire.Writer, comp uint64) error {
 	frame, err := enc.EndFrame(p.node.cfg.MaxFrame)
 	if err != nil {
-		return false
+		return err
 	}
 	conn.SetWriteDeadline(time.Now().Add(p.node.cfg.WriteTimeout))
-	nBytes, err := conn.Write(frame)
+	if env := maybeCompressPayload(frame[4:], comp); env != nil {
+		// The envelope lives in its own pooled writer, so the compressed
+		// path goes through WriteFrame (header + payload, two writes).
+		nBytes, werr := wire.WriteFrame(conn, env.Bytes(), p.node.cfg.MaxFrame)
+		wire.PutWriter(env)
+		p.node.bytesOut.Add(int64(nBytes))
+		p.node.framesOut.Add(1)
+		return werr
+	}
+	nBytes, werr := conn.Write(frame)
 	p.node.bytesOut.Add(int64(nBytes))
 	p.node.framesOut.Add(1)
-	return err == nil
+	return werr
 }

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"net"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+	"repro/internal/wire"
+
+	_ "repro/internal/store/lww"
+)
+
+// TestAckPruneReleasesPayloads is the regression for the queue[1:] pruning
+// bug: re-slicing kept the backing array, whose dead head entries pinned
+// every acked payload for as long as the link lived. Pruning must compact
+// and zero the vacated slots so acked payloads become collectable.
+func TestAckPruneReleasesPayloads(t *testing.T) {
+	p := &peerSender{kick: make(chan struct{}, 1)}
+	const n = 64
+	var finalized atomic.Int64
+	for i := 1; i <= n; i++ {
+		payload := make([]byte, 1024)
+		runtime.SetFinalizer(&payload[0], func(*byte) { finalized.Add(1) })
+		p.enqueue(protoUpdate{Origin: 0, Seq: uint64(i), Payload: payload})
+	}
+	p.ack(n - 1) // everything but the newest update is acked
+
+	deadline := time.Now().Add(5 * time.Second)
+	for finalized.Load() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d acked payloads became collectable — pruning pins the queue's backing array",
+				finalized.Load(), n-1)
+		}
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+
+	// The unacked tail must survive pruning intact.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) != 1 || p.queue[0].Seq != n || p.queue[0].Payload == nil {
+		t.Fatalf("queue after prune = %+v, want the single unacked update", p.queue)
+	}
+}
+
+// TestOversizedUpdateFailStopsLink is the regression for the reconnect hot
+// loop: an update over the frame limit fails EndFrame identically on every
+// future connection, so the old treat-it-as-connection-death path redialed
+// forever. The sender must latch the terminal error, stop reconnecting, and
+// surface the condition in Stats.
+func TestOversizedUpdateFailStopsLink(t *testing.T) {
+	nodes := make([]*Node, 2)
+	for i := range nodes {
+		st, err := store.Open("lww", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig(model.ReplicaID(i), 2, st)
+		cfg.MaxFrame = 2048
+		nd, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	for i, nd := range nodes {
+		peers := map[model.ReplicaID]string{model.ReplicaID(1 - i): nodes[1-i].Addr()}
+		if err := nd.Connect(peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A small write proves the link works before the poison update.
+	if _, err := nodes[0].Do("x", model.Write("small")); err != nil {
+		t.Fatal(err)
+	}
+	// The oversized write succeeds locally (the frame limit is a transport
+	// bound, not a store bound) but its broadcast can never travel.
+	if _, err := nodes[0].Do("x", model.Write(model.Value(strings.Repeat("v", 4096)))); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[0].Stats().FailedLinks == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("oversized update never fail-stopped the link")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var linkErr error
+	if err := nodes[0].inLoop(func() { linkErr = nodes[0].peers[model.ReplicaID(1)].failure() }); err != nil {
+		t.Fatal(err)
+	}
+	if linkErr == nil {
+		t.Fatal("failed link has no latched error")
+	} else if !strings.Contains(linkErr.Error(), "undeliverable") {
+		t.Fatalf("latched error %q does not name the undeliverable update", linkErr)
+	}
+
+	// Fail-stop means no more redialing: the reconnect counter must stop
+	// growing once the link is latched.
+	base := nodes[0].Stats().Reconnects
+	time.Sleep(300 * time.Millisecond) // many DialBackoffMax periods
+	if got := nodes[0].Stats().Reconnects; got != base {
+		t.Fatalf("failed link kept reconnecting: %d -> %d", base, got)
+	}
+}
+
+// TestKickResetsRetransmitBackoff is the regression for stale backoff: an
+// idle link that backed off to RetransmitMax made a brand new update wait
+// RetransmitMax for its first loss check, because <-p.kick left rt alone.
+// Against a server that accepts frames but never acks, the gap between a
+// fresh write and its first retransmission must track RetransmitMin, not
+// the backed-off ceiling.
+func TestKickResetsRetransmitBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Black-hole server: reads every frame (timestamping tUpdate arrivals)
+	// and never replies, so nothing is ever acked and the sender's
+	// retransmission backoff climbs.
+	type arrival struct {
+		seq  uint64
+		when time.Time
+	}
+	arrivals := make(chan arrival, 256)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					b, err := wire.ReadFrame(c, wire.DefaultMaxFrame)
+					if err != nil {
+						return
+					}
+					r := wire.NewReader(b)
+					if r.Uvarint() == tUpdate {
+						u, err := decodeUpdate(r)
+						if err != nil {
+							return
+						}
+						arrivals <- arrival{seq: u.Seq, when: time.Now()}
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	st, err := store.Open("lww", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(0, 2, st)
+	cfg.RetransmitMin = 25 * time.Millisecond
+	cfg.RetransmitMax = 800 * time.Millisecond
+	nd, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if err := nd.Connect(map[model.ReplicaID]string{1: ln.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitSeq := func(seq uint64) arrival {
+		t.Helper()
+		for {
+			select {
+			case a := <-arrivals:
+				if a.seq == seq {
+					return a
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("update seq %d never arrived", seq)
+			}
+		}
+	}
+
+	// First write, then let the unacked retransmission backoff climb to max.
+	if _, err := nd.Do("x", model.Write("first")); err != nil {
+		t.Fatal(err)
+	}
+	waitSeq(1)
+	time.Sleep(4 * cfg.RetransmitMax) // several doublings: rt is at the ceiling now
+
+	// Drain queued retransmissions of seq 1, then write fresh traffic.
+	for {
+		select {
+		case <-arrivals:
+			continue
+		default:
+		}
+		break
+	}
+	if _, err := nd.Do("x", model.Write("second")); err != nil {
+		t.Fatal(err)
+	}
+	first := waitSeq(2)
+
+	// The new update's first retransmission must come on a freshly reset
+	// timer. Pre-fix it waited the backed-off rt (≥ RetransmitMax); the
+	// bound is generous (half the ceiling) to absorb scheduler noise.
+	retrans := waitSeq(2)
+	if gap := retrans.when.Sub(first.when); gap >= cfg.RetransmitMax/2 {
+		t.Fatalf("first retransmission after fresh traffic took %v — backoff was not reset (min %v, max %v)",
+			gap, cfg.RetransmitMin, cfg.RetransmitMax)
+	}
+}
+
+// TestClientOpTimeout is the regression for unbounded client I/O: against a
+// node that accepts and reads but never replies, a Client with an op
+// timeout must fail the call within the bound instead of hanging forever.
+func TestClientOpTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Half-open in the application sense: consume requests, never
+			// answer.
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetOpTimeout(100 * time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Do("x", model.Write("v"))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Do against a mute server succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Do took %v to fail, want ~100ms", elapsed)
+	}
+
+	// Zero timeout stays unbounded (convergence tests rely on it): just
+	// check the setter round-trips without disturbing the connection state.
+	c.SetOpTimeout(0)
+	if c.opTimeout != 0 {
+		t.Fatal("SetOpTimeout(0) did not clear the bound")
+	}
+}

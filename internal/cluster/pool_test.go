@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+
+	_ "repro/internal/store/lww"
+)
+
+func startPoolNode(t *testing.T) *Node {
+	t.Helper()
+	st, err := store.Open("lww", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := NewNode(fastConfig(0, 1, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nd.Close() })
+	if err := nd.Connect(nil); err != nil {
+		t.Fatal(err)
+	}
+	return nd
+}
+
+// TestPoolConcurrentOps drives many goroutines through a small pool: every
+// operation must succeed and land on the node, and the pool must never open
+// more than Size connections.
+func TestPoolConcurrentOps(t *testing.T) {
+	nd := startPoolNode(t)
+	pool, err := NewPool(nd.Addr(), PoolOptions{Size: 3, OpTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const workers = 12
+	const opsPerWorker = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				obj := model.ObjectID(fmt.Sprintf("obj%d", i%4))
+				if _, err := pool.Do(obj, model.Write(model.Value(fmt.Sprintf("w%d.%d", w, i)))); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	s, err := pool.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// workers*opsPerWorker writes plus this Stats call went through; the
+	// ops counter must show every write.
+	if s.Ops < workers*opsPerWorker {
+		t.Fatalf("node saw %d ops, want >= %d", s.Ops, workers*opsPerWorker)
+	}
+	if _, err := pool.History(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolRedialsAfterNodeRestart: an operation error discards the pooled
+// connection, so the next checkout redials — the pool heals from a node
+// restart without any external intervention.
+func TestPoolRedialsAfterNodeRestart(t *testing.T) {
+	st, err := store.Open("lww", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := NewNode(fastConfig(0, 1, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Connect(nil); err != nil {
+		t.Fatal(err)
+	}
+	addr := nd.Addr()
+
+	pool, err := NewPool(addr, PoolOptions{Size: 2, OpTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.Do("x", model.Write("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the node: the pooled connections are now dead.
+	nd.Close()
+
+	// Restart on the same address.
+	st2, err := store.Open("lww", spec.MVRTypes(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(0, 1, st2)
+	cfg.Listen = addr
+	nd2, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nd2.Close() })
+	if err := nd2.Connect(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pool's Size connections are stale; within a few attempts every
+	// slot is discarded and redialed against the new node.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := pool.Do("x", model.Write("after")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never healed after node restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPoolClose: operations after Close fail with ErrPoolClosed, waiters
+// blocked on a slot are released, and Close is idempotent.
+func TestPoolClose(t *testing.T) {
+	nd := startPoolNode(t)
+	pool, err := NewPool(nd.Addr(), PoolOptions{Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Do("x", model.Write("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the only slot so a second caller blocks, then Close: the waiter
+	// must come back with ErrPoolClosed, not hang.
+	c, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := pool.Do("x", model.Write("blocked"))
+		waiter <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter block on the slot
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waiter:
+		if err != ErrPoolClosed {
+			t.Fatalf("waiter error = %v, want ErrPoolClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the blocked waiter")
+	}
+	pool.release(c, nil) // in-flight checkout returns after Close: closed, not leaked
+
+	if _, err := pool.Do("x", model.Write("v2")); err != ErrPoolClosed {
+		t.Fatalf("Do after Close = %v, want ErrPoolClosed", err)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolLazyDial: a pool to a dead address constructs fine and only
+// errors when used.
+func TestPoolLazyDial(t *testing.T) {
+	pool, err := NewPool("127.0.0.1:1", PoolOptions{Size: 2, DialTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.Do("x", model.Write("v")); err == nil {
+		t.Fatal("Do against a dead address succeeded")
+	}
+	// The failed dial must return its slot: a second attempt still gets a
+	// slot (and fails the same way) rather than deadlocking.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pool.Do("x", model.Write("v"))
+		pool.Do("x", model.Write("v"))
+		pool.Do("x", model.Write("v"))
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("failed dials leaked pool slots")
+	}
+}

@@ -50,8 +50,11 @@ const (
 // structured transfers; version 3 adds the delivered watermark on
 // tHelloAck (so a dialer offering its full backlog prunes what the
 // acceptor already holds before the first send) and the membership frames
-// in proto_member.go.
-const helloVersion = 3
+// in proto_member.go; version 4 adds per-frame compression (a trailing
+// algorithm ID on tHello/tHelloAck/tJoin/tJoinAck negotiated min-wins
+// like the codec, plus the tCompressed envelope in compress.go) and the
+// windowed range pulls (a trailing credit window on tRangeReq).
+const helloVersion = 4
 
 // historyMaxFrame is the frame limit for history transfers, which carry a
 // whole recorded execution and dwarf every other frame.
@@ -70,20 +73,23 @@ type hello struct {
 	From    model.ReplicaID
 	Version uint64
 	Codec   wire.CodecID
+	Comp    uint64
 }
 
-// appendHello encodes a v2 hello into w. The extension fields trail the v1
+// appendHello encodes a v4 hello into w. The extension fields trail the v1
 // layout, which is what keeps old receivers compatible: they stop reading
-// after From.
-func appendHello(w *wire.Writer, from model.ReplicaID, codec wire.CodecID) {
+// after From (and a v2/v3 receiver stops before the compression ID).
+func appendHello(w *wire.Writer, from model.ReplicaID, codec wire.CodecID, comp uint64) {
 	w.Uvarint(tHello)
 	w.Uvarint(uint64(from))
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(codec))
+	w.Uvarint(comp)
 }
 
 // decodeHello decodes a hello whose type tag has already been read. A bare
-// v1 hello (nothing after From) yields Version 1 and the JSON codec.
+// v1 hello (nothing after From) yields Version 1 and the JSON codec; a
+// pre-v4 hello has no compression ID and yields wire.CompNone.
 func decodeHello(r *wire.Reader) (hello, error) {
 	h := hello{Version: 1, Codec: wire.CodecJSON}
 	h.From = model.ReplicaID(r.Uvarint())
@@ -95,6 +101,13 @@ func decodeHello(r *wire.Reader) (hello, error) {
 	}
 	h.Version = r.Uvarint()
 	h.Codec = wire.CodecID(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return h, err
+	}
+	if r.Remaining() == 0 {
+		return h, nil
+	}
+	h.Comp = r.Uvarint()
 	return h, r.Err()
 }
 
@@ -104,27 +117,37 @@ func decodeHello(r *wire.Reader) (hello, error) {
 // makes Connect's full-backlog offer cost one varint instead of a
 // re-shipped history on reconnect. A v2 dialer stops reading after the
 // codec and retransmits the backlog as before — correct, just chattier.
-func appendHelloAck(w *wire.Writer, codec wire.CodecID, delivered uint64) {
+// comp is the negotiated compression algorithm (v4 extension, trailing so
+// a v3 dialer stops after delivered and stays uncompressed).
+func appendHelloAck(w *wire.Writer, codec wire.CodecID, delivered uint64, comp uint64) {
 	w.Uvarint(tHelloAck)
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(codec))
 	w.Uvarint(delivered)
+	w.Uvarint(comp)
 }
 
 // decodeHelloAck decodes a tHelloAck whose type tag has already been read.
 // A v2 ack has no delivered watermark; it decodes as 0, which pre-acks
-// nothing.
-func decodeHelloAck(r *wire.Reader) (wire.CodecID, uint64, error) {
+// nothing. A pre-v4 ack has no compression ID: wire.CompNone.
+func decodeHelloAck(r *wire.Reader) (codec wire.CodecID, delivered, comp uint64, err error) {
 	r.Uvarint() // version: informational, the codec field is what binds
-	codec := wire.CodecID(r.Uvarint())
+	codec = wire.CodecID(r.Uvarint())
 	if err := r.Err(); err != nil {
-		return codec, 0, err
+		return codec, 0, 0, err
 	}
 	if r.Remaining() == 0 {
-		return codec, 0, nil
+		return codec, 0, 0, nil
 	}
-	delivered := r.Uvarint()
-	return codec, delivered, r.Err()
+	delivered = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return codec, delivered, 0, err
+	}
+	if r.Remaining() == 0 {
+		return codec, delivered, 0, nil
+	}
+	comp = r.Uvarint()
+	return codec, delivered, comp, r.Err()
 }
 
 // negotiateCodec picks the connection codec from the two ends' preferences:
@@ -308,11 +331,14 @@ func decodeResponse(r *wire.Reader) (reqID uint64, resp model.Response, err erro
 
 // encodeStructuredReq encodes a tStats/tHistory request. The codec field
 // trails the bare v1 request, so an old node ignores it and answers JSON; a
-// new node answers in the requested codec.
-func encodeStructuredReq(typ uint64, codec wire.CodecID) []byte {
+// new node answers in the requested codec. The compression offer trails
+// the codec the same way (v4): an old node answers raw, a new node may
+// wrap a floor-clearing reply (tHistoryRespB) in a tCompressed envelope.
+func encodeStructuredReq(typ uint64, codec wire.CodecID, comp uint64) []byte {
 	w := wire.NewWriter()
 	w.Uvarint(typ)
 	w.Uvarint(uint64(codec))
+	w.Uvarint(comp)
 	return w.Bytes()
 }
 

@@ -28,16 +28,17 @@ import (
 // frames (tGossip/tGossipAck) are a single request/response exchange on a
 // transient connection.
 const (
-	tJoin       = 14 // {from, epoch, addr, version, codec}
-	tJoinAck    = 15 // {version, codec, members...}
+	tJoin       = 14 // {from, epoch, addr, version, codec [, comp]}
+	tJoinAck    = 15 // {version, codec, members... [, comp]}
 	tGossip     = 16 // {from, members...}
 	tGossipAck  = 17 // {members...}
 	tDigest     = 18 // {count, (origin, count, root)...}
 	tDigestResp = 19 // {count, (origin, count, root, prefixRoot)...}
 	tTreeReq    = 20 // {origin, prefix, level, index}
 	tTreeResp   = 21 // {ok, hash}
-	tRangeReq   = 22 // {origin, from, count}
+	tRangeReq   = 22 // {origin, from, count [, window]}
 	tRangeResp  = 23 // {origin, count, (seq, lamport, payload)...}
+	// 24 is tCompressed, the compression envelope — see compress.go.
 )
 
 // joinReq carries a decoded tJoin.
@@ -47,6 +48,7 @@ type joinReq struct {
 	Addr    string
 	Version uint64
 	Codec   wire.CodecID
+	Comp    uint64
 }
 
 func appendJoin(w *wire.Writer, j joinReq) {
@@ -56,6 +58,7 @@ func appendJoin(w *wire.Writer, j joinReq) {
 	w.String(j.Addr)
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(j.Codec))
+	w.Uvarint(j.Comp)
 }
 
 func decodeJoin(r *wire.Reader) (joinReq, error) {
@@ -66,6 +69,13 @@ func decodeJoin(r *wire.Reader) (joinReq, error) {
 	}
 	j.Version = r.Uvarint()
 	j.Codec = wire.CodecID(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return j, err
+	}
+	// v4 compression offer; a v3 join ends at the codec → CompNone.
+	if r.Remaining() > 0 {
+		j.Comp = r.Uvarint()
+	}
 	return j, r.Err()
 }
 
@@ -113,21 +123,32 @@ func decodeMembers(r *wire.Reader, n int) ([]membership.Member, error) {
 	return ms, nil
 }
 
-func appendJoinAck(w *wire.Writer, codec wire.CodecID, ms []membership.Member) {
+// appendJoinAck seals the join negotiation: codec, the view snapshot, and
+// (v4, trailing so a v3 joiner stops at the members) the negotiated
+// compression algorithm for the sync conversation's bulk frames.
+func appendJoinAck(w *wire.Writer, codec wire.CodecID, ms []membership.Member, comp uint64) {
 	w.Uvarint(tJoinAck)
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(codec))
 	appendMembers(w, ms)
+	w.Uvarint(comp)
 }
 
-func decodeJoinAck(r *wire.Reader, n int) (wire.CodecID, []membership.Member, error) {
+func decodeJoinAck(r *wire.Reader, n int) (wire.CodecID, []membership.Member, uint64, error) {
 	r.Uvarint() // version: informational
 	codec := wire.CodecID(r.Uvarint())
 	if err := r.Err(); err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	ms, err := decodeMembers(r, n)
-	return codec, ms, err
+	if err != nil {
+		return codec, ms, 0, err
+	}
+	comp := uint64(0)
+	if r.Remaining() > 0 {
+		comp = r.Uvarint()
+	}
+	return codec, ms, comp, r.Err()
 }
 
 func appendGossip(w *wire.Writer, from model.ReplicaID, ms []membership.Member) {
@@ -256,18 +277,30 @@ func decodeTreeResp(r *wire.Reader) (membership.Hash, bool, error) {
 	return h, ok, r.Err()
 }
 
-func appendRangeReq(w *wire.Writer, origin model.ReplicaID, from, count uint64) {
+// appendRangeReq asks for [from, from+count) of one origin's updates.
+// window (v4, trailing) is the pull's credit window: how many unacked
+// chunks the joiner is prepared to have in flight. A v3 request carries no
+// window and decodes as 1, which is exactly the old stop-and-wait.
+func appendRangeReq(w *wire.Writer, origin model.ReplicaID, from, count, window uint64) {
 	w.Uvarint(tRangeReq)
 	w.Uvarint(uint64(origin))
 	w.Uvarint(from)
 	w.Uvarint(count)
+	w.Uvarint(window)
 }
 
-func decodeRangeReq(r *wire.Reader) (origin model.ReplicaID, from, count uint64, err error) {
+func decodeRangeReq(r *wire.Reader) (origin model.ReplicaID, from, count, window uint64, err error) {
 	origin = model.ReplicaID(r.Uvarint())
 	from = r.Uvarint()
 	count = r.Uvarint()
-	return origin, from, count, r.Err()
+	window = 1
+	if r.Err() == nil && r.Remaining() > 0 {
+		window = r.Uvarint()
+	}
+	if window < 1 {
+		window = 1
+	}
+	return origin, from, count, window, r.Err()
 }
 
 // appendRangeResp encodes one anti-entropy chunk: the same per-update

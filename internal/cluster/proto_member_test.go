@@ -9,7 +9,7 @@ import (
 )
 
 func TestJoinRoundTrip(t *testing.T) {
-	in := joinReq{From: 2, Epoch: 5, Addr: "127.0.0.1:7002", Codec: wire.CodecBinary}
+	in := joinReq{From: 2, Epoch: 5, Addr: "127.0.0.1:7002", Codec: wire.CodecBinary, Comp: wire.CompFlate}
 	w := wire.NewWriter()
 	appendJoin(w, in)
 	r := wire.NewReader(w.Bytes())
@@ -21,7 +21,7 @@ func TestJoinRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.From != in.From || got.Epoch != in.Epoch || got.Addr != in.Addr ||
-		got.Version != helloVersion || got.Codec != in.Codec {
+		got.Version != helloVersion || got.Codec != in.Codec || got.Comp != in.Comp {
 		t.Fatalf("join = %+v, want %+v at version %d", got, in, helloVersion)
 	}
 }
@@ -33,17 +33,17 @@ func TestJoinAckRoundTrip(t *testing.T) {
 		{ID: 2, Epoch: 0}, // addr unknown yet
 	}
 	w := wire.NewWriter()
-	appendJoinAck(w, wire.CodecJSON, ms)
+	appendJoinAck(w, wire.CodecJSON, ms, wire.CompFlate)
 	r := wire.NewReader(w.Bytes())
 	if typ := r.Uvarint(); typ != tJoinAck {
 		t.Fatalf("type = %d, want tJoinAck", typ)
 	}
-	codec, got, err := decodeJoinAck(r, 3)
+	codec, got, comp, err := decodeJoinAck(r, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if codec != wire.CodecJSON || len(got) != len(ms) {
-		t.Fatalf("ack = (%d, %d members)", codec, len(got))
+	if codec != wire.CodecJSON || len(got) != len(ms) || comp != wire.CompFlate {
+		t.Fatalf("ack = (%d, %d members, comp %d)", codec, len(got), comp)
 	}
 	for i := range ms {
 		if got[i] != ms[i] {
@@ -151,14 +151,24 @@ func TestTreeReqRespRoundTrip(t *testing.T) {
 
 func TestRangeRoundTrip(t *testing.T) {
 	w := wire.NewWriter()
-	appendRangeReq(w, 1, 40, 25)
+	appendRangeReq(w, 1, 40, 25, 8)
 	r := wire.NewReader(w.Bytes())
 	if typ := r.Uvarint(); typ != tRangeReq {
 		t.Fatalf("type = %d, want tRangeReq", typ)
 	}
-	origin, from, count, err := decodeRangeReq(r)
-	if err != nil || origin != 1 || from != 40 || count != 25 {
-		t.Fatalf("range req = (r%d, %d, %d, %v)", origin, from, count, err)
+	origin, from, count, window, err := decodeRangeReq(r)
+	if err != nil || origin != 1 || from != 40 || count != 25 || window != 8 {
+		t.Fatalf("range req = (r%d, %d, %d, win %d, %v)", origin, from, count, window, err)
+	}
+
+	// A pre-v4 request (no trailing window) decodes as stop-and-wait.
+	w = wire.NewWriter()
+	w.Uvarint(1)
+	w.Uvarint(40)
+	w.Uvarint(25)
+	origin, from, count, window, err = decodeRangeReq(wire.NewReader(w.Bytes()))
+	if err != nil || origin != 1 || from != 40 || count != 25 || window != 1 {
+		t.Fatalf("v3 range req = (r%d, %d, %d, win %d, %v), want window 1", origin, from, count, window, err)
 	}
 
 	us := []protoUpdate{

@@ -16,7 +16,7 @@ import (
 
 func TestHelloV2RoundTrip(t *testing.T) {
 	w := wire.NewWriter()
-	appendHello(w, 5, wire.CodecBinary)
+	appendHello(w, 5, wire.CodecBinary, wire.CompFlate)
 	r := wire.NewReader(w.Bytes())
 	if typ := r.Uvarint(); typ != tHello {
 		t.Fatalf("type = %d, want tHello", typ)
@@ -25,8 +25,24 @@ func TestHelloV2RoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.From != 5 || h.Version != helloVersion || h.Codec != wire.CodecBinary {
+	if h.From != 5 || h.Version != helloVersion || h.Codec != wire.CodecBinary || h.Comp != wire.CompFlate {
 		t.Fatalf("hello = %+v", h)
+	}
+}
+
+// TestHelloV3Compat pins the v4 extension's back-compat: a v3-shaped hello
+// (version and codec, no compression ID) decodes with CompNone.
+func TestHelloV3Compat(t *testing.T) {
+	w := wire.NewWriter()
+	w.Uvarint(uint64(7))
+	w.Uvarint(3)
+	w.Uvarint(uint64(wire.CodecBinary))
+	h, err := decodeHello(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.From != 7 || h.Version != 3 || h.Codec != wire.CodecBinary || h.Comp != wire.CompNone {
+		t.Fatalf("v3 hello = %+v, want comp none", h)
 	}
 }
 
@@ -43,7 +59,7 @@ func TestHelloV1Compat(t *testing.T) {
 	}
 
 	w := wire.NewWriter()
-	appendHello(w, 3, wire.CodecBinary)
+	appendHello(w, 3, wire.CodecBinary, wire.CompFlate)
 	r := wire.NewReader(w.Bytes())
 	r.Uvarint() // type, as the v1 receiver reads it
 	if from := r.Uvarint(); from != 3 || r.Err() != nil {
@@ -54,28 +70,56 @@ func TestHelloV1Compat(t *testing.T) {
 
 func TestHelloAckRoundTrip(t *testing.T) {
 	w := wire.NewWriter()
-	appendHelloAck(w, wire.CodecBinary, 42)
+	appendHelloAck(w, wire.CodecBinary, 42, wire.CompFlate)
 	r := wire.NewReader(w.Bytes())
 	if typ := r.Uvarint(); typ != tHelloAck {
 		t.Fatalf("type = %d, want tHelloAck", typ)
 	}
-	codec, delivered, err := decodeHelloAck(r)
+	codec, delivered, comp, err := decodeHelloAck(r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if codec != wire.CodecBinary || delivered != 42 {
-		t.Fatalf("ack = (%d, %d), want (binary, 42)", codec, delivered)
+	if codec != wire.CodecBinary || delivered != 42 || comp != wire.CompFlate {
+		t.Fatalf("ack = (%d, %d, %d), want (binary, 42, flate)", codec, delivered, comp)
 	}
 
 	// A v2 ack (no trailing watermark) still decodes, with delivered 0:
 	// the dialer then offers its full backlog and cumulative dedup absorbs
-	// the re-offers, exactly the pre-v3 behavior.
+	// the re-offers, exactly the pre-v3 behavior. No compression ID either,
+	// so the link stays uncompressed.
 	w = wire.NewWriter()
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(wire.CodecJSON))
-	codec, delivered, err = decodeHelloAck(wire.NewReader(w.Bytes()))
-	if err != nil || codec != wire.CodecJSON || delivered != 0 {
-		t.Fatalf("v2 ack = (%d, %d, %v), want (json, 0, nil)", codec, delivered, err)
+	codec, delivered, comp, err = decodeHelloAck(wire.NewReader(w.Bytes()))
+	if err != nil || codec != wire.CodecJSON || delivered != 0 || comp != wire.CompNone {
+		t.Fatalf("v2 ack = (%d, %d, %d, %v), want (json, 0, none, nil)", codec, delivered, comp, err)
+	}
+
+	// A v3 ack (watermark but no compression ID) also decodes with CompNone.
+	w = wire.NewWriter()
+	w.Uvarint(helloVersion)
+	w.Uvarint(uint64(wire.CodecBinary))
+	w.Uvarint(9)
+	codec, delivered, comp, err = decodeHelloAck(wire.NewReader(w.Bytes()))
+	if err != nil || codec != wire.CodecBinary || delivered != 9 || comp != wire.CompNone {
+		t.Fatalf("v3 ack = (%d, %d, %d, %v), want (binary, 9, none, nil)", codec, delivered, comp, err)
+	}
+}
+
+func TestNegotiateComp(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, want uint64
+	}{
+		{wire.CompFlate, wire.CompFlate, wire.CompFlate},
+		{wire.CompFlate, wire.CompNone, wire.CompNone},
+		{wire.CompNone, wire.CompFlate, wire.CompNone},
+		{wire.CompNone, wire.CompNone, wire.CompNone},
+		{wire.CompFlate, 7, wire.CompFlate}, // newer peer: min wins
+		{7, 9, wire.CompNone},               // both unknown: off
+	} {
+		if got := negotiateComp(tc.a, tc.b); got != tc.want {
+			t.Fatalf("negotiateComp(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
 	}
 }
 
@@ -253,8 +297,8 @@ func TestGoldenWireVectors(t *testing.T) {
 		name string
 		data []byte
 	}{
-		{"hello_v2", enc(func(w *wire.Writer) { appendHello(w, 2, wire.CodecBinary) })},
-		{"hello_ack", enc(func(w *wire.Writer) { appendHelloAck(w, wire.CodecJSON, 17) })},
+		{"hello_v2", enc(func(w *wire.Writer) { appendHello(w, 2, wire.CodecBinary, wire.CompFlate) })},
+		{"hello_ack", enc(func(w *wire.Writer) { appendHelloAck(w, wire.CodecJSON, 17, wire.CompFlate) })},
 		{"update", enc(func(w *wire.Writer) {
 			appendUpdate(w, protoUpdate{Origin: 1, Seq: 7, Lamport: 300, Payload: []byte{0xca, 0xfe}})
 		})},
@@ -265,7 +309,7 @@ func TestGoldenWireVectors(t *testing.T) {
 			})
 		})},
 		{"ack", encodeAck(130)},
-		{"stats_req_binary", encodeStructuredReq(tStats, wire.CodecBinary)},
+		{"stats_req_binary", encodeStructuredReq(tStats, wire.CodecBinary, wire.CompFlate)},
 		{"event_do", enc(func(w *wire.Writer) {
 			if err := AppendEventBinary(w, sampleEventsBinary()[0]); err != nil {
 				t.Fatal(err)
@@ -277,7 +321,10 @@ func TestGoldenWireVectors(t *testing.T) {
 			}
 		})},
 		{"join", enc(func(w *wire.Writer) {
-			appendJoin(w, joinReq{From: 2, Epoch: 3, Addr: "127.0.0.1:7002", Codec: wire.CodecBinary})
+			appendJoin(w, joinReq{From: 2, Epoch: 3, Addr: "127.0.0.1:7002", Codec: wire.CodecBinary, Comp: wire.CompFlate})
+		})},
+		{"range_req_windowed", enc(func(w *wire.Writer) {
+			appendRangeReq(w, 1, 40, 25, 8)
 		})},
 		{"digest", enc(func(w *wire.Writer) {
 			appendDigest(w, tDigest, []originDigest{
@@ -291,6 +338,20 @@ func TestGoldenWireVectors(t *testing.T) {
 				{Origin: 1, Seq: 8, Lamport: 301, Payload: []byte{0xba, 0xbe, 0x00}},
 			})
 		})},
+		{"compressed_envelope", func() []byte {
+			raw := enc(func(w *wire.Writer) {
+				appendRangeResp(w, 1, []protoUpdate{
+					{Origin: 1, Seq: 7, Lamport: 300, Payload: bytes.Repeat([]byte("abcdefgh"), 128)},
+				})
+			})
+			env := maybeCompressPayload(raw, wire.CompFlate)
+			if env == nil {
+				t.Fatal("compressed_envelope vector did not compress")
+			}
+			b := append([]byte(nil), env.Bytes()...)
+			wire.PutWriter(env)
+			return b
+		}()},
 	}
 	dir := filepath.Join("testdata", "golden")
 	update := os.Getenv("UPDATE_GOLDEN") != ""

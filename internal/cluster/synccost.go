@@ -15,21 +15,31 @@ import (
 // of the same flags and seed.
 
 // SyncCostRow quantifies one catch-up scenario: a joiner holding the first
-// Prefix of the donor's Updates origin-0 log.
+// Prefix of the donor's Updates origin-0 log, pulling under a credit
+// window of Window chunks.
 type SyncCostRow struct {
 	// Updates is the donor's log size, Prefix what the joiner already has.
 	Updates int
 	Prefix  int
+	// Window is the credit window the pull runs under (1 = stop-and-wait).
+	// Bytes on the wire are window-independent — the window pipelines the
+	// same frames — so only RTTs varies with it.
+	Window int
 	// DigestBytes is the membership handshake cost: the joiner's tDigest
 	// frame plus the donor's tDigestResp (counts, roots, and the prefix
 	// root that proves the joiner's log is a clean prefix).
 	DigestBytes int64
 	// Pulled/Chunks/PulledBytes are the range-transfer cost: missing
-	// updates shipped, stop-and-wait chunks used, and total wire bytes
-	// (tRangeReq + tRangeResp frames + the joiner's journal-backed acks).
+	// updates shipped, chunks used, and total wire bytes (tRangeReq +
+	// tRangeResp frames + the joiner's journal-backed acks).
 	Pulled      int64
 	Chunks      int64
 	PulledBytes int64
+	// RTTs is the transfer's round-trip count: one for the range request
+	// plus one per window of journal-acked chunks, 1+⌈Chunks/Window⌉ —
+	// the latency the credit window actually buys down (stop-and-wait
+	// pays 1+Chunks). Zero when nothing needs pulling.
+	RTTs int64
 	// FullBytes is the same transfer without anti-entropy: the whole log
 	// shipped through the identical chunking. The tracked ratio
 	// PulledBytes/FullBytes is the paper-relevant saving — catch-up work
@@ -55,7 +65,7 @@ func rangeCost(us []protoUpdate, from int, chunkMax, maxFrame int) (pulled, chun
 		return 0, 0, 0
 	}
 	bytes += frameLen(func(w *wire.Writer) {
-		appendRangeReq(w, 0, uint64(from), uint64(len(us)-from))
+		appendRangeReq(w, 0, uint64(from), uint64(len(us)-from), 1)
 	})
 	idx := from
 	for idx < len(us) {
@@ -82,13 +92,17 @@ func rangeCost(us []protoUpdate, from int, chunkMax, maxFrame int) (pulled, chun
 // first prefix updates of a donor log made of the given payloads (origin
 // 0, consecutive sequence numbers — the BenchUpdates shape). chunkMax and
 // maxFrame correspond to the negotiated BatchMax and MaxFrame; chunkMax 1
-// is the JSON-floor stop-and-wait.
-func SyncCost(payloads [][]byte, prefix, chunkMax, maxFrame int) SyncCostRow {
+// is the JSON floor. window is the pull's credit window (Config.SyncWindow);
+// window 1 models the pre-v4 stop-and-wait protocol.
+func SyncCost(payloads [][]byte, prefix, chunkMax, maxFrame, window int) SyncCostRow {
 	if chunkMax < 1 {
 		chunkMax = 1
 	}
 	if maxFrame <= 0 {
 		maxFrame = wire.DefaultMaxFrame
+	}
+	if window < 1 {
+		window = 1
 	}
 	if prefix > len(payloads) {
 		prefix = len(payloads)
@@ -103,7 +117,7 @@ func SyncCost(payloads [][]byte, prefix, chunkMax, maxFrame int) SyncCostRow {
 			joiner.Append(0, u.Seq, u.Payload)
 		}
 	}
-	row := SyncCostRow{Updates: len(us), Prefix: prefix}
+	row := SyncCostRow{Updates: len(us), Prefix: prefix, Window: window}
 	jd := []originDigest{{Origin: model.ReplicaID(0), Count: joiner.Count(0), Root: joiner.Root(0)}}
 	dd := []originDigest{{
 		Origin: model.ReplicaID(0), Count: donor.Count(0), Root: donor.Root(0),
@@ -112,6 +126,9 @@ func SyncCost(payloads [][]byte, prefix, chunkMax, maxFrame int) SyncCostRow {
 	row.DigestBytes = frameLen(func(w *wire.Writer) { appendDigest(w, tDigest, jd) }) +
 		frameLen(func(w *wire.Writer) { appendDigest(w, tDigestResp, dd) })
 	row.Pulled, row.Chunks, row.PulledBytes = rangeCost(us, prefix, chunkMax, maxFrame)
+	if row.Chunks > 0 {
+		row.RTTs = 1 + (row.Chunks+int64(window)-1)/int64(window)
+	}
 	_, _, row.FullBytes = rangeCost(us, 0, chunkMax, maxFrame)
 	return row
 }

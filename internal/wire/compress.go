@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Compression algorithm identifiers, negotiated per connection the same
+// way codecs are: both ends state what they speak and the minimum wins,
+// with CompNone as the floor every version understands. The IDs ride the
+// trailing-extension slots of the hello/join exchanges, so a pre-v4 peer
+// that never sends one lands on CompNone automatically.
+const (
+	CompNone  uint64 = 0
+	CompFlate uint64 = 1
+)
+
+// CompName names a compression ID for logs and error messages.
+func CompName(c uint64) string {
+	switch c {
+	case CompNone:
+		return "none"
+	case CompFlate:
+		return "flate"
+	}
+	return fmt.Sprintf("comp-%d", c)
+}
+
+// flateWriters pools DEFLATE encoders: flate.NewWriter allocates large
+// match tables, far too heavy to mint per frame.
+var flateWriters = sync.Pool{New: func() any {
+	fw, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return fw
+}}
+
+// DeflateTo compresses raw with DEFLATE at a fixed level (BestSpeed: the
+// callers sit on transfer hot paths, and the tracked bench artifacts rely
+// on the output being deterministic for a given input and toolchain) and
+// appends the compressed stream to w. raw must not alias w's buffer.
+// Returns the number of bytes appended.
+func DeflateTo(w *Writer, raw []byte) int {
+	fw := flateWriters.Get().(*flate.Writer)
+	before := w.Len()
+	fw.Reset(w)
+	fw.Write(raw) // Writer.Write never fails
+	fw.Close()
+	flateWriters.Put(fw)
+	return w.Len() - before
+}
+
+// flateReaders pools DEFLATE decoders via the flate.Resetter interface
+// every reader returned by flate.NewReader implements.
+var flateReaders = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
+
+// Inflate decompresses a DEFLATE stream produced by DeflateTo into a fresh
+// buffer of exactly rawLen bytes. A stream that inflates short, long, or
+// corrupt is an error: the declared length is part of the envelope's
+// contract, and enforcing it before and during decode caps the allocation
+// a hostile frame can force.
+func Inflate(comp []byte, rawLen int) ([]byte, error) {
+	if rawLen < 0 {
+		return nil, fmt.Errorf("wire: negative inflated length %d", rawLen)
+	}
+	fr := flateReaders.Get().(io.ReadCloser)
+	defer flateReaders.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
+		return nil, err
+	}
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(fr, out); err != nil {
+		return nil, fmt.Errorf("wire: inflate: %w", err)
+	}
+	// The stream must end exactly at rawLen: trailing decompressed data
+	// means the envelope lied about the length.
+	var tail [1]byte
+	if n, _ := fr.Read(tail[:]); n != 0 {
+		return nil, fmt.Errorf("wire: inflate: stream exceeds declared %d bytes", rawLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeflateInflateRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("x"),
+		bytes.Repeat([]byte("the same twelve bytes over and over "), 100),
+		func() []byte { // incompressible-ish: a varint counter stream
+			w := NewWriter()
+			for i := uint64(0); i < 4096; i++ {
+				w.Uvarint(i * 2654435761)
+			}
+			return append([]byte(nil), w.Bytes()...)
+		}(),
+	}
+	for i, raw := range cases {
+		w := NewWriter()
+		n := DeflateTo(w, raw)
+		if n != w.Len() {
+			t.Fatalf("case %d: DeflateTo returned %d, wrote %d", i, n, w.Len())
+		}
+		out, err := Inflate(w.Bytes(), len(raw))
+		if err != nil {
+			t.Fatalf("case %d: Inflate: %v", i, err)
+		}
+		if !bytes.Equal(out, raw) {
+			t.Fatalf("case %d: round trip mismatch: got %d bytes, want %d", i, len(out), len(raw))
+		}
+	}
+}
+
+func TestDeflateDeterministic(t *testing.T) {
+	raw := bytes.Repeat([]byte("deterministic output matters for golden vectors "), 64)
+	a, b := NewWriter(), NewWriter()
+	DeflateTo(a, raw)
+	DeflateTo(b, raw)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two deflates of the same input differ (%d vs %d bytes)", a.Len(), b.Len())
+	}
+}
+
+func TestInflateLengthContract(t *testing.T) {
+	raw := bytes.Repeat([]byte("abc"), 500)
+	w := NewWriter()
+	DeflateTo(w, raw)
+	// Declared length too short: the stream keeps going past it.
+	if _, err := Inflate(w.Bytes(), len(raw)-1); err == nil {
+		t.Fatal("Inflate accepted a stream longer than its declared length")
+	}
+	// Declared length too long: the stream ends early.
+	if _, err := Inflate(w.Bytes(), len(raw)+1); err == nil {
+		t.Fatal("Inflate accepted a stream shorter than its declared length")
+	}
+	if _, err := Inflate(w.Bytes(), -1); err == nil {
+		t.Fatal("Inflate accepted a negative length")
+	}
+	// Corrupt stream.
+	mangled := append([]byte(nil), w.Bytes()...)
+	for i := range mangled {
+		mangled[i] ^= 0x5a
+	}
+	if _, err := Inflate(mangled, len(raw)); err == nil {
+		t.Fatal("Inflate accepted a corrupt stream")
+	}
+}
+
+func TestCompName(t *testing.T) {
+	if CompName(CompNone) != "none" || CompName(CompFlate) != "flate" {
+		t.Fatal("CompName misnames a known algorithm")
+	}
+	if CompName(7) != "comp-7" {
+		t.Fatalf("CompName(7) = %q", CompName(7))
+	}
+}

@@ -58,6 +58,14 @@ func (w *Writer) Raw(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// Write implements io.Writer by appending p verbatim (Raw's contract), so
+// stream encoders like compress/flate can emit directly into a payload
+// under construction. It never fails.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
 // Uvarint appends an unsigned varint.
 func (w *Writer) Uvarint(x uint64) {
 	w.buf = binary.AppendUvarint(w.buf, x)
