@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench figures json wirebench fuzz chaos chaos-search durability membership livecheck ci
+.PHONY: build test verify bench figures json wirebench fuzz chaos chaos-search durability membership livecheck shard ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,7 @@ json:
 	$(GO) run ./cmd/loadgen -wirebench -store causal -seed 1 -ops 200 -json > BENCH_WIRE.json
 	$(GO) run ./cmd/loadgen -syncbench -store causal -seed 1 -ops 200 -json > BENCH_SYNC.json
 	$(GO) run ./cmd/loadgen -livebench -seed 1 -ops 800 -json > BENCH_LIVECHECK.json
+	$(GO) run ./cmd/loadgen -shardbench -seed 1 -keys 1000000 -ops 200000 -shards 8 -json > BENCH_SHARD.json
 
 # Human-readable wire-codec comparison: the deterministic encode-path table
 # (what BENCH_WIRE.json tracks) plus a live loopback TCP run of both codecs
@@ -94,6 +95,20 @@ livecheck:
 	$(GO) test -race ./cmd/loadgen -run 'LiveAudit|Livebench|LatCell' -count=1
 	$(GO) test -race ./cmd/served -run 'AdminServer' -count=1
 
+# The sharding battery: keyspace routing and the per-shard event loops —
+# the router and sharded-cluster convergence/audit suites, the shard-count
+# hello negotiation, the per-shard livecheck set, the group-commit fsync
+# coordinator, the sharded conformance leg of every registered store, the
+# pool and compression regression tests that rode the sharding PR, and the
+# kill -9 mid-group-commit harness — all under the race detector, since
+# shards share the node's transport and fsync rounds.
+shard:
+	$(GO) test -race ./internal/cluster -run 'Shard|Pool|Compress' -count=1
+	$(GO) test -race ./internal/livecheck -run 'ShardSet' -count=1
+	$(GO) test -race ./internal/durable -run 'GroupCommit|CompactCrash' -count=1
+	$(GO) test -race ./internal/store/storetest -run 'TestRegisteredStoresConform/.*/ShardedCluster' -count=1
+	$(GO) test -race ./cmd/served -run 'Kill9ShardedGroupCommit' -count=1
+
 # The adversarial chaos search: a small-budget hunt per objective against
 # the default store, with each best schedule re-validated on the real TCP
 # cluster. The tracked pipeline rows come from `make json` instead (no
@@ -105,5 +120,5 @@ chaos-search:
 # What CI runs: the verify gate (which includes the chaos batteries), then
 # regenerate the tracked JSON artifacts and fail if they drifted from what
 # the commit claims.
-ci: verify chaos chaos-search durability membership livecheck json
-	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json BENCH_WIRE.json BENCH_SYNC.json BENCH_LIVECHECK.json
+ci: verify chaos chaos-search durability membership livecheck shard json
+	git diff --exit-code BENCH_FIGURES.json BENCH_MSGBOUND.json BENCH_CHAOS.json BENCH_WIRE.json BENCH_SYNC.json BENCH_LIVECHECK.json BENCH_SHARD.json

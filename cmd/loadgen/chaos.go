@@ -106,7 +106,9 @@ func runChaos(w io.Writer, cfg chaosConfig) error {
 		// normal operating mode). The supervisor copies base per
 		// incarnation, so restarted nodes keep streaming into it.
 		ck = livecheck.New(cfg.nodes, livecheck.Options{Types: spec.MVRTypes()})
-		base.Tap = ck.Observe
+		// Chaos clusters are single-shard (the Supervisor requires it), so
+		// the tap's shard index is always 0 and one checker sees everything.
+		base.Tap = func(_ int, ev livecheck.Event) { ck.Observe(ev) }
 	}
 	sup, err := cluster.NewSupervisor(base, cfg.nodes, em, chaosTick)
 	if err != nil {

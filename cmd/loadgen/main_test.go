@@ -95,8 +95,8 @@ func TestRunJSONEmitsValidBenchTables(t *testing.T) {
 		}
 		tables = append(tables, tb)
 	}
-	if len(tables) != 2 {
-		t.Fatalf("want workload + audit tables, got %d", len(tables))
+	if len(tables) != 3 {
+		t.Fatalf("want workload + audit + verdict tables, got %d", len(tables))
 	}
 
 	load := tables[0]
@@ -115,24 +115,26 @@ func TestRunJSONEmitsValidBenchTables(t *testing.T) {
 		t.Fatalf("workload rows = %v", load.Rows)
 	}
 
+	// The audit table carries one row per shard (one here: unsharded).
 	audit := tables[1]
+	if len(audit.Rows) != 1 || len(audit.Rows[0]) != 5 {
+		t.Fatalf("audit rows = %v, want one 5-column shard row", audit.Rows)
+	}
+	if wf, causal := audit.Rows[0][3], audit.Rows[0][4]; wf != "ok" || causal != "ok" {
+		t.Fatalf("shard row well-formed = %q, causal = %q", wf, causal)
+	}
+	verdict := tables[2]
 	cell := func(metric string) string {
-		for _, row := range audit.Rows {
+		for _, row := range verdict.Rows {
 			if len(row) == 2 && row[0] == metric {
 				return row[1]
 			}
 		}
-		t.Fatalf("audit table missing metric %q: %v", metric, audit.Rows)
+		t.Fatalf("verdict table missing metric %q: %v", metric, verdict.Rows)
 		return ""
-	}
-	if got := cell("well-formed execution"); got != "ok" {
-		t.Fatalf("well-formed = %q", got)
 	}
 	if got := cell("converged after quiescence"); got != "ok" {
 		t.Fatalf("converged = %q", got)
-	}
-	if got := cell("derived A causal (Def 12)"); got != "ok" {
-		t.Fatalf("causal = %q", got)
 	}
 	if got := cell("§4 property violations"); got != "0" {
 		t.Fatalf("violations = %q", got)

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -478,5 +479,222 @@ func testKill9MidSyncJoin(t *testing.T, window int) {
 	}
 	if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
 		t.Fatalf("derived abstract execution not causal: %v", err)
+	}
+}
+
+// TestKill9ShardedGroupCommit is the sharding tentpole's crash proof: a
+// served child runs 4 shards, each journaling to its own data-dir/shard-NNN
+// log behind the shared group-commit coordinator, and the shards are driven
+// to DIFFERENT journal frontiers — a skewed synchronous phase gives shard s
+// roughly (s+1)× the traffic, then concurrent per-shard writers keep
+// appends (and so group-commit rounds) in flight when the SIGKILL lands. A
+// fresh child on the same data directory must recover EVERY shard to at
+// least its last acked write: acked ⇒ on-disk is per shard through the
+// shared fsync round, so no shard's frontier may regress past an ack, no
+// matter where in a round the kill hit. The restarted node then rejoins two
+// sharded peers, converges, and audits clean per shard.
+func TestKill9ShardedGroupCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	const shards = 4
+	addr0 := freePort(t)
+	dataDir := t.TempDir()
+
+	mkNode := func(id int) *cluster.Node {
+		st, err := cli.OpenStore("causal", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := cluster.NewNode(cluster.Config{
+			ID: model.ReplicaID(id), N: 3, Store: st, Listen: "127.0.0.1:0",
+			Shards:         shards,
+			DialTimeout:    time.Second,
+			DialBackoffMin: 5 * time.Millisecond,
+			DialBackoffMax: 100 * time.Millisecond,
+			RetransmitMin:  25 * time.Millisecond,
+			RetransmitMax:  250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nd.Close() })
+		return nd
+	}
+	r1, r2 := mkNode(1), mkNode(2)
+	if err := r1.Connect(map[model.ReplicaID]string{0: addr0, 2: r2.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Connect(map[model.ReplicaID]string{0: addr0, 1: r1.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	peerSpec := fmt.Sprintf("1=%s,2=%s", r1.Addr(), r2.Addr())
+	spawn := func() *servedProc {
+		return spawnServedArgs(t,
+			"-store", "causal", "-id", "0", "-listen", addr0, "-peers", peerSpec,
+			"-n", "3", "-data-dir", dataDir, "-shards", strconv.Itoa(shards))
+	}
+
+	// Bucket keys by shard so the load can target each frontier separately.
+	router := cluster.NewShardRouter(shards)
+	keys := make([][]model.ObjectID, shards)
+	for i := 0; ; i++ {
+		short := false
+		for s := range keys {
+			if len(keys[s]) < 4 {
+				short = true
+			}
+		}
+		if !short {
+			break
+		}
+		obj := model.ObjectID(fmt.Sprintf("k%03d", i))
+		keys[router.Route(obj)] = append(keys[router.Route(obj)], obj)
+	}
+
+	child := spawn()
+	c := dialReady(t, addr0)
+
+	// Phase 1 (synchronous, skewed): shard s takes (s+1)*5 acked writes, so
+	// the four journals sit at visibly different frontiers before the crash.
+	acked := make([]atomic.Int64, shards)
+	for s := 0; s < shards; s++ {
+		for i := 0; i < (s+1)*5; i++ {
+			obj := keys[s][i%len(keys[s])]
+			if _, err := c.Do(obj, model.Write(model.Value(fmt.Sprintf("pre%d.%d", s, i)))); err != nil {
+				t.Fatalf("shard %d write %d: %v\nchild output:\n%s", s, i, err, child.out)
+			}
+			acked[s].Add(1)
+		}
+	}
+
+	// Phase 2 (concurrent): one writer per shard on its own connection keeps
+	// every shard's append stream — and the shared group-commit rounds — hot
+	// while the kill lands. Only acked writes count toward the recovery bar.
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wc, err := cluster.Dial(addr0, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(s int, wc *cluster.Client) {
+			defer wg.Done()
+			defer wc.Close()
+			for i := 0; ; i++ {
+				obj := keys[s][i%len(keys[s])]
+				if _, err := wc.Do(obj, model.Write(model.Value(fmt.Sprintf("mid%d.%d", s, i)))); err != nil {
+					return // the kill landed
+				}
+				acked[s].Add(1)
+			}
+		}(s, wc)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := child.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child.cmd.Wait()
+	wg.Wait()
+	c.Close()
+
+	// Second incarnation: every shard must hold at least its acked writes.
+	child = spawn()
+	defer func() {
+		child.cmd.Process.Signal(syscall.SIGTERM)
+		child.cmd.Wait()
+	}()
+	c = dialReady(t, addr0)
+	defer c.Close()
+	if !strings.Contains(child.out.String(), "restored") {
+		t.Fatalf("restart did not report a restore:\n%s", child.out)
+	}
+	var frontiers []int
+	for s := 0; s < shards; s++ {
+		h, err := c.ShardHistory(s)
+		if err != nil {
+			t.Fatalf("shard %d history: %v", s, err)
+		}
+		if h.Shard != s || h.Shards != shards {
+			t.Fatalf("shard %d history tagged (%d of %d)", s, h.Shard, h.Shards)
+		}
+		dos := 0
+		for _, ev := range h.Events {
+			if ev.Kind == model.ActDo {
+				dos++
+			}
+		}
+		if int64(dos) < acked[s].Load() {
+			t.Fatalf("shard %d recovered %d do events, fewer than its %d acked writes\nchild output:\n%s",
+				s, dos, acked[s].Load(), child.out)
+		}
+		frontiers = append(frontiers, dos)
+	}
+	// The skewed phase must actually have produced distinct frontiers, or
+	// the test degenerates into the unsharded recovery check.
+	distinct := make(map[int]bool)
+	for _, f := range frontiers {
+		distinct[f] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all shards recovered identical frontiers %v; skew failed", frontiers)
+	}
+
+	// Fresh traffic on every shard, cluster-wide quiescence, convergence,
+	// and a per-shard audit across the process boundary.
+	var allKeys []model.ObjectID
+	for s := 0; s < shards; s++ {
+		if _, err := c.Do(keys[s][0], model.Write(model.Value(fmt.Sprintf("post%d", s)))); err != nil {
+			t.Fatalf("post-restart write shard %d: %v\nchild output:\n%s", s, err, child.out)
+		}
+		allKeys = append(allKeys, keys[s]...)
+	}
+	quiesced := func() bool {
+		if !r1.Quiesced() || !r2.Quiesced() {
+			return false
+		}
+		s, err := c.Stats()
+		return err == nil && s.Quiesced
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	clean := 0
+	for clean < 2 {
+		if time.Now().After(deadline) {
+			s, _ := c.Stats()
+			t.Fatalf("cluster did not quiesce after restart; child stats %+v\nchild output:\n%s", s, child.out)
+		}
+		if quiesced() {
+			clean++
+		} else {
+			clean = 0
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err := cluster.CheckConverged([]cluster.Doer{c, r1, r2}, allKeys); err != nil {
+		t.Fatalf("%v\nchild output:\n%s", err, child.out)
+	}
+	for s := 0; s < shards; s++ {
+		h0, err := c.ShardHistory(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h1, err := r1.ShardHistory(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := r2.ShardHistory(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		audit, err := cluster.BuildAudit([]cluster.History{h0, h1, h2})
+		if err != nil {
+			t.Fatalf("shard %d audit: %v", s, err)
+		}
+		if err := audit.Exec.CheckWellFormed(); err != nil {
+			t.Fatalf("shard %d execution not well-formed: %v", s, err)
+		}
+		if err := consistency.CheckCausal(audit.Abstract, spec.MVRTypes()); err != nil {
+			t.Fatalf("shard %d abstract execution not causal: %v", s, err)
+		}
 	}
 }

@@ -45,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -55,6 +56,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/livecheck"
+	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/spec"
 	"repro/internal/store"
@@ -69,6 +71,7 @@ func main() {
 	flag.IntVar(&cfg.n, "n", 0, "cluster size (default 1+len(peers); required with -join)")
 	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP listen address serving /healthz, /metrics, /membership, /history (disabled if empty)")
 	flag.IntVar(&cfg.k, "k", 2, "K for the kbuffer store")
+	flag.IntVar(&cfg.shards, "shards", 1, "independent keyspace shards (event loops) inside this node; all nodes must agree")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for the durable event journal (journaling disabled if empty)")
 	flag.StringVar(&cfg.wireCodec, "wire-codec", "", "preferred wire codec for replication links and the journal (json, binary; default: the store's own preference)")
 	flag.StringVar(&cfg.joinSpec, "join", "", "join a running cluster through these seed nodes (id=addr pairs like -peers; requires -n)")
@@ -93,6 +96,7 @@ type serveConfig struct {
 	n          int
 	admin      string
 	k          int
+	shards     int
 	dataDir    string
 	wireCodec  string
 	joinSpec   string
@@ -193,12 +197,18 @@ func run(cfg serveConfig) error {
 		return err
 	}
 
-	// Node-local streaming checker: observes only this node's own event
-	// stream (peers' mints arrive as watermarks), so it enforces the session
-	// guarantees — frontier monotonicity, read-your-writes, own-dot
-	// integrity — live, without any cross-node coordination. Full causal/rval
-	// verdicts still come from the offline /history + BuildAudit pipeline.
-	ck := livecheck.New(n, livecheck.Options{
+	if cfg.shards < 1 {
+		return fmt.Errorf("-shards %d: need at least 1", cfg.shards)
+	}
+	// Node-local streaming checkers, one per shard: each observes only this
+	// node's own event stream for its shard (peers' mints arrive as
+	// watermarks), so it enforces the session guarantees — frontier
+	// monotonicity, read-your-writes, own-dot integrity — live, without any
+	// cross-node coordination. Per-shard checkers compose (Proposition 1: no
+	// key spans shards), so the set's verdict covers the whole node. Full
+	// causal/rval verdicts still come from the offline /history + BuildAudit
+	// pipeline, run per shard.
+	ck := livecheck.NewShardSet(n, cfg.shards, livecheck.Options{
 		Observed: []model.ReplicaID{model.ReplicaID(cfg.id)},
 		Types:    spec.MVRTypes(),
 	})
@@ -209,6 +219,7 @@ func run(cfg serveConfig) error {
 		Listen:         cfg.listen,
 		Peers:          peers,
 		Join:           join,
+		Shards:         cfg.shards,
 		Codec:          cfg.wireCodec,
 		SyncChunkDelay: cfg.syncDelay,
 		SyncWindow:     cfg.syncWindow,
@@ -216,32 +227,26 @@ func run(cfg serveConfig) error {
 		Tap:            ck.Observe,
 	}
 	if cfg.dataDir != "" {
-		jl, hist, err := durable.Open(cfg.dataDir,
-			durable.Meta{Node: model.ReplicaID(cfg.id), N: n, Store: st.Name()},
-			durable.Options{Codec: cfg.wireCodec})
-		if err != nil {
-			return fmt.Errorf("open journal: %w", err)
+		// Each shard journals to its own fsync'd log (data-dir itself when
+		// unsharded — the pre-sharding layout — or data-dir/shard-NNN/ per
+		// shard), opened by the node via the storage hook so recovery and
+		// journaling follow each shard's event loop. Sharded logs share one
+		// group-commit coordinator: concurrent appends across shards ride a
+		// single fsync round, and acked ⇒ on-disk still holds per shard.
+		ncfg.Storage = &shardStorage{
+			dir:   cfg.dataDir,
+			codec: cfg.wireCodec,
+			group: durable.NewGroupCommitter(),
 		}
-		// LIFO: the node (deferred below) closes first, stopping the event
-		// loop, then the journal it was appending to.
-		defer jl.Close()
-		ncfg.Journal = jl.Append
-		ncfg.Restore = hist
-		// The journal maintains the Merkle forest over what it has fsync'd;
-		// handing it to the node keeps anti-entropy digests in lockstep with
-		// the durable log rather than with unjournaled in-memory state.
-		ncfg.Tree = jl.Tree()
-		restored := 0
-		if hist != nil {
-			restored = len(hist.Events)
-		}
-		fmt.Printf("served: r%d journaling to %s (restored %d events)\n", cfg.id, cfg.dataDir, restored)
 	}
 	node, err := cluster.NewNode(ncfg)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	if cfg.dataDir != "" {
+		fmt.Printf("served: r%d journaling to %s (restored %d events)\n", cfg.id, cfg.dataDir, node.Restored())
+	}
 
 	peerIDs := make([]int, 0, len(peers))
 	for pid := range peers {
@@ -273,6 +278,31 @@ func run(cfg serveConfig) error {
 	return nil
 }
 
+// shardStorage implements cluster.NodeStorage over the served data-dir
+// layout: the directory itself holds the single-shard log (byte-compatible
+// with directories written before sharding existed), and a sharded node
+// nests shard-NNN/ subdirectories, one log per shard, all sharing the
+// group-commit fsync coordinator.
+type shardStorage struct {
+	dir   string
+	codec string
+	group *durable.GroupCommitter
+}
+
+func (s *shardStorage) Open(id model.ReplicaID, n int, storeName string, shard, shards int) (func(cluster.Event) error, *cluster.History, *membership.Forest, func() error, error) {
+	dir := s.dir
+	opts := durable.Options{Codec: s.codec}
+	if shards > 1 {
+		dir = filepath.Join(s.dir, fmt.Sprintf("shard-%03d", shard))
+		opts.Group = s.group
+	}
+	l, hist, err := durable.Open(dir, durable.Meta{Node: id, N: n, Store: storeName, Shard: shard, Shards: shards}, opts)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return l.Append, hist, l.Tree(), l.Close, nil
+}
+
 // writeJSON marshals v to a buffer before touching the ResponseWriter, so a
 // marshal failure becomes a clean 500 instead of an error trailer glued to
 // a 200 and half a body.
@@ -296,12 +326,13 @@ func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 // startAdmin exposes the node over plain HTTP for operators and offline
 // audits: /healthz (200 once serving), /metrics (the Stats snapshot),
 // /membership (the node's view of who is in the cluster), /history
-// (the recorded local history, ready for cluster.BuildAudit), and
-// /livecheck (the streaming checker's live verdict — 200 while clean,
-// 503 once a session-guarantee violation has been flagged, so a probe
-// can alert without parsing the body). The returned server is already
-// serving; the caller owns its Shutdown.
-func startAdmin(addr string, node *cluster.Node, ck *livecheck.Checker) (*http.Server, error) {
+// (the recorded local history, ready for cluster.BuildAudit; ?shard=N
+// selects one shard of a sharded node, default 0), and /livecheck (the
+// streaming checkers' composed verdict — 200 while clean, 503 once a
+// session-guarantee violation has been flagged, so a probe can alert
+// without parsing the body; ?shard=N narrows to one shard). The returned
+// server is already serving; the caller owns its Shutdown.
+func startAdmin(addr string, node *cluster.Node, ck *livecheck.ShardSet) (*http.Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "ok r%d quiesced=%v\n", node.ID(), node.Quiesced())
@@ -313,10 +344,34 @@ func startAdmin(addr string, node *cluster.Node, ck *livecheck.Checker) (*http.S
 		writeJSON(w, node.Membership())
 	})
 	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, node.History())
+		shard := 0
+		if s := r.URL.Query().Get("shard"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad shard", http.StatusBadRequest)
+				return
+			}
+			shard = v
+		}
+		h, err := node.ShardHistory(shard)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, h)
 	})
 	mux.HandleFunc("/livecheck", func(w http.ResponseWriter, r *http.Request) {
-		v := ck.Verdict()
+		var v livecheck.Verdict
+		if s := r.URL.Query().Get("shard"); s != "" {
+			i, err := strconv.Atoi(s)
+			if err != nil || i < 0 || i >= ck.Shards() {
+				http.Error(w, "bad shard", http.StatusBadRequest)
+				return
+			}
+			v = ck.Shard(i).Verdict()
+		} else {
+			v = ck.Verdict()
+		}
 		code := http.StatusOK
 		if !v.Clean {
 			code = http.StatusServiceUnavailable

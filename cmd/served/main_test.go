@@ -151,7 +151,7 @@ func TestAdminServerGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ck := livecheck.New(1, livecheck.Options{
+	ck := livecheck.NewShardSet(1, 1, livecheck.Options{
 		Observed: []model.ReplicaID{0},
 		Types:    spec.MVRTypes(),
 	})
@@ -199,7 +199,7 @@ func TestAdminServerGracefulShutdown(t *testing.T) {
 	if !v.Clean || v.Dos < 1 {
 		t.Fatalf("live verdict = %+v, want clean with ≥1 do", v)
 	}
-	ck.Observe(livecheck.Event{ // fabricated regression: frontier falls
+	ck.Observe(0, livecheck.Event{ // fabricated regression: frontier falls
 		Node: 0, Kind: model.ActDo, Object: "x", Op: model.Read(),
 		Rval: model.ReadResponse(nil), Frontier: []uint64{0},
 	})

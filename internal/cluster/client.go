@@ -147,11 +147,20 @@ func (c *Client) Stats() (Stats, error) {
 	return s, nil
 }
 
-// History downloads the node's recorded local history for auditing.
+// History downloads the node's recorded local history for auditing (shard
+// 0's projection on a sharded node — see ShardHistory).
 func (c *Client) History() (History, error) {
+	return c.ShardHistory(0)
+}
+
+// ShardHistory downloads one shard's recorded local history. The shard
+// index trails the request's negotiation fields, so an old single-shard
+// node ignores it and answers its whole history — which is shard 0's
+// projection exactly.
+func (c *Client) ShardHistory(shard int) (History, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, typ, err := c.roundTrip(encodeStructuredReq(tHistory, c.codec, wire.CompFlate), historyMaxFrame, tHistoryResp, tHistoryRespB)
+	r, typ, err := c.roundTrip(encodeStructuredReqShard(tHistory, c.codec, wire.CompFlate, uint64(shard)), historyMaxFrame, tHistoryResp, tHistoryRespB)
 	if err != nil {
 		return History{}, err
 	}

@@ -97,13 +97,29 @@ type Config struct {
 	// send, receive — in the same event-loop turn that records it,
 	// immediately after the journal (if any) accepted it, so the streamed
 	// prefix never runs ahead of the durable log and a restart can never
-	// regress the stream. Events replayed via Restore are not re-tapped
-	// (their first recording was); sends re-minted during restore are new
-	// events and are. The callback runs on the node's event loop: it must
-	// return quickly and must not call back into the node. Intended for
-	// internal/livecheck; the Supervisor copies it into every restart
-	// incarnation like the rest of the base config.
-	Tap func(livecheck.Event)
+	// regress the stream. The first argument is the recording shard's index
+	// (always 0 on an unsharded node); per-shard event streams have
+	// independent (Origin, Seq) domains, so a sharded consumer must keep
+	// one checker per shard (livecheck.ShardSet). Events replayed via
+	// Restore are not re-tapped (their first recording was); sends
+	// re-minted during restore are new events and are. The callback runs on
+	// the recording shard's event loop: it must return quickly and must not
+	// call back into the node. Intended for internal/livecheck; the
+	// Supervisor copies it into every restart incarnation like the rest of
+	// the base config.
+	Tap func(shard int, ev livecheck.Event)
+
+	// Shards splits this node's keyspace across that many independent
+	// event loops (default 1): a ShardRouter hashes each object key to one
+	// shard, which owns its own store replica, Lamport clock, broadcast
+	// sequence domain, recorded history, and (under Storage) its own
+	// durable log in a shard-NNN subdirectory. Replication links multiplex
+	// every shard over one connection (tShardBatch frames); all nodes of a
+	// cluster must agree on the count, and links to peers announcing a
+	// different count fail-stop. Sharded nodes require Storage (not direct
+	// Journal/Restore/Tree) when durable, and do not support dynamic
+	// membership (Join/Leave) yet.
+	Shards int
 
 	// Join, when non-nil, lists seed nodes (id → address) to join the
 	// cluster through instead of (or in addition to) static Peers: NewNode
@@ -177,17 +193,22 @@ type Config struct {
 
 // NodeStorage provides per-incarnation durable storage for a node's
 // recorded history (implemented by durable.Storage). Open is called once
-// per incarnation, before the node serves anything: journal persists each
-// newly recorded event, restore is the recovered history of the previous
-// incarnation (nil on first boot), and closeLog is invoked after the event
-// loop has exited.
+// per incarnation and shard, before the node serves anything: journal
+// persists each newly recorded event, restore is the recovered history of
+// the previous incarnation (nil on first boot), and closeLog is invoked
+// after the event loop has exited. shard/shards name which of the node's
+// shard logs to open (0 of 1 for an unsharded node — implementations keep
+// that case's layout byte-compatible with the pre-sharding one).
 type NodeStorage interface {
-	Open(id model.ReplicaID, n int, storeName string) (journal func(Event) error, restore *History, tree *membership.Forest, closeLog func() error, err error)
+	Open(id model.ReplicaID, n int, storeName string, shard, shards int) (journal func(Event) error, restore *History, tree *membership.Forest, closeLog func() error, err error)
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxFrame == 0 {
 		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	if c.BatchMax == 0 {
 		c.BatchMax = 64
@@ -249,18 +270,24 @@ type Stats struct {
 	// value means some peer will not converge through this node's direct
 	// link; the node itself keeps serving.
 	FailedLinks int64 `json:"failed_links,omitempty"`
+	// Shards is the node's shard count; the per-shard slices below (one
+	// entry per shard, indexed by shard) break the aggregate counters down
+	// so load balance across shards is observable. Omitted (and nil) on
+	// unsharded nodes for wire compatibility.
+	Shards        int     `json:"shards,omitempty"`
+	ShardOps      []int64 `json:"shard_ops,omitempty"`
+	ShardSends    []int64 `json:"shard_sends,omitempty"`
+	ShardReceives []int64 `json:"shard_receives,omitempty"`
+	ShardEvents   []int64 `json:"shard_events,omitempty"`
 }
 
-// Node is one replica of a TCP-backed cluster.
+// Node is one replica of a TCP-backed cluster. Its keyspace is split
+// across cfg.Shards independent shards (see shard.go); an unsharded node
+// is simply the one-shard case, whose wire behavior and on-disk layout are
+// byte-compatible with the pre-sharding implementation.
 type Node struct {
-	cfg     Config
-	replica store.Replica
-	// reportsVis caches whether the replica implements store.VisReporter:
-	// only then do recorded do events carry a frontier (an absent report is
-	// recorded as absent, not as an all-zero claim).
-	reportsVis bool
-	checker    *store.PropertyChecker
-	ln         net.Listener
+	cfg Config
+	ln  net.Listener
 	// codec is this node's resolved codec preference (cfg.Codec, else the
 	// store's own declaration via store.PayloadCodec). Connections negotiate
 	// down from it, never up.
@@ -269,38 +296,14 @@ type Node struct {
 	// cfg.Compress), negotiated down per connection the same way.
 	comp uint64
 
-	calls chan func()
-	done  chan struct{}
-	wg    sync.WaitGroup
+	// router maps object keys to shards; shards holds one independent
+	// event loop + replica + history per shard. Both are immutable after
+	// NewNode.
+	router *ShardRouter
+	shards []*shard
 
-	// closeJournal, when non-nil, closes the NodeStorage log; it runs in
-	// Close after the event loop has exited (no Appends can follow it).
-	closeJournal func() error
-
-	// State below is owned by the event loop goroutine.
-	lamport   uint64
-	seq       uint64   // this node's broadcast sequence counter
-	delivered []uint64 // per-origin cumulative applied broadcast seq
-	frontier  []uint64 // per-origin visible store-dot prefix
-	events    []Event
-	// jerr latches the first journal failure. Once set, the node is
-	// fail-stopping: no further acks are written, operations error, and an
-	// async Close is already underway.
-	jerr error
-	// updates indexes every broadcast update this node holds, per origin in
-	// seq order (updates[o][i].Seq == i+1): its own live backlog — what
-	// Connect offers a new link, so a late-connecting peer sees post-boot
-	// writes too — plus everything received, which is what anti-entropy
-	// range serving reads. Payloads are shared with the recorded events
-	// and immutable once appended. Loop-owned.
-	updates [][]protoUpdate
-	// tree is the Merkle forest over updates, backing digest exchange with
-	// joiners. treeOwned means this node appends each update's hash itself
-	// (in the same loop turn that records it); otherwise cfg.Tree was
-	// supplied and the durable layer hashes on journal append — same turn,
-	// different owner, never both. Loop-owned after NewNode.
-	tree      *membership.Forest
-	treeOwned bool
+	done chan struct{}
+	wg   sync.WaitGroup
 
 	// view is this node's convergent membership picture. Internally locked;
 	// epoch is this incarnation's announcement epoch.
@@ -319,20 +322,26 @@ type Node struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{} // accepted connections
 
-	ops       atomic.Int64
-	sends     atomic.Int64
-	receives  atomic.Int64
 	bytesOut  atomic.Int64
 	framesOut atomic.Int64
 	dupFrames atomic.Int64
 	gapFrames atomic.Int64
 
+	// restored counts events replayed from restored histories at boot.
+	restored int64
+
 	closeOnce sync.Once
 }
 
-// NewNode opens the listener, starts the event loop, and — if cfg.Peers is
-// set — starts the replication links. It does not block on peers being up:
-// links dial in the background and retry until the peer appears.
+// s0 is the first shard — the whole node when unsharded. The membership
+// subsystem (member.go) addresses it directly: dynamic membership is
+// gated to single-shard nodes, where shard 0's history IS the node's.
+func (n *Node) s0() *shard { return n.shards[0] }
+
+// NewNode opens the listener, starts the per-shard event loops, and — if
+// cfg.Peers is set — starts the replication links. It does not block on
+// peers being up: links dial in the background and retry until the peer
+// appears.
 func NewNode(cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Store == nil {
@@ -343,6 +352,17 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	if int(cfg.ID) < 0 || int(cfg.ID) >= cfg.N {
 		return nil, fmt.Errorf("cluster: node ID r%d outside cluster of %d", cfg.ID, cfg.N)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster: invalid shard count %d", cfg.Shards)
+	}
+	if cfg.Shards > 1 {
+		if cfg.Join != nil {
+			return nil, errors.New("cluster: dynamic membership (Config.Join) requires Shards == 1")
+		}
+		if cfg.Journal != nil || cfg.Restore != nil || cfg.Tree != nil {
+			return nil, errors.New("cluster: a sharded node takes durable state via Config.Storage, not Journal/Restore/Tree")
+		}
 	}
 	codecName := cfg.Codec
 	if codecName == "" {
@@ -365,69 +385,78 @@ func NewNode(cfg Config) (*Node, error) {
 	default:
 		return nil, fmt.Errorf("cluster: unknown compression %q (have none, flate)", cfg.Compress)
 	}
-	var closeJournal func() error
-	if cfg.Storage != nil {
-		if cfg.Journal != nil || cfg.Restore != nil {
-			return nil, errors.New("cluster: Config.Storage is mutually exclusive with Journal/Restore")
-		}
-		journal, restored, tree, closeLog, err := cfg.Storage.Open(cfg.ID, cfg.N, cfg.Store.Name())
-		if err != nil {
-			return nil, fmt.Errorf("cluster: open storage for r%d: %w", cfg.ID, err)
-		}
-		cfg.Journal = journal
-		cfg.Restore = restored
-		cfg.Tree = tree
-		closeJournal = closeLog
+	if cfg.Storage != nil && (cfg.Journal != nil || cfg.Restore != nil) {
+		return nil, errors.New("cluster: Config.Storage is mutually exclusive with Journal/Restore")
 	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
-		if closeJournal != nil {
-			closeJournal()
-		}
 		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Listen, err)
 	}
-	replica := cfg.Store.NewReplica(cfg.ID, cfg.N)
-	_, reportsVis := replica.(store.VisReporter)
 	n := &Node{
-		cfg:        cfg,
-		replica:    replica,
-		reportsVis: reportsVis,
-		checker:    store.NewPropertyChecker(replica),
-		ln:         ln,
-		codec:      codec,
-		comp:       comp,
-		calls:      make(chan func()),
-		done:       make(chan struct{}),
-		delivered:  make([]uint64, cfg.N),
-		frontier:   make([]uint64, cfg.N),
-		updates:    make([][]protoUpdate, cfg.N),
-		peers:      make(map[model.ReplicaID]*peerSender),
-		conns:      make(map[net.Conn]struct{}),
-		view:       membership.NewView(),
+		cfg:    cfg,
+		ln:     ln,
+		codec:  codec,
+		comp:   comp,
+		router: NewShardRouter(cfg.Shards),
+		done:   make(chan struct{}),
+		peers:  make(map[model.ReplicaID]*peerSender),
+		conns:  make(map[net.Conn]struct{}),
+		view:   membership.NewView(),
 	}
-	n.closeJournal = closeJournal
 	n.epoch.Store(cfg.Epoch)
-	if n.tree = cfg.Tree; n.tree == nil {
-		n.tree = membership.NewForest(cfg.N)
-		n.treeOwned = true
+
+	// closeAll unwinds a partially constructed node: listener plus every
+	// shard log opened so far.
+	closeAll := func() {
+		ln.Close()
+		for _, s := range n.shards {
+			if s.closeJournal != nil {
+				s.closeJournal()
+			}
+		}
 	}
+	n.shards = make([]*shard, cfg.Shards)
+	for i := range n.shards {
+		s := newShard(n, i)
+		n.shards[i] = s
+		restoreHist := cfg.Restore
+		if cfg.Storage != nil {
+			journal, restored, tree, closeLog, err := cfg.Storage.Open(cfg.ID, cfg.N, cfg.Store.Name(), i, cfg.Shards)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("cluster: open storage for r%d shard %d: %w", cfg.ID, i, err)
+			}
+			s.journal = journal
+			s.closeJournal = closeLog
+			s.tree = tree
+			restoreHist = restored
+		} else if i == 0 {
+			s.journal = cfg.Journal
+			s.tree = cfg.Tree
+		}
+		if s.tree == nil {
+			s.tree = membership.NewForest(cfg.N)
+			s.treeOwned = true
+		}
+		if restoreHist != nil {
+			if err := s.restore(restoreHist); err != nil {
+				closeAll()
+				return nil, err
+			}
+			n.restored += int64(len(restoreHist.Events))
+		}
+	}
+
 	// Seed the view: self plus every statically named peer, at epoch 0 —
 	// later gossip (with real epochs) supersedes these placeholders.
 	n.view.Merge(membership.Member{ID: int(cfg.ID), Addr: n.Addr(), Epoch: cfg.Epoch})
 	for id, addr := range cfg.Peers {
 		n.view.Merge(membership.Member{ID: int(id), Addr: addr})
 	}
-	if cfg.Restore != nil {
-		if err := n.restore(cfg.Restore); err != nil {
-			ln.Close()
-			if closeJournal != nil {
-				closeJournal()
-			}
-			return nil, err
-		}
+	n.wg.Add(1 + len(n.shards))
+	for _, s := range n.shards {
+		go s.loop()
 	}
-	n.wg.Add(2)
-	go n.loop()
 	go n.acceptLoop()
 	if cfg.Join != nil {
 		// Join owns link setup: it syncs, announces, and connects to every
@@ -445,6 +474,10 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	return n, nil
 }
+
+// Restored returns how many events NewNode replayed from restored
+// histories (all shards). Informational; stable after NewNode.
+func (n *Node) Restored() int64 { return n.restored }
 
 // Addr returns the listener's address (resolving ":0" ports).
 func (n *Node) Addr() string { return n.ln.Addr().String() }
@@ -467,150 +500,66 @@ func (n *Node) Connect(peers map[model.ReplicaID]string) error {
 
 func (n *Node) connect(peers map[model.ReplicaID]string, skipLinked bool) error {
 	var err error
-	if e := n.inLoop(func() { err = n.connectInLoop(peers, skipLinked) }); e != nil {
+	var added []*peerSender
+	if e := n.s0().inLoop(func() { added, err = n.connectInLoop(peers, skipLinked) }); e != nil {
 		return e
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	// Offer each remaining shard's backlog in that shard's own loop turn.
+	// The link is already registered, so the shard may have enqueued fresh
+	// broadcasts in between — offerBacklog replaces the queue wholesale
+	// with the full backlog snapshot taken in the shard's turn, which
+	// includes those broadcasts, so nothing is lost or duplicated.
+	for _, s := range n.shards[1:] {
+		s := s
+		for _, p := range added {
+			p := p
+			if e := s.inLoop(func() { p.offerBacklog(s.idx, s.updates[n.cfg.ID]) }); e != nil {
+				return e
+			}
+		}
+	}
+	return nil
 }
 
-// connectInLoop validates and starts the links on the event loop, so the
-// full-backlog offer and the peer-map insertion happen atomically with
-// respect to broadcastPending. (It must not be called while holding
-// peerMu: the loop itself takes it via allPeers.)
-func (n *Node) connectInLoop(peers map[model.ReplicaID]string, skipLinked bool) error {
+// connectInLoop validates and starts the links on shard 0's event loop, so
+// shard 0's full-backlog offer and the peer-map insertion happen atomically
+// with respect to its broadcastPending. (It must not be called while
+// holding peerMu: the loop itself takes it via allPeers.) Returns the
+// newly started senders so the caller can offer the other shards'
+// backlogs.
+func (n *Node) connectInLoop(peers map[model.ReplicaID]string, skipLinked bool) ([]*peerSender, error) {
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
 	for id := range peers {
 		if id == n.cfg.ID {
-			return fmt.Errorf("cluster: r%d listed as its own peer", id)
+			return nil, fmt.Errorf("cluster: r%d listed as its own peer", id)
 		}
 		if int(id) < 0 || int(id) >= n.cfg.N {
-			return fmt.Errorf("cluster: peer r%d outside cluster of %d", id, n.cfg.N)
+			return nil, fmt.Errorf("cluster: peer r%d outside cluster of %d", id, n.cfg.N)
 		}
 		if _, dup := n.peers[id]; dup && !skipLinked {
-			return fmt.Errorf("cluster: duplicate link to r%d", id)
+			return nil, fmt.Errorf("cluster: duplicate link to r%d", id)
 		}
 	}
+	var added []*peerSender
 	for id, addr := range peers {
 		if _, dup := n.peers[id]; dup {
 			continue
 		}
 		n.view.Merge(membership.Member{ID: int(id), Addr: addr})
 		p := newPeerSender(n, id, addr)
-		for _, u := range n.updates[n.cfg.ID] {
-			p.enqueue(u)
+		for _, u := range n.s0().updates[n.cfg.ID] {
+			p.enqueue(0, u)
 		}
 		n.peers[id] = p
+		added = append(added, p)
 		n.wg.Add(1)
 		go p.run()
 	}
-	return nil
-}
-
-// restore replays a previous incarnation's history into the fresh replica
-// before the node serves anything: do events re-execute (the replica is the
-// deterministic state machine of §2, so replay reproduces the state), send
-// events drain the outbox and rebuild the broadcast sequence counter, and
-// receive events re-apply their recorded payloads and rebuild the
-// per-origin delivery counters. The events themselves are kept verbatim, so
-// the restarted node's History is the crash-surviving log plus whatever it
-// records next, and the Lamport clock resumes past everything restored.
-// Runs before the event-loop goroutine starts; no locking needed.
-func (n *Node) restore(h *History) error {
-	if h.Node != n.cfg.ID {
-		return fmt.Errorf("cluster: restoring r%d's history into r%d", h.Node, n.cfg.ID)
-	}
-	if h.N != n.cfg.N {
-		return fmt.Errorf("cluster: restored history is for a cluster of %d, node configured for %d", h.N, n.cfg.N)
-	}
-	for i, ev := range h.Events {
-		switch ev.Kind {
-		case model.ActDo:
-			obj, op := ev.Object, ev.Op
-			n.checker.CheckDo(obj, op, func() model.Response { return n.replica.Do(obj, op) })
-		case model.ActSend:
-			if ev.Origin != n.cfg.ID {
-				return fmt.Errorf("cluster: restored send event %d claims origin r%d", i, ev.Origin)
-			}
-			n.replica.OnSend()
-			n.seq = ev.Seq
-			if err := n.noteUpdate(ev.Origin, ev.Seq, ev.Lamport, append([]byte(nil), ev.Payload...)); err != nil {
-				return err
-			}
-		case model.ActReceive:
-			if ev.Payload == nil {
-				return fmt.Errorf("cluster: restored receive event %d has no payload (history predates payload recording)", i)
-			}
-			if int(ev.Origin) < 0 || int(ev.Origin) >= n.cfg.N {
-				return fmt.Errorf("cluster: restored receive event %d has origin r%d outside cluster", i, ev.Origin)
-			}
-			payload := ev.Payload
-			n.checker.CheckReceive(payload, func() { n.replica.Receive(payload) })
-			n.delivered[ev.Origin] = ev.Seq
-			if err := n.noteUpdate(ev.Origin, ev.Seq, ev.Lamport, payload); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("cluster: restored event %d has unknown kind %v", i, ev.Kind)
-		}
-		if ev.Lamport > n.lamport {
-			n.lamport = ev.Lamport
-		}
-		// Replayed events are appended verbatim, NOT via record: they came
-		// from the journal, and re-journaling them would duplicate the log.
-		n.events = append(n.events, ev)
-	}
-	// A message pending at crash time was never recorded as sent: mint its
-	// send event now (the history stays well-formed — the send follows
-	// every restored event) and add it to the live backlog. Minted events
-	// are new, so they go through record and reach the journal.
-	for {
-		p := n.replica.PendingMessage()
-		if p == nil {
-			break
-		}
-		payload := append([]byte(nil), p...)
-		n.replica.OnSend()
-		n.seq++
-		n.lamport++
-		n.record(Event{
-			Kind: model.ActSend, Lamport: n.lamport,
-			Origin: n.cfg.ID, Seq: n.seq, Payload: payload,
-		})
-		if n.jerr != nil {
-			return n.jerr
-		}
-		if err := n.noteUpdate(n.cfg.ID, n.seq, n.lamport, payload); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// noteUpdate indexes one broadcast update into the per-origin backlog and,
-// when this node owns its Merkle forest, hashes it in — always in the same
-// turn the update's event is recorded, so backlog, forest, and journal
-// never disagree. (With a durable-supplied forest the durable layer hashes
-// on journal append instead; appending here too would double-hash.) Runs
-// on the event loop, or in restore before the loop starts.
-func (n *Node) noteUpdate(origin model.ReplicaID, seq, lamport uint64, payload []byte) error {
-	n.updates[origin] = append(n.updates[origin], protoUpdate{Origin: origin, Seq: seq, Lamport: lamport, Payload: payload})
-	if n.treeOwned {
-		if err := n.tree.Append(int(origin), seq, payload); err != nil {
-			return fmt.Errorf("cluster: r%d merkle append: %w", n.cfg.ID, err)
-		}
-	}
-	return nil
-}
-
-// noteUpdateInLoop is noteUpdate for event-loop callers, latching a
-// failure into jerr (a misaligned forest would corrupt anti-entropy, so
-// the node fail-stops like it does on a journal failure).
-func (n *Node) noteUpdateInLoop(origin model.ReplicaID, seq, lamport uint64, payload []byte) {
-	if err := n.noteUpdate(origin, seq, lamport, payload); err != nil && n.jerr == nil {
-		n.jerr = err
-		go n.Close()
-	}
+	return added, nil
 }
 
 func (n *Node) allPeers() []*peerSender {
@@ -623,61 +572,12 @@ func (n *Node) allPeers() []*peerSender {
 	return out
 }
 
-// loop is the event loop: the only goroutine that touches the replica and
-// the recorded history, serializing concurrent clients and peer deliveries
-// into the single-threaded executions of Definition 1.
-func (n *Node) loop() {
-	defer n.wg.Done()
-	for {
-		select {
-		case fn := <-n.calls:
-			fn()
-		case <-n.done:
-			return
-		}
-	}
-}
-
-// inLoop runs fn on the event loop and waits for it to finish. calls is
-// unbuffered, so a successful send means the loop goroutine received fn
-// and is committed to running it — after that the only correct move is to
-// wait for completion. (The previous version also selected on done while
-// waiting, so a node closing mid-call could return ErrClosed while the
-// loop was still executing fn, and the caller would read the result
-// concurrently with the loop writing it.)
+// inLoop runs fn on shard 0's event loop and waits for it to finish. It
+// exists for the membership subsystem (member.go), which is gated to
+// single-shard nodes — there, shard 0's loop is the node's only loop, so
+// this is exactly the pre-sharding inLoop.
 func (n *Node) inLoop(fn func()) error {
-	ran := make(chan struct{})
-	select {
-	case n.calls <- func() { fn(); close(ran) }:
-		<-ran
-		return nil
-	case <-n.done:
-		return ErrClosed
-	}
-}
-
-// record appends one event to the local history and, when a journal is
-// configured, persists it in the same event-loop turn — before the
-// update's ack or the client's response can leave the node, so an
-// acknowledged event is always durable. A journal failure fail-stops the
-// node (a replica that cannot persist must not promise delivery): the
-// error latches into jerr, which suppresses the pending ack and errors
-// subsequent operations, and an async Close tears the node down. Runs on
-// the event loop (or in restore, before the loop starts).
-func (n *Node) record(ev Event) {
-	n.events = append(n.events, ev)
-	if n.cfg.Journal != nil && n.jerr == nil {
-		if err := n.cfg.Journal(ev); err != nil {
-			n.jerr = fmt.Errorf("cluster: journal r%d event %d: %w", n.cfg.ID, len(n.events)-1, err)
-			go n.Close()
-		}
-	}
-	// Tap after the journal verdict: a fail-stopping node streams nothing
-	// it cannot also promise to remember, so the streamed prefix is always
-	// a prefix of the durable log.
-	if n.cfg.Tap != nil && n.jerr == nil {
-		n.cfg.Tap(liveEvent(n.cfg.ID, ev))
-	}
+	return n.s0().inLoop(fn)
 }
 
 // liveEvent converts a recorded event for the streaming checker: the
@@ -693,15 +593,17 @@ func liveEvent(node model.ReplicaID, ev Event) livecheck.Event {
 	}
 }
 
-// Do applies one client operation at this replica, records the do event
-// (with visibility snapshot), and broadcasts any messages the operation
-// made pending. Safe for concurrent use.
+// Do applies one client operation at the replica owning obj's shard,
+// records the do event (with visibility snapshot), and broadcasts any
+// messages the operation made pending. Safe for concurrent use;
+// operations on different shards run concurrently.
 func (n *Node) Do(obj model.ObjectID, op model.Operation) (model.Response, error) {
+	s := n.shards[n.router.Route(obj)]
 	var resp model.Response
 	var jerr error
-	err := n.inLoop(func() {
-		resp = n.doInLoop(obj, op)
-		jerr = n.jerr
+	err := s.inLoop(func() {
+		resp = s.doInLoop(obj, op)
+		jerr = s.jerr
 	})
 	if err == nil {
 		// A fail-stopping node must not confirm an operation whose event
@@ -711,123 +613,20 @@ func (n *Node) Do(obj model.ObjectID, op model.Operation) (model.Response, error
 	return resp, err
 }
 
-func (n *Node) doInLoop(obj model.ObjectID, op model.Operation) model.Response {
-	// The counter moves with the event append, inside the loop: a Stats
-	// snapshot must never see the op counted but its event missing (or
-	// vice versa).
-	n.ops.Add(1)
-	resp := n.checker.CheckDo(obj, op, func() model.Response { return n.replica.Do(obj, op) })
-	n.lamport++
-	ev := Event{Kind: model.ActDo, Lamport: n.lamport, Object: obj, Op: op, Rval: resp}
-	if op.Kind.IsMutator() {
-		if dr, ok := n.replica.(store.DotReporter); ok {
-			if d, has := dr.LastDot(); has {
-				ev.Dot = d
-			}
-		}
-	}
-	n.advanceFrontier()
-	if n.reportsVis {
-		ev.Frontier = append([]uint64(nil), n.frontier...)
-	}
-	// Stores without visibility reporting record no frontier at all: an
-	// all-zero frontier would claim "this read saw nothing", and BuildAudit
-	// would derive read-containment edges from a claim the store never made.
-	n.record(ev)
-	n.broadcastPending()
-	return resp
-}
-
-// advanceFrontier pushes each origin's visible prefix forward by probing
-// the store's own visibility report. Stores without a VisReporter keep an
-// all-zero frontier, which derives the same (vacuous) visibility the
-// simulator derives for them.
-func (n *Node) advanceFrontier() {
-	vr, ok := n.replica.(store.VisReporter)
-	if !ok {
-		return
-	}
-	for o := range n.frontier {
-		for vr.Sees(model.Dot{Origin: model.ReplicaID(o), Seq: n.frontier[o] + 1}) {
-			n.frontier[o]++
-		}
-	}
-}
-
-// broadcastPending drains the replica's outbox: each pending message
-// becomes one recorded send event and one update enqueued to every peer
-// link. Runs on the event loop.
-func (n *Node) broadcastPending() {
-	for {
-		p := n.replica.PendingMessage()
-		if p == nil {
-			return
-		}
-		payload := append([]byte(nil), p...)
-		n.replica.OnSend()
-		n.seq++
-		n.lamport++
-		n.record(Event{
-			Kind: model.ActSend, Lamport: n.lamport,
-			Origin: n.cfg.ID, Seq: n.seq, Payload: payload,
-		})
-		n.sends.Add(1)
-		n.noteUpdateInLoop(n.cfg.ID, n.seq, n.lamport, payload)
-		u := protoUpdate{Origin: n.cfg.ID, Seq: n.seq, Lamport: n.lamport, Payload: payload}
-		for _, ps := range n.allPeers() {
-			ps.enqueue(u)
-		}
-	}
-}
-
-// applyUpdate delivers one replication frame on the event loop and returns
-// the cumulative applied seq for the update's origin (the ack value) plus
-// whether the ack may be written: false means the journal failed, so the
-// receive event backing this ack may not be durable and acknowledging it
-// would let the sender prune an update the next incarnation never saw.
-// Exactly-once, in-order application falls out of the cumulative counter:
-// duplicates re-ack, gaps wait for retransmission to fill them.
-func (n *Node) applyUpdate(u protoUpdate) (uint64, bool) {
-	next := n.delivered[u.Origin] + 1
-	switch {
-	case u.Seq < next:
-		n.dupFrames.Add(1)
-		n.cfg.Observer.AddDupFrames(1)
-	case u.Seq > next:
-		n.gapFrames.Add(1)
-		n.cfg.Observer.AddGapFrames(1)
-	default:
-		n.checker.CheckReceive(u.Payload, func() { n.replica.Receive(u.Payload) })
-		n.delivered[u.Origin] = u.Seq
-		if u.Lamport > n.lamport {
-			n.lamport = u.Lamport
-		}
-		n.lamport++
-		payload := append([]byte(nil), u.Payload...)
-		n.record(Event{
-			Kind: model.ActReceive, Lamport: n.lamport,
-			Origin: u.Origin, Seq: u.Seq,
-			Payload: payload,
-		})
-		n.receives.Add(1)
-		n.noteUpdateInLoop(u.Origin, u.Seq, u.Lamport, payload)
-		n.broadcastPending()
-	}
-	return n.delivered[u.Origin], n.jerr == nil
-}
-
 // Quiesced reports whether this node has nothing left to say: no pending
 // broadcast and every peer link fully acknowledged. Cluster-wide
 // quiescence (Definition 17) is all nodes reporting true — and because
 // acks are only written after the receiver applied the update, a stable
 // all-quiesced poll really does mean every sent message was delivered.
 func (n *Node) Quiesced() bool {
-	var pending bool
-	if n.inLoop(func() { pending = n.replica.PendingMessage() != nil }) != nil {
-		return false
-	}
-	if pending {
-		return false
+	for _, s := range n.shards {
+		var pending bool
+		if s.inLoop(func() { pending = s.replica.PendingMessage() != nil }) != nil {
+			return false
+		}
+		if pending {
+			return false
+		}
 	}
 	for _, p := range n.allPeers() {
 		if !p.drained() {
@@ -855,20 +654,25 @@ func (n *Node) viewLinked() bool {
 	return true
 }
 
-// Stats snapshots the node's counters coherently: one event-loop turn
-// captures the loop-owned counters, the recorded-event count, the checker
-// verdicts, the per-peer transport counters, and the quiescence verdict at
-// a single instant. (The earlier implementation mixed an inLoop checker
-// read with lock-free counter reads taken before and after it, so a
-// snapshot could report a quiesced node whose counters predated its last
-// delivery.) The quiescence condition is evaluated inline — calling
-// Quiesced() here would re-enter the event loop and deadlock.
+// Stats snapshots the node's counters. Each shard's slice of the snapshot
+// is captured coherently in one of that shard's event-loop turns (counter,
+// event count, checker verdicts, and pending-message verdict move
+// together); the per-peer transport counters and quiescence composition
+// are read between turns. For an unsharded node this is the pre-sharding
+// single-turn snapshot exactly. The quiescence condition is evaluated
+// inline — calling Quiesced() here would re-enter the event loops and
+// deadlock.
 func (n *Node) Stats() Stats {
 	s := Stats{Node: n.cfg.ID, Store: n.cfg.Store.Name(), Codec: n.codec.Name()}
+	sharded := n.cfg.Shards > 1
+	if sharded {
+		s.Shards = n.cfg.Shards
+		s.ShardOps = make([]int64, n.cfg.Shards)
+		s.ShardSends = make([]int64, n.cfg.Shards)
+		s.ShardReceives = make([]int64, n.cfg.Shards)
+		s.ShardEvents = make([]int64, n.cfg.Shards)
+	}
 	counters := func() {
-		s.Ops = n.ops.Load()
-		s.Sends = n.sends.Load()
-		s.Receives = n.receives.Load()
 		s.BytesOut = n.bytesOut.Load()
 		s.FramesOut = n.framesOut.Load()
 		s.DupFrames = n.dupFrames.Load()
@@ -884,49 +688,97 @@ func (n *Node) Stats() Stats {
 			}
 		}
 	}
-	err := n.inLoop(func() {
-		counters()
-		s.Events = int64(len(n.events))
-		s.Violations = len(n.checker.Violations())
-		quiesced := n.replica.PendingMessage() == nil
-		for _, p := range n.allPeers() {
-			if !p.drained() {
+	quiesced := true
+	closed := false
+	for i, sh := range n.shards {
+		i, sh := i, sh
+		err := sh.inLoop(func() {
+			ops, sends, receives := sh.ops.Load(), sh.sends.Load(), sh.receives.Load()
+			s.Ops += ops
+			s.Sends += sends
+			s.Receives += receives
+			s.Events += int64(len(sh.events))
+			s.Violations += len(sh.checker.Violations())
+			if sh.replica.PendingMessage() != nil {
 				quiesced = false
 			}
+			if sharded {
+				s.ShardOps[i] = ops
+				s.ShardSends[i] = sends
+				s.ShardReceives[i] = receives
+				s.ShardEvents[i] = int64(len(sh.events))
+			}
+		})
+		if err != nil {
+			closed = true
+			break
 		}
-		s.Quiesced = quiesced && n.viewLinked()
-	})
-	if err != nil {
-		// Node closed: the loop is gone, so a coherent snapshot is moot —
-		// report the counters' final values (loop-owned state stays zero;
-		// reading it here would race with the exiting loop).
-		counters()
 	}
+	if closed {
+		// Node closed: the loops are gone, so a coherent snapshot is moot —
+		// report the lock-free counters' final values (loop-owned state
+		// stays zero; reading it here would race with the exiting loops).
+		s.Ops, s.Sends, s.Receives, s.Events, s.Violations = 0, 0, 0, 0, 0
+		for i, sh := range n.shards {
+			s.Ops += sh.ops.Load()
+			s.Sends += sh.sends.Load()
+			s.Receives += sh.receives.Load()
+			if sharded {
+				s.ShardOps[i] = sh.ops.Load()
+				s.ShardSends[i] = sh.sends.Load()
+				s.ShardReceives[i] = sh.receives.Load()
+			}
+		}
+		counters()
+		return s
+	}
+	counters()
+	for _, p := range n.allPeers() {
+		if !p.drained() {
+			quiesced = false
+		}
+	}
+	s.Quiesced = quiesced && n.viewLinked()
 	return s
 }
 
-// Violations returns the §4 property violations the node's checker
-// observed (live counterpart of sim.Cluster.PropertyViolations).
+// Violations returns the §4 property violations the node's checkers
+// observed, across all shards (live counterpart of
+// sim.Cluster.PropertyViolations).
 func (n *Node) Violations() []*store.PropertyViolation {
 	var v []*store.PropertyViolation
-	n.inLoop(func() { v = append(v, n.checker.Violations()...) })
+	for _, s := range n.shards {
+		s := s
+		s.inLoop(func() { v = append(v, s.checker.Violations()...) })
+	}
 	return v
 }
 
-// History snapshots the node's recorded local history.
+// History snapshots the node's recorded local history. On a sharded node
+// this is shard 0's history; use ShardHistory to audit every shard.
 func (n *Node) History() History {
-	h := History{Node: n.cfg.ID, N: n.cfg.N, Store: n.cfg.Store.Name()}
-	n.inLoop(func() { h.Events = append([]Event(nil), n.events...) })
-	return h
+	return n.s0().history()
+}
+
+// ShardHistory snapshots one shard's recorded local history. Histories of
+// the same shard across nodes merge and audit together; histories of
+// different shards never do (independent (Origin, Seq) domains).
+func (n *Node) ShardHistory(shard int) (History, error) {
+	if shard < 0 || shard >= len(n.shards) {
+		return History{}, fmt.Errorf("cluster: shard %d outside node with %d shards", shard, len(n.shards))
+	}
+	return n.shards[shard].history(), nil
 }
 
 // FinalHistory returns the recorded history of a node that has been
-// Closed: the event loop has exited, the log is frozen, and it can be read
-// without a loop turn. This is the durable state a fail-stop crash leaves
-// behind — capturing it only after Close means no update can be applied
-// (and acknowledged to its sender) after the snapshot, so an acked update
-// is always in the log that survives. Calling it on a live node would race
-// the loop; it panics instead.
+// Closed: the event loops have exited, the log is frozen, and it can be
+// read without a loop turn. This is the durable state a fail-stop crash
+// leaves behind — capturing it only after Close means no update can be
+// applied (and acknowledged to its sender) after the snapshot, so an
+// acked update is always in the log that survives. On a sharded node this
+// is shard 0's history (the Supervisor, its only caller, runs single-shard
+// clusters). Calling it on a live node would race the loops; it panics
+// instead.
 func (n *Node) FinalHistory() History {
 	select {
 	case <-n.done:
@@ -935,7 +787,7 @@ func (n *Node) FinalHistory() History {
 	}
 	return History{
 		Node: n.cfg.ID, N: n.cfg.N, Store: n.cfg.Store.Name(),
-		Events: append([]Event(nil), n.events...),
+		Events: append([]Event(nil), n.s0().events...),
 	}
 }
 
@@ -971,10 +823,13 @@ func (n *Node) Close() error {
 		}
 		n.connMu.Unlock()
 		n.wg.Wait()
-		// The event loop has exited: no Append can follow, so the journal
-		// can close (flushing its final state) without racing the loop.
-		if n.closeJournal != nil {
-			n.closeJournal()
+		// The event loops have exited: no Append can follow, so the
+		// journals can close (flushing their final state) without racing
+		// the loops.
+		for _, s := range n.shards {
+			if s.closeJournal != nil {
+				s.closeJournal()
+			}
 		}
 	})
 	return nil
@@ -1037,29 +892,47 @@ func (n *Node) serveConn(conn net.Conn) {
 			if n.cfg.Faults != nil && int(h.From) < n.cfg.N {
 				conn = n.cfg.Faults.WrapConn(conn, int(n.cfg.ID), int(h.From))
 			}
+			// A replication link only works between nodes agreeing on the
+			// shard count: per-shard seq domains would cross-contaminate
+			// otherwise. A pre-v5 dialer announces (implicitly) one shard,
+			// so a sharded acceptor refuses it — "single-shard mode" means
+			// two single-shard nodes interoperate exactly as before, not
+			// that a sharded node degrades. The dialer observes the refusal
+			// (or our mismatching shard count in the hello ack) and
+			// fail-stops its side of the link.
+			if h.Shards != uint64(n.cfg.Shards) {
+				return
+			}
+			shardMode := n.cfg.Shards > 1
 			if h.Version >= 2 {
 				// Seal the negotiation before any update arrives: the dialer
 				// streams v1 frames until this ack lands, so an ack lost to a
 				// connection reset only ever costs compactness, not data.
 				// The delivered watermark lets a v3 dialer prune its
-				// full-backlog offer down to what we actually lack.
+				// full-backlog offer down to what we actually lack; in shard
+				// mode the ack carries one watermark per shard.
 				var delivered uint64
+				shardDelivered := make([]uint64, n.cfg.Shards)
 				if int(h.From) >= 0 && int(h.From) < n.cfg.N {
-					if n.inLoop(func() { delivered = n.delivered[h.From] }) != nil {
-						return
+					for _, sh := range n.shards {
+						sh := sh
+						if sh.inLoop(func() { shardDelivered[sh.idx] = sh.delivered[h.From] }) != nil {
+							return
+						}
 					}
+					delivered = shardDelivered[0]
 				}
 				chosen := negotiateCodec(n.codec.ID(), h.Codec)
 				chosenComp := negotiateComp(n.comp, h.Comp)
 				w := wire.GetWriter()
-				appendHelloAck(w, chosen, delivered, chosenComp)
+				appendHelloAck(w, chosen, delivered, chosenComp, uint64(n.cfg.Shards), shardDelivered)
 				ok := n.writeFrame(conn, w.Bytes(), n.cfg.MaxFrame)
 				wire.PutWriter(w)
 				if !ok {
 					return
 				}
 			}
-			n.serveReplication(conn)
+			n.serveReplication(conn, shardMode)
 		}
 		return
 	case typ == tJoin:
@@ -1078,11 +951,15 @@ func (n *Node) serveConn(conn net.Conn) {
 
 // serveReplication applies a peer's update stream, answering each frame
 // with the cumulative ack for its origin. The ack is written only after
-// the event loop applied (or deduplicated) the update — an acked update is
-// a delivered update. A tBatch frame applies all its updates in one
-// event-loop turn and answers with one cumulative ack — the ack
-// coalescing half of the batching win.
-func (n *Node) serveReplication(conn net.Conn) {
+// the owning shard's event loop applied (or deduplicated) the update — an
+// acked update is a delivered update. A tBatch frame applies all its
+// updates in one event-loop turn and answers with one cumulative ack —
+// the ack coalescing half of the batching win. In shard mode every frame
+// is a tShardBatch naming the shard whose seq domain it belongs to, and
+// each earns a tShardAck; the classic frames are refused (and vice
+// versa), so a confused peer cannot slip one shard's updates into
+// another's counters.
+func (n *Node) serveReplication(conn net.Conn, shardMode bool) {
 	for {
 		b, err := recvFrame(conn, n.cfg.MaxFrame)
 		if err != nil {
@@ -1090,17 +967,34 @@ func (n *Node) serveReplication(conn net.Conn) {
 		}
 		r := wire.NewReader(b)
 		var us []protoUpdate
+		sh := n.s0()
 		switch r.Uvarint() {
 		case tUpdate:
+			if shardMode {
+				return
+			}
 			u, err := decodeUpdate(r)
 			if err != nil {
 				return
 			}
 			us = []protoUpdate{u}
 		case tBatch:
+			if shardMode {
+				return
+			}
 			if us, err = decodeBatch(r); err != nil || len(us) == 0 {
 				return
 			}
+		case tShardBatch:
+			if !shardMode {
+				return
+			}
+			shardIdx, sus, err := decodeShardBatch(r)
+			if err != nil || len(sus) == 0 || shardIdx >= uint64(len(n.shards)) {
+				return
+			}
+			sh = n.shards[shardIdx]
+			us = sus
 		default:
 			return
 		}
@@ -1109,9 +1003,9 @@ func (n *Node) serveReplication(conn net.Conn) {
 		}
 		var cum uint64
 		var ackable bool
-		if n.inLoop(func() {
+		if sh.inLoop(func() {
 			for _, u := range us {
-				cum, ackable = n.applyUpdate(u)
+				cum, ackable = sh.applyUpdate(u)
 				if !ackable {
 					return
 				}
@@ -1126,7 +1020,11 @@ func (n *Node) serveReplication(conn net.Conn) {
 			return
 		}
 		w := wire.GetWriter()
-		appendAck(w, cum)
+		if shardMode {
+			appendShardAck(w, uint64(sh.idx), cum)
+		} else {
+			appendAck(w, cum)
+		}
 		ok := n.writeFrame(conn, w.Bytes(), n.cfg.MaxFrame)
 		wire.PutWriter(w)
 		if !ok {
@@ -1194,16 +1092,29 @@ func (n *Node) serveClient(conn net.Conn, first []byte) {
 			}
 		case tHistory:
 			maxFrame = historyMaxFrame
-			if codec, comp := reqMeta(r); codec == wire.CodecBinary {
+			codec, comp := reqMeta(r)
+			// A shard index may trail the compression offer (v5): serve
+			// that shard's projection. The bare form gets shard 0, which
+			// on an unsharded node is the whole history.
+			shard := 0
+			if r.Remaining() > 0 {
+				shard = int(r.Uvarint())
+			}
+			hist, herr := n.ShardHistory(shard)
+			if herr != nil {
+				wire.PutWriter(w)
+				return
+			}
+			if codec == wire.CodecBinary {
 				w.Uvarint(tHistoryRespB)
-				if appendHistory(w, n.History()) != nil {
+				if appendHistory(w, hist) != nil {
 					wire.PutWriter(w)
 					return
 				}
 				reply = w.Bytes()
 				replyComp = comp
 			} else {
-				data, err := json.Marshal(n.History())
+				data, err := json.Marshal(hist)
 				if err != nil {
 					wire.PutWriter(w)
 					return

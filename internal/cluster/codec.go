@@ -141,7 +141,9 @@ func DecodeEventBinary(r *wire.Reader) (Event, error) {
 }
 
 // appendHistory appends a history's binary encoding: identity, then the
-// event count, then each event.
+// event count, then each event, then (trailing, v5) the shard identity —
+// an old reader stops after the last event and sees the single-shard
+// fields it knows about.
 func appendHistory(w *wire.Writer, h History) error {
 	w.Uvarint(uint64(h.Node))
 	w.Uvarint(uint64(h.N))
@@ -152,6 +154,8 @@ func appendHistory(w *wire.Writer, h History) error {
 			return err
 		}
 	}
+	w.Uvarint(uint64(h.Shard))
+	w.Uvarint(uint64(h.Shards))
 	return nil
 }
 
@@ -171,6 +175,10 @@ func decodeHistory(r *wire.Reader) (History, error) {
 			return h, err
 		}
 		h.Events = append(h.Events, ev)
+	}
+	if r.Remaining() > 0 {
+		h.Shard = int(r.Uvarint())
+		h.Shards = int(r.Uvarint())
 	}
 	return h, r.Err()
 }
@@ -204,6 +212,18 @@ func appendStats(w *wire.Writer, s Stats) {
 	w.Varint(s.SyncPulled)
 	w.Varint(s.SyncServed)
 	w.Varint(s.FailedLinks)
+	// Shard fields trail the membership fields the same way (v5).
+	w.Varint(int64(s.Shards))
+	shardSlice := func(vs []int64) {
+		w.Uvarint(uint64(len(vs)))
+		for _, v := range vs {
+			w.Varint(v)
+		}
+	}
+	shardSlice(s.ShardOps)
+	shardSlice(s.ShardSends)
+	shardSlice(s.ShardReceives)
+	shardSlice(s.ShardEvents)
 }
 
 // decodeStats decodes one stats snapshot encoded by appendStats.
@@ -231,6 +251,36 @@ func decodeStats(r *wire.Reader) (Stats, error) {
 	}
 	if r.Remaining() > 0 {
 		s.FailedLinks = r.Varint()
+	}
+	if r.Remaining() > 0 {
+		s.Shards = int(r.Varint())
+		shardSlice := func() ([]int64, error) {
+			n := r.Uvarint()
+			if n > uint64(r.Remaining()) {
+				return nil, fmt.Errorf("cluster: implausible shard counter count %d", n)
+			}
+			if n == 0 {
+				return nil, r.Err()
+			}
+			vs := make([]int64, n)
+			for i := range vs {
+				vs[i] = r.Varint()
+			}
+			return vs, r.Err()
+		}
+		var err error
+		if s.ShardOps, err = shardSlice(); err != nil {
+			return s, err
+		}
+		if s.ShardSends, err = shardSlice(); err != nil {
+			return s, err
+		}
+		if s.ShardReceives, err = shardSlice(); err != nil {
+			return s, err
+		}
+		if s.ShardEvents, err = shardSlice(); err != nil {
+			return s, err
+		}
 	}
 	return s, r.Err()
 }

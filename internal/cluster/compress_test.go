@@ -122,3 +122,71 @@ func FuzzDecompressFrame(f *testing.F) {
 		}
 	})
 }
+
+// TestCompressShrinkFailKeepsCallerBuffer is the regression for the pooled
+// writer discipline on the compression-floor boundary. A tBatch that sits
+// right at the floor, filled with incompressible bytes, fails the shrink
+// check inside maybeCompressPayload — the path where the function discards
+// its envelope writer. The caller's batch frame still lives in a pooled
+// writer the caller has NOT returned, so nothing maybeCompressPayload puts
+// back may alias it: a recycled aliasing writer would let the next
+// GetWriter clobber the frame bytes while the raw send is still reading
+// them. Churning the pool after the shrink-fail and checking the frame
+// against a snapshot pins exactly that.
+func TestCompressShrinkFailKeepsCallerBuffer(t *testing.T) {
+	// xorshift-filled bytes do not deflate: stored-block overhead plus the
+	// envelope header always lose, so the shrink check fails and the frame
+	// ships raw.
+	junk := make([]byte, 2048)
+	s := uint64(0x9E3779B97F4A7C15)
+	for i := range junk {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		junk[i] = byte(s)
+	}
+	for _, target := range []int{compressFloor - 1, compressFloor, compressFloor + 1} {
+		// Size the update so the whole tBatch frame payload lands exactly
+		// on target.
+		var enc *wire.Writer
+		for inner := target; inner > 0; inner-- {
+			w := wire.GetWriter()
+			appendBatch(w, 1, []protoUpdate{{Origin: 1, Seq: 9, Lamport: 300, Payload: junk[:inner]}})
+			if w.Len() == target {
+				enc = w
+				break
+			}
+			wire.PutWriter(w)
+		}
+		if enc == nil {
+			t.Fatalf("no batch lands on %d bytes", target)
+		}
+		payload := enc.Bytes()
+		snapshot := append([]byte(nil), payload...)
+
+		env := maybeCompressPayload(payload, wire.CompFlate)
+		if env != nil {
+			wire.PutWriter(env)
+			if target < compressFloor {
+				t.Fatalf("sub-floor %d-byte payload compressed", target)
+			}
+			t.Fatalf("incompressible %d-byte batch cleared the shrink check", target)
+		}
+
+		// The caller still holds enc checked out. Drain fresh writers from
+		// the pool and fill them: if the shrink-fail path returned a writer
+		// aliasing the batch frame, this churn rewrites the frame bytes.
+		churn := make([]*wire.Writer, 8)
+		for i := range churn {
+			churn[i] = wire.GetWriter()
+			churn[i].Raw(bytes.Repeat([]byte{0xEE}, target))
+		}
+		if !bytes.Equal(payload, snapshot) {
+			t.Fatalf("target %d: pool churn clobbered the caller's batch frame — an aliasing writer was returned to the pool", target)
+		}
+		for _, w := range churn {
+			wire.PutWriter(w)
+		}
+		wire.PutWriter(enc)
+	}
+}

@@ -83,6 +83,14 @@ type History struct {
 	N      int             `json:"n"`
 	Store  string          `json:"store"`
 	Events []Event         `json:"events"`
+	// Shard/Shards identify which shard's projection this history is when
+	// the recording node was sharded (zero-valued on unsharded nodes for
+	// compatibility). Histories from different shards have independent
+	// (Origin, Seq) domains and must never be merged together — each
+	// shard's histories merge and audit with their cross-node counterparts
+	// only, which Proposition 1's per-object projections make sound.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 }
 
 // Audit is the merged, checkable view of a cluster run: the global concrete

@@ -31,7 +31,7 @@ func TestLiveCheckerFlagsViolationDuringRun(t *testing.T) {
 		}
 		cfg := fastConfig(model.ReplicaID(i), n, st)
 		cfg.Faults = em
-		cfg.Tap = ck.Observe
+		cfg.Tap = func(_ int, ev livecheck.Event) { ck.Observe(ev) }
 		nd, err := NewNode(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -300,8 +300,9 @@ func (n *Node) joinVia(seedID model.ReplicaID, addr string) error {
 	// Digest exchange: per origin, what we hold vs what the donor holds.
 	local := make([]originDigest, 0, n.cfg.N)
 	if n.inLoop(func() {
+		s := n.s0()
 		for o := 0; o < n.cfg.N; o++ {
-			local = append(local, originDigest{Origin: model.ReplicaID(o), Count: n.tree.Count(o), Root: n.tree.Root(o)})
+			local = append(local, originDigest{Origin: model.ReplicaID(o), Count: s.tree.Count(o), Root: s.tree.Root(o)})
 		}
 	}) != nil {
 		return ErrClosed
@@ -363,7 +364,7 @@ func (n *Node) joinVia(seedID model.ReplicaID, addr string) error {
 func (n *Node) pullRange(conn net.Conn, origin model.ReplicaID, rd originDigest, readDeadline time.Duration) error {
 	for {
 		var have uint64
-		if n.inLoop(func() { have = n.delivered[origin] }) != nil {
+		if n.inLoop(func() { have = n.s0().delivered[origin] }) != nil {
 			return ErrClosed
 		}
 		if have >= rd.Count {
@@ -394,14 +395,15 @@ func (n *Node) pullRange(conn net.Conn, origin model.ReplicaID, rd originDigest,
 			var jerr error
 			ackable := true
 			if n.inLoop(func() {
+				s := n.s0()
 				for _, u := range us {
-					before := n.delivered[u.Origin]
-					cum, ackable = n.applyUpdate(u)
+					before := s.delivered[u.Origin]
+					cum, ackable = s.applyUpdate(u)
 					if !ackable {
-						jerr = n.jerr
+						jerr = s.jerr
 						return
 					}
-					if n.delivered[u.Origin] > before {
+					if s.delivered[u.Origin] > before {
 						applied++
 					}
 				}
@@ -424,7 +426,7 @@ func (n *Node) pullRange(conn net.Conn, origin model.ReplicaID, rd originDigest,
 	// End-to-end integrity: the prefix we now hold over the donor's count
 	// must reproduce the donor's root, or something shipped wrong.
 	var root membership.Hash
-	if n.inLoop(func() { root = n.tree.PrefixRoot(int(origin), rd.Count) }) != nil {
+	if n.inLoop(func() { root = n.s0().tree.PrefixRoot(int(origin), rd.Count) }) != nil {
 		return ErrClosed
 	}
 	if root != rd.Root {
@@ -456,7 +458,7 @@ func (n *Node) walkDivergence(conn net.Conn, origin model.ReplicaID, k uint64, r
 			child := 2*index + c
 			var lh membership.Hash
 			var lok bool
-			if n.inLoop(func() { lh, lok = n.tree.NodeHash(int(origin), k, level-1, child) }) != nil {
+			if n.inLoop(func() { lh, lok = n.s0().tree.NodeHash(int(origin), k, level-1, child) }) != nil {
 				return 0, 0, ErrClosed
 			}
 			if !n.sendFrame(conn, func(w *wire.Writer) { appendTreeReq(w, origin, k, level-1, child) }) {
@@ -532,7 +534,7 @@ func (n *Node) serveJoin(conn net.Conn, j joinReq) {
 			}
 			var h membership.Hash
 			var ok bool
-			if n.inLoop(func() { h, ok = n.tree.NodeHash(int(origin), prefix, level, index) }) != nil {
+			if n.inLoop(func() { h, ok = n.s0().tree.NodeHash(int(origin), prefix, level, index) }) != nil {
 				return
 			}
 			if !n.sendFrame(conn, func(w *wire.Writer) { appendTreeResp(w, h, ok) }) {
@@ -558,14 +560,15 @@ func (n *Node) serveJoin(conn net.Conn, j joinReq) {
 func (n *Node) digestResp(ds []originDigest) []originDigest {
 	resp := make([]originDigest, 0, len(ds))
 	n.inLoop(func() {
+		s := n.s0()
 		for _, d := range ds {
 			o := int(d.Origin)
 			if o < 0 || o >= n.cfg.N {
 				continue
 			}
-			e := originDigest{Origin: d.Origin, Count: n.tree.Count(o), Root: n.tree.Root(o)}
+			e := originDigest{Origin: d.Origin, Count: s.tree.Count(o), Root: s.tree.Root(o)}
 			if d.Count <= e.Count {
-				e.PrefixRoot = n.tree.PrefixRoot(o, d.Count)
+				e.PrefixRoot = s.tree.PrefixRoot(o, d.Count)
 			}
 			resp = append(resp, e)
 		}
@@ -616,7 +619,7 @@ func (n *Node) serveRange(conn net.Conn, origin model.ReplicaID, from, count uin
 		for idx < end && uint64(len(inflight)) < window {
 			var us []protoUpdate
 			if n.inLoop(func() {
-				all := n.updates[origin]
+				all := n.s0().updates[origin]
 				if end > uint64(len(all)) {
 					end = uint64(len(all)) // donor holds less than promised
 				}

@@ -14,30 +14,42 @@ import (
 	"repro/internal/wire"
 )
 
+// peerQueue is one shard's slice of a replication link: the unacked
+// updates of that shard's seq domain plus the ack/retransmit watermarks
+// that govern them. Shards have independent sequence counters, so the
+// watermarks cannot be shared — a cumulative ack only means anything
+// within its shard.
+type peerQueue struct {
+	queue     []protoUpdate // unacked updates in seq order
+	lastAcked uint64        // peer's cumulative ack
+	maxSent   uint64        // highest seq ever written (retransmit accounting)
+}
+
 // peerSender owns this node's half of one replication link: the connection
-// it dials to a single peer and the queue of updates that peer has not yet
-// acknowledged. It provides the reliable half of eventual delivery
-// (Definition 3): updates stay queued until cumulatively acked, are
-// retransmitted with exponential backoff while unacked, and survive
+// it dials to a single peer and, per shard, the queue of updates that peer
+// has not yet acknowledged. It provides the reliable half of eventual
+// delivery (Definition 3): updates stay queued until cumulatively acked,
+// are retransmitted with exponential backoff while unacked, and survive
 // connection loss through a reconnect loop — the dial-side never gives up,
-// so any network that heals eventually delivers.
+// so any network that heals eventually delivers. All shards multiplex over
+// the one connection; frames name their shard (tShardBatch) once both ends
+// have sealed an equal shard count.
 type peerSender struct {
 	node *Node
 	peer model.ReplicaID
 	addr string
 
-	mu        sync.Mutex
-	queue     []protoUpdate // unacked updates in seq order
-	lastAcked uint64        // peer's cumulative ack
-	maxSent   uint64        // highest seq ever written (retransmit accounting)
-	conn      net.Conn      // live connection, nil while dialing
-	failErr   error         // terminal error, set once before failed flips
+	mu      sync.Mutex
+	queues  []peerQueue // one per shard; index = shard
+	conn    net.Conn    // live connection, nil while dialing
+	failErr error       // terminal error, set once before failed flips
 
 	// failed latches a terminal sender condition: the queue head can never
 	// travel (an update over the frame limit fails EndFrame identically on
-	// every future connection). The run loop fail-stops instead of
-	// reconnecting around an undeliverable queue forever; Node.Stats counts
-	// failed links so the condition is observable.
+	// every future connection), or the peer announced a different shard
+	// count (no frame we send can ever be applied correctly). The run loop
+	// fail-stops instead of reconnecting forever; Node.Stats counts failed
+	// links so the condition is observable.
 	failed atomic.Bool
 
 	kick chan struct{} // cap 1: new updates enqueued
@@ -61,21 +73,22 @@ type peerSender struct {
 
 func newPeerSender(n *Node, peer model.ReplicaID, addr string) *peerSender {
 	return &peerSender{
-		node: n,
-		peer: peer,
-		addr: addr,
-		kick: make(chan struct{}, 1),
-		ackd: make(chan struct{}, 1),
-		done: make(chan struct{}),
-		rng:  rand.New(rand.NewSource(gen.SplitSeed(gen.SplitSeed(n.cfg.Seed, int(n.cfg.ID)), int(peer)))),
+		node:   n,
+		peer:   peer,
+		addr:   addr,
+		queues: make([]peerQueue, n.cfg.Shards),
+		kick:   make(chan struct{}, 1),
+		ackd:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(gen.SplitSeed(gen.SplitSeed(n.cfg.Seed, int(n.cfg.ID)), int(peer)))),
 	}
 }
 
-// enqueue appends a freshly minted update to the unacked queue and nudges
-// the writer. Called from the node's event loop.
-func (p *peerSender) enqueue(u protoUpdate) {
+// enqueue appends a freshly minted update to one shard's unacked queue and
+// nudges the writer. Called from that shard's event loop.
+func (p *peerSender) enqueue(shard int, u protoUpdate) {
 	p.mu.Lock()
-	p.queue = append(p.queue, u)
+	p.queues[shard].queue = append(p.queues[shard].queue, u)
 	p.mu.Unlock()
 	select {
 	case p.kick <- struct{}{}:
@@ -83,65 +96,95 @@ func (p *peerSender) enqueue(u protoUpdate) {
 	}
 }
 
-// drained reports whether every enqueued update has been acked — the
-// per-link half of the quiescence condition (Definition 17).
+// offerBacklog replaces one shard's queue wholesale with the shard's full
+// self-backlog (Connect's full-backlog offer for shards beyond 0, whose
+// offers cannot ride the registration turn — each shard's backlog snapshot
+// must be taken in that shard's own loop turn). Updates the peer already
+// acknowledged are dropped on the way in. Called from the shard's event
+// loop with the backlog read in the same turn.
+func (p *peerSender) offerBacklog(shard int, us []protoUpdate) {
+	p.mu.Lock()
+	q := &p.queues[shard]
+	q.queue = q.queue[:0]
+	for _, u := range us {
+		if u.Seq > q.lastAcked {
+			q.queue = append(q.queue, u)
+		}
+	}
+	p.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// drained reports whether every enqueued update of every shard has been
+// acked — the per-link half of the quiescence condition (Definition 17).
 func (p *peerSender) drained() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.queue) == 0
+	for i := range p.queues {
+		if len(p.queues[i].queue) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
-// ack applies a cumulative acknowledgement, pruning the queue. Pruning
-// compacts in place (copy-down) rather than re-slicing: queue[1:] keeps
-// the same backing array, whose dead head entries would pin every acked
-// payload in memory for as long as the link lives. The vacated tail slots
-// are zeroed so the payloads become collectable immediately.
-func (p *peerSender) ack(cum uint64) {
+// ack applies a cumulative acknowledgement to one shard's queue, pruning
+// it. Pruning compacts in place (copy-down) rather than re-slicing:
+// queue[1:] keeps the same backing array, whose dead head entries would
+// pin every acked payload in memory for as long as the link lives. The
+// vacated tail slots are zeroed so the payloads become collectable
+// immediately.
+func (p *peerSender) ack(shard int, cum uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if cum > p.lastAcked {
-		p.lastAcked = cum
+	q := &p.queues[shard]
+	if cum > q.lastAcked {
+		q.lastAcked = cum
 	}
 	n := 0
-	for n < len(p.queue) && p.queue[n].Seq <= p.lastAcked {
+	for n < len(q.queue) && q.queue[n].Seq <= q.lastAcked {
 		n++
 	}
 	if n == 0 {
 		return
 	}
-	m := copy(p.queue, p.queue[n:])
-	for i := m; i < len(p.queue); i++ {
-		p.queue[i] = protoUpdate{}
+	m := copy(q.queue, q.queue[n:])
+	for i := m; i < len(q.queue); i++ {
+		q.queue[i] = protoUpdate{}
 	}
-	p.queue = p.queue[:m]
+	q.queue = q.queue[:m]
 }
 
-// nextBatch returns up to max queued updates beyond sent — the next frame's
-// worth of work — plus how many of them are retransmissions (already written
-// on some connection). sizeCap bounds the summed payload bytes so the batch
-// fits the frame limit; the first update is always taken, so an oversized
-// single payload still travels (and fails the frame limit at write time,
-// exactly as it did unbatched).
-func (p *peerSender) nextBatch(sent uint64, max, sizeCap int) (us []protoUpdate, retransmits int64) {
+// nextBatch returns up to max queued updates of one shard beyond sent —
+// the next frame's worth of work — plus how many of them are
+// retransmissions (already written on some connection). sizeCap bounds the
+// summed payload bytes so the batch fits the frame limit; the first update
+// is always taken, so an oversized single payload still travels (and fails
+// the frame limit at write time, exactly as it did unbatched).
+func (p *peerSender) nextBatch(shard int, sent uint64, max, sizeCap int) (us []protoUpdate, retransmits int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	q := &p.queues[shard]
 	size := 0
-	for _, q := range p.queue {
-		if q.Seq <= sent {
+	for _, u := range q.queue {
+		if u.Seq <= sent {
 			continue
 		}
 		// Per-update budget: payload plus generous varint headroom.
-		cost := len(q.Payload) + 32
+		cost := len(u.Payload) + 32
 		if len(us) > 0 && (len(us) >= max || size+cost > sizeCap) {
 			break
 		}
-		if q.Seq <= p.maxSent {
+		if u.Seq <= q.maxSent {
 			retransmits++
 		} else {
-			p.maxSent = q.Seq
+			q.maxSent = u.Seq
 		}
 		size += cost
-		us = append(us, q)
+		us = append(us, u)
 	}
 	return us, retransmits
 }
@@ -257,18 +300,23 @@ func (p *peerSender) run() {
 }
 
 // serve drives one live connection: announce ourselves, stream unacked
-// updates in seq order, and retransmit from the peer's cumulative ack when
-// the retransmission timer fires without progress. A fresh connection
-// always rewinds to lastAcked, so nothing sent only on a dead connection is
-// lost.
+// updates in seq order (per shard), and retransmit from the peer's
+// cumulative acks when the retransmission timer fires without progress. A
+// fresh connection always rewinds each shard to its lastAcked, so nothing
+// sent only on a dead connection is lost.
 //
-// The hello carries our codec preference; until the peer's tHelloAck
-// arrives (on the same stream the acks use) the connection stays in the v1
-// fallback — one tUpdate per frame — so a v1 peer, which never acks the
-// hello, simply never upgrades and nothing blocks. Once the binary codec is
-// sealed, queued updates coalesce into tBatch frames of up to BatchMax.
+// The hello carries our codec preference and shard count; until the peer's
+// tHelloAck arrives (on the same stream the acks use) the connection stays
+// in the v1 fallback — one tUpdate per frame — so a v1 peer, which never
+// acks the hello, simply never upgrades and nothing blocks. Once the
+// binary codec is sealed, queued updates coalesce into tBatch frames of up
+// to BatchMax. A sharded sender is stricter: it sends NOTHING until the
+// ack confirms the peer speaks v5 with the same shard count (tShardBatch
+// frames have no v1 fallback), and a count mismatch latches the link
+// failed.
 func (p *peerSender) serve(conn net.Conn) {
 	cfg := p.node.cfg
+	shardMode := cfg.Shards > 1
 	p.setConn(conn)
 	defer func() {
 		p.setConn(nil)
@@ -283,7 +331,7 @@ func (p *peerSender) serve(conn net.Conn) {
 
 	enc.Reset()
 	enc.BeginFrame()
-	appendHello(enc, cfg.ID, p.node.codec.ID(), p.node.comp)
+	appendHello(enc, cfg.ID, p.node.codec.ID(), p.node.comp, uint64(cfg.Shards))
 	if p.writeEnc(conn, enc, wire.CompNone) != nil {
 		return
 	}
@@ -312,33 +360,58 @@ func (p *peerSender) serve(conn net.Conn) {
 			switch r.Uvarint() {
 			case tAck:
 				cum := r.Uvarint()
-				if r.Err() != nil {
+				if r.Err() != nil || shardMode {
 					return
 				}
-				p.ack(cum)
+				p.ack(0, cum)
+				select {
+				case p.ackd <- struct{}{}:
+				default:
+				}
+			case tShardAck:
+				shard, cum, err := decodeShardAck(r)
+				if err != nil || !shardMode || shard >= uint64(len(p.queues)) {
+					return
+				}
+				p.ack(int(shard), cum)
 				select {
 				case p.ackd <- struct{}{}:
 				default:
 				}
 			case tHelloAck:
-				codec, delivered, comp, err := decodeHelloAck(r)
+				a, err := decodeHelloAck(r)
 				if err != nil {
+					return
+				}
+				if a.Shards != uint64(cfg.Shards) {
+					// The peer speaks a different shard count (a pre-v5
+					// peer decodes as 1): no frame this sender emits can
+					// ever be applied correctly, on this connection or any
+					// future one. Terminal.
+					p.fail(fmt.Errorf("cluster: r%d→r%d shard count mismatch: local %d, peer %d",
+						cfg.ID, p.peer, cfg.Shards, a.Shards))
 					return
 				}
 				// Re-negotiate against our own preference: a confused peer
 				// must not talk us into a codec (or compressor) we never
 				// offered.
-				negotiated.Store(uint64(negotiateCodec(p.node.codec.ID(), codec)))
-				negComp.Store(negotiateComp(p.node.comp, comp))
-				// The peer's delivered watermark is a pre-ack: it prunes
+				negotiated.Store(uint64(negotiateCodec(p.node.codec.ID(), a.Codec)))
+				negComp.Store(negotiateComp(p.node.comp, a.Comp))
+				// The peer's delivered watermarks are pre-acks: they prune
 				// the full-backlog offer down to what the peer is missing
 				// before the first drain ships anything.
-				if delivered > 0 {
-					p.ack(delivered)
-					select {
-					case p.ackd <- struct{}{}:
-					default:
+				if shardMode {
+					for si, d := range a.ShardDelivered {
+						if si < len(p.queues) && d > 0 {
+							p.ack(si, d)
+						}
 					}
+				} else if a.Delivered > 0 {
+					p.ack(0, a.Delivered)
+				}
+				select {
+				case p.ackd <- struct{}{}:
+				default:
 				}
 				if !acked {
 					acked = true
@@ -351,19 +424,38 @@ func (p *peerSender) serve(conn net.Conn) {
 	}()
 
 	p.mu.Lock()
-	sent := p.lastAcked
-	backlog := len(p.queue)
+	sent := make([]uint64, len(p.queues))
+	backlog := 0
+	for i := range p.queues {
+		sent[i] = p.queues[i].lastAcked
+		backlog += len(p.queues[i].queue)
+	}
 	p.mu.Unlock()
 
-	// A reconnect with a deep backlog is exactly the case batching pays off
-	// most, but the v1-until-acked rule would stream the whole queue as
-	// singleton frames if the drain outruns the hello ack. So when batching
-	// is even possible — we offered binary and there is more than one update
-	// to ship — wait briefly for the ack before the first drain. The wait is
-	// bounded: a v1 peer (which never acks) costs one RetransmitMin stall
-	// per connection and then streams in the fallback as before, and a lost
-	// ack still only ever costs compactness, never data.
-	if cfg.BatchMax > 0 && p.node.codec.ID() != wire.CodecJSON && backlog > 1 {
+	if shardMode {
+		// No v1 fallback exists for shard frames: nothing may be sent until
+		// the peer's ack proves it speaks our shard count. The wait is
+		// bounded by the connection itself — a peer that never acks (or
+		// refused our hello) kills the connection, and run() redials.
+		select {
+		case <-helloAcked:
+		case <-connDead:
+			return
+		case <-p.done:
+			conn.Close()
+			<-connDead
+			return
+		}
+	} else if cfg.BatchMax > 0 && p.node.codec.ID() != wire.CodecJSON && backlog > 1 {
+		// A reconnect with a deep backlog is exactly the case batching pays
+		// off most, but the v1-until-acked rule would stream the whole queue
+		// as singleton frames if the drain outruns the hello ack. So when
+		// batching is even possible — we offered binary and there is more
+		// than one update to ship — wait briefly for the ack before the
+		// first drain. The wait is bounded: a v1 peer (which never acks)
+		// costs one RetransmitMin stall per connection and then streams in
+		// the fallback as before, and a lost ack still only ever costs
+		// compactness, never data.
 		t := time.NewTimer(cfg.RetransmitMin)
 		select {
 		case <-helloAcked:
@@ -377,53 +469,66 @@ func (p *peerSender) serve(conn net.Conn) {
 	timer := time.NewTimer(rt)
 	defer timer.Stop()
 	for {
-		for {
-			batching := wire.CodecID(negotiated.Load()) == wire.CodecBinary && cfg.BatchMax > 0
-			max := 1
-			if batching {
-				max = cfg.BatchMax
-			}
-			// Headroom for the batch header and per-update varints; payload
-			// budgeting is in nextBatch.
-			us, re := p.nextBatch(sent, max, cfg.MaxFrame-64)
-			if len(us) == 0 {
-				break
-			}
-			if re > 0 {
-				p.retransmits.Add(re)
-				cfg.Observer.AddRetransmits(re)
-			}
-			enc.Reset()
-			enc.BeginFrame()
-			frameComp := wire.CompNone
-			if len(us) == 1 {
-				appendUpdate(enc, us[0])
-			} else {
-				// Only multi-update tBatch frames clear the compression
-				// floor in practice; single updates stay raw so the
-				// latency-sensitive path never touches the compressor.
-				appendBatch(enc, us[0].Origin, us)
-				frameComp = negComp.Load()
-			}
-			if err := p.writeEnc(conn, enc, frameComp); err != nil {
-				var fse *wire.FrameSizeError
-				if errors.As(err, &fse) && len(us) == 1 {
-					// nextBatch always takes the first update alone when it
-					// cannot share a frame, so an EndFrame oversize on a
-					// singleton means this exact update can never travel:
-					// retrying or reconnecting would hot-loop forever on
-					// the same frame. Latch and fail-stop the link.
-					p.fail(fmt.Errorf("cluster: r%d→r%d update seq %d undeliverable: %w",
-						cfg.ID, p.peer, us[0].Seq, err))
+		for si := range sent {
+			for {
+				batching := cfg.BatchMax > 0 &&
+					(shardMode || wire.CodecID(negotiated.Load()) == wire.CodecBinary)
+				max := 1
+				if batching {
+					max = cfg.BatchMax
 				}
-				// Close before waiting: a shaped write can fail (link cut)
-				// while the TCP stream is healthy, and the ack reader only
-				// exits once the connection is gone.
-				conn.Close()
-				<-connDead
-				return
+				// Headroom for the batch header and per-update varints;
+				// payload budgeting is in nextBatch.
+				us, re := p.nextBatch(si, sent[si], max, cfg.MaxFrame-64)
+				if len(us) == 0 {
+					break
+				}
+				if re > 0 {
+					p.retransmits.Add(re)
+					cfg.Observer.AddRetransmits(re)
+				}
+				enc.Reset()
+				enc.BeginFrame()
+				frameComp := wire.CompNone
+				switch {
+				case shardMode:
+					// Shard frames are always batch-shaped; only
+					// multi-update ones clear the compression floor in
+					// practice, mirroring the single-shard rule.
+					appendShardBatch(enc, si, us[0].Origin, us)
+					if len(us) > 1 {
+						frameComp = negComp.Load()
+					}
+				case len(us) == 1:
+					appendUpdate(enc, us[0])
+				default:
+					// Only multi-update tBatch frames clear the compression
+					// floor in practice; single updates stay raw so the
+					// latency-sensitive path never touches the compressor.
+					appendBatch(enc, us[0].Origin, us)
+					frameComp = negComp.Load()
+				}
+				if err := p.writeEnc(conn, enc, frameComp); err != nil {
+					var fse *wire.FrameSizeError
+					if errors.As(err, &fse) && len(us) == 1 {
+						// nextBatch always takes the first update alone when
+						// it cannot share a frame, so an EndFrame oversize on
+						// a singleton means this exact update can never
+						// travel: retrying or reconnecting would hot-loop
+						// forever on the same frame. Latch and fail-stop the
+						// link.
+						p.fail(fmt.Errorf("cluster: r%d→r%d shard %d update seq %d undeliverable: %w",
+							cfg.ID, p.peer, si, us[0].Seq, err))
+					}
+					// Close before waiting: a shaped write can fail (link
+					// cut) while the TCP stream is healthy, and the ack
+					// reader only exits once the connection is gone.
+					conn.Close()
+					<-connDead
+					return
+				}
+				sent[si] = us[len(us)-1].Seq
 			}
-			sent = us[len(us)-1].Seq
 		}
 		if !timer.Stop() {
 			select {
@@ -449,9 +554,13 @@ func (p *peerSender) serve(conn net.Conn) {
 			rt = cfg.RetransmitMin
 		case <-timer.C:
 			p.mu.Lock()
-			outstanding := len(p.queue) > 0 && sent > p.lastAcked
-			if outstanding {
-				sent = p.lastAcked // rewind: rewrite everything unacked
+			outstanding := false
+			for si := range p.queues {
+				q := &p.queues[si]
+				if len(q.queue) > 0 && sent[si] > q.lastAcked {
+					sent[si] = q.lastAcked // rewind: rewrite everything unacked
+					outstanding = true
+				}
 			}
 			p.mu.Unlock()
 			if outstanding {
@@ -477,8 +586,12 @@ func (p *peerSender) writeEnc(conn net.Conn, enc *wire.Writer, comp uint64) erro
 	}
 	conn.SetWriteDeadline(time.Now().Add(p.node.cfg.WriteTimeout))
 	if env := maybeCompressPayload(frame[4:], comp); env != nil {
-		// The envelope lives in its own pooled writer, so the compressed
-		// path goes through WriteFrame (header + payload, two writes).
+		// The envelope lives in its own pooled writer; it is returned to
+		// the pool only here, after the write, never inside
+		// maybeCompressPayload — enc (which frame aliases) is still checked
+		// out, and the same discipline keeps any future compressor from
+		// recycling a buffer a caller still reads. The compressed path goes
+		// through WriteFrame (header + payload, two writes).
 		nBytes, werr := wire.WriteFrame(conn, env.Bytes(), p.node.cfg.MaxFrame)
 		wire.PutWriter(env)
 		p.node.bytesOut.Add(int64(nBytes))

@@ -21,15 +21,15 @@ import (
 // every acked payload for as long as the link lived. Pruning must compact
 // and zero the vacated slots so acked payloads become collectable.
 func TestAckPruneReleasesPayloads(t *testing.T) {
-	p := &peerSender{kick: make(chan struct{}, 1)}
+	p := &peerSender{kick: make(chan struct{}, 1), queues: make([]peerQueue, 1)}
 	const n = 64
 	var finalized atomic.Int64
 	for i := 1; i <= n; i++ {
 		payload := make([]byte, 1024)
 		runtime.SetFinalizer(&payload[0], func(*byte) { finalized.Add(1) })
-		p.enqueue(protoUpdate{Origin: 0, Seq: uint64(i), Payload: payload})
+		p.enqueue(0, protoUpdate{Origin: 0, Seq: uint64(i), Payload: payload})
 	}
-	p.ack(n - 1) // everything but the newest update is acked
+	p.ack(0, n-1) // everything but the newest update is acked
 
 	deadline := time.Now().Add(5 * time.Second)
 	for finalized.Load() < n-1 {
@@ -44,8 +44,8 @@ func TestAckPruneReleasesPayloads(t *testing.T) {
 	// The unacked tail must survive pruning intact.
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.queue) != 1 || p.queue[0].Seq != n || p.queue[0].Payload == nil {
-		t.Fatalf("queue after prune = %+v, want the single unacked update", p.queue)
+	if q := p.queues[0].queue; len(q) != 1 || q[0].Seq != n || q[0].Payload == nil {
+		t.Fatalf("queue after prune = %+v, want the single unacked update", q)
 	}
 }
 

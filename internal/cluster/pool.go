@@ -111,22 +111,39 @@ func (p *Pool) get() (*Client, error) {
 
 // release returns a checked-out connection. An operation error discards it
 // — the stream may be desynced — leaving an empty slot to redial later.
+//
+// The closed check and the slot return must sit in one critical section:
+// checking under the lock but sending after releasing it left a window
+// where Close could set the flag and drain free between the two, and the
+// late `p.free <- c` then parked a live connection in a channel nobody
+// would ever drain again — a leaked socket per racing checkout. Holding
+// p.mu across the send is safe because free is buffered to Size and every
+// checked-out connection owns exactly one slot: the send can never block.
 func (p *Pool) release(c *Client, err error) {
 	if err != nil {
 		c.Close()
 		c = nil
 	}
 	p.mu.Lock()
-	closed := p.closed
-	p.mu.Unlock()
-	if closed {
+	defer p.mu.Unlock()
+	if p.closed {
 		if c != nil {
 			c.Close()
 		}
 		return
 	}
+	if testPoolReleaseGap != nil {
+		testPoolReleaseGap()
+	}
 	p.free <- c
 }
+
+// testPoolReleaseGap, when set by a test, runs between release's closed
+// check and its slot send. Both now sit under p.mu, so a concurrent Close
+// cannot interleave there no matter how long the hook stalls — which is
+// exactly what the regression test for the old check/unlock/send sequence
+// proves by stalling it.
+var testPoolReleaseGap func()
 
 // Do performs one operation through a pooled connection.
 func (p *Pool) Do(obj model.ObjectID, op model.Operation) (model.Response, error) {

@@ -206,3 +206,62 @@ func TestPoolLazyDial(t *testing.T) {
 		t.Fatal("failed dials leaked pool slots")
 	}
 }
+
+// TestPoolCloseRacesCheckout is the regression for the release/Close race:
+// release checked p.closed under the lock but sent the slot back after
+// dropping it, so a Close that set the flag and drained free in that window
+// left the late-returned live connection parked in the channel forever — a
+// leaked socket per racing checkout. After Close and every in-flight
+// operation have settled, the free channel must hold no live connection.
+func TestPoolCloseRacesCheckout(t *testing.T) {
+	nd := startPoolNode(t)
+	seed, err := Dial(nd.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	pool, err := NewPool(nd.Addr(), PoolOptions{Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-pool.free // take the empty slot like a checkout, without the dial
+
+	// Stall release exactly where the old code dropped p.mu before sending
+	// the slot back, and fire Close into that window. With check and send in
+	// one critical section Close must block until the slot is home and then
+	// drain it; the old sequence let Close finish draining first, so the
+	// late send parked the live connection in free forever.
+	inWindow := make(chan struct{})
+	proceed := make(chan struct{})
+	testPoolReleaseGap = func() {
+		close(inWindow)
+		<-proceed
+	}
+	defer func() { testPoolReleaseGap = nil }()
+
+	releaseDone := make(chan struct{})
+	go func() {
+		defer close(releaseDone)
+		pool.release(seed, nil)
+	}()
+	<-inWindow
+	closeDone := make(chan struct{})
+	go func() {
+		defer close(closeDone)
+		pool.Close()
+	}()
+	// Give Close every chance to run: pre-fix it completes inside the
+	// window; post-fix it is parked on p.mu until release finishes.
+	time.Sleep(50 * time.Millisecond)
+	close(proceed)
+	<-releaseDone
+	<-closeDone
+
+	select {
+	case leaked := <-pool.free:
+		if leaked != nil {
+			t.Fatal("live connection leaked into the closed pool's free channel")
+		}
+	default:
+	}
+}

@@ -42,6 +42,14 @@ const (
 	tBatch        = 11 // {origin, count, (seq, lamport, payload)...}
 	tStatsRespB   = 12 // {binary stats}
 	tHistoryRespB = 13 // {binary history}
+
+	// Shard-multiplexed replication (v5). One connection carries every
+	// shard's update stream; each frame names the shard whose independent
+	// seq domain it belongs to. Only used once both ends have sealed an
+	// equal shard count via the hello exchange — a single-shard link never
+	// emits them, so pre-v5 peers interoperate untouched.
+	tShardBatch = 25 // {shard, origin, count, (seq, lamport, payload)...}
+	tShardAck   = 26 // {shard, cumSeq}
 )
 
 // helloVersion is the protocol version a hello announces. Version 1 is
@@ -53,8 +61,11 @@ const (
 // in proto_member.go; version 4 adds per-frame compression (a trailing
 // algorithm ID on tHello/tHelloAck/tJoin/tJoinAck negotiated min-wins
 // like the codec, plus the tCompressed envelope in compress.go) and the
-// windowed range pulls (a trailing credit window on tRangeReq).
-const helloVersion = 4
+// windowed range pulls (a trailing credit window on tRangeReq); version 5
+// adds the shard count (trailing on tHello/tHelloAck) and the
+// shard-multiplexed tShardBatch/tShardAck frames, plus per-shard
+// delivered watermarks trailing the tHelloAck.
+const helloVersion = 5
 
 // historyMaxFrame is the frame limit for history transfers, which carry a
 // whole recorded execution and dwarf every other frame.
@@ -68,30 +79,35 @@ type protoUpdate struct {
 }
 
 // hello carries a decoded tHello: the v1 fields plus the negotiation
-// extension (zero-valued when the dialer spoke v1).
+// extension (zero-valued when the dialer spoke v1). Shards is the dialer's
+// shard count; pre-v5 hellos decode it as 1 (single-shard mode).
 type hello struct {
 	From    model.ReplicaID
 	Version uint64
 	Codec   wire.CodecID
 	Comp    uint64
+	Shards  uint64
 }
 
-// appendHello encodes a v4 hello into w. The extension fields trail the v1
+// appendHello encodes a v5 hello into w. The extension fields trail the v1
 // layout, which is what keeps old receivers compatible: they stop reading
-// after From (and a v2/v3 receiver stops before the compression ID).
-func appendHello(w *wire.Writer, from model.ReplicaID, codec wire.CodecID, comp uint64) {
+// after From (and a v2/v3 receiver stops before the compression ID, a v4
+// receiver before the shard count).
+func appendHello(w *wire.Writer, from model.ReplicaID, codec wire.CodecID, comp uint64, shards uint64) {
 	w.Uvarint(tHello)
 	w.Uvarint(uint64(from))
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(codec))
 	w.Uvarint(comp)
+	w.Uvarint(shards)
 }
 
 // decodeHello decodes a hello whose type tag has already been read. A bare
 // v1 hello (nothing after From) yields Version 1 and the JSON codec; a
-// pre-v4 hello has no compression ID and yields wire.CompNone.
+// pre-v4 hello has no compression ID and yields wire.CompNone; a pre-v5
+// hello has no shard count and yields 1.
 func decodeHello(r *wire.Reader) (hello, error) {
-	h := hello{Version: 1, Codec: wire.CodecJSON}
+	h := hello{Version: 1, Codec: wire.CodecJSON, Shards: 1}
 	h.From = model.ReplicaID(r.Uvarint())
 	if err := r.Err(); err != nil {
 		return h, err
@@ -108,6 +124,13 @@ func decodeHello(r *wire.Reader) (hello, error) {
 		return h, nil
 	}
 	h.Comp = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return h, err
+	}
+	if r.Remaining() == 0 {
+		return h, nil
+	}
+	h.Shards = r.Uvarint()
 	return h, r.Err()
 }
 
@@ -118,36 +141,74 @@ func decodeHello(r *wire.Reader) (hello, error) {
 // re-shipped history on reconnect. A v2 dialer stops reading after the
 // codec and retransmits the backlog as before — correct, just chattier.
 // comp is the negotiated compression algorithm (v4 extension, trailing so
-// a v3 dialer stops after delivered and stays uncompressed).
-func appendHelloAck(w *wire.Writer, codec wire.CodecID, delivered uint64, comp uint64) {
+// a v3 dialer stops after delivered and stays uncompressed). shards is the
+// acceptor's shard count and shardDelivered its per-shard delivered
+// watermarks for the dialer's origin (v5 extension; a sharded dialer needs
+// one watermark per independent seq domain, the first of which duplicates
+// the v3 delivered field so older dialers keep their pre-ack).
+func appendHelloAck(w *wire.Writer, codec wire.CodecID, delivered uint64, comp uint64, shards uint64, shardDelivered []uint64) {
 	w.Uvarint(tHelloAck)
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(codec))
 	w.Uvarint(delivered)
 	w.Uvarint(comp)
+	w.Uvarint(shards)
+	w.Uvarint(uint64(len(shardDelivered)))
+	for _, d := range shardDelivered {
+		w.Uvarint(d)
+	}
+}
+
+// helloAck carries a decoded tHelloAck.
+type helloAck struct {
+	Codec          wire.CodecID
+	Delivered      uint64
+	Comp           uint64
+	Shards         uint64
+	ShardDelivered []uint64
 }
 
 // decodeHelloAck decodes a tHelloAck whose type tag has already been read.
 // A v2 ack has no delivered watermark; it decodes as 0, which pre-acks
-// nothing. A pre-v4 ack has no compression ID: wire.CompNone.
-func decodeHelloAck(r *wire.Reader) (codec wire.CodecID, delivered, comp uint64, err error) {
+// nothing. A pre-v4 ack has no compression ID: wire.CompNone. A pre-v5 ack
+// has no shard count: 1, with no per-shard watermarks.
+func decodeHelloAck(r *wire.Reader) (helloAck, error) {
+	a := helloAck{Shards: 1}
 	r.Uvarint() // version: informational, the codec field is what binds
-	codec = wire.CodecID(r.Uvarint())
+	a.Codec = wire.CodecID(r.Uvarint())
 	if err := r.Err(); err != nil {
-		return codec, 0, 0, err
+		return a, err
 	}
 	if r.Remaining() == 0 {
-		return codec, 0, 0, nil
+		return a, nil
 	}
-	delivered = r.Uvarint()
+	a.Delivered = r.Uvarint()
 	if err := r.Err(); err != nil {
-		return codec, delivered, 0, err
+		return a, err
 	}
 	if r.Remaining() == 0 {
-		return codec, delivered, 0, nil
+		return a, nil
 	}
-	comp = r.Uvarint()
-	return codec, delivered, comp, r.Err()
+	a.Comp = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return a, err
+	}
+	if r.Remaining() == 0 {
+		return a, nil
+	}
+	a.Shards = r.Uvarint()
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return a, err
+	}
+	if n > uint64(r.Remaining()) {
+		return a, fmt.Errorf("cluster: implausible shard watermark count %d", n)
+	}
+	a.ShardDelivered = make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		a.ShardDelivered = append(a.ShardDelivered, r.Uvarint())
+	}
+	return a, r.Err()
 }
 
 // negotiateCodec picks the connection codec from the two ends' preferences:
@@ -253,6 +314,46 @@ func decodeBatch(r *wire.Reader) ([]protoUpdate, error) {
 	return us, nil
 }
 
+// appendShardBatch encodes a tShardBatch frame: the shard index, then the
+// same layout as tBatch. Sharded links carry every shard's stream over one
+// connection, so the shard index is what routes the frame to the right seq
+// domain on the receiving side.
+func appendShardBatch(w *wire.Writer, shard int, origin model.ReplicaID, us []protoUpdate) {
+	w.Uvarint(tShardBatch)
+	w.Uvarint(uint64(shard))
+	w.Uvarint(uint64(origin))
+	w.Uvarint(uint64(len(us)))
+	for _, u := range us {
+		w.Uvarint(u.Seq)
+		w.Uvarint(u.Lamport)
+		w.Uvarint(uint64(len(u.Payload)))
+		w.Raw(u.Payload)
+	}
+}
+
+// decodeShardBatch decodes a tShardBatch body. Payloads alias the frame
+// buffer, like decodeBatch's.
+func decodeShardBatch(r *wire.Reader) (shard uint64, us []protoUpdate, err error) {
+	shard = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return shard, nil, err
+	}
+	us, err = decodeBatch(r)
+	return shard, us, err
+}
+
+func appendShardAck(w *wire.Writer, shard uint64, cum uint64) {
+	w.Uvarint(tShardAck)
+	w.Uvarint(shard)
+	w.Uvarint(cum)
+}
+
+func decodeShardAck(r *wire.Reader) (shard, cum uint64, err error) {
+	shard = r.Uvarint()
+	cum = r.Uvarint()
+	return shard, cum, r.Err()
+}
+
 func appendAck(w *wire.Writer, cum uint64) {
 	w.Uvarint(tAck)
 	w.Uvarint(cum)
@@ -339,6 +440,19 @@ func encodeStructuredReq(typ uint64, codec wire.CodecID, comp uint64) []byte {
 	w.Uvarint(typ)
 	w.Uvarint(uint64(codec))
 	w.Uvarint(comp)
+	return w.Bytes()
+}
+
+// encodeStructuredReqShard is encodeStructuredReq with a trailing shard
+// index (v5): a tHistory request for one shard's projection. Old nodes stop
+// reading after the compression offer and answer their whole (single-shard)
+// history, which is exactly shard 0's projection.
+func encodeStructuredReqShard(typ uint64, codec wire.CodecID, comp uint64, shard uint64) []byte {
+	w := wire.NewWriter()
+	w.Uvarint(typ)
+	w.Uvarint(uint64(codec))
+	w.Uvarint(comp)
+	w.Uvarint(shard)
 	return w.Bytes()
 }
 

@@ -16,7 +16,7 @@ import (
 
 func TestHelloV2RoundTrip(t *testing.T) {
 	w := wire.NewWriter()
-	appendHello(w, 5, wire.CodecBinary, wire.CompFlate)
+	appendHello(w, 5, wire.CodecBinary, wire.CompFlate, 4)
 	r := wire.NewReader(w.Bytes())
 	if typ := r.Uvarint(); typ != tHello {
 		t.Fatalf("type = %d, want tHello", typ)
@@ -25,7 +25,7 @@ func TestHelloV2RoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.From != 5 || h.Version != helloVersion || h.Codec != wire.CodecBinary || h.Comp != wire.CompFlate {
+	if h.From != 5 || h.Version != helloVersion || h.Codec != wire.CodecBinary || h.Comp != wire.CompFlate || h.Shards != 4 {
 		t.Fatalf("hello = %+v", h)
 	}
 }
@@ -41,8 +41,8 @@ func TestHelloV3Compat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.From != 7 || h.Version != 3 || h.Codec != wire.CodecBinary || h.Comp != wire.CompNone {
-		t.Fatalf("v3 hello = %+v, want comp none", h)
+	if h.From != 7 || h.Version != 3 || h.Codec != wire.CodecBinary || h.Comp != wire.CompNone || h.Shards != 1 {
+		t.Fatalf("v3 hello = %+v, want comp none, one shard", h)
 	}
 }
 
@@ -59,7 +59,7 @@ func TestHelloV1Compat(t *testing.T) {
 	}
 
 	w := wire.NewWriter()
-	appendHello(w, 3, wire.CodecBinary, wire.CompFlate)
+	appendHello(w, 3, wire.CodecBinary, wire.CompFlate, 1)
 	r := wire.NewReader(w.Bytes())
 	r.Uvarint() // type, as the v1 receiver reads it
 	if from := r.Uvarint(); from != 3 || r.Err() != nil {
@@ -70,39 +70,95 @@ func TestHelloV1Compat(t *testing.T) {
 
 func TestHelloAckRoundTrip(t *testing.T) {
 	w := wire.NewWriter()
-	appendHelloAck(w, wire.CodecBinary, 42, wire.CompFlate)
+	appendHelloAck(w, wire.CodecBinary, 42, wire.CompFlate, 4, []uint64{42, 7, 0, 3})
 	r := wire.NewReader(w.Bytes())
 	if typ := r.Uvarint(); typ != tHelloAck {
 		t.Fatalf("type = %d, want tHelloAck", typ)
 	}
-	codec, delivered, comp, err := decodeHelloAck(r)
+	a, err := decodeHelloAck(r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if codec != wire.CodecBinary || delivered != 42 || comp != wire.CompFlate {
-		t.Fatalf("ack = (%d, %d, %d), want (binary, 42, flate)", codec, delivered, comp)
+	if a.Codec != wire.CodecBinary || a.Delivered != 42 || a.Comp != wire.CompFlate || a.Shards != 4 {
+		t.Fatalf("ack = %+v, want (binary, 42, flate, 4 shards)", a)
+	}
+	if len(a.ShardDelivered) != 4 || a.ShardDelivered[0] != 42 || a.ShardDelivered[1] != 7 ||
+		a.ShardDelivered[2] != 0 || a.ShardDelivered[3] != 3 {
+		t.Fatalf("shard watermarks = %v, want [42 7 0 3]", a.ShardDelivered)
 	}
 
 	// A v2 ack (no trailing watermark) still decodes, with delivered 0:
 	// the dialer then offers its full backlog and cumulative dedup absorbs
 	// the re-offers, exactly the pre-v3 behavior. No compression ID either,
-	// so the link stays uncompressed.
+	// so the link stays uncompressed, and no shard count, so single-shard.
 	w = wire.NewWriter()
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(wire.CodecJSON))
-	codec, delivered, comp, err = decodeHelloAck(wire.NewReader(w.Bytes()))
-	if err != nil || codec != wire.CodecJSON || delivered != 0 || comp != wire.CompNone {
-		t.Fatalf("v2 ack = (%d, %d, %d, %v), want (json, 0, none, nil)", codec, delivered, comp, err)
+	a, err = decodeHelloAck(wire.NewReader(w.Bytes()))
+	if err != nil || a.Codec != wire.CodecJSON || a.Delivered != 0 || a.Comp != wire.CompNone || a.Shards != 1 {
+		t.Fatalf("v2 ack = (%+v, %v), want (json, 0, none, 1 shard)", a, err)
 	}
 
-	// A v3 ack (watermark but no compression ID) also decodes with CompNone.
+	// A v3 ack (watermark but no compression ID) also decodes with CompNone
+	// and one shard.
 	w = wire.NewWriter()
 	w.Uvarint(helloVersion)
 	w.Uvarint(uint64(wire.CodecBinary))
 	w.Uvarint(9)
-	codec, delivered, comp, err = decodeHelloAck(wire.NewReader(w.Bytes()))
-	if err != nil || codec != wire.CodecBinary || delivered != 9 || comp != wire.CompNone {
-		t.Fatalf("v3 ack = (%d, %d, %d, %v), want (binary, 9, none, nil)", codec, delivered, comp, err)
+	a, err = decodeHelloAck(wire.NewReader(w.Bytes()))
+	if err != nil || a.Codec != wire.CodecBinary || a.Delivered != 9 || a.Comp != wire.CompNone || a.Shards != 1 {
+		t.Fatalf("v3 ack = (%+v, %v), want (binary, 9, none, 1 shard)", a, err)
+	}
+
+	// A v4 ack (compression ID but no shard count) also decodes single-shard.
+	w = wire.NewWriter()
+	w.Uvarint(helloVersion)
+	w.Uvarint(uint64(wire.CodecBinary))
+	w.Uvarint(9)
+	w.Uvarint(wire.CompFlate)
+	a, err = decodeHelloAck(wire.NewReader(w.Bytes()))
+	if err != nil || a.Comp != wire.CompFlate || a.Shards != 1 || a.ShardDelivered != nil {
+		t.Fatalf("v4 ack = (%+v, %v), want (flate, 1 shard, no watermarks)", a, err)
+	}
+}
+
+// TestShardBatchRoundTrip pins the v5 shard-multiplexed frames: a
+// tShardBatch carries the shard index ahead of the tBatch layout, and a
+// tShardAck pairs the shard with its cumulative ack.
+func TestShardBatchRoundTrip(t *testing.T) {
+	us := []protoUpdate{
+		{Origin: 2, Seq: 1, Lamport: 10, Payload: []byte("alpha")},
+		{Origin: 2, Seq: 2, Lamport: 11, Payload: nil},
+	}
+	w := wire.NewWriter()
+	appendShardBatch(w, 3, 2, us)
+	r := wire.NewReader(w.Bytes())
+	if typ := r.Uvarint(); typ != tShardBatch {
+		t.Fatalf("type = %d, want tShardBatch", typ)
+	}
+	shard, got, err := decodeShardBatch(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 3 || len(got) != len(us) {
+		t.Fatalf("shard %d with %d updates, want shard 3 with %d", shard, len(got), len(us))
+	}
+	for i := range us {
+		if got[i].Origin != us[i].Origin || got[i].Seq != us[i].Seq ||
+			got[i].Lamport != us[i].Lamport || !bytes.Equal(got[i].Payload, us[i].Payload) {
+			t.Fatalf("update %d = %+v, want %+v", i, got[i], us[i])
+		}
+	}
+
+	w = wire.NewWriter()
+	appendShardAck(w, 5, 99)
+	r = wire.NewReader(w.Bytes())
+	if typ := r.Uvarint(); typ != tShardAck {
+		t.Fatalf("type = %d, want tShardAck", typ)
+	}
+	s, cum, err := decodeShardAck(r)
+	if err != nil || s != 5 || cum != 99 {
+		t.Fatalf("shard ack = (%d, %d, %v), want (5, 99, nil)", s, cum, err)
 	}
 }
 
@@ -278,8 +334,29 @@ func TestStatsBinaryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != s {
-		t.Fatalf("stats = %+v, want %+v", got, s)
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(s)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("stats:\n got %s\nwant %s", gj, wj)
+	}
+
+	// A sharded node's stats carry the per-shard breakdowns (trailing v5
+	// extension) and must survive the round trip too.
+	s.Shards = 2
+	s.ShardOps = []int64{60, 40}
+	s.ShardSends = []int64{25, 15}
+	s.ShardReceives = []int64{20, 18}
+	s.ShardEvents = []int64{105, 73}
+	w = wire.NewWriter()
+	appendStats(w, s)
+	got, err = decodeStats(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, _ = json.Marshal(got)
+	wj, _ = json.Marshal(s)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("sharded stats:\n got %s\nwant %s", gj, wj)
 	}
 }
 
@@ -297,8 +374,19 @@ func TestGoldenWireVectors(t *testing.T) {
 		name string
 		data []byte
 	}{
-		{"hello_v2", enc(func(w *wire.Writer) { appendHello(w, 2, wire.CodecBinary, wire.CompFlate) })},
-		{"hello_ack", enc(func(w *wire.Writer) { appendHelloAck(w, wire.CodecJSON, 17, wire.CompFlate) })},
+		{"hello_v2", enc(func(w *wire.Writer) { appendHello(w, 2, wire.CodecBinary, wire.CompFlate, 1) })},
+		{"hello_ack", enc(func(w *wire.Writer) { appendHelloAck(w, wire.CodecJSON, 17, wire.CompFlate, 1, nil) })},
+		{"hello_sharded", enc(func(w *wire.Writer) { appendHello(w, 2, wire.CodecBinary, wire.CompFlate, 8) })},
+		{"hello_ack_sharded", enc(func(w *wire.Writer) {
+			appendHelloAck(w, wire.CodecBinary, 17, wire.CompFlate, 4, []uint64{17, 0, 9, 2})
+		})},
+		{"shard_batch", enc(func(w *wire.Writer) {
+			appendShardBatch(w, 3, 1, []protoUpdate{
+				{Origin: 1, Seq: 7, Lamport: 300, Payload: []byte{0xca, 0xfe}},
+				{Origin: 1, Seq: 8, Lamport: 301, Payload: []byte{0xba, 0xbe, 0x00}},
+			})
+		})},
+		{"shard_ack", enc(func(w *wire.Writer) { appendShardAck(w, 3, 130) })},
 		{"update", enc(func(w *wire.Writer) {
 			appendUpdate(w, protoUpdate{Origin: 1, Seq: 7, Lamport: 300, Payload: []byte{0xca, 0xfe}})
 		})},

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/livecheck"
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/store"
+
+	_ "repro/internal/store/causal"
+	_ "repro/internal/store/lww"
+)
+
+// TestShardRouterDistribution: FNV-1a routing must be deterministic, stay
+// in range, and spread a large flat keyspace evenly enough that no shard
+// carries a pathological share.
+func TestShardRouterDistribution(t *testing.T) {
+	one := NewShardRouter(1)
+	if one.Route("anything") != 0 || one.Route("") != 0 {
+		t.Fatal("single-shard router must route everything to shard 0")
+	}
+
+	const shards = 8
+	const keys = 100000
+	r := NewShardRouter(shards)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		obj := model.ObjectID(fmt.Sprintf("k%06d", i))
+		s := r.Route(obj)
+		if s < 0 || s >= shards {
+			t.Fatalf("key %q routed to %d, outside [0,%d)", obj, s, shards)
+		}
+		if s != r.Route(obj) {
+			t.Fatalf("key %q routed twice to different shards", obj)
+		}
+		counts[s]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// Uniform would be 12500 per shard; FNV over a flat keyspace stays
+	// within a few percent. 1.25 is far looser than observed but tight
+	// enough to catch a broken hash fold.
+	if ratio := float64(max) / float64(min); ratio > 1.25 {
+		t.Fatalf("shard load ratio %.3f (min %d, max %d) — routing is skewed", ratio, min, max)
+	}
+}
+
+// shardedObjects returns objects covering every shard of the router, so a
+// test workload exercises each independent domain.
+func shardedObjects(t *testing.T, shards, atLeast int) []model.ObjectID {
+	t.Helper()
+	r := NewShardRouter(shards)
+	covered := make(map[int]bool)
+	var objs []model.ObjectID
+	for i := 0; len(objs) < atLeast || len(covered) < shards; i++ {
+		if i > 10000 {
+			t.Fatalf("could not cover %d shards with %d keys", shards, i)
+		}
+		obj := model.ObjectID(fmt.Sprintf("k%04d", i))
+		objs = append(objs, obj)
+		covered[r.Route(obj)] = true
+	}
+	return objs
+}
+
+// TestShardedClusterConvergesAndAuditsPerShard is the tentpole's end-to-end
+// check: a 3-node cluster with 4 shards per node takes writes from every
+// node across keys covering every shard, replicates over the multiplexed
+// links, quiesces, and converges. The recorded histories are then audited
+// PER SHARD — same-shard histories across nodes merge into a well-formed
+// execution; different shards never mix (Proposition 1's per-object
+// projections: no object spans shards, so the full execution satisfies the
+// checked guarantees iff every shard's projection does). The online
+// ShardSet must agree with the offline verdicts.
+func TestShardedClusterConvergesAndAuditsPerShard(t *testing.T) {
+	const n = 3
+	const shards = 4
+	ck := livecheck.NewShardSet(n, shards, livecheck.Options{Types: spec.MVRTypes()})
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		st, err := store.Open("causal", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig(model.ReplicaID(i), n, st)
+		cfg.Shards = shards
+		cfg.Tap = ck.Observe
+		nd, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	for i, nd := range nodes {
+		peers := make(map[model.ReplicaID]string)
+		for j, other := range nodes {
+			if j != i {
+				peers[model.ReplicaID(j)] = other.Addr()
+			}
+		}
+		if err := nd.Connect(peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	objs := shardedObjects(t, shards, 24)
+	for i, obj := range objs {
+		nd := nodes[i%n]
+		if _, err := nd.Do(obj, model.Write(model.Value(fmt.Sprintf("v%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !WaitQuiesced(nodes, 15*time.Second) {
+		t.Fatal("sharded cluster did not quiesce")
+	}
+	doers := make([]Doer, n)
+	for i, nd := range nodes {
+		doers[i] = nd
+	}
+	if err := CheckConverged(doers, objs); err != nil {
+		t.Fatalf("sharded cluster did not converge: %v", err)
+	}
+
+	// Per-shard audits: each shard's histories merge and check on their own.
+	router := NewShardRouter(shards)
+	totalEvents := 0
+	for s := 0; s < shards; s++ {
+		hists := make([]History, n)
+		for i, nd := range nodes {
+			h, err := nd.ShardHistory(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Shard != s || h.Shards != shards {
+				t.Fatalf("node %d shard %d history tagged (%d of %d)", i, s, h.Shard, h.Shards)
+			}
+			// Every do event in shard s's history must be for an object that
+			// routes to s — the projection property the audit rests on.
+			for _, ev := range h.Events {
+				if ev.Kind == model.ActDo && router.Route(ev.Object) != s {
+					t.Fatalf("node %d shard %d recorded do on %q, which routes to shard %d",
+						i, s, ev.Object, router.Route(ev.Object))
+				}
+				totalEvents++
+			}
+			hists[i] = h
+		}
+		audited, err := BuildAudit(hists)
+		if err != nil {
+			t.Fatalf("shard %d audit: %v", s, err)
+		}
+		if err := audited.Exec.CheckWellFormed(); err != nil {
+			t.Fatalf("shard %d execution not well-formed: %v", s, err)
+		}
+	}
+	if totalEvents == 0 {
+		t.Fatal("no events recorded across any shard")
+	}
+
+	// Online verdict composes the same way and agrees.
+	v := ck.Verdict()
+	if !v.Clean || v.Violations != 0 {
+		t.Fatalf("live shard-set verdict = %+v, want clean", v)
+	}
+	if v.Events == 0 {
+		t.Fatal("live checker observed nothing; Tap is not wired per shard")
+	}
+
+	// Stats carry coherent per-shard breakdowns.
+	for i, nd := range nodes {
+		st := nd.Stats()
+		if st.Shards != shards || len(st.ShardOps) != shards {
+			t.Fatalf("node %d stats shards = %d (%d slices), want %d", i, st.Shards, len(st.ShardOps), shards)
+		}
+		var ops, sends, receives, events int64
+		for s := 0; s < shards; s++ {
+			ops += st.ShardOps[s]
+			sends += st.ShardSends[s]
+			receives += st.ShardReceives[s]
+			events += st.ShardEvents[s]
+		}
+		if ops != st.Ops || sends != st.Sends || receives != st.Receives || events != st.Events {
+			t.Fatalf("node %d per-shard sums (%d,%d,%d,%d) != totals (%d,%d,%d,%d)",
+				i, ops, sends, receives, events, st.Ops, st.Sends, st.Receives, st.Events)
+		}
+		if st.Violations != 0 {
+			t.Fatalf("node %d recorded %d §4 violations", i, st.Violations)
+		}
+	}
+}
+
+// TestShardCountMismatchRefused: two nodes sealed at different shard counts
+// must refuse to replicate — a frame interpreted in the wrong seq-domain
+// partitioning would corrupt both histories, so no data may cross at all.
+func TestShardCountMismatchRefused(t *testing.T) {
+	mk := func(id model.ReplicaID, shards int) *Node {
+		st, err := store.Open("lww", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig(id, 2, st)
+		cfg.Shards = shards
+		nd, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nd.Close() })
+		return nd
+	}
+	a := mk(0, 2)
+	b := mk(1, 4)
+	if err := a.Connect(map[model.ReplicaID]string{1: b.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(map[model.ReplicaID]string{0: a.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Do("x", model.Write("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Do("x", model.Write("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	// Give the links ample time to (wrongly) deliver.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if a.Stats().Receives != 0 || b.Stats().Receives != 0 {
+			t.Fatalf("mismatched shard counts exchanged data: a received %d, b received %d",
+				a.Stats().Receives, b.Stats().Receives)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestShardedNodeInteroperatesWithSingleShard: Shards == 1 keeps the
+// pre-sharding wire behavior exactly, so a node configured with the new
+// field at 1 (or 0) pairs with a default node.
+func TestShardedNodeInteroperatesWithSingleShard(t *testing.T) {
+	mk := func(id model.ReplicaID, shards int) *Node {
+		st, err := store.Open("lww", spec.MVRTypes(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig(id, 2, st)
+		cfg.Shards = shards
+		nd, err := NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nd.Close() })
+		return nd
+	}
+	a := mk(0, 1)
+	b := mk(1, 0) // zero defaults to one shard
+	if err := a.Connect(map[model.ReplicaID]string{1: b.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect(map[model.ReplicaID]string{0: a.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Do("x", model.Write("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !WaitQuiesced([]*Node{a, b}, 10*time.Second) {
+		t.Fatal("single-shard pair did not quiesce")
+	}
+	if err := CheckConverged([]Doer{a, b}, []model.ObjectID{"x"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -88,6 +88,22 @@ type Meta struct {
 	Node  model.ReplicaID `json:"node"`
 	N     int             `json:"n"`
 	Store string          `json:"store"`
+	// Shard/Shards pin a sharded node's per-shard directory to its shard, so
+	// two shard directories (whose logs carry overlapping (origin, seq)
+	// domains) can never be swapped into each other's place. Zero on
+	// single-shard directories — canon() folds Shards==1 down to zero, so
+	// meta.json files written before sharding verify unchanged.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
+}
+
+// canon normalizes the single-shard representations (Shards 0 and 1 mean
+// the same thing) so old and new meta files compare equal.
+func (m Meta) canon() Meta {
+	if m.Shards <= 1 {
+		m.Shard, m.Shards = 0, 0
+	}
+	return m
 }
 
 // Options tune the log.
@@ -100,6 +116,12 @@ type Options struct {
 	// NoSync skips the per-append fsync (tests that only exercise framing
 	// and recovery logic, not crash safety, run much faster without it).
 	NoSync bool
+	// Group, when non-nil, routes per-append fsyncs through a shared
+	// GroupCommitter so logs that commit concurrently (a sharded node's
+	// per-shard journals) coalesce into one fsync round. Durability
+	// semantics are unchanged — Append still returns only after its record
+	// is on disk. Ignored under NoSync.
+	Group *GroupCommitter
 	// Codec names the event encoding for newly written records: "binary"
 	// (the default — the same compact codec the transport negotiates) or
 	// "json" (the legacy format, debuggable with standard tools). Recovery
@@ -230,7 +252,15 @@ func (l *Log) Append(ev cluster.Event) error {
 		return fmt.Errorf("durable: wal append: %w", err)
 	}
 	if !l.opts.NoSync {
-		if err := l.wal.Sync(); err != nil {
+		if g := l.opts.Group; g != nil {
+			// Group commit: the round's fsync starts after the write above
+			// (Commit guarantees it), so acked ⇒ on-disk holds exactly as
+			// with the direct Sync. l.mu stays held — each log has its own,
+			// so other shards' appends proceed and pile into the round.
+			if err := g.Commit(l.wal); err != nil {
+				return fmt.Errorf("durable: wal group sync: %w", err)
+			}
+		} else if err := l.wal.Sync(); err != nil {
 			return fmt.Errorf("durable: wal sync: %w", err)
 		}
 	}
@@ -249,6 +279,11 @@ func (l *Log) Append(ev cluster.Event) error {
 	}
 	return nil
 }
+
+// testCrashCompact, when non-nil, runs inside compact between the snapshot
+// rename and the wal truncate / tree checkpoint write. Tests install a
+// panicking hook to simulate a kill -9 in exactly that window.
+var testCrashCompact func()
 
 // compact rewrites the full event sequence into a fresh snapshot and
 // truncates the wal. Ordering is what makes a crash at any point safe:
@@ -285,6 +320,12 @@ func (l *Log) compact() error {
 		return fmt.Errorf("durable: snapshot rename: %w", err)
 	}
 	syncDir(l.dir)
+	if testCrashCompact != nil {
+		// Crash-injection point: the snapshot is renamed but the wal is not
+		// yet truncated and tree.ckpt not yet rewritten — the stale-
+		// checkpoint window the recovery verification exists for.
+		testCrashCompact()
+	}
 	if err := l.wal.Truncate(0); err != nil {
 		return fmt.Errorf("durable: wal truncate: %w", err)
 	}
@@ -318,6 +359,7 @@ func (l *Log) Close() error {
 // checkMeta verifies (or initializes) the directory's identity file.
 func checkMeta(dir string, meta Meta) error {
 	path := filepath.Join(dir, metaName)
+	meta = meta.canon()
 	data, err := os.ReadFile(path)
 	switch {
 	case err == nil:
@@ -325,9 +367,10 @@ func checkMeta(dir string, meta Meta) error {
 		if err := json.Unmarshal(data, &have); err != nil {
 			return &CorruptionError{File: metaName, Reason: err.Error()}
 		}
-		if have != meta {
-			return fmt.Errorf("%w: directory holds r%d/%d/%s, node is r%d/%d/%s",
-				ErrMetaMismatch, have.Node, have.N, have.Store, meta.Node, meta.N, meta.Store)
+		if have.canon() != meta {
+			return fmt.Errorf("%w: directory holds r%d/%d/%s (shard %d/%d), node is r%d/%d/%s (shard %d/%d)",
+				ErrMetaMismatch, have.Node, have.N, have.Store, have.Shard, have.Shards,
+				meta.Node, meta.N, meta.Store, meta.Shard, meta.Shards)
 		}
 		return nil
 	case os.IsNotExist(err):

@@ -19,14 +19,41 @@ import (
 //
 // The forest's whole state is the per-origin update-hash arrays, so it
 // checkpoints alongside snapshots: compact writes tree.ckpt (one CRC'd
-// frame: per origin, count then raw 32-byte hashes) atomically, and Open
-// reloads it to skip rehashing the snapshot prefix, rehashing only the wal
-// tail. The checkpoint is advisory — missing, corrupt, ahead of the
-// recovered events, or failing the spot check, it is discarded and the
-// forest rebuilds from the recovered payloads, which recovery holds in
-// memory anyway.
+// frame: per origin, count, prefix root, then raw 32-byte hashes)
+// atomically, and Open reloads it to skip rehashing the snapshot prefix,
+// rehashing only the wal tail. The checkpoint is advisory — missing,
+// corrupt, ahead of the recovered events, or failing verification, it is
+// discarded and the forest rebuilds from the recovered payloads, which
+// recovery holds in memory anyway.
+//
+// The checkpoint is also always potentially STALE: compact writes it after
+// the snapshot rename, so a crash in between leaves the previous
+// checkpoint next to the new snapshot. Staleness alone is benign (a
+// shorter honest prefix seeds fine), but it means the file's contents can
+// describe a history other than the one on disk — most plainly after a
+// torn-tail truncation made the node re-mint seqs with different payloads.
+// Verification therefore never trusts the hash arrays on CRC alone: the
+// stored prefix root must reproduce from the stored hashes (catching any
+// internal inconsistency the CRC happens to pass), and the stored hashes
+// must match the recovered payloads over the whole last leaf (catching a
+// divergent recent history, where the old last-hash-only spot check could
+// be fooled by a coincidentally-matching final event).
 
 const treeName = "tree.ckpt"
+
+// treeCkptV2 marks the v2 checkpoint layout. It is written where v1 put
+// the origin count — which is always ≥ 1 — so a v1 file can never be
+// misread as v2. v1 files (no stored roots) are simply discarded: the
+// checkpoint is advisory, so the cost is one full rebuild on the first
+// open after an upgrade.
+const treeCkptV2 = 0
+
+// treeCkpt is one decoded checkpoint: per origin, the prefix root the
+// writer computed over its live forest, and the raw update-hash array.
+type treeCkpt struct {
+	roots  []membership.Hash
+	hashes [][]membership.Hash
+}
 
 // hashEvent folds one journaled event into the forest; non-broadcast
 // events (ActDo) hash nothing. Gap errors mean the journal itself skipped
@@ -61,14 +88,9 @@ func buildTree(dir string, n int, events []cluster.Event) (*membership.Forest, e
 	tree := membership.NewForest(n)
 	for o := 0; o < n; o++ {
 		var prefix []membership.Hash
-		if ckpt != nil && uint64(len(ckpt[o])) <= uint64(len(payloads[o])) {
-			prefix = ckpt[o]
-			// Spot check: the checkpoint's last hash must match the event it
-			// claims to cover, or the checkpoint is from another history.
-			if k := len(prefix); k > 0 &&
-				prefix[k-1] != membership.HashUpdate(o, uint64(k), payloads[o][k-1]) {
-				prefix = nil
-			}
+		if ckpt != nil && uint64(len(ckpt.hashes[o])) <= uint64(len(payloads[o])) &&
+			verifyCkptOrigin(o, ckpt.roots[o], ckpt.hashes[o], payloads[o]) {
+			prefix = ckpt.hashes[o]
 		}
 		for _, h := range prefix {
 			if err := tree.AppendHash(o, h); err != nil {
@@ -84,15 +106,62 @@ func buildTree(dir string, n int, events []cluster.Event) (*membership.Forest, e
 	return tree, nil
 }
 
+// verifyCkptOrigin decides whether one origin's checkpointed hash array may
+// seed the forest. Two independent checks, both required:
+//
+//   - The stored prefix root must reproduce from the stored hashes. The CRC
+//     already rejects bit rot, so what this really catches is a checkpoint
+//     whose parts disagree — spliced, truncated-and-extended, or written by
+//     a build with different hashing rules — without rehashing any payload.
+//   - The stored hashes must match the recovered payloads over the entire
+//     last leaf (up to LeafSpan trailing updates), not just the final one.
+//     A stale checkpoint from before a torn-tail truncation can describe
+//     re-minted recent history; checking one trailing event lets any
+//     divergence older than it through, and a forest seeded that way serves
+//     digests that "prove" divergence to every honest joiner.
+//
+// Interior Merkle hashing does not mix in the origin (only leaf update
+// hashes do), so the scratch forest recomputes the root from the hash array
+// alone.
+func verifyCkptOrigin(origin int, root membership.Hash, hashes []membership.Hash, payloads [][]byte) bool {
+	k := uint64(len(hashes))
+	if k == 0 {
+		return root == (membership.Hash{})
+	}
+	scratch := membership.NewForest(1)
+	for _, h := range hashes {
+		if scratch.AppendHash(0, h) != nil {
+			return false
+		}
+	}
+	if scratch.PrefixRoot(0, k) != root {
+		return false
+	}
+	lo := uint64(0)
+	if k > membership.LeafSpan {
+		lo = k - membership.LeafSpan
+	}
+	for i := lo; i < k; i++ {
+		if hashes[i] != membership.HashUpdate(origin, i+1, payloads[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // writeTreeCkpt persists the forest atomically: tmp + fsync + rename, the
 // same discipline as snapshots, with one CRC over the whole payload.
 func writeTreeCkpt(dir string, tree *membership.Forest) error {
 	w := wire.NewWriter()
 	w.Raw([]byte{0, 0, 0, 0}) // CRC slot
+	w.Uvarint(treeCkptV2)
+	w.Uvarint(2) // layout version
 	w.Uvarint(uint64(tree.Origins()))
 	for o := 0; o < tree.Origins(); o++ {
 		count := tree.Count(o)
 		w.Uvarint(count)
+		root := tree.Root(o)
+		w.Raw(root[:])
 		for i := uint64(0); i < count; i++ {
 			h := tree.UpdateHash(o, i)
 			w.Raw(h[:])
@@ -117,10 +186,10 @@ func writeTreeCkpt(dir string, tree *membership.Forest) error {
 	return nil
 }
 
-// readTreeCkpt loads a checkpoint's hash arrays, or nil if the file is
-// missing, damaged, or describes a different origin population — all of
-// which just mean "rebuild from the events".
-func readTreeCkpt(path string, n int) [][]membership.Hash {
+// readTreeCkpt loads a checkpoint, or nil if the file is missing, damaged,
+// in the rootless v1 layout, or describes a different origin population —
+// all of which just mean "rebuild from the events".
+func readTreeCkpt(path string, n int) *treeCkpt {
 	buf, err := os.ReadFile(path)
 	if err != nil || len(buf) < 4 {
 		return nil
@@ -129,16 +198,27 @@ func readTreeCkpt(path string, n int) [][]membership.Hash {
 		return nil
 	}
 	r := wire.NewReader(buf[4:])
+	if r.Uvarint() != treeCkptV2 || r.Uvarint() != 2 {
+		return nil
+	}
 	if r.Uvarint() != uint64(n) {
 		return nil
 	}
-	hashes := make([][]membership.Hash, n)
+	c := &treeCkpt{
+		roots:  make([]membership.Hash, n),
+		hashes: make([][]membership.Hash, n),
+	}
 	for o := 0; o < n; o++ {
 		count := r.Uvarint()
 		if r.Err() != nil || count > uint64(r.Remaining()/32)+1 {
 			return nil
 		}
-		hashes[o] = make([]membership.Hash, 0, count)
+		rb := r.Fixed(32)
+		if rb == nil {
+			return nil
+		}
+		copy(c.roots[o][:], rb)
+		c.hashes[o] = make([]membership.Hash, 0, count)
 		for i := uint64(0); i < count; i++ {
 			b := r.Fixed(32)
 			if b == nil {
@@ -146,11 +226,11 @@ func readTreeCkpt(path string, n int) [][]membership.Hash {
 			}
 			var h membership.Hash
 			copy(h[:], b)
-			hashes[o] = append(hashes[o], h)
+			c.hashes[o] = append(c.hashes[o], h)
 		}
 	}
 	if r.Err() != nil || r.Remaining() != 0 {
 		return nil
 	}
-	return hashes
+	return c
 }

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -118,6 +119,226 @@ func TestTreeCheckpointRoundTrip(t *testing.T) {
 	for o, w := range want {
 		if got[o] != w {
 			t.Fatalf("origin %d tree wrong after corrupt-checkpoint rebuild: got %v want %v", o, got[o], w)
+		}
+	}
+}
+
+// rewriteCkptCRC recomputes the checkpoint's leading CRC so a deliberate
+// body edit survives the integrity check — the point of the tests below is
+// what verification catches AFTER the CRC passes.
+func rewriteCkptCRC(t *testing.T, path string, edit func(body []byte)) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edit(raw[4:])
+	be32(raw[0:4], crc32.Checksum(raw[4:], castagnoli))
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ckptOriginZero locates origin 0's region in a v2 checkpoint body: the
+// count, the offset of its stored root, and the offset of its hash array.
+// Counts in these tests stay below 128, so every uvarint is one byte.
+func ckptOriginZero(t *testing.T, body []byte) (count int, rootOff, hashOff int) {
+	t.Helper()
+	if body[0] != 0 || body[1] != 2 {
+		t.Fatalf("not a v2 checkpoint body: % x", body[:4])
+	}
+	count = int(body[3])
+	if count >= 128 || int(body[2]) >= 128 {
+		t.Fatalf("test assumes single-byte varints, got count %d origins %d", count, body[2])
+	}
+	return count, 4, 4 + 32
+}
+
+// TestTreeCkptInconsistentHashArrayRebuilds is the regression for the
+// rootless v1 checkpoint: a CRC-valid file whose hash array disagrees with
+// its own summary could seed the forest with wrong interior hashes as long
+// as the final event's hash happened to match. The v2 layout stores the
+// writer's prefix root, and recovery must reproduce that root from the
+// stored hashes before trusting any of them — so an edited deep hash (well
+// inside the compacted prefix, older than the last leaf, where no payload
+// check looks) forces a full rebuild instead of a poisoned forest.
+func TestTreeCkptInconsistentHashArrayRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents(300) // >LeafSpan broadcasts per origin
+	l, _, err := Open(dir, testMeta(), Options{NoSync: true, SnapshotEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := treeRoots(l.Tree())
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, treeName)
+
+	var count int
+	rewriteCkptCRC(t, ckpt, func(body []byte) {
+		var hashOff int
+		count, _, hashOff = ckptOriginZero(t, body)
+		if count <= int(membership.LeafSpan) {
+			t.Fatalf("origin 0 checkpointed %d hashes, need > %d for a deep edit", count, membership.LeafSpan)
+		}
+		body[hashOff] ^= 0x01 // hash[0]: deeper than any payload re-check
+	})
+	l2, _, err := Open(dir, testMeta(), Options{NoSync: true, SnapshotEvery: 64})
+	if err != nil {
+		t.Fatalf("inconsistent tree checkpoint must not fail recovery: %v", err)
+	}
+	got := treeRoots(l2.Tree())
+	l2.Close()
+	for o, w := range want {
+		if got[o] != w {
+			t.Fatalf("origin %d tree wrong after inconsistent-checkpoint rebuild: got %v want %v", o, got[o], w)
+		}
+	}
+}
+
+// TestTreeCkptDivergentLastLeafRebuilds crafts the harder forgery: the hash
+// array and the stored root agree with EACH OTHER (the attacker recomputed
+// the root) but describe a recent history that diverges from the recovered
+// payloads. The old single-trailing-hash spot check missed any divergence
+// older than the final event; v2 verifies the entire last leaf against the
+// recovered payloads, so an edit LeafSpan-1 events back is caught too.
+func TestTreeCkptDivergentLastLeafRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents(300)
+	l, _, err := Open(dir, testMeta(), Options{NoSync: true, SnapshotEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := treeRoots(l.Tree())
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, treeName)
+
+	rewriteCkptCRC(t, ckpt, func(body []byte) {
+		count, rootOff, hashOff := ckptOriginZero(t, body)
+		if count <= int(membership.LeafSpan) {
+			t.Fatalf("origin 0 checkpointed %d hashes, need > %d", count, membership.LeafSpan)
+		}
+		// Divergence at the START of the last leaf: the final event's hash
+		// stays honest, which is exactly what fooled the spot check.
+		victim := count - int(membership.LeafSpan)
+		body[hashOff+victim*32] ^= 0x01
+		// Recompute the root over the edited array so the self-consistency
+		// check passes and only the payload comparison can object.
+		scratch := membership.NewForest(1)
+		for i := 0; i < count; i++ {
+			var h membership.Hash
+			copy(h[:], body[hashOff+i*32:hashOff+(i+1)*32])
+			if err := scratch.AppendHash(0, h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		root := scratch.PrefixRoot(0, uint64(count))
+		copy(body[rootOff:rootOff+32], root[:])
+	})
+	l2, _, err := Open(dir, testMeta(), Options{NoSync: true, SnapshotEvery: 64})
+	if err != nil {
+		t.Fatalf("divergent tree checkpoint must not fail recovery: %v", err)
+	}
+	got := treeRoots(l2.Tree())
+	l2.Close()
+	for o, w := range want {
+		if got[o] != w {
+			t.Fatalf("origin %d tree wrong after divergent-checkpoint rebuild: got %v want %v", o, got[o], w)
+		}
+	}
+}
+
+// TestCompactCrashLeavesStaleCkptRecoverable injects a crash between the
+// snapshot rename and the checkpoint write — the window where compact has
+// published a NEW snapshot while tree.ckpt still describes the OLD forest.
+// Reopening must recover every event (snapshot ∪ untruncated wal) and build
+// the same forest a checkpoint-less rebuild would: the stale-but-honest
+// prefix seeds, it must never poison.
+func TestCompactCrashLeavesStaleCkptRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	events := sampleEvents(40)
+	l, _, err := Open(dir, testMeta(), Options{NoSync: true, SnapshotEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First compaction (event 16) completes normally and writes a real
+	// checkpoint; the hook then kills the second one (event 32) after its
+	// snapshot rename, stranding that first checkpoint next to the newer
+	// snapshot with the wal never truncated.
+	crashed := false
+	type compactCrash struct{}
+	appended := 0
+	testCrashCompact = func() {
+		if appended > 20 {
+			panic(compactCrash{})
+		}
+	}
+	defer func() { testCrashCompact = nil }()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(compactCrash); !ok {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		for _, ev := range events {
+			// Count before the call: the Append that crashes mid-compaction
+			// has already made its event durable when the panic fires.
+			appended++
+			if err := l.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}()
+	if !crashed {
+		t.Fatal("crash hook never fired; compaction cadence changed?")
+	}
+	// No Close: the "process" died. The on-disk state is what recovery gets.
+	testCrashCompact = nil
+
+	l2, hist, err := Open(dir, testMeta(), Options{NoSync: true, SnapshotEvery: 16})
+	if err != nil {
+		t.Fatalf("recovery from mid-compaction crash: %v", err)
+	}
+	defer l2.Close()
+	if hist == nil || len(hist.Events) != appended {
+		got := 0
+		if hist != nil {
+			got = len(hist.Events)
+		}
+		t.Fatalf("recovered %d events, want every appended one (%d)", got, appended)
+	}
+	// Reference forest straight from the recovered events — what a rebuild
+	// with no checkpoint at all would produce.
+	ref := membership.NewForest(testMeta().N)
+	for _, ev := range hist.Events {
+		if err := hashEvent(ref, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := treeRoots(ref)
+	got := treeRoots(l2.Tree())
+	if len(got) != len(want) {
+		t.Fatalf("recovered forest covers %d origins, want %d", len(got), len(want))
+	}
+	for o, w := range want {
+		if got[o] != w {
+			t.Fatalf("origin %d forest diverged after mid-compaction crash: got %v want %v", o, got[o], w)
 		}
 	}
 }

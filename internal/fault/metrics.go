@@ -46,6 +46,10 @@ type Metrics struct {
 	Leaves      int64 `json:"leaves,omitempty"`
 	Joins       int64 `json:"joins,omitempty"`
 	SyncUpdates int64 `json:"sync_updates,omitempty"`
+	// ShardReceives counts remote updates applied per shard on sharded
+	// nodes (index = shard). Nil on single-shard runs, so existing metrics
+	// files are unchanged byte for byte.
+	ShardReceives []int64 `json:"shard_receives,omitempty"`
 }
 
 // TotalDowntime sums the per-node downtime.
@@ -219,6 +223,18 @@ func (o *Observer) AddGapFrames(n int64) { o.add(func(m *Metrics) { m.GapFrames 
 // range-pulled updates).
 func (o *Observer) AddSyncUpdates(n int64) { o.add(func(m *Metrics) { m.SyncUpdates += n }) }
 
+// AddShardReceives counts remote updates a sharded node applied on one
+// shard. The slice grows on demand so the observer needs no shard count up
+// front (single-shard runs never call this and keep a nil slice).
+func (o *Observer) AddShardReceives(shard int, n int64) {
+	o.add(func(m *Metrics) {
+		for len(m.ShardReceives) <= shard {
+			m.ShardReceives = append(m.ShardReceives, 0)
+		}
+		m.ShardReceives[shard] += n
+	})
+}
+
 // ObserveQuiesce records the convergence-latency measure: how many rounds
 // and deliveries draining the run took.
 func (o *Observer) ObserveQuiesce(rounds, deliveries int64) {
@@ -249,5 +265,8 @@ func (o *Observer) Metrics() Metrics {
 	defer o.mu.Unlock()
 	m := o.m
 	m.Downtime = append([]int64(nil), o.m.Downtime...)
+	if o.m.ShardReceives != nil {
+		m.ShardReceives = append([]int64(nil), o.m.ShardReceives...)
+	}
 	return m
 }

@@ -1,0 +1,91 @@
+package livecheck
+
+// ShardSet runs one Checker per shard of a sharded node or cluster and
+// composes their verdicts. Correctness rests on the same per-object
+// projection argument (Proposition 1) the offline audit uses: a key lives on
+// exactly one shard, every shard has its own (origin, seq) broadcast domain
+// and Lamport clock, and no §4 property relates operations on different
+// objects — so the full event stream satisfies the checked guarantees iff
+// every shard's projection does, and the projections can be checked
+// independently with no shared state.
+//
+// Observe's signature matches cluster.Config.Tap, so a ShardSet drops in
+// where a single Checker's Observe did: `cfg.Tap = set.Observe`.
+type ShardSet struct {
+	checkers []*Checker
+}
+
+// NewShardSet creates shards independent checkers for a cluster of n nodes,
+// each configured with opts. shards < 1 is treated as 1.
+func NewShardSet(n, shards int, opts Options) *ShardSet {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardSet{checkers: make([]*Checker, shards)}
+	for i := range s.checkers {
+		s.checkers[i] = New(n, opts)
+	}
+	return s
+}
+
+// Shards returns how many per-shard checkers the set holds.
+func (s *ShardSet) Shards() int { return len(s.checkers) }
+
+// Shard returns shard i's checker (for per-shard verdicts and tests).
+func (s *ShardSet) Shard(i int) *Checker { return s.checkers[i] }
+
+// Observe feeds one tapped event to its shard's checker. Events for a shard
+// the set does not know are dropped rather than mis-attributed — that only
+// happens on a shard-count misconfiguration, which the cluster layer
+// already refuses at the hello exchange.
+func (s *ShardSet) Observe(shard int, ev Event) {
+	if shard < 0 || shard >= len(s.checkers) {
+		return
+	}
+	s.checkers[shard].Observe(ev)
+}
+
+// Verdict composes the per-shard verdicts into one: counters and state
+// accounting sum, the kept violations concatenate in shard order, and the
+// set is clean iff every shard is. PeakTracked sums the per-shard peaks,
+// which upper-bounds the true simultaneous peak.
+func (s *ShardSet) Verdict() Verdict {
+	var out Verdict
+	out.Clean = true
+	for _, c := range s.checkers {
+		v := c.Verdict()
+		out.Events += v.Events
+		out.Dos += v.Dos
+		out.Sends += v.Sends
+		out.Receives += v.Receives
+		out.Violations += v.Violations
+		out.First = append(out.First, v.First...)
+		out.TrackedDots += v.TrackedDots
+		out.PeakTracked += v.PeakTracked
+		out.PendingDots += v.PendingDots
+		out.UndeliveredDots += v.UndeliveredDots
+		out.RvalSkipped += v.RvalSkipped
+		out.Clean = out.Clean && v.Clean
+	}
+	return out
+}
+
+// ShardVerdicts snapshots every shard's verdict, index = shard.
+func (s *ShardSet) ShardVerdicts() []Verdict {
+	out := make([]Verdict, len(s.checkers))
+	for i, c := range s.checkers {
+		out[i] = c.Verdict()
+	}
+	return out
+}
+
+// Err returns the first violation across shards (lowest shard index wins),
+// or nil when every shard is clean.
+func (s *ShardSet) Err() error {
+	for _, c := range s.checkers {
+		if err := c.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package storetest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+// runShardedCluster is the conformance battery's sharded-cluster leg: every
+// registered store that claims convergence must also converge when its
+// replicas run inside sharded nodes — each shard an independent replica of
+// the store with its own broadcast domain — and each shard's merged
+// histories must stand as a well-formed execution on their own. This is
+// Proposition 1 exercised per store: no object spans shards, so the sharded
+// node honors exactly the guarantees the store honors, shard by shard.
+func runShardedCluster(t *testing.T, cfg Config) {
+	t.Run("ShardedCluster", func(t *testing.T) {
+		const n = 2
+		const shards = 2
+		nodes := make([]*cluster.Node, n)
+		for i := range nodes {
+			nd, err := cluster.NewNode(cluster.Config{
+				ID: model.ReplicaID(i), N: n, Store: cfg.Factory(),
+				Listen:         "127.0.0.1:0",
+				Shards:         shards,
+				DialTimeout:    time.Second,
+				DialBackoffMin: 5 * time.Millisecond,
+				DialBackoffMax: 100 * time.Millisecond,
+				RetransmitMin:  25 * time.Millisecond,
+				RetransmitMax:  250 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = nd
+		}
+		t.Cleanup(func() {
+			for _, nd := range nodes {
+				nd.Close()
+			}
+		})
+		for i, nd := range nodes {
+			peers := make(map[model.ReplicaID]string)
+			for j, other := range nodes {
+				if j != i {
+					peers[model.ReplicaID(j)] = other.Addr()
+				}
+			}
+			if err := nd.Connect(peers); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Pick objects covering both shards (two per shard), then drive the
+		// store's own mutator ops at them from both nodes.
+		router := cluster.NewShardRouter(shards)
+		perShard := make(map[int][]model.ObjectID)
+		for i := 0; len(perShard[0]) < 2 || len(perShard[1]) < 2; i++ {
+			if i > 1000 {
+				t.Fatal("could not cover both shards")
+			}
+			obj := model.ObjectID(fmt.Sprintf("sh%03d", i))
+			if s := router.Route(obj); len(perShard[s]) < 2 {
+				perShard[s] = append(perShard[s], obj)
+			}
+		}
+		objs := append(append([]model.ObjectID{}, perShard[0]...), perShard[1]...)
+		for i := 0; i < 24; i++ {
+			obj := objs[i%len(objs)]
+			_, op := cfg.Mutator(i)
+			if _, err := nodes[i%n].Do(obj, op); err != nil {
+				t.Fatalf("op %d on %q: %v", i, obj, err)
+			}
+		}
+		if !cluster.WaitQuiesced(nodes, 15*time.Second) {
+			t.Fatal("sharded cluster did not quiesce")
+		}
+		// Extra read rounds expose withheld state (the K-buffer store needs
+		// K), mirroring the sim convergence subtest.
+		for round := 1; round < cfg.ConvergenceReadRounds; round++ {
+			for _, nd := range nodes {
+				for _, obj := range objs {
+					if _, err := nd.Do(obj, model.Read()); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		doers := make([]cluster.Doer, n)
+		for i, nd := range nodes {
+			doers[i] = nd
+		}
+		if err := cluster.CheckConverged(doers, objs); err != nil {
+			t.Fatalf("sharded cluster did not converge: %v", err)
+		}
+
+		// Each shard's histories must merge into a well-formed execution by
+		// themselves, and hold only objects that route to that shard.
+		for s := 0; s < shards; s++ {
+			hists := make([]cluster.History, n)
+			for i, nd := range nodes {
+				h, err := nd.ShardHistory(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, ev := range h.Events {
+					if ev.Kind == model.ActDo && router.Route(ev.Object) != s {
+						t.Fatalf("node %d shard %d recorded do on %q (routes to %d)",
+							i, s, ev.Object, router.Route(ev.Object))
+					}
+				}
+				hists[i] = h
+			}
+			audited, err := cluster.BuildAudit(hists)
+			if err != nil {
+				t.Fatalf("shard %d audit: %v", s, err)
+			}
+			if err := audited.Exec.CheckWellFormed(); err != nil {
+				t.Fatalf("shard %d execution not well-formed: %v", s, err)
+			}
+		}
+	})
+}

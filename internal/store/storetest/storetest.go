@@ -265,6 +265,7 @@ func runRest(t *testing.T, cfg Config) {
 			}
 		})
 		runChaos(t, cfg)
+		runShardedCluster(t, cfg)
 	}
 	if cfg.SkipDeliveryCommutation {
 		return
